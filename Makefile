@@ -1,0 +1,25 @@
+# Convenience targets for the OPPROX reproduction.
+
+.PHONY: install test bench figures examples clean
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/ -q
+
+bench:
+	pytest benchmarks/ --benchmark-only -q
+
+figures:
+	python examples/generate_figures.py figures
+
+examples:
+	python examples/quickstart.py
+	python examples/custom_application.py
+	python examples/video_pipeline.py
+	python examples/lulesh_case_study.py
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,28 @@
+"""Shared helpers for the figure/table reproduction benchmarks.
+
+Every benchmark runs its experiment exactly once (``benchmark.pedantic``
+with one round — the experiments themselves are deterministic and the
+interesting output is the reproduced figure, not the harness timing) and
+prints the regenerated rows/series so ``pytest benchmarks/ --benchmark-only``
+doubles as the paper-reproduction report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Execute ``func`` once under the benchmark fixture and return its value."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture(autouse=True)
+def _print_banner(request, capsys):
+    yield
+    # Flush captured prints so -s is not required to see the figures.
+    captured = capsys.readouterr()
+    if captured.out:
+        with capsys.disabled():
+            print(f"\n===== {request.node.name} =====")
+            print(captured.out.rstrip())

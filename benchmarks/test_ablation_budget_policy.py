@@ -1,0 +1,72 @@
+"""Ablation — ROI-proportional budget split vs uniform vs greedy-single-phase.
+
+DESIGN.md calls out the budget-allocation policy as a design choice the
+paper makes explicitly ("this is a policy decision ... OPPROX can
+accommodate other policies"); this benchmark quantifies it.
+"""
+
+import numpy as np
+
+from repro.core.optimizer import PhaseOptimizer, combined_speedup
+from repro.eval.cache import shared_profiler
+from repro.eval.experiments import trained_opprox
+from repro.eval.reporting import format_table
+
+from benchmarks.conftest import run_once
+
+
+def _evaluate_policy(opprox, params, budget, rois):
+    optimizer = PhaseOptimizer(opprox.app, opprox.models_for(params))
+    entries = optimizer.optimize(params, budget, rois)
+    schedule = optimizer.build_schedule(params, entries)
+    run = opprox.profiler.measure(params, schedule)
+    return run.speedup, run.qos_value
+
+
+def test_ablation_budget_allocation_policy(benchmark):
+    def collect():
+        results = {}
+        for name in ("pso", "comd"):
+            opprox = trained_opprox(name)
+            params = opprox.app.default_params()
+            signature = opprox._predict_flow(params)
+            roi = opprox._rois_by_flow[signature]
+            n = opprox.n_phases
+            best_phase = max(roi, key=roi.get)
+            policies = {
+                "roi-proportional": roi,
+                "uniform": {p: 1.0 for p in range(n)},
+                "greedy-single-phase": {
+                    p: (1.0 if p == best_phase else 1e-9) for p in range(n)
+                },
+            }
+            budget = 10.0
+            results[name] = {
+                policy: _evaluate_policy(opprox, params, budget, rois)
+                for policy, rois in policies.items()
+            }
+        return results
+
+    results = run_once(benchmark, collect)
+
+    rows = []
+    for name, by_policy in results.items():
+        for policy, (speedup, qos) in by_policy.items():
+            rows.append([name, policy, speedup, qos])
+    print(format_table(
+        ["app", "policy", "measured speedup", "measured qos"],
+        rows,
+        "Ablation — budget-allocation policy at a 10% budget",
+    ))
+
+    for name, by_policy in results.items():
+        roi_speedup = by_policy["roi-proportional"][0]
+        # The ROI policy must be competitive with the alternatives
+        # (within 10% of the best policy for that app) — the paper calls
+        # the split a replaceable policy, and with leftover
+        # redistribution all three converge to similar schedules here.
+        best = max(speedup for speedup, _ in by_policy.values())
+        assert roi_speedup >= 0.9 * best, name
+        # Every policy still produced a net win under the budget.
+        for policy, (speedup, _) in by_policy.items():
+            assert speedup > 1.0, (name, policy)

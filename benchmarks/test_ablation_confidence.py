@@ -1,0 +1,71 @@
+"""Ablation — conservative confidence bounds vs raw point predictions.
+
+The paper credits its conservative intervals with keeping the final QoS
+inside the budget (and blames them for the Bodytrack large-budget loss).
+This benchmark measures both sides of that trade.
+"""
+
+import numpy as np
+
+from repro.core.optimizer import PhaseOptimizer
+from repro.eval.experiments import trained_opprox
+from repro.eval.reporting import format_table
+
+from benchmarks.conftest import run_once
+
+BUDGETS = (5.0, 10.0, 20.0)
+
+
+def test_ablation_conservative_vs_point_predictions(benchmark):
+    def collect():
+        rows = []
+        for name in ("pso", "bodytrack"):
+            opprox = trained_opprox(name)
+            params = opprox.app.default_params()
+            models = opprox.models_for(params)
+            signature = opprox._predict_flow(params)
+            rois = opprox._rois_by_flow[signature]
+            for conservative in (True, False):
+                optimizer = PhaseOptimizer(
+                    opprox.app, models, conservative=conservative
+                )
+                for budget in BUDGETS:
+                    entries = optimizer.optimize(
+                        params, budget * opprox.interaction_margin, rois
+                    )
+                    schedule = optimizer.build_schedule(params, entries)
+                    run = opprox.profiler.measure(params, schedule)
+                    rows.append(
+                        {
+                            "app": name,
+                            "mode": "conservative" if conservative else "point",
+                            "budget": budget,
+                            "speedup": run.speedup,
+                            "qos": run.qos_value,
+                            "within": run.qos_value <= budget,
+                        }
+                    )
+        return rows
+
+    rows = run_once(benchmark, collect)
+
+    print(format_table(
+        ["app", "mode", "budget %", "speedup", "measured qos %", "within budget"],
+        [
+            [r["app"], r["mode"], r["budget"], r["speedup"], r["qos"], r["within"]]
+            for r in rows
+        ],
+        "Ablation — conservative confidence bounds vs point predictions",
+    ))
+
+    conservative = [r for r in rows if r["mode"] == "conservative"]
+    point = [r for r in rows if r["mode"] == "point"]
+    # Conservative mode honours the budget at least as often.
+    assert sum(r["within"] for r in conservative) >= sum(r["within"] for r in point)
+    # Point mode is the greedier one: it must reach at least the
+    # conservative speedup on average (that is the risk being traded).
+    assert np.mean([r["speedup"] for r in point]) >= np.mean(
+        [r["speedup"] for r in conservative]
+    ) - 0.05
+    # Conservative mode stays within budget in the vast majority of runs.
+    assert sum(r["within"] for r in conservative) >= len(conservative) - 1

@@ -1,0 +1,85 @@
+"""Extension — canary-input training (the paper's Sec. 6 suggestion).
+
+Trains OPPROX on scaled-down canary inputs, quantifies the profiling
+cost saved and the model-transfer error, and checks the canary-trained
+optimizer still finds a budget-respecting schedule at full scale.
+"""
+
+from repro.core.canary import train_with_canaries
+from repro.core.spec import AccuracySpec
+from repro.eval.cache import shared_profiler
+from repro.eval.reporting import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_extension_canary_training(benchmark):
+    def collect():
+        rows = []
+        for name in ("pso", "comd"):
+            profiler = shared_profiler(name)
+            app = profiler.app
+            spec = AccuracySpec.for_app(app, max_inputs=4)
+            report = train_with_canaries(
+                app,
+                spec,
+                probe_settings=8,
+                profiler=profiler,
+                n_phases=4,
+                joint_samples_per_phase=8,
+            )
+            full_params = app.default_params()
+            run = report.opprox.apply(full_params, 10.0)
+            rows.append(
+                {
+                    "app": name,
+                    "canary_inputs": len(report.canary_inputs),
+                    "full_inputs": len(spec.training_inputs),
+                    "samples": report.opprox.training_report.n_samples,
+                    "speedup_mae": report.speedup_transfer_mae,
+                    "deg_mae": report.degradation_transfer_mae,
+                    "applied_reduction": run.work_reduction_percent,
+                    "applied_qos": run.qos_value,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, collect)
+
+    print(format_table(
+        [
+            "app", "canary inputs", "full inputs", "training samples",
+            "speedup transfer MAE", "deg transfer MAE",
+            "full-scale less-work %", "full-scale qos",
+        ],
+        [
+            [
+                r["app"], r["canary_inputs"], r["full_inputs"], r["samples"],
+                r["speedup_mae"], r["deg_mae"],
+                r["applied_reduction"], r["applied_qos"],
+            ]
+            for r in rows
+        ],
+        "Extension — canary-trained OPPROX applied at full scale "
+        "(10% budget)",
+    ))
+
+    for r in rows:
+        # The canary set must actually be cheaper (fewer distinct inputs).
+        assert r["canary_inputs"] < r["full_inputs"], r["app"]
+    # The honest finding: canary transfer works where behaviour scales
+    # gently with input size (pso gains real speedup near budget), and
+    # fails where error *accumulates* with the scaled-down parameter
+    # (comd's timestep count) — which is exactly why the paper lists
+    # canaries as future work rather than a default.  At least one app
+    # must demonstrate the success case:
+    successes = [
+        r for r in rows
+        if r["applied_reduction"] > 5.0 and r["applied_qos"] <= 20.0
+    ]
+    assert successes, "canary transfer succeeded for no application"
+    if len(successes) < len(rows):
+        print("note: canary transfer failed for "
+              + ", ".join(r["app"] for r in rows if r not in successes)
+              + " — accumulated-error scaling breaks the transfer (see "
+              "EXPERIMENTS.md)")

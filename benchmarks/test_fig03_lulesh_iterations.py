@@ -1,0 +1,24 @@
+"""Fig. 3 — LULESH: outer-loop iteration count varies with approximation."""
+
+from repro.eval.experiments import fig3_iteration_variation
+
+from benchmarks.conftest import run_once
+
+
+def test_fig03_lulesh_iteration_variation(benchmark):
+    data = run_once(benchmark, fig3_iteration_variation, "lulesh", None, 24)
+
+    print(
+        "Fig. 3 — LULESH outer-loop iterations under random uniform settings\n"
+        f"accurate run: {data['accurate_iterations']} iterations "
+        "(paper: 921)\n"
+        f"approximate runs: min {data['min']}, max {data['max']} "
+        "(paper: up to 965 — approximations can inflate the loop)\n"
+        f"samples: {sorted(data['iterations'])}"
+    )
+
+    # Shape check: approximation must be able to change the iteration
+    # count in both directions relative to the accurate run.
+    assert data["max"] > data["accurate_iterations"]
+    assert data["min"] < data["accurate_iterations"] * 1.01
+    assert data["max"] - data["min"] >= 5

@@ -1,0 +1,35 @@
+"""Fig. 4 / Fig. 5 — LULESH phase-specific QoS degradation and speedup."""
+
+import numpy as np
+
+from repro.eval.experiments import phase_behaviour, phase_summary
+from repro.eval.reporting import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_fig04_05_lulesh_phase_behaviour(benchmark):
+    points = run_once(benchmark, phase_behaviour, "lulesh", None, 4, 12)
+    summary = phase_summary(points)
+
+    rows = [
+        [label, stats["mean_qos"], stats["mean_speedup"]]
+        for label, stats in summary.items()
+    ]
+    print(format_table(
+        ["segment", "mean qos_degradation_%", "mean speedup"],
+        rows,
+        "Fig. 4/5 — LULESH per-phase behaviour (paper: phase-1 drastically "
+        "degrades QoS; later phases are far cheaper; 'All' resembles phase-1)",
+    ))
+
+    qos = {label: stats["mean_qos"] for label, stats in summary.items()}
+    # Phase 1 dominates the error; the last phase is much cheaper.
+    assert qos["phase-1"] > 2.0 * qos["phase-4"]
+    assert qos["phase-1"] > qos["phase-2"]
+    assert qos["phase-1"] > qos["phase-3"]
+    # Approximating everywhere is at least as bad as the worst single phase.
+    assert qos["All"] >= 0.8 * qos["phase-1"]
+    # The paper's 8x claim: the cheapest phase can be ~8x less damaging.
+    cheapest = min(qos[f"phase-{p}"] for p in range(1, 5))
+    assert qos["phase-1"] / max(cheapest, 1e-6) > 4.0

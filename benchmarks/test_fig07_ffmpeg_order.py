@@ -1,0 +1,29 @@
+"""Fig. 7 — FFmpeg: swapping the deflate and edge filters changes QoS."""
+
+import numpy as np
+
+from repro.eval.experiments import fig7_filter_order_effect
+from repro.eval.reporting import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_fig07_filter_order_changes_qos(benchmark):
+    rows = run_once(benchmark, fig7_filter_order_effect, 8)
+
+    print(format_table(
+        ["psnr deflate->edge", "psnr edge->deflate", "|difference| dB"],
+        [[r["psnr_order0"], r["psnr_order1"], r["difference"]] for r in rows],
+        "Fig. 7 — FFmpeg: the same approximation settings under the two "
+        "filter orders (paper: the order changes QoS significantly)",
+    ))
+
+    differences = [r["difference"] for r in rows]
+    # The control-flow change must matter consistently.  Our synthetic
+    # video shows a smaller absolute PSNR shift than the paper's clip
+    # (fractions of a dB rather than several dB — see EXPERIMENTS.md),
+    # but the direction and consistency of the effect reproduce: the
+    # same settings score differently under the two orders.
+    assert np.mean(differences) > 0.15
+    assert max(differences) > 0.3
+    assert sum(1 for d in differences if d > 0.05) >= len(differences) - 1

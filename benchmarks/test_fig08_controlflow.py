@@ -1,0 +1,31 @@
+"""Fig. 8 — decision trees predict input-dependent control flow."""
+
+from repro.apps import ALL_APPLICATIONS
+from repro.eval.experiments import fig8_controlflow_accuracy
+from repro.eval.reporting import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_fig08_controlflow_prediction(benchmark):
+    def collect():
+        return [fig8_controlflow_accuracy(name) for name in ALL_APPLICATIONS]
+
+    rows = run_once(benchmark, collect)
+
+    print(format_table(
+        ["app", "inputs", "control flows", "tree accuracy", "tree depth"],
+        [
+            [r["app"], r["n_inputs"], r["n_control_flows"], r["accuracy"], r["tree_depth"]]
+            for r in rows
+        ],
+        "Fig. 8 — control-flow prediction from input parameters",
+    ))
+
+    by_app = {r["app"]: r for r in rows}
+    # FFmpeg's filter order and LULESH's region count create real
+    # control-flow variation; the tree must separate them perfectly.
+    assert by_app["ffmpeg"]["n_control_flows"] == 2
+    assert by_app["lulesh"]["n_control_flows"] == 3
+    for r in rows:
+        assert r["accuracy"] == 1.0

@@ -1,0 +1,46 @@
+"""Fig. 9 — phase-specific QoS degradation for CoMD, PSO, Bodytrack, FFmpeg."""
+
+import numpy as np
+
+from repro.eval.experiments import phase_behaviour, phase_summary
+from repro.eval.reporting import format_series
+
+from benchmarks.conftest import run_once
+
+APPS = ("comd", "pso", "bodytrack", "ffmpeg")
+
+
+def test_fig09_phase_specific_qos(benchmark):
+    def collect():
+        return {
+            name: phase_summary(phase_behaviour(name, None, 4, 12))
+            for name in APPS
+        }
+
+    summaries = run_once(benchmark, collect)
+
+    series = {}
+    for name, summary in summaries.items():
+        labels = [f"phase-{p}" for p in range(1, 5)] + ["All"]
+        series[name] = [summary[label]["mean_qos"] for label in labels]
+    print(format_series(
+        series,
+        "Fig. 9 — mean QoS per phase [phase-1..phase-4, All] "
+        "(percent for comd/pso/bodytrack — lower is better; "
+        "PSNR dB for ffmpeg — higher is better)",
+    ))
+
+    for name in ("pso", "bodytrack"):
+        qos = series[name]
+        # First-phase approximation hurts clearly more than last-phase.
+        assert qos[0] > 1.5 * qos[3], name
+        # 'All' is at least as bad as the average single phase.
+        assert qos[4] >= np.mean(qos[:4]) * 0.8, name
+    # CoMD: late-phase approximation is the cheapest (its mean over many
+    # settings is the smallest or second smallest).
+    comd = series["comd"]
+    assert comd[3] <= sorted(comd[:4])[1] + 1e-9
+    # FFmpeg (PSNR, higher better): the first phase is the most damaging.
+    ffmpeg = series["ffmpeg"]
+    assert ffmpeg[0] < ffmpeg[3]
+    assert ffmpeg[4] <= min(ffmpeg[:4]) + 0.5  # approximating always is worst

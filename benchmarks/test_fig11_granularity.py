@@ -1,0 +1,42 @@
+"""Fig. 11 — QoS behaviour when execution is split into 2, 4, and 8 phases."""
+
+import numpy as np
+
+from repro.eval.experiments import fig11_granularity_sweep
+from repro.eval.reporting import format_series
+
+from benchmarks.conftest import run_once
+
+
+def test_fig11_phase_granularity(benchmark):
+    def collect():
+        return {
+            name: fig11_granularity_sweep(name, (2, 4, 8), settings_per_phase=8)
+            for name in ("bodytrack", "lulesh")
+        }
+
+    data = run_once(benchmark, collect)
+
+    for name, by_n in data.items():
+        print(format_series(
+            {f"{n}-phases": means for n, means in by_n.items()},
+            f"Fig. 11 — {name}: mean QoS degradation per phase at three "
+            "granularities",
+        ))
+
+    for name, by_n in data.items():
+        two, four, eight = by_n[2], by_n[4], by_n[8]
+        # At N=2 the second half must be preferable to the first
+        # (paper: "use aggressive approximation in phase-2 instead of
+        # phase-1").
+        assert two[1] < two[0], name
+        # N=4 preserves the early-worst ordering at finer granularity.
+        assert four[0] > min(four[1:]), name
+        # At N=8 consecutive late phases become hard to distinguish —
+        # the paper's motivation for bounding N (Algorithm 1): the
+        # smallest gap between consecutive late phases is tiny compared
+        # to the overall spread.
+        late = eight[4:]
+        gaps = [abs(a - b) for a, b in zip(late, late[1:])]
+        spread = max(eight) - min(eight)
+        assert min(gaps) < 0.25 * spread, name

@@ -1,0 +1,67 @@
+"""Fig. 12 / Fig. 13 — accuracy of the QoS and speedup models.
+
+The paper's protocol: split the profiled data 50/50, train on one half,
+predict the other, and scatter actual vs predicted.  We report R^2 both
+in raw space (the paper's axes) and in log space (the fair measure for
+the multiplicative models on our heavier-tailed substrate targets).
+
+Where the paper found its speedup models "very accurate for all the
+applications", ours are near-perfect for the fixed-iteration-count apps
+(CoMD, FFmpeg) and poor for the convergence-loop apps (LULESH, PSO)
+whose realized iteration counts are cliff-shaped functions of the
+levels — see EXPERIMENTS.md for the discussion.  The QoS ranking
+reproduces the paper's: FFmpeg is the most predictable, and the
+LULESH-like applications show the higher inaccuracies called out in the
+paper's Fig. 12 commentary.
+"""
+
+from repro.apps import ALL_APPLICATIONS
+from repro.eval.experiments import fig12_13_model_predictions
+from repro.eval.reporting import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_fig12_13_model_prediction_accuracy(benchmark):
+    def collect():
+        return [fig12_13_model_predictions(name) for name in ALL_APPLICATIONS]
+
+    results = run_once(benchmark, collect)
+
+    print(format_table(
+        [
+            "app", "test samples",
+            "speedup R^2 (raw)", "speedup R^2 (log)",
+            "qos R^2 (raw)", "qos R^2 (log)",
+        ],
+        [
+            [
+                r["app"], r["n_test"],
+                r["speedup_r2"], r["speedup_r2_log"],
+                r["degradation_r2"], r["degradation_r2_log"],
+            ]
+            for r in results
+        ],
+        "Fig. 12/13 — held-out (50/50 split) prediction accuracy "
+        "(paper: R^2 of 0.94/0.99 for LULESH QoS/speedup on their "
+        "smoother native substrate)",
+    ))
+
+    by_app = {r["app"]: r for r in results}
+    # Fixed-iteration apps: speedup models as accurate as the paper's.
+    assert by_app["comd"]["speedup_r2"] > 0.9
+    assert by_app["ffmpeg"]["speedup_r2"] > 0.9
+    # QoS degradation is predictable (log space) for at least three apps.
+    predictable = sum(
+        1 for r in results if r["degradation_r2_log"] > 0.6
+    )
+    assert predictable >= 3
+    # FFmpeg tops the QoS ranking, matching the paper's observation.
+    assert by_app["ffmpeg"]["degradation_r2_log"] == max(
+        r["degradation_r2_log"] for r in results
+    )
+    assert by_app["ffmpeg"]["degradation_r2_log"] > 0.9
+    # Scatter data is available for plotting every app.
+    for r in results:
+        assert len(r["actual_speedup"]) == r["n_test"]
+        assert len(r["predicted_degradation"]) == r["n_test"]

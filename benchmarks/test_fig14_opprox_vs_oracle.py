@@ -1,0 +1,92 @@
+"""Fig. 14 — OPPROX vs the phase-agnostic exhaustive-search oracle.
+
+The paper's headline: phase-aware optimization does ~14% less work at a
+5% error budget (the oracle manages ~2%) and ~42% less at a 20% budget
+(~37% for the oracle).  Our substrate reproduces the *shape*: OPPROX
+dominates at the small budget, edges the oracle at medium, and reaches
+the paper's large-budget speedup while the measured oracle — which, on
+our smaller substrates, can exploit configurations models cannot trust —
+overtakes at the large budget for the Bodytrack/FFmpeg-like cases.
+"""
+
+import numpy as np
+
+from repro.apps import ALL_APPLICATIONS
+from repro.eval.experiments import fig14_opprox_vs_oracle
+from repro.eval.reporting import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_fig14_opprox_vs_phase_agnostic_oracle(benchmark):
+    def collect():
+        rows = []
+        for name in ALL_APPLICATIONS:
+            rows.extend(fig14_opprox_vs_oracle(name))
+        return rows
+
+    rows = run_once(benchmark, collect)
+
+    print(format_table(
+        [
+            "app", "budget", "value",
+            "opprox speedup", "opprox less-work %", "opprox qos", "within",
+            "oracle speedup", "oracle less-work %", "oracle found",
+        ],
+        [
+            [
+                r.app, r.budget_label, r.budget_value,
+                r.opprox_speedup, r.opprox_work_reduction, r.opprox_qos,
+                r.opprox_within_budget,
+                r.oracle_speedup, r.oracle_work_reduction, r.oracle_found_config,
+            ]
+            for r in rows
+        ],
+        "Fig. 14 — OPPROX vs phase-agnostic exhaustive oracle",
+    ))
+
+    def mean_reduction(label, side):
+        subset = [r for r in rows if r.budget_label == label]
+        return float(np.mean([getattr(r, f"{side}_work_reduction") for r in subset]))
+
+    for label in ("small", "medium", "large"):
+        print(
+            f"average {label}: OPPROX {mean_reduction(label, 'opprox'):.1f}% "
+            f"less work vs oracle {mean_reduction(label, 'oracle'):.1f}% "
+            "(paper small: 14% vs 2%; large: 42% vs 37%)"
+        )
+
+    # -- headline shape checks -------------------------------------------------
+    # Small budget: phase-awareness wins decisively; the oracle finds a
+    # usable configuration for at most two applications.
+    assert mean_reduction("small", "opprox") > mean_reduction("small", "oracle") + 5.0
+    oracle_small_hits = sum(
+        1 for r in rows if r.budget_label == "small" and r.oracle_found_config
+    )
+    assert oracle_small_hits <= 2
+    # Every application gets some speedup from OPPROX at the small budget
+    # except at most one (the paper: improvements on all five).
+    opprox_small_hits = sum(
+        1
+        for r in rows
+        if r.budget_label == "small" and r.opprox_work_reduction > 1.0
+    )
+    assert opprox_small_hits >= 4
+    # Medium budget: OPPROX still ahead on average.
+    assert mean_reduction("medium", "opprox") >= mean_reduction("medium", "oracle") - 1.0
+    # Large budget: OPPROX reaches the paper's ~40% less-work range.
+    assert mean_reduction("large", "opprox") > 30.0
+    # The crossover: the oracle overtakes somewhere at the large budget
+    # (the paper sees this for Bodytrack and FFmpeg).
+    oracle_large_wins = sum(
+        1
+        for r in rows
+        if r.budget_label == "large"
+        and r.oracle_work_reduction > r.opprox_work_reduction
+    )
+    assert oracle_large_wins >= 2
+    # Budgets are honoured by OPPROX in at least 13 of the 15 runs
+    # (conservative models occasionally overshoot, as in the paper's
+    # Bodytrack-at-20% case).
+    within = sum(1 for r in rows if r.opprox_within_budget)
+    assert within >= 13

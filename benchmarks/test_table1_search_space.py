@@ -1,0 +1,47 @@
+"""Table 1 — input parameters, techniques, and search-space sizes."""
+
+from repro.eval.experiments import table1_search_space
+from repro.eval.reporting import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_table1_search_space(benchmark):
+    rows = run_once(benchmark, table1_search_space)
+
+    print(format_table(
+        ["app", "input parameters", "techniques", "settings/phase", "4-phase space", "inputs"],
+        [
+            [
+                r["app"],
+                ", ".join(r["input_parameters"]),
+                ", ".join(r["techniques"]),
+                r["settings_per_phase"],
+                r["search_space_4_phases"],
+                r["input_combinations"],
+            ]
+            for r in rows
+        ],
+        "Table 1 — applications, techniques, and approximation-setting spaces",
+    ))
+
+    by_app = {r["app"]: r for r in rows}
+    # Paper roster: 4 ABs for LULESH and Bodytrack, 3 for the rest.
+    assert by_app["lulesh"]["n_blocks"] == 4
+    assert by_app["bodytrack"]["n_blocks"] == 4
+    for name in ("comd", "ffmpeg", "pso"):
+        assert by_app[name]["n_blocks"] == 3
+    # Techniques per Table 1.
+    assert by_app["lulesh"]["techniques"] == [
+        "loop_perforation", "loop_truncation", "memoization",
+    ]
+    assert by_app["comd"]["techniques"] == ["loop_perforation", "loop_truncation"]
+    assert by_app["ffmpeg"]["techniques"] == ["loop_perforation", "memoization"]
+    assert by_app["bodytrack"]["techniques"] == [
+        "loop_perforation", "parameter_tuning",
+    ]
+    assert by_app["pso"]["techniques"] == ["loop_perforation", "memoization"]
+    # The four-block applications expose the largest per-phase spaces.
+    per_phase = {r["app"]: r["settings_per_phase"] for r in rows}
+    assert per_phase["lulesh"] == max(per_phase.values())
+    assert all(per_phase[a] >= 96 for a in per_phase)

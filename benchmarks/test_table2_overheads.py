@@ -1,0 +1,34 @@
+"""Table 2 — training and optimization time vs phase granularity."""
+
+from repro.eval.experiments import table2_overheads
+from repro.eval.reporting import format_table
+
+from benchmarks.conftest import run_once
+
+
+def test_table2_training_and_optimization_overheads(benchmark):
+    # PSO is the fastest benchmark; the scaling shape is what matters.
+    rows = run_once(benchmark, table2_overheads, "pso", (1, 2, 4, 8))
+
+    print(format_table(
+        ["phases", "training s", "optimization s", "training samples"],
+        [
+            [r["n_phases"], r["training_seconds"], r["optimization_seconds"], r["n_samples"]]
+            for r in rows
+        ],
+        "Table 2 — OPPROX overhead vs phase granularity (pso; paper: "
+        "training grows superlinearly with N, optimization stays small)",
+    ))
+
+    training = [r["training_seconds"] for r in rows]
+    optimization = [r["optimization_seconds"] for r in rows]
+    samples = [r["n_samples"] for r in rows]
+    # Training cost and sample count grow with the number of phases.
+    assert samples == sorted(samples)
+    assert training[-1] > training[0]
+    assert samples[-1] == 8 * samples[0]
+    # Optimization stays orders of magnitude below training, as in the
+    # paper (seconds vs minutes there; the ratio is the reproducible bit).
+    assert max(optimization) < max(training)
+    # 8-phase optimization is costlier than single-phase optimization.
+    assert optimization[-1] > optimization[0]

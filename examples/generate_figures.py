@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""Regenerate the paper's figures as SVG files under ``figures/``.
+
+Runs the same experiment drivers as the benchmark suite and renders each
+exhibit with the built-in SVG plotter (no plotting dependencies needed).
+Expect a few minutes: the Fig. 14 comparison trains OPPROX and runs the
+exhaustive oracle for all five applications.
+
+Run it with::
+
+    python examples/generate_figures.py [output_dir]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.apps import ALL_APPLICATIONS
+from repro.eval import experiments as exp
+from repro.eval.plots import Chart
+
+
+def fig2(out: Path) -> None:
+    sweep = exp.fig2_block_level_sweep("lulesh")
+    speedup = Chart("Fig. 2a — LULESH speedup vs approximation level",
+                    "approximation level", "speedup")
+    error = Chart("Fig. 2b — LULESH QoS degradation vs approximation level",
+                  "approximation level", "QoS degradation (%)")
+    for block, points in sweep.items():
+        levels = [p[0] for p in points]
+        speedup.add(block, levels, [p[1] for p in points], style="line")
+        error.add(block, levels, [p[2] for p in points], style="line")
+    speedup.save(out / "fig02a_lulesh_speedup.svg")
+    error.save(out / "fig02b_lulesh_qos.svg")
+
+
+def fig3(out: Path) -> None:
+    data = exp.fig3_iteration_variation("lulesh")
+    chart = Chart("Fig. 3 — LULESH outer-loop iterations under approximation",
+                  "random uniform setting #", "outer-loop iterations")
+    chart.add("approximate runs", range(len(data["iterations"])),
+              data["iterations"], style="bar")
+    chart.add("accurate run", [0, len(data["iterations"]) - 1],
+              [data["accurate_iterations"]] * 2, style="line")
+    chart.save(out / "fig03_lulesh_iterations.svg")
+
+
+def _phase_panels(out: Path, app: str, fig_prefix: str) -> None:
+    points = exp.phase_behaviour(app, None, 4, 12)
+    labels = ["phase-1", "phase-2", "phase-3", "phase-4", "All"]
+    qos = Chart(f"{fig_prefix} — {app} phase-specific QoS",
+                "", f"QoS ({'dB PSNR' if app == 'ffmpeg' else '% degradation'})",
+                x_categories=labels)
+    speed = Chart(f"{fig_prefix} — {app} phase-specific speedup",
+                  "", "speedup", x_categories=labels)
+    for index, label in enumerate(labels):
+        group = [p for p in points if p.phase == label]
+        xs = [index + (j - len(group) / 2) * 0.04 for j in range(len(group))]
+        qos.add(label, xs, [p.qos_value for p in group])
+        speed.add(label, xs, [p.speedup for p in group])
+    qos.save(out / f"{fig_prefix.split('.')[0].lower().replace(' ', '')}_{app}_qos.svg")
+    speed.save(out / f"{fig_prefix.split('.')[0].lower().replace(' ', '')}_{app}_speedup.svg")
+
+
+def fig11(out: Path) -> None:
+    for app in ("bodytrack", "lulesh"):
+        data = exp.fig11_granularity_sweep(app, (2, 4, 8), settings_per_phase=8)
+        chart = Chart(f"Fig. 11 — {app}: QoS vs phase granularity",
+                      "phase index (normalized position in run)",
+                      "mean QoS degradation (%)")
+        for n_phases, means in data.items():
+            positions = [(i + 0.5) / n_phases for i in range(n_phases)]
+            chart.add(f"{n_phases} phases", positions, means, style="line")
+        chart.save(out / f"fig11_{app}_granularity.svg")
+
+
+def fig12_13(out: Path) -> None:
+    for app in ALL_APPLICATIONS:
+        data = exp.fig12_13_model_predictions(app)
+        qos = Chart(f"Fig. 12 — {app}: QoS degradation prediction",
+                    "actual", "predicted")
+        qos.add("test samples", data["actual_degradation"],
+                data["predicted_degradation"])
+        lim = max(data["actual_degradation"] + data["predicted_degradation"] + [1.0])
+        qos.add("perfect", [0, lim], [0, lim], style="line")
+        qos.save(out / f"fig12_{app}_qos_prediction.svg")
+
+        speed = Chart(f"Fig. 13 — {app}: speedup prediction", "actual", "predicted")
+        speed.add("test samples", data["actual_speedup"], data["predicted_speedup"])
+        lo = min(data["actual_speedup"] + data["predicted_speedup"])
+        hi = max(data["actual_speedup"] + data["predicted_speedup"])
+        speed.add("perfect", [lo, hi], [lo, hi], style="line")
+        speed.save(out / f"fig13_{app}_speedup_prediction.svg")
+
+
+def fig14(out: Path) -> None:
+    rows = []
+    for app in ALL_APPLICATIONS:
+        rows.extend(exp.fig14_opprox_vs_oracle(app))
+    for label in ("small", "medium", "large"):
+        subset = [r for r in rows if r.budget_label == label]
+        chart = Chart(
+            f"Fig. 14 — {label} budget: OPPROX vs phase-agnostic oracle",
+            "", "% less work", x_categories=[r.app for r in subset],
+        )
+        chart.add("OPPROX", range(len(subset)),
+                  [r.opprox_work_reduction for r in subset], style="bar")
+        chart.add("oracle", range(len(subset)),
+                  [r.oracle_work_reduction for r in subset], style="bar")
+        chart.save(out / f"fig14_{label}_budget.svg")
+
+
+def main() -> None:
+    out = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("figures")
+    out.mkdir(parents=True, exist_ok=True)
+    print(f"writing SVGs to {out}/")
+    fig2(out)
+    print("  fig 2 done")
+    fig3(out)
+    print("  fig 3 done")
+    _phase_panels(out, "lulesh", "Fig. 4+5")
+    for app in ("comd", "pso", "bodytrack", "ffmpeg"):
+        _phase_panels(out, app, "Fig. 9+10")
+    print("  figs 4/5, 9/10 done")
+    fig11(out)
+    print("  fig 11 done")
+    fig12_13(out)
+    print("  figs 12/13 done")
+    fig14(out)
+    print("  fig 14 done")
+    print(f"{len(list(out.glob('*.svg')))} figures written")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""The paper's Section 2 walkthrough: phase-aware approximation of LULESH.
+
+Reproduces the motivating observations step by step:
+
+* per-block approximation levels trade accuracy for work (Fig. 2),
+* approximation can *inflate* the outer timestep loop (Fig. 3),
+* the same settings hurt far more in phase 1 than in phase 4 (Fig. 4/5),
+* OPPROX exploits this to hit tight error budgets that a phase-agnostic
+  configuration cannot (Sec. 2's 1.17x at 5%).
+
+Run it with::
+
+    python examples/lulesh_case_study.py
+"""
+
+from repro import AccuracySpec, ApproxSchedule, Opprox, make_app
+from repro.instrument import Profiler
+
+
+def main() -> None:
+    app = make_app("lulesh")
+    profiler = Profiler(app)
+    params = app.default_params()
+    golden = profiler.golden(params)
+    print(
+        f"LULESH accurate run: {golden.iterations} outer-loop iterations, "
+        f"{golden.total_work:.0f} work units"
+    )
+
+    # -- Fig. 2: per-block sensitivity --------------------------------------
+    print("\nPer-block level sweep (approximating one block everywhere):")
+    plan = app.make_plan(params, 1)
+    for block in app.blocks:
+        line = [f"{block.name} ({block.technique.value})"]
+        for level in (1, 3, 5):
+            run = profiler.measure(
+                params, ApproxSchedule.uniform(app.blocks, plan, {block.name: level})
+            )
+            line.append(f"L{level}: S={run.speedup:.2f} dQoS={run.qos_value:.1f}%")
+        print("  " + "  ".join(line))
+
+    # -- Fig. 3: iteration-count drift ---------------------------------------
+    aggressive = ApproxSchedule.uniform(
+        app.blocks, plan, {b.name: 3 for b in app.blocks}
+    )
+    run = profiler.measure(params, aggressive)
+    print(
+        f"\nAggressive uniform approximation: {run.iterations} iterations "
+        f"(accurate: {golden.iterations}) — approximations can delay the "
+        "Courant-condition stabilization, as the paper's 921 -> 965."
+    )
+
+    # -- Fig. 4/5: phase-specific behaviour ---------------------------------
+    print("\nSame settings applied to one phase at a time (4 phases):")
+    plan4 = app.make_plan(params, 4)
+    levels = {b.name: 3 for b in app.blocks}
+    for phase in range(4):
+        run = profiler.measure(
+            params, ApproxSchedule.single_phase(app.blocks, plan4, phase, levels)
+        )
+        print(
+            f"  phase {phase + 1}: speedup {run.speedup:.3f}, "
+            f"QoS degradation {run.qos_value:.2f}%"
+        )
+
+    # -- Sec. 2's optimization result -----------------------------------------
+    print("\nTraining OPPROX on LULESH (this profiles a few hundred runs)...")
+    opprox = Opprox(
+        app,
+        AccuracySpec.for_app(app, max_inputs=4),
+        profiler=profiler,
+        n_phases=4,
+        joint_samples_per_phase=24,
+        confidence_p=0.97,
+        interaction_margin=0.7,
+    )
+    report = opprox.train()
+    print(f"  {report.n_samples} training samples, {report.training_seconds:.0f}s")
+    for budget in (20.0, 10.0, 5.0):
+        run = opprox.apply(params, budget)
+        print(
+            f"  budget {budget:4.0f}%: speedup {run.speedup:.2f} at "
+            f"{run.qos_value:.2f}% degradation "
+            "(paper: 1.28 / 1.21 / 1.17 for 20/10/5%)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Quickstart: train OPPROX on a benchmark and run under an error budget.
+
+This walks the full paper workflow on the PSO benchmark (the fastest):
+
+1. pick the application and an accuracy specification,
+2. train offline (phase discovery + profiling + model fitting),
+3. ask for phase-specific approximation settings under a QoS budget,
+4. run the application with those settings and inspect the outcome.
+
+Run it with::
+
+    python examples/quickstart.py
+"""
+
+from repro import AccuracySpec, Opprox, make_app
+
+
+def main() -> None:
+    app = make_app("pso")
+    print(f"application: {app.name}")
+    print(f"approximable blocks: {[b.name for b in app.blocks]}")
+    print(f"input parameters: {[p.name for p in app.parameters]}")
+
+    # (1) accuracy specification: representative inputs + error budget.
+    spec = AccuracySpec.for_app(app, max_inputs=4, error_budget=10.0)
+    print(f"training inputs: {len(spec.training_inputs)}")
+
+    # (2) offline training.  n_phases=None would run Algorithm 1; we pin
+    # it to 4 to match the paper's evaluation setting.
+    opprox = Opprox(app, spec, n_phases=4, joint_samples_per_phase=12)
+    report = opprox.train()
+    print(
+        f"trained on {report.n_samples} profiled runs "
+        f"({report.n_control_flows} control flow(s), "
+        f"{report.training_seconds:.1f}s)"
+    )
+
+    # (3) optimize for a production input under several budgets.
+    params = app.default_params()
+    for budget in (20.0, 10.0, 5.0):
+        result = opprox.optimize(params, error_budget=budget)
+        print(f"\nbudget {budget:.0f}% -> schedule:")
+        for line in result.schedule.describe():
+            print(f"  {line}")
+        print(
+            f"  predicted: speedup {result.predicted_speedup:.3f}, "
+            f"QoS degradation {result.predicted_degradation:.2f}"
+        )
+
+        # (4) actually run it.
+        run = opprox.profiler.measure(params, result.schedule)
+        print(
+            f"  measured:  speedup {run.speedup:.3f} "
+            f"({run.work_reduction_percent:.1f}% less work), "
+            f"QoS degradation {run.qos_value:.2f}{app.metric.unit}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""OPPROX reproduction: phase-aware optimization in approximate computing.
+
+Reimplementation of S. Mitra, M. K. Gupta, S. Misailovic, S. Bagchi,
+"Phase-Aware Optimization in Approximate Computing" (CGO 2017), with
+Python substrates for all five benchmarks (LULESH, CoMD, FFmpeg,
+Bodytrack, PSO).
+
+Quickstart::
+
+    from repro import AccuracySpec, Opprox, make_app
+
+    app = make_app("pso")
+    opprox = Opprox(app, AccuracySpec.for_app(app, max_inputs=4))
+    opprox.train()
+    run = opprox.apply(app.default_params(), error_budget=10.0)
+    print(run.speedup, run.qos_value)
+"""
+
+from repro.approx import ApproxSchedule, ApproximableBlock, PhasePlan, Technique
+from repro.apps import ALL_APPLICATIONS, Application, make_app
+from repro.core import AccuracySpec, ModelStore, Opprox, OptimizationResult, submit_job
+from repro.instrument import ExecutionRecord, MeasuredRun, Profiler
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_APPLICATIONS",
+    "AccuracySpec",
+    "Application",
+    "ApproxSchedule",
+    "ApproximableBlock",
+    "ExecutionRecord",
+    "MeasuredRun",
+    "ModelStore",
+    "Opprox",
+    "OptimizationResult",
+    "PhasePlan",
+    "Profiler",
+    "Technique",
+    "__version__",
+    "make_app",
+    "submit_job",
+]

@@ -1,0 +1,29 @@
+"""Approximation-transformation framework.
+
+An application exposes *approximable blocks* (ABs); each AB is driven by
+one of the paper's four transformation techniques (loop perforation,
+loop truncation, memoization, parameter tuning) and a discrete
+*approximation level* (AL) knob.  A :class:`~repro.approx.schedule.ApproxSchedule`
+assigns one AL per (phase, AB) pair, which is the object OPPROX's
+optimizer ultimately produces.
+"""
+
+from repro.approx.knobs import ApproximableBlock, Technique
+from repro.approx.schedule import ApproxSchedule, PhasePlan
+from repro.approx.techniques import (
+    computed_indices,
+    memoization_plan,
+    scaled_parameter,
+    work_fraction,
+)
+
+__all__ = [
+    "ApproxSchedule",
+    "ApproximableBlock",
+    "PhasePlan",
+    "Technique",
+    "computed_indices",
+    "memoization_plan",
+    "scaled_parameter",
+    "work_fraction",
+]

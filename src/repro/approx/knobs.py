@@ -1,0 +1,62 @@
+"""Approximable-block descriptors and their tunable knobs (Sec. 3.1).
+
+Each block names a compute-intensive kernel that survived sensitivity
+profiling, the transformation technique applied to it, and the number of
+discrete approximation levels its knob exposes (level 0 is always the
+accurate execution; the paper uses 4-8 levels per block).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Tuple
+
+__all__ = ["ApproximableBlock", "Technique"]
+
+
+class Technique(str, Enum):
+    """The four transformation techniques analyzed in the paper."""
+
+    PERFORATION = "loop_perforation"
+    TRUNCATION = "loop_truncation"
+    MEMOIZATION = "memoization"
+    PARAMETER = "parameter_tuning"
+
+
+@dataclass(frozen=True)
+class ApproximableBlock:
+    """A tunable kernel: name, technique, and knob range.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in call-context logs and schedules (e.g.
+        ``forces_on_elements``).
+    technique:
+        Which transformation drives the block.
+    max_level:
+        Largest approximation level; the knob ranges over
+        ``0..max_level`` inclusive, 0 meaning exact execution.
+    """
+
+    name: str
+    technique: Technique
+    max_level: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("approximable block needs a non-empty name")
+        if self.max_level < 1:
+            raise ValueError(
+                f"block {self.name!r}: max_level must be >= 1, got {self.max_level}"
+            )
+
+    @property
+    def levels(self) -> Tuple[int, ...]:
+        """All valid knob settings, 0 (exact) through ``max_level``."""
+        return tuple(range(self.max_level + 1))
+
+    @property
+    def n_levels(self) -> int:
+        return self.max_level + 1

@@ -1,0 +1,188 @@
+"""Phase plans and per-phase approximation schedules.
+
+A :class:`PhasePlan` splits the outer loop's nominal iteration count into
+``N`` contiguous, (almost) equal phases — the paper adds the remainder to
+the final phase.  An :class:`ApproxSchedule` then assigns one
+approximation level per (phase, block); this is both what the profiler
+sweeps during training and what the optimizer emits at the end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+from repro.approx.knobs import ApproximableBlock
+
+__all__ = ["ApproxSchedule", "PhasePlan"]
+
+
+@dataclass(frozen=True)
+class PhasePlan:
+    """Contiguous split of ``nominal_iterations`` into ``n_phases`` phases."""
+
+    nominal_iterations: int
+    n_phases: int
+
+    def __post_init__(self) -> None:
+        if self.n_phases < 1:
+            raise ValueError(f"n_phases must be >= 1, got {self.n_phases}")
+        if self.nominal_iterations < self.n_phases:
+            raise ValueError(
+                f"cannot split {self.nominal_iterations} iterations into "
+                f"{self.n_phases} phases"
+            )
+
+    @property
+    def boundaries(self) -> Tuple[int, ...]:
+        """Start iteration of each phase (phase p covers [b[p], b[p+1]))."""
+        base = self.nominal_iterations // self.n_phases
+        return tuple(p * base for p in range(self.n_phases))
+
+    def phase_of(self, iteration: int) -> int:
+        """Phase index for an outer-loop iteration.
+
+        Iterations at or past the nominal count (a convergence loop that
+        ran long) belong to the final phase, matching the paper's
+        remainder rule.
+        """
+        if iteration < 0:
+            raise ValueError(f"iteration must be non-negative, got {iteration}")
+        base = self.nominal_iterations // self.n_phases
+        return min(iteration // base, self.n_phases - 1)
+
+    def phase_length(self, phase: int) -> int:
+        if not 0 <= phase < self.n_phases:
+            raise ValueError(f"phase {phase} outside [0, {self.n_phases})")
+        base = self.nominal_iterations // self.n_phases
+        if phase < self.n_phases - 1:
+            return base
+        return self.nominal_iterations - base * (self.n_phases - 1)
+
+
+class ApproxSchedule:
+    """Per-phase approximation levels for every approximable block.
+
+    ``settings[phase][block_name] -> level``.  Blocks omitted from a
+    phase's mapping run exactly (level 0).
+    """
+
+    def __init__(
+        self,
+        blocks: Sequence[ApproximableBlock],
+        plan: PhasePlan,
+        settings: Sequence[Mapping[str, int]],
+    ):
+        if len(settings) != plan.n_phases:
+            raise ValueError(
+                f"schedule has {len(settings)} phase settings but the plan "
+                f"has {plan.n_phases} phases"
+            )
+        self.blocks: Tuple[ApproximableBlock, ...] = tuple(blocks)
+        self.plan = plan
+        self._by_name: Dict[str, ApproximableBlock] = {b.name: b for b in self.blocks}
+        if len(self._by_name) != len(self.blocks):
+            raise ValueError("duplicate block names in schedule")
+        normalized = []
+        for phase, mapping in enumerate(settings):
+            phase_levels: Dict[str, int] = {}
+            for name, level in mapping.items():
+                block = self._by_name.get(name)
+                if block is None:
+                    raise ValueError(f"unknown block {name!r} in phase {phase}")
+                if not 0 <= level <= block.max_level:
+                    raise ValueError(
+                        f"level {level} for block {name!r} outside "
+                        f"[0, {block.max_level}]"
+                    )
+                phase_levels[name] = int(level)
+            normalized.append(phase_levels)
+        self._settings: Tuple[Dict[str, int], ...] = tuple(normalized)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def exact(
+        cls, blocks: Sequence[ApproximableBlock], plan: PhasePlan
+    ) -> "ApproxSchedule":
+        """Fully accurate execution (all levels zero)."""
+        return cls(blocks, plan, [{} for _ in range(plan.n_phases)])
+
+    @classmethod
+    def uniform(
+        cls,
+        blocks: Sequence[ApproximableBlock],
+        plan: PhasePlan,
+        levels: Mapping[str, int],
+    ) -> "ApproxSchedule":
+        """Same levels in every phase — the phase-agnostic configuration."""
+        return cls(blocks, plan, [dict(levels) for _ in range(plan.n_phases)])
+
+    @classmethod
+    def single_phase(
+        cls,
+        blocks: Sequence[ApproximableBlock],
+        plan: PhasePlan,
+        phase: int,
+        levels: Mapping[str, int],
+    ) -> "ApproxSchedule":
+        """Approximate only in ``phase``; all other phases run exactly."""
+        if not 0 <= phase < plan.n_phases:
+            raise ValueError(f"phase {phase} outside [0, {plan.n_phases})")
+        settings: list = [{} for _ in range(plan.n_phases)]
+        settings[phase] = dict(levels)
+        return cls(blocks, plan, settings)
+
+    # -- queries -----------------------------------------------------------
+
+    def level(self, block_name: str, iteration: int) -> int:
+        """Approximation level for ``block_name`` at an outer iteration."""
+        if block_name not in self._by_name:
+            raise ValueError(f"unknown block {block_name!r}")
+        phase = self.plan.phase_of(iteration)
+        return self._settings[phase].get(block_name, 0)
+
+    def phase_levels(self, phase: int) -> Dict[str, int]:
+        """Levels for all blocks in ``phase`` (0 for unset blocks)."""
+        if not 0 <= phase < self.plan.n_phases:
+            raise ValueError(f"phase {phase} outside [0, {self.plan.n_phases})")
+        return {b.name: self._settings[phase].get(b.name, 0) for b in self.blocks}
+
+    @property
+    def is_exact(self) -> bool:
+        return all(
+            level == 0 for phase in self._settings for level in phase.values()
+        )
+
+    def key(self) -> Tuple:
+        """Hashable identity used by the measurement cache."""
+        return (
+            self.plan.nominal_iterations,
+            self.plan.n_phases,
+            tuple(
+                tuple(sorted(phase.items())) for phase in self._settings
+            ),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ApproxSchedule):
+            return NotImplemented
+        return self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __repr__(self) -> str:
+        phases = ", ".join(
+            f"p{i}={{{', '.join(f'{k}:{v}' for k, v in sorted(s.items()) if v)}}}"
+            for i, s in enumerate(self._settings)
+        )
+        return f"ApproxSchedule({phases or 'exact'})"
+
+    def describe(self) -> Iterable[str]:
+        """Readable per-phase lines, used by the runtime's job submitter."""
+        for phase in range(self.plan.n_phases):
+            levels = self.phase_levels(phase)
+            yield f"phase {phase}: " + ", ".join(
+                f"{name}={level}" for name, level in sorted(levels.items())
+            )

@@ -1,0 +1,168 @@
+"""Loop-level approximation techniques (Sec. 3.2 of the paper).
+
+The four techniques are expressed as *iteration plans*: given an inner
+loop of ``n`` iterations and an approximation level, which indices are
+actually computed, and (for memoization) which cached result the skipped
+indices reuse.  Applications consume these plans so that every kernel
+shares one audited implementation of the transformations.
+
+Level semantics follow the paper:
+
+* **Loop perforation** — ``for (i = 0; i < n; i += approx_level)``:
+  level ``k`` keeps every ``(k+1)``-th iteration (level 0 keeps all).
+* **Loop truncation** — drop the last iterations; we scale the drop so
+  that the maximum level removes half of the loop, keeping the knob
+  meaningful for the short inner loops of our Python substrates.
+* **Memoization** — ``if (i % approx_level == 0) compute else reuse``:
+  level ``k`` recomputes every ``(k+1)``-th iteration and reuses the most
+  recent computed result otherwise.
+* **Parameter tuning** — shrink an accuracy-controlling application
+  parameter toward a floor value as the level rises.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.approx.knobs import Technique
+
+__all__ = [
+    "CrossIterationMemo",
+    "computed_indices",
+    "memoization_plan",
+    "scaled_parameter",
+    "work_fraction",
+]
+
+
+def _validate(n: int, level: int, max_level: int) -> None:
+    if n < 0:
+        raise ValueError(f"loop length must be non-negative, got {n}")
+    if max_level < 1:
+        raise ValueError(f"max_level must be >= 1, got {max_level}")
+    if not 0 <= level <= max_level:
+        raise ValueError(f"level {level} outside [0, {max_level}]")
+
+
+@lru_cache(maxsize=4096)
+def _strided_base(n: int, step: int) -> np.ndarray:
+    """Cached ``arange(0, n, step)``; callers must not mutate the result."""
+    return np.arange(0, n, step)
+
+
+def perforated_indices(n: int, level: int, offset: int = 0) -> np.ndarray:
+    """Indices computed by a perforated loop at ``level``.
+
+    ``offset`` rotates the sampling pattern; kernels that re-run every
+    outer-loop iteration pass the iteration number so that different
+    elements are skipped each time (otherwise the same elements would
+    stay permanently stale, which is not how perforating a loop that is
+    re-entered each timestep behaves).
+    """
+    base = _strided_base(n, level + 1)
+    if offset == 0 or n == 0:
+        return base
+    return (base + offset) % n  # unsorted is fine for gather/scatter use
+
+
+def truncated_count(n: int, level: int, max_level: int) -> int:
+    """Iterations kept by a truncated loop; max level keeps half."""
+    dropped = int(round(n * level / (2 * max_level)))
+    return max(1, n - dropped) if n > 0 else 0
+
+
+def computed_indices(
+    technique: Technique, n: int, level: int, max_level: int, offset: int = 0
+) -> np.ndarray:
+    """Indices of inner-loop iterations that execute for real.
+
+    For memoization this returns the recomputed indices; use
+    :func:`memoization_plan` to learn which cached value the skipped
+    iterations consume.  ``offset`` rotates perforation patterns (see
+    :func:`perforated_indices`); truncation and memoization ignore it.
+    """
+    _validate(n, level, max_level)
+    if level == 0 or n == 0:
+        return _strided_base(n, 1)
+    if technique is Technique.PERFORATION:
+        return perforated_indices(n, level, offset)
+    if technique is Technique.TRUNCATION:
+        return _strided_base(truncated_count(n, level, max_level), 1)
+    if technique is Technique.MEMOIZATION:
+        return _strided_base(n, level + 1)
+    if technique is Technique.PARAMETER:
+        raise ValueError("parameter tuning does not produce an iteration plan")
+    raise ValueError(f"unknown technique {technique!r}")
+
+
+def memoization_plan(n: int, level: int, max_level: int) -> np.ndarray:
+    """Map each iteration to the index whose result it uses.
+
+    ``plan[i] == i`` for recomputed iterations, otherwise the most recent
+    recomputed index before ``i``.
+    """
+    _validate(n, level, max_level)
+    indices = np.arange(n)
+    if level == 0 or n == 0:
+        return indices
+    period = level + 1
+    return (indices // period) * period
+
+
+def scaled_parameter(
+    value: float, level: int, max_level: int, floor_fraction: float = 0.25
+) -> float:
+    """Parameter-tuning knob: shrink ``value`` linearly toward a floor.
+
+    Level 0 returns ``value`` unchanged; ``max_level`` returns
+    ``floor_fraction * value``.
+    """
+    _validate(1, level, max_level)
+    if not 0.0 < floor_fraction <= 1.0:
+        raise ValueError(f"floor_fraction must be in (0, 1], got {floor_fraction}")
+    fraction = 1.0 - (1.0 - floor_fraction) * (level / max_level)
+    return value * fraction
+
+
+class CrossIterationMemo:
+    """Memoization across *outer-loop* iterations.
+
+    Some kernels run once per outer iteration (LULESH's timestep
+    constraint, FFmpeg's edge filter, PSO's global-best scan); for these
+    the memoization technique caches the whole kernel result and
+    recomputes it only every ``level + 1`` outer iterations.  The level
+    is consulted per iteration, so phase boundaries can change it
+    mid-run: we recompute whenever the gap since the last fresh value
+    exceeds the *current* level.
+    """
+
+    def __init__(self) -> None:
+        self._last_computed: int | None = None
+
+    def should_compute(self, iteration: int, level: int) -> bool:
+        if iteration < 0:
+            raise ValueError(f"iteration must be non-negative, got {iteration}")
+        if level < 0:
+            raise ValueError(f"level must be non-negative, got {level}")
+        if self._last_computed is None or level == 0:
+            return True
+        return iteration - self._last_computed > level
+
+    def mark_computed(self, iteration: int) -> None:
+        self._last_computed = iteration
+
+    @property
+    def last_computed(self) -> int | None:
+        return self._last_computed
+
+
+def work_fraction(technique: Technique, n: int, level: int, max_level: int) -> float:
+    """Fraction of the exact loop's work the approximate loop performs."""
+    _validate(n, level, max_level)
+    if n == 0:
+        return 1.0
+    if technique is Technique.PARAMETER:
+        return scaled_parameter(1.0, level, max_level)
+    return len(computed_indices(technique, n, level, max_level)) / n

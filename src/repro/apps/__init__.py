@@ -1,0 +1,45 @@
+"""The paper's five benchmark applications, rebuilt as Python substrates.
+
+Each application preserves the computation pattern the paper relies on
+(outer-loop structure, approximation knobs, error-propagation dynamics);
+see DESIGN.md for the substitution rationale per benchmark.
+"""
+
+from repro.apps.base import Application, InputParameter, QoSMetric
+from repro.apps.bodytrack import Bodytrack
+from repro.apps.comd import CoMD
+from repro.apps.ffmpeg import FFmpeg
+from repro.apps.lulesh import Lulesh
+from repro.apps.pso import ParticleSwarm
+
+__all__ = [
+    "ALL_APPLICATIONS",
+    "Application",
+    "Bodytrack",
+    "CoMD",
+    "FFmpeg",
+    "InputParameter",
+    "Lulesh",
+    "ParticleSwarm",
+    "QoSMetric",
+    "make_app",
+]
+
+ALL_APPLICATIONS = ("lulesh", "comd", "ffmpeg", "bodytrack", "pso")
+
+
+def make_app(name: str) -> Application:
+    """Instantiate a benchmark by its canonical lower-case name."""
+    factories = {
+        "lulesh": Lulesh,
+        "comd": CoMD,
+        "ffmpeg": FFmpeg,
+        "bodytrack": Bodytrack,
+        "pso": ParticleSwarm,
+    }
+    try:
+        return factories[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown application {name!r}; choose from {sorted(factories)}"
+        ) from None

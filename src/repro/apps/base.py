@@ -1,0 +1,202 @@
+"""Application interface shared by the five benchmark substrates.
+
+An :class:`Application` declares its input-parameter space, its
+approximable blocks, and a QoS metric, and knows how to run itself under
+an :class:`~repro.approx.schedule.ApproxSchedule` while charging work to
+a :class:`~repro.instrument.counters.WorkMeter`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from itertools import product
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.approx.knobs import ApproximableBlock
+from repro.approx.schedule import ApproxSchedule, PhasePlan
+
+__all__ = ["Application", "InputParameter", "ParamsDict", "QoSMetric"]
+
+ParamsDict = Dict[str, float]
+
+
+@dataclass(frozen=True)
+class InputParameter:
+    """A named application input with its representative training values."""
+
+    name: str
+    values: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("parameter needs a non-empty name")
+        if len(self.values) < 1:
+            raise ValueError(f"parameter {self.name!r} needs at least one value")
+
+
+@dataclass(frozen=True)
+class QoSMetric:
+    """Application-specific quality metric (Sec. 3.1).
+
+    ``compute(golden, approximate)`` returns the raw metric value: a
+    percentage *degradation* (lower is better, 0 means exact) for most
+    applications, or PSNR in dB (higher is better) for FFmpeg.  The
+    ``to_degradation`` map converts raw values into a common
+    lower-is-better space used by the optimizer's budget arithmetic.
+    """
+
+    name: str
+    unit: str
+    higher_is_better: bool
+    compute: Callable[[np.ndarray, np.ndarray], float]
+    #: raw value representing a perfect result for higher-is-better
+    #: metrics (PSNR is capped here; exact runs report this ceiling).
+    ceiling: float = 0.0
+
+    def to_degradation(self, value: float) -> float:
+        """Map a raw metric value into lower-is-better degradation space.
+
+        For dB-scaled metrics (PSNR) the degradation is MSE-like:
+        ``10**((ceiling - value)/10) - 1``.  Unlike raw dB differences,
+        MSE-like degradations are *additive* across independent error
+        sources, which is what the optimizer's per-phase budget
+        arithmetic assumes.
+        """
+        if self.higher_is_better:
+            return max(0.0, 10.0 ** ((self.ceiling - value) / 10.0) - 1.0)
+        return max(0.0, value)
+
+    def from_degradation(self, degradation: float) -> float:
+        """Inverse of :meth:`to_degradation` (up to the clamp at perfect)."""
+        if self.higher_is_better:
+            import math
+
+            return self.ceiling - 10.0 * math.log10(1.0 + max(0.0, degradation))
+        return degradation
+
+    def satisfies(self, value: float, budget: float) -> bool:
+        """Does a raw metric value meet a raw budget (e.g. PSNR >= target)?"""
+        if self.higher_is_better:
+            return value >= budget
+        return value <= budget
+
+
+class Application(ABC):
+    """A benchmark with tunable approximable blocks.
+
+    Subclasses provide ``name``, ``blocks``, ``parameters``, ``metric``
+    and implement :meth:`_execute`, which runs the main computation under
+    a schedule and returns the output vector used by the QoS metric.
+    """
+
+    name: str
+    blocks: Tuple[ApproximableBlock, ...]
+    parameters: Tuple[InputParameter, ...]
+    metric: QoSMetric
+
+    def __init__(self) -> None:
+        self._exact_cache: Dict[Tuple, "ExecutionRecord"] = {}
+
+    # -- parameter helpers ---------------------------------------------------
+
+    def default_params(self) -> ParamsDict:
+        """Middle value of each parameter's representative range."""
+        return {p.name: p.values[len(p.values) // 2] for p in self.parameters}
+
+    def validate_params(self, params: ParamsDict) -> ParamsDict:
+        expected = {p.name for p in self.parameters}
+        given = set(params)
+        if given != expected:
+            raise ValueError(
+                f"{self.name}: expected parameters {sorted(expected)}, "
+                f"got {sorted(given)}"
+            )
+        return params
+
+    def training_inputs(self, limit: Optional[int] = None) -> Iterator[ParamsDict]:
+        """Cartesian product of representative parameter values."""
+        names = [p.name for p in self.parameters]
+        combos = product(*(p.values for p in self.parameters))
+        for i, combo in enumerate(combos):
+            if limit is not None and i >= limit:
+                return
+            yield dict(zip(names, combo))
+
+    def params_key(self, params: ParamsDict) -> Tuple[Tuple[str, float], ...]:
+        return tuple(sorted(params.items()))
+
+    def block(self, name: str) -> ApproximableBlock:
+        for candidate in self.blocks:
+            if candidate.name == name:
+                return candidate
+        raise ValueError(f"{self.name}: unknown block {name!r}")
+
+    def search_space_size(self, n_phases: int = 1) -> int:
+        """Number of distinct approximation settings (Table 1 column)."""
+        per_phase = 1
+        for blk in self.blocks:
+            per_phase *= blk.n_levels
+        return per_phase**n_phases
+
+    # -- execution ------------------------------------------------------------
+
+    @abstractmethod
+    def _execute(self, params: ParamsDict, schedule: ApproxSchedule, meter, log) -> np.ndarray:
+        """Run the main computation; return the output the QoS compares."""
+
+    def nominal_iterations(self, params: ParamsDict) -> int:
+        """Outer-loop iteration count of the *accurate* run for ``params``.
+
+        Phase boundaries are laid out against this count; convergence
+        loops obtain it from a cached exact run.
+        """
+        params = self.validate_params(dict(params))
+        return self._exact_record(params).iterations
+
+    def make_plan(self, params: ParamsDict, n_phases: int) -> PhasePlan:
+        return PhasePlan(self.nominal_iterations(params), n_phases)
+
+    def run(
+        self,
+        params: ParamsDict,
+        schedule: Optional[ApproxSchedule] = None,
+    ) -> "ExecutionRecord":
+        """Execute under ``schedule`` (None = exact) and record everything."""
+        params = self.validate_params(dict(params))
+        if schedule is None:
+            return self._exact_record(params)
+        return self._run_with(params, schedule)
+
+    def _exact_record(self, params: ParamsDict) -> "ExecutionRecord":
+        key = self.params_key(params)
+        if key not in self._exact_cache:
+            # A trivial 1-phase plan: every iteration maps to phase 0, so
+            # the exact run never needs to know its own length up front.
+            schedule = ApproxSchedule.exact(self.blocks, PhasePlan(1, 1))
+            self._exact_cache[key] = self._run_with(params, schedule)
+        return self._exact_cache[key]
+
+    def _run_with(self, params: ParamsDict, schedule: ApproxSchedule) -> "ExecutionRecord":
+        from repro.instrument.callcontext import CallContextLog, control_flow_signature
+        from repro.instrument.counters import WorkMeter
+        from repro.instrument.harness import ExecutionRecord
+
+        meter = WorkMeter()
+        log = CallContextLog()
+        output = self._execute(params, schedule, meter, log)
+        per_iteration = [
+            sum(meter.work_in_iteration(i).values()) for i in range(meter.iterations)
+        ]
+        return ExecutionRecord(
+            app_name=self.name,
+            params=dict(params),
+            output=np.asarray(output, dtype=float),
+            iterations=meter.iterations,
+            total_work=meter.total_work,
+            work_by_block=meter.work_by_block,
+            work_by_iteration=tuple(per_iteration),
+            signature=control_flow_signature(log),
+        )

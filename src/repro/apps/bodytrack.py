@@ -1,0 +1,214 @@
+"""Bodytrack substrate: annealed-particle-filter pose tracking.
+
+PARSEC's Bodytrack tracks a human body through multi-camera video with
+an annealed particle filter.  This substrate tracks a synthetic
+articulated pose (a vector of body-part magnitudes) through noisy
+observations with the same filter structure:
+
+* the outer loop enumerates (frame, annealing layer) pairs, so the
+  iteration count depends on the *number of annealing layers* input —
+  and, when the particle population collapses below ``min-particles``,
+  extra recovery iterations are inserted, reproducing the paper's "when
+  min-particles is small, the iteration count also depends on the ALs";
+* approximable blocks per Table 1 ("loop perforation, input-tuning"):
+  ``likelihood_eval`` (perforation over particles), ``image_features``
+  (perforation over observation features) and two parameter-tuning
+  knobs, ``annealing_layers_knob`` and ``particle_count_knob``;
+* tracking is sequential, so early-phase errors derail the particle
+  cloud and later frames inherit the drift, while late-phase errors stay
+  local (Sec. 5.1.1).
+
+QoS is the paper's: distortion of the estimated pose vectors with each
+component weighted proportionally to its magnitude, so larger body
+parts influence the metric more.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.approx.knobs import ApproximableBlock, Technique
+from repro.approx.schedule import ApproxSchedule
+from repro.approx.techniques import computed_indices, scaled_parameter
+from repro.apps.base import Application, InputParameter, ParamsDict, QoSMetric
+from repro.apps.seeding import stable_seed
+
+__all__ = ["Bodytrack"]
+
+_POSE_DIM = 8
+_OBS_DIM = 16
+_OBS_NOISE = 0.12
+_MIN_PARTICLE_FRACTION = 0.25
+_BASE_BETA = 0.5  # annealing inverse-temperature ramp
+
+
+def _weighted_pose_distortion(golden: np.ndarray, approx: np.ndarray) -> float:
+    """Magnitude-weighted pose distortion, in percent."""
+    golden = np.asarray(golden, dtype=float)
+    approx = np.asarray(approx, dtype=float)
+    if golden.shape != approx.shape:
+        return 200.0
+    weights = np.abs(golden)
+    denominator = float(np.sum(weights * np.abs(golden))) + 1e-12
+    distortion = float(np.sum(weights * np.abs(golden - approx))) / denominator
+    return float(min(200.0, distortion * 100.0))
+
+
+class Bodytrack(Application):
+    """Annealed particle filter over a synthetic articulated pose."""
+
+    name = "bodytrack"
+    blocks: Tuple[ApproximableBlock, ...] = (
+        ApproximableBlock("likelihood_eval", Technique.PERFORATION, 5),
+        ApproximableBlock("image_features", Technique.PERFORATION, 5),
+        ApproximableBlock("annealing_layers_knob", Technique.PARAMETER, 3),
+        ApproximableBlock("particle_count_knob", Technique.PARAMETER, 5),
+    )
+    parameters: Tuple[InputParameter, ...] = (
+        InputParameter("annealing_layers", (3.0, 4.0, 5.0)),
+        InputParameter("particles", (48.0, 64.0, 96.0)),
+        InputParameter("frames", (8.0, 12.0, 16.0)),
+    )
+    metric = QoSMetric(
+        name="pose_distortion",
+        unit="%",
+        higher_is_better=False,
+        compute=_weighted_pose_distortion,
+    )
+
+    def _true_pose(self, frame: int) -> np.ndarray:
+        """Smooth articulated trajectory; dimensions have varied scales."""
+        t = 0.32 * frame
+        scales = np.array([4.0, 3.2, 2.5, 1.8, 1.2, 0.8, 0.5, 0.3])[:_POSE_DIM]
+        phases = np.arange(_POSE_DIM) * 0.7
+        return scales * np.sin(t + phases) + 0.3 * scales * np.cos(2.1 * t + phases)
+
+    def _execute(self, params: ParamsDict, schedule: ApproxSchedule, meter, log) -> np.ndarray:
+        n_layers = int(params["annealing_layers"])
+        n_particles = int(params["particles"])
+        n_frames = int(params["frames"])
+        if min(n_layers, n_particles, n_frames) < 1:
+            raise ValueError("annealing_layers, particles and frames must be >= 1")
+        min_particles = max(4, int(n_particles * _MIN_PARTICLE_FRACTION))
+
+        rng = np.random.default_rng(
+            stable_seed(self.name, n_layers, n_particles, n_frames)
+        )
+        # Fixed random projection: the "camera" mapping pose -> features.
+        projection = np.random.default_rng(1234).normal(
+            0.0, 1.0, size=(_OBS_DIM, _POSE_DIM)
+        ) / np.sqrt(_POSE_DIM)
+
+        blk_like = self.blocks[0]
+        blk_feat = self.blocks[1]
+        blk_layers = self.blocks[2]
+        blk_particles = self.blocks[3]
+
+        cloud = np.tile(self._true_pose(0), (n_particles, 1))
+        cloud += rng.normal(0.0, 0.3, size=cloud.shape)
+        weights = np.full(n_particles, 1.0 / n_particles)
+        features = np.zeros(_OBS_DIM)
+        estimates = np.empty((n_frames, _POSE_DIM))
+
+        iteration = 0
+        for frame in range(n_frames):
+            observation = projection @ self._true_pose(frame) + rng.normal(
+                0.0, _OBS_NOISE, size=_OBS_DIM
+            )
+            # Parameter knobs are consulted at the frame's first iteration;
+            # reading and applying them is (cheap, but real) work.
+            layers_level = schedule.level("annealing_layers_knob", iteration)
+            particles_level = schedule.level("particle_count_knob", iteration)
+            log.record(iteration, "annealing_layers_knob")
+            log.record(iteration, "particle_count_knob")
+            meter.charge("annealing_layers_knob", 1.0)
+            meter.charge("particle_count_knob", 1.0)
+            eff_layers = max(
+                1,
+                int(round(scaled_parameter(n_layers, layers_level, blk_layers.max_level, 0.55))),
+            )
+            eff_particles = max(
+                min_particles,
+                int(round(scaled_parameter(
+                    n_particles, particles_level, blk_particles.max_level, 0.45
+                ))),
+            )
+
+            recovery_done = False
+            layer = 0
+            while layer < eff_layers:
+                meter.begin_iteration(iteration)
+                beta = _BASE_BETA * (layer + 1) / eff_layers
+
+                # -- image_features (perforation over feature dims) ---------
+                level = schedule.level("image_features", iteration)
+                log.record(iteration, "image_features")
+                dims = computed_indices(
+                    blk_feat.technique, _OBS_DIM, level,
+                    blk_feat.max_level, offset=iteration,
+                )
+                features[dims] = observation[dims]  # stale dims keep old frame
+                meter.charge("image_features", float(len(dims)))
+
+                # -- likelihood_eval (perforation over particles) ------------
+                level = schedule.level("likelihood_eval", iteration)
+                log.record(iteration, "likelihood_eval")
+                active = cloud[:eff_particles]
+                evaluated = computed_indices(
+                    blk_like.technique, eff_particles, level,
+                    blk_like.max_level, offset=iteration,
+                )
+                residual = active[evaluated] @ projection.T - features
+                log_like = -beta * np.sum(residual**2, axis=1) / (2.0 * _OBS_NOISE**2 * _OBS_DIM)
+                fresh = np.exp(log_like - np.max(log_like))
+                new_weights = weights[:eff_particles].copy()
+                new_weights[evaluated] = fresh
+                total = float(np.sum(new_weights))
+                if total <= 0.0 or not np.isfinite(total):
+                    new_weights[:] = 1.0 / eff_particles
+                else:
+                    new_weights /= total
+                meter.charge("likelihood_eval", float(len(evaluated) * _OBS_DIM))
+
+                # -- resample + anneal (exact part of the filter) ------------
+                survivors = self._systematic_resample(new_weights, rng)
+                cloud[:eff_particles] = active[survivors]
+                temperature = 0.12 * (1.0 - layer / max(1, eff_layers))
+                # Full-size draw keeps the random stream identical across
+                # approximation settings (smoother config -> QoS map).
+                perturbation = rng.normal(0.0, 1.0, size=(n_particles, _POSE_DIM))
+                cloud[:eff_particles] += (0.03 + temperature) * perturbation[:eff_particles]
+                weights[:eff_particles] = 1.0 / eff_particles
+                # Resampling plus the non-approximable image pipeline
+                # (undistort, background subtraction) dominate outside
+                # the likelihood kernel, bounding achievable speedup.
+                meter.charge_overhead(float(eff_particles + 10 * _OBS_DIM))
+
+                # Invalid-model path: if the effective sample size of the
+                # fresh weights collapsed below min-particles, insert one
+                # recovery iteration for this frame (iteration count then
+                # depends on the ALs, as the paper observes).
+                ess = 1.0 / float(np.sum(new_weights**2))
+                iteration += 1
+                layer += 1
+                if ess < min_particles and not recovery_done and layer >= eff_layers:
+                    recovery_done = True
+                    layer -= 1  # re-run the final layer once more
+
+            estimate = np.mean(cloud[:eff_particles], axis=0)
+            estimates[frame] = estimate
+            # Re-seed the cloud around the estimate for the next frame.
+            cloud[eff_particles:] = estimate
+
+        return estimates.ravel()
+
+    @staticmethod
+    def _systematic_resample(weights: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Systematic resampling: O(n), low-variance, deterministic given rng."""
+        n = len(weights)
+        positions = (rng.random() + np.arange(n)) / n
+        cumulative = np.cumsum(weights)
+        cumulative[-1] = 1.0  # guard against round-off
+        return np.searchsorted(cumulative, positions)

@@ -1,0 +1,194 @@
+"""CoMD substrate: classical molecular-dynamics proxy (Lennard-Jones).
+
+CoMD evaluates forces on every atom and integrates Newtonian equations
+of motion with a fixed number of timesteps.  This substrate is a 2-D
+Lennard-Jones crystal in a periodic box integrated with velocity Verlet.
+It preserves what the paper uses CoMD for:
+
+* a classic timestep loop whose iteration count is an **input parameter**
+  and independent of approximation levels (unlike LULESH);
+* early-phase force errors displace atoms and "create a ripple effect
+  during the rest of the simulation", while late-phase errors have
+  little time to propagate (Sec. 5.1.1);
+* three approximable kernels — ``force_computation`` (loop perforation
+  over atoms), ``velocity_update`` (loop truncation over atoms) and
+  ``position_update`` (loop perforation over atoms) — matching Table 1's
+  "loop perforation, loop truncate" for CoMD.
+
+QoS is the paper's: the difference in per-atom potential and kinetic
+energy against the accurate run, averaged across atoms (reported as a
+percentage of the accurate energy scale).  We report *time-averaged*
+(thermodynamic) per-atom energies — the standard MD observable — which
+keeps the metric smooth despite the chaotic microscopic dynamics.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.approx.knobs import ApproximableBlock, Technique
+from repro.approx.schedule import ApproxSchedule
+from repro.approx.techniques import computed_indices
+from repro.apps.base import Application, InputParameter, ParamsDict, QoSMetric
+from repro.apps.seeding import stable_seed
+
+__all__ = ["CoMD"]
+
+_DT = 0.008
+_CUTOFF = 2.5
+_SPEED_CAP = 5.0  # guardrail against approximation-induced blow-ups
+_TEMPERATURE = 0.25  # initial kinetic energy: liquid regime, chaotic mixing
+
+
+def _energy_difference(golden: np.ndarray, approx: np.ndarray) -> float:
+    """Mean |energy difference| over mean |golden energy|, in percent."""
+    golden = np.asarray(golden, dtype=float)
+    approx = np.asarray(approx, dtype=float)
+    if golden.shape != approx.shape:
+        return 200.0
+    distortion = np.mean(np.abs(golden - approx)) / (np.mean(np.abs(golden)) + 1e-12)
+    return float(min(200.0, distortion * 100.0))
+
+
+class CoMD(Application):
+    """2-D Lennard-Jones molecular dynamics with a fixed timestep loop."""
+
+    name = "comd"
+    blocks: Tuple[ApproximableBlock, ...] = (
+        ApproximableBlock("force_computation", Technique.PERFORATION, 5),
+        ApproximableBlock("velocity_update", Technique.TRUNCATION, 5),
+        ApproximableBlock("position_update", Technique.PERFORATION, 5),
+    )
+    parameters: Tuple[InputParameter, ...] = (
+        InputParameter("unit_cells", (3.0, 4.0, 5.0)),
+        InputParameter("lattice_parameter", (1.20, 1.26, 1.32)),
+        InputParameter("timesteps", (180.0, 240.0, 300.0)),
+    )
+    metric = QoSMetric(
+        name="energy_difference",
+        unit="%",
+        higher_is_better=False,
+        compute=_energy_difference,
+    )
+
+    def _execute(self, params: ParamsDict, schedule: ApproxSchedule, meter, log) -> np.ndarray:
+        n_cells = int(params["unit_cells"])
+        lattice = float(params["lattice_parameter"])
+        n_steps = int(params["timesteps"])
+        if n_cells < 2:
+            raise ValueError(f"unit_cells must be >= 2, got {n_cells}")
+        if n_steps < 1:
+            raise ValueError(f"timesteps must be >= 1, got {n_steps}")
+
+        n_atoms = n_cells * n_cells
+        box = n_cells * lattice
+
+        # Square lattice with a deterministic thermal velocity distribution.
+        grid = np.arange(n_cells) * lattice
+        positions = np.stack(
+            np.meshgrid(grid, grid, indexing="ij"), axis=-1
+        ).reshape(n_atoms, 2)
+        rng = np.random.default_rng(
+            stable_seed(self.name, n_cells, round(lattice * 1000), n_steps)
+        )
+        velocities = rng.normal(0.0, np.sqrt(_TEMPERATURE), size=(n_atoms, 2))
+        velocities -= velocities.mean(axis=0)  # zero net momentum
+
+        forces = np.zeros((n_atoms, 2))
+        pair_pe = np.zeros(n_atoms)
+        self._pairwise(positions, box, forces, pair_pe, np.arange(n_atoms))
+        pe_sum = np.zeros(n_atoms)
+        ke_sum = np.zeros(n_atoms)
+
+        blk_force = self.blocks[0]
+        blk_velocity = self.blocks[1]
+        blk_position = self.blocks[2]
+        half_dt = 0.5 * _DT
+
+        for step in range(n_steps):
+            meter.begin_iteration(step)
+
+            # -- velocity_update: first Verlet half-kick (exact part) -------
+            log.record(step, "velocity_update", "half_kick_1")
+            velocities += half_dt * forces
+            np.clip(velocities, -_SPEED_CAP, _SPEED_CAP, out=velocities)
+            meter.charge("velocity_update", float(n_atoms))
+
+            # -- position_update: drift (perforation over atoms) ------------
+            # Every atom drifts with its velocity; the perforated part is
+            # the second-order force correction, so skipped atoms take a
+            # slightly less accurate path that chaotic mixing amplifies.
+            level = schedule.level("position_update", step)
+            log.record(step, "position_update")
+            moved = computed_indices(
+                blk_position.technique, n_atoms, level,
+                blk_position.max_level, offset=step,
+            )
+            positions += _DT * velocities
+            positions[moved] += 0.5 * _DT * _DT * forces[moved]
+            positions %= box
+            meter.charge("position_update", float(len(moved)))
+
+            # -- force_computation (perforation over atoms) -----------------
+            # Skipped atoms keep the stale force from the last step they
+            # were computed on.
+            level = schedule.level("force_computation", step)
+            log.record(step, "force_computation")
+            forces_prev = forces.copy()
+            computed = computed_indices(
+                blk_force.technique, n_atoms, level,
+                blk_force.max_level, offset=step + 1,
+            )
+            self._pairwise(positions, box, forces, pair_pe, computed)
+            meter.charge("force_computation", float(len(computed) * n_atoms))
+
+            # -- velocity_update: second Verlet half-kick (truncation) ------
+            # Truncated tail atoms are kicked with the previous step's
+            # force instead of the fresh one — an O(dt^2) staleness error.
+            level = schedule.level("velocity_update", step)
+            log.record(step, "velocity_update", "half_kick_2")
+            kicked = computed_indices(
+                blk_velocity.technique, n_atoms, level, blk_velocity.max_level
+            )
+            velocities += half_dt * forces_prev
+            velocities[kicked] += half_dt * (forces[kicked] - forces_prev[kicked])
+            np.clip(velocities, -_SPEED_CAP, _SPEED_CAP, out=velocities)
+            meter.charge("velocity_update", float(len(kicked)))
+
+            # Accumulate the thermodynamic (time-averaged) energies the
+            # final report is based on.
+            pe_sum += pair_pe
+            ke_sum += 0.5 * np.sum(velocities**2, axis=1)
+
+        meter.charge_overhead(float(n_atoms))  # final energy reduction
+        steps_done = max(1, n_steps)
+        return np.concatenate([pe_sum / steps_done, ke_sum / steps_done])
+
+    @staticmethod
+    def _pairwise(
+        positions: np.ndarray,
+        box: float,
+        forces: np.ndarray,
+        pair_pe: np.ndarray,
+        atoms: np.ndarray,
+    ) -> None:
+        """Lennard-Jones forces and per-atom PE for ``atoms`` (in place).
+
+        Minimum-image convention in a periodic square box; interactions
+        beyond the cutoff are ignored.  Only the rows in ``atoms`` are
+        refreshed — the loop-perforation contract.
+        """
+        delta = positions[atoms, None, :] - positions[None, :, :]
+        delta -= box * np.round(delta / box)
+        r2 = np.sum(delta**2, axis=-1)
+        # Mask self-interaction and beyond-cutoff pairs.
+        np.putmask(r2, r2 < 1e-10, np.inf)
+        r2 = np.where(r2 > _CUTOFF**2, np.inf, r2)
+        inv_r2 = 1.0 / r2
+        inv_r6 = inv_r2**3
+        # F = 24 eps (2/r^13 - 1/r^7) r_hat ; PE = 4 eps (1/r^12 - 1/r^6)
+        magnitude = 24.0 * (2.0 * inv_r6**2 - inv_r6) * inv_r2
+        forces[atoms] = np.sum(magnitude[..., None] * delta, axis=1)
+        pair_pe[atoms] = 0.5 * np.sum(4.0 * (inv_r6**2 - inv_r6), axis=1)

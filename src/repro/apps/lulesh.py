@@ -1,0 +1,264 @@
+"""LULESH substrate: 1-D Lagrangian shock hydrodynamics (Sedov blast).
+
+The original LULESH solves the Sedov blast-wave problem on a 3-D
+unstructured mesh.  This substrate keeps every property OPPROX exercises
+on a 1-D staggered-grid Lagrangian scheme:
+
+* an outer *stabilization* loop whose timestep comes from a Courant
+  condition, so approximating internal kernels perturbs the state and
+  **changes the outer-loop iteration count** (the paper's 921 → 965
+  drift, Fig. 3);
+* four approximable kernels matching the paper's blocks —
+  ``forces_on_elements`` (loop perforation), ``position_of_elements``
+  (loop perforation), ``strain_of_elements`` (loop truncation) and
+  ``calculate_timeconstraints`` (memoization of the timestep);
+* early-phase approximation corrupts the developing shock front and the
+  error propagates to the final energies, while late-phase approximation
+  perturbs an almost-stable state (Sec. 2 of the paper);
+* input parameters *length of cube mesh* and *number of regions*, where
+  the region count alters the per-iteration call-context sequence
+  (material loops per region), giving the decision tree real
+  control-flow variation to learn.
+
+QoS is the paper's: relative difference in final per-element energy,
+averaged over elements, in percent.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.approx.knobs import ApproximableBlock, Technique
+from repro.approx.schedule import ApproxSchedule
+from repro.approx.techniques import CrossIterationMemo, computed_indices
+from repro.apps.base import Application, InputParameter, ParamsDict, QoSMetric
+
+__all__ = ["Lulesh"]
+
+_GAMMA = 1.4
+_CFL = 0.25
+_T_MIN = 0.30  # never declare stability before the blast has swept the mesh
+_T_MAX = 0.50  # hard cap for runs that never stabilize
+_Q_COEF = 1.5  # artificial-viscosity coefficient
+_DRAG = 16.0  # ambient drag: lets the flow stagnate ("stable state")
+_STABLE_SPEED = 0.18  # stability condition on RMS flow speed
+_SPEED_CAP = 40.0  # numerical guardrail against approximation blow-ups
+_MAX_ITER_FACTOR = 3  # safety bound relative to a nominal run
+# Work units per element, scaled to each kernel's per-element instruction
+# count (forces: EOS + viscosity; strain: volume/energy/density/EOS).
+_COST_FORCES = 6.0
+_COST_POSITION = 3.0
+_COST_STRAIN = 6.0
+_COST_TIMECONSTRAINT = 2.0
+
+
+def _relative_energy_difference(golden: np.ndarray, approx: np.ndarray) -> float:
+    """Energy distortion: mean |difference| over mean |golden|, percent.
+
+    This is the scaled-distortion form of the paper's default metric
+    (Rinard '06): normalizing by the aggregate energy keeps quiescent
+    far-field zones (energies ~1e-3) from dominating the percentage.
+    Saturated at 200% so diverged runs stay comparable.
+    """
+    golden = np.asarray(golden, dtype=float)
+    approx = np.asarray(approx, dtype=float)
+    if golden.shape != approx.shape:
+        return 200.0
+    distortion = np.mean(np.abs(golden - approx)) / (np.mean(np.abs(golden)) + 1e-12)
+    return float(min(200.0, distortion * 100.0))
+
+
+class Lulesh(Application):
+    """Sedov-style 1-D shock hydrodynamics with a Courant-driven loop."""
+
+    name = "lulesh"
+    blocks: Tuple[ApproximableBlock, ...] = (
+        ApproximableBlock("forces_on_elements", Technique.PERFORATION, 5),
+        ApproximableBlock("position_of_elements", Technique.PERFORATION, 5),
+        ApproximableBlock("strain_of_elements", Technique.TRUNCATION, 5),
+        ApproximableBlock("calculate_timeconstraints", Technique.MEMOIZATION, 5),
+    )
+    parameters: Tuple[InputParameter, ...] = (
+        InputParameter("mesh_length", (16.0, 24.0, 32.0)),
+        InputParameter("num_regions", (1.0, 2.0, 4.0)),
+    )
+    metric = QoSMetric(
+        name="energy_distortion",
+        unit="%",
+        higher_is_better=False,
+        compute=_relative_energy_difference,
+    )
+
+    def _execute(self, params: ParamsDict, schedule: ApproxSchedule, meter, log) -> np.ndarray:
+        n_zones = int(params["mesh_length"])
+        n_regions = max(1, int(params["num_regions"]))
+        if n_zones < 8:
+            raise ValueError(f"mesh_length must be >= 8, got {n_zones}")
+
+        # -- initial Sedov state: blast energy deposited at the origin of a
+        # spherically symmetric mesh (radial coordinate, volumes ~ r^3).
+        # Spherical geometry matters: the shock decelerates as it sweeps
+        # up mass, so the late execution phases are nearly quiescent —
+        # the property behind the paper's "phase-4 is almost free".
+        nodes = np.linspace(0.0, 1.0, n_zones + 1)
+        # Ambient acoustic field: small standing waves fill the far field
+        # so that no zone is trivially quiescent — stale far-field state
+        # costs accuracy at every approximation level, as in the full 3-D
+        # code where every element carries dynamics.
+        velocity = 0.12 * np.sin(6.0 * np.pi * nodes)
+        velocity[0] = 0.0
+        volume = (nodes[1:] ** 3 - nodes[:-1] ** 3) / 3.0
+        dx = np.diff(nodes)
+        density = np.ones(n_zones)
+        mass = density * volume
+        energy = np.full(n_zones, 5e-3)
+        energy[0] = 0.4 / mass[0]  # blast energy concentrated in zone 0
+        node_mass = np.empty(n_zones + 1)
+        node_mass[1:-1] = 0.5 * (mass[:-1] + mass[1:])
+        node_mass[0] = 0.5 * mass[0]
+        node_mass[-1] = 0.5 * mass[-1]
+        # Regions tile the mesh with slightly different EOS stiffness,
+        # mirroring LULESH's multi-material regions.
+        region_of_zone = (np.arange(n_zones) * n_regions) // n_zones
+        region_gamma = _GAMMA + 0.02 * np.arange(n_regions)
+        zone_gamma = region_gamma[region_of_zone]
+        region_zone_ids = [
+            np.nonzero(region_of_zone == region)[0] for region in range(n_regions)
+        ]
+
+        pressure = (zone_gamma - 1.0) * density * energy
+        viscosity = np.zeros(n_zones)
+        total_pressure = pressure + viscosity
+        force = np.zeros(n_zones + 1)
+
+        dt_memo = CrossIterationMemo()
+        dt = 1e-5
+        time = 0.0
+        iteration = 0
+        max_iterations = _MAX_ITER_FACTOR * max(250, 8 * n_zones)
+        peak_speed = np.inf  # RMS flow speed, updated each step
+
+        blk_forces = self.blocks[0]
+        blk_position = self.blocks[1]
+        blk_strain = self.blocks[2]
+
+        # Outer loop: iterate until the simulation reaches a stable state
+        # (peak flow speed under the stability threshold), mirroring
+        # LULESH's run-until-Courant-condition-is-met structure.
+        while (
+            (time < _T_MIN or peak_speed > _STABLE_SPEED)
+            and time < _T_MAX
+            and iteration < max_iterations
+        ):
+            meter.begin_iteration(iteration)
+
+            # -- calculate_timeconstraints (memoization) -------------------
+            level = schedule.level("calculate_timeconstraints", iteration)
+            log.record(iteration, "calculate_timeconstraints")
+            if dt_memo.should_compute(iteration, level):
+                sound = np.sqrt(
+                    zone_gamma * np.maximum(total_pressure, 1e-12)
+                    / np.maximum(density, 1e-12)
+                )
+                signal = sound + np.abs(velocity[1:] - velocity[:-1])
+                dt = _CFL * float(np.min(dx / np.maximum(signal, 1e-12)))
+                dt_memo.mark_computed(iteration)
+                meter.charge("calculate_timeconstraints", _COST_TIMECONSTRAINT * n_zones)
+            else:
+                # Stale timestep: reused as-is.  A stale dt can violate
+                # the Courant condition when the state stiffens, and that
+                # instability (not a safety shrink) is the real cost.
+                meter.charge("calculate_timeconstraints", 1.0)
+            dt = min(dt, _T_MAX - time)
+
+            # -- forces_on_elements (perforation, per material region) -----
+            level = schedule.level("forces_on_elements", iteration)
+            for region, zone_ids in enumerate(region_zone_ids):
+                log.record(iteration, "forces_on_elements", f"region{region}")
+                keep = computed_indices(
+                    blk_forces.technique, len(zone_ids), level,
+                    blk_forces.max_level, offset=iteration,
+                )
+                computed = zone_ids[keep]
+                compression = velocity[computed + 1] - velocity[computed]
+                q_term = np.where(
+                    compression < 0.0,
+                    _Q_COEF * density[computed] * compression**2,
+                    0.0,
+                )
+                total_pressure[computed] = pressure[computed] + q_term
+                meter.charge("forces_on_elements", _COST_FORCES * len(computed))
+
+            # Spherical force: pressure difference scaled by shell area r^2.
+            area = nodes[1:-1] ** 2
+            force[1:-1] = (total_pressure[:-1] - total_pressure[1:]) * area
+            force[0] = 0.0  # symmetry at the origin: velocity pinned below
+            force[-1] = (total_pressure[-1] - 1e-4) * nodes[-1] ** 2
+
+            # -- position_of_elements (perforation over nodes) --------------
+            # Perforation samples the node-update loop: accelerations are
+            # computed for the kept nodes only and *interpolated* for the
+            # skipped ones, so the error is a local smoothing artifact
+            # rather than a systematic slowdown of the whole flow.
+            level = schedule.level("position_of_elements", iteration)
+            log.record(iteration, "position_of_elements")
+            updated = computed_indices(
+                blk_position.technique, n_zones + 1, level,
+                blk_position.max_level, offset=iteration,
+            )
+            if len(updated) == n_zones + 1:
+                acceleration = force / node_mass
+            else:
+                sampled = np.sort(updated)
+                acceleration = np.interp(
+                    np.arange(n_zones + 1),
+                    sampled,
+                    force[sampled] / node_mass[sampled],
+                )
+            velocity += dt * acceleration
+            velocity *= max(0.0, 1.0 - _DRAG * dt)  # ambient drag -> stagnation
+            np.clip(velocity, -_SPEED_CAP, _SPEED_CAP, out=velocity)
+            velocity[0] = 0.0  # symmetry at the origin
+            nodes += dt * velocity
+            peak_speed = float(np.sqrt(np.mean(velocity**2)))
+            meter.charge("position_of_elements", _COST_POSITION * len(updated))
+
+            # -- strain_of_elements (truncation over zones) ------------------
+            level = schedule.level("strain_of_elements", iteration)
+            log.record(iteration, "strain_of_elements")
+            # Loop truncation drops the tail of the EOS sweep: truncated
+            # zones get only a cheap isentropic patch (density tracks the
+            # geometry, pressure scales as rho^gamma) and their energy
+            # stays stale — cheap, but wrong once the shock arrives.
+            refreshed = computed_indices(
+                blk_strain.technique, n_zones, level, blk_strain.max_level
+            )
+            new_volume = np.maximum(
+                (nodes[1:] ** 3 - nodes[:-1] ** 3) / 3.0, 1e-12
+            )
+            dvol = new_volume[refreshed] - volume[refreshed]
+            work_done = total_pressure[refreshed] * dvol
+            energy[refreshed] = np.maximum(
+                energy[refreshed] - work_done / mass[refreshed], 1e-8
+            )
+            n_kept = len(refreshed)
+            if n_kept < n_zones:
+                truncated = np.arange(n_kept, n_zones)
+                ratio = np.maximum(volume[truncated] / new_volume[truncated], 1e-6)
+                pressure[truncated] *= ratio ** zone_gamma[truncated]
+                meter.charge("strain_of_elements", 1.0 * (n_zones - n_kept))
+            density[:] = mass / new_volume
+            volume[:] = new_volume
+            dx = np.maximum(np.diff(nodes), 1e-6)
+            pressure[refreshed] = (
+                (zone_gamma[refreshed] - 1.0) * density[refreshed] * energy[refreshed]
+            )
+            meter.charge("strain_of_elements", _COST_STRAIN * n_kept)
+
+            time += dt
+            iteration += 1
+
+        meter.charge_overhead(float(n_zones))  # final energy report
+        return energy.copy()

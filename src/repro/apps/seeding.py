@@ -1,0 +1,20 @@
+"""Deterministic seeding for the benchmark substrates.
+
+Python's built-in ``hash`` is salted per process, which would make the
+applications produce different "random" initial conditions in every
+interpreter — breaking measurement caching and reproducibility.  This
+helper derives a stable 32-bit seed from the repr of its arguments.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["stable_seed"]
+
+
+def stable_seed(*parts: object) -> int:
+    """A process-independent 32-bit seed derived from ``parts``."""
+    text = "|".join(repr(part) for part in parts)
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=4).digest()
+    return int.from_bytes(digest, "big")

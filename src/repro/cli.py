@@ -1,0 +1,281 @@
+"""Command-line interface for the OPPROX reproduction.
+
+Mirrors the paper's deployment story (Sec. 4.2): models are trained
+offline and pickled; at submission time a runtime script loads them,
+optimizes for the requested budget, and launches the job with the
+phase-specific settings in environment variables.
+
+Subcommands::
+
+    python -m repro list-apps
+    python -m repro describe  --app lulesh
+    python -m repro train     --app pso --phases 4 --store models/
+    python -m repro optimize  --app pso --budget 10 --store models/
+    python -m repro run       --app pso --budget 10 --store models/
+    python -m repro oracle    --app pso --budget 10
+    python -m repro golden    --app pso
+
+Parameters default to each application's representative midpoint and can
+be overridden with repeated ``--param name=value`` flags.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.apps import ALL_APPLICATIONS, make_app
+from repro.core.opprox import Opprox
+from repro.core.runtime import ModelStore, submit_job
+from repro.core.spec import AccuracySpec
+from repro.eval.oracle import phase_agnostic_oracle
+from repro.instrument.harness import Profiler
+
+__all__ = ["build_parser", "main"]
+
+
+def _parse_params(app, overrides: Optional[Sequence[str]]) -> Dict[str, float]:
+    params = app.default_params()
+    for item in overrides or ():
+        if "=" not in item:
+            raise SystemExit(f"--param expects name=value, got {item!r}")
+        name, _, raw = item.partition("=")
+        if name not in params:
+            valid = ", ".join(sorted(params))
+            raise SystemExit(f"unknown parameter {name!r} (valid: {valid})")
+        try:
+            params[name] = float(raw)
+        except ValueError:
+            raise SystemExit(f"parameter {name!r} needs a numeric value, got {raw!r}")
+    return params
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OPPROX: phase-aware optimization in approximate computing",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-apps", help="list the benchmark applications")
+
+    def add_app_arg(p):
+        p.add_argument("--app", required=True, choices=ALL_APPLICATIONS)
+        p.add_argument(
+            "--param",
+            action="append",
+            metavar="NAME=VALUE",
+            help="override an input parameter (repeatable)",
+        )
+
+    describe = sub.add_parser("describe", help="show an application's knobs")
+    add_app_arg(describe)
+
+    golden = sub.add_parser("golden", help="run the accurate version")
+    add_app_arg(golden)
+
+    train = sub.add_parser("train", help="offline training; pickles the models")
+    add_app_arg(train)
+    train.add_argument("--store", default="models", help="model-store directory")
+    train.add_argument("--phases", type=int, default=None,
+                       help="phase count (default: Algorithm 1 decides)")
+    train.add_argument("--inputs", type=int, default=4,
+                       help="number of representative training inputs")
+    train.add_argument("--joint-samples", type=int, default=12,
+                       help="random joint samples per phase")
+    train.add_argument("--budget-policy", default="roi",
+                       choices=("roi", "uniform", "greedy", "sqrt-roi"))
+
+    optimize = sub.add_parser(
+        "optimize", help="find phase-specific settings for a budget"
+    )
+    add_app_arg(optimize)
+    optimize.add_argument("--store", default="models")
+    optimize.add_argument("--budget", type=float, required=True,
+                          help="error budget (percent, or PSNR floor in dB)")
+
+    run = sub.add_parser("run", help="optimize and execute (the runtime script)")
+    add_app_arg(run)
+    run.add_argument("--store", default="models")
+    run.add_argument("--budget", type=float, required=True)
+
+    oracle = sub.add_parser(
+        "oracle", help="phase-agnostic exhaustive-search baseline"
+    )
+    add_app_arg(oracle)
+    oracle.add_argument("--budget", type=float, required=True)
+    oracle.add_argument("--level-stride", type=int, default=1,
+                        help="thin the uniform level grid (1 = exhaustive)")
+
+    evaluate = sub.add_parser(
+        "evaluate",
+        help="the Fig. 14 comparison (OPPROX vs oracle) for one application",
+    )
+    add_app_arg(evaluate)
+    evaluate.add_argument("--phases", type=int, default=4)
+    evaluate.add_argument("--level-stride", type=int, default=1)
+
+    return parser
+
+
+# -- subcommand implementations ------------------------------------------------
+
+
+def _cmd_list_apps() -> int:
+    for name in ALL_APPLICATIONS:
+        app = make_app(name)
+        blocks = ", ".join(b.name for b in app.blocks)
+        print(f"{name:10s} metric={app.metric.name} ({app.metric.unit})  blocks: {blocks}")
+    return 0
+
+
+def _cmd_describe(args) -> int:
+    app = make_app(args.app)
+    print(f"application: {app.name}")
+    print(f"QoS metric:  {app.metric.name} [{app.metric.unit}] "
+          f"({'higher' if app.metric.higher_is_better else 'lower'} is better)")
+    print("input parameters:")
+    for parameter in app.parameters:
+        values = ", ".join(f"{v:g}" for v in parameter.values)
+        print(f"  {parameter.name}: representative values {values}")
+    print("approximable blocks:")
+    for block in app.blocks:
+        print(f"  {block.name}: {block.technique.value}, levels 0..{block.max_level}")
+    print(f"per-phase setting space: {app.search_space_size(1)}")
+    return 0
+
+
+def _cmd_golden(args) -> int:
+    app = make_app(args.app)
+    params = _parse_params(app, args.param)
+    record = app.run(params)
+    print(f"params:     {params}")
+    print(f"iterations: {record.iterations}")
+    print(f"work units: {record.total_work:.0f}")
+    for name, work in sorted(record.work_by_block.items()):
+        print(f"  {name}: {work:.0f}")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    app = make_app(args.app)
+    opprox = Opprox(
+        app,
+        AccuracySpec.for_app(app, max_inputs=args.inputs),
+        n_phases=args.phases,
+        joint_samples_per_phase=args.joint_samples,
+        budget_policy=args.budget_policy,
+    )
+    report = opprox.train()
+    store = ModelStore(Path(args.store))
+    path = store.save(opprox)
+    print(f"trained {app.name}: {report.n_samples} samples, "
+          f"{report.n_phases} phases, {report.n_control_flows} control flow(s), "
+          f"{report.training_seconds:.1f}s")
+    for signature, r2 in report.r2_by_flow.items():
+        label = signature[:40] + ("..." if len(signature) > 40 else "")
+        print(f"  flow {label!r}: "
+              + ", ".join(f"{k}={v:.2f}" for k, v in r2.items()))
+    print(f"models stored at {path}")
+    return 0
+
+
+def _cmd_optimize(args) -> int:
+    store = ModelStore(Path(args.store))
+    opprox = store.load(args.app)
+    params = _parse_params(opprox.app, args.param)
+    result = opprox.optimize(params, args.budget)
+    print(f"budget: {args.budget:g} {opprox.app.metric.unit}")
+    for line in result.schedule.describe():
+        print(line)
+    print(f"predicted speedup:     {result.predicted_speedup:.3f}")
+    print(f"predicted degradation: {result.predicted_degradation:.3f}")
+    print(f"optimization time:     {result.optimization_seconds * 1e3:.1f} ms")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    store = ModelStore(Path(args.store))
+    opprox = store.load(args.app)
+    params = _parse_params(opprox.app, args.param)
+    launch = submit_job(store, args.app, params, args.budget, opprox=opprox)
+    print("environment passed to the job:")
+    for key, value in sorted(launch.env.items()):
+        print(f"  {key}={value}")
+    run = launch.run
+    unit = opprox.app.metric.unit
+    print(f"speedup:  {run.speedup:.3f} ({run.work_reduction_percent:.1f}% less work)")
+    print(f"QoS:      {run.qos_value:.3f} {unit} (budget {args.budget:g} {unit})")
+    within = opprox.app.metric.satisfies(run.qos_value, args.budget)
+    print(f"within budget: {'yes' if within else 'NO'}")
+    return 0 if within else 3
+
+
+def _cmd_oracle(args) -> int:
+    app = make_app(args.app)
+    params = _parse_params(app, args.param)
+    profiler = Profiler(app)
+    result = phase_agnostic_oracle(
+        profiler, params, args.budget, level_stride=args.level_stride
+    )
+    print(f"configurations tried: {result.configurations_tried}")
+    if result.feasible:
+        levels = ", ".join(f"{k}={v}" for k, v in sorted(result.levels.items()))
+        print(f"best uniform setting: {levels}")
+        print(f"speedup: {result.speedup:.3f} "
+              f"({result.work_reduction_percent:.1f}% less work)")
+        print(f"QoS:     {result.qos_value:.3f} {app.metric.unit}")
+    else:
+        print("no uniform approximation satisfies the budget")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    from repro.eval.experiments import BUDGET_LEVELS, fig14_opprox_vs_oracle
+    from repro.eval.reporting import format_table
+
+    rows = fig14_opprox_vs_oracle(
+        args.app,
+        budgets=BUDGET_LEVELS[args.app],
+        n_phases=args.phases,
+        oracle_level_stride=args.level_stride,
+    )
+    print(format_table(
+        [
+            "budget", "value",
+            "opprox speedup", "opprox less-work %", "opprox qos", "within",
+            "oracle speedup", "oracle less-work %",
+        ],
+        [
+            [
+                r.budget_label, r.budget_value,
+                r.opprox_speedup, r.opprox_work_reduction, r.opprox_qos,
+                r.opprox_within_budget,
+                r.oracle_speedup, r.oracle_work_reduction,
+            ]
+            for r in rows
+        ],
+        f"OPPROX vs phase-agnostic oracle — {args.app}",
+    ))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list-apps": lambda: _cmd_list_apps(),
+        "describe": lambda: _cmd_describe(args),
+        "golden": lambda: _cmd_golden(args),
+        "train": lambda: _cmd_train(args),
+        "optimize": lambda: _cmd_optimize(args),
+        "run": lambda: _cmd_run(args),
+        "oracle": lambda: _cmd_oracle(args),
+        "evaluate": lambda: _cmd_evaluate(args),
+    }
+    return handlers[args.command]()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""OPPROX: the paper's phase-aware approximation optimizer.
+
+The pipeline mirrors Fig. 6 of the paper:
+
+1. :mod:`repro.core.phases` — find the phase granularity (Algorithm 1).
+2. :mod:`repro.core.sampling` — profile the instrumented application
+   over training inputs and approximation settings.
+3. :mod:`repro.core.controlflow` — predict input-dependent control flow
+   with a decision tree; models are trained per control flow.
+4. :mod:`repro.core.models` — polynomial-regression estimators for
+   outer-loop iterations, per-block local behaviour, and the two-step
+   overall speedup / QoS-degradation models, with MIC feature filtering
+   and empirical confidence intervals (:mod:`repro.core.confidence`).
+5. :mod:`repro.core.budget` + :mod:`repro.core.optimizer` — ROI-based
+   budget allocation across phases and the per-phase search
+   (Algorithm 2).
+
+:class:`repro.core.opprox.Opprox` is the facade tying it together, and
+:mod:`repro.core.runtime` provides the pickle model store and the
+job-submission shim the paper describes running in front of SLURM.
+"""
+
+from repro.core.budget import allocate_budget, normalized_rois, phase_roi, policy_weights
+from repro.core.canary import CanaryReport, train_with_canaries
+from repro.core.subdivide import SubdividedModel, fit_with_subdivision
+from repro.core.confidence import ConfidenceInterval
+from repro.core.opprox import Opprox, OptimizationResult
+from repro.core.phases import find_phase_count
+from repro.core.runtime import ModelStore, submit_job
+from repro.core.sampling import TrainingSample, TrainingSampler
+from repro.core.spec import AccuracySpec
+
+__all__ = [
+    "AccuracySpec",
+    "ConfidenceInterval",
+    "CanaryReport",
+    "ModelStore",
+    "SubdividedModel",
+    "train_with_canaries",
+    "fit_with_subdivision",
+    "policy_weights",
+    "Opprox",
+    "OptimizationResult",
+    "TrainingSample",
+    "TrainingSampler",
+    "allocate_budget",
+    "find_phase_count",
+    "normalized_rois",
+    "phase_roi",
+    "submit_job",
+]

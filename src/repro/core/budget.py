@@ -1,0 +1,102 @@
+"""ROI metric and phase-wise budget allocation (Sec. 3.8, Eq. 1).
+
+For each phase the *return on investment* is the mean, over that
+phase's training points, of speedup divided by QoS degradation.  The
+overall QoS budget is split across phases in proportion to normalized
+ROI; phases with a better speedup-per-degradation trade receive a larger
+share.  OPPROX treats this as a policy decision, so the allocation
+function accepts any ROI mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.sampling import TrainingSample
+
+__all__ = ["allocate_budget", "normalized_rois", "phase_roi"]
+
+_MIN_DEGRADATION = 1e-3  # avoids division blow-ups for error-free samples
+
+
+def phase_roi(samples: Iterable[TrainingSample], phase: int) -> float:
+    """Eq. 1: mean of S_i / dQoS_i over the phase's training points."""
+    ratios = [
+        s.speedup / max(s.degradation, _MIN_DEGRADATION)
+        for s in samples
+        if s.phase == phase
+    ]
+    if not ratios:
+        raise ValueError(f"no training samples for phase {phase}")
+    # The mean of speedup/degradation ratios is extremely heavy-tailed
+    # (error-free samples produce huge ratios); following the paper we
+    # keep the mean but clamp individual ratios to a sane ceiling.
+    clamped = np.minimum(ratios, 1e4)
+    return float(np.mean(clamped))
+
+
+def normalized_rois(rois: Dict[int, float]) -> Dict[int, float]:
+    """ROI values normalized to sum to one."""
+    if not rois:
+        raise ValueError("need at least one phase ROI")
+    if any(value < 0 for value in rois.values()):
+        raise ValueError("ROI values must be non-negative")
+    total = sum(rois.values())
+    if total <= 0:
+        return {phase: 1.0 / len(rois) for phase in rois}
+    return {phase: value / total for phase, value in rois.items()}
+
+
+def allocate_budget(budget: float, rois: Dict[int, float]) -> Dict[int, float]:
+    """Split ``budget`` across phases proportionally to normalized ROI."""
+    if budget < 0:
+        raise ValueError(f"budget must be non-negative, got {budget}")
+    shares = normalized_rois(rois)
+    return {phase: budget * share for phase, share in shares.items()}
+
+
+def rois_from_samples(
+    samples: Sequence[TrainingSample], n_phases: int
+) -> Dict[int, float]:
+    """Per-phase ROI dictionary for a full training set."""
+    return {phase: phase_roi(samples, phase) for phase in range(n_phases)}
+
+
+# ---------------------------------------------------------------------------
+# Allocation policies.  The paper describes ROI-proportional sharing and
+# notes "this is a policy decision ... OPPROX can accommodate other
+# policies"; these are the obvious alternatives, selectable through
+# :class:`~repro.core.opprox.Opprox`'s ``budget_policy`` knob and
+# compared in the budget-policy ablation benchmark.
+# ---------------------------------------------------------------------------
+
+
+def policy_weights(
+    policy: str, rois: Dict[int, float]
+) -> Dict[int, float]:
+    """Phase weights for a named allocation policy.
+
+    * ``"roi"`` — the paper's default: proportional to Eq. 1's ROI.
+    * ``"uniform"`` — equal share per phase.
+    * ``"greedy"`` — the whole budget offered to the highest-ROI phase
+      first (the others live off leftovers).
+    * ``"sqrt-roi"`` — proportional to sqrt(ROI): a hedge between
+      ``"roi"`` and ``"uniform"`` for heavy-tailed ROI estimates.
+    """
+    if not rois:
+        raise ValueError("need at least one phase ROI")
+    if policy == "roi":
+        return dict(rois)
+    if policy == "uniform":
+        return {phase: 1.0 for phase in rois}
+    if policy == "greedy":
+        best = max(rois, key=rois.get)
+        return {phase: (1.0 if phase == best else 1e-9) for phase in rois}
+    if policy == "sqrt-roi":
+        return {phase: float(np.sqrt(max(value, 0.0))) for phase, value in rois.items()}
+    raise ValueError(
+        f"unknown budget policy {policy!r}; "
+        "choose from roi, uniform, greedy, sqrt-roi"
+    )

@@ -1,0 +1,131 @@
+"""Canary-input training (the paper's Sec. 6 extension).
+
+The related-work discussion notes that OPPROX "can also benefit from
+using canary inputs [Laurenzano et al., PLDI'16] to more accurately
+model the phase-specific behaviors" — i.e. train on *scaled-down
+versions of the inputs* and transfer the models, cutting offline
+profiling cost.  :func:`train_with_canaries` implements that extension:
+
+1. derive a canary for each training input by shrinking every parameter
+   to its smallest representative value where that is cheaper,
+2. run the normal OPPROX training pipeline on the canaries,
+3. validate the transferred models against a handful of probe runs at
+   full scale and report the transfer error alongside the cost saved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.apps.base import Application, ParamsDict
+from repro.approx.schedule import ApproxSchedule
+from repro.core.opprox import Opprox
+from repro.core.spec import AccuracySpec, unique_params
+
+__all__ = ["CanaryReport", "canary_params", "train_with_canaries"]
+
+
+def canary_params(app: Application, params: ParamsDict) -> ParamsDict:
+    """The scaled-down twin of ``params``: every knob at its cheapest value.
+
+    "Cheapest" is the smallest representative value — for every
+    parameter in our benchmarks larger values mean more work (mesh
+    zones, atoms, frames, particles, timesteps), so the minimum is the
+    canary.  Categorical parameters (all representative values equal in
+    cost, e.g. FFmpeg's ``filter_order``) are left untouched when they
+    have exactly two values spanning 0/1 — shrinking those would change
+    the control flow rather than the scale.
+    """
+    canary = dict(params)
+    for parameter in app.parameters:
+        values = sorted(parameter.values)
+        is_binary_switch = len(values) == 2 and values == [0.0, 1.0]
+        if not is_binary_switch:
+            canary[parameter.name] = values[0]
+    return canary
+
+
+@dataclass(frozen=True)
+class CanaryReport:
+    """Outcome of canary training."""
+
+    opprox: Opprox
+    canary_inputs: List[ParamsDict]
+    training_seconds: float
+    #: mean absolute error of transferred speedup predictions on
+    #: full-scale probe runs
+    speedup_transfer_mae: float
+    #: mean absolute error of transferred degradation predictions
+    degradation_transfer_mae: float
+    probe_count: int
+
+
+def train_with_canaries(
+    app: Application,
+    spec: AccuracySpec,
+    probe_settings: int = 6,
+    seed: int = 0,
+    **opprox_kwargs,
+) -> CanaryReport:
+    """Train OPPROX on canary inputs and measure the transfer error.
+
+    ``opprox_kwargs`` are forwarded to :class:`~repro.core.opprox.Opprox`
+    (phase count, sampling volume, ...).  The returned report carries the
+    trained optimizer — its models answer queries for *full-scale*
+    parameters through the usual interface; the transfer MAEs tell the
+    caller how much accuracy the shortcut cost.
+    """
+    canaries = unique_params(
+        [canary_params(app, params) for params in spec.training_inputs]
+    )
+    canary_spec = AccuracySpec(
+        training_inputs=canaries, error_budget=spec.error_budget
+    )
+    opprox = Opprox(app, canary_spec, **opprox_kwargs)
+    report = opprox.train()
+
+    # Probe the transfer: predict full-scale behaviour with the canary
+    # models, then measure the truth.
+    rng = np.random.default_rng(seed)
+    full_params = spec.training_inputs[0]
+    models = opprox.models_for(full_params)
+    plan = app.make_plan(full_params, opprox.n_phases)
+    names = [b.name for b in app.blocks]
+    speedup_errors: List[float] = []
+    degradation_errors: List[float] = []
+    probes = 0
+    for _ in range(probe_settings):
+        levels: Dict[str, int] = {
+            block.name: int(rng.integers(0, block.max_level + 1))
+            for block in app.blocks
+        }
+        if not any(levels.values()):
+            continue
+        phase = int(rng.integers(0, opprox.n_phases))
+        run = opprox.profiler.measure(
+            full_params,
+            ApproxSchedule.single_phase(app.blocks, plan, phase, levels),
+        )
+        vector = np.array([[levels.get(n, 0) for n in names]], dtype=float)
+        predicted_speedup, predicted_degradation = models.predict_phase(
+            full_params, phase, vector, conservative=False
+        )
+        speedup_errors.append(abs(float(predicted_speedup[0]) - run.speedup))
+        degradation_errors.append(
+            abs(float(predicted_degradation[0]) - run.degradation)
+        )
+        probes += 1
+
+    return CanaryReport(
+        opprox=opprox,
+        canary_inputs=canaries,
+        training_seconds=report.training_seconds,
+        speedup_transfer_mae=float(np.mean(speedup_errors)) if probes else float("nan"),
+        degradation_transfer_mae=(
+            float(np.mean(degradation_errors)) if probes else float("nan")
+        ),
+        probe_count=probes,
+    )

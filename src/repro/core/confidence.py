@@ -1,0 +1,82 @@
+"""Empirical confidence intervals for model predictions (Sec. 3.6).
+
+The paper adapts the approach of Mitra et al. (PACT'15): if ``p``
+fraction of the time the modeling error stays within ``e``, then a
+prediction ``Q`` is interpreted as the interval ``[Q - e, Q + e]``.
+OPPROX stays conservative by using the upper limit for QoS degradation
+and the lower limit for speedup, so an optimized configuration does not
+blow through the budget because of model error.
+
+``e`` is estimated from *out-of-fold* cross-validation residuals, which
+approximates the error distribution on unseen configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.ml.crossval import KFold
+from repro.ml.polyreg import PolynomialRegression
+
+__all__ = ["ConfidenceInterval", "out_of_fold_residuals"]
+
+
+def out_of_fold_residuals(
+    x: Sequence,
+    y: Sequence,
+    degree: int,
+    n_splits: int = 10,
+    ridge: float = 1e-8,
+    seed: int = 0,
+) -> np.ndarray:
+    """Residuals of each sample when predicted by a model that never saw it."""
+    x_arr = np.asarray(x, dtype=float)
+    if x_arr.ndim == 1:
+        x_arr = x_arr.reshape(-1, 1)
+    y_arr = np.asarray(y, dtype=float).ravel()
+    n_samples = x_arr.shape[0]
+    n_splits = min(n_splits, n_samples)
+    if n_splits < 2:
+        # Too little data for held-out residuals; fall back to in-sample.
+        model = PolynomialRegression(degree=degree, ridge=ridge)
+        model.fit(x_arr, y_arr)
+        return model.residuals(x_arr, y_arr)
+    residuals = np.empty(n_samples)
+    for train_idx, test_idx in KFold(n_splits, shuffle=True, seed=seed).split(n_samples):
+        model = PolynomialRegression(degree=degree, ridge=ridge)
+        model.fit(x_arr[train_idx], y_arr[train_idx])
+        residuals[test_idx] = y_arr[test_idx] - model.predict(x_arr[test_idx])
+    return residuals
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """Symmetric ``p``-confidence half-width around point predictions."""
+
+    half_width: float
+    p: float
+
+    def __post_init__(self) -> None:
+        if self.half_width < 0:
+            raise ValueError(f"half_width must be non-negative, got {self.half_width}")
+        if not 0.0 < self.p <= 1.0:
+            raise ValueError(f"p must be in (0, 1], got {self.p}")
+
+    @classmethod
+    def from_residuals(cls, residuals: Sequence, p: float = 0.99) -> "ConfidenceInterval":
+        """``e`` such that a ``p`` fraction of |residuals| fall within it."""
+        arr = np.abs(np.asarray(residuals, dtype=float).ravel())
+        if arr.size == 0:
+            raise ValueError("need at least one residual")
+        return cls(half_width=float(np.quantile(arr, p)), p=p)
+
+    def upper(self, prediction: np.ndarray | float) -> np.ndarray | float:
+        """Conservative bound for lower-is-better quantities (QoS deg.)."""
+        return prediction + self.half_width
+
+    def lower(self, prediction: np.ndarray | float) -> np.ndarray | float:
+        """Conservative bound for higher-is-better quantities (speedup)."""
+        return prediction - self.half_width

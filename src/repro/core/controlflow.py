@@ -1,0 +1,78 @@
+"""Control-flow prediction from input parameters (Sec. 3.4, Fig. 8).
+
+An application's control flow — the ordered sequence of approximable
+blocks it executes — can depend on input parameters (e.g. FFmpeg's
+filter order).  OPPROX trains a decision-tree classifier from the
+call-context logs of accurate runs and later builds *separate*
+speedup/QoS models per predicted control flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps.base import Application, ParamsDict
+from repro.instrument.harness import Profiler
+from repro.ml.decision_tree import DecisionTreeClassifier
+
+__all__ = ["ControlFlowModel", "params_vector"]
+
+
+def params_vector(app: Application, params: ParamsDict) -> np.ndarray:
+    """Encode an input-parameter dict as a fixed-order numeric vector."""
+    return np.array([params[p.name] for p in app.parameters], dtype=float)
+
+
+@dataclass
+class ControlFlowModel:
+    """Decision tree mapping input parameters to a control-flow signature."""
+
+    app: Application
+    tree: DecisionTreeClassifier
+    signatures: Tuple[str, ...]
+
+    @classmethod
+    def train(
+        cls,
+        app: Application,
+        profiler: Profiler,
+        inputs: Sequence[ParamsDict],
+        max_depth: int = 12,
+    ) -> "ControlFlowModel":
+        """Fit from the call-context signatures of accurate runs."""
+        if not inputs:
+            raise ValueError("need at least one training input")
+        features = np.array([params_vector(app, p) for p in inputs])
+        labels: List[str] = [profiler.golden(p).signature for p in inputs]
+        tree = DecisionTreeClassifier(max_depth=max_depth)
+        tree.fit(features, labels)
+        return cls(app=app, tree=tree, signatures=tuple(sorted(set(labels))))
+
+    def predict(self, params: ParamsDict) -> str:
+        """Predicted control-flow signature for ``params``."""
+        return self.tree.predict_one(params_vector(self.app, params))
+
+    def accuracy(self, profiler: Profiler, inputs: Sequence[ParamsDict]) -> float:
+        """Fraction of inputs whose signature is predicted correctly."""
+        if not inputs:
+            raise ValueError("need at least one input to score")
+        hits = sum(
+            1
+            for params in inputs
+            if self.predict(params) == profiler.golden(params).signature
+        )
+        return hits / len(inputs)
+
+    def group_by_signature(
+        self, profiler: Profiler, inputs: Sequence[ParamsDict]
+    ) -> Dict[str, List[ParamsDict]]:
+        """Partition inputs by their *measured* control-flow signature."""
+        groups: Dict[str, List[ParamsDict]] = {}
+        for params in inputs:
+            groups.setdefault(profiler.golden(params).signature, []).append(
+                dict(params)
+            )
+        return groups

@@ -1,0 +1,393 @@
+"""Performance and error models (Sec. 3.6-3.7).
+
+Three estimator families, all polynomial regressions with MIC feature
+filtering, cross-validated degree search, and empirical confidence
+intervals:
+
+* **local models** — per (phase, block): speedup / QoS degradation as a
+  function of that block's AL and the input parameters, trained on the
+  exhaustive local samples;
+* **iteration models** — per phase: outer-loop iteration count as a
+  function of input parameters and all blocks' ALs;
+* **overall models** — per phase: the two-step combination, taking the
+  local models' predictions plus the estimated iteration count as
+  features and predicting the application-level speedup / degradation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps.base import Application, ParamsDict
+from repro.core.confidence import ConfidenceInterval, out_of_fold_residuals
+from repro.core.sampling import TrainingSample
+from repro.ml.crossval import select_polynomial_degree
+from repro.ml.mic import mic_score
+from repro.ml.polyreg import PolynomialRegression
+
+__all__ = ["FittedModel", "PhaseModels"]
+
+_MIC_THRESHOLD = 0.1
+_TARGET_R2 = 0.9
+
+
+def _forward_transform(y: np.ndarray, transform: Optional[str]) -> np.ndarray:
+    """Map targets into modeling space ('log' / 'log1p' / None)."""
+    if transform is None:
+        return y
+    if transform == "log":
+        return np.log(np.maximum(y, 1e-6))
+    if transform == "log1p":
+        return np.log1p(np.maximum(y, 0.0))
+    raise ValueError(f"unknown transform {transform!r}")
+
+
+def _inverse_transform(y: np.ndarray, transform: Optional[str]) -> np.ndarray:
+    if transform is None:
+        return y
+    if transform == "log":
+        return np.exp(y)
+    if transform == "log1p":
+        return np.expm1(y)
+    raise ValueError(f"unknown transform {transform!r}")
+
+
+@dataclass
+class FittedModel:
+    """A polynomial regression plus its filter, CV score, and confidence.
+
+    Heavy-tailed targets (speedup ratios, QoS degradations that can
+    saturate) are modeled in log space via ``transform``, which makes
+    the empirical confidence interval multiplicative — tight around
+    benign configurations, wide around blow-ups — instead of one huge
+    additive band dominated by the outliers.
+    """
+
+    regression: PolynomialRegression
+    kept_features: Tuple[int, ...]
+    degree: int
+    cv_r2: float
+    confidence: ConfidenceInterval
+    transform: Optional[str] = None
+    #: clamp for raw (model-space) predictions: the training-target range
+    #: widened by one range-width.  Predictions beyond it are wild
+    #: extrapolations of the polynomial; clamping keeps the inverse
+    #: transform (exp/expm1) from exploding on them.
+    raw_bounds: Tuple[float, float] = (-np.inf, np.inf)
+
+    @classmethod
+    def fit(
+        cls,
+        x: np.ndarray,
+        y: np.ndarray,
+        min_degree: int = 2,
+        max_degree: int = 6,
+        target_r2: float = _TARGET_R2,
+        mic_threshold: float = _MIC_THRESHOLD,
+        confidence_p: float = 0.99,
+        transform: Optional[str] = None,
+        seed: int = 0,
+    ) -> "FittedModel":
+        """MIC filter -> degree search -> fit -> out-of-fold confidence."""
+        x_arr = np.asarray(x, dtype=float)
+        if x_arr.ndim == 1:
+            x_arr = x_arr.reshape(-1, 1)
+        y_arr = _forward_transform(np.asarray(y, dtype=float).ravel(), transform)
+        if x_arr.shape[0] != y_arr.shape[0]:
+            raise ValueError("x and y row counts differ")
+        if x_arr.shape[0] < 4:
+            raise ValueError("need at least 4 samples to fit a model")
+
+        kept = cls._mic_filter(x_arr, y_arr, mic_threshold)
+        filtered = x_arr[:, kept]
+
+        # Bound the degree so the monomial count stays under the sample
+        # count (otherwise the fit is pure interpolation).
+        n_samples, n_features = filtered.shape
+        budgeted_max = min_degree
+        for degree in range(min_degree, max_degree + 1):
+            n_monomials = _monomial_count(n_features, degree)
+            if n_monomials <= max(4, int(0.8 * n_samples)):
+                budgeted_max = degree
+        search = select_polynomial_degree(
+            filtered,
+            y_arr,
+            min_degree=min_degree,
+            max_degree=budgeted_max,
+            target_r2=target_r2,
+            n_splits=min(10, n_samples),
+            seed=seed,
+        )
+        regression = PolynomialRegression(degree=search.degree)
+        regression.fit(filtered, y_arr)
+        residuals = out_of_fold_residuals(
+            filtered, y_arr, search.degree, n_splits=min(10, n_samples), seed=seed
+        )
+        span = max(float(np.ptp(y_arr)), 1e-6)
+        return cls(
+            regression=regression,
+            kept_features=tuple(kept),
+            degree=search.degree,
+            cv_r2=search.cv_r2,
+            confidence=ConfidenceInterval.from_residuals(residuals, confidence_p),
+            transform=transform,
+            raw_bounds=(float(y_arr.min()) - span, float(y_arr.max()) + span),
+        )
+
+    @staticmethod
+    def _mic_filter(x: np.ndarray, y: np.ndarray, threshold: float) -> List[int]:
+        """Keep features whose MIC with the target clears the threshold.
+
+        Constant features are always dropped; if nothing survives, the
+        single highest-MIC non-constant feature is kept so the model
+        stays well-defined.
+        """
+        scores: List[Tuple[int, float]] = []
+        for column in range(x.shape[1]):
+            values = x[:, column]
+            if np.all(values == values[0]):
+                continue
+            if np.all(y == y[0]):
+                scores.append((column, 0.0))
+                continue
+            scores.append((column, mic_score(values, y)))
+        if not scores:
+            return [0]  # all-constant inputs: keep one, regression learns the mean
+        kept = [column for column, score in scores if score >= threshold]
+        if not kept:
+            kept = [max(scores, key=lambda cs: cs[1])[0]]
+        return kept
+
+    def _predict_raw(self, x: np.ndarray) -> np.ndarray:
+        x_arr = np.asarray(x, dtype=float)
+        if x_arr.ndim == 1:
+            x_arr = x_arr.reshape(1, -1)
+        raw = self.regression.predict(x_arr[:, self.kept_features])
+        return np.clip(raw, self.raw_bounds[0], self.raw_bounds[1])
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return _inverse_transform(self._predict_raw(x), self.transform)
+
+    def predict_upper(self, x: np.ndarray) -> np.ndarray:
+        """Conservative upper bound (confidence applied in model space)."""
+        return _inverse_transform(
+            self.confidence.upper(self._predict_raw(x)), self.transform
+        )
+
+    def predict_lower(self, x: np.ndarray) -> np.ndarray:
+        """Conservative lower bound (confidence applied in model space)."""
+        return _inverse_transform(
+            self.confidence.lower(self._predict_raw(x)), self.transform
+        )
+
+
+def _monomial_count(n_features: int, degree: int) -> int:
+    """Number of monomials of total degree <= degree (without bias)."""
+    from math import comb
+
+    return comb(n_features + degree, degree) - 1
+
+
+@dataclass
+class PhaseModels:
+    """All fitted models for one control flow of one application."""
+
+    app: Application
+    n_phases: int
+    local_speedup: Dict[Tuple[int, str], FittedModel] = field(default_factory=dict)
+    local_degradation: Dict[Tuple[int, str], FittedModel] = field(default_factory=dict)
+    iteration_model: Dict[int, FittedModel] = field(default_factory=dict)
+    overall_speedup: Dict[int, FittedModel] = field(default_factory=dict)
+    overall_degradation: Dict[int, FittedModel] = field(default_factory=dict)
+
+    # -- feature builders -----------------------------------------------------
+
+    def _params_matrix(self, samples: Sequence[TrainingSample]) -> np.ndarray:
+        names = [p.name for p in self.app.parameters]
+        return np.array([[s.params[n] for n in names] for s in samples], dtype=float)
+
+    def _levels_matrix(self, samples: Sequence[TrainingSample]) -> np.ndarray:
+        names = [b.name for b in self.app.blocks]
+        return np.array([[s.levels.get(n, 0) for n in names] for s in samples], dtype=float)
+
+    # -- training --------------------------------------------------------------
+
+    #: confidence level used for the conservative prediction bounds
+    confidence_p: float = 0.99
+    #: MIC feature-filter threshold (0 disables filtering)
+    mic_threshold: float = 0.1
+    #: when set, overall models that miss this cross-validated R^2 fall
+    #: back to Sec. 3.7's input subcategorization (SubdividedModel)
+    subdivision_target_r2: Optional[float] = None
+
+    @classmethod
+    def fit(
+        cls,
+        app: Application,
+        n_phases: int,
+        samples: Sequence[TrainingSample],
+        seed: int = 0,
+        confidence_p: float = 0.99,
+        mic_threshold: float = 0.1,
+        subdivision_target_r2: Optional[float] = None,
+    ) -> "PhaseModels":
+        """Fit local, iteration, and two-step overall models per phase."""
+        if not samples:
+            raise ValueError("cannot fit models without training samples")
+        models = cls(
+            app=app,
+            n_phases=n_phases,
+            confidence_p=confidence_p,
+            mic_threshold=mic_threshold,
+            subdivision_target_r2=subdivision_target_r2,
+        )
+        by_phase: Dict[int, List[TrainingSample]] = {p: [] for p in range(n_phases)}
+        for sample in samples:
+            if sample.n_phases != n_phases:
+                raise ValueError(
+                    f"sample has {sample.n_phases} phases, expected {n_phases}"
+                )
+            by_phase[sample.phase].append(sample)
+
+        for phase, phase_samples in by_phase.items():
+            if not phase_samples:
+                raise ValueError(f"no training samples for phase {phase}")
+            models._fit_phase(phase, phase_samples, seed)
+        return models
+
+    def _fit_phase(self, phase: int, samples: List[TrainingSample], seed: int) -> None:
+        p_conf = self.confidence_p
+        params = self._params_matrix(samples)
+        levels = self._levels_matrix(samples)
+
+        # Local models: exhaustive one-block samples, anchored with a
+        # synthetic exact point (level 0 -> speedup 1, degradation 0)
+        # per distinct input so every fit passes through the identity.
+        for b_idx, block in enumerate(self.app.blocks):
+            mask = [s.is_local and s.levels.get(block.name, 0) > 0 for s in samples]
+            rows = np.nonzero(mask)[0]
+            unique_params = np.unique(params, axis=0)
+            anchor_x = np.hstack(
+                [np.zeros((unique_params.shape[0], 1)), unique_params]
+            )
+            x = np.vstack(
+                [np.column_stack([levels[rows, b_idx], params[rows]]), anchor_x]
+            )
+            y_speedup = np.concatenate(
+                [[samples[r].speedup for r in rows], np.ones(unique_params.shape[0])]
+            )
+            y_degradation = np.concatenate(
+                [[samples[r].degradation for r in rows], np.zeros(unique_params.shape[0])]
+            )
+            self.local_speedup[(phase, block.name)] = FittedModel.fit(
+                x, y_speedup, transform="log", confidence_p=p_conf, mic_threshold=self.mic_threshold, seed=seed
+            )
+            self.local_degradation[(phase, block.name)] = FittedModel.fit(
+                x, y_degradation, transform="log1p", confidence_p=p_conf, mic_threshold=self.mic_threshold, seed=seed
+            )
+
+        # Iteration model: params + all block levels -> outer iterations.
+        iter_x = np.hstack([params, levels])
+        iter_y = np.array([s.iterations for s in samples], dtype=float)
+        self.iteration_model[phase] = FittedModel.fit(
+            iter_x, iter_y, confidence_p=p_conf,
+            mic_threshold=self.mic_threshold, seed=seed,
+        )
+
+        # Two-step overall models: local predictions + estimated
+        # iterations as features (Sec. 3.6's explicit iteration input).
+        overall_x = self._overall_features(phase, params, levels)
+        self.overall_speedup[phase] = self._fit_overall(
+            overall_x, np.array([s.speedup for s in samples]), "log", seed
+        )
+        self.overall_degradation[phase] = self._fit_overall(
+            overall_x, np.array([s.degradation for s in samples]), "log1p", seed
+        )
+
+    def _fit_overall(
+        self, x: np.ndarray, y: np.ndarray, transform: str, seed: int
+    ):
+        """Fit an overall model, optionally with the Sec. 3.7 fallback."""
+        kwargs = dict(
+            transform=transform,
+            confidence_p=self.confidence_p,
+            mic_threshold=self.mic_threshold,
+            seed=seed,
+        )
+        if self.subdivision_target_r2 is None:
+            return FittedModel.fit(x, y, **kwargs)
+        from repro.core.subdivide import fit_with_subdivision
+
+        return fit_with_subdivision(
+            x, y, target_r2=self.subdivision_target_r2, **kwargs
+        )
+
+    def _overall_features(
+        self, phase: int, params: np.ndarray, levels: np.ndarray
+    ) -> np.ndarray:
+        """[local speedups..., local degradations..., estimated iterations]."""
+        columns = []
+        for b_idx, block in enumerate(self.app.blocks):
+            local_x = np.column_stack([levels[:, b_idx], params])
+            columns.append(self.local_speedup[(phase, block.name)].predict(local_x))
+            columns.append(
+                self.local_degradation[(phase, block.name)].predict(local_x)
+            )
+        iterations = self.iteration_model[phase].predict(np.hstack([params, levels]))
+        columns.append(iterations)
+        return np.column_stack(columns)
+
+    # -- prediction --------------------------------------------------------------
+
+    def predict_phase(
+        self,
+        params: ParamsDict,
+        phase: int,
+        level_vectors: np.ndarray,
+        conservative: bool = True,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(speedup, degradation) for each row of ``level_vectors``.
+
+        With ``conservative=True`` (OPPROX's default) the speedup is the
+        lower confidence bound and the degradation the upper bound.
+        """
+        level_vectors = np.atleast_2d(np.asarray(level_vectors, dtype=float))
+        n = level_vectors.shape[0]
+        names = [p.name for p in self.app.parameters]
+        params_row = np.array([params[name] for name in names], dtype=float)
+        params_mat = np.tile(params_row, (n, 1))
+        features = self._overall_features(phase, params_mat, level_vectors)
+        speedup_model = self.overall_speedup[phase]
+        degradation_model = self.overall_degradation[phase]
+        if conservative:
+            speedup = speedup_model.predict_lower(features)
+            degradation = degradation_model.predict_upper(features)
+        else:
+            speedup = speedup_model.predict(features)
+            degradation = degradation_model.predict(features)
+        return speedup, np.maximum(degradation, 0.0)
+
+    def predict_iterations(
+        self, params: ParamsDict, phase: int, level_vector: Sequence[float]
+    ) -> float:
+        names = [p.name for p in self.app.parameters]
+        row = np.concatenate(
+            [[params[name] for name in names], np.asarray(level_vector, dtype=float)]
+        )
+        return float(self.iteration_model[phase].predict(row.reshape(1, -1))[0])
+
+    def r2_summary(self) -> Dict[str, float]:
+        """Mean cross-validated R^2 per model family (for EXPERIMENTS.md)."""
+        def mean(models: Sequence[FittedModel]) -> float:
+            return float(np.mean([m.cv_r2 for m in models])) if models else float("nan")
+
+        return {
+            "local_speedup": mean(list(self.local_speedup.values())),
+            "local_degradation": mean(list(self.local_degradation.values())),
+            "iterations": mean(list(self.iteration_model.values())),
+            "overall_speedup": mean(list(self.overall_speedup.values())),
+            "overall_degradation": mean(list(self.overall_degradation.values())),
+        }

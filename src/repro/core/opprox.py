@@ -1,0 +1,228 @@
+"""The OPPROX facade: train offline, optimize per budget, apply.
+
+Ties together the full workflow of Fig. 6:
+
+>>> from repro.apps import make_app
+>>> from repro.core import AccuracySpec, Opprox
+>>> app = make_app("pso")
+>>> opprox = Opprox(app, AccuracySpec.for_app(app, max_inputs=4))
+>>> opprox.train()                                    # doctest: +SKIP
+>>> result = opprox.optimize(app.default_params(), error_budget=10.0)  # doctest: +SKIP
+>>> run = opprox.apply(app.default_params(), error_budget=10.0)        # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.approx.schedule import ApproxSchedule
+from repro.apps.base import Application, ParamsDict
+from repro.core.budget import policy_weights, rois_from_samples
+from repro.core.controlflow import ControlFlowModel
+from repro.core.models import PhaseModels
+from repro.core.optimizer import PhaseOptimizer, PhasePlanEntry, combined_speedup
+from repro.core.phases import find_phase_count
+from repro.core.sampling import TrainingSample, TrainingSampler
+from repro.core.spec import AccuracySpec, budget_to_degradation
+from repro.instrument.harness import MeasuredRun, Profiler
+
+__all__ = ["Opprox", "OptimizationResult", "TrainingReport"]
+
+
+@dataclass(frozen=True)
+class OptimizationResult:
+    """Output of one optimize() call: the schedule plus predictions."""
+
+    schedule: ApproxSchedule
+    entries: List[PhasePlanEntry]
+    predicted_speedup: float
+    predicted_degradation: float
+    budget_degradation: float
+    control_flow: str
+    optimization_seconds: float
+
+
+@dataclass(frozen=True)
+class TrainingReport:
+    """What offline training produced (for Table 2 / Fig. 12-13 style reporting)."""
+
+    n_phases: int
+    n_samples: int
+    n_control_flows: int
+    training_seconds: float
+    r2_by_flow: Dict[str, Dict[str, float]]
+
+
+@dataclass
+class Opprox:
+    """Phase-aware optimizer for one application (the paper's system)."""
+
+    app: Application
+    spec: AccuracySpec
+    profiler: Profiler = None  # type: ignore[assignment]
+    n_phases: Optional[int] = None
+    phase_threshold: float = 2.0
+    max_phases: int = 8
+    joint_samples_per_phase: int = 12
+    #: "exhaustive" (paper default) or "sparse" local AL sweeps (Sec 3.3)
+    local_sampling: str = "exhaustive"
+    local_samples_per_block: int = 3
+    seed: int = 0
+    conservative: bool = True
+    #: enable Sec. 3.7's input-subcategorization fallback for overall
+    #: models whose cross-validated R^2 misses this target (None = off)
+    subdivision_target_r2: Optional[float] = None
+    #: phase budget-allocation policy: "roi" (the paper's default),
+    #: "uniform", "greedy", or "sqrt-roi" — see repro.core.budget.
+    budget_policy: str = "roi"
+    #: confidence level for the conservative model bounds.  The paper
+    #: uses p=0.99 on its (very accurate, R^2 >= 0.9) models; our noisier
+    #: Python substrates warrant a slightly softer default — the
+    #: confidence ablation benchmark sweeps this knob.
+    confidence_p: float = 0.90
+    #: fraction of the budget actually handed to the per-phase search.
+    #: The per-phase models assume degradations of disjoint phases add;
+    #: real cross-phase interactions are super-additive for some
+    #: applications, so a margin keeps the final run inside the budget.
+    interaction_margin: float = 0.9
+
+    _control_flow: Optional[ControlFlowModel] = field(default=None, repr=False)
+    _models_by_flow: Dict[str, PhaseModels] = field(default_factory=dict, repr=False)
+    _rois_by_flow: Dict[str, Dict[int, float]] = field(default_factory=dict, repr=False)
+    _samples_by_flow: Dict[str, List[TrainingSample]] = field(
+        default_factory=dict, repr=False
+    )
+    _report: Optional[TrainingReport] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.profiler is None:
+            self.profiler = Profiler(self.app)
+        self.spec.validated_for(self.app)
+
+    # -- training ------------------------------------------------------------------
+
+    @property
+    def is_trained(self) -> bool:
+        return bool(self._models_by_flow)
+
+    def train(self) -> TrainingReport:
+        """Offline phase: pick N, profile, and fit all models (Fig. 6)."""
+        started = time.perf_counter()
+        inputs = self.spec.training_inputs
+
+        if self.n_phases is None:
+            search = find_phase_count(
+                self.app,
+                self.profiler,
+                inputs[0],
+                threshold=self.phase_threshold,
+                max_phases=self.max_phases,
+            )
+            self.n_phases = search.n_phases
+
+        self._control_flow = ControlFlowModel.train(self.app, self.profiler, inputs)
+        groups = self._control_flow.group_by_signature(self.profiler, inputs)
+
+        sampler = TrainingSampler(
+            self.app,
+            self.profiler,
+            self.n_phases,
+            joint_samples_per_phase=self.joint_samples_per_phase,
+            local_sampling=self.local_sampling,
+            local_samples_per_block=self.local_samples_per_block,
+            seed=self.seed,
+        )
+        total_samples = 0
+        for signature, flow_inputs in groups.items():
+            samples = sampler.collect(flow_inputs)
+            total_samples += len(samples)
+            self._samples_by_flow[signature] = samples
+            self._models_by_flow[signature] = PhaseModels.fit(
+                self.app,
+                self.n_phases,
+                samples,
+                seed=self.seed,
+                confidence_p=self.confidence_p,
+                subdivision_target_r2=self.subdivision_target_r2,
+            )
+            self._rois_by_flow[signature] = rois_from_samples(samples, self.n_phases)
+
+        self._report = TrainingReport(
+            n_phases=self.n_phases,
+            n_samples=total_samples,
+            n_control_flows=len(groups),
+            training_seconds=time.perf_counter() - started,
+            r2_by_flow={
+                signature: models.r2_summary()
+                for signature, models in self._models_by_flow.items()
+            },
+        )
+        return self._report
+
+    @property
+    def training_report(self) -> TrainingReport:
+        if self._report is None:
+            raise RuntimeError("Opprox.train() has not been run")
+        return self._report
+
+    def models_for(self, params: ParamsDict) -> PhaseModels:
+        """Phase models for the control flow predicted for ``params``."""
+        signature = self._predict_flow(params)
+        return self._models_by_flow[signature]
+
+    def samples_for(self, params: ParamsDict) -> List[TrainingSample]:
+        return self._samples_by_flow[self._predict_flow(params)]
+
+    def _predict_flow(self, params: ParamsDict) -> str:
+        if self._control_flow is None or not self._models_by_flow:
+            raise RuntimeError("Opprox.train() has not been run")
+        signature = self._control_flow.predict(params)
+        if signature not in self._models_by_flow:
+            # An unseen control flow at production time: fall back to the
+            # flow with the most training data rather than failing.
+            signature = max(
+                self._samples_by_flow, key=lambda s: len(self._samples_by_flow[s])
+            )
+        return signature
+
+    # -- optimization -----------------------------------------------------------------
+
+    def optimize(
+        self, params: ParamsDict, error_budget: Optional[float] = None
+    ) -> OptimizationResult:
+        """Find phase-specific AL settings for a production input + budget."""
+        params = self.app.validate_params(dict(params))
+        budget_raw = self.spec.error_budget if error_budget is None else error_budget
+        budget_deg = budget_to_degradation(self.app.metric, budget_raw)
+        started = time.perf_counter()
+
+        signature = self._predict_flow(params)
+        models = self._models_by_flow[signature]
+        weights = policy_weights(self.budget_policy, self._rois_by_flow[signature])
+        optimizer = PhaseOptimizer(self.app, models, conservative=self.conservative)
+        entries = optimizer.optimize(
+            params, budget_deg * self.interaction_margin, weights
+        )
+        schedule = optimizer.build_schedule(params, entries)
+        return OptimizationResult(
+            schedule=schedule,
+            entries=entries,
+            predicted_speedup=combined_speedup(
+                [entry.predicted_speedup for entry in entries]
+            ),
+            predicted_degradation=sum(
+                entry.predicted_degradation for entry in entries
+            ),
+            budget_degradation=budget_deg,
+            control_flow=signature,
+            optimization_seconds=time.perf_counter() - started,
+        )
+
+    def apply(
+        self, params: ParamsDict, error_budget: Optional[float] = None
+    ) -> MeasuredRun:
+        """Optimize and actually run the application under the schedule."""
+        result = self.optimize(params, error_budget)
+        return self.profiler.measure(params, result.schedule)

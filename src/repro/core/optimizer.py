@@ -1,0 +1,226 @@
+"""Per-phase configuration search (Sec. 3.8, Algorithm 2).
+
+Phases are visited in decreasing ROI order.  Each phase receives a
+share of the remaining budget proportional to its ROI among the
+*unprocessed* phases — this realizes the paper's "any unused sub-budget
+from one phase is reallocated to the other phases".  Within a phase the
+optimizer enumerates the (discrete, modest) AL space, keeps the
+configurations whose conservative predicted degradation fits the phase
+budget, and picks the one maximizing the conservative predicted speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.approx.schedule import ApproxSchedule
+from repro.apps.base import Application, ParamsDict
+from repro.core.models import PhaseModels
+
+__all__ = ["PhasePlanEntry", "PhaseOptimizer", "combined_speedup"]
+
+
+def combined_speedup(per_phase_speedups: Sequence[float]) -> float:
+    """Compose full-run speedups of phase-restricted approximations.
+
+    A phase-only speedup ``S_p`` implies that approximating that phase
+    alone removed a fraction ``1 - 1/S_p`` of the total work.  Assuming
+    the savings of disjoint phases add, the combined speedup is
+    ``1 / (1 - sum_p (1 - 1/S_p))``, floored to keep the estimate sane
+    when the model predicts savings close to the whole program.
+    """
+    saved = sum(max(0.0, 1.0 - 1.0 / max(s, 1e-6)) for s in per_phase_speedups)
+    return 1.0 / max(1.0 - saved, 0.05)
+
+
+@dataclass(frozen=True)
+class PhasePlanEntry:
+    """Chosen configuration and predictions for one phase."""
+
+    phase: int
+    levels: Dict[str, int]
+    predicted_speedup: float
+    predicted_degradation: float
+    allocated_budget: float
+
+
+class PhaseOptimizer:
+    """Algorithm 2 over fitted :class:`~repro.core.models.PhaseModels`."""
+
+    def __init__(
+        self,
+        app: Application,
+        models: PhaseModels,
+        conservative: bool = True,
+        max_combos: int = 4096,
+        iteration_slack: float = 1.2,
+        upgrade_passes: int = 2,
+    ):
+        self.app = app
+        self.models = models
+        self.conservative = conservative
+        self.max_combos = max_combos
+        #: configurations whose predicted outer-loop iteration count
+        #: exceeds ``iteration_slack * nominal`` are rejected — they are
+        #: the approximation-induced slowdowns of Fig. 3.
+        self.iteration_slack = iteration_slack
+        #: extra leftover-redistribution passes after the ROI pass.
+        self.upgrade_passes = upgrade_passes
+
+    # -- search space ---------------------------------------------------------
+
+    def level_combinations(self) -> np.ndarray:
+        """All AL vectors (rows) over the blocks, capped at ``max_combos``.
+
+        When the exhaustive product exceeds the cap, the space is
+        subsampled deterministically with an even stride, which keeps
+        both the exact configuration (all zeros) and the most aggressive
+        one in the candidate set.
+        """
+        spaces = [range(block.n_levels) for block in self.app.blocks]
+        total = int(np.prod([block.n_levels for block in self.app.blocks]))
+        combos = np.array(list(product(*spaces)), dtype=float)
+        if total > self.max_combos:
+            stride = total / self.max_combos
+            keep = np.unique(
+                np.concatenate(
+                    [(np.arange(self.max_combos) * stride).astype(int), [total - 1]]
+                )
+            )
+            combos = combos[keep]
+        return combos
+
+    # -- Algorithm 2 ------------------------------------------------------------
+
+    def optimize(
+        self,
+        params: ParamsDict,
+        budget_degradation: float,
+        rois: Dict[int, float],
+    ) -> List[PhasePlanEntry]:
+        """Find per-phase AL settings under the total degradation budget."""
+        if budget_degradation < 0:
+            raise ValueError("budget must be non-negative")
+        if set(rois) != set(range(self.models.n_phases)):
+            raise ValueError("rois must cover every phase exactly once")
+        combos = self.level_combinations()
+        remaining_budget = float(budget_degradation)
+        pending = sorted(rois, key=lambda p: rois[p], reverse=True)
+        entries: Dict[int, PhasePlanEntry] = {}
+
+        for position, phase in enumerate(pending):
+            remaining_roi = sum(rois[p] for p in pending[position:])
+            share = rois[phase] / remaining_roi if remaining_roi > 0 else 1.0 / (
+                len(pending) - position
+            )
+            phase_budget = remaining_budget * share
+            levels, speedup, degradation = self._optimize_phase(
+                params, phase, combos, phase_budget
+            )
+            entries[phase] = PhasePlanEntry(
+                phase=phase,
+                levels=levels,
+                predicted_speedup=speedup,
+                predicted_degradation=degradation,
+                allocated_budget=phase_budget,
+            )
+            remaining_budget = max(0.0, remaining_budget - degradation)
+
+        # Leftover redistribution: phases that declined their share left
+        # budget on the table; offer it to the others (highest ROI first)
+        # as an upgrade allowance on top of what they already consumed.
+        for _ in range(self.upgrade_passes):
+            if remaining_budget <= 1e-9:
+                break
+            upgraded = False
+            for phase in pending:
+                current = entries[phase]
+                allowance = current.predicted_degradation + remaining_budget
+                levels, speedup, degradation = self._optimize_phase(
+                    params, phase, combos, allowance
+                )
+                if speedup > current.predicted_speedup + 1e-9:
+                    entries[phase] = PhasePlanEntry(
+                        phase=phase,
+                        levels=levels,
+                        predicted_speedup=speedup,
+                        predicted_degradation=degradation,
+                        allocated_budget=allowance,
+                    )
+                    remaining_budget = max(
+                        0.0,
+                        remaining_budget
+                        - (degradation - current.predicted_degradation),
+                    )
+                    upgraded = True
+            if not upgraded:
+                break
+
+        return [entries[phase] for phase in sorted(entries)]
+
+    def _optimize_phase(
+        self,
+        params: ParamsDict,
+        phase: int,
+        combos: np.ndarray,
+        phase_budget: float,
+    ) -> Tuple[Dict[str, int], float, float]:
+        """Best AL vector for one phase under its budget (``optimizePhase``)."""
+        speedups, degradations = self.models.predict_phase(
+            params, phase, combos, conservative=self.conservative
+        )
+        point_speedups, _ = self.models.predict_phase(
+            params, phase, combos, conservative=False
+        )
+        exact_row = np.all(combos == 0, axis=1)
+        feasible = (degradations <= phase_budget) | exact_row
+        # Reject configurations predicted to inflate the outer loop —
+        # the paper's Fig. 3 slowdowns (approximations that delay
+        # convergence do more work, not less).
+        names = [p.name for p in self.app.parameters]
+        params_row = np.array([params[name] for name in names], dtype=float)
+        iteration_features = np.hstack(
+            [np.tile(params_row, (combos.shape[0], 1)), combos]
+        )
+        predicted_iterations = self.models.iteration_model[phase].predict(
+            iteration_features
+        )
+        nominal = self.app.nominal_iterations(params)
+        feasible &= (predicted_iterations <= self.iteration_slack * nominal) | exact_row
+        if not np.any(feasible):
+            # Shouldn't happen (the exact row predicts ~0 degradation and
+            # is always admissible), but stay safe.
+            return {b.name: 0 for b in self.app.blocks}, 1.0, 0.0
+        # Rank by the conservative speedup (robust choice among feasible
+        # configurations), but judge *profitability* by the point
+        # prediction: the lower confidence limit of a genuinely
+        # profitable setting often dips under 1.0 and must not force the
+        # phase to run exactly.
+        candidate_speedups = np.where(feasible, speedups, -np.inf)
+        best = int(np.argmax(candidate_speedups))
+        if candidate_speedups[best] <= 1.0:
+            point_candidates = np.where(feasible, point_speedups, -np.inf)
+            best = int(np.argmax(point_candidates))
+            if exact_row[best] or point_candidates[best] <= 1.0:
+                return {b.name: 0 for b in self.app.blocks}, 1.0, 0.0
+        elif exact_row[best]:
+            return {b.name: 0 for b in self.app.blocks}, 1.0, 0.0
+        levels = {
+            block.name: int(combos[best, i])
+            for i, block in enumerate(self.app.blocks)
+        }
+        return levels, float(speedups[best]), float(max(0.0, degradations[best]))
+
+    # -- materialization ----------------------------------------------------------
+
+    def build_schedule(
+        self, params: ParamsDict, entries: Sequence[PhasePlanEntry]
+    ) -> ApproxSchedule:
+        """Turn Algorithm 2's per-phase choices into an ApproxSchedule."""
+        plan = self.app.make_plan(params, self.models.n_phases)
+        settings = [dict(entry.levels) for entry in sorted(entries, key=lambda e: e.phase)]
+        return ApproxSchedule(self.app.blocks, plan, settings)

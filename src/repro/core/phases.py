@@ -1,0 +1,111 @@
+"""Phase-granularity search (Sec. 3.5, Algorithm 1).
+
+OPPROX starts with N = 2 equal phases and keeps doubling N while the
+maximum difference between the mean QoS degradations of consecutive
+phases still changes by more than a user threshold.  A large N captures
+finer phase structure but blows up the search space exponentially, so
+the threshold bounds it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.approx.schedule import ApproxSchedule
+from repro.apps.base import Application, ParamsDict
+from repro.instrument.harness import Profiler
+
+__all__ = ["PhaseSearchResult", "find_phase_count", "max_consecutive_qos_diff"]
+
+
+def _probe_level_vectors(app: Application) -> List[Dict[str, int]]:
+    """A small, deterministic set of probe settings used by Algorithm 1."""
+    vectors: List[Dict[str, int]] = []
+    for fraction in (0.4, 0.8):
+        vectors.append(
+            {
+                block.name: max(1, int(round(fraction * block.max_level)))
+                for block in app.blocks
+            }
+        )
+    for block in app.blocks:
+        vectors.append({block.name: block.max_level})
+    return vectors
+
+
+def max_consecutive_qos_diff(
+    app: Application,
+    profiler: Profiler,
+    params: ParamsDict,
+    n_phases: int,
+    probe_vectors: Sequence[Dict[str, int]] | None = None,
+) -> float:
+    """The paper's ``getMaxQoSDiff`` helper.
+
+    Runs the application with each probe setting applied to one phase at
+    a time, averages the QoS degradation per phase, and returns the
+    maximum difference between consecutive phases' means.
+    """
+    if n_phases < 2:
+        raise ValueError(f"getMaxQoSDiff needs n_phases >= 2, got {n_phases}")
+    vectors = list(probe_vectors) if probe_vectors is not None else _probe_level_vectors(app)
+    plan = app.make_plan(params, n_phases)
+    phase_means = []
+    for phase in range(n_phases):
+        degradations = [
+            profiler.measure(
+                params, ApproxSchedule.single_phase(app.blocks, plan, phase, levels)
+            ).degradation
+            for levels in vectors
+        ]
+        phase_means.append(float(np.mean(degradations)))
+    return float(max(abs(a - b) for a, b in zip(phase_means, phase_means[1:])))
+
+
+@dataclass(frozen=True)
+class PhaseSearchResult:
+    """Outcome of Algorithm 1."""
+
+    n_phases: int
+    #: getMaxQoSDiff value per tried N (keys are phase counts)
+    diffs_by_n: Dict[int, float]
+
+
+def find_phase_count(
+    app: Application,
+    profiler: Profiler,
+    params: ParamsDict,
+    threshold: float = 2.0,
+    max_phases: int = 8,
+    probe_vectors: Sequence[Dict[str, int]] | None = None,
+) -> PhaseSearchResult:
+    """Algorithm 1: double N until the phase structure stops changing.
+
+    ``threshold`` is the paper's phase-sensitivity threshold on the
+    change of ``getMaxQoSDiff`` between consecutive values of N, in QoS
+    degradation units.  ``max_phases`` bounds the search the way the
+    paper's evaluation caps it at N = 8.
+    """
+    if max_phases < 2:
+        raise ValueError(f"max_phases must be >= 2, got {max_phases}")
+    n_phases = 2
+    diffs: Dict[int, float] = {}
+    max_diff_prev = max_consecutive_qos_diff(
+        app, profiler, params, n_phases, probe_vectors
+    )
+    diffs[n_phases] = max_diff_prev
+    while 2 * n_phases <= max_phases:
+        candidate = 2 * n_phases
+        max_diff_new = max_consecutive_qos_diff(
+            app, profiler, params, candidate, probe_vectors
+        )
+        diffs[candidate] = max_diff_new
+        if abs(max_diff_prev - max_diff_new) > threshold:
+            n_phases = candidate
+            max_diff_prev = max_diff_new
+        else:
+            break
+    return PhaseSearchResult(n_phases=n_phases, diffs_by_n=diffs)

@@ -1,0 +1,120 @@
+"""Runtime side of OPPROX (Sec. 4.2, "What happens at the runtime").
+
+The paper stores trained models as pickled Python objects; at job
+submission a runtime script loads them, finds the best phase-specific
+settings for the configured error budget, and passes them to the job
+through environment variables before invoking the SLURM scheduler.
+This module reproduces that flow with an in-process "scheduler": the
+environment-variable encoding is identical, only the launcher differs.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.apps.base import ParamsDict
+from repro.core.opprox import Opprox, OptimizationResult
+from repro.instrument.harness import MeasuredRun
+
+__all__ = ["JobLaunch", "ModelStore", "schedule_to_env", "submit_job"]
+
+
+def schedule_to_env(result: OptimizationResult) -> Dict[str, str]:
+    """Encode a phase schedule as environment variables.
+
+    One variable per (phase, block): ``OPPROX_P<phase>_<BLOCK>=<level>``,
+    the paper's mechanism for passing phase-specific approximation
+    settings to the job.
+    """
+    env: Dict[str, str] = {
+        "OPPROX_NUM_PHASES": str(result.schedule.plan.n_phases),
+    }
+    for phase in range(result.schedule.plan.n_phases):
+        for name, level in result.schedule.phase_levels(phase).items():
+            env[f"OPPROX_P{phase}_{name.upper()}"] = str(level)
+    return env
+
+
+class ModelStore:
+    """Pickle-backed storage for trained OPPROX instances."""
+
+    def __init__(self, root: Path | str):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, app_name: str) -> Path:
+        return self.root / f"{app_name}.opprox.pkl"
+
+    def save(self, opprox: Opprox) -> Path:
+        """Persist a trained optimizer; refuses to store untrained state."""
+        if not opprox.is_trained:
+            raise ValueError("refusing to store an untrained Opprox instance")
+        path = self.path_for(opprox.app.name)
+        with path.open("wb") as handle:
+            pickle.dump(opprox, handle)
+        return path
+
+    def load(self, app_name: str) -> Opprox:
+        path = self.path_for(app_name)
+        if not path.exists():
+            raise FileNotFoundError(f"no stored models for {app_name!r} at {path}")
+        with path.open("rb") as handle:
+            opprox = pickle.load(handle)
+        if not isinstance(opprox, Opprox):
+            raise TypeError(f"{path} does not contain an Opprox instance")
+        return opprox
+
+    def available(self) -> Dict[str, Path]:
+        return {
+            path.name.split(".")[0]: path
+            for path in sorted(self.root.glob("*.opprox.pkl"))
+        }
+
+
+@dataclass(frozen=True)
+class JobLaunch:
+    """A submitted job: settings, env encoding, and the measured run."""
+
+    app_name: str
+    params: ParamsDict
+    error_budget: float
+    env: Dict[str, str]
+    result: OptimizationResult
+    run: MeasuredRun
+    submit_seconds: float
+
+
+def submit_job(
+    store: ModelStore,
+    app_name: str,
+    params: ParamsDict,
+    error_budget: float,
+    opprox: Optional[Opprox] = None,
+) -> JobLaunch:
+    """The runtime script: load models, optimize, "schedule" the job.
+
+    ``opprox`` may be passed directly to skip the pickle round-trip
+    (useful in tests); otherwise it is loaded from the store, exactly
+    like the paper's runtime loads the serialized models.
+    """
+    started = time.perf_counter()
+    if opprox is None:
+        opprox = store.load(app_name)
+    result = opprox.optimize(params, error_budget)
+    env = schedule_to_env(result)
+    # In the paper this is where the SLURM native scheduler is invoked
+    # with the env block; our "cluster" is the calling process.
+    run = opprox.profiler.measure(params, result.schedule)
+    return JobLaunch(
+        app_name=app_name,
+        params=dict(params),
+        error_budget=error_budget,
+        env=env,
+        result=result,
+        run=run,
+        submit_seconds=time.perf_counter() - started,
+    )

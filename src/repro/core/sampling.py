@@ -1,0 +1,156 @@
+"""Training-data collection (Sec. 3.3).
+
+OPPROX profiles the instrumented application with different AL
+combinations per phase and a variety of representative inputs:
+
+* **local exhaustive** — for each approximable block, sweep its whole
+  AL range while every other block runs accurately (the paper assumes
+  4-8 discrete levels, so exhaustive local coverage is affordable);
+* **joint sparse** — random AL vectors over all blocks simultaneously,
+  capturing interactions between approximations.
+
+All samples here approximate a *single phase* at a time — they feed the
+phase-specific models.  Uniform (all-phase) samples for the oracle and
+figure reproductions are collected by :mod:`repro.eval`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.approx.schedule import ApproxSchedule
+from repro.apps.base import Application, ParamsDict
+from repro.instrument.harness import Profiler
+
+__all__ = ["TrainingSample", "TrainingSampler"]
+
+
+@dataclass(frozen=True)
+class TrainingSample:
+    """One profiled run: settings in one phase plus measured outcomes."""
+
+    params: Dict[str, float]
+    n_phases: int
+    phase: int
+    levels: Dict[str, int]
+    speedup: float
+    #: QoS in common lower-is-better degradation space
+    degradation: float
+    #: raw QoS metric value (percent or dB)
+    qos_value: float
+    iterations: int
+
+    @property
+    def is_local(self) -> bool:
+        """True if exactly one block is approximated (a *local* sample)."""
+        return sum(1 for level in self.levels.values() if level > 0) == 1
+
+
+class TrainingSampler:
+    """Collects the paper's local-exhaustive + joint-sparse training set."""
+
+    def __init__(
+        self,
+        app: Application,
+        profiler: Profiler,
+        n_phases: int,
+        joint_samples_per_phase: int = 12,
+        local_sampling: str = "exhaustive",
+        local_samples_per_block: int = 3,
+        seed: int = 0,
+    ):
+        if n_phases < 1:
+            raise ValueError(f"n_phases must be >= 1, got {n_phases}")
+        if joint_samples_per_phase < 0:
+            raise ValueError("joint_samples_per_phase must be non-negative")
+        if local_sampling not in ("exhaustive", "sparse"):
+            raise ValueError(
+                f"local_sampling must be 'exhaustive' or 'sparse', "
+                f"got {local_sampling!r}"
+            )
+        if local_samples_per_block < 1:
+            raise ValueError("local_samples_per_block must be >= 1")
+        self.app = app
+        self.profiler = profiler
+        self.n_phases = n_phases
+        self.joint_samples_per_phase = joint_samples_per_phase
+        self.local_sampling = local_sampling
+        self.local_samples_per_block = local_samples_per_block
+        self._rng = np.random.default_rng(seed)
+
+    # -- level-vector generators --------------------------------------------
+
+    def local_level_vectors(self) -> Iterable[Dict[str, int]]:
+        """One block at a time, sweeping its AL knob.
+
+        ``exhaustive`` covers every level 1..max (the paper's default for
+        the usual 4-8 discrete ALs); ``sparse`` covers an evenly strided
+        subset, the fallback Sec. 3.3 recommends when the AL count is
+        high — the extremes (level 1 and the max level) are always kept.
+        """
+        for block in self.app.blocks:
+            if self.local_sampling == "exhaustive":
+                levels = range(1, block.max_level + 1)
+            else:
+                count = min(self.local_samples_per_block, block.max_level)
+                levels = sorted(
+                    {
+                        int(round(level))
+                        for level in np.linspace(1, block.max_level, count)
+                    }
+                )
+            for level in levels:
+                yield {block.name: level}
+
+    def joint_level_vectors(self, count: int) -> List[Dict[str, int]]:
+        """Random sparse AL vectors across all blocks (at least one > 0)."""
+        vectors: List[Dict[str, int]] = []
+        attempts = 0
+        while len(vectors) < count and attempts < 50 * max(1, count):
+            attempts += 1
+            vector = {
+                block.name: int(self._rng.integers(0, block.max_level + 1))
+                for block in self.app.blocks
+            }
+            if any(vector.values()):
+                vectors.append(vector)
+        return vectors
+
+    # -- collection ----------------------------------------------------------
+
+    def collect_for_input(self, params: ParamsDict) -> List[TrainingSample]:
+        """All single-phase samples for one input-parameter combination."""
+        plan = self.app.make_plan(params, self.n_phases)
+        samples: List[TrainingSample] = []
+        joint = self.joint_level_vectors(self.joint_samples_per_phase)
+        for phase in range(self.n_phases):
+            for levels in list(self.local_level_vectors()) + joint:
+                schedule = ApproxSchedule.single_phase(
+                    self.app.blocks, plan, phase, levels
+                )
+                run = self.profiler.measure(params, schedule)
+                samples.append(
+                    TrainingSample(
+                        params=dict(params),
+                        n_phases=self.n_phases,
+                        phase=phase,
+                        levels=dict(schedule.phase_levels(phase)),
+                        speedup=run.speedup,
+                        degradation=run.degradation,
+                        qos_value=run.qos_value,
+                        iterations=run.iterations,
+                    )
+                )
+        return samples
+
+    def collect(self, inputs: Sequence[ParamsDict]) -> List[TrainingSample]:
+        """Samples for every training input (Sec. 3.3's full sweep)."""
+        if not inputs:
+            raise ValueError("need at least one training input")
+        samples: List[TrainingSample] = []
+        for params in inputs:
+            samples.extend(self.collect_for_input(params))
+        return samples

@@ -1,0 +1,93 @@
+"""Accuracy specification (Sec. 3.1): inputs, metric, error budget.
+
+The user of OPPROX supplies (1) representative inputs, (2) an accuracy
+metric — carried by the application's :class:`~repro.apps.base.QoSMetric`
+— and (3) an error budget.  Budgets are expressed in the metric's raw
+units (percent degradation, or a PSNR floor in dB for FFmpeg) and
+converted into the common lower-is-better *degradation* space for the
+optimizer's arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.apps.base import Application, ParamsDict, QoSMetric
+
+__all__ = ["AccuracySpec", "budget_to_degradation"]
+
+
+def budget_to_degradation(metric: QoSMetric, budget: float) -> float:
+    """Convert a raw budget (e.g. 5% or PSNR >= 30 dB) into degradation space."""
+    if metric.higher_is_better and budget > metric.ceiling:
+        raise ValueError(
+            f"budget {budget} exceeds the metric ceiling {metric.ceiling}"
+        )
+    if not metric.higher_is_better and budget < 0:
+        raise ValueError(f"budget must be non-negative, got {budget}")
+    return metric.to_degradation(budget)
+
+
+@dataclass
+class AccuracySpec:
+    """User-provided accuracy specification for one application.
+
+    Attributes
+    ----------
+    training_inputs:
+        Representative input-parameter combinations that exercise the
+        application's desired functionality.  Defaults (via
+        :meth:`for_app`) to a slice of the parameter-space product.
+    error_budget:
+        Raw-budget value the optimizer must respect (may be overridden
+        per :meth:`~repro.core.opprox.Opprox.optimize` call).
+    """
+
+    training_inputs: List[ParamsDict] = field(default_factory=list)
+    error_budget: float = 10.0
+
+    def __post_init__(self) -> None:
+        if not self.training_inputs:
+            raise ValueError("AccuracySpec needs at least one training input")
+
+    @classmethod
+    def for_app(
+        cls,
+        app: Application,
+        max_inputs: int = 8,
+        error_budget: float = 10.0,
+    ) -> "AccuracySpec":
+        """Spec with up to ``max_inputs`` representative inputs for ``app``.
+
+        Inputs are taken evenly across the Cartesian product of the
+        application's representative parameter values, so the extremes
+        of each parameter are exercised.
+        """
+        if max_inputs < 1:
+            raise ValueError(f"max_inputs must be >= 1, got {max_inputs}")
+        all_inputs = list(app.training_inputs())
+        if len(all_inputs) <= max_inputs:
+            chosen = all_inputs
+        else:
+            stride = len(all_inputs) / max_inputs
+            chosen = [all_inputs[int(i * stride)] for i in range(max_inputs)]
+        return cls(training_inputs=chosen, error_budget=error_budget)
+
+    def validated_for(self, app: Application) -> "AccuracySpec":
+        """Check every training input against the application's schema."""
+        for params in self.training_inputs:
+            app.validate_params(dict(params))
+        return self
+
+
+def unique_params(inputs: Sequence[ParamsDict]) -> List[ParamsDict]:
+    """De-duplicate parameter dictionaries, preserving order."""
+    seen = set()
+    result: List[ParamsDict] = []
+    for params in inputs:
+        key = tuple(sorted(params.items()))
+        if key not in seen:
+            seen.add(key)
+            result.append(dict(params))
+    return result

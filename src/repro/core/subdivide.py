@@ -1,0 +1,145 @@
+"""Input subcategorization (Sec. 3.7, second half).
+
+When a model cannot reach the target R² over the whole input set,
+OPPROX "breaks the input into smaller subcategories and attempts to
+build a model for each subcategory": the values of one feature are put
+in magnitude order and split into ``k`` subsets, and a separate model is
+learned per subset.  :class:`SubdividedModel` implements that fallback
+around :class:`~repro.core.models.FittedModel`: it exposes the same
+predict/upper/lower interface, routing each query row to the sub-model
+whose feature range contains it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.models import FittedModel
+from repro.ml.metrics import r2_score
+
+__all__ = ["SubdividedModel", "fit_with_subdivision"]
+
+_MIN_SUBSET_SIZE = 8
+
+
+@dataclass
+class SubdividedModel:
+    """Piecewise model: one FittedModel per magnitude-ordered subset.
+
+    ``split_feature`` is the index (into the *original* feature matrix)
+    whose sorted values define the pieces; ``edges`` are the interior
+    boundaries (length ``k - 1``).  Queries at or below ``edges[i]`` go
+    to piece ``i``; everything above the last edge goes to the final
+    piece, so out-of-range inputs degrade to nearest-piece extrapolation
+    rather than failing.
+    """
+
+    split_feature: int
+    edges: Tuple[float, ...]
+    pieces: Tuple[FittedModel, ...]
+    cv_r2: float
+
+    def __post_init__(self) -> None:
+        if len(self.pieces) != len(self.edges) + 1:
+            raise ValueError(
+                f"{len(self.pieces)} pieces need {len(self.pieces) - 1} edges, "
+                f"got {len(self.edges)}"
+            )
+
+    @property
+    def n_pieces(self) -> int:
+        return len(self.pieces)
+
+    def _route(self, x: np.ndarray) -> np.ndarray:
+        values = x[:, self.split_feature]
+        return np.searchsorted(np.asarray(self.edges), values, side="left")
+
+    def _dispatch(self, x: np.ndarray, method: str) -> np.ndarray:
+        x_arr = np.atleast_2d(np.asarray(x, dtype=float))
+        result = np.empty(x_arr.shape[0])
+        assignment = self._route(x_arr)
+        for piece_index in range(self.n_pieces):
+            mask = assignment == piece_index
+            if np.any(mask):
+                result[mask] = getattr(self.pieces[piece_index], method)(x_arr[mask])
+        return result
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self._dispatch(x, "predict")
+
+    def predict_upper(self, x: np.ndarray) -> np.ndarray:
+        return self._dispatch(x, "predict_upper")
+
+    def predict_lower(self, x: np.ndarray) -> np.ndarray:
+        return self._dispatch(x, "predict_lower")
+
+
+def _subdivide_once(
+    x: np.ndarray,
+    y: np.ndarray,
+    split_feature: int,
+    k: int,
+    fit_kwargs: dict,
+) -> Optional[SubdividedModel]:
+    """Split on one feature into k magnitude-ordered subsets and fit each."""
+    values = x[:, split_feature]
+    quantiles = np.quantile(values, np.linspace(0, 1, k + 1)[1:-1])
+    edges = tuple(float(q) for q in quantiles)
+    if len(set(edges)) != len(edges):
+        return None  # ties: this feature cannot carve k distinct subsets
+    assignment = np.searchsorted(np.asarray(edges), values, side="left")
+    pieces: List[FittedModel] = []
+    predictions = np.empty_like(y)
+    for piece_index in range(k):
+        mask = assignment == piece_index
+        if mask.sum() < _MIN_SUBSET_SIZE:
+            return None
+        piece = FittedModel.fit(x[mask], y[mask], **fit_kwargs)
+        pieces.append(piece)
+        predictions[mask] = piece.predict(x[mask])
+    return SubdividedModel(
+        split_feature=split_feature,
+        edges=edges,
+        pieces=tuple(pieces),
+        cv_r2=r2_score(y, predictions),
+    )
+
+
+def fit_with_subdivision(
+    x: np.ndarray,
+    y: np.ndarray,
+    target_r2: float = 0.9,
+    max_subsets: int = 4,
+    **fit_kwargs,
+):
+    """Fit a FittedModel; fall back to subdivision if R² misses the target.
+
+    Mirrors Sec. 3.7: try the global model first; if its cross-validated
+    R² is below ``target_r2``, try splitting each feature's values (in
+    magnitude order) into 2..``max_subsets`` subsets and keep the best
+    subdivided model — but only if it actually beats the global fit.
+    Returns either a :class:`~repro.core.models.FittedModel` or a
+    :class:`SubdividedModel`.
+    """
+    x_arr = np.atleast_2d(np.asarray(x, dtype=float))
+    y_arr = np.asarray(y, dtype=float).ravel()
+    global_model = FittedModel.fit(x_arr, y_arr, **fit_kwargs)
+    if global_model.cv_r2 >= target_r2:
+        return global_model
+
+    best = None
+    for split_feature in range(x_arr.shape[1]):
+        if np.all(x_arr[:, split_feature] == x_arr[0, split_feature]):
+            continue
+        for k in range(2, max_subsets + 1):
+            if x_arr.shape[0] < k * _MIN_SUBSET_SIZE:
+                break
+            candidate = _subdivide_once(x_arr, y_arr, split_feature, k, fit_kwargs)
+            if candidate is not None and (best is None or candidate.cv_r2 > best.cv_r2):
+                best = candidate
+    if best is not None and best.cv_r2 > max(global_model.cv_r2, 0.0) + 1e-9:
+        return best
+    return global_model

@@ -1,0 +1,21 @@
+"""Evaluation harness: oracle baseline, experiment drivers, reporting.
+
+Each figure and table of the paper's evaluation (Sec. 5) has a driver in
+:mod:`repro.eval.experiments` returning plain data structures, which the
+``benchmarks/`` suite formats through :mod:`repro.eval.reporting`.
+"""
+
+from repro.eval.adaptive import AdaptiveController, AdaptiveTrajectory
+from repro.eval.cache import shared_profiler
+from repro.eval.oracle import OracleResult, phase_agnostic_oracle
+from repro.eval.reporting import format_series, format_table
+
+__all__ = [
+    "AdaptiveController",
+    "AdaptiveTrajectory",
+    "OracleResult",
+    "format_series",
+    "format_table",
+    "phase_agnostic_oracle",
+    "shared_profiler",
+]

@@ -1,0 +1,139 @@
+"""Online-adaptation baseline (the paper's Sec. 6 "runtime systems" class).
+
+Green, SAGE, and Dynamic Knobs adapt approximation settings *online*:
+they observe the error of completed (portions of) executions and step
+the knobs up or down.  The paper contrasts OPPROX with this class —
+adaptive systems track execution at runtime, pay overhead, and do not
+build phase-aware models.
+
+This module implements a fair representative for our harness: a
+**cross-job feedback controller**.  Production runs of the same job
+arrive one after another; after each run the controller observes the
+measured QoS (available once the job is scored) and adjusts a uniform
+approximation intensity — additive-increase when comfortably under
+budget, multiplicative-decrease on violation.  The benchmark compares
+its trajectory against OPPROX, which is right from the first job but
+needs offline training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.approx.schedule import ApproxSchedule
+from repro.apps.base import Application, ParamsDict
+from repro.instrument.harness import Profiler
+
+__all__ = ["AdaptiveController", "AdaptiveTrajectory", "JobOutcome"]
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """One production job under the controller's current setting."""
+
+    job_index: int
+    intensity: float
+    levels: Dict[str, int]
+    speedup: float
+    qos_value: float
+    within_budget: bool
+
+
+@dataclass(frozen=True)
+class AdaptiveTrajectory:
+    """The full adaptation history plus summary statistics."""
+
+    outcomes: List[JobOutcome]
+
+    @property
+    def violations(self) -> int:
+        return sum(1 for outcome in self.outcomes if not outcome.within_budget)
+
+    @property
+    def final_speedup(self) -> float:
+        return self.outcomes[-1].speedup if self.outcomes else 1.0
+
+    def mean_speedup(self, skip: int = 0) -> float:
+        tail = self.outcomes[skip:]
+        if not tail:
+            raise ValueError("no outcomes after skip")
+        return float(np.mean([outcome.speedup for outcome in tail]))
+
+
+class AdaptiveController:
+    """AIMD feedback over a uniform approximation intensity.
+
+    ``intensity`` in [0, 1] maps to per-block levels by scaling each
+    block's knob range (the coarse, phase-agnostic control an online
+    system without per-phase models can apply).  After each job:
+
+    * QoS within budget with headroom -> intensity += ``step`` (probe up),
+    * QoS over budget -> intensity *= ``backoff`` (retreat fast).
+    """
+
+    def __init__(
+        self,
+        app: Application,
+        profiler: Profiler,
+        budget: float,
+        step: float = 0.1,
+        backoff: float = 0.5,
+        headroom: float = 0.8,
+    ):
+        if not 0.0 < step <= 1.0:
+            raise ValueError("step must be in (0, 1]")
+        if not 0.0 < backoff < 1.0:
+            raise ValueError("backoff must be in (0, 1)")
+        if not 0.0 < headroom <= 1.0:
+            raise ValueError("headroom must be in (0, 1]")
+        self.app = app
+        self.profiler = profiler
+        self.budget = budget
+        self.step = step
+        self.backoff = backoff
+        self.headroom = headroom
+        self.intensity = 0.0
+
+    def levels_for(self, intensity: float) -> Dict[str, int]:
+        """Scale every block's knob by the shared intensity."""
+        return {
+            block.name: int(round(intensity * block.max_level))
+            for block in self.app.blocks
+        }
+
+    def _comfortably_within(self, qos_value: float) -> bool:
+        metric = self.app.metric
+        target_degradation = self.headroom * metric.to_degradation(self.budget)
+        return metric.to_degradation(qos_value) <= target_degradation
+
+    def run_jobs(self, params: ParamsDict, n_jobs: int) -> AdaptiveTrajectory:
+        """Process ``n_jobs`` successive production jobs, adapting between."""
+        if n_jobs < 1:
+            raise ValueError("n_jobs must be >= 1")
+        outcomes: List[JobOutcome] = []
+        plan = self.app.make_plan(params, 1)
+        for job_index in range(n_jobs):
+            levels = self.levels_for(self.intensity)
+            schedule = ApproxSchedule.uniform(self.app.blocks, plan, levels)
+            run = self.profiler.measure(params, schedule)
+            within = self.app.metric.satisfies(run.qos_value, self.budget)
+            outcomes.append(
+                JobOutcome(
+                    job_index=job_index,
+                    intensity=self.intensity,
+                    levels=levels,
+                    speedup=run.speedup,
+                    qos_value=run.qos_value,
+                    within_budget=within,
+                )
+            )
+            # Feedback for the next job.
+            if not within:
+                self.intensity *= self.backoff
+            elif self._comfortably_within(run.qos_value):
+                self.intensity = min(1.0, self.intensity + self.step)
+            # else: hold — near the budget without violating it.
+        return AdaptiveTrajectory(outcomes)

@@ -1,0 +1,140 @@
+"""Shared measurement infrastructure for the experiment suite.
+
+The figure drivers and benchmarks all measure the same applications
+under overlapping approximation settings.  Two layers keep that cheap:
+
+* a process-wide registry of :class:`~repro.instrument.harness.Profiler`
+  instances (one per application), so figures run in one pytest session
+  share every golden run and measured configuration;
+* an optional on-disk cache of measured scalars (speedup, QoS,
+  iterations), so repeated benchmark invocations skip re-execution.
+  Applications are deterministic, which makes this sound; the cache key
+  includes the package version so substrate changes invalidate it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.apps import make_app
+from repro.apps.base import ParamsDict
+from repro.approx.schedule import ApproxSchedule
+from repro.instrument.harness import MeasuredRun, Profiler
+
+__all__ = ["DiskCache", "measure_cached", "shared_profiler", "reset_shared_profilers"]
+
+_PROFILERS: Dict[str, Profiler] = {}
+
+
+def shared_profiler(app_name: str) -> Profiler:
+    """The process-wide profiler for ``app_name`` (created on first use)."""
+    if app_name not in _PROFILERS:
+        _PROFILERS[app_name] = Profiler(make_app(app_name))
+    return _PROFILERS[app_name]
+
+
+def reset_shared_profilers() -> None:
+    """Drop all shared profilers (used by tests to isolate state)."""
+    _PROFILERS.clear()
+
+
+class DiskCache:
+    """JSON-lines cache of measured (speedup, qos, iterations) triples."""
+
+    def __init__(self, root: Path | str):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._entries: Dict[str, dict] = {}
+        self._loaded = False
+
+    def _file(self) -> Path:
+        from repro import __version__
+
+        return self.root / f"measurements-{__version__}.jsonl"
+
+    def _load(self) -> None:
+        if self._loaded:
+            return
+        self._loaded = True
+        path = self._file()
+        if not path.exists():
+            return
+        with path.open() as handle:
+            for line in handle:
+                if line.strip():
+                    entry = json.loads(line)
+                    self._entries[entry["key"]] = entry
+
+    @staticmethod
+    def key_for(app_name: str, params: ParamsDict, schedule: ApproxSchedule) -> str:
+        payload = json.dumps(
+            {
+                "app": app_name,
+                "params": sorted(params.items()),
+                "schedule": schedule.key(),
+            },
+            default=str,
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def get(self, key: str) -> Optional[dict]:
+        self._load()
+        return self._entries.get(key)
+
+    def put(self, key: str, speedup: float, qos_value: float, iterations: int) -> None:
+        self._load()
+        entry = {
+            "key": key,
+            "speedup": speedup,
+            "qos_value": qos_value,
+            "iterations": iterations,
+        }
+        self._entries[key] = entry
+        with self._file().open("a") as handle:
+            handle.write(json.dumps(entry) + "\n")
+
+
+def measure_cached(
+    profiler: Profiler,
+    params: ParamsDict,
+    schedule: ApproxSchedule,
+    disk_cache: Optional[DiskCache] = None,
+) -> MeasuredRun:
+    """Measure through the profiler, short-circuiting via the disk cache.
+
+    Disk hits still produce a :class:`MeasuredRun` (with an empty record
+    body) so downstream consumers see a uniform type.
+    """
+    if disk_cache is None:
+        return profiler.measure(params, schedule)
+    key = DiskCache.key_for(profiler.app.name, params, schedule)
+    hit = disk_cache.get(key)
+    if hit is not None:
+        import numpy as np
+
+        from repro.instrument.harness import ExecutionRecord
+
+        record = ExecutionRecord(
+            app_name=profiler.app.name,
+            params=dict(params),
+            output=np.empty(0),
+            iterations=int(hit["iterations"]),
+            total_work=float("nan"),
+            work_by_block={},
+            work_by_iteration=(),
+            signature="",
+        )
+        return MeasuredRun(
+            record=record,
+            schedule=schedule,
+            speedup=float(hit["speedup"]),
+            qos_value=float(hit["qos_value"]),
+            degradation=profiler.app.metric.to_degradation(float(hit["qos_value"])),
+        )
+    run = profiler.measure(params, schedule)
+    disk_cache.put(key, run.speedup, run.qos_value, run.iterations)
+    return run

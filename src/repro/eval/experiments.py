@@ -1,0 +1,502 @@
+"""Drivers for every table and figure in the paper's evaluation (Sec. 5).
+
+Each function reproduces the data behind one exhibit and returns plain
+data structures; ``benchmarks/`` formats and prints them.  Results are
+shaped for comparison with the paper (who wins, rough factors,
+crossovers) rather than absolute numbers — the substrate is a Python
+simulation, not the authors' Xeon Phi testbed (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.approx.schedule import ApproxSchedule
+from repro.apps import ALL_APPLICATIONS, make_app
+from repro.apps.base import Application, ParamsDict
+from repro.core.controlflow import ControlFlowModel
+from repro.core.opprox import Opprox
+from repro.core.sampling import TrainingSample, TrainingSampler
+from repro.core.spec import AccuracySpec
+from repro.eval.cache import shared_profiler
+from repro.eval.oracle import OracleResult, phase_agnostic_oracle
+from repro.instrument.harness import Profiler
+from repro.ml.crossval import train_test_split
+from repro.ml.metrics import r2_score
+
+__all__ = [
+    "BUDGET_LEVELS",
+    "PhasePoint",
+    "fig2_block_level_sweep",
+    "fig3_iteration_variation",
+    "fig7_filter_order_effect",
+    "fig8_controlflow_accuracy",
+    "fig11_granularity_sweep",
+    "fig12_13_model_predictions",
+    "fig14_opprox_vs_oracle",
+    "fig15_input_sensitivity",
+    "phase_behaviour",
+    "table1_search_space",
+    "table2_overheads",
+    "trained_opprox",
+]
+
+#: Raw budget values per application for {small, medium, large} budgets.
+#: The four percent-metric applications use the paper's 5/10/20 percent.
+#: FFmpeg budgets are PSNR floors; the paper uses 30/20/10 dB for its
+#: video — ours are shifted to our substrate's PSNR range (DESIGN.md).
+BUDGET_LEVELS: Dict[str, Dict[str, float]] = {
+    **{
+        name: {"small": 5.0, "medium": 10.0, "large": 20.0}
+        for name in ALL_APPLICATIONS
+        if name != "ffmpeg"
+    },
+    "ffmpeg": {"small": 27.0, "medium": 22.0, "large": 16.0},
+}
+
+_TRAINED: Dict[Tuple[str, int], Opprox] = {}
+
+#: Per-application overrides for the trained optimizer.  LULESH's
+#: convergence loop couples iteration counts to the approximation levels
+#: far more strongly than the other benchmarks, so its models get more
+#: joint samples, a stricter confidence level, and a larger interaction
+#: margin (the paper likewise reports its least accurate models for
+#: LULESH-like applications, Fig. 12).
+OPPROX_OVERRIDES: Dict[str, Dict[str, float]] = {
+    "lulesh": {
+        "joint_samples_per_phase": 24,
+        "confidence_p": 0.97,
+        "interaction_margin": 0.7,
+    },
+}
+
+
+def trained_opprox(
+    app_name: str,
+    n_phases: int = 4,
+    max_inputs: int = 4,
+    joint_samples_per_phase: int = 16,
+    seed: int = 0,
+) -> Opprox:
+    """A trained OPPROX instance per app, cached for the whole process."""
+    key = (app_name, n_phases)
+    if key not in _TRAINED:
+        app = shared_profiler(app_name).app
+        kwargs = dict(
+            n_phases=n_phases,
+            joint_samples_per_phase=joint_samples_per_phase,
+            seed=seed,
+        )
+        kwargs.update(OPPROX_OVERRIDES.get(app_name, {}))
+        kwargs["joint_samples_per_phase"] = int(kwargs["joint_samples_per_phase"])
+        opprox = Opprox(
+            app,
+            AccuracySpec.for_app(app, max_inputs=max_inputs),
+            profiler=shared_profiler(app_name),
+            **kwargs,
+        )
+        opprox.train()
+        _TRAINED[key] = opprox
+    return _TRAINED[key]
+
+
+# ---------------------------------------------------------------------------
+# Fig. 2 / Fig. 3 — LULESH level sweeps and iteration variation
+# ---------------------------------------------------------------------------
+
+
+def fig2_block_level_sweep(
+    app_name: str = "lulesh", params: Optional[ParamsDict] = None
+) -> Dict[str, List[Tuple[int, float, float]]]:
+    """Per block: (level, speedup, qos_value) with the block approximated alone."""
+    profiler = shared_profiler(app_name)
+    app = profiler.app
+    params = params or app.default_params()
+    plan = app.make_plan(params, 1)
+    sweep: Dict[str, List[Tuple[int, float, float]]] = {}
+    for block in app.blocks:
+        points = [(0, 1.0, profiler.measure(params, None).qos_value)]
+        for level in range(1, block.max_level + 1):
+            run = profiler.measure(
+                params, ApproxSchedule.uniform(app.blocks, plan, {block.name: level})
+            )
+            points.append((level, run.speedup, run.qos_value))
+        sweep[block.name] = points
+    return sweep
+
+
+def fig3_iteration_variation(
+    app_name: str = "lulesh",
+    params: Optional[ParamsDict] = None,
+    n_samples: int = 24,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Outer-loop iteration counts across random uniform AL settings."""
+    profiler = shared_profiler(app_name)
+    app = profiler.app
+    params = params or app.default_params()
+    plan = app.make_plan(params, 1)
+    rng = np.random.default_rng(seed)
+    iterations: List[int] = []
+    for _ in range(n_samples):
+        levels = {
+            block.name: int(rng.integers(0, block.max_level + 1))
+            for block in app.blocks
+        }
+        run = profiler.measure(params, ApproxSchedule.uniform(app.blocks, plan, levels))
+        iterations.append(run.iterations)
+    accurate = profiler.measure(params, None).iterations
+    return {
+        "accurate_iterations": accurate,
+        "iterations": iterations,
+        "min": min(iterations),
+        "max": max(iterations),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4/5, 9, 10, 15 — phase-specific QoS and speedup scatter
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PhasePoint:
+    """One approximation setting applied to one phase (or 'All')."""
+
+    phase: str
+    levels: Dict[str, int]
+    speedup: float
+    qos_value: float
+
+
+def _scatter_level_vectors(app: Application, count: int, seed: int) -> List[Dict[str, int]]:
+    rng = np.random.default_rng(seed)
+    vectors = []
+    while len(vectors) < count:
+        vector = {
+            block.name: int(rng.integers(0, block.max_level + 1))
+            for block in app.blocks
+        }
+        if any(vector.values()):
+            vectors.append(vector)
+    return vectors
+
+
+def phase_behaviour(
+    app_name: str,
+    params: Optional[ParamsDict] = None,
+    n_phases: int = 4,
+    settings_per_phase: int = 14,
+    seed: int = 0,
+) -> List[PhasePoint]:
+    """Fig. 4/5 and Fig. 9/10: scatter of settings per phase plus 'All'."""
+    profiler = shared_profiler(app_name)
+    app = profiler.app
+    params = params or app.default_params()
+    plan = app.make_plan(params, n_phases)
+    vectors = _scatter_level_vectors(app, settings_per_phase, seed)
+    points: List[PhasePoint] = []
+    for phase in range(n_phases):
+        for levels in vectors:
+            run = profiler.measure(
+                params, ApproxSchedule.single_phase(app.blocks, plan, phase, levels)
+            )
+            points.append(
+                PhasePoint(f"phase-{phase + 1}", dict(levels), run.speedup, run.qos_value)
+            )
+    for levels in vectors:
+        run = profiler.measure(params, ApproxSchedule.uniform(app.blocks, plan, levels))
+        points.append(PhasePoint("All", dict(levels), run.speedup, run.qos_value))
+    return points
+
+
+def phase_summary(points: Sequence[PhasePoint]) -> Dict[str, Dict[str, float]]:
+    """Mean speedup / QoS per phase label, for compact reporting."""
+    summary: Dict[str, Dict[str, float]] = {}
+    labels = sorted({p.phase for p in points}, key=lambda s: (s == "All", s))
+    for label in labels:
+        group = [p for p in points if p.phase == label]
+        summary[label] = {
+            "mean_qos": float(np.mean([p.qos_value for p in group])),
+            "mean_speedup": float(np.mean([p.speedup for p in group])),
+        }
+    return summary
+
+
+def fig15_input_sensitivity(
+    app_name: str,
+    n_inputs: int = 4,
+    n_phases: int = 4,
+    settings_per_phase: int = 8,
+    seed: int = 0,
+) -> Dict[str, List[PhasePoint]]:
+    """Phase behaviour across several input combinations (Fig. 15)."""
+    profiler = shared_profiler(app_name)
+    app = profiler.app
+    inputs = AccuracySpec.for_app(app, max_inputs=n_inputs).training_inputs
+    result: Dict[str, List[PhasePoint]] = {}
+    for params in inputs:
+        label = ",".join(f"{k}={v:g}" for k, v in sorted(params.items()))
+        result[label] = phase_behaviour(
+            app_name, params, n_phases, settings_per_phase, seed
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7 / Fig. 8 — control-flow effects and prediction
+# ---------------------------------------------------------------------------
+
+
+def fig7_filter_order_effect(
+    settings_count: int = 8, seed: int = 0
+) -> List[Dict[str, float]]:
+    """FFmpeg: the same approximation under both filter orders (Fig. 7)."""
+    profiler = shared_profiler("ffmpeg")
+    app = profiler.app
+    vectors = _scatter_level_vectors(app, settings_count, seed)
+    rows: List[Dict[str, float]] = []
+    for levels in vectors:
+        row: Dict[str, float] = {}
+        for order in (0.0, 1.0):
+            params = {**app.default_params(), "filter_order": order}
+            plan = app.make_plan(params, 1)
+            run = profiler.measure(
+                params, ApproxSchedule.uniform(app.blocks, plan, levels)
+            )
+            row[f"psnr_order{int(order)}"] = run.qos_value
+        row["difference"] = abs(row["psnr_order0"] - row["psnr_order1"])
+        rows.append(row)
+    return rows
+
+
+def fig8_controlflow_accuracy(app_name: str) -> Dict[str, object]:
+    """Decision-tree control-flow prediction accuracy per application."""
+    profiler = shared_profiler(app_name)
+    app = profiler.app
+    inputs = list(app.training_inputs())
+    model = ControlFlowModel.train(app, profiler, inputs)
+    return {
+        "app": app_name,
+        "n_inputs": len(inputs),
+        "n_control_flows": len(model.signatures),
+        "accuracy": model.accuracy(profiler, inputs),
+        "tree_depth": model.tree.depth(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig. 11 — phase granularity
+# ---------------------------------------------------------------------------
+
+
+def fig11_granularity_sweep(
+    app_name: str,
+    phase_counts: Sequence[int] = (2, 4, 8),
+    settings_per_phase: int = 8,
+    seed: int = 0,
+) -> Dict[int, List[float]]:
+    """Mean QoS per phase when execution is split into 2 / 4 / 8 phases."""
+    result: Dict[int, List[float]] = {}
+    for n_phases in phase_counts:
+        points = phase_behaviour(
+            app_name, None, n_phases, settings_per_phase, seed
+        )
+        means = []
+        for phase in range(n_phases):
+            label = f"phase-{phase + 1}"
+            means.append(
+                float(np.mean([p.qos_value for p in points if p.phase == label]))
+            )
+        result[n_phases] = means
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 12 / Fig. 13 — model prediction accuracy
+# ---------------------------------------------------------------------------
+
+
+def fig12_13_model_predictions(
+    app_name: str, n_phases: int = 4, seed: int = 0
+) -> Dict[str, object]:
+    """50/50 split: actual vs predicted QoS degradation and speedup.
+
+    Mirrors the paper's protocol: data is randomly partitioned into two
+    equal halves, models are trained on one and evaluated on the other.
+    """
+    profiler = shared_profiler(app_name)
+    app = profiler.app
+    opprox = trained_opprox(app_name, n_phases=n_phases)
+    # Use the control flow with the most training data so the 50% split
+    # leaves every local model enough samples (LULESH's three region
+    # flows split its inputs thin otherwise).
+    samples = max(opprox._samples_by_flow.values(), key=len)
+    train_idx, test_idx = train_test_split(len(samples), 0.5, seed=seed)
+
+    from repro.core.models import PhaseModels
+
+    models = PhaseModels.fit(
+        app, n_phases, [samples[i] for i in train_idx], seed=seed
+    )
+    actual_speedup: List[float] = []
+    predicted_speedup: List[float] = []
+    actual_degradation: List[float] = []
+    predicted_degradation: List[float] = []
+    names = [b.name for b in app.blocks]
+    for i in test_idx:
+        sample = samples[i]
+        vector = np.array([[sample.levels.get(n, 0) for n in names]], dtype=float)
+        speedup, degradation = models.predict_phase(
+            sample.params, sample.phase, vector, conservative=False
+        )
+        actual_speedup.append(sample.speedup)
+        predicted_speedup.append(float(speedup[0]))
+        actual_degradation.append(sample.degradation)
+        predicted_degradation.append(float(degradation[0]))
+    # Raw-space R^2 matches the paper's scatter axes but is dominated by
+    # the few saturated-degradation samples on our noisier substrates;
+    # log-space R^2 is the fair accuracy measure for the (multiplicative)
+    # models and is reported alongside.
+    log_s = lambda values: np.log(np.maximum(values, 1e-3))
+    log_d = lambda values: np.log1p(np.maximum(values, 0.0))
+    return {
+        "app": app_name,
+        "n_test": len(test_idx),
+        "speedup_r2": r2_score(actual_speedup, predicted_speedup),
+        "degradation_r2": r2_score(actual_degradation, predicted_degradation),
+        "speedup_r2_log": r2_score(log_s(np.array(actual_speedup)), log_s(np.array(predicted_speedup))),
+        "degradation_r2_log": r2_score(log_d(np.array(actual_degradation)), log_d(np.array(predicted_degradation))),
+        "actual_speedup": actual_speedup,
+        "predicted_speedup": predicted_speedup,
+        "actual_degradation": actual_degradation,
+        "predicted_degradation": predicted_degradation,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig. 14 — OPPROX vs the phase-agnostic oracle
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Fig14Row:
+    """One (application, budget) comparison."""
+
+    app: str
+    budget_label: str
+    budget_value: float
+    opprox_speedup: float
+    opprox_work_reduction: float
+    opprox_qos: float
+    opprox_within_budget: bool
+    oracle_speedup: float
+    oracle_work_reduction: float
+    oracle_qos: float
+    oracle_found_config: bool
+
+
+def fig14_opprox_vs_oracle(
+    app_name: str,
+    budgets: Optional[Dict[str, float]] = None,
+    n_phases: int = 4,
+    oracle_level_stride: int = 1,
+) -> List[Fig14Row]:
+    """OPPROX vs the phase-agnostic exhaustive oracle at three budgets."""
+    profiler = shared_profiler(app_name)
+    app = profiler.app
+    params = app.default_params()
+    budgets = budgets or BUDGET_LEVELS[app_name]
+    opprox = trained_opprox(app_name, n_phases=n_phases)
+    rows: List[Fig14Row] = []
+    for label in ("small", "medium", "large"):
+        budget = budgets[label]
+        run = opprox.apply(params, budget)
+        oracle = phase_agnostic_oracle(
+            profiler, params, budget, level_stride=oracle_level_stride
+        )
+        rows.append(
+            Fig14Row(
+                app=app_name,
+                budget_label=label,
+                budget_value=budget,
+                opprox_speedup=run.speedup,
+                opprox_work_reduction=run.work_reduction_percent,
+                opprox_qos=run.qos_value,
+                opprox_within_budget=app.metric.satisfies(run.qos_value, budget),
+                oracle_speedup=oracle.speedup,
+                oracle_work_reduction=oracle.work_reduction_percent,
+                oracle_qos=oracle.qos_value,
+                oracle_found_config=oracle.feasible,
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table 1 / Table 2 — search spaces and overheads
+# ---------------------------------------------------------------------------
+
+
+def table1_search_space() -> List[Dict[str, object]]:
+    """Input parameters, techniques, and search-space sizes per app."""
+    rows = []
+    for name in ALL_APPLICATIONS:
+        app = make_app(name)
+        n_inputs = 1
+        for parameter in app.parameters:
+            n_inputs *= len(parameter.values)
+        rows.append(
+            {
+                "app": name,
+                "input_parameters": [p.name for p in app.parameters],
+                "techniques": sorted({b.technique.value for b in app.blocks}),
+                "n_blocks": len(app.blocks),
+                "levels_per_block": [b.n_levels for b in app.blocks],
+                "settings_per_phase": app.search_space_size(1),
+                "search_space_4_phases": app.search_space_size(4),
+                "input_combinations": n_inputs,
+            }
+        )
+    return rows
+
+
+def table2_overheads(
+    app_name: str,
+    phase_counts: Sequence[int] = (1, 2, 4, 8),
+    max_inputs: int = 2,
+    joint_samples_per_phase: int = 6,
+) -> List[Dict[str, float]]:
+    """Training and optimization wall-clock time vs phase granularity.
+
+    Fresh profilers are used on purpose: training time must include the
+    profiling runs, exactly like the paper's offline stage.
+    """
+    rows: List[Dict[str, float]] = []
+    for n_phases in phase_counts:
+        app = make_app(app_name)
+        profiler = Profiler(app)
+        opprox = Opprox(
+            app,
+            AccuracySpec.for_app(app, max_inputs=max_inputs),
+            profiler=profiler,
+            n_phases=n_phases,
+            joint_samples_per_phase=joint_samples_per_phase,
+        )
+        report = opprox.train()
+        started = time.perf_counter()
+        opprox.optimize(app.default_params(), BUDGET_LEVELS[app_name]["medium"])
+        optimization_seconds = time.perf_counter() - started
+        rows.append(
+            {
+                "n_phases": n_phases,
+                "training_seconds": report.training_seconds,
+                "optimization_seconds": optimization_seconds,
+                "n_samples": report.n_samples,
+            }
+        )
+    return rows

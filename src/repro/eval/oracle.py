@@ -1,0 +1,103 @@
+"""Phase-agnostic exhaustive-search oracle (Sec. 5.3).
+
+Prior work's idealized baseline: enumerate *all* combinations of
+approximation settings, apply each uniformly over the whole execution,
+measure the real speedup and QoS, and keep the best setting whose
+measured QoS satisfies the budget.  Because it measures rather than
+predicts, it is an upper bound on what any phase-agnostic technique can
+achieve — which is exactly why beating it with phase-awareness is the
+paper's headline result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, List, Optional, Tuple
+
+from repro.approx.schedule import ApproxSchedule
+from repro.apps.base import Application, ParamsDict
+from repro.eval.cache import DiskCache, measure_cached
+from repro.instrument.harness import Profiler
+
+__all__ = ["OracleResult", "oracle_frontier", "phase_agnostic_oracle"]
+
+
+@dataclass(frozen=True)
+class OracleResult:
+    """Best phase-agnostic configuration for one budget."""
+
+    levels: Dict[str, int]
+    speedup: float
+    qos_value: float
+    feasible: bool
+    configurations_tried: int
+
+    @property
+    def work_reduction_percent(self) -> float:
+        return (1.0 - 1.0 / self.speedup) * 100.0
+
+
+def _uniform_level_vectors(
+    app: Application, level_stride: int = 1
+) -> List[Dict[str, int]]:
+    """Every uniform AL combination (optionally strided to thin the grid)."""
+    if level_stride < 1:
+        raise ValueError(f"level_stride must be >= 1, got {level_stride}")
+    spaces = [
+        sorted(set(range(0, block.max_level + 1, level_stride)) | {block.max_level})
+        for block in app.blocks
+    ]
+    names = [block.name for block in app.blocks]
+    return [dict(zip(names, combo)) for combo in product(*spaces)]
+
+
+def oracle_frontier(
+    profiler: Profiler,
+    params: ParamsDict,
+    level_stride: int = 1,
+    disk_cache: Optional[DiskCache] = None,
+) -> List[Tuple[Dict[str, int], float, float]]:
+    """Measured (levels, speedup, qos) for every uniform configuration."""
+    app = profiler.app
+    plan = app.make_plan(params, 1)
+    frontier = []
+    for levels in _uniform_level_vectors(app, level_stride):
+        schedule = ApproxSchedule.uniform(app.blocks, plan, levels)
+        run = measure_cached(profiler, params, schedule, disk_cache)
+        frontier.append((levels, run.speedup, run.qos_value))
+    return frontier
+
+
+def phase_agnostic_oracle(
+    profiler: Profiler,
+    params: ParamsDict,
+    budget: float,
+    level_stride: int = 1,
+    disk_cache: Optional[DiskCache] = None,
+) -> OracleResult:
+    """Exhaustive phase-agnostic search under a raw QoS budget.
+
+    ``budget`` is in the application's raw metric units (a maximum
+    percent degradation, or a minimum PSNR for FFmpeg).
+    """
+    app = profiler.app
+    best_levels: Dict[str, int] = {block.name: 0 for block in app.blocks}
+    best_speedup = 1.0
+    best_qos = app.metric.ceiling if app.metric.higher_is_better else 0.0
+    feasible_found = False
+    frontier = oracle_frontier(profiler, params, level_stride, disk_cache)
+    for levels, speedup, qos in frontier:
+        if not app.metric.satisfies(qos, budget):
+            continue
+        if any(levels.values()):
+            feasible_found = True
+        if speedup > best_speedup:
+            best_levels, best_speedup, best_qos = levels, speedup, qos
+    return OracleResult(
+        levels=best_levels,
+        speedup=best_speedup,
+        qos_value=best_qos,
+        feasible=feasible_found,
+        configurations_tried=len(frontier),
+    )

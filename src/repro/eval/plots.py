@@ -1,0 +1,231 @@
+"""Dependency-free SVG charts for the reproduced figures.
+
+The evaluation environment has no plotting stack, so this module renders
+scatter and line charts directly as SVG strings — enough to regenerate
+the paper's figures visually (`examples/generate_figures.py` writes one
+SVG per exhibit).  The API is deliberately tiny: build a
+:class:`Chart`, add series, render.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["Chart", "Series"]
+
+_PALETTE = (
+    "#4263eb", "#f76707", "#2b8a3e", "#e03131", "#862e9c",
+    "#0b7285", "#e8590c", "#5f3dc4",
+)
+_WIDTH = 640
+_HEIGHT = 420
+_MARGIN_LEFT = 70
+_MARGIN_RIGHT = 30
+_MARGIN_TOP = 50
+_MARGIN_BOTTOM = 60
+
+
+@dataclass
+class Series:
+    """One named data series: points, and how to draw them."""
+
+    label: str
+    x: Sequence[float]
+    y: Sequence[float]
+    style: str = "scatter"  # "scatter" | "line" | "bar"
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(
+                f"series {self.label!r}: {len(self.x)} x values vs "
+                f"{len(self.y)} y values"
+            )
+        if self.style not in ("scatter", "line", "bar"):
+            raise ValueError(f"unknown style {self.style!r}")
+
+
+def _nice_ticks(low: float, high: float, count: int = 5) -> List[float]:
+    """Round tick positions covering [low, high]."""
+    if high <= low:
+        high = low + 1.0
+    span = high - low
+    raw_step = span / max(1, count - 1)
+    magnitude = 10 ** math.floor(math.log10(raw_step))
+    for factor in (1, 2, 2.5, 5, 10):
+        step = factor * magnitude
+        if step >= raw_step:
+            break
+    start = math.floor(low / step) * step
+    ticks = []
+    value = start
+    while value <= high + 0.5 * step:
+        ticks.append(round(value, 10))
+        value += step
+    return ticks
+
+
+@dataclass
+class Chart:
+    """A minimal SVG chart with labelled axes and a legend."""
+
+    title: str
+    x_label: str = ""
+    y_label: str = ""
+    series: List[Series] = field(default_factory=list)
+    x_categories: Optional[Sequence[str]] = None
+
+    def add(
+        self,
+        label: str,
+        x: Sequence[float],
+        y: Sequence[float],
+        style: str = "scatter",
+    ) -> "Chart":
+        self.series.append(Series(label, list(x), list(y), style))
+        return self
+
+    # -- geometry ------------------------------------------------------------
+
+    def _bounds(self) -> Tuple[float, float, float, float]:
+        xs = [v for s in self.series for v in s.x]
+        ys = [v for s in self.series for v in s.y]
+        if not xs:
+            return 0.0, 1.0, 0.0, 1.0
+        x_low, x_high = min(xs), max(xs)
+        y_low, y_high = min(ys), max(ys)
+        if x_high == x_low:
+            x_high = x_low + 1.0
+        if y_high == y_low:
+            y_high = y_low + 1.0
+        pad_x = 0.05 * (x_high - x_low)
+        pad_y = 0.08 * (y_high - y_low)
+        return x_low - pad_x, x_high + pad_x, min(0.0, y_low) - pad_y, y_high + pad_y
+
+    def render(self) -> str:
+        """The chart as a standalone SVG document string."""
+        x_low, x_high, y_low, y_high = self._bounds()
+        plot_w = _WIDTH - _MARGIN_LEFT - _MARGIN_RIGHT
+        plot_h = _HEIGHT - _MARGIN_TOP - _MARGIN_BOTTOM
+
+        def sx(value: float) -> float:
+            return _MARGIN_LEFT + (value - x_low) / (x_high - x_low) * plot_w
+
+        def sy(value: float) -> float:
+            return _MARGIN_TOP + plot_h - (value - y_low) / (y_high - y_low) * plot_h
+
+        parts: List[str] = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+            f'height="{_HEIGHT}" font-family="sans-serif">',
+            f'<rect width="{_WIDTH}" height="{_HEIGHT}" fill="white"/>',
+            f'<text x="{_WIDTH / 2}" y="24" font-size="15" text-anchor="middle" '
+            f'font-weight="bold">{_escape(self.title)}</text>',
+        ]
+
+        # Axes frame and ticks.
+        parts.append(
+            f'<rect x="{_MARGIN_LEFT}" y="{_MARGIN_TOP}" width="{plot_w}" '
+            f'height="{plot_h}" fill="none" stroke="#444"/>'
+        )
+        for tick in _nice_ticks(y_low, y_high):
+            if not y_low <= tick <= y_high:
+                continue
+            y_pos = sy(tick)
+            parts.append(
+                f'<line x1="{_MARGIN_LEFT}" y1="{y_pos:.1f}" '
+                f'x2="{_MARGIN_LEFT + plot_w}" y2="{y_pos:.1f}" '
+                'stroke="#ddd" stroke-width="0.6"/>'
+            )
+            parts.append(
+                f'<text x="{_MARGIN_LEFT - 6}" y="{y_pos + 4:.1f}" font-size="11" '
+                f'text-anchor="end">{tick:g}</text>'
+            )
+        if self.x_categories:
+            for index, label in enumerate(self.x_categories):
+                parts.append(
+                    f'<text x="{sx(index):.1f}" y="{_MARGIN_TOP + plot_h + 18}" '
+                    f'font-size="11" text-anchor="middle">{_escape(label)}</text>'
+                )
+        else:
+            for tick in _nice_ticks(x_low, x_high):
+                if not x_low <= tick <= x_high:
+                    continue
+                parts.append(
+                    f'<text x="{sx(tick):.1f}" y="{_MARGIN_TOP + plot_h + 18}" '
+                    f'font-size="11" text-anchor="middle">{tick:g}</text>'
+                )
+        if self.x_label:
+            parts.append(
+                f'<text x="{_MARGIN_LEFT + plot_w / 2}" y="{_HEIGHT - 14}" '
+                f'font-size="12" text-anchor="middle">{_escape(self.x_label)}</text>'
+            )
+        if self.y_label:
+            y_mid = _MARGIN_TOP + plot_h / 2
+            parts.append(
+                f'<text x="18" y="{y_mid}" font-size="12" text-anchor="middle" '
+                f'transform="rotate(-90 18 {y_mid})">{_escape(self.y_label)}</text>'
+            )
+
+        # Series.
+        bar_groups = [s for s in self.series if s.style == "bar"]
+        for index, series in enumerate(self.series):
+            color = _PALETTE[index % len(_PALETTE)]
+            if series.style == "line":
+                points = " ".join(
+                    f"{sx(x):.1f},{sy(y):.1f}" for x, y in zip(series.x, series.y)
+                )
+                parts.append(
+                    f'<polyline points="{points}" fill="none" stroke="{color}" '
+                    'stroke-width="2"/>'
+                )
+                for x, y in zip(series.x, series.y):
+                    parts.append(
+                        f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="3" '
+                        f'fill="{color}"/>'
+                    )
+            elif series.style == "bar":
+                group = bar_groups.index(series)
+                width = max(4.0, plot_w / (max(len(series.x), 1) * (len(bar_groups) + 1)))
+                for x, y in zip(series.x, series.y):
+                    x_pos = sx(x) + (group - len(bar_groups) / 2) * width
+                    parts.append(
+                        f'<rect x="{x_pos:.1f}" y="{min(sy(y), sy(0)):.1f}" '
+                        f'width="{width:.1f}" height="{abs(sy(0) - sy(y)):.1f}" '
+                        f'fill="{color}" opacity="0.85"/>'
+                    )
+            else:
+                for x, y in zip(series.x, series.y):
+                    parts.append(
+                        f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="3.5" '
+                        f'fill="{color}" fill-opacity="0.65"/>'
+                    )
+
+        # Legend.
+        legend_x = _MARGIN_LEFT + 8
+        legend_y = _MARGIN_TOP + 10
+        for index, series in enumerate(self.series):
+            color = _PALETTE[index % len(_PALETTE)]
+            y_pos = legend_y + index * 16
+            parts.append(
+                f'<rect x="{legend_x}" y="{y_pos - 8}" width="10" height="10" '
+                f'fill="{color}"/>'
+            )
+            parts.append(
+                f'<text x="{legend_x + 15}" y="{y_pos + 1}" font-size="11">'
+                f'{_escape(series.label)}</text>'
+            )
+
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def save(self, path) -> None:
+        from pathlib import Path
+
+        Path(path).write_text(self.render())
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )

@@ -1,0 +1,43 @@
+"""Plain-text tables and series for the benchmark suite's output."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["format_series", "format_table"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Fixed-width ASCII table; floats are rendered with 3 decimals."""
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    rendered = [[render(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def format_series(series: Dict[str, Sequence[float]], title: str = "") -> str:
+    """Render named numeric series (one per line), e.g. per-phase means."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    width = max((len(name) for name in series), default=0)
+    for name, values in series.items():
+        values_text = ", ".join(f"{v:.3f}" for v in values)
+        lines.append(f"{name.ljust(width)}  [{values_text}]")
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""Profiling substrate: work accounting, call-context logs, run harness.
+
+The paper measures speedup as the ratio of instructions executed by the
+accurate and approximate runs and extracts outer-loop iteration counts
+from call-context logs.  Here every kernel charges deterministic work
+units to a :class:`~repro.instrument.counters.WorkMeter`, and the
+harness packages a run's outputs, work, iterations, and call contexts
+into an :class:`~repro.instrument.harness.ExecutionRecord`.
+"""
+
+from repro.instrument.callcontext import CallContextLog, control_flow_signature
+from repro.instrument.counters import WorkMeter
+from repro.instrument.energy import EnergyModel, EnergyReport
+from repro.instrument.harness import ExecutionRecord, MeasuredRun, Profiler
+
+__all__ = [
+    "CallContextLog",
+    "EnergyModel",
+    "EnergyReport",
+    "ExecutionRecord",
+    "MeasuredRun",
+    "Profiler",
+    "WorkMeter",
+    "control_flow_signature",
+]

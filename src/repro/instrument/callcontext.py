@@ -1,0 +1,92 @@
+"""Call-context logging and control-flow signature extraction (Sec. 3.3).
+
+OPPROX instruments applications with log messages capturing the
+call-context of each approximable block; the sequence of unique contexts
+classifies control flows, and counting how often the per-iteration
+context sequence repeats recovers the outer-loop iteration count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+__all__ = ["CallContextEvent", "CallContextLog", "control_flow_signature"]
+
+
+@dataclass(frozen=True)
+class CallContextEvent:
+    """One log record: an AB executed at an outer-loop iteration."""
+
+    iteration: int
+    block_name: str
+    context: str = ""
+
+
+class CallContextLog:
+    """Ordered record of AB executions across a run."""
+
+    def __init__(self) -> None:
+        self._events: List[CallContextEvent] = []
+
+    def record(self, iteration: int, block_name: str, context: str = "") -> None:
+        if iteration < 0:
+            raise ValueError(f"iteration must be non-negative, got {iteration}")
+        if not block_name:
+            raise ValueError("block_name must be non-empty")
+        self._events.append(CallContextEvent(iteration, block_name, context))
+
+    @property
+    def events(self) -> Tuple[CallContextEvent, ...]:
+        return tuple(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def sequence_for_iteration(self, iteration: int) -> Tuple[str, ...]:
+        """The AB (name, context) sequence executed in one outer iteration."""
+        return tuple(
+            f"{e.block_name}@{e.context}" if e.context else e.block_name
+            for e in self._events
+            if e.iteration == iteration
+        )
+
+    def iteration_count(self) -> int:
+        """Outer-loop iterations recovered from the log.
+
+        Mirrors the paper's extraction: the number of times the
+        per-iteration call-context sequence repeats in the log.
+        """
+        if not self._events:
+            return 0
+        return max(e.iteration for e in self._events) + 1
+
+
+def control_flow_signature(log: CallContextLog) -> str:
+    """Compact signature of the distinct per-iteration AB sequences.
+
+    Two runs have the same signature iff they execute the same ordered
+    sequences of approximable blocks (ignoring how many iterations repeat
+    each sequence).  This is the label OPPROX's decision tree predicts
+    from input parameters.
+    """
+    # Single pass: events arrive in iteration order, so we can build each
+    # iteration's sequence as we go instead of re-scanning the log.
+    per_iteration: List[List[str]] = []
+    for event in log.events:
+        while len(per_iteration) <= event.iteration:
+            per_iteration.append([])
+        name = (
+            f"{event.block_name}@{event.context}"
+            if event.context
+            else event.block_name
+        )
+        per_iteration[event.iteration].append(name)
+    collapsed: List[Tuple[str, ...]] = []
+    previous: Tuple[str, ...] | None = None
+    for names in per_iteration:
+        seq = tuple(names)
+        if seq != previous and seq not in collapsed:
+            collapsed.append(seq)
+        previous = seq
+    return "|".join(">".join(seq) for seq in collapsed)

@@ -1,0 +1,87 @@
+"""Work-unit accounting — the reproduction's "instructions executed".
+
+Native OPPROX counts retired instructions with hardware counters.  Our
+Python substrates instead charge explicit work units: each kernel
+charges units proportional to the elements it actually computed, so a
+perforated loop that computes a third of its elements charges a third of
+the work.  Speedup ratios are therefore directly comparable to the
+paper's instruction-count ratios.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+__all__ = ["WorkMeter"]
+
+
+class WorkMeter:
+    """Accumulates work units per approximable block per outer iteration."""
+
+    def __init__(self) -> None:
+        self._iteration: int = -1
+        self._by_block: Dict[str, float] = defaultdict(float)
+        self._per_iteration: List[Dict[str, float]] = []
+        self._overhead: float = 0.0
+
+    def begin_iteration(self, iteration: int) -> None:
+        """Mark the start of outer-loop iteration ``iteration``.
+
+        Iterations must be announced in increasing order starting at 0;
+        this is how the meter learns the outer-loop iteration count.
+        """
+        if iteration != self._iteration + 1:
+            raise ValueError(
+                f"iterations must be sequential: expected {self._iteration + 1}, "
+                f"got {iteration}"
+            )
+        self._iteration = iteration
+        self._per_iteration.append(defaultdict(float))
+
+    def charge(self, block_name: str, units: float) -> None:
+        """Charge ``units`` of work to ``block_name`` in the current iteration."""
+        if units < 0:
+            raise ValueError(f"work units must be non-negative, got {units}")
+        self._by_block[block_name] += units
+        if self._per_iteration:
+            self._per_iteration[-1][block_name] += units
+
+    def charge_overhead(self, units: float) -> None:
+        """Charge work outside any block (setup, reductions, output)."""
+        if units < 0:
+            raise ValueError(f"work units must be non-negative, got {units}")
+        self._overhead += units
+
+    # -- results -----------------------------------------------------------
+
+    @property
+    def iterations(self) -> int:
+        """Number of outer-loop iterations announced so far."""
+        return self._iteration + 1
+
+    @property
+    def total_work(self) -> float:
+        return sum(self._by_block.values()) + self._overhead
+
+    @property
+    def work_by_block(self) -> Dict[str, float]:
+        return dict(self._by_block)
+
+    def work_in_iteration(self, iteration: int) -> Dict[str, float]:
+        if not 0 <= iteration < len(self._per_iteration):
+            raise ValueError(
+                f"iteration {iteration} outside [0, {len(self._per_iteration)})"
+            )
+        return dict(self._per_iteration[iteration])
+
+    def work_by_phase(self, boundaries: Tuple[int, ...]) -> List[float]:
+        """Total work per phase, given phase start iterations."""
+        totals = [0.0] * len(boundaries)
+        for iteration, work in enumerate(self._per_iteration):
+            phase = 0
+            for p, start in enumerate(boundaries):
+                if iteration >= start:
+                    phase = p
+            totals[phase] += sum(work.values())
+        return totals

@@ -1,0 +1,104 @@
+"""Energy accounting on top of the work meter.
+
+Approximate computing trades accuracy for "savings in execution time
+and/or energy" (Sec. 1).  The paper reports work; this utility converts
+an :class:`~repro.instrument.harness.ExecutionRecord`'s work units into
+an energy estimate with the standard two-component model:
+
+    E = E_dynamic + E_static
+      = (energy per work unit) * work  +  P_static * T
+
+with execution time T proportional to work on a fixed-rate core.  Under
+this model, energy savings track work savings exactly when the static
+share is zero and shrink as static power grows — the classic reason
+"race-to-idle" makes approximation attractive on servers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.instrument.harness import ExecutionRecord, MeasuredRun
+
+__all__ = ["EnergyModel", "EnergyReport"]
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy estimate for one run (arbitrary but consistent units)."""
+
+    dynamic_energy: float
+    static_energy: float
+
+    @property
+    def total(self) -> float:
+        return self.dynamic_energy + self.static_energy
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Two-component energy model over work units.
+
+    Attributes
+    ----------
+    energy_per_work_unit:
+        Dynamic energy charged per work unit executed.
+    static_power:
+        Static (leakage + uncore) power, charged per time unit.
+    work_per_time_unit:
+        Core throughput: work units retired per time unit, converting
+        work into execution time for the static component.
+    """
+
+    energy_per_work_unit: float = 1.0
+    static_power: float = 0.0
+    work_per_time_unit: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.energy_per_work_unit < 0:
+            raise ValueError("energy_per_work_unit must be non-negative")
+        if self.static_power < 0:
+            raise ValueError("static_power must be non-negative")
+        if self.work_per_time_unit <= 0:
+            raise ValueError("work_per_time_unit must be positive")
+
+    def report(self, record: ExecutionRecord) -> EnergyReport:
+        """Energy estimate for a recorded run."""
+        execution_time = record.total_work / self.work_per_time_unit
+        return EnergyReport(
+            dynamic_energy=self.energy_per_work_unit * record.total_work,
+            static_energy=self.static_power * execution_time,
+        )
+
+    def savings_percent(self, golden: ExecutionRecord, run: MeasuredRun) -> float:
+        """Percent energy saved by ``run`` relative to the accurate run.
+
+        With this proportional-time model the static and dynamic parts
+        both scale with work, so the savings equal the work reduction —
+        the method exists so callers can swap in models where they do
+        not (e.g. a fixed-deadline system charging static power for the
+        full period regardless of work).
+        """
+        baseline = self.report(golden).total
+        approximate = self.report(run.record).total
+        if baseline <= 0:
+            raise ValueError("accurate run reports no work")
+        return (1.0 - approximate / baseline) * 100.0
+
+    def fixed_deadline_savings_percent(
+        self, golden: ExecutionRecord, run: MeasuredRun, deadline_factor: float = 1.0
+    ) -> float:
+        """Savings when static power burns for a fixed period.
+
+        Models a system that stays powered for ``deadline_factor`` times
+        the accurate run's duration no matter how early the work
+        finishes: only the dynamic component shrinks with approximation,
+        so high static power erodes the benefit.
+        """
+        if deadline_factor <= 0:
+            raise ValueError("deadline_factor must be positive")
+        period = deadline_factor * golden.total_work / self.work_per_time_unit
+        static = self.static_power * period
+        baseline = self.energy_per_work_unit * golden.total_work + static
+        approximate = self.energy_per_work_unit * run.record.total_work + static
+        return (1.0 - approximate / baseline) * 100.0

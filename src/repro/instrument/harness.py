@@ -1,0 +1,128 @@
+"""Run harness: execute applications, compare against golden runs, cache.
+
+The :class:`Profiler` is the measurement workhorse used both by OPPROX's
+training-data sampler and by the evaluation harness.  It memoizes golden
+(exact) runs per input-parameter combination and every measured
+(schedule, params) pair — the applications are deterministic, so caching
+is sound and keeps the full figure suite fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.approx.schedule import ApproxSchedule
+
+__all__ = ["ExecutionRecord", "MeasuredRun", "Profiler"]
+
+
+@dataclass(frozen=True)
+class ExecutionRecord:
+    """Everything one instrumented run produces."""
+
+    app_name: str
+    params: Dict[str, float]
+    output: np.ndarray
+    iterations: int
+    total_work: float
+    work_by_block: Dict[str, float]
+    work_by_iteration: Tuple[float, ...]
+    signature: str
+
+    def work_by_phase(self, boundaries: Tuple[int, ...]) -> Tuple[float, ...]:
+        """Aggregate per-iteration work into phases."""
+        totals = [0.0] * len(boundaries)
+        for iteration, work in enumerate(self.work_by_iteration):
+            phase = 0
+            for p, start in enumerate(boundaries):
+                if iteration >= start:
+                    phase = p
+            totals[phase] += work
+        return tuple(totals)
+
+
+@dataclass(frozen=True)
+class MeasuredRun:
+    """An approximate run scored against its golden counterpart."""
+
+    record: ExecutionRecord
+    schedule: ApproxSchedule
+    #: work_accurate / work_approximate — the paper's speedup metric
+    speedup: float
+    #: raw QoS metric value (degradation % or PSNR dB)
+    qos_value: float
+    #: QoS in common lower-is-better degradation space
+    degradation: float
+
+    @property
+    def iterations(self) -> int:
+        return self.record.iterations
+
+    @property
+    def work_reduction_percent(self) -> float:
+        """Percent less work than the accurate run (the '14% less work')."""
+        return (1.0 - 1.0 / self.speedup) * 100.0
+
+
+@dataclass
+class Profiler:
+    """Caching measurement harness for one application."""
+
+    app: "Application"
+    _golden: Dict[Tuple, ExecutionRecord] = field(default_factory=dict)
+    _measured: Dict[Tuple, MeasuredRun] = field(default_factory=dict)
+    #: number of actual (non-cached) application executions performed
+    executions: int = 0
+
+    def golden(self, params: Dict[str, float]) -> ExecutionRecord:
+        """Exact run for ``params`` (cached)."""
+        key = self.app.params_key(params)
+        if key not in self._golden:
+            self._golden[key] = self.app.run(params, schedule=None)
+            self.executions += 1
+        return self._golden[key]
+
+    def measure(
+        self, params: Dict[str, float], schedule: Optional[ApproxSchedule]
+    ) -> MeasuredRun:
+        """Run under ``schedule`` and score speedup/QoS against golden."""
+        golden = self.golden(params)
+        if schedule is None or schedule.is_exact:
+            exact_schedule = schedule or ApproxSchedule.exact(
+                self.app.blocks, self.app.make_plan(params, 1)
+            )
+            return MeasuredRun(
+                record=golden,
+                schedule=exact_schedule,
+                speedup=1.0,
+                qos_value=self._exact_qos(),
+                degradation=0.0,
+            )
+        key = (self.app.params_key(params), schedule.key())
+        if key not in self._measured:
+            record = self.app.run(params, schedule)
+            self.executions += 1
+            qos_value = self.app.metric.compute(golden.output, record.output)
+            speedup = golden.total_work / max(record.total_work, 1e-12)
+            # Drop the raw output before caching: QoS is already scored,
+            # and keeping thousands of frame buffers would dominate memory.
+            slim_record = replace(record, output=np.empty(0))
+            self._measured[key] = MeasuredRun(
+                record=slim_record,
+                schedule=schedule,
+                speedup=speedup,
+                qos_value=qos_value,
+                degradation=self.app.metric.to_degradation(qos_value),
+            )
+        return self._measured[key]
+
+    def _exact_qos(self) -> float:
+        metric = self.app.metric
+        return metric.ceiling if metric.higher_is_better else 0.0
+
+    def cache_sizes(self) -> Tuple[int, int]:
+        """(golden runs cached, measured runs cached) — used in tests."""
+        return len(self._golden), len(self._measured)

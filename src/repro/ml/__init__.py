@@ -1,0 +1,32 @@
+"""From-scratch machine-learning substrate used by OPPROX.
+
+The paper relies on standard estimators (polynomial regression, decision
+trees, k-fold cross-validation, and the Maximal Information Coefficient).
+This package implements them on top of numpy so that the reproduction has
+no dependency beyond the scientific Python stack.
+"""
+
+from repro.ml.decision_tree import DecisionTreeClassifier
+from repro.ml.features import PolynomialFeatures, Standardizer
+from repro.ml.metrics import accuracy_score, mean_absolute_error, mean_squared_error, r2_score
+from repro.ml.mic import mic_score
+from repro.ml.model_tree import ModelTreeRegressor
+from repro.ml.polyreg import PolynomialRegression
+from repro.ml.crossval import KFold, cross_val_r2, select_polynomial_degree, train_test_split
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "KFold",
+    "ModelTreeRegressor",
+    "PolynomialFeatures",
+    "PolynomialRegression",
+    "Standardizer",
+    "accuracy_score",
+    "cross_val_r2",
+    "mean_absolute_error",
+    "mean_squared_error",
+    "mic_score",
+    "r2_score",
+    "select_polynomial_degree",
+    "train_test_split",
+]

@@ -1,0 +1,136 @@
+"""Cross-validation utilities (Sec. 3.7 of the paper).
+
+OPPROX picks the polynomial degree by gradually increasing it until
+10-fold cross-validation reports a good R^2 score.  This module provides
+the k-fold splitter, the cross-validated scoring loop, and the degree
+search itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Tuple
+
+import numpy as np
+
+from repro.ml.metrics import r2_score
+from repro.ml.polyreg import PolynomialRegression
+
+__all__ = [
+    "DegreeSearchResult",
+    "KFold",
+    "cross_val_r2",
+    "select_polynomial_degree",
+    "train_test_split",
+]
+
+
+class KFold:
+    """Deterministic k-fold splitter with optional shuffling."""
+
+    def __init__(self, n_splits: int = 10, shuffle: bool = True, seed: int = 0):
+        if n_splits < 2:
+            raise ValueError(f"n_splits must be >= 2, got {n_splits}")
+        self.n_splits = int(n_splits)
+        self.shuffle = bool(shuffle)
+        self.seed = int(seed)
+
+    def split(self, n_samples: int) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        if n_samples < self.n_splits:
+            raise ValueError(
+                f"cannot split {n_samples} samples into {self.n_splits} folds"
+            )
+        indices = np.arange(n_samples)
+        if self.shuffle:
+            rng = np.random.default_rng(self.seed)
+            rng.shuffle(indices)
+        for fold in np.array_split(indices, self.n_splits):
+            test_mask = np.zeros(n_samples, dtype=bool)
+            test_mask[fold] = True
+            yield indices[~test_mask[indices]], fold
+
+
+def train_test_split(
+    n_samples: int, test_fraction: float = 0.5, seed: int = 0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Random index split; the paper's Fig. 12/13 use a 50/50 partition."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    if n_samples < 2:
+        raise ValueError("need at least two samples to split")
+    rng = np.random.default_rng(seed)
+    indices = rng.permutation(n_samples)
+    n_test = max(1, int(round(n_samples * test_fraction)))
+    n_test = min(n_test, n_samples - 1)
+    return indices[n_test:], indices[:n_test]
+
+
+def cross_val_r2(
+    x: Sequence,
+    y: Sequence,
+    degree: int,
+    n_splits: int = 10,
+    ridge: float = 1e-8,
+    seed: int = 0,
+) -> float:
+    """Pooled out-of-fold R^2 of a polynomial regression of ``degree``.
+
+    Every sample is predicted by the model of the fold that held it out;
+    R^2 is then computed once over the pooled predictions.  Pooling is
+    robust where per-fold averaging is not: with 10 folds over a few
+    dozen samples a fold's test split can have near-zero variance, which
+    makes its individual R^2 arbitrarily negative.
+    """
+    x_arr = np.asarray(x, dtype=float)
+    if x_arr.ndim == 1:
+        x_arr = x_arr.reshape(-1, 1)
+    y_arr = np.asarray(y, dtype=float).ravel()
+    n_samples = x_arr.shape[0]
+    n_splits = min(n_splits, n_samples)
+    if n_splits < 2:
+        raise ValueError("cross-validation requires at least two samples")
+    pooled = np.empty(n_samples)
+    for train_idx, test_idx in KFold(n_splits, shuffle=True, seed=seed).split(n_samples):
+        model = PolynomialRegression(degree=degree, ridge=ridge)
+        model.fit(x_arr[train_idx], y_arr[train_idx])
+        pooled[test_idx] = model.predict(x_arr[test_idx])
+    return r2_score(y_arr, pooled)
+
+
+@dataclass(frozen=True)
+class DegreeSearchResult:
+    """Outcome of the paper's gradual degree search."""
+
+    degree: int
+    cv_r2: float
+    reached_target: bool
+    scores_by_degree: dict
+
+
+def select_polynomial_degree(
+    x: Sequence,
+    y: Sequence,
+    min_degree: int = 2,
+    max_degree: int = 6,
+    target_r2: float = 0.9,
+    n_splits: int = 10,
+    ridge: float = 1e-8,
+    seed: int = 0,
+) -> DegreeSearchResult:
+    """Gradually increase the degree until cross-validated R^2 is good.
+
+    Mirrors Sec. 3.7: start low, stop at the first degree whose 10-fold
+    CV R^2 meets ``target_r2``.  If no degree reaches the target, return
+    the best-scoring degree with ``reached_target=False`` so callers can
+    fall back to input subcategorization.
+    """
+    if min_degree < 1 or max_degree < min_degree:
+        raise ValueError(f"invalid degree range [{min_degree}, {max_degree}]")
+    scores: dict = {}
+    for degree in range(min_degree, max_degree + 1):
+        score = cross_val_r2(x, y, degree, n_splits=n_splits, ridge=ridge, seed=seed)
+        scores[degree] = score
+        if score >= target_r2:
+            return DegreeSearchResult(degree, score, True, scores)
+    best_degree = max(scores, key=scores.get)
+    return DegreeSearchResult(best_degree, scores[best_degree], False, scores)

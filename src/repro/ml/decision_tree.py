@@ -1,0 +1,193 @@
+"""CART decision-tree classifier (Sec. 3.4 of the paper).
+
+OPPROX predicts an application's control flow — the sequence of
+approximable blocks it will execute — from its input parameters with a
+decision tree.  This is a small, deterministic CART implementation:
+binary splits on numeric thresholds chosen by Gini impurity, grown until
+leaves are pure or the depth / sample limits are hit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["DecisionTreeClassifier"]
+
+
+@dataclass
+class _Node:
+    prediction: Any
+    class_counts: Dict[Any, int]
+    feature: Optional[int] = None
+    threshold: Optional[float] = None
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    proportions = counts / total
+    return float(1.0 - np.sum(proportions**2))
+
+
+@dataclass
+class _Split:
+    feature: int
+    threshold: float
+    impurity: float
+    left_mask: np.ndarray = field(repr=False, default=None)
+
+
+class DecisionTreeClassifier:
+    """Binary CART classifier over numeric features.
+
+    Labels may be any hashable values (OPPROX uses control-flow signature
+    strings).  Ties in split quality are broken toward the lowest feature
+    index and threshold, making training deterministic.
+    """
+
+    def __init__(self, max_depth: int = 12, min_samples_leaf: int = 1):
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        if min_samples_leaf < 1:
+            raise ValueError(f"min_samples_leaf must be >= 1, got {min_samples_leaf}")
+        self.max_depth = int(max_depth)
+        self.min_samples_leaf = int(min_samples_leaf)
+        self._root: Optional[_Node] = None
+        self._classes: List[Any] = []
+        self._n_features: Optional[int] = None
+
+    # -- training ---------------------------------------------------------
+
+    def fit(self, x: Sequence, y: Sequence) -> "DecisionTreeClassifier":
+        x_arr = np.asarray(x, dtype=float)
+        if x_arr.ndim == 1:
+            x_arr = x_arr.reshape(-1, 1)
+        labels = list(y)
+        if x_arr.shape[0] != len(labels):
+            raise ValueError(f"x has {x_arr.shape[0]} rows but y has {len(labels)}")
+        if x_arr.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self._n_features = x_arr.shape[1]
+        self._classes = sorted(set(labels), key=repr)
+        class_index = {label: i for i, label in enumerate(self._classes)}
+        y_idx = np.asarray([class_index[label] for label in labels], dtype=int)
+        self._root = self._grow(x_arr, y_idx, depth=0)
+        return self
+
+    def _class_counts(self, y_idx: np.ndarray) -> Dict[Any, int]:
+        counts = np.bincount(y_idx, minlength=len(self._classes))
+        return {
+            self._classes[i]: int(counts[i]) for i in range(len(self._classes)) if counts[i]
+        }
+
+    def _majority(self, y_idx: np.ndarray) -> Any:
+        counts = np.bincount(y_idx, minlength=len(self._classes))
+        return self._classes[int(np.argmax(counts))]
+
+    def _grow(self, x: np.ndarray, y_idx: np.ndarray, depth: int) -> _Node:
+        node = _Node(prediction=self._majority(y_idx), class_counts=self._class_counts(y_idx))
+        if (
+            depth >= self.max_depth
+            or len(np.unique(y_idx)) == 1
+            or x.shape[0] < 2 * self.min_samples_leaf
+        ):
+            return node
+        split = self._best_split(x, y_idx)
+        if split is None:
+            return node
+        node.feature = split.feature
+        node.threshold = split.threshold
+        node.left = self._grow(x[split.left_mask], y_idx[split.left_mask], depth + 1)
+        node.right = self._grow(x[~split.left_mask], y_idx[~split.left_mask], depth + 1)
+        return node
+
+    def _best_split(self, x: np.ndarray, y_idx: np.ndarray) -> Optional[_Split]:
+        n_samples = x.shape[0]
+        parent_impurity = _gini(np.bincount(y_idx, minlength=len(self._classes)))
+        best: Optional[_Split] = None
+        for feature in range(x.shape[1]):
+            values = np.unique(x[:, feature])
+            if values.size < 2:
+                continue
+            thresholds = (values[:-1] + values[1:]) / 2.0
+            for threshold in thresholds:
+                left_mask = x[:, feature] <= threshold
+                n_left = int(left_mask.sum())
+                n_right = n_samples - n_left
+                if n_left < self.min_samples_leaf or n_right < self.min_samples_leaf:
+                    continue
+                left_counts = np.bincount(y_idx[left_mask], minlength=len(self._classes))
+                right_counts = np.bincount(y_idx[~left_mask], minlength=len(self._classes))
+                impurity = (
+                    n_left * _gini(left_counts) + n_right * _gini(right_counts)
+                ) / n_samples
+                if impurity >= parent_impurity - 1e-12:
+                    continue
+                if best is None or impurity < best.impurity - 1e-12:
+                    best = _Split(feature, float(threshold), impurity, left_mask)
+        return best
+
+    # -- inference --------------------------------------------------------
+
+    def predict_one(self, sample: Sequence[float]) -> Any:
+        if self._root is None:
+            raise RuntimeError("DecisionTreeClassifier must be fit before predicting")
+        row = np.asarray(sample, dtype=float).ravel()
+        if row.shape[0] != self._n_features:
+            raise ValueError(f"expected {self._n_features} features, got {row.shape[0]}")
+        node = self._root
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node.prediction
+
+    def predict(self, x: Sequence) -> List[Any]:
+        x_arr = np.asarray(x, dtype=float)
+        if x_arr.ndim == 1:
+            x_arr = x_arr.reshape(-1, 1)
+        return [self.predict_one(row) for row in x_arr]
+
+    def score(self, x: Sequence, y: Sequence) -> float:
+        predictions = self.predict(x)
+        labels = list(y)
+        if len(labels) != len(predictions):
+            raise ValueError("x and y have mismatched lengths")
+        matches = sum(1 for p, t in zip(predictions, labels) if p == t)
+        return matches / len(labels)
+
+    @property
+    def classes_(self) -> List[Any]:
+        return list(self._classes)
+
+    def depth(self) -> int:
+        """Actual depth of the grown tree (0 for a single leaf)."""
+
+        def walk(node: Optional[_Node]) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        if self._root is None:
+            raise RuntimeError("DecisionTreeClassifier must be fit before use")
+        return walk(self._root)
+
+    def n_leaves(self) -> int:
+        def count(node: Optional[_Node]) -> int:
+            if node is None:
+                return 0
+            if node.is_leaf:
+                return 1
+            return count(node.left) + count(node.right)
+
+        if self._root is None:
+            raise RuntimeError("DecisionTreeClassifier must be fit before use")
+        return count(self._root)

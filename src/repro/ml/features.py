@@ -1,0 +1,141 @@
+"""Feature transformations for the regression models.
+
+``PolynomialFeatures`` expands an input matrix into all monomials up to a
+given total degree (the paper's models are degree-2..6 polynomials over
+approximation levels, input parameters, and estimated iteration counts).
+``Standardizer`` performs the usual zero-mean / unit-variance scaling,
+which keeps the least-squares systems well conditioned at high degrees.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations_with_replacement
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["PolynomialFeatures", "Standardizer"]
+
+
+def _as_2d(x: Sequence) -> np.ndarray:
+    arr = np.asarray(x, dtype=float)
+    if arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    if arr.ndim != 2:
+        raise ValueError(f"expected 1-D or 2-D input, got shape {arr.shape}")
+    return arr
+
+
+class PolynomialFeatures:
+    """Expand features into monomials of total degree <= ``degree``.
+
+    The expansion includes the bias column (degree-0 monomial) so that a
+    plain least-squares fit over the expanded matrix is a full polynomial
+    regression.  Monomials are ordered by total degree and then
+    lexicographically by the participating feature indices, which makes
+    the coefficient layout deterministic and testable.
+    """
+
+    def __init__(self, degree: int, include_bias: bool = True):
+        if degree < 1:
+            raise ValueError(f"degree must be >= 1, got {degree}")
+        self.degree = int(degree)
+        self.include_bias = bool(include_bias)
+        self._n_features: int | None = None
+        self._index_tuples: List[Tuple[int, ...]] = []
+
+    def fit(self, x: Sequence) -> "PolynomialFeatures":
+        arr = _as_2d(x)
+        self._n_features = arr.shape[1]
+        self._index_tuples = []
+        if self.include_bias:
+            self._index_tuples.append(())
+        for total_degree in range(1, self.degree + 1):
+            self._index_tuples.extend(
+                combinations_with_replacement(range(self._n_features), total_degree)
+            )
+        return self
+
+    @property
+    def n_output_features(self) -> int:
+        if self._n_features is None:
+            raise RuntimeError("PolynomialFeatures must be fit before use")
+        return len(self._index_tuples)
+
+    def transform(self, x: Sequence) -> np.ndarray:
+        if self._n_features is None:
+            raise RuntimeError("PolynomialFeatures must be fit before use")
+        arr = _as_2d(x)
+        if arr.shape[1] != self._n_features:
+            raise ValueError(
+                f"expected {self._n_features} features, got {arr.shape[1]}"
+            )
+        columns = np.empty((arr.shape[0], len(self._index_tuples)), dtype=float)
+        for j, indices in enumerate(self._index_tuples):
+            if not indices:
+                columns[:, j] = 1.0
+            else:
+                columns[:, j] = np.prod(arr[:, indices], axis=1)
+        return columns
+
+    def fit_transform(self, x: Sequence) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def monomial_names(self, feature_names: Sequence[str] | None = None) -> List[str]:
+        """Human-readable names, e.g. ``['1', 'a0', 'a0*a1', 'a0^2']``."""
+        if self._n_features is None:
+            raise RuntimeError("PolynomialFeatures must be fit before use")
+        if feature_names is None:
+            feature_names = [f"x{i}" for i in range(self._n_features)]
+        names = []
+        for indices in self._index_tuples:
+            if not indices:
+                names.append("1")
+                continue
+            parts = []
+            for idx in sorted(set(indices)):
+                power = indices.count(idx)
+                name = feature_names[idx]
+                parts.append(name if power == 1 else f"{name}^{power}")
+            names.append("*".join(parts))
+        return names
+
+
+class Standardizer:
+    """Zero-mean / unit-variance feature scaling with constant-column care.
+
+    Columns with zero variance are left unscaled (divided by 1) so that a
+    constant feature does not produce NaNs; regression simply learns a
+    coefficient of zero for it.
+    """
+
+    def __init__(self):
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, x: Sequence) -> "Standardizer":
+        arr = _as_2d(x)
+        self.mean_ = arr.mean(axis=0)
+        std = arr.std(axis=0)
+        std[std == 0.0] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, x: Sequence) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("Standardizer must be fit before use")
+        arr = _as_2d(x)
+        if arr.shape[1] != self.mean_.shape[0]:
+            raise ValueError(
+                f"expected {self.mean_.shape[0]} features, got {arr.shape[1]}"
+            )
+        return (arr - self.mean_) / self.scale_
+
+    def fit_transform(self, x: Sequence) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, x: Sequence) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("Standardizer must be fit before use")
+        arr = _as_2d(x)
+        return arr * self.scale_ + self.mean_

@@ -1,0 +1,59 @@
+"""Scoring metrics shared by the regression and classification models."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["accuracy_score", "mean_absolute_error", "mean_squared_error", "r2_score"]
+
+
+def _paired(y_true: Sequence, y_pred: Sequence) -> tuple[np.ndarray, np.ndarray]:
+    true_arr = np.asarray(y_true, dtype=float).ravel()
+    pred_arr = np.asarray(y_pred, dtype=float).ravel()
+    if true_arr.shape != pred_arr.shape:
+        raise ValueError(
+            f"shape mismatch: y_true {true_arr.shape} vs y_pred {pred_arr.shape}"
+        )
+    if true_arr.size == 0:
+        raise ValueError("metrics require at least one sample")
+    return true_arr, pred_arr
+
+
+def mean_squared_error(y_true: Sequence, y_pred: Sequence) -> float:
+    true_arr, pred_arr = _paired(y_true, y_pred)
+    return float(np.mean((true_arr - pred_arr) ** 2))
+
+
+def mean_absolute_error(y_true: Sequence, y_pred: Sequence) -> float:
+    true_arr, pred_arr = _paired(y_true, y_pred)
+    return float(np.mean(np.abs(true_arr - pred_arr)))
+
+
+def r2_score(y_true: Sequence, y_pred: Sequence) -> float:
+    """Coefficient of determination.
+
+    Matches the usual convention: a perfect fit scores 1.0; predicting the
+    mean scores 0.0.  When the target is constant, the score is 1.0 for a
+    perfect prediction and 0.0 otherwise (the residual convention used by
+    scikit-learn would return 0/0; we pin the two meaningful cases).
+    """
+    true_arr, pred_arr = _paired(y_true, y_pred)
+    ss_res = float(np.sum((true_arr - pred_arr) ** 2))
+    ss_tot = float(np.sum((true_arr - true_arr.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def accuracy_score(y_true: Sequence, y_pred: Sequence) -> float:
+    true_arr = np.asarray(y_true)
+    pred_arr = np.asarray(y_pred)
+    if true_arr.shape != pred_arr.shape:
+        raise ValueError(
+            f"shape mismatch: y_true {true_arr.shape} vs y_pred {pred_arr.shape}"
+        )
+    if true_arr.size == 0:
+        raise ValueError("metrics require at least one sample")
+    return float(np.mean(true_arr == pred_arr))

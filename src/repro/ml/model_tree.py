@@ -1,0 +1,238 @@
+"""M5-style regression model trees (Quinlan, 1992).
+
+Capri — the paper's closest related system (Sec. 6) — models performance
+and accuracy with the M5 estimation algorithm: a binary tree whose
+splits minimize the standard deviation of the target and whose leaves
+hold *linear* models over the features.  This implementation provides
+the core of M5 (SDR-based splitting, linear leaves, optional pruning
+back to leaf means when the linear model does not help) so the
+reproduction can compare the paper's polynomial-regression choice
+against its neighbour's estimator on equal footing
+(`benchmarks/test_comparison_m5.py`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.ml.metrics import r2_score
+
+__all__ = ["ModelTreeRegressor"]
+
+
+@dataclass
+class _LeafModel:
+    """A linear model (or constant) over the full feature vector."""
+
+    coefficients: np.ndarray  # shape (n_features,)
+    intercept: float
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return x @ self.coefficients + self.intercept
+
+
+def _fit_leaf(x: np.ndarray, y: np.ndarray, ridge: float) -> _LeafModel:
+    """Ridge-stabilized linear fit; falls back to the mean if degenerate."""
+    n_samples, n_features = x.shape
+    if n_samples <= n_features + 1:
+        return _LeafModel(np.zeros(n_features), float(y.mean()))
+    mean = x.mean(axis=0)
+    std = x.std(axis=0)
+    std[std == 0.0] = 1.0
+    design = (x - mean) / std
+    y_mean = float(y.mean())
+    augmented = np.vstack([design, np.sqrt(ridge) * np.eye(n_features)])
+    target = np.concatenate([y - y_mean, np.zeros(n_features)])
+    scaled_coef, *_ = np.linalg.lstsq(augmented, target, rcond=None)
+    coefficients = scaled_coef / std
+    intercept = y_mean - float(mean @ coefficients)
+    # M5 prunes the linear model back to the mean when it does not beat it.
+    linear_sse = float(np.sum((x @ coefficients + intercept - y) ** 2))
+    mean_sse = float(np.sum((y - y_mean) ** 2))
+    if linear_sse >= mean_sse:
+        return _LeafModel(np.zeros(n_features), y_mean)
+    return _LeafModel(coefficients, intercept)
+
+
+@dataclass
+class _Node:
+    leaf: Optional[_LeafModel] = None
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.leaf is not None
+
+
+class ModelTreeRegressor:
+    """M5-style model tree: SDR splits, linear models in the leaves.
+
+    Parameters
+    ----------
+    min_samples_leaf:
+        Minimum samples per leaf (M5 classically uses 4).
+    max_depth:
+        Depth bound; a depth-0 tree is a single (global) linear model.
+    sdr_threshold:
+        Stop splitting when the best split's standard-deviation reduction
+        falls below this fraction of the node's standard deviation
+        (M5 uses 5%).
+    ridge:
+        L2 stabilization for the leaf linear fits.
+    """
+
+    def __init__(
+        self,
+        min_samples_leaf: int = 4,
+        max_depth: int = 6,
+        sdr_threshold: float = 0.05,
+        ridge: float = 1e-8,
+    ):
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        if max_depth < 0:
+            raise ValueError("max_depth must be >= 0")
+        if not 0.0 <= sdr_threshold < 1.0:
+            raise ValueError("sdr_threshold must be in [0, 1)")
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.max_depth = int(max_depth)
+        self.sdr_threshold = float(sdr_threshold)
+        self.ridge = float(ridge)
+        self._root: Optional[_Node] = None
+        self._n_features: Optional[int] = None
+
+    # -- training --------------------------------------------------------------
+
+    def fit(self, x: Sequence, y: Sequence) -> "ModelTreeRegressor":
+        x_arr = np.atleast_2d(np.asarray(x, dtype=float))
+        if x_arr.shape[0] == 1 and np.asarray(y).size != 1:
+            x_arr = x_arr.T
+        y_arr = np.asarray(y, dtype=float).ravel()
+        if x_arr.shape[0] != y_arr.shape[0]:
+            raise ValueError("x and y row counts differ")
+        if x_arr.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self._n_features = x_arr.shape[1]
+        self._root = self._grow(x_arr, y_arr, depth=0)
+        self._root = self._prune(self._root, x_arr, y_arr)
+        return self
+
+    def _grow(self, x: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node_sd = float(y.std())
+        if (
+            depth >= self.max_depth
+            or x.shape[0] < 2 * self.min_samples_leaf
+            or node_sd < 1e-12
+        ):
+            return _Node(leaf=_fit_leaf(x, y, self.ridge))
+        split = self._best_split(x, y, node_sd)
+        if split is None:
+            return _Node(leaf=_fit_leaf(x, y, self.ridge))
+        feature, threshold = split
+        mask = x[:, feature] <= threshold
+        return _Node(
+            feature=feature,
+            threshold=threshold,
+            left=self._grow(x[mask], y[mask], depth + 1),
+            right=self._grow(x[~mask], y[~mask], depth + 1),
+        )
+
+    def _prune(self, node: _Node, x: np.ndarray, y: np.ndarray) -> _Node:
+        """M5's post-pruning: collapse a subtree to a linear leaf when the
+        leaf fits (nearly) as well — this is what keeps a globally linear
+        target in a single leaf despite SDR favouring splits."""
+        if node.is_leaf:
+            return node
+        mask = x[:, node.feature] <= node.threshold
+        node.left = self._prune(node.left, x[mask], y[mask])
+        node.right = self._prune(node.right, x[~mask], y[~mask])
+        subtree_sse = float(np.sum((self._predict_node(node, x) - y) ** 2))
+        leaf = _fit_leaf(x, y, self.ridge)
+        leaf_sse = float(np.sum((leaf.predict(x) - y) ** 2))
+        scale = float(np.sum((y - y.mean()) ** 2)) + 1e-12
+        if leaf_sse <= subtree_sse + 0.001 * scale:
+            return _Node(leaf=leaf)
+        return node
+
+    def _predict_node(self, node: _Node, x: np.ndarray) -> np.ndarray:
+        if node.is_leaf:
+            return node.leaf.predict(x)
+        result = np.empty(x.shape[0])
+        mask = x[:, node.feature] <= node.threshold
+        if np.any(mask):
+            result[mask] = self._predict_node(node.left, x[mask])
+        if np.any(~mask):
+            result[~mask] = self._predict_node(node.right, x[~mask])
+        return result
+
+    def _best_split(self, x, y, node_sd):
+        """Maximize SDR = sd(node) - sum_i (n_i/n) sd(child_i)."""
+        n_samples = x.shape[0]
+        best = None
+        best_sdr = self.sdr_threshold * node_sd
+        for feature in range(x.shape[1]):
+            values = np.unique(x[:, feature])
+            if values.size < 2:
+                continue
+            for threshold in (values[:-1] + values[1:]) / 2.0:
+                mask = x[:, feature] <= threshold
+                n_left = int(mask.sum())
+                n_right = n_samples - n_left
+                if min(n_left, n_right) < self.min_samples_leaf:
+                    continue
+                sdr = node_sd - (
+                    n_left * y[mask].std() + n_right * y[~mask].std()
+                ) / n_samples
+                if sdr > best_sdr + 1e-12:
+                    best_sdr = sdr
+                    best = (feature, float(threshold))
+        return best
+
+    # -- inference ---------------------------------------------------------------
+
+    def predict(self, x: Sequence) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("ModelTreeRegressor must be fit before predicting")
+        x_arr = np.atleast_2d(np.asarray(x, dtype=float))
+        if x_arr.shape[1] != self._n_features:
+            raise ValueError(
+                f"expected {self._n_features} features, got {x_arr.shape[1]}"
+            )
+        result = np.empty(x_arr.shape[0])
+        for index, row in enumerate(x_arr):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            result[index] = float(node.leaf.predict(row.reshape(1, -1))[0])
+        return result
+
+    def score(self, x: Sequence, y: Sequence) -> float:
+        return r2_score(y, self.predict(x))
+
+    def n_leaves(self) -> int:
+        def count(node: Optional[_Node]) -> int:
+            if node is None:
+                return 0
+            if node.is_leaf:
+                return 1
+            return count(node.left) + count(node.right)
+
+        if self._root is None:
+            raise RuntimeError("ModelTreeRegressor must be fit before use")
+        return count(self._root)
+
+    def depth(self) -> int:
+        def walk(node: Optional[_Node]) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        if self._root is None:
+            raise RuntimeError("ModelTreeRegressor must be fit before use")
+        return walk(self._root)

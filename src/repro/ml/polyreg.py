@@ -1,0 +1,99 @@
+"""Polynomial regression (Sec. 3.6 of the paper).
+
+OPPROX models speedup, QoS degradation, and outer-loop iteration counts
+with polynomial regression over approximation levels and input
+parameters.  This implementation expands features into monomials,
+standardizes them, and solves a (optionally ridge-regularized) linear
+least-squares system.  A tiny default ridge keeps degree-5/6 expansions
+numerically stable without visibly biasing low-degree fits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.ml.features import PolynomialFeatures, Standardizer, _as_2d
+from repro.ml.metrics import r2_score
+
+__all__ = ["PolynomialRegression"]
+
+
+class PolynomialRegression:
+    """Least-squares polynomial regression of a given total degree.
+
+    Parameters
+    ----------
+    degree:
+        Maximum total degree of the monomials (paper: 2..6).
+    ridge:
+        L2 penalty applied to non-bias coefficients in the standardized
+        feature space.  ``0.0`` gives plain least squares.
+    """
+
+    def __init__(self, degree: int = 2, ridge: float = 1e-8):
+        if ridge < 0.0:
+            raise ValueError(f"ridge must be non-negative, got {ridge}")
+        self.degree = int(degree)
+        self.ridge = float(ridge)
+        self._features = PolynomialFeatures(degree=self.degree, include_bias=False)
+        self._standardizer = Standardizer()
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float | None = None
+        self._n_inputs: int | None = None
+
+    @property
+    def is_fit(self) -> bool:
+        return self.coef_ is not None
+
+    def fit(self, x: Sequence, y: Sequence) -> "PolynomialRegression":
+        x_arr = _as_2d(x)
+        y_arr = np.asarray(y, dtype=float).ravel()
+        if x_arr.shape[0] != y_arr.shape[0]:
+            raise ValueError(
+                f"x has {x_arr.shape[0]} rows but y has {y_arr.shape[0]}"
+            )
+        if x_arr.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self._n_inputs = x_arr.shape[1]
+        design = self._standardizer.fit_transform(self._features.fit_transform(x_arr))
+        # Center the target so the intercept can be recovered exactly and
+        # the ridge penalty never shrinks it.
+        y_mean = float(y_arr.mean())
+        centered = y_arr - y_mean
+        if self.ridge > 0.0:
+            n_cols = design.shape[1]
+            augmented = np.vstack([design, np.sqrt(self.ridge) * np.eye(n_cols)])
+            target = np.concatenate([centered, np.zeros(n_cols)])
+        else:
+            augmented, target = design, centered
+        coef, *_ = np.linalg.lstsq(augmented, target, rcond=None)
+        self.coef_ = coef
+        self.intercept_ = y_mean
+        return self
+
+    def predict(self, x: Sequence) -> np.ndarray:
+        if self.coef_ is None or self.intercept_ is None:
+            raise RuntimeError("PolynomialRegression must be fit before predicting")
+        x_arr = _as_2d(x)
+        if x_arr.shape[1] != self._n_inputs:
+            raise ValueError(
+                f"expected {self._n_inputs} input features, got {x_arr.shape[1]}"
+            )
+        design = self._standardizer.transform(self._features.transform(x_arr))
+        return design @ self.coef_ + self.intercept_
+
+    def predict_one(self, x: Sequence[float]) -> float:
+        """Predict for a single sample given as a flat sequence."""
+        return float(self.predict(np.asarray(x, dtype=float).reshape(1, -1))[0])
+
+    def score(self, x: Sequence, y: Sequence) -> float:
+        return r2_score(y, self.predict(x))
+
+    def residuals(self, x: Sequence, y: Sequence) -> np.ndarray:
+        y_arr = np.asarray(y, dtype=float).ravel()
+        return y_arr - self.predict(x)
+
+    def monomial_names(self, feature_names: Sequence[str] | None = None) -> List[str]:
+        return self._features.monomial_names(feature_names)

@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite.
+
+Applications are deterministic, so profilers and golden runs are cached
+at session scope to keep the suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import ALL_APPLICATIONS, make_app
+from repro.instrument.harness import Profiler
+
+_APPS = {}
+_PROFILERS = {}
+
+
+def app_instance(name: str):
+    """Session-cached application instance (exact-run caches shared)."""
+    if name not in _APPS:
+        _APPS[name] = make_app(name)
+    return _APPS[name]
+
+
+def profiler_for(name: str) -> Profiler:
+    if name not in _PROFILERS:
+        _PROFILERS[name] = Profiler(app_instance(name))
+    return _PROFILERS[name]
+
+
+@pytest.fixture(params=ALL_APPLICATIONS)
+def any_app(request):
+    """Parametrized over all five benchmark applications."""
+    return app_instance(request.param)
+
+
+@pytest.fixture
+def pso_app():
+    return app_instance("pso")
+
+
+@pytest.fixture
+def pso_profiler():
+    return profiler_for("pso")
+
+
+@pytest.fixture
+def lulesh_app():
+    return app_instance("lulesh")
+
+
+@pytest.fixture
+def ffmpeg_app():
+    return app_instance("ffmpeg")
+
+
+def smallest_params(app) -> dict:
+    """The cheapest input-parameter combination for ``app``."""
+    return {p.name: p.values[0] for p in app.parameters}

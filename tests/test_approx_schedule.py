@@ -1,0 +1,107 @@
+"""Unit tests for phase plans and approximation schedules."""
+
+import pytest
+
+from repro.approx.knobs import ApproximableBlock, Technique
+from repro.approx.schedule import ApproxSchedule, PhasePlan
+
+BLOCKS = (
+    ApproximableBlock("alpha", Technique.PERFORATION, 5),
+    ApproximableBlock("beta", Technique.MEMOIZATION, 3),
+)
+
+
+class TestPhasePlan:
+    def test_equal_split_with_remainder_in_last_phase(self):
+        plan = PhasePlan(10, 4)
+        assert plan.boundaries == (0, 2, 4, 6)
+        assert [plan.phase_length(p) for p in range(4)] == [2, 2, 2, 4]
+        assert sum(plan.phase_length(p) for p in range(4)) == 10
+
+    def test_phase_of_maps_correctly(self):
+        plan = PhasePlan(8, 4)
+        assert [plan.phase_of(i) for i in range(8)] == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_overrun_iterations_belong_to_last_phase(self):
+        plan = PhasePlan(8, 4)
+        assert plan.phase_of(100) == 3
+
+    def test_single_phase(self):
+        plan = PhasePlan(5, 1)
+        assert all(plan.phase_of(i) == 0 for i in range(20))
+
+    def test_phase_of_is_monotone(self):
+        plan = PhasePlan(13, 4)
+        phases = [plan.phase_of(i) for i in range(20)]
+        assert phases == sorted(phases)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhasePlan(3, 4)
+        with pytest.raises(ValueError):
+            PhasePlan(4, 0)
+        with pytest.raises(ValueError):
+            PhasePlan(8, 4).phase_of(-1)
+        with pytest.raises(ValueError):
+            PhasePlan(8, 4).phase_length(4)
+
+
+class TestApproxSchedule:
+    def test_exact_schedule(self):
+        schedule = ApproxSchedule.exact(BLOCKS, PhasePlan(8, 2))
+        assert schedule.is_exact
+        assert schedule.level("alpha", 0) == 0
+        assert schedule.level("beta", 7) == 0
+
+    def test_uniform_schedule(self):
+        schedule = ApproxSchedule.uniform(BLOCKS, PhasePlan(8, 2), {"alpha": 3})
+        assert schedule.level("alpha", 0) == 3
+        assert schedule.level("alpha", 7) == 3
+        assert schedule.level("beta", 3) == 0
+        assert not schedule.is_exact
+
+    def test_single_phase_schedule(self):
+        schedule = ApproxSchedule.single_phase(
+            BLOCKS, PhasePlan(8, 4), 2, {"beta": 2}
+        )
+        assert schedule.level("beta", 3) == 0
+        assert schedule.level("beta", 4) == 2
+        assert schedule.level("beta", 5) == 2
+        assert schedule.level("beta", 6) == 0
+
+    def test_phase_levels_fills_in_zeros(self):
+        schedule = ApproxSchedule.single_phase(BLOCKS, PhasePlan(8, 2), 1, {"alpha": 1})
+        assert schedule.phase_levels(0) == {"alpha": 0, "beta": 0}
+        assert schedule.phase_levels(1) == {"alpha": 1, "beta": 0}
+
+    def test_key_equality_and_hash(self):
+        plan = PhasePlan(8, 2)
+        a = ApproxSchedule.uniform(BLOCKS, plan, {"alpha": 1})
+        b = ApproxSchedule.uniform(BLOCKS, plan, {"alpha": 1})
+        c = ApproxSchedule.uniform(BLOCKS, plan, {"alpha": 2})
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_describe_lists_every_phase(self):
+        schedule = ApproxSchedule.uniform(BLOCKS, PhasePlan(8, 2), {"alpha": 1})
+        lines = list(schedule.describe())
+        assert len(lines) == 2
+        assert "alpha=1" in lines[0]
+
+    def test_validation(self):
+        plan = PhasePlan(8, 2)
+        with pytest.raises(ValueError):
+            ApproxSchedule(BLOCKS, plan, [{}])  # wrong phase count
+        with pytest.raises(ValueError):
+            ApproxSchedule(BLOCKS, plan, [{"gamma": 1}, {}])  # unknown block
+        with pytest.raises(ValueError):
+            ApproxSchedule(BLOCKS, plan, [{"beta": 9}, {}])  # level too high
+        with pytest.raises(ValueError):
+            ApproxSchedule.single_phase(BLOCKS, plan, 5, {})  # bad phase
+        with pytest.raises(ValueError):
+            ApproxSchedule.exact(BLOCKS, plan).level("gamma", 0)
+
+    def test_duplicate_block_names_rejected(self):
+        dupes = (BLOCKS[0], ApproximableBlock("alpha", Technique.TRUNCATION, 2))
+        with pytest.raises(ValueError):
+            ApproxSchedule.exact(dupes, PhasePlan(4, 2))

@@ -1,0 +1,174 @@
+"""Unit tests for the four approximation techniques and knob descriptors."""
+
+import numpy as np
+import pytest
+
+from repro.approx.knobs import ApproximableBlock, Technique
+from repro.approx.techniques import (
+    CrossIterationMemo,
+    computed_indices,
+    memoization_plan,
+    perforated_indices,
+    scaled_parameter,
+    truncated_count,
+    work_fraction,
+)
+
+
+class TestKnobs:
+    def test_levels_enumeration(self):
+        block = ApproximableBlock("k", Technique.PERFORATION, 3)
+        assert block.levels == (0, 1, 2, 3)
+        assert block.n_levels == 4
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            ApproximableBlock("", Technique.PERFORATION, 3)
+
+    def test_rejects_zero_levels(self):
+        with pytest.raises(ValueError):
+            ApproximableBlock("k", Technique.MEMOIZATION, 0)
+
+
+class TestPerforation:
+    def test_level_zero_keeps_all(self):
+        np.testing.assert_array_equal(
+            computed_indices(Technique.PERFORATION, 6, 0, 5), np.arange(6)
+        )
+
+    def test_paper_stride_semantics(self):
+        # for (i = 0; i < n; i += level+1)
+        np.testing.assert_array_equal(perforated_indices(10, 1), [0, 2, 4, 6, 8])
+        np.testing.assert_array_equal(perforated_indices(10, 4), [0, 5])
+
+    def test_offset_rotates_pattern(self):
+        base = set(perforated_indices(10, 1, offset=0).tolist())
+        shifted = set(perforated_indices(10, 1, offset=1).tolist())
+        assert base != shifted
+        assert base | shifted == set(range(10))
+
+    def test_rotation_preserves_count(self):
+        for offset in range(7):
+            assert len(perforated_indices(9, 2, offset)) == len(
+                perforated_indices(9, 2, 0)
+            )
+
+    def test_rotation_covers_all_indices_over_period(self):
+        covered = set()
+        for offset in range(3):
+            covered |= set(perforated_indices(9, 2, offset).tolist())
+        assert covered == set(range(9))
+
+
+class TestTruncation:
+    def test_max_level_keeps_half(self):
+        assert truncated_count(10, 5, 5) == 5
+
+    def test_level_zero_keeps_all(self):
+        assert truncated_count(10, 0, 5) == 10
+
+    def test_monotone_in_level(self):
+        counts = [truncated_count(20, level, 5) for level in range(6)]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_keeps_at_least_one(self):
+        assert truncated_count(1, 5, 5) == 1
+
+    def test_indices_are_prefix(self):
+        idx = computed_indices(Technique.TRUNCATION, 10, 3, 5)
+        np.testing.assert_array_equal(idx, np.arange(len(idx)))
+
+
+class TestMemoization:
+    def test_plan_maps_to_most_recent_computed(self):
+        plan = memoization_plan(7, 2, 5)
+        np.testing.assert_array_equal(plan, [0, 0, 0, 3, 3, 3, 6])
+
+    def test_level_zero_identity(self):
+        np.testing.assert_array_equal(memoization_plan(5, 0, 5), np.arange(5))
+
+    def test_plan_points_backwards(self):
+        plan = memoization_plan(20, 3, 5)
+        assert np.all(plan <= np.arange(20))
+
+    def test_computed_indices_match_plan_fixed_points(self):
+        computed = computed_indices(Technique.MEMOIZATION, 12, 2, 5)
+        plan = memoization_plan(12, 2, 5)
+        np.testing.assert_array_equal(computed, np.unique(plan))
+
+
+class TestParameterTuning:
+    def test_level_zero_identity(self):
+        assert scaled_parameter(100.0, 0, 5) == 100.0
+
+    def test_max_level_hits_floor(self):
+        assert scaled_parameter(100.0, 5, 5, floor_fraction=0.25) == pytest.approx(25.0)
+
+    def test_monotone(self):
+        values = [scaled_parameter(64.0, lvl, 5) for lvl in range(6)]
+        assert values == sorted(values, reverse=True)
+
+    def test_rejects_bad_floor(self):
+        with pytest.raises(ValueError):
+            scaled_parameter(1.0, 1, 5, floor_fraction=0.0)
+
+
+class TestWorkFraction:
+    @pytest.mark.parametrize(
+        "technique",
+        [Technique.PERFORATION, Technique.TRUNCATION, Technique.MEMOIZATION],
+    )
+    def test_level_zero_full_work(self, technique):
+        assert work_fraction(technique, 100, 0, 5) == 1.0
+
+    @pytest.mark.parametrize(
+        "technique",
+        [Technique.PERFORATION, Technique.TRUNCATION, Technique.MEMOIZATION],
+    )
+    def test_monotone_decreasing(self, technique):
+        fractions = [work_fraction(technique, 100, lvl, 5) for lvl in range(6)]
+        assert all(a >= b for a, b in zip(fractions, fractions[1:]))
+        assert all(0.0 < f <= 1.0 for f in fractions)
+
+    def test_parameter_fraction(self):
+        assert work_fraction(Technique.PARAMETER, 10, 5, 5) == pytest.approx(0.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            computed_indices(Technique.PERFORATION, 10, 6, 5)
+        with pytest.raises(ValueError):
+            computed_indices(Technique.PERFORATION, -1, 0, 5)
+        with pytest.raises(ValueError):
+            computed_indices(Technique.PARAMETER, 10, 1, 5)
+
+
+class TestCrossIterationMemo:
+    def test_always_computes_first(self):
+        memo = CrossIterationMemo()
+        assert memo.should_compute(0, 5)
+
+    def test_level_zero_always_computes(self):
+        memo = CrossIterationMemo()
+        memo.mark_computed(0)
+        assert memo.should_compute(1, 0)
+
+    def test_reuses_within_window(self):
+        memo = CrossIterationMemo()
+        memo.mark_computed(10)
+        assert not memo.should_compute(11, 2)
+        assert not memo.should_compute(12, 2)
+        assert memo.should_compute(13, 2)
+
+    def test_level_change_mid_run(self):
+        memo = CrossIterationMemo()
+        memo.mark_computed(0)
+        assert not memo.should_compute(3, 5)
+        # A phase boundary drops the level; the stale window shrinks.
+        assert memo.should_compute(3, 2)
+
+    def test_validation(self):
+        memo = CrossIterationMemo()
+        with pytest.raises(ValueError):
+            memo.should_compute(-1, 0)
+        with pytest.raises(ValueError):
+            memo.should_compute(0, -1)

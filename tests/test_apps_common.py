@@ -1,0 +1,128 @@
+"""Cross-application contract tests (parametrized over all five apps)."""
+
+import numpy as np
+import pytest
+
+from repro.approx.schedule import ApproxSchedule
+from repro.apps import ALL_APPLICATIONS, make_app
+
+from tests.conftest import app_instance, smallest_params
+
+
+class TestFactory:
+    def test_all_names_resolve(self):
+        for name in ALL_APPLICATIONS:
+            assert make_app(name).name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_app("doom")
+
+
+class TestContracts:
+    def test_deterministic_outputs(self, any_app):
+        params = smallest_params(any_app)
+        first = any_app.run(params)
+        fresh = make_app(any_app.name)  # a brand-new instance, no caches
+        second = fresh.run(params)
+        np.testing.assert_allclose(first.output, second.output)
+        assert first.total_work == second.total_work
+        assert first.iterations == second.iterations
+
+    def test_exact_run_scores_perfect_qos(self, any_app):
+        params = smallest_params(any_app)
+        golden = any_app.run(params)
+        value = any_app.metric.compute(golden.output, golden.output)
+        assert any_app.metric.to_degradation(value) == pytest.approx(0.0, abs=1e-9)
+
+    def test_approximation_reduces_work(self, any_app):
+        params = smallest_params(any_app)
+        golden = any_app.run(params)
+        plan = any_app.make_plan(params, 1)
+        levels = {b.name: b.max_level for b in any_app.blocks}
+        approx = any_app.run(params, ApproxSchedule.uniform(any_app.blocks, plan, levels))
+        per_iter_golden = golden.total_work / golden.iterations
+        per_iter_approx = approx.total_work / approx.iterations
+        assert per_iter_approx < per_iter_golden
+
+    def test_approximation_degrades_qos(self, any_app):
+        params = smallest_params(any_app)
+        golden = any_app.run(params)
+        plan = any_app.make_plan(params, 1)
+        levels = {b.name: b.max_level for b in any_app.blocks}
+        approx = any_app.run(params, ApproxSchedule.uniform(any_app.blocks, plan, levels))
+        value = any_app.metric.compute(golden.output, approx.output)
+        assert any_app.metric.to_degradation(value) > 0.0
+
+    def test_outputs_are_finite(self, any_app):
+        params = smallest_params(any_app)
+        plan = any_app.make_plan(params, 1)
+        levels = {b.name: b.max_level for b in any_app.blocks}
+        approx = any_app.run(params, ApproxSchedule.uniform(any_app.blocks, plan, levels))
+        assert np.all(np.isfinite(approx.output))
+
+    def test_work_by_block_covers_all_blocks(self, any_app):
+        record = any_app.run(smallest_params(any_app))
+        for block in any_app.blocks:
+            assert record.work_by_block.get(block.name, 0.0) > 0.0
+
+    def test_signature_mentions_every_block(self, any_app):
+        record = any_app.run(smallest_params(any_app))
+        for block in any_app.blocks:
+            assert block.name in record.signature
+
+    def test_iterations_positive_and_consistent(self, any_app):
+        params = smallest_params(any_app)
+        record = any_app.run(params)
+        assert record.iterations >= 4
+        assert len(record.work_by_iteration) == record.iterations
+        assert any_app.nominal_iterations(params) == record.iterations
+
+    def test_default_params_validate(self, any_app):
+        any_app.validate_params(any_app.default_params())
+
+    def test_wrong_params_rejected(self, any_app):
+        with pytest.raises(ValueError):
+            any_app.run({"bogus": 1.0})
+
+    def test_training_inputs_cover_product(self, any_app):
+        inputs = list(any_app.training_inputs())
+        expected = 1
+        for p in any_app.parameters:
+            expected *= len(p.values)
+        assert len(inputs) == expected
+        keys = {any_app.params_key(p) for p in inputs}
+        assert len(keys) == expected
+
+    def test_search_space_size(self, any_app):
+        expected = 1
+        for block in any_app.blocks:
+            expected *= block.n_levels
+        assert any_app.search_space_size(1) == expected
+        assert any_app.search_space_size(2) == expected**2
+
+    def test_phase_restricted_error_below_uniform(self, any_app):
+        """Approximating one late phase never hurts more than everywhere."""
+        params = smallest_params(any_app)
+        golden = any_app.run(params)
+        plan = any_app.make_plan(params, 4)
+        levels = {b.name: min(2, b.max_level) for b in any_app.blocks}
+        uniform = any_app.run(
+            params, ApproxSchedule.uniform(any_app.blocks, plan, levels)
+        )
+        last = any_app.run(
+            params, ApproxSchedule.single_phase(any_app.blocks, plan, 3, levels)
+        )
+        deg_uniform = any_app.metric.to_degradation(
+            any_app.metric.compute(golden.output, uniform.output)
+        )
+        deg_last = any_app.metric.to_degradation(
+            any_app.metric.compute(golden.output, last.output)
+        )
+        assert deg_last <= deg_uniform * 1.05 + 0.5
+
+    def test_block_method(self, any_app):
+        first = any_app.blocks[0]
+        assert any_app.block(first.name) is first
+        with pytest.raises(ValueError):
+            any_app.block("nonexistent")

@@ -1,0 +1,157 @@
+"""Physics / algorithmic invariants of the benchmark substrates.
+
+These go beyond the interface contracts: each application's *exact* run
+must behave like the system it models, because the phase-sensitivity
+story rests on that behaviour.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.ffmpeg import _DCT, _ZIGZAG, _dct_matrix, _zigzag_order
+from repro.apps.pso import _rastrigin
+
+from tests.conftest import app_instance, smallest_params
+
+
+class TestLuleshPhysics:
+    def test_blast_wave_moves_outward(self):
+        """The density peak (shock front) must progress away from the origin."""
+        app = app_instance("lulesh")
+        short = app.run({"mesh_length": 24.0, "num_regions": 1.0})
+        # Energy profile: the peak of the *final* profile sits well past
+        # zone 0 (the shock has travelled), but energy remains
+        # concentrated in the inner half.
+        energy = short.output
+        peak = int(np.argmax(energy[1:])) + 1
+        assert 0 < peak < len(energy) // 2 + 2
+
+    def test_total_energy_bounded_by_injection(self):
+        app = app_instance("lulesh")
+        record = app.run(smallest_params(app))
+        assert record.output.sum() > 0
+        assert np.all(record.output >= 1e-8 - 1e-12)  # floor respected
+
+    def test_finer_mesh_needs_more_iterations(self):
+        """Courant condition: dt ~ dx, so more zones -> more steps."""
+        app = app_instance("lulesh")
+        coarse = app.run({"mesh_length": 16.0, "num_regions": 1.0}).iterations
+        fine = app.run({"mesh_length": 32.0, "num_regions": 1.0}).iterations
+        assert fine > coarse
+
+    def test_region_count_does_not_change_zone_count(self):
+        app = app_instance("lulesh")
+        one = app.run({"mesh_length": 16.0, "num_regions": 1.0}).output
+        four = app.run({"mesh_length": 16.0, "num_regions": 4.0}).output
+        assert one.shape == four.shape
+
+
+class TestCoMDPhysics:
+    def test_lattice_is_bound(self):
+        """Mean potential energy per atom must be negative (cohesion)."""
+        app = app_instance("comd")
+        params = smallest_params(app)
+        output = app.run(params).output
+        n_atoms = int(params["unit_cells"]) ** 2
+        assert output[:n_atoms].mean() < -0.1
+
+    def test_kinetic_energy_scale_matches_temperature(self):
+        """<KE per atom> ~ k_B T in 2-D (two quadratic DoF)."""
+        app = app_instance("comd")
+        params = {"unit_cells": 5.0, "lattice_parameter": 1.14, "timesteps": 180.0}
+        output = app.run(params).output
+        n_atoms = 25
+        mean_ke = float(output[n_atoms:].mean())
+        # Initial T = 0.25; equilibration shifts it, but the order of
+        # magnitude must hold (not frozen, not exploding).
+        assert 0.02 < mean_ke < 2.0
+
+    def test_more_timesteps_cost_proportional_work(self):
+        app = app_instance("comd")
+        base = {"unit_cells": 3.0, "lattice_parameter": 1.2}
+        short = app.run({**base, "timesteps": 60.0}).total_work
+        double = app.run({**base, "timesteps": 120.0}).total_work
+        assert double == pytest.approx(2.0 * short, rel=0.05)
+
+
+class TestFFmpegTransforms:
+    def test_dct_matrix_is_orthonormal(self):
+        identity = _DCT @ _DCT.T
+        np.testing.assert_allclose(identity, np.eye(8), atol=1e-12)
+
+    def test_dct_roundtrip(self):
+        rng = np.random.default_rng(0)
+        block = rng.uniform(0, 255, size=(8, 8))
+        coefficients = _DCT @ block @ _DCT.T
+        np.testing.assert_allclose(_DCT.T @ coefficients @ _DCT, block, atol=1e-9)
+
+    def test_zigzag_is_a_permutation(self):
+        order = _zigzag_order(8)
+        assert sorted(order.tolist()) == list(range(64))
+        # Low-frequency corner first, highest-frequency last.
+        assert order[0] == 0
+        assert order[-1] == 63
+
+    def test_zigzag_orders_by_frequency_band(self):
+        order = _zigzag_order(4)
+        bands = [(i // 4 + i % 4) for i in order]
+        assert bands == sorted(bands)
+
+    def test_exact_pipeline_quantization_only(self):
+        """With all levels 0, reconstruction error is bounded by the
+        quantizer step (plus drift), far above random noise quality."""
+        app = app_instance("ffmpeg")
+        params = {"fps": 10.0, "duration": 6.0, "bitrate": 8.0, "filter_order": 0.0}
+        record = app.run(params)
+        assert record.output.min() >= 0.0 and record.output.max() <= 255.0
+
+
+class TestPSOAlgorithm:
+    def test_rastrigin_minimum_at_origin(self):
+        assert _rastrigin(np.zeros((1, 6)))[0] == pytest.approx(0.0, abs=1e-12)
+        rng = np.random.default_rng(1)
+        points = rng.uniform(-5, 5, size=(50, 6))
+        assert np.all(_rastrigin(points) > 0.0)
+
+    def test_swarm_improves_over_initialization(self):
+        app = app_instance("pso")
+        params = smallest_params(app)
+        final = app.run(params).output
+        rng = np.random.default_rng(123)
+        random_fitness = _rastrigin(
+            rng.uniform(-5.12, 5.12, (int(params["swarm_size"]), int(params["dimension"])))
+        )
+        assert final.mean() < random_fitness.mean()
+
+    def test_pbest_monotonicity_across_swarm_sizes(self):
+        """Larger swarms explore more: mean pbest never degrades much."""
+        app = app_instance("pso")
+        small = app.run({"swarm_size": 24.0, "dimension": 4.0}).output.mean()
+        large = app.run({"swarm_size": 48.0, "dimension": 4.0}).output.mean()
+        assert large < small * 2.0
+
+
+class TestBodytrackFilter:
+    def test_estimates_track_the_true_pose(self):
+        """The exact filter's estimates must correlate with the truth."""
+        app = app_instance("bodytrack")
+        params = app.default_params()
+        estimates = app.run(params).output.reshape(int(params["frames"]), 8)
+        truth = np.array(
+            [app._true_pose(frame) for frame in range(int(params["frames"]))]
+        )
+        # Large components (first dims) are tracked within their scale.
+        error = np.abs(estimates[:, 0] - truth[:, 0]).mean()
+        scale = np.abs(truth[:, 0]).mean()
+        assert error < 0.75 * scale
+
+    def test_more_particles_do_not_hurt_tracking(self):
+        app = app_instance("bodytrack")
+        base = {"annealing_layers": 4.0, "frames": 12.0}
+        def tracking_error(particles):
+            params = {**base, "particles": particles}
+            estimates = app.run(params).output.reshape(12, 8)
+            truth = np.array([app._true_pose(f) for f in range(12)])
+            weights = np.abs(truth)
+            return float(np.sum(weights * np.abs(estimates - truth)) / np.sum(weights))
+        assert tracking_error(96.0) < tracking_error(48.0) * 1.5

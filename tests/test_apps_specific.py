@@ -1,0 +1,217 @@
+"""Application-specific behaviour tests (one class per benchmark)."""
+
+import numpy as np
+import pytest
+
+from repro.approx.knobs import Technique
+from repro.approx.schedule import ApproxSchedule
+
+from tests.conftest import app_instance, smallest_params
+
+
+class TestLulesh:
+    def test_block_roster_matches_paper(self):
+        app = app_instance("lulesh")
+        names = {b.name for b in app.blocks}
+        assert names == {
+            "forces_on_elements",
+            "position_of_elements",
+            "strain_of_elements",
+            "calculate_timeconstraints",
+        }
+        assert app.block("forces_on_elements").technique is Technique.PERFORATION
+        assert app.block("strain_of_elements").technique is Technique.TRUNCATION
+        assert app.block("calculate_timeconstraints").technique is Technique.MEMOIZATION
+
+    def test_iteration_count_depends_on_approximation(self):
+        """The paper's Fig. 3: the outer loop length shifts under ALs."""
+        app = app_instance("lulesh")
+        params = smallest_params(app)
+        golden_iters = app.run(params).iterations
+        plan = app.make_plan(params, 1)
+        counts = set()
+        for levels in (
+            {"position_of_elements": 3},
+            {"forces_on_elements": 2, "calculate_timeconstraints": 4},
+        ):
+            counts.add(
+                app.run(params, ApproxSchedule.uniform(app.blocks, plan, levels)).iterations
+            )
+        assert any(c != golden_iters for c in counts)
+
+    def test_blast_energy_concentrated_near_origin(self):
+        app = app_instance("lulesh")
+        energy = app.run(smallest_params(app)).output
+        assert np.argmax(energy) < len(energy) // 2
+
+    def test_region_count_changes_signature(self):
+        app = app_instance("lulesh")
+        one = app.run({"mesh_length": 16.0, "num_regions": 1.0}).signature
+        four = app.run({"mesh_length": 16.0, "num_regions": 4.0}).signature
+        assert one != four
+        assert "region0" in four and "region3" in four
+
+    def test_rejects_tiny_mesh(self):
+        app = app_instance("lulesh")
+        with pytest.raises(ValueError):
+            app.run({"mesh_length": 4.0, "num_regions": 1.0})
+
+
+class TestCoMD:
+    def test_block_roster_matches_paper(self):
+        app = app_instance("comd")
+        techniques = {b.technique for b in app.blocks}
+        assert techniques == {Technique.PERFORATION, Technique.TRUNCATION}
+
+    def test_iterations_equal_timestep_parameter(self):
+        """CoMD's loop is a classic timestep loop: length = input param."""
+        app = app_instance("comd")
+        for steps in (60.0, 90.0):
+            params = {"unit_cells": 3.0, "lattice_parameter": 1.2, "timesteps": steps}
+            assert app.run(params).iterations == int(steps)
+
+    def test_iterations_independent_of_levels(self):
+        app = app_instance("comd")
+        params = smallest_params(app)
+        plan = app.make_plan(params, 1)
+        levels = {b.name: b.max_level for b in app.blocks}
+        approx = app.run(params, ApproxSchedule.uniform(app.blocks, plan, levels))
+        assert approx.iterations == app.run(params).iterations
+
+    def test_output_has_pe_and_ke_per_atom(self):
+        app = app_instance("comd")
+        params = smallest_params(app)
+        n_atoms = int(params["unit_cells"]) ** 2
+        assert app.run(params).output.shape == (2 * n_atoms,)
+
+    def test_energy_is_negative_potential_positive_kinetic(self):
+        app = app_instance("comd")
+        params = smallest_params(app)
+        output = app.run(params).output
+        n_atoms = int(params["unit_cells"]) ** 2
+        assert np.mean(output[:n_atoms]) < 0.0  # bound LJ crystal
+        assert np.all(output[n_atoms:] >= 0.0)
+
+
+class TestFFmpeg:
+    def test_frame_count_is_fps_times_duration(self):
+        app = app_instance("ffmpeg")
+        params = {"fps": 10.0, "duration": 6.0, "bitrate": 4.0, "filter_order": 0.0}
+        assert app.run(params).iterations == 60
+
+    def test_filter_order_changes_signature_and_output(self):
+        """Fig. 7/8: swapping deflate and edge detection is a different flow."""
+        app = app_instance("ffmpeg")
+        base = {"fps": 10.0, "duration": 6.0, "bitrate": 4.0}
+        a = app.run({**base, "filter_order": 0.0})
+        b = app.run({**base, "filter_order": 1.0})
+        assert a.signature != b.signature
+        assert not np.allclose(a.output, b.output)
+
+    def test_psnr_of_identical_videos_is_ceiling(self):
+        app = app_instance("ffmpeg")
+        golden = app.run(smallest_params(app))
+        assert app.metric.compute(golden.output, golden.output) == 60.0
+
+    def test_memoized_edge_filter_reduces_work(self):
+        app = app_instance("ffmpeg")
+        params = smallest_params(app)
+        plan = app.make_plan(params, 1)
+        golden = app.run(params)
+        approx = app.run(
+            params, ApproxSchedule.uniform(app.blocks, plan, {"filter_edge": 4})
+        )
+        assert (
+            approx.work_by_block["filter_edge"] < 0.4 * golden.work_by_block["filter_edge"]
+        )
+
+    def test_pixels_stay_in_range(self):
+        app = app_instance("ffmpeg")
+        params = smallest_params(app)
+        plan = app.make_plan(params, 1)
+        levels = {b.name: b.max_level for b in app.blocks}
+        output = app.run(params, ApproxSchedule.uniform(app.blocks, plan, levels)).output
+        assert output.min() >= 0.0 and output.max() <= 255.0
+
+    def test_earlier_corruption_hurts_more(self):
+        """Open-loop encoding propagates early-phase errors downstream."""
+        app = app_instance("ffmpeg")
+        params = app.default_params()
+        golden = app.run(params)
+        plan = app.make_plan(params, 4)
+        levels = {b.name: min(3, b.max_level) for b in app.blocks}
+        early = app.run(params, ApproxSchedule.single_phase(app.blocks, plan, 0, levels))
+        late = app.run(params, ApproxSchedule.single_phase(app.blocks, plan, 3, levels))
+        psnr_early = app.metric.compute(golden.output, early.output)
+        psnr_late = app.metric.compute(golden.output, late.output)
+        assert psnr_early < psnr_late
+
+
+class TestBodytrack:
+    def test_iterations_scale_with_annealing_layers(self):
+        app = app_instance("bodytrack")
+        base = {"particles": 48.0, "frames": 8.0}
+        three = app.run({**base, "annealing_layers": 3.0}).iterations
+        five = app.run({**base, "annealing_layers": 5.0}).iterations
+        assert five > three
+
+    def test_parameter_knob_reduces_iterations(self):
+        """Input-tuning the annealing layers shortens the outer loop."""
+        app = app_instance("bodytrack")
+        params = app.default_params()
+        plan = app.make_plan(params, 1)
+        approx = app.run(
+            params,
+            ApproxSchedule.uniform(app.blocks, plan, {"annealing_layers_knob": 3}),
+        )
+        assert approx.iterations < app.run(params).iterations
+
+    def test_output_is_pose_per_frame(self):
+        app = app_instance("bodytrack")
+        params = smallest_params(app)
+        output = app.run(params).output
+        assert output.shape == (int(params["frames"]) * 8,)
+
+    def test_qos_weights_larger_components_more(self):
+        app = app_instance("bodytrack")
+        golden = np.array([10.0, 0.1])
+        perturb_large = np.array([11.0, 0.1])
+        perturb_small = np.array([10.0, 1.1])
+        assert app.metric.compute(golden, perturb_large) > app.metric.compute(
+            golden, perturb_small
+        )
+
+
+class TestPSO:
+    def test_output_is_exact_fitness_of_pbest(self):
+        app = app_instance("pso")
+        params = smallest_params(app)
+        output = app.run(params).output
+        assert output.shape == (int(params["swarm_size"]),)
+        assert np.all(output >= 0.0)  # Rastrigin is non-negative
+
+    def test_golden_run_converges_toward_optimum(self):
+        app = app_instance("pso")
+        params = smallest_params(app)
+        final = app.run(params).output
+        # The swarm should improve far beyond random initialization.
+        dimension = int(params["dimension"])
+        random_scale = 10.0 * dimension
+        assert final.mean() < random_scale
+
+    def test_iteration_cap_respected(self):
+        app = app_instance("pso")
+        for params in app.training_inputs(limit=3):
+            assert app.run(params).iterations <= 140
+
+    def test_memoized_best_tracking_cheaper(self):
+        app = app_instance("pso")
+        params = smallest_params(app)
+        plan = app.make_plan(params, 1)
+        golden = app.run(params)
+        approx = app.run(
+            params, ApproxSchedule.uniform(app.blocks, plan, {"best_tracking": 4})
+        )
+        per_iter_golden = golden.work_by_block["best_tracking"] / golden.iterations
+        per_iter_approx = approx.work_by_block["best_tracking"] / approx.iterations
+        assert per_iter_approx < per_iter_golden

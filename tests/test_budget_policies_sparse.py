@@ -1,0 +1,142 @@
+"""Tests for budget-allocation policies and sparse local sampling."""
+
+import numpy as np
+import pytest
+
+from repro.core.budget import policy_weights
+from repro.core.opprox import Opprox
+from repro.core.sampling import TrainingSampler
+from repro.core.spec import AccuracySpec
+
+from tests.conftest import app_instance, profiler_for, smallest_params
+
+
+class TestPolicyWeights:
+    ROIS = {0: 9.0, 1: 3.0, 2: 1.0}
+
+    def test_roi_policy_is_identity(self):
+        assert policy_weights("roi", self.ROIS) == self.ROIS
+
+    def test_uniform_policy(self):
+        weights = policy_weights("uniform", self.ROIS)
+        assert set(weights.values()) == {1.0}
+
+    def test_greedy_concentrates_on_best_phase(self):
+        weights = policy_weights("greedy", self.ROIS)
+        assert weights[0] == 1.0
+        assert weights[1] < 1e-6 and weights[2] < 1e-6
+
+    def test_sqrt_flattens_the_ratio(self):
+        weights = policy_weights("sqrt-roi", self.ROIS)
+        assert weights[0] / weights[2] == pytest.approx(3.0)  # sqrt(9/1)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            policy_weights("alphabetical", self.ROIS)
+
+    def test_empty_rois_rejected(self):
+        with pytest.raises(ValueError):
+            policy_weights("roi", {})
+
+
+class TestBudgetPolicyIntegration:
+    def test_opprox_accepts_policy(self):
+        app = app_instance("pso")
+        opprox = Opprox(
+            app,
+            AccuracySpec.for_app(app, max_inputs=2),
+            profiler=profiler_for("pso"),
+            n_phases=2,
+            joint_samples_per_phase=4,
+            budget_policy="uniform",
+        )
+        opprox.train()
+        result = opprox.optimize(smallest_params(app), 10.0)
+        assert result.predicted_speedup >= 1.0
+
+    def test_invalid_policy_surfaces_at_optimize(self):
+        app = app_instance("pso")
+        opprox = Opprox(
+            app,
+            AccuracySpec.for_app(app, max_inputs=2),
+            profiler=profiler_for("pso"),
+            n_phases=2,
+            joint_samples_per_phase=4,
+            budget_policy="nonsense",
+        )
+        opprox.train()
+        with pytest.raises(ValueError):
+            opprox.optimize(smallest_params(app), 10.0)
+
+
+class TestSparseLocalSampling:
+    def test_sparse_produces_fewer_vectors(self):
+        app = app_instance("pso")
+        exhaustive = TrainingSampler(app, profiler_for("pso"), 2)
+        sparse = TrainingSampler(
+            app,
+            profiler_for("pso"),
+            2,
+            local_sampling="sparse",
+            local_samples_per_block=3,
+        )
+        n_exhaustive = len(list(exhaustive.local_level_vectors()))
+        n_sparse = len(list(sparse.local_level_vectors()))
+        assert n_sparse < n_exhaustive
+        assert n_sparse == 3 * len(app.blocks)
+
+    def test_sparse_keeps_the_extremes(self):
+        app = app_instance("pso")
+        sparse = TrainingSampler(
+            app,
+            profiler_for("pso"),
+            2,
+            local_sampling="sparse",
+            local_samples_per_block=2,
+        )
+        for block in app.blocks:
+            levels = sorted(
+                v[block.name]
+                for v in sparse.local_level_vectors()
+                if block.name in v
+            )
+            assert levels[0] == 1
+            assert levels[-1] == block.max_level
+
+    def test_sparse_never_exceeds_block_range(self):
+        app = app_instance("bodytrack")  # has a max_level=3 block
+        sparse = TrainingSampler(
+            app,
+            profiler_for("bodytrack"),
+            2,
+            local_sampling="sparse",
+            local_samples_per_block=10,
+        )
+        for vector in sparse.local_level_vectors():
+            for name, level in vector.items():
+                assert 1 <= level <= app.block(name).max_level
+
+    def test_sparse_training_still_produces_models(self):
+        app = app_instance("pso")
+        opprox = Opprox(
+            app,
+            AccuracySpec.for_app(app, max_inputs=2),
+            profiler=profiler_for("pso"),
+            n_phases=2,
+            joint_samples_per_phase=6,
+            local_sampling="sparse",
+            local_samples_per_block=3,
+        )
+        report = opprox.train()
+        assert report.n_samples > 0
+        run = opprox.apply(smallest_params(app), 15.0)
+        assert run.speedup > 0.9
+
+    def test_validation(self):
+        app = app_instance("pso")
+        with pytest.raises(ValueError):
+            TrainingSampler(app, profiler_for("pso"), 2, local_sampling="weird")
+        with pytest.raises(ValueError):
+            TrainingSampler(
+                app, profiler_for("pso"), 2, local_samples_per_block=0
+            )

@@ -1,0 +1,115 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_app(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["describe", "--app", "doom"])
+
+    def test_parses_param_overrides(self):
+        args = build_parser().parse_args(
+            ["golden", "--app", "pso", "--param", "swarm_size=24", "--param", "dimension=4"]
+        )
+        assert args.param == ["swarm_size=24", "dimension=4"]
+
+
+class TestReadOnlyCommands:
+    def test_list_apps(self, capsys):
+        assert main(["list-apps"]) == 0
+        out = capsys.readouterr().out
+        for name in ("lulesh", "comd", "ffmpeg", "bodytrack", "pso"):
+            assert name in out
+
+    def test_describe(self, capsys):
+        assert main(["describe", "--app", "pso"]) == 0
+        out = capsys.readouterr().out
+        assert "fitness_eval" in out
+        assert "loop_perforation" in out
+        assert "216" in out  # per-phase setting space
+
+    def test_golden(self, capsys):
+        assert main(
+            ["golden", "--app", "pso", "--param", "swarm_size=24", "--param", "dimension=4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "iterations:" in out and "work units:" in out
+
+    def test_bad_param_name(self):
+        with pytest.raises(SystemExit):
+            main(["golden", "--app", "pso", "--param", "bogus=1"])
+
+    def test_bad_param_value(self):
+        with pytest.raises(SystemExit):
+            main(["golden", "--app", "pso", "--param", "swarm_size=abc"])
+
+    def test_bad_param_format(self):
+        with pytest.raises(SystemExit):
+            main(["golden", "--app", "pso", "--param", "swarm_size"])
+
+
+class TestTrainOptimizeRun:
+    @pytest.fixture(scope="class")
+    def store_dir(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("models")
+        code = main(
+            [
+                "train", "--app", "pso", "--phases", "2", "--inputs", "2",
+                "--joint-samples", "4", "--store", str(path),
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_train_created_store(self, store_dir):
+        assert (store_dir / "pso.opprox.pkl").exists()
+
+    def test_optimize(self, store_dir, capsys):
+        code = main(
+            ["optimize", "--app", "pso", "--budget", "10", "--store", str(store_dir)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "phase 0:" in out and "predicted speedup" in out
+
+    def test_run(self, store_dir, capsys):
+        code = main(
+            ["run", "--app", "pso", "--budget", "15", "--store", str(store_dir)]
+        )
+        out = capsys.readouterr().out
+        assert "OPPROX_NUM_PHASES=2" in out
+        assert "within budget:" in out
+        assert code in (0, 3)
+
+    def test_optimize_missing_store(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["optimize", "--app", "pso", "--budget", "10", "--store", str(tmp_path)])
+
+
+class TestEvaluateCommand:
+    def test_evaluate_prints_comparison(self, capsys):
+        code = main(
+            ["evaluate", "--app", "pso", "--phases", "2", "--level-stride", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "OPPROX vs phase-agnostic oracle" in out
+        assert "small" in out and "large" in out
+
+
+class TestOracleCommand:
+    def test_oracle_with_stride(self, capsys):
+        code = main(
+            ["oracle", "--app", "pso", "--budget", "30", "--level-stride", "5",
+             "--param", "swarm_size=24", "--param", "dimension=4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "configurations tried: 8" in out

@@ -1,0 +1,156 @@
+"""Unit tests for ROI budgeting and the Algorithm-2 optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.core.budget import allocate_budget, normalized_rois, phase_roi, rois_from_samples
+from repro.core.optimizer import PhaseOptimizer, combined_speedup
+from repro.core.models import PhaseModels
+from repro.core.sampling import TrainingSample, TrainingSampler
+
+from tests.conftest import app_instance, profiler_for, smallest_params
+
+
+def _sample(phase, speedup, degradation, n_phases=2):
+    return TrainingSample(
+        params={"x": 1.0},
+        n_phases=n_phases,
+        phase=phase,
+        levels={"blk": 1},
+        speedup=speedup,
+        degradation=degradation,
+        qos_value=degradation,
+        iterations=10,
+    )
+
+
+class TestROI:
+    def test_roi_is_mean_of_ratios(self):
+        samples = [_sample(0, 2.0, 4.0), _sample(0, 3.0, 2.0)]
+        assert phase_roi(samples, 0) == pytest.approx((0.5 + 1.5) / 2)
+
+    def test_roi_clamps_error_free_samples(self):
+        samples = [_sample(0, 2.0, 0.0)]
+        assert phase_roi(samples, 0) <= 1e4
+
+    def test_roi_requires_samples(self):
+        with pytest.raises(ValueError):
+            phase_roi([_sample(0, 2.0, 1.0)], 1)
+
+    def test_rois_from_samples(self):
+        samples = [_sample(0, 2.0, 1.0), _sample(1, 1.5, 3.0)]
+        rois = rois_from_samples(samples, 2)
+        assert set(rois) == {0, 1}
+        assert rois[0] > rois[1]
+
+
+class TestAllocation:
+    def test_normalization_sums_to_one(self):
+        shares = normalized_rois({0: 3.0, 1: 1.0})
+        assert shares[0] == pytest.approx(0.75)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_allocation_proportional(self):
+        allocation = allocate_budget(10.0, {0: 3.0, 1: 1.0})
+        assert allocation == {0: pytest.approx(7.5), 1: pytest.approx(2.5)}
+
+    def test_zero_rois_split_evenly(self):
+        allocation = allocate_budget(8.0, {0: 0.0, 1: 0.0})
+        assert allocation[0] == allocation[1] == pytest.approx(4.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            allocate_budget(-1.0, {0: 1.0})
+        with pytest.raises(ValueError):
+            normalized_rois({})
+        with pytest.raises(ValueError):
+            normalized_rois({0: -2.0})
+
+
+class TestCombinedSpeedup:
+    def test_single_phase_identity(self):
+        assert combined_speedup([1.5]) == pytest.approx(1.5)
+
+    def test_exact_phases_do_not_contribute(self):
+        assert combined_speedup([1.0, 1.0, 2.0]) == pytest.approx(2.0)
+
+    def test_two_phases_compose_additively_in_savings(self):
+        # each phase alone saves 1/4 of total work -> together 1/2
+        assert combined_speedup([4 / 3, 4 / 3]) == pytest.approx(2.0)
+
+    def test_floor_guards_overflow(self):
+        assert combined_speedup([10.0, 10.0, 10.0]) <= 20.0
+
+    def test_sub_unit_speedups_ignored(self):
+        assert combined_speedup([0.5, 1.0]) == pytest.approx(1.0)
+
+
+class TestPhaseOptimizer:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        app = app_instance("pso")
+        profiler = profiler_for("pso")
+        sampler = TrainingSampler(app, profiler, n_phases=2, joint_samples_per_phase=8)
+        samples = sampler.collect([smallest_params(app), app.default_params()])
+        models = PhaseModels.fit(app, 2, samples, confidence_p=0.9)
+        rois = rois_from_samples(samples, 2)
+        return app, models, rois
+
+    def test_zero_budget_yields_exact_schedule(self, setup):
+        app, models, rois = setup
+        optimizer = PhaseOptimizer(app, models)
+        entries = optimizer.optimize(smallest_params(app), 0.0, rois)
+        assert all(all(v == 0 for v in e.levels.values()) for e in entries)
+        schedule = optimizer.build_schedule(smallest_params(app), entries)
+        assert schedule.is_exact
+
+    def test_larger_budget_never_predicts_slower(self, setup):
+        app, models, rois = setup
+        optimizer = PhaseOptimizer(app, models)
+        params = smallest_params(app)
+        small = optimizer.optimize(params, 2.0, rois)
+        large = optimizer.optimize(params, 30.0, rois)
+        total = lambda entries: combined_speedup([e.predicted_speedup for e in entries])
+        assert total(large) >= total(small) - 1e-9
+
+    def test_entries_cover_every_phase_once(self, setup):
+        app, models, rois = setup
+        entries = PhaseOptimizer(app, models).optimize(smallest_params(app), 10.0, rois)
+        assert [e.phase for e in entries] == [0, 1]
+
+    def test_predicted_degradation_within_allocated_budget(self, setup):
+        app, models, rois = setup
+        entries = PhaseOptimizer(app, models).optimize(smallest_params(app), 10.0, rois)
+        for entry in entries:
+            assert entry.predicted_degradation <= entry.allocated_budget + 1e-9
+
+    def test_level_combinations_capped(self, setup):
+        app, models, _ = setup
+        optimizer = PhaseOptimizer(app, models, max_combos=50)
+        combos = optimizer.level_combinations()
+        assert combos.shape[0] <= 51
+        assert np.all(combos[0] == 0)
+
+    def test_full_combination_space_when_small(self, setup):
+        app, models, _ = setup
+        combos = PhaseOptimizer(app, models).level_combinations()
+        assert combos.shape[0] == app.search_space_size(1)
+
+    def test_rois_must_cover_phases(self, setup):
+        app, models, _ = setup
+        with pytest.raises(ValueError):
+            PhaseOptimizer(app, models).optimize(smallest_params(app), 5.0, {0: 1.0})
+
+    def test_negative_budget_rejected(self, setup):
+        app, models, rois = setup
+        with pytest.raises(ValueError):
+            PhaseOptimizer(app, models).optimize(smallest_params(app), -1.0, rois)
+
+    def test_build_schedule_materializes_levels(self, setup):
+        app, models, rois = setup
+        optimizer = PhaseOptimizer(app, models)
+        params = smallest_params(app)
+        entries = optimizer.optimize(params, 20.0, rois)
+        schedule = optimizer.build_schedule(params, entries)
+        for entry in entries:
+            assert schedule.phase_levels(entry.phase) == entry.levels

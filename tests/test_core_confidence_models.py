@@ -1,0 +1,183 @@
+"""Unit tests for confidence intervals and the model stack."""
+
+import numpy as np
+import pytest
+
+from repro.core.confidence import ConfidenceInterval, out_of_fold_residuals
+from repro.core.models import FittedModel, PhaseModels
+from repro.core.sampling import TrainingSampler
+
+from tests.conftest import app_instance, profiler_for, smallest_params
+
+
+class TestConfidenceInterval:
+    def test_from_residuals_quantile(self):
+        residuals = np.concatenate([np.zeros(99), [10.0]])
+        ci = ConfidenceInterval.from_residuals(residuals, p=0.9)
+        assert ci.half_width == 0.0
+        ci99 = ConfidenceInterval.from_residuals(residuals, p=1.0)
+        assert ci99.half_width == 10.0
+
+    def test_upper_lower(self):
+        ci = ConfidenceInterval(half_width=2.0, p=0.9)
+        assert ci.upper(5.0) == 7.0
+        assert ci.lower(5.0) == 3.0
+        np.testing.assert_allclose(ci.upper(np.array([1.0, 2.0])), [3.0, 4.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConfidenceInterval(-1.0, 0.9)
+        with pytest.raises(ValueError):
+            ConfidenceInterval(1.0, 0.0)
+        with pytest.raises(ValueError):
+            ConfidenceInterval.from_residuals([], 0.9)
+
+    def test_out_of_fold_residuals_small_for_clean_data(self):
+        x = np.linspace(0, 1, 30).reshape(-1, 1)
+        y = 2.0 * x.ravel() + 1.0
+        residuals = out_of_fold_residuals(x, y, degree=1)
+        assert np.max(np.abs(residuals)) < 1e-6
+
+    def test_out_of_fold_residuals_capture_noise(self):
+        rng = np.random.default_rng(0)
+        x = np.linspace(0, 1, 60).reshape(-1, 1)
+        y = x.ravel() + rng.normal(0, 0.5, 60)
+        residuals = out_of_fold_residuals(x, y, degree=2)
+        assert 0.1 < np.std(residuals) < 2.0
+
+
+class TestFittedModel:
+    def test_fit_predict_roundtrip(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0, 5, size=(50, 2))
+        y = 1.0 + x[:, 0] + 0.5 * x[:, 1] ** 2
+        model = FittedModel.fit(x, y)
+        assert model.cv_r2 > 0.99
+        np.testing.assert_allclose(model.predict(x), y, rtol=0.05)
+
+    def test_mic_filter_drops_irrelevant_feature(self):
+        rng = np.random.default_rng(2)
+        x = np.column_stack([np.linspace(0, 1, 80), rng.normal(size=80)])
+        y = 3.0 * x[:, 0]
+        model = FittedModel.fit(x, y)
+        assert 0 in model.kept_features
+
+    def test_constant_feature_dropped(self):
+        x = np.column_stack([np.linspace(0, 1, 40), np.ones(40)])
+        y = x[:, 0] ** 2
+        model = FittedModel.fit(x, y)
+        assert model.kept_features == (0,)
+
+    def test_conservative_bounds_bracket_point_prediction(self):
+        rng = np.random.default_rng(3)
+        x = rng.uniform(0, 1, size=(40, 1))
+        y = x.ravel() + rng.normal(0, 0.1, 40)
+        model = FittedModel.fit(x, y)
+        point = model.predict(x)
+        assert np.all(model.predict_upper(x) >= point - 1e-12)
+        assert np.all(model.predict_lower(x) <= point + 1e-12)
+
+    def test_log_transform_keeps_predictions_positive(self):
+        rng = np.random.default_rng(4)
+        x = rng.uniform(0, 5, size=(40, 1))
+        y = np.exp(0.3 * x.ravel())
+        model = FittedModel.fit(x, y, transform="log")
+        assert np.all(model.predict(x) > 0)
+        assert np.all(model.predict_lower(x) > 0)
+
+    def test_log1p_transform_handles_zeros(self):
+        x = np.linspace(0, 5, 40).reshape(-1, 1)
+        y = np.maximum(0.0, x.ravel() - 2.0) ** 2
+        model = FittedModel.fit(x, y, transform="log1p")
+        assert np.all(model.predict(x) > -1.0)
+
+    def test_requires_enough_samples(self):
+        with pytest.raises(ValueError):
+            FittedModel.fit(np.zeros((3, 1)), np.zeros(3))
+
+    def test_degree_bounded_by_sample_count(self):
+        x = np.linspace(0, 1, 6).reshape(-1, 1)
+        y = x.ravel()
+        model = FittedModel.fit(x, y, min_degree=2, max_degree=6)
+        assert model.degree <= 4
+
+
+class TestPhaseModels:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        app = app_instance("pso")
+        profiler = profiler_for("pso")
+        sampler = TrainingSampler(app, profiler, n_phases=2, joint_samples_per_phase=8)
+        inputs = [smallest_params(app), app.default_params()]
+        samples = sampler.collect(inputs)
+        return app, samples, PhaseModels.fit(app, 2, samples)
+
+    def test_all_model_families_present(self, fitted):
+        app, _, models = fitted
+        assert set(models.iteration_model) == {0, 1}
+        assert set(models.overall_speedup) == {0, 1}
+        for phase in (0, 1):
+            for block in app.blocks:
+                assert (phase, block.name) in models.local_speedup
+                assert (phase, block.name) in models.local_degradation
+
+    def test_exact_config_predicts_near_identity(self, fitted):
+        app, _, models = fitted
+        zero = np.zeros((1, len(app.blocks)))
+        speedup, degradation = models.predict_phase(
+            app.default_params(), 0, zero, conservative=False
+        )
+        # The fit is statistical, so the identity is only approximate —
+        # the optimizer special-cases the all-zero row for exactly this
+        # reason.  We check the *relative* sanity: the exact configuration
+        # must look strictly better than the most aggressive one.
+        aggressive = np.array([[b.max_level for b in app.blocks]], dtype=float)
+        s_max, d_max = models.predict_phase(
+            app.default_params(), 0, aggressive, conservative=False
+        )
+        assert speedup[0] == pytest.approx(1.0, abs=0.5)
+        assert degradation[0] < d_max[0]
+
+    def test_vectorized_prediction_shapes(self, fitted):
+        app, _, models = fitted
+        combos = np.array([[0, 0, 0], [1, 2, 3], [5, 5, 5]], dtype=float)
+        speedup, degradation = models.predict_phase(app.default_params(), 1, combos)
+        assert speedup.shape == (3,) and degradation.shape == (3,)
+        assert np.all(degradation >= 0.0)
+
+    def test_conservative_bounds_ordering(self, fitted):
+        app, _, models = fitted
+        combos = np.array([[2, 2, 2]], dtype=float)
+        s_cons, d_cons = models.predict_phase(app.default_params(), 0, combos, True)
+        s_point, d_point = models.predict_phase(app.default_params(), 0, combos, False)
+        assert s_cons[0] <= s_point[0] + 1e-9
+        assert d_cons[0] >= d_point[0] - 1e-9
+
+    def test_iteration_prediction_close_to_truth(self, fitted):
+        app, samples, models = fitted
+        sample = samples[0]
+        names = [b.name for b in app.blocks]
+        predicted = models.predict_iterations(
+            sample.params, sample.phase, [sample.levels.get(n, 0) for n in names]
+        )
+        assert predicted == pytest.approx(sample.iterations, rel=0.35)
+
+    def test_r2_summary_keys(self, fitted):
+        _, _, models = fitted
+        summary = models.r2_summary()
+        assert set(summary) == {
+            "local_speedup",
+            "local_degradation",
+            "iterations",
+            "overall_speedup",
+            "overall_degradation",
+        }
+
+    def test_fit_rejects_phase_mismatch(self, fitted):
+        app, samples, _ = fitted
+        with pytest.raises(ValueError):
+            PhaseModels.fit(app, 3, samples)
+
+    def test_fit_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PhaseModels.fit(app_instance("pso"), 2, [])

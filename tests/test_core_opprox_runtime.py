@@ -1,0 +1,151 @@
+"""Integration tests for the Opprox facade and the runtime model store."""
+
+import pytest
+
+from repro.core.opprox import Opprox
+from repro.core.runtime import ModelStore, schedule_to_env, submit_job
+from repro.core.spec import AccuracySpec
+
+from tests.conftest import app_instance, profiler_for, smallest_params
+
+
+@pytest.fixture(scope="module")
+def trained_pso():
+    app = app_instance("pso")
+    opprox = Opprox(
+        app,
+        AccuracySpec.for_app(app, max_inputs=2),
+        profiler=profiler_for("pso"),
+        n_phases=2,
+        joint_samples_per_phase=6,
+        confidence_p=0.9,
+    )
+    opprox.train()
+    return opprox
+
+
+class TestTraining:
+    def test_report_contents(self, trained_pso):
+        report = trained_pso.training_report
+        assert report.n_phases == 2
+        assert report.n_control_flows == 1
+        assert report.n_samples > 0
+        assert report.training_seconds > 0.0
+        for r2 in report.r2_by_flow.values():
+            assert set(r2) == {
+                "local_speedup",
+                "local_degradation",
+                "iterations",
+                "overall_speedup",
+                "overall_degradation",
+            }
+
+    def test_is_trained_flag(self, trained_pso):
+        assert trained_pso.is_trained
+        fresh = Opprox(
+            app_instance("pso"), AccuracySpec.for_app(app_instance("pso"), max_inputs=1)
+        )
+        assert not fresh.is_trained
+
+    def test_untrained_optimize_raises(self):
+        app = app_instance("pso")
+        fresh = Opprox(app, AccuracySpec.for_app(app, max_inputs=1))
+        with pytest.raises(RuntimeError):
+            fresh.optimize(smallest_params(app), 10.0)
+
+    def test_models_and_samples_accessors(self, trained_pso):
+        params = smallest_params(trained_pso.app)
+        assert trained_pso.models_for(params).n_phases == 2
+        assert len(trained_pso.samples_for(params)) > 0
+
+
+class TestOptimization:
+    def test_schedule_has_trained_phase_count(self, trained_pso):
+        result = trained_pso.optimize(smallest_params(trained_pso.app), 15.0)
+        assert result.schedule.plan.n_phases == 2
+        assert result.predicted_speedup >= 1.0
+        assert result.optimization_seconds >= 0.0
+
+    def test_budget_zero_gives_exact_schedule(self, trained_pso):
+        result = trained_pso.optimize(smallest_params(trained_pso.app), 0.0)
+        assert result.schedule.is_exact
+        assert result.predicted_degradation == 0.0
+
+    def test_apply_returns_measured_run(self, trained_pso):
+        run = trained_pso.apply(smallest_params(trained_pso.app), 15.0)
+        assert run.speedup > 0.0
+        assert run.qos_value >= 0.0
+
+    def test_default_budget_from_spec(self, trained_pso):
+        result = trained_pso.optimize(smallest_params(trained_pso.app))
+        assert result.budget_degradation == pytest.approx(
+            trained_pso.spec.error_budget
+        )
+
+    def test_unknown_params_rejected(self, trained_pso):
+        with pytest.raises(ValueError):
+            trained_pso.optimize({"bogus": 1.0}, 10.0)
+
+
+class TestRuntime:
+    def test_env_encoding(self, trained_pso):
+        result = trained_pso.optimize(smallest_params(trained_pso.app), 15.0)
+        env = schedule_to_env(result)
+        assert env["OPPROX_NUM_PHASES"] == "2"
+        for phase in range(2):
+            for block in trained_pso.app.blocks:
+                key = f"OPPROX_P{phase}_{block.name.upper()}"
+                assert key in env
+                assert 0 <= int(env[key]) <= block.max_level
+
+    def test_store_roundtrip(self, trained_pso, tmp_path):
+        store = ModelStore(tmp_path)
+        path = store.save(trained_pso)
+        assert path.exists()
+        loaded = store.load("pso")
+        assert loaded.is_trained
+        assert loaded.n_phases == trained_pso.n_phases
+        assert store.available() == {"pso": path}
+
+    def test_store_rejects_untrained(self, tmp_path):
+        app = app_instance("pso")
+        fresh = Opprox(app, AccuracySpec.for_app(app, max_inputs=1))
+        with pytest.raises(ValueError):
+            ModelStore(tmp_path).save(fresh)
+
+    def test_store_missing_app(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ModelStore(tmp_path).load("nothing")
+
+    def test_submit_job_in_process(self, trained_pso, tmp_path):
+        store = ModelStore(tmp_path)
+        store.save(trained_pso)
+        launch = submit_job(store, "pso", smallest_params(trained_pso.app), 15.0)
+        assert launch.app_name == "pso"
+        assert launch.run.speedup > 0.0
+        assert "OPPROX_NUM_PHASES" in launch.env
+        assert launch.submit_seconds > 0.0
+
+    def test_submit_job_with_inline_opprox(self, trained_pso, tmp_path):
+        launch = submit_job(
+            ModelStore(tmp_path),
+            "pso",
+            smallest_params(trained_pso.app),
+            10.0,
+            opprox=trained_pso,
+        )
+        assert launch.error_budget == 10.0
+
+
+class TestEndToEndContract:
+    def test_measured_qos_not_wildly_over_budget(self, trained_pso):
+        """The conservative pipeline should keep actual QoS near budget."""
+        params = smallest_params(trained_pso.app)
+        for budget in (5.0, 10.0, 20.0):
+            run = trained_pso.apply(params, budget)
+            assert run.qos_value <= 2.5 * budget + 1.0
+
+    def test_speedup_never_below_point_nine(self, trained_pso):
+        params = smallest_params(trained_pso.app)
+        run = trained_pso.apply(params, 10.0)
+        assert run.speedup > 0.9

@@ -1,0 +1,113 @@
+"""Unit tests for Algorithm 1 (phase granularity) and control-flow models."""
+
+import pytest
+
+from repro.core.controlflow import ControlFlowModel, params_vector
+from repro.core.phases import find_phase_count, max_consecutive_qos_diff
+
+from tests.conftest import app_instance, profiler_for, smallest_params
+
+
+class TestGetMaxQoSDiff:
+    def test_positive_for_phase_sensitive_app(self):
+        app = app_instance("pso")
+        diff = max_consecutive_qos_diff(
+            app, profiler_for("pso"), smallest_params(app), 2
+        )
+        assert diff > 0.0
+
+    def test_requires_two_phases(self):
+        app = app_instance("pso")
+        with pytest.raises(ValueError):
+            max_consecutive_qos_diff(app, profiler_for("pso"), smallest_params(app), 1)
+
+    def test_custom_probe_vectors(self):
+        app = app_instance("pso")
+        diff = max_consecutive_qos_diff(
+            app,
+            profiler_for("pso"),
+            smallest_params(app),
+            2,
+            probe_vectors=[{"fitness_eval": 2}],
+        )
+        assert diff >= 0.0
+
+
+class TestAlgorithm1:
+    def test_returns_power_of_two_in_range(self):
+        app = app_instance("pso")
+        result = find_phase_count(
+            app, profiler_for("pso"), smallest_params(app), threshold=2.0
+        )
+        assert result.n_phases in (2, 4, 8)
+        assert 2 in result.diffs_by_n
+
+    def test_huge_threshold_stops_at_two(self):
+        app = app_instance("pso")
+        result = find_phase_count(
+            app, profiler_for("pso"), smallest_params(app), threshold=1e9
+        )
+        assert result.n_phases == 2
+
+    def test_zero_threshold_runs_to_cap(self):
+        app = app_instance("pso")
+        result = find_phase_count(
+            app,
+            profiler_for("pso"),
+            smallest_params(app),
+            threshold=0.0,
+            max_phases=8,
+            probe_vectors=[{"fitness_eval": 3}, {"velocity_update": 2}],
+        )
+        assert result.n_phases == 8
+
+    def test_max_phases_validation(self):
+        app = app_instance("pso")
+        with pytest.raises(ValueError):
+            find_phase_count(app, profiler_for("pso"), smallest_params(app), max_phases=1)
+
+
+class TestControlFlowModel:
+    def test_params_vector_ordering(self):
+        app = app_instance("pso")
+        vector = params_vector(app, {"swarm_size": 24.0, "dimension": 8.0})
+        assert vector.tolist() == [24.0, 8.0]
+
+    def test_single_flow_app(self):
+        app = app_instance("pso")
+        inputs = list(app.training_inputs())
+        model = ControlFlowModel.train(app, profiler_for("pso"), inputs)
+        assert len(model.signatures) == 1
+        assert model.accuracy(profiler_for("pso"), inputs) == 1.0
+
+    def test_ffmpeg_order_flows_predicted(self):
+        """Fig. 8: the tree must separate the two filter orders."""
+        app = app_instance("ffmpeg")
+        inputs = list(app.training_inputs())
+        model = ControlFlowModel.train(app, profiler_for("ffmpeg"), inputs)
+        assert len(model.signatures) == 2
+        assert model.accuracy(profiler_for("ffmpeg"), inputs) == 1.0
+        base = {"fps": 10.0, "duration": 6.0, "bitrate": 4.0}
+        assert model.predict({**base, "filter_order": 0.0}) != model.predict(
+            {**base, "filter_order": 1.0}
+        )
+
+    def test_lulesh_region_flows_predicted(self):
+        app = app_instance("lulesh")
+        inputs = list(app.training_inputs())
+        model = ControlFlowModel.train(app, profiler_for("lulesh"), inputs)
+        assert len(model.signatures) == 3  # one per region count
+        assert model.accuracy(profiler_for("lulesh"), inputs) == 1.0
+
+    def test_group_by_signature_partitions(self):
+        app = app_instance("ffmpeg")
+        inputs = list(app.training_inputs())
+        model = ControlFlowModel.train(app, profiler_for("ffmpeg"), inputs)
+        groups = model.group_by_signature(profiler_for("ffmpeg"), inputs)
+        assert sum(len(v) for v in groups.values()) == len(inputs)
+        assert set(groups) == set(model.signatures)
+
+    def test_requires_inputs(self):
+        app = app_instance("pso")
+        with pytest.raises(ValueError):
+            ControlFlowModel.train(app, profiler_for("pso"), [])

@@ -1,0 +1,133 @@
+"""Unit tests for the accuracy spec, budgets, and training-data sampling."""
+
+import pytest
+
+from repro.apps.base import QoSMetric
+from repro.core.sampling import TrainingSampler
+from repro.core.spec import AccuracySpec, budget_to_degradation, unique_params
+
+from tests.conftest import app_instance, profiler_for, smallest_params
+
+
+class TestBudgetConversion:
+    def test_percent_budget_is_identity(self):
+        app = app_instance("pso")
+        assert budget_to_degradation(app.metric, 5.0) == 5.0
+
+    def test_psnr_budget_is_mse_like(self):
+        metric = app_instance("ffmpeg").metric
+        deg30 = budget_to_degradation(metric, 30.0)
+        deg20 = budget_to_degradation(metric, 20.0)
+        assert deg20 > deg30 > 0.0
+        # 10 dB lower target tolerates ~10x the MSE
+        assert deg20 / deg30 == pytest.approx(10.0, rel=0.01)
+
+    def test_roundtrip_via_metric(self):
+        metric = app_instance("ffmpeg").metric
+        for psnr in (10.0, 25.0, 55.0):
+            deg = metric.to_degradation(psnr)
+            assert metric.from_degradation(deg) == pytest.approx(psnr)
+
+    def test_rejects_budget_above_ceiling(self):
+        metric = app_instance("ffmpeg").metric
+        with pytest.raises(ValueError):
+            budget_to_degradation(metric, 75.0)
+
+    def test_rejects_negative_percent_budget(self):
+        app = app_instance("pso")
+        with pytest.raises(ValueError):
+            budget_to_degradation(app.metric, -1.0)
+
+    def test_satisfies_direction(self):
+        psnr = QoSMetric("m", "dB", True, lambda a, b: 0.0, ceiling=60.0)
+        assert psnr.satisfies(35.0, 30.0)
+        assert not psnr.satisfies(25.0, 30.0)
+        pct = QoSMetric("m", "%", False, lambda a, b: 0.0)
+        assert pct.satisfies(3.0, 5.0)
+        assert not pct.satisfies(7.0, 5.0)
+
+
+class TestAccuracySpec:
+    def test_for_app_limits_inputs(self):
+        app = app_instance("lulesh")
+        spec = AccuracySpec.for_app(app, max_inputs=4)
+        assert len(spec.training_inputs) == 4
+        spec.validated_for(app)
+
+    def test_for_app_with_large_limit_takes_everything(self):
+        app = app_instance("pso")
+        spec = AccuracySpec.for_app(app, max_inputs=100)
+        assert len(spec.training_inputs) == 9
+
+    def test_requires_inputs(self):
+        with pytest.raises(ValueError):
+            AccuracySpec(training_inputs=[])
+
+    def test_validation_against_wrong_app(self):
+        pso_spec = AccuracySpec.for_app(app_instance("pso"), max_inputs=2)
+        with pytest.raises(ValueError):
+            pso_spec.validated_for(app_instance("lulesh"))
+
+    def test_unique_params(self):
+        inputs = [{"a": 1.0}, {"a": 1.0}, {"a": 2.0}]
+        assert unique_params(inputs) == [{"a": 1.0}, {"a": 2.0}]
+
+
+class TestTrainingSampler:
+    def test_local_vectors_are_exhaustive_per_block(self):
+        app = app_instance("pso")
+        sampler = TrainingSampler(app, profiler_for("pso"), n_phases=2)
+        vectors = list(sampler.local_level_vectors())
+        expected = sum(b.max_level for b in app.blocks)
+        assert len(vectors) == expected
+        assert all(len(v) == 1 for v in vectors)
+
+    def test_joint_vectors_are_nonzero_and_in_range(self):
+        app = app_instance("pso")
+        sampler = TrainingSampler(app, profiler_for("pso"), n_phases=2, seed=1)
+        for vector in sampler.joint_level_vectors(10):
+            assert any(vector.values())
+            for name, level in vector.items():
+                assert 0 <= level <= app.block(name).max_level
+
+    def test_collect_produces_expected_count(self):
+        app = app_instance("pso")
+        sampler = TrainingSampler(
+            app, profiler_for("pso"), n_phases=2, joint_samples_per_phase=3, seed=0
+        )
+        params = smallest_params(app)
+        samples = sampler.collect_for_input(params)
+        locals_per_phase = sum(b.max_level for b in app.blocks)
+        assert len(samples) == 2 * (locals_per_phase + 3)
+        assert {s.phase for s in samples} == {0, 1}
+
+    def test_samples_carry_measured_quantities(self):
+        app = app_instance("pso")
+        sampler = TrainingSampler(
+            app, profiler_for("pso"), n_phases=2, joint_samples_per_phase=2, seed=0
+        )
+        for sample in sampler.collect_for_input(smallest_params(app)):
+            assert sample.speedup > 0.0
+            assert sample.degradation >= 0.0
+            assert sample.iterations > 0
+
+    def test_is_local_flag(self):
+        app = app_instance("pso")
+        sampler = TrainingSampler(
+            app, profiler_for("pso"), n_phases=2, joint_samples_per_phase=0
+        )
+        samples = sampler.collect_for_input(smallest_params(app))
+        assert all(s.is_local for s in samples)
+
+    def test_collect_requires_inputs(self):
+        app = app_instance("pso")
+        sampler = TrainingSampler(app, profiler_for("pso"), n_phases=2)
+        with pytest.raises(ValueError):
+            sampler.collect([])
+
+    def test_validation(self):
+        app = app_instance("pso")
+        with pytest.raises(ValueError):
+            TrainingSampler(app, profiler_for("pso"), n_phases=0)
+        with pytest.raises(ValueError):
+            TrainingSampler(app, profiler_for("pso"), 2, joint_samples_per_phase=-1)

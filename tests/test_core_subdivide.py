@@ -1,0 +1,84 @@
+"""Unit tests for Sec. 3.7 input subcategorization (SubdividedModel)."""
+
+import numpy as np
+import pytest
+
+from repro.core.models import FittedModel
+from repro.core.subdivide import SubdividedModel, fit_with_subdivision
+
+
+def _piecewise_data(n=120, seed=0):
+    """A target a single low-degree polynomial cannot fit: two regimes."""
+    rng = np.random.default_rng(seed)
+    x = np.column_stack([rng.uniform(0, 10, n), rng.uniform(0, 1, n)])
+    y = np.where(x[:, 0] < 5.0, 2.0 * x[:, 0], 40.0 - 3.0 * x[:, 0])
+    return x, y
+
+
+class TestFitWithSubdivision:
+    def test_easy_target_stays_global(self):
+        x = np.linspace(0, 1, 60).reshape(-1, 1)
+        y = 3.0 * x.ravel() ** 2
+        model = fit_with_subdivision(x, y, target_r2=0.9, max_degree=3)
+        assert isinstance(model, FittedModel)
+
+    def test_hard_target_gets_subdivided(self):
+        x, y = _piecewise_data()
+        model = fit_with_subdivision(x, y, target_r2=0.999, max_degree=2)
+        assert isinstance(model, SubdividedModel)
+        assert model.split_feature == 0
+        assert model.cv_r2 > 0.9
+
+    def test_subdivided_beats_global_on_regime_switch(self):
+        x, y = _piecewise_data()
+        global_model = FittedModel.fit(x, y, max_degree=2)
+        sub_model = fit_with_subdivision(x, y, target_r2=0.999, max_degree=2)
+        global_r2 = 1 - np.sum((global_model.predict(x) - y) ** 2) / np.sum(
+            (y - y.mean()) ** 2
+        )
+        sub_r2 = 1 - np.sum((sub_model.predict(x) - y) ** 2) / np.sum(
+            (y - y.mean()) ** 2
+        )
+        assert sub_r2 > global_r2
+
+    def test_too_few_samples_for_subdivision(self):
+        x = np.linspace(0, 1, 10).reshape(-1, 1)
+        y = np.sign(x.ravel() - 0.5)
+        model = fit_with_subdivision(x, y, target_r2=0.999)
+        assert isinstance(model, FittedModel)  # graceful fallback
+
+
+class TestSubdividedModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        x, y = _piecewise_data()
+        model = fit_with_subdivision(x, y, target_r2=0.999, max_degree=2)
+        assert isinstance(model, SubdividedModel)
+        return model
+
+    def test_routing_covers_all_queries(self, model):
+        x, _ = _piecewise_data(seed=1)
+        predictions = model.predict(x)
+        assert predictions.shape == (len(x),)
+        assert np.all(np.isfinite(predictions))
+
+    def test_out_of_range_queries_extrapolate(self, model):
+        extreme = np.array([[-100.0, 0.5], [1000.0, 0.5]])
+        predictions = model.predict(extreme)
+        assert np.all(np.isfinite(predictions))
+
+    def test_conservative_bounds_interface(self, model):
+        x, _ = _piecewise_data(seed=2)
+        point = model.predict(x)
+        assert np.all(model.predict_upper(x) >= point - 1e-9)
+        assert np.all(model.predict_lower(x) <= point + 1e-9)
+
+    def test_piece_edge_consistency(self, model):
+        assert len(model.pieces) == len(model.edges) + 1
+        assert list(model.edges) == sorted(model.edges)
+
+    def test_validation(self):
+        x, y = _piecewise_data()
+        piece = FittedModel.fit(x[:40], y[:40])
+        with pytest.raises(ValueError):
+            SubdividedModel(0, (1.0, 2.0), (piece,), 0.5)

@@ -1,0 +1,123 @@
+"""Tests for the energy model and canary-input training extensions."""
+
+import numpy as np
+import pytest
+
+from repro.approx.schedule import ApproxSchedule
+from repro.core.canary import canary_params, train_with_canaries
+from repro.core.spec import AccuracySpec
+from repro.instrument.energy import EnergyModel, EnergyReport
+
+from tests.conftest import app_instance, profiler_for, smallest_params
+
+
+class TestEnergyModel:
+    def _runs(self):
+        profiler = profiler_for("pso")
+        app = profiler.app
+        params = smallest_params(app)
+        golden = profiler.golden(params)
+        plan = app.make_plan(params, 1)
+        run = profiler.measure(
+            params, ApproxSchedule.uniform(app.blocks, plan, {"fitness_eval": 3})
+        )
+        return golden, run
+
+    def test_dynamic_only_savings_equal_work_savings(self):
+        golden, run = self._runs()
+        model = EnergyModel(energy_per_work_unit=2.0, static_power=0.0)
+        assert model.savings_percent(golden, run) == pytest.approx(
+            run.work_reduction_percent, rel=1e-6
+        )
+
+    def test_proportional_static_power_does_not_change_savings(self):
+        golden, run = self._runs()
+        model = EnergyModel(static_power=5.0)
+        assert model.savings_percent(golden, run) == pytest.approx(
+            run.work_reduction_percent, rel=1e-6
+        )
+
+    def test_fixed_deadline_static_power_erodes_savings(self):
+        golden, run = self._runs()
+        race_to_idle = EnergyModel(static_power=0.0)
+        leaky = EnergyModel(static_power=10.0)
+        full = race_to_idle.fixed_deadline_savings_percent(golden, run)
+        eroded = leaky.fixed_deadline_savings_percent(golden, run)
+        assert eroded < full
+        assert eroded > 0.0
+
+    def test_report_components(self):
+        golden, _ = self._runs()
+        report = EnergyModel(
+            energy_per_work_unit=1.0, static_power=2.0, work_per_time_unit=4.0
+        ).report(golden)
+        assert isinstance(report, EnergyReport)
+        assert report.dynamic_energy == pytest.approx(golden.total_work)
+        assert report.static_energy == pytest.approx(2.0 * golden.total_work / 4.0)
+        assert report.total == report.dynamic_energy + report.static_energy
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyModel(energy_per_work_unit=-1.0)
+        with pytest.raises(ValueError):
+            EnergyModel(static_power=-1.0)
+        with pytest.raises(ValueError):
+            EnergyModel(work_per_time_unit=0.0)
+        with pytest.raises(ValueError):
+            golden, run = self._runs()
+            EnergyModel().fixed_deadline_savings_percent(golden, run, 0.0)
+
+
+class TestCanaryParams:
+    def test_scales_every_parameter_down(self):
+        app = app_instance("pso")
+        big = {"swarm_size": 48.0, "dimension": 8.0}
+        assert canary_params(app, big) == {"swarm_size": 24.0, "dimension": 4.0}
+
+    def test_preserves_binary_switches(self):
+        app = app_instance("ffmpeg")
+        params = {"fps": 15.0, "duration": 10.0, "bitrate": 8.0, "filter_order": 1.0}
+        canary = canary_params(app, params)
+        assert canary["filter_order"] == 1.0  # control flow preserved
+        assert canary["fps"] == 10.0
+        assert canary["duration"] == 6.0
+
+
+class TestCanaryTraining:
+    @pytest.fixture(scope="class")
+    def report(self):
+        app = app_instance("pso")
+        spec = AccuracySpec.for_app(app, max_inputs=3)
+        return train_with_canaries(
+            app,
+            spec,
+            probe_settings=5,
+            profiler=profiler_for("pso"),
+            n_phases=2,
+            joint_samples_per_phase=4,
+        )
+
+    def test_canaries_are_cheapest_inputs(self, report):
+        assert len(report.canary_inputs) == 1  # all shrink to the same point
+        assert report.canary_inputs[0] == {"swarm_size": 24.0, "dimension": 4.0}
+
+    def test_trained_optimizer_usable_at_full_scale(self, report):
+        app = app_instance("pso")
+        full = {"swarm_size": 48.0, "dimension": 8.0}
+        run = report.opprox.apply(full, 15.0)
+        assert run.speedup > 0.9
+
+    def test_transfer_errors_reported(self, report):
+        # The point of the report is to QUANTIFY the transfer loss, which
+        # for a convergence-loop app extrapolating 2x in every parameter
+        # is substantial — it must be finite and measured, not small.
+        assert report.probe_count > 0
+        assert np.isfinite(report.speedup_transfer_mae)
+        assert np.isfinite(report.degradation_transfer_mae)
+        assert report.speedup_transfer_mae >= 0.0
+        assert report.speedup_transfer_mae < 50.0
+
+    def test_training_cheaper_than_full(self, report):
+        # The canary set collapses three inputs into one cheap input, so
+        # the sample count must be a third of the full spec's.
+        assert report.opprox.training_report.n_samples <= 60

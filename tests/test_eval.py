@@ -1,0 +1,158 @@
+"""Tests for the evaluation harness: oracle, caches, reporting, drivers."""
+
+import numpy as np
+import pytest
+
+from repro.approx.schedule import ApproxSchedule
+from repro.eval.cache import DiskCache, measure_cached, reset_shared_profilers, shared_profiler
+from repro.eval.oracle import OracleResult, oracle_frontier, phase_agnostic_oracle
+from repro.eval.reporting import format_series, format_table
+
+from tests.conftest import app_instance, profiler_for, smallest_params
+
+
+class TestOracle:
+    def test_frontier_covers_full_space_with_stride_one(self):
+        profiler = profiler_for("pso")
+        params = smallest_params(profiler.app)
+        frontier = oracle_frontier(profiler, params, level_stride=5)
+        # stride 5 keeps levels {0,5} per block -> 2^3 combos
+        assert len(frontier) == 8
+
+    def test_oracle_respects_budget(self):
+        profiler = profiler_for("pso")
+        params = smallest_params(profiler.app)
+        result = phase_agnostic_oracle(profiler, params, 15.0, level_stride=2)
+        assert profiler.app.metric.satisfies(result.qos_value, 15.0)
+
+    def test_oracle_zero_budget_finds_nothing(self):
+        profiler = profiler_for("pso")
+        params = smallest_params(profiler.app)
+        result = phase_agnostic_oracle(profiler, params, 0.0, level_stride=2)
+        assert result.speedup == 1.0
+        assert not result.feasible
+
+    def test_oracle_monotone_in_budget(self):
+        profiler = profiler_for("pso")
+        params = smallest_params(profiler.app)
+        speedups = [
+            phase_agnostic_oracle(profiler, params, budget, level_stride=2).speedup
+            for budget in (5.0, 15.0, 40.0)
+        ]
+        assert speedups == sorted(speedups)
+
+    def test_work_reduction_definition(self):
+        result = OracleResult({}, 2.0, 1.0, True, 10)
+        assert result.work_reduction_percent == pytest.approx(50.0)
+
+    def test_stride_validation(self):
+        profiler = profiler_for("pso")
+        with pytest.raises(ValueError):
+            oracle_frontier(profiler, smallest_params(profiler.app), level_stride=0)
+
+
+class TestSharedProfiler:
+    def test_same_instance_per_app(self):
+        reset_shared_profilers()
+        a = shared_profiler("pso")
+        b = shared_profiler("pso")
+        assert a is b
+        assert shared_profiler("comd") is not a
+        reset_shared_profilers()
+
+
+class TestDiskCache:
+    def test_roundtrip_through_disk(self, tmp_path):
+        profiler = profiler_for("pso")
+        app = profiler.app
+        params = smallest_params(app)
+        plan = app.make_plan(params, 1)
+        schedule = ApproxSchedule.uniform(app.blocks, plan, {"fitness_eval": 2})
+        cache = DiskCache(tmp_path)
+        first = measure_cached(profiler, params, schedule, cache)
+        # a brand-new cache object reading the same directory hits disk
+        second = measure_cached(profiler, params, schedule, DiskCache(tmp_path))
+        assert second.speedup == pytest.approx(first.speedup)
+        assert second.qos_value == pytest.approx(first.qos_value)
+        assert second.iterations == first.iterations
+
+    def test_key_distinguishes_schedules(self, tmp_path):
+        app = app_instance("pso")
+        params = smallest_params(app)
+        plan = app.make_plan(params, 1)
+        key_a = DiskCache.key_for(
+            "pso", params, ApproxSchedule.uniform(app.blocks, plan, {"fitness_eval": 1})
+        )
+        key_b = DiskCache.key_for(
+            "pso", params, ApproxSchedule.uniform(app.blocks, plan, {"fitness_eval": 2})
+        )
+        assert key_a != key_b
+
+    def test_no_cache_passthrough(self):
+        profiler = profiler_for("pso")
+        params = smallest_params(profiler.app)
+        run = measure_cached(profiler, params, None, None)
+        assert run.speedup == 1.0
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.2345], ["bb", 2.0]], "T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "1.234" in text or "1.235" in text
+
+    def test_format_table_empty_rows(self):
+        text = format_table(["h1"], [])
+        assert "h1" in text
+
+    def test_format_series(self):
+        text = format_series({"phase-1": [1.0, 2.0], "All": [3.0]}, "S")
+        assert "phase-1" in text and "[1.000, 2.000]" in text
+
+
+class TestExperimentDrivers:
+    """Smoke tests on the fastest app; full runs live in benchmarks/."""
+
+    def test_fig2_sweep_structure(self):
+        from repro.eval.experiments import fig2_block_level_sweep
+
+        sweep = fig2_block_level_sweep("pso")
+        app = app_instance("pso")
+        assert set(sweep) == {b.name for b in app.blocks}
+        for block in app.blocks:
+            points = sweep[block.name]
+            assert points[0][0] == 0 and points[0][1] == 1.0
+            assert len(points) == block.n_levels
+
+    def test_fig3_iteration_variation(self):
+        from repro.eval.experiments import fig3_iteration_variation
+
+        data = fig3_iteration_variation("pso", n_samples=6)
+        assert data["min"] <= data["accurate_iterations"] + 1
+        assert len(data["iterations"]) == 6
+
+    def test_phase_behaviour_labels(self):
+        from repro.eval.experiments import phase_behaviour, phase_summary
+
+        points = phase_behaviour("pso", n_phases=2, settings_per_phase=3)
+        labels = {p.phase for p in points}
+        assert labels == {"phase-1", "phase-2", "All"}
+        summary = phase_summary(points)
+        assert set(summary) == labels
+
+    def test_fig8_controlflow(self):
+        from repro.eval.experiments import fig8_controlflow_accuracy
+
+        info = fig8_controlflow_accuracy("pso")
+        assert info["accuracy"] == 1.0
+
+    def test_table1_rows(self):
+        from repro.eval.experiments import table1_search_space
+
+        rows = table1_search_space()
+        assert len(rows) == 5
+        lulesh = next(r for r in rows if r["app"] == "lulesh")
+        assert lulesh["settings_per_phase"] == 6**4
+        assert lulesh["search_space_4_phases"] == 6**16

@@ -1,0 +1,72 @@
+"""Tests for the online-adaptation baseline."""
+
+import pytest
+
+from repro.eval.adaptive import AdaptiveController
+
+from tests.conftest import app_instance, profiler_for, smallest_params
+
+
+class TestController:
+    def test_starts_exact(self):
+        app = app_instance("pso")
+        controller = AdaptiveController(app, profiler_for("pso"), budget=10.0)
+        trajectory = controller.run_jobs(smallest_params(app), 1)
+        assert trajectory.outcomes[0].intensity == 0.0
+        assert trajectory.outcomes[0].speedup == 1.0
+        assert trajectory.outcomes[0].within_budget
+
+    def test_probes_upward_when_under_budget(self):
+        app = app_instance("pso")
+        controller = AdaptiveController(app, profiler_for("pso"), budget=50.0)
+        trajectory = controller.run_jobs(smallest_params(app), 4)
+        intensities = [outcome.intensity for outcome in trajectory.outcomes]
+        assert intensities[1] > intensities[0]
+
+    def test_backs_off_after_violation(self):
+        app = app_instance("pso")
+        controller = AdaptiveController(
+            app, profiler_for("pso"), budget=1.0, step=0.5
+        )
+        trajectory = controller.run_jobs(smallest_params(app), 6)
+        violated = [o for o in trajectory.outcomes if not o.within_budget]
+        if violated:  # the tight budget should force at least one
+            first = violated[0].job_index
+            assert (
+                trajectory.outcomes[first + 1].intensity
+                < trajectory.outcomes[first].intensity
+                or trajectory.outcomes[first].intensity == 0.0
+            )
+        assert trajectory.violations == len(violated)
+
+    def test_levels_scale_with_intensity(self):
+        app = app_instance("pso")
+        controller = AdaptiveController(app, profiler_for("pso"), budget=10.0)
+        zero = controller.levels_for(0.0)
+        full = controller.levels_for(1.0)
+        assert all(level == 0 for level in zero.values())
+        for block in app.blocks:
+            assert full[block.name] == block.max_level
+
+    def test_trajectory_statistics(self):
+        app = app_instance("pso")
+        controller = AdaptiveController(app, profiler_for("pso"), budget=20.0)
+        trajectory = controller.run_jobs(smallest_params(app), 5)
+        assert len(trajectory.outcomes) == 5
+        assert trajectory.final_speedup >= 1.0 or trajectory.final_speedup > 0
+        assert trajectory.mean_speedup(skip=1) > 0
+
+    def test_validation(self):
+        app = app_instance("pso")
+        profiler = profiler_for("pso")
+        with pytest.raises(ValueError):
+            AdaptiveController(app, profiler, 10.0, step=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveController(app, profiler, 10.0, backoff=1.0)
+        with pytest.raises(ValueError):
+            AdaptiveController(app, profiler, 10.0, headroom=0.0)
+        controller = AdaptiveController(app, profiler, 10.0)
+        with pytest.raises(ValueError):
+            controller.run_jobs(smallest_params(app), 0)
+        with pytest.raises(ValueError):
+            controller.run_jobs(smallest_params(app), 1).mean_speedup(skip=5)

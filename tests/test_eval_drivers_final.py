@@ -1,0 +1,44 @@
+"""Last-mile coverage for experiment drivers not exercised elsewhere."""
+
+import pytest
+
+from repro.eval import experiments as exp
+
+
+class TestFig7Driver:
+    def test_rows_have_both_orders_and_difference(self):
+        rows = exp.fig7_filter_order_effect(settings_count=3)
+        assert len(rows) == 3
+        for row in rows:
+            assert set(row) == {"psnr_order0", "psnr_order1", "difference"}
+            assert row["difference"] == pytest.approx(
+                abs(row["psnr_order0"] - row["psnr_order1"])
+            )
+            assert 0.0 <= row["psnr_order0"] <= 60.0
+
+
+class TestTable2Driver:
+    def test_overheads_scale_with_phases(self):
+        rows = exp.table2_overheads(
+            "pso", phase_counts=(1, 2), max_inputs=1, joint_samples_per_phase=2
+        )
+        assert [r["n_phases"] for r in rows] == [1, 2]
+        assert rows[1]["n_samples"] == 2 * rows[0]["n_samples"]
+        for row in rows:
+            assert row["training_seconds"] > 0.0
+            assert row["optimization_seconds"] > 0.0
+
+
+class TestFig2Fig3OnComd:
+    """The LULESH-centric drivers generalize to any application."""
+
+    def test_fig2_on_comd(self):
+        sweep = exp.fig2_block_level_sweep("comd")
+        assert set(sweep) == {
+            "force_computation", "velocity_update", "position_update",
+        }
+
+    def test_fig3_on_comd_iterations_fixed(self):
+        data = exp.fig3_iteration_variation("comd", n_samples=4)
+        # CoMD's timestep loop never changes length under approximation.
+        assert data["min"] == data["max"] == data["accurate_iterations"]

@@ -1,0 +1,94 @@
+"""Tests for the dependency-free SVG chart renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.eval.plots import Chart, Series, _nice_ticks
+
+
+def _parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Series("s", [1, 2], [1], "scatter")
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(ValueError):
+            Series("s", [1], [1], "pie")
+
+
+class TestNiceTicks:
+    def test_covers_range(self):
+        ticks = _nice_ticks(0.0, 10.0)
+        assert ticks[0] <= 0.0 and ticks[-1] >= 10.0
+
+    def test_handles_degenerate_range(self):
+        ticks = _nice_ticks(5.0, 5.0)
+        assert len(ticks) >= 2
+
+    def test_monotone(self):
+        ticks = _nice_ticks(-3.7, 19.2)
+        assert ticks == sorted(ticks)
+
+
+class TestChart:
+    def test_render_is_valid_xml(self):
+        chart = Chart("T", "x", "y")
+        chart.add("a", [0, 1, 2], [1.0, 4.0, 9.0])
+        root = _parse(chart.render())
+        assert root.tag.endswith("svg")
+
+    def test_scatter_emits_circles(self):
+        chart = Chart("T").add("a", [0, 1, 2], [0, 1, 2])
+        svg = chart.render()
+        assert svg.count("<circle") >= 3
+
+    def test_line_emits_polyline(self):
+        chart = Chart("T").add("a", [0, 1], [0, 1], style="line")
+        assert "<polyline" in chart.render()
+
+    def test_bar_emits_rects(self):
+        chart = Chart("T").add("a", [0, 1, 2], [3, 2, 1], style="bar")
+        # frame rect + background + 3 bars + legend swatch
+        assert chart.render().count("<rect") >= 5
+
+    def test_title_and_labels_escaped(self):
+        chart = Chart("a < b & c", "x<1", "y>2").add("s&p", [0], [0])
+        svg = chart.render()
+        assert "a &lt; b &amp; c" in svg
+        assert "s&amp;p" in svg
+        _parse(svg)  # still valid XML
+
+    def test_categories_render(self):
+        chart = Chart("T", x_categories=["p1", "p2"]).add("a", [0, 1], [1, 2])
+        svg = chart.render()
+        assert ">p1<" in svg and ">p2<" in svg
+
+    def test_multiple_series_use_distinct_colors(self):
+        chart = Chart("T")
+        chart.add("a", [0], [0])
+        chart.add("b", [1], [1])
+        svg = chart.render()
+        assert "#4263eb" in svg and "#f76707" in svg
+
+    def test_save_writes_file(self, tmp_path):
+        chart = Chart("T").add("a", [0, 1], [1, 0])
+        target = tmp_path / "chart.svg"
+        chart.save(target)
+        assert target.exists()
+        _parse(target.read_text())
+
+    def test_empty_chart_still_renders(self):
+        _parse(Chart("empty").render())
+
+    def test_legend_lists_all_series(self):
+        chart = Chart("T")
+        for name in ("alpha", "beta", "gamma"):
+            chart.add(name, [0], [0])
+        svg = chart.render()
+        for name in ("alpha", "beta", "gamma"):
+            assert f">{name}<" in svg

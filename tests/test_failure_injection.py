@@ -1,0 +1,149 @@
+"""Failure-injection tests: the system must fail loudly and precisely."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.approx.knobs import ApproximableBlock, Technique
+from repro.approx.schedule import ApproxSchedule, PhasePlan
+from repro.core.models import FittedModel, PhaseModels
+from repro.core.opprox import Opprox
+from repro.core.runtime import ModelStore
+from repro.core.sampling import TrainingSample
+from repro.core.spec import AccuracySpec
+from repro.instrument.harness import Profiler
+
+from tests.conftest import app_instance, profiler_for, smallest_params
+
+
+class TestCorruptedModelStore:
+    def test_non_opprox_pickle_rejected(self, tmp_path):
+        store = ModelStore(tmp_path)
+        path = store.path_for("pso")
+        with path.open("wb") as handle:
+            pickle.dump({"not": "an optimizer"}, handle)
+        with pytest.raises(TypeError):
+            store.load("pso")
+
+    def test_truncated_pickle_surfaces_as_unpickling_error(self, tmp_path):
+        store = ModelStore(tmp_path)
+        store.path_for("pso").write_bytes(b"\x80\x04garbage")
+        with pytest.raises(Exception) as info:
+            store.load("pso")
+        assert not isinstance(info.value, FileNotFoundError)
+
+
+class TestScheduleAppMismatch:
+    def test_foreign_schedule_rejected_at_run(self):
+        """A schedule built for one app's blocks must not drive another."""
+        pso = app_instance("pso")
+        lulesh = app_instance("lulesh")
+        params = smallest_params(pso)
+        plan = pso.make_plan(params, 1)
+        foreign = ApproxSchedule.uniform(
+            lulesh.blocks, PhasePlan(plan.nominal_iterations, 1), {}
+        )
+        with pytest.raises(ValueError):
+            pso.run(params, foreign)
+
+    def test_schedule_rejects_unknown_block_query(self):
+        app = app_instance("pso")
+        schedule = ApproxSchedule.exact(app.blocks, PhasePlan(4, 2))
+        with pytest.raises(ValueError):
+            schedule.level("not_a_block", 0)
+
+
+class TestDegenerateTrainingData:
+    def _sample(self, phase, levels, speedup=1.1, degradation=1.0):
+        return TrainingSample(
+            params={"swarm_size": 24.0, "dimension": 4.0},
+            n_phases=2,
+            phase=phase,
+            levels=levels,
+            speedup=speedup,
+            degradation=degradation,
+            qos_value=degradation,
+            iterations=100,
+        )
+
+    def test_starved_training_set_rejected(self):
+        """Samples covering one block of one phase cannot train silently."""
+        app = app_instance("pso")
+        samples = [self._sample(0, {"fitness_eval": i}) for i in range(1, 6)]
+        with pytest.raises(ValueError):
+            PhaseModels.fit(app, 2, samples)
+
+    def test_phase_count_mismatch_rejected(self):
+        app = app_instance("pso")
+        samples = [self._sample(0, {"fitness_eval": 1})]
+        with pytest.raises(ValueError, match="phases"):
+            PhaseModels.fit(app, 3, samples)
+
+    def test_constant_targets_fit_without_nan(self):
+        """All-identical outcomes (a dead knob) must yield a flat model."""
+        x = np.column_stack([np.arange(20.0), np.ones(20)])
+        model = FittedModel.fit(x, np.full(20, 3.0))
+        predictions = model.predict(x)
+        assert np.all(np.isfinite(predictions))
+        np.testing.assert_allclose(predictions, 3.0, atol=1e-6)
+
+    def test_nan_free_predictions_from_extreme_queries(self):
+        x = np.linspace(0, 1, 30).reshape(-1, 1)
+        y = np.exp(3 * x.ravel())
+        model = FittedModel.fit(x, y, transform="log")
+        extreme = np.array([[1e6], [-1e6]])
+        assert np.all(np.isfinite(model.predict(extreme)))
+        assert np.all(np.isfinite(model.predict_upper(extreme)))
+
+
+class TestHarnessMisuse:
+    def test_profiler_rejects_foreign_params(self):
+        profiler = profiler_for("pso")
+        with pytest.raises(ValueError):
+            profiler.golden({"mesh_length": 16.0, "num_regions": 1.0})
+
+    def test_opprox_spec_mismatch_rejected_at_construction(self):
+        pso_spec = AccuracySpec.for_app(app_instance("pso"), max_inputs=2)
+        with pytest.raises(ValueError):
+            Opprox(app_instance("lulesh"), pso_spec)
+
+    def test_negative_budget_rejected(self):
+        app = app_instance("pso")
+        opprox = Opprox(
+            app,
+            AccuracySpec.for_app(app, max_inputs=2),
+            profiler=profiler_for("pso"),
+            n_phases=2,
+            joint_samples_per_phase=4,
+        )
+        opprox.train()
+        with pytest.raises(ValueError):
+            opprox.optimize(smallest_params(app), -5.0)
+
+    def test_psnr_budget_above_ceiling_rejected(self):
+        app = app_instance("ffmpeg")
+        opprox = Opprox(
+            app,
+            AccuracySpec.for_app(app, max_inputs=2),
+            profiler=Profiler(app),
+            n_phases=2,
+            joint_samples_per_phase=2,
+        )
+        opprox.train()
+        with pytest.raises(ValueError):
+            opprox.optimize(app.default_params(), 75.0)
+
+
+class TestOutputShapeMismatch:
+    """QoS metrics must degrade gracefully when outputs differ in shape."""
+
+    def test_percent_metrics_saturate(self):
+        for name in ("lulesh", "comd", "bodytrack", "pso"):
+            app = app_instance(name)
+            value = app.metric.compute(np.ones(8), np.ones(9))
+            assert value == 200.0
+
+    def test_psnr_metric_reports_floor(self):
+        app = app_instance("ffmpeg")
+        assert app.metric.compute(np.ones(8), np.ones(9)) == 0.0

@@ -1,0 +1,176 @@
+"""Unit tests for work accounting, call-context logs, and the profiler."""
+
+import numpy as np
+import pytest
+
+from repro.approx.schedule import ApproxSchedule, PhasePlan
+from repro.instrument.callcontext import CallContextLog, control_flow_signature
+from repro.instrument.counters import WorkMeter
+from repro.instrument.harness import Profiler
+
+from tests.conftest import app_instance, smallest_params
+
+
+class TestWorkMeter:
+    def test_accumulates_per_block(self):
+        meter = WorkMeter()
+        meter.begin_iteration(0)
+        meter.charge("a", 3.0)
+        meter.charge("b", 2.0)
+        meter.begin_iteration(1)
+        meter.charge("a", 1.0)
+        assert meter.total_work == 6.0
+        assert meter.work_by_block == {"a": 4.0, "b": 2.0}
+        assert meter.iterations == 2
+
+    def test_per_iteration_breakdown(self):
+        meter = WorkMeter()
+        meter.begin_iteration(0)
+        meter.charge("a", 1.0)
+        meter.begin_iteration(1)
+        meter.charge("a", 5.0)
+        assert meter.work_in_iteration(0) == {"a": 1.0}
+        assert meter.work_in_iteration(1) == {"a": 5.0}
+
+    def test_overhead_counts_toward_total_only(self):
+        meter = WorkMeter()
+        meter.begin_iteration(0)
+        meter.charge_overhead(10.0)
+        assert meter.total_work == 10.0
+        assert meter.work_by_block == {}
+
+    def test_work_by_phase(self):
+        meter = WorkMeter()
+        for i in range(4):
+            meter.begin_iteration(i)
+            meter.charge("a", float(i + 1))
+        assert meter.work_by_phase((0, 2)) == [3.0, 7.0]
+
+    def test_sequential_iterations_enforced(self):
+        meter = WorkMeter()
+        meter.begin_iteration(0)
+        with pytest.raises(ValueError):
+            meter.begin_iteration(2)
+
+    def test_negative_work_rejected(self):
+        meter = WorkMeter()
+        meter.begin_iteration(0)
+        with pytest.raises(ValueError):
+            meter.charge("a", -1.0)
+
+    def test_bad_iteration_lookup(self):
+        meter = WorkMeter()
+        with pytest.raises(ValueError):
+            meter.work_in_iteration(0)
+
+
+class TestCallContextLog:
+    def test_records_and_counts_iterations(self):
+        log = CallContextLog()
+        log.record(0, "a")
+        log.record(0, "b")
+        log.record(1, "a")
+        log.record(1, "b")
+        assert len(log) == 4
+        assert log.iteration_count() == 2
+        assert log.sequence_for_iteration(0) == ("a", "b")
+
+    def test_context_included_in_sequence(self):
+        log = CallContextLog()
+        log.record(0, "f", "region0")
+        assert log.sequence_for_iteration(0) == ("f@region0",)
+
+    def test_signature_collapses_repeats(self):
+        log = CallContextLog()
+        for i in range(5):
+            log.record(i, "x")
+            log.record(i, "y")
+        assert control_flow_signature(log) == "x>y"
+
+    def test_signature_distinguishes_orders(self):
+        log_a, log_b = CallContextLog(), CallContextLog()
+        log_a.record(0, "x")
+        log_a.record(0, "y")
+        log_b.record(0, "y")
+        log_b.record(0, "x")
+        assert control_flow_signature(log_a) != control_flow_signature(log_b)
+
+    def test_signature_keeps_distinct_sequences(self):
+        log = CallContextLog()
+        log.record(0, "x")
+        log.record(1, "y")
+        assert control_flow_signature(log) == "x|y"
+
+    def test_empty_log(self):
+        log = CallContextLog()
+        assert log.iteration_count() == 0
+        assert control_flow_signature(log) == ""
+
+    def test_validation(self):
+        log = CallContextLog()
+        with pytest.raises(ValueError):
+            log.record(-1, "a")
+        with pytest.raises(ValueError):
+            log.record(0, "")
+
+
+class TestProfiler:
+    def test_golden_is_cached(self):
+        app = app_instance("pso")
+        profiler = Profiler(app)
+        params = smallest_params(app)
+        first = profiler.golden(params)
+        executed = profiler.executions
+        second = profiler.golden(params)
+        assert profiler.executions == executed
+        assert first is second
+
+    def test_exact_measure_has_unit_speedup(self):
+        app = app_instance("pso")
+        profiler = Profiler(app)
+        run = profiler.measure(smallest_params(app), None)
+        assert run.speedup == 1.0
+        assert run.degradation == 0.0
+
+    def test_measured_runs_are_cached_and_slim(self):
+        app = app_instance("pso")
+        profiler = Profiler(app)
+        params = smallest_params(app)
+        plan = app.make_plan(params, 1)
+        schedule = ApproxSchedule.uniform(app.blocks, plan, {"fitness_eval": 2})
+        first = profiler.measure(params, schedule)
+        executed = profiler.executions
+        second = profiler.measure(params, schedule)
+        assert profiler.executions == executed
+        assert first is second
+        assert first.record.output.size == 0  # slimmed
+
+    def test_speedup_definition_matches_work_ratio(self):
+        app = app_instance("pso")
+        profiler = Profiler(app)
+        params = smallest_params(app)
+        plan = app.make_plan(params, 1)
+        schedule = ApproxSchedule.uniform(app.blocks, plan, {"fitness_eval": 3})
+        run = profiler.measure(params, schedule)
+        golden = profiler.golden(params)
+        assert run.speedup == pytest.approx(
+            golden.total_work / run.record.total_work
+        )
+
+    def test_work_reduction_percent(self):
+        app = app_instance("pso")
+        profiler = Profiler(app)
+        params = smallest_params(app)
+        plan = app.make_plan(params, 1)
+        run = profiler.measure(
+            params, ApproxSchedule.uniform(app.blocks, plan, {"fitness_eval": 3})
+        )
+        assert run.work_reduction_percent == pytest.approx(
+            (1 - 1 / run.speedup) * 100.0
+        )
+
+    def test_execution_record_work_by_phase_sums_to_iteration_work(self):
+        app = app_instance("pso")
+        record = Profiler(app).golden(smallest_params(app))
+        totals = record.work_by_phase((0, record.iterations // 2))
+        assert sum(totals) == pytest.approx(sum(record.work_by_iteration))

@@ -1,0 +1,93 @@
+"""End-to-end integration: control-flow-specific models in the full loop."""
+
+import numpy as np
+import pytest
+
+from repro.core.opprox import Opprox
+from repro.core.spec import AccuracySpec
+
+from tests.conftest import app_instance, profiler_for
+
+
+@pytest.fixture(scope="module")
+def trained_ffmpeg():
+    app = app_instance("ffmpeg")
+    # Two inputs per filter order so both control flows get trained.
+    inputs = [
+        {"fps": 10.0, "duration": 6.0, "bitrate": 4.0, "filter_order": 0.0},
+        {"fps": 15.0, "duration": 6.0, "bitrate": 4.0, "filter_order": 0.0},
+        {"fps": 10.0, "duration": 6.0, "bitrate": 4.0, "filter_order": 1.0},
+        {"fps": 15.0, "duration": 6.0, "bitrate": 4.0, "filter_order": 1.0},
+    ]
+    opprox = Opprox(
+        app,
+        AccuracySpec(training_inputs=inputs),
+        profiler=profiler_for("ffmpeg"),
+        n_phases=2,
+        joint_samples_per_phase=6,
+    )
+    opprox.train()
+    return opprox
+
+
+class TestPerFlowModels:
+    def test_two_flows_trained(self, trained_ffmpeg):
+        assert trained_ffmpeg.training_report.n_control_flows == 2
+
+    def test_flow_routing_matches_filter_order(self, trained_ffmpeg):
+        base = {"fps": 10.0, "duration": 6.0, "bitrate": 4.0}
+        flow_a = trained_ffmpeg._predict_flow({**base, "filter_order": 0.0})
+        flow_b = trained_ffmpeg._predict_flow({**base, "filter_order": 1.0})
+        assert flow_a != flow_b
+
+    def test_each_flow_optimizes_with_its_own_models(self, trained_ffmpeg):
+        base = {"fps": 10.0, "duration": 6.0, "bitrate": 4.0}
+        result_a = trained_ffmpeg.optimize({**base, "filter_order": 0.0}, 16.0)
+        result_b = trained_ffmpeg.optimize({**base, "filter_order": 1.0}, 16.0)
+        assert result_a.control_flow != result_b.control_flow
+
+    def test_applied_runs_respect_psnr_floor_loosely(self, trained_ffmpeg):
+        base = {"fps": 10.0, "duration": 6.0, "bitrate": 4.0}
+        for order in (0.0, 1.0):
+            run = trained_ffmpeg.apply({**base, "filter_order": order}, 16.0)
+            # Conservative machinery: allow modest overshoot but not
+            # collapse (16 dB floor; anything above ~12 dB is "close").
+            assert run.qos_value > 12.0
+
+    def test_unseen_flow_falls_back_gracefully(self, trained_ffmpeg):
+        """A params vector routed to an unknown signature must not crash."""
+        # Forge a prediction path by asking with an input whose predicted
+        # signature exists — then simulate staleness by dropping one flow.
+        base = {"fps": 10.0, "duration": 6.0, "bitrate": 4.0, "filter_order": 1.0}
+        signature = trained_ffmpeg._predict_flow(base)
+        saved_models = trained_ffmpeg._models_by_flow.pop(signature)
+        try:
+            fallback = trained_ffmpeg._predict_flow(base)
+            assert fallback in trained_ffmpeg._models_by_flow
+            result = trained_ffmpeg.optimize(base, 16.0)
+            assert result.schedule is not None
+        finally:
+            trained_ffmpeg._models_by_flow[signature] = saved_models
+
+
+class TestLuleshFlowIntegration:
+    def test_region_flows_route_to_distinct_models(self):
+        app = app_instance("lulesh")
+        inputs = [
+            {"mesh_length": 16.0, "num_regions": 1.0},
+            {"mesh_length": 24.0, "num_regions": 1.0},
+            {"mesh_length": 16.0, "num_regions": 4.0},
+            {"mesh_length": 24.0, "num_regions": 4.0},
+        ]
+        opprox = Opprox(
+            app,
+            AccuracySpec(training_inputs=inputs),
+            profiler=profiler_for("lulesh"),
+            n_phases=2,
+            joint_samples_per_phase=4,
+        )
+        report = opprox.train()
+        assert report.n_control_flows == 2
+        one = opprox._predict_flow({"mesh_length": 16.0, "num_regions": 1.0})
+        four = opprox._predict_flow({"mesh_length": 16.0, "num_regions": 4.0})
+        assert one != four

@@ -1,0 +1,113 @@
+"""Unit tests for k-fold cross-validation and degree selection."""
+
+import numpy as np
+import pytest
+
+from repro.ml.crossval import KFold, cross_val_r2, select_polynomial_degree, train_test_split
+
+
+class TestKFold:
+    def test_partitions_cover_everything_once(self):
+        kfold = KFold(n_splits=5, shuffle=True, seed=3)
+        seen = []
+        for train_idx, test_idx in kfold.split(23):
+            seen.extend(test_idx.tolist())
+            assert set(train_idx) & set(test_idx) == set()
+            assert len(train_idx) + len(test_idx) == 23
+        assert sorted(seen) == list(range(23))
+
+    def test_deterministic_given_seed(self):
+        a = [t.tolist() for _, t in KFold(4, seed=7).split(12)]
+        b = [t.tolist() for _, t in KFold(4, seed=7).split(12)]
+        assert a == b
+
+    def test_different_seed_changes_split(self):
+        a = [t.tolist() for _, t in KFold(4, seed=1).split(12)]
+        b = [t.tolist() for _, t in KFold(4, seed=2).split(12)]
+        assert a != b
+
+    def test_no_shuffle_is_contiguous(self):
+        folds = [t.tolist() for _, t in KFold(3, shuffle=False).split(6)]
+        assert folds == [[0, 1], [2, 3], [4, 5]]
+
+    def test_rejects_too_few_samples(self):
+        with pytest.raises(ValueError):
+            list(KFold(5).split(3))
+
+    def test_rejects_bad_n_splits(self):
+        with pytest.raises(ValueError):
+            KFold(1)
+
+
+class TestTrainTestSplit:
+    def test_fifty_fifty(self):
+        train, test = train_test_split(20, 0.5, seed=0)
+        assert len(train) == 10 and len(test) == 10
+        assert sorted(np.concatenate([train, test]).tolist()) == list(range(20))
+
+    def test_always_leaves_a_training_sample(self):
+        train, test = train_test_split(2, 0.9, seed=0)
+        assert len(train) >= 1 and len(test) >= 1
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(10, 0.0)
+        with pytest.raises(ValueError):
+            train_test_split(10, 1.0)
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(ValueError):
+            train_test_split(1, 0.5)
+
+
+class TestCrossValR2:
+    def test_high_for_clean_polynomial(self):
+        x = np.linspace(-2, 2, 40).reshape(-1, 1)
+        y = x.ravel() ** 2 + 1.0
+        assert cross_val_r2(x, y, degree=2) > 0.99
+
+    def test_low_for_pure_noise(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, size=(60, 1))
+        y = rng.normal(size=60)
+        assert cross_val_r2(x, y, degree=3) < 0.3
+
+    def test_pooled_scoring_is_robust_to_small_folds(self):
+        # Per-fold averaging can explode; pooled scoring should stay sane.
+        x = np.linspace(0, 1, 12).reshape(-1, 1)
+        y = 2.0 * x.ravel()
+        score = cross_val_r2(x, y, degree=2, n_splits=10)
+        assert 0.9 < score <= 1.0
+
+    def test_rejects_single_sample(self):
+        with pytest.raises(ValueError):
+            cross_val_r2(np.zeros((1, 1)), [1.0], degree=2)
+
+
+class TestDegreeSelection:
+    def test_stops_at_first_sufficient_degree(self):
+        x = np.linspace(-2, 2, 50).reshape(-1, 1)
+        y = x.ravel() ** 2
+        result = select_polynomial_degree(x, y, min_degree=2, max_degree=6)
+        assert result.degree == 2
+        assert result.reached_target
+
+    def test_needs_higher_degree_for_cubic(self):
+        x = np.linspace(-2, 2, 50).reshape(-1, 1)
+        y = x.ravel() ** 3 - x.ravel()
+        result = select_polynomial_degree(x, y, min_degree=2, max_degree=6)
+        assert result.degree >= 3
+        assert result.reached_target
+
+    def test_reports_failure_for_noise(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-1, 1, size=(50, 1))
+        y = rng.normal(size=50)
+        result = select_polynomial_degree(x, y, min_degree=2, max_degree=3)
+        assert not result.reached_target
+        assert result.degree in (2, 3)
+        assert set(result.scores_by_degree) == {2, 3}
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            select_polynomial_degree(np.zeros((10, 1)), np.zeros(10), 3, 2)

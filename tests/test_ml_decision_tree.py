@@ -1,0 +1,107 @@
+"""Unit tests for the CART decision-tree classifier."""
+
+import numpy as np
+import pytest
+
+from repro.ml.decision_tree import DecisionTreeClassifier
+
+
+class TestFitting:
+    def test_single_threshold_split(self):
+        x = np.array([[0.0], [1.0], [2.0], [10.0], [11.0], [12.0]])
+        y = ["low"] * 3 + ["high"] * 3
+        tree = DecisionTreeClassifier().fit(x, y)
+        assert tree.predict_one([1.5]) == "low"
+        assert tree.predict_one([10.5]) == "high"
+        assert tree.depth() == 1
+        assert tree.n_leaves() == 2
+
+    def test_fits_training_data_perfectly_when_separable(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 1, size=(60, 2))
+        y = [("a" if row[0] < 0.5 else "b") for row in x]
+        tree = DecisionTreeClassifier().fit(x, y)
+        assert tree.score(x, y) == 1.0
+
+    def test_conjunction_needs_depth_two(self):
+        x = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=float)
+        y = ["both", "no", "no", "no"]
+        tree = DecisionTreeClassifier().fit(x, y)
+        assert tree.predict(x) == y
+        assert tree.depth() == 2
+
+    def test_xor_degenerates_to_single_leaf(self):
+        # Greedy CART cannot improve Gini with any single XOR split; the
+        # tree should degrade gracefully to a majority leaf, not loop.
+        x = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=float)
+        y = ["even", "odd", "odd", "even"]
+        tree = DecisionTreeClassifier().fit(x, y)
+        assert tree.depth() == 0
+        assert tree.predict_one([0.0, 0.0]) in {"even", "odd"}
+
+    def test_max_depth_limits_tree(self):
+        x = np.arange(16.0).reshape(-1, 1)
+        y = [str(i % 4) for i in range(16)]
+        tree = DecisionTreeClassifier(max_depth=1).fit(x, y)
+        assert tree.depth() <= 1
+
+    def test_min_samples_leaf(self):
+        x = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = ["a", "a", "a", "b"]
+        tree = DecisionTreeClassifier(min_samples_leaf=2).fit(x, y)
+        # the only split isolating 'b' would create a 1-sample leaf
+        assert tree.n_leaves() <= 2
+        for _, test in [(None, None)]:
+            pass
+        assert tree.predict_one([3.0]) in {"a", "b"}
+
+    def test_single_class_is_single_leaf(self):
+        tree = DecisionTreeClassifier().fit(np.zeros((5, 2)), ["only"] * 5)
+        assert tree.depth() == 0
+        assert tree.predict_one([9.0, 9.0]) == "only"
+
+    def test_labels_may_be_arbitrary_hashables(self):
+        x = np.array([[0.0], [10.0]])
+        y = [("sig", 1), ("sig", 2)]
+        tree = DecisionTreeClassifier().fit(x, y)
+        assert tree.predict_one([0.0]) == ("sig", 1)
+
+    def test_deterministic_training(self):
+        rng = np.random.default_rng(3)
+        x = rng.uniform(size=(40, 3))
+        y = [str(int(r[0] * 3)) for r in x]
+        t1 = DecisionTreeClassifier().fit(x, y)
+        t2 = DecisionTreeClassifier().fit(x, y)
+        probe = rng.uniform(size=(20, 3))
+        assert t1.predict(probe) == t2.predict(probe)
+
+
+class TestValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((0, 1)), [])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((3, 1)), ["a", "b"])
+
+    def test_rejects_bad_hyperparameters(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(min_samples_leaf=0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeClassifier().predict_one([1.0])
+
+    def test_predict_wrong_width(self):
+        tree = DecisionTreeClassifier().fit(np.zeros((4, 2)), ["a"] * 4)
+        with pytest.raises(ValueError):
+            tree.predict_one([1.0])
+
+    def test_classes_property(self):
+        tree = DecisionTreeClassifier().fit(
+            np.array([[0.0], [5.0], [9.0]]), ["c", "a", "b"]
+        )
+        assert tree.classes_ == ["a", "b", "c"]

@@ -1,0 +1,93 @@
+"""Unit tests for polynomial feature expansion and standardization."""
+
+import numpy as np
+import pytest
+
+from repro.ml.features import PolynomialFeatures, Standardizer
+
+
+class TestPolynomialFeatures:
+    def test_degree_one_is_bias_plus_inputs(self):
+        x = np.array([[1.0, 2.0], [3.0, 4.0]])
+        expanded = PolynomialFeatures(degree=1).fit_transform(x)
+        assert expanded.shape == (2, 3)
+        np.testing.assert_allclose(expanded[:, 0], [1.0, 1.0])
+        np.testing.assert_allclose(expanded[:, 1:], x)
+
+    def test_degree_two_single_feature(self):
+        x = np.array([[2.0], [3.0]])
+        expanded = PolynomialFeatures(degree=2).fit_transform(x)
+        np.testing.assert_allclose(expanded, [[1.0, 2.0, 4.0], [1.0, 3.0, 9.0]])
+
+    def test_degree_two_includes_cross_terms(self):
+        x = np.array([[2.0, 3.0]])
+        expanded = PolynomialFeatures(degree=2).fit_transform(x)
+        # 1, x0, x1, x0^2, x0*x1, x1^2
+        np.testing.assert_allclose(expanded, [[1.0, 2.0, 3.0, 4.0, 6.0, 9.0]])
+
+    def test_output_feature_count_matches_combinatorics(self):
+        from math import comb
+
+        x = np.zeros((1, 3))
+        for degree in (1, 2, 3, 4):
+            pf = PolynomialFeatures(degree=degree).fit(x)
+            assert pf.n_output_features == comb(3 + degree, degree)
+
+    def test_no_bias_option(self):
+        x = np.array([[2.0]])
+        expanded = PolynomialFeatures(degree=2, include_bias=False).fit_transform(x)
+        np.testing.assert_allclose(expanded, [[2.0, 4.0]])
+
+    def test_monomial_names(self):
+        pf = PolynomialFeatures(degree=2).fit(np.zeros((1, 2)))
+        names = pf.monomial_names(["a", "b"])
+        assert names == ["1", "a", "b", "a^2", "a*b", "b^2"]
+
+    def test_one_dimensional_input_promoted(self):
+        expanded = PolynomialFeatures(degree=1).fit_transform([1.0, 2.0, 3.0])
+        assert expanded.shape == (3, 2)
+
+    def test_rejects_bad_degree(self):
+        with pytest.raises(ValueError):
+            PolynomialFeatures(degree=0)
+
+    def test_rejects_wrong_feature_count_at_transform(self):
+        pf = PolynomialFeatures(degree=2).fit(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            pf.transform(np.zeros((2, 3)))
+
+    def test_requires_fit_before_transform(self):
+        with pytest.raises(RuntimeError):
+            PolynomialFeatures(degree=2).transform(np.zeros((1, 1)))
+
+
+class TestStandardizer:
+    def test_zero_mean_unit_variance(self):
+        x = np.array([[1.0], [2.0], [3.0], [4.0]])
+        scaled = Standardizer().fit_transform(x)
+        assert abs(scaled.mean()) < 1e-12
+        assert abs(scaled.std() - 1.0) < 1e-12
+
+    def test_constant_column_left_finite(self):
+        x = np.array([[5.0, 1.0], [5.0, 2.0]])
+        scaled = Standardizer().fit_transform(x)
+        assert np.all(np.isfinite(scaled))
+        np.testing.assert_allclose(scaled[:, 0], [0.0, 0.0])
+
+    def test_inverse_transform_roundtrip(self):
+        x = np.array([[1.0, 10.0], [2.0, 20.0], [3.0, 40.0]])
+        scaler = Standardizer().fit(x)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(x)), x)
+
+    def test_transform_uses_training_statistics(self):
+        scaler = Standardizer().fit(np.array([[0.0], [2.0]]))
+        np.testing.assert_allclose(scaler.transform([[4.0]]), [[3.0]])
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            Standardizer().transform([[1.0]])
+
+    def test_rejects_mismatched_columns(self):
+        scaler = Standardizer().fit(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            scaler.transform(np.zeros((2, 3)))

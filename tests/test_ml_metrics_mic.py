@@ -1,0 +1,93 @@
+"""Unit tests for scoring metrics and the MIC feature filter."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import accuracy_score, mean_absolute_error, mean_squared_error, r2_score
+from repro.ml.mic import mic_score, mutual_information_grid
+
+
+class TestMetrics:
+    def test_mse_and_mae(self):
+        assert mean_squared_error([1, 2, 3], [1, 2, 5]) == pytest.approx(4 / 3)
+        assert mean_absolute_error([1, 2, 3], [1, 2, 5]) == pytest.approx(2 / 3)
+
+    def test_r2_perfect(self):
+        assert r2_score([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == 1.0
+
+    def test_r2_mean_prediction_is_zero(self):
+        y = [1.0, 2.0, 3.0]
+        assert r2_score(y, [2.0, 2.0, 2.0]) == pytest.approx(0.0)
+
+    def test_r2_worse_than_mean_is_negative(self):
+        assert r2_score([1.0, 2.0, 3.0], [3.0, 2.0, 1.0]) < 0.0
+
+    def test_r2_constant_target(self):
+        assert r2_score([5.0, 5.0], [5.0, 5.0]) == 1.0
+        assert r2_score([5.0, 5.0], [4.0, 6.0]) == 0.0
+
+    def test_accuracy(self):
+        assert accuracy_score(["a", "b", "c"], ["a", "b", "x"]) == pytest.approx(2 / 3)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            r2_score([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            accuracy_score(["a"], ["a", "b"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_squared_error([], [])
+
+
+class TestMIC:
+    def test_linear_relation_scores_high(self):
+        x = np.linspace(0, 1, 200)
+        assert mic_score(x, 3 * x + 1) > 0.8
+
+    def test_nonlinear_relation_scores_high(self):
+        x = np.linspace(-1, 1, 300)
+        assert mic_score(x, x**2) > 0.5
+
+    def test_independent_scores_low(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=400)
+        y = rng.normal(size=400)
+        assert mic_score(x, y) < 0.25
+
+    def test_constant_is_zero(self):
+        x = np.ones(50)
+        y = np.linspace(0, 1, 50)
+        assert mic_score(x, y) == 0.0
+        assert mic_score(y, x) == 0.0
+
+    def test_bounded_in_unit_interval(self):
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            x = rng.normal(size=60)
+            y = rng.normal(size=60)
+            assert 0.0 <= mic_score(x, y) <= 1.0
+
+    def test_symmetry_of_strong_relations(self):
+        x = np.linspace(0, 1, 150)
+        y = np.sin(4 * x)
+        assert abs(mic_score(x, y) - mic_score(y, x)) < 0.35
+
+    def test_rejects_tiny_samples(self):
+        with pytest.raises(ValueError):
+            mic_score([1.0, 2.0], [1.0, 2.0])
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            mic_score([1.0, 2.0, 3.0, 4.0], [1.0, 2.0])
+
+    def test_mutual_information_nonnegative(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=100)
+        y = rng.normal(size=100)
+        assert mutual_information_grid(x, y, 3, 3) >= -1e-12
+
+    def test_mutual_information_of_identity_is_log_bins(self):
+        x = np.linspace(0, 1, 999)
+        info = mutual_information_grid(x, x, 3, 3)
+        assert info == pytest.approx(np.log(3), rel=0.05)

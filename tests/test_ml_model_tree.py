@@ -1,0 +1,97 @@
+"""Unit tests for the M5-style model tree."""
+
+import numpy as np
+import pytest
+
+from repro.ml.model_tree import ModelTreeRegressor
+
+
+class TestLinearLeaves:
+    def test_global_linear_function_needs_no_splits(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-2, 2, size=(60, 2))
+        y = 3.0 * x[:, 0] - 1.5 * x[:, 1] + 0.5
+        tree = ModelTreeRegressor().fit(x, y)
+        assert tree.score(x, y) > 0.999
+        assert tree.n_leaves() == 1  # a single linear leaf suffices
+
+    def test_piecewise_linear_splits(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0, 10, size=(200, 1))
+        y = np.where(x[:, 0] < 5.0, 2.0 * x[:, 0], 20.0 - 2.0 * x[:, 0])
+        tree = ModelTreeRegressor().fit(x, y)
+        assert tree.n_leaves() >= 2
+        assert tree.score(x, y) > 0.98
+
+    def test_constant_target_single_mean_leaf(self):
+        x = np.arange(20.0).reshape(-1, 1)
+        tree = ModelTreeRegressor().fit(x, np.full(20, 7.0))
+        np.testing.assert_allclose(tree.predict(x), 7.0, atol=1e-9)
+        assert tree.n_leaves() == 1
+
+    def test_leaf_falls_back_to_mean_when_linear_is_useless(self):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(size=(30, 1))
+        y = rng.normal(size=30)  # pure noise
+        tree = ModelTreeRegressor(max_depth=0).fit(x, y)
+        prediction = tree.predict(x)
+        assert np.ptp(prediction) < np.ptp(y)
+
+
+class TestTreeStructure:
+    def test_max_depth_zero_is_global_model(self):
+        rng = np.random.default_rng(3)
+        x = rng.uniform(0, 10, size=(100, 1))
+        y = np.sin(x[:, 0])
+        tree = ModelTreeRegressor(max_depth=0).fit(x, y)
+        assert tree.depth() == 0
+
+    def test_deeper_trees_fit_nonlinear_targets_better(self):
+        rng = np.random.default_rng(4)
+        x = rng.uniform(0, 10, size=(300, 1))
+        y = np.sin(x[:, 0])
+        shallow = ModelTreeRegressor(max_depth=1).fit(x, y)
+        deep = ModelTreeRegressor(max_depth=5).fit(x, y)
+        assert deep.score(x, y) > shallow.score(x, y)
+
+    def test_min_samples_leaf_respected(self):
+        x = np.arange(10.0).reshape(-1, 1)
+        y = np.where(x[:, 0] < 9, 0.0, 100.0)  # one outlier
+        tree = ModelTreeRegressor(min_samples_leaf=4).fit(x, y)
+        # isolating the outlier would need a 1-sample leaf
+        assert tree.n_leaves() <= 2
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(5)
+        x = rng.uniform(size=(80, 3))
+        y = x[:, 0] * 2 + (x[:, 1] > 0.5) * 3
+        a = ModelTreeRegressor().fit(x, y).predict(x)
+        b = ModelTreeRegressor().fit(x, y).predict(x)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ModelTreeRegressor().fit(np.zeros((0, 1)), [])
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ValueError):
+            ModelTreeRegressor().fit(np.zeros((3, 1)), [1.0, 2.0])
+
+    def test_rejects_bad_hyperparameters(self):
+        with pytest.raises(ValueError):
+            ModelTreeRegressor(min_samples_leaf=0)
+        with pytest.raises(ValueError):
+            ModelTreeRegressor(max_depth=-1)
+        with pytest.raises(ValueError):
+            ModelTreeRegressor(sdr_threshold=1.0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            ModelTreeRegressor().predict([[1.0]])
+
+    def test_predict_wrong_width(self):
+        tree = ModelTreeRegressor().fit(np.zeros((6, 2)), np.zeros(6))
+        with pytest.raises(ValueError):
+            tree.predict(np.zeros((2, 3)))

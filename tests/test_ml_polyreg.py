@@ -1,0 +1,113 @@
+"""Unit tests for polynomial regression."""
+
+import numpy as np
+import pytest
+
+from repro.ml.polyreg import PolynomialRegression
+
+
+class TestExactRecovery:
+    def test_recovers_linear_function(self):
+        x = np.linspace(-2, 2, 20).reshape(-1, 1)
+        y = 3.0 * x.ravel() - 1.5
+        model = PolynomialRegression(degree=1, ridge=0.0).fit(x, y)
+        np.testing.assert_allclose(model.predict(x), y, atol=1e-9)
+
+    def test_recovers_quadratic(self):
+        x = np.linspace(-1, 3, 25).reshape(-1, 1)
+        y = 2.0 * x.ravel() ** 2 - x.ravel() + 0.5
+        model = PolynomialRegression(degree=2, ridge=0.0).fit(x, y)
+        np.testing.assert_allclose(model.predict(x), y, atol=1e-8)
+        assert model.score(x, y) > 0.999999
+
+    def test_recovers_cross_term(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, size=(50, 2))
+        y = 1.0 + 2.0 * x[:, 0] * x[:, 1]
+        model = PolynomialRegression(degree=2, ridge=0.0).fit(x, y)
+        np.testing.assert_allclose(model.predict(x), y, atol=1e-8)
+
+    def test_degree_two_cannot_fit_cubic_exactly(self):
+        x = np.linspace(-2, 2, 30).reshape(-1, 1)
+        y = x.ravel() ** 3
+        model = PolynomialRegression(degree=2).fit(x, y)
+        assert model.score(x, y) < 0.999
+
+    def test_paper_form_degree_two_two_inputs(self):
+        # The paper's example: S = c0 + c1 s1 + c2 s2 + c3 s1 s2 + c4 s1^2 + c5 s2^2
+        rng = np.random.default_rng(1)
+        s = rng.uniform(0.5, 3.0, size=(60, 2))
+        coef = [0.3, 1.2, -0.7, 0.4, 0.05, -0.02]
+        y = (
+            coef[0]
+            + coef[1] * s[:, 0]
+            + coef[2] * s[:, 1]
+            + coef[3] * s[:, 0] * s[:, 1]
+            + coef[4] * s[:, 0] ** 2
+            + coef[5] * s[:, 1] ** 2
+        )
+        model = PolynomialRegression(degree=2, ridge=0.0).fit(s, y)
+        np.testing.assert_allclose(model.predict(s), y, atol=1e-8)
+
+
+class TestBehaviour:
+    def test_predict_one(self):
+        x = np.array([[0.0], [1.0], [2.0]])
+        model = PolynomialRegression(degree=1).fit(x, [0.0, 2.0, 4.0])
+        assert model.predict_one([3.0]) == pytest.approx(6.0, abs=1e-6)
+
+    def test_residuals_sum_to_zero_for_unregularized_fit(self):
+        x = np.linspace(0, 1, 10).reshape(-1, 1)
+        y = np.sin(3 * x.ravel())
+        model = PolynomialRegression(degree=2, ridge=0.0).fit(x, y)
+        assert abs(model.residuals(x, y).sum()) < 1e-8
+
+    def test_ridge_shrinks_towards_mean(self):
+        x = np.linspace(-1, 1, 20).reshape(-1, 1)
+        y = 5.0 * x.ravel()
+        loose = PolynomialRegression(degree=1, ridge=0.0).fit(x, y)
+        tight = PolynomialRegression(degree=1, ridge=1e3).fit(x, y)
+        spread_loose = np.ptp(loose.predict(x))
+        spread_tight = np.ptp(tight.predict(x))
+        assert spread_tight < spread_loose
+
+    def test_intercept_not_shrunk_by_ridge(self):
+        x = np.linspace(-1, 1, 20).reshape(-1, 1)
+        y = np.full(20, 7.0)
+        model = PolynomialRegression(degree=2, ridge=10.0).fit(x, y)
+        np.testing.assert_allclose(model.predict(x), y, atol=1e-6)
+
+    def test_high_degree_is_numerically_stable(self):
+        x = np.linspace(0, 1000, 40).reshape(-1, 1)
+        y = 0.001 * x.ravel() + 2.0
+        model = PolynomialRegression(degree=6).fit(x, y)
+        assert np.all(np.isfinite(model.predict(x)))
+        assert model.score(x, y) > 0.99
+
+    def test_constant_target(self):
+        x = np.arange(10.0).reshape(-1, 1)
+        model = PolynomialRegression(degree=3).fit(x, np.full(10, 4.2))
+        np.testing.assert_allclose(model.predict(x), 4.2, atol=1e-6)
+
+
+class TestValidation:
+    def test_rejects_negative_ridge(self):
+        with pytest.raises(ValueError):
+            PolynomialRegression(ridge=-1.0)
+
+    def test_rejects_mismatched_rows(self):
+        with pytest.raises(ValueError):
+            PolynomialRegression().fit(np.zeros((3, 1)), [1.0, 2.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PolynomialRegression().fit(np.zeros((0, 1)), [])
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            PolynomialRegression().predict([[1.0]])
+
+    def test_predict_wrong_width(self):
+        model = PolynomialRegression(degree=1).fit(np.zeros((4, 2)), np.zeros(4))
+        with pytest.raises(ValueError):
+            model.predict(np.zeros((2, 3)))

@@ -1,0 +1,121 @@
+"""Property-based tests over the applications: no schedule may break them."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.approx.schedule import ApproxSchedule
+
+from tests.conftest import app_instance, smallest_params
+
+# PSO is the cheapest app; LULESH the most numerically delicate.  Both
+# get the full random-schedule treatment.
+_SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+def _random_schedule(app, draw_levels, n_phases):
+    params = smallest_params(app)
+    plan = app.make_plan(params, n_phases)
+    settings_per_phase = []
+    for phase in range(n_phases):
+        levels = {}
+        for i, block in enumerate(app.blocks):
+            levels[block.name] = draw_levels[(phase * len(app.blocks) + i) % len(draw_levels)] % (
+                block.max_level + 1
+            )
+        settings_per_phase.append(levels)
+    return params, ApproxSchedule(app.blocks, plan, settings_per_phase)
+
+
+class TestRandomSchedulesNeverBreakApps:
+    @given(
+        draw_levels=st.lists(st.integers(0, 5), min_size=8, max_size=8),
+        n_phases=st.sampled_from([1, 2, 4]),
+    )
+    @_SETTINGS
+    def test_pso_robust(self, draw_levels, n_phases):
+        app = app_instance("pso")
+        params, schedule = _random_schedule(app, draw_levels, n_phases)
+        record = app.run(params, schedule)
+        assert np.all(np.isfinite(record.output))
+        assert record.total_work > 0
+        assert record.iterations >= 1
+
+    @given(
+        draw_levels=st.lists(st.integers(0, 5), min_size=8, max_size=8),
+        n_phases=st.sampled_from([1, 4]),
+    )
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_lulesh_robust(self, draw_levels, n_phases):
+        app = app_instance("lulesh")
+        params, schedule = _random_schedule(app, draw_levels, n_phases)
+        record = app.run(params, schedule)
+        assert np.all(np.isfinite(record.output))
+        assert np.all(record.output > 0)  # energies stay physical
+        assert record.iterations >= 1
+
+    @given(
+        draw_levels=st.lists(st.integers(0, 5), min_size=8, max_size=8),
+    )
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_bodytrack_robust(self, draw_levels):
+        app = app_instance("bodytrack")
+        params, schedule = _random_schedule(app, draw_levels, 4)
+        record = app.run(params, schedule)
+        assert np.all(np.isfinite(record.output))
+
+    @given(seed=st.integers(0, 1000))
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_schedule_determinism_under_repetition(self, seed):
+        """The same random schedule always reproduces the same outcome."""
+        app = app_instance("pso")
+        rng = np.random.default_rng(seed)
+        params = smallest_params(app)
+        plan = app.make_plan(params, 2)
+        levels = {
+            b.name: int(rng.integers(0, b.max_level + 1)) for b in app.blocks
+        }
+        schedule = ApproxSchedule.uniform(app.blocks, plan, levels)
+        first = app.run(params, schedule)
+        second = app.run(params, schedule)
+        np.testing.assert_array_equal(first.output, second.output)
+        assert first.total_work == second.total_work
+
+
+class TestWorkMonotonicity:
+    @given(level=st.integers(1, 5))
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_higher_perforation_never_adds_per_iteration_work(self, level):
+        app = app_instance("comd")  # fixed iteration count: clean comparison
+        params = smallest_params(app)
+        plan = app.make_plan(params, 1)
+        mild = app.run(
+            params, ApproxSchedule.uniform(app.blocks, plan, {"force_computation": 1})
+        )
+        strong = app.run(
+            params,
+            ApproxSchedule.uniform(app.blocks, plan, {"force_computation": level}),
+        )
+        assert strong.work_by_block["force_computation"] <= (
+            mild.work_by_block["force_computation"] + 1e-9
+        )

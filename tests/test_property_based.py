@@ -1,0 +1,192 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.approx.knobs import Technique
+from repro.approx.schedule import PhasePlan
+from repro.approx.techniques import (
+    computed_indices,
+    memoization_plan,
+    perforated_indices,
+    scaled_parameter,
+    truncated_count,
+    work_fraction,
+)
+from repro.core.budget import allocate_budget, normalized_rois
+from repro.core.optimizer import combined_speedup
+from repro.ml.features import PolynomialFeatures, Standardizer
+from repro.ml.metrics import r2_score
+from repro.ml.polyreg import PolynomialRegression
+
+LOOP_TECHNIQUES = [Technique.PERFORATION, Technique.TRUNCATION, Technique.MEMOIZATION]
+
+
+class TestTechniqueProperties:
+    @given(
+        n=st.integers(0, 200),
+        level=st.integers(0, 7),
+        max_level=st.integers(1, 7),
+        technique=st.sampled_from(LOOP_TECHNIQUES),
+        offset=st.integers(0, 50),
+    )
+    def test_computed_indices_valid_and_unique(self, n, level, max_level, technique, offset):
+        level = min(level, max_level)
+        indices = computed_indices(technique, n, level, max_level, offset)
+        assert len(np.unique(indices)) == len(indices)
+        if n > 0:
+            assert indices.min() >= 0 and indices.max() < n
+            assert len(indices) >= 1
+        else:
+            assert len(indices) == 0
+
+    @given(
+        n=st.integers(1, 200),
+        level=st.integers(0, 7),
+        max_level=st.integers(1, 7),
+        technique=st.sampled_from(LOOP_TECHNIQUES),
+    )
+    def test_work_fraction_in_unit_interval(self, n, level, max_level, technique):
+        level = min(level, max_level)
+        fraction = work_fraction(technique, n, level, max_level)
+        assert 0.0 < fraction <= 1.0
+        if level == 0:
+            assert fraction == 1.0
+
+    @given(n=st.integers(1, 100), max_level=st.integers(1, 7))
+    def test_truncation_monotone_in_level(self, n, max_level):
+        counts = [truncated_count(n, lvl, max_level) for lvl in range(max_level + 1)]
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+        assert counts[0] == n
+        assert counts[-1] >= max(1, n // 2)
+
+    @given(n=st.integers(1, 100), level=st.integers(0, 7), max_level=st.integers(1, 7))
+    def test_memoization_plan_points_to_computed_past(self, n, level, max_level):
+        level = min(level, max_level)
+        plan = memoization_plan(n, level, max_level)
+        computed = set(computed_indices(Technique.MEMOIZATION, n, level, max_level).tolist())
+        for i, source in enumerate(plan):
+            assert source <= i
+            assert int(source) in computed
+
+    @given(
+        n=st.integers(1, 60),
+        level=st.integers(1, 7),
+        max_level=st.integers(1, 7),
+    )
+    def test_perforation_rotation_is_a_bijection_shift(self, n, level, max_level):
+        level = min(level, max_level)
+        base = perforated_indices(n, level, 0)
+        rotated = perforated_indices(n, level, 3)
+        assert len(base) == len(rotated)
+        assert set((base + 3) % n) == set(rotated.tolist())
+
+    @given(
+        value=st.floats(0.1, 1e6),
+        level=st.integers(0, 7),
+        max_level=st.integers(1, 7),
+        floor=st.floats(0.05, 1.0),
+    )
+    def test_scaled_parameter_bounded(self, value, level, max_level, floor):
+        level = min(level, max_level)
+        scaled = scaled_parameter(value, level, max_level, floor)
+        assert floor * value - 1e-9 <= scaled <= value + 1e-9
+
+
+class TestPhasePlanProperties:
+    @given(iterations=st.integers(1, 500), n_phases=st.integers(1, 8))
+    def test_lengths_partition_iterations(self, iterations, n_phases):
+        if iterations < n_phases:
+            return
+        plan = PhasePlan(iterations, n_phases)
+        lengths = [plan.phase_length(p) for p in range(n_phases)]
+        assert sum(lengths) == iterations
+        assert all(length >= 1 for length in lengths)
+
+    @given(iterations=st.integers(8, 500), n_phases=st.integers(1, 8))
+    def test_phase_of_matches_boundaries(self, iterations, n_phases):
+        if iterations < n_phases:
+            return
+        plan = PhasePlan(iterations, n_phases)
+        phases = [plan.phase_of(i) for i in range(iterations)]
+        assert phases == sorted(phases)
+        assert phases[0] == 0
+        assert phases[-1] == n_phases - 1
+        for phase in range(n_phases):
+            assert phases.count(phase) == plan.phase_length(phase)
+
+
+class TestBudgetProperties:
+    @given(
+        budget=st.floats(0.0, 1e4),
+        rois=st.dictionaries(
+            st.integers(0, 7), st.floats(0.0, 1e5), min_size=1, max_size=8
+        ),
+    )
+    def test_allocation_conserves_budget(self, budget, rois):
+        allocation = allocate_budget(budget, rois)
+        assert sum(allocation.values()) <= budget * (1 + 1e-9) + 1e-9
+        assert abs(sum(allocation.values()) - budget) < max(1e-6, budget * 1e-6)
+        assert all(v >= 0 for v in allocation.values())
+
+    @given(
+        rois=st.dictionaries(
+            st.integers(0, 7), st.floats(0.0, 1e5), min_size=1, max_size=8
+        )
+    )
+    def test_normalization_sums_to_one(self, rois):
+        shares = normalized_rois(rois)
+        assert abs(sum(shares.values()) - 1.0) < 1e-9
+
+    @given(speedups=st.lists(st.floats(0.2, 5.0), min_size=1, max_size=8))
+    def test_combined_speedup_at_least_best_single(self, speedups):
+        combined = combined_speedup(speedups)
+        assert combined >= max(max(speedups), 1.0) * (1 - 1e-9) or combined >= 1.0
+        assert combined <= 20.0 + 1e-9
+
+
+class TestMLProperties:
+    @given(
+        coeffs=st.lists(st.floats(-5, 5), min_size=2, max_size=3),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_polyreg_recovers_random_quadratics(self, coeffs, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(-2, 2, size=(30, 1))
+        y = sum(c * x.ravel() ** i for i, c in enumerate(coeffs))
+        model = PolynomialRegression(degree=max(1, len(coeffs) - 1), ridge=0.0)
+        model.fit(x, y)
+        if np.var(y) < 1e-12:
+            # (near-)constant target: R^2 is ill-defined, check the error
+            assert np.max(np.abs(model.predict(x) - y)) < 1e-6
+        else:
+            assert r2_score(y, model.predict(x)) > 0.999
+
+    @given(seed=st.integers(0, 100), n=st.integers(5, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_standardizer_roundtrip(self, seed, n):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(3.0, 2.0, size=(n, 2))
+        scaler = Standardizer().fit(x)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(x)), x, atol=1e-9
+        )
+
+    @given(seed=st.integers(0, 50), degree=st.integers(1, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_expansion_width_independent_of_data(self, seed, degree):
+        rng = np.random.default_rng(seed)
+        pf = PolynomialFeatures(degree=degree)
+        a = pf.fit_transform(rng.normal(size=(7, 2)))
+        b = pf.transform(rng.normal(size=(13, 2)))
+        assert a.shape[1] == b.shape[1]
+
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_r2_never_exceeds_one(self, seed):
+        rng = np.random.default_rng(seed)
+        y_true = rng.normal(size=20)
+        y_pred = rng.normal(size=20)
+        assert r2_score(y_true, y_pred) <= 1.0

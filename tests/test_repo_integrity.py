@@ -1,0 +1,75 @@
+"""Repository-integrity checks: docs, benchmarks, and code stay in sync."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.apps import ALL_APPLICATIONS
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestDocumentationReferences:
+    def test_design_md_references_existing_benchmarks(self):
+        design = (ROOT / "DESIGN.md").read_text()
+        referenced = set(re.findall(r"benchmarks/(test_\w+\.py)", design))
+        assert referenced, "DESIGN.md must reference its benchmark files"
+        for name in referenced:
+            assert (ROOT / "benchmarks" / name).exists(), name
+
+    def test_every_benchmark_is_indexed_somewhere(self):
+        """Each benchmark file appears in DESIGN.md or EXPERIMENTS.md."""
+        docs = (ROOT / "DESIGN.md").read_text() + (ROOT / "EXPERIMENTS.md").read_text()
+        for path in (ROOT / "benchmarks").glob("test_*.py"):
+            stem_mentioned = path.name in docs or path.stem.split("test_")[1] in docs
+            assert stem_mentioned, f"{path.name} not documented"
+
+    def test_readme_examples_exist(self):
+        readme = (ROOT / "README.md").read_text()
+        for name in re.findall(r"examples/(\w+\.py)", readme):
+            assert (ROOT / "examples" / name).exists(), name
+
+    def test_docs_directory_contents(self):
+        for name in ("SUBSTRATES.md", "API.md", "REPRODUCING.md"):
+            assert (ROOT / "docs" / name).exists(), name
+
+    def test_substrates_doc_covers_every_app(self):
+        text = (ROOT / "docs" / "SUBSTRATES.md").read_text()
+        for name in ALL_APPLICATIONS:
+            assert f"repro/apps/{name}.py" in text, name
+
+    def test_experiments_md_covers_every_figure(self):
+        text = (ROOT / "EXPERIMENTS.md").read_text()
+        for figure in ("Fig. 2", "Fig. 3", "Fig. 7", "Fig. 9", "Fig. 11",
+                       "Fig. 14", "Table 1", "Table 2"):
+            assert figure in text, figure
+
+
+class TestPackagingMetadata:
+    def test_version_consistent(self):
+        import repro
+
+        pyproject = (ROOT / "pyproject.toml").read_text()
+        assert f'version = "{repro.__version__}"' in pyproject
+
+    def test_py_typed_marker_present(self):
+        assert (ROOT / "src" / "repro" / "py.typed").exists()
+
+    def test_public_api_importable(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+
+class TestExamplesAreSelfContained:
+    @pytest.mark.parametrize(
+        "script",
+        sorted(p.name for p in (ROOT / "examples").glob("*.py")),
+    )
+    def test_example_compiles_and_has_main(self, script):
+        source = (ROOT / "examples" / script).read_text()
+        compile(source, script, "exec")
+        assert 'if __name__ == "__main__":' in source
+        assert source.startswith("#!/usr/bin/env python")

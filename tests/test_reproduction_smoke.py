@@ -1,0 +1,44 @@
+"""Fast end-to-end reproduction smoke test (the headline, PSO only).
+
+A cut-down version of Fig. 14 that runs in ~15 s: if this test passes,
+the pipeline that produces the paper's headline comparison is intact.
+The full five-app version lives in benchmarks/.
+"""
+
+from repro.core.opprox import Opprox
+from repro.core.spec import AccuracySpec
+from repro.eval.oracle import phase_agnostic_oracle
+
+from tests.conftest import app_instance, profiler_for
+
+
+def test_headline_shape_on_pso():
+    app = app_instance("pso")
+    profiler = profiler_for("pso")
+    params = app.default_params()
+
+    opprox = Opprox(
+        app,
+        AccuracySpec.for_app(app, max_inputs=4),
+        profiler=profiler,
+        n_phases=4,
+        joint_samples_per_phase=12,
+    )
+    opprox.train()
+
+    # Small budget: phase-aware finds real speedup within budget...
+    run = opprox.apply(params, 5.0)
+    assert run.speedup > 1.1
+    assert app.metric.satisfies(run.qos_value, 5.0)
+
+    # ...while the phase-agnostic exhaustive oracle finds nothing
+    # (stride-2 grid keeps this quick; the full grid is even stricter
+    # for the oracle's benefit, so this is conservative).
+    oracle = phase_agnostic_oracle(profiler, params, 5.0, level_stride=2)
+    assert run.speedup > oracle.speedup
+
+    # At the large budget both find speedup.
+    large_run = opprox.apply(params, 20.0)
+    large_oracle = phase_agnostic_oracle(profiler, params, 20.0, level_stride=2)
+    assert large_run.speedup > 1.2
+    assert large_oracle.speedup > 1.2

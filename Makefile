@@ -1,12 +1,21 @@
 # Convenience targets for the OPPROX reproduction.
 
-.PHONY: install test bench figures examples clean
+.PHONY: install test verify bench figures examples clean
 
 install:
 	pip install -e .
 
 test:
 	pytest tests/ -q
+
+# The per-PR gate: the tier-1 suite plus a smoke of the parallel
+# measurement path (worker processes + disk cache + cache-stats report).
+verify:
+	PYTHONPATH=src python -m pytest -x -q
+	PYTHONPATH=src python -m repro oracle --app pso --budget 10 \
+		--level-stride 2 --workers 2 --cache .verify-cache
+	PYTHONPATH=src python -m repro cache-stats --cache .verify-cache --compact
+	rm -rf .verify-cache
 
 bench:
 	pytest benchmarks/ --benchmark-only -q

@@ -1,6 +1,8 @@
 """Table 2 — training and optimization time vs phase granularity."""
 
-from repro.eval.experiments import table2_overheads
+import os
+
+from repro.eval.experiments import parallel_training_report, table2_overheads
 from repro.eval.reporting import format_table
 
 from benchmarks.conftest import run_once
@@ -11,9 +13,11 @@ def test_table2_training_and_optimization_overheads(benchmark):
     rows = run_once(benchmark, table2_overheads, "pso", (1, 2, 4, 8))
 
     print(format_table(
-        ["phases", "training s", "optimization s", "training samples"],
+        ["phases", "training s", "optimization s", "training samples",
+         "executions", "memory hits"],
         [
-            [r["n_phases"], r["training_seconds"], r["optimization_seconds"], r["n_samples"]]
+            [r["n_phases"], r["training_seconds"], r["optimization_seconds"],
+             r["n_samples"], r["executions"], r["memory_hits"]]
             for r in rows
         ],
         "Table 2 — OPPROX overhead vs phase granularity (pso; paper: "
@@ -32,3 +36,39 @@ def test_table2_training_and_optimization_overheads(benchmark):
     assert max(optimization) < max(training)
     # 8-phase optimization is costlier than single-phase optimization.
     assert optimization[-1] > optimization[0]
+    # Fresh profilers per row: every sample cost a real execution or an
+    # in-memory hit; the stats account for all of them.
+    for row in rows:
+        assert row["executions"] + row["memory_hits"] >= row["n_samples"]
+
+
+def test_parallel_training_sweep_report(benchmark):
+    """The measurement-engine overhead report: serial vs 4-worker sweep."""
+    report = run_once(benchmark, parallel_training_report, "pso", 4)
+
+    print(format_table(
+        ["leg", "wall s", "executions", "memory hits", "hit rate"],
+        [
+            ["serial", report["serial_seconds"],
+             report["serial_stats"]["executions"],
+             report["serial_stats"]["memory_hits"],
+             report["serial_stats"]["cache_hit_rate"]],
+            [f"{report['workers']} workers", report["parallel_seconds"],
+             report["parallel_stats"]["executions"],
+             report["parallel_stats"]["memory_hits"],
+             report["parallel_stats"]["cache_hit_rate"]],
+        ],
+        f"Parallel measurement engine — {report['n_samples']} training "
+        f"samples on {report['app']} (speedup {report['speedup']:.2f}x; "
+        f"identical results: {report['identical']})",
+    ))
+
+    # Determinism is unconditional: the parallel sweep must reproduce
+    # the serial TrainingSample list bit-for-bit.
+    assert report["identical"]
+    assert report["serial_stats"]["executions"] == \
+        report["parallel_stats"]["executions"]
+    # Wall-clock wins need actual cores; single-core CI boxes only pay
+    # the (small) pool overhead, so gate the speedup assertion.
+    if (os.cpu_count() or 1) >= 4:
+        assert report["parallel_seconds"] < report["serial_seconds"]

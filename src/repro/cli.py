@@ -12,11 +12,16 @@ Subcommands::
     python -m repro train     --app pso --phases 4 --store models/
     python -m repro optimize  --app pso --budget 10 --store models/
     python -m repro run       --app pso --budget 10 --store models/
-    python -m repro oracle    --app pso --budget 10
+    python -m repro oracle    --app pso --budget 10 --workers 4
     python -m repro golden    --app pso
+    python -m repro cache-stats --cache .opprox-cache
 
 Parameters default to each application's representative midpoint and can
-be overridden with repeated ``--param name=value`` flags.
+be overridden with repeated ``--param name=value`` flags.  Measurement
+sweeps (``train``, ``oracle``, ``evaluate``) accept ``--workers N`` to
+fan profiling runs out to worker processes — the applications are
+deterministic, so results are identical to a serial run — and ``oracle``
+accepts ``--cache DIR`` to persist measured scalars across invocations.
 """
 
 from __future__ import annotations
@@ -70,6 +75,15 @@ def build_parser() -> argparse.ArgumentParser:
             help="override an input parameter (repeatable)",
         )
 
+    def add_workers_arg(p):
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="worker processes for measurement sweeps "
+            "(default: serial; results are identical either way)",
+        )
+
     describe = sub.add_parser("describe", help="show an application's knobs")
     add_app_arg(describe)
 
@@ -87,6 +101,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="random joint samples per phase")
     train.add_argument("--budget-policy", default="roi",
                        choices=("roi", "uniform", "greedy", "sqrt-roi"))
+    add_workers_arg(train)
 
     optimize = sub.add_parser(
         "optimize", help="find phase-specific settings for a budget"
@@ -108,6 +123,9 @@ def build_parser() -> argparse.ArgumentParser:
     oracle.add_argument("--budget", type=float, required=True)
     oracle.add_argument("--level-stride", type=int, default=1,
                         help="thin the uniform level grid (1 = exhaustive)")
+    oracle.add_argument("--cache", default=None, metavar="DIR",
+                        help="persist measured scalars in this disk cache")
+    add_workers_arg(oracle)
 
     evaluate = sub.add_parser(
         "evaluate",
@@ -116,6 +134,14 @@ def build_parser() -> argparse.ArgumentParser:
     add_app_arg(evaluate)
     evaluate.add_argument("--phases", type=int, default=4)
     evaluate.add_argument("--level-stride", type=int, default=1)
+    add_workers_arg(evaluate)
+
+    cache_stats = sub.add_parser(
+        "cache-stats", help="inspect (and optionally compact) a disk cache"
+    )
+    cache_stats.add_argument("--cache", required=True, metavar="DIR")
+    cache_stats.add_argument("--compact", action="store_true",
+                             help="merge all shard files into the base file")
 
     return parser
 
@@ -167,6 +193,7 @@ def _cmd_train(args) -> int:
         n_phases=args.phases,
         joint_samples_per_phase=args.joint_samples,
         budget_policy=args.budget_policy,
+        workers=args.workers,
     )
     report = opprox.train()
     store = ModelStore(Path(args.store))
@@ -179,6 +206,7 @@ def _cmd_train(args) -> int:
         print(f"  flow {label!r}: "
               + ", ".join(f"{k}={v:.2f}" for k, v in r2.items()))
     print(f"models stored at {path}")
+    print(opprox.measurement_stats.format_report("profiling stats:"))
     return 0
 
 
@@ -214,11 +242,22 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_oracle(args) -> int:
+    from repro.eval.cache import DiskCache
+    from repro.instrument.stats import MeasurementStats
+
     app = make_app(args.app)
     params = _parse_params(app, args.param)
     profiler = Profiler(app)
+    disk_cache = DiskCache(Path(args.cache)) if args.cache else None
+    stats = MeasurementStats()
     result = phase_agnostic_oracle(
-        profiler, params, args.budget, level_stride=args.level_stride
+        profiler,
+        params,
+        args.budget,
+        level_stride=args.level_stride,
+        disk_cache=disk_cache,
+        workers=args.workers,
+        stats=stats,
     )
     print(f"configurations tried: {result.configurations_tried}")
     if result.feasible:
@@ -229,6 +268,23 @@ def _cmd_oracle(args) -> int:
         print(f"QoS:     {result.qos_value:.3f} {app.metric.unit}")
     else:
         print("no uniform approximation satisfies the budget")
+    print(stats.format_report("measurement stats:"))
+    return 0
+
+
+def _cmd_cache_stats(args) -> int:
+    from repro.eval.cache import DiskCache
+
+    cache = DiskCache(Path(args.cache))
+    if args.compact:
+        cache.compact()
+    info = cache.stats()
+    print(f"cache root:    {info['root']}")
+    print(f"base file:     {info['base_file']}")
+    print(f"entries:       {info['entries']}")
+    print(f"shard files:   {info['shard_files']}")
+    print(f"corrupt lines: {info['corrupt_lines_skipped']} skipped")
+    print(f"compactions:   {info['compactions']}")
     return 0
 
 
@@ -236,6 +292,11 @@ def _cmd_evaluate(args) -> int:
     from repro.eval.experiments import BUDGET_LEVELS, fig14_opprox_vs_oracle
     from repro.eval.reporting import format_table
 
+    from repro.eval.experiments import trained_opprox
+
+    # Pre-train through the shared cache so --workers accelerates the
+    # sweep; fig14 then reuses the trained instance.
+    trained_opprox(args.app, n_phases=args.phases, workers=args.workers)
     rows = fig14_opprox_vs_oracle(
         args.app,
         budgets=BUDGET_LEVELS[args.app],
@@ -273,6 +334,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": lambda: _cmd_run(args),
         "oracle": lambda: _cmd_oracle(args),
         "evaluate": lambda: _cmd_evaluate(args),
+        "cache-stats": lambda: _cmd_cache_stats(args),
     }
     return handlers[args.command]()
 

@@ -27,6 +27,7 @@ from repro.core.phases import find_phase_count
 from repro.core.sampling import TrainingSample, TrainingSampler
 from repro.core.spec import AccuracySpec, budget_to_degradation
 from repro.instrument.harness import MeasuredRun, Profiler
+from repro.instrument.stats import MeasurementStats
 
 __all__ = ["Opprox", "OptimizationResult", "TrainingReport"]
 
@@ -87,6 +88,16 @@ class Opprox:
     #: real cross-phase interactions are super-additive for some
     #: applications, so a margin keeps the final run inside the budget.
     interaction_margin: float = 0.9
+    #: worker processes for the training-data sweep (None/1 = serial;
+    #: results are identical either way — the applications are
+    #: deterministic, see repro.instrument.parallel).
+    workers: Optional[int] = None
+    #: optional repro.eval.cache.DiskCache threaded through training
+    disk_cache: Optional[object] = None
+    #: counters for the training sweep's executions and cache hits
+    measurement_stats: MeasurementStats = field(
+        default_factory=MeasurementStats, repr=False
+    )
 
     _control_flow: Optional[ControlFlowModel] = field(default=None, repr=False)
     _models_by_flow: Dict[str, PhaseModels] = field(default_factory=dict, repr=False)
@@ -136,7 +147,12 @@ class Opprox:
         )
         total_samples = 0
         for signature, flow_inputs in groups.items():
-            samples = sampler.collect(flow_inputs)
+            samples = sampler.collect(
+                flow_inputs,
+                workers=self.workers,
+                disk_cache=self.disk_cache,
+                stats=self.measurement_stats,
+            )
             total_samples += len(samples)
             self._samples_by_flow[signature] = samples
             self._models_by_flow[signature] = PhaseModels.fit(

@@ -16,14 +16,17 @@ figure reproductions are collected by :mod:`repro.eval`.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
 from repro.approx.schedule import ApproxSchedule
 from repro.apps.base import Application, ParamsDict
 from repro.instrument.harness import Profiler
+from repro.instrument.parallel import measure_batch
+from repro.instrument.stats import MeasurementStats
 
 __all__ = ["TrainingSample", "TrainingSampler"]
 
@@ -106,51 +109,105 @@ class TrainingSampler:
                 yield {block.name: level}
 
     def joint_level_vectors(self, count: int) -> List[Dict[str, int]]:
-        """Random sparse AL vectors across all blocks (at least one > 0)."""
+        """Random sparse AL vectors across all blocks (at least one > 0).
+
+        Vectors are distinct: repeated draws are rejected rather than
+        counted toward ``count``.  When rejection sampling cannot find
+        ``count`` distinct non-zero vectors within the attempt cap (tiny
+        joint spaces — e.g. single-block applications with small AL
+        ranges), the shortfall is reported with a warning instead of
+        silently returning a thinner training set.
+        """
         vectors: List[Dict[str, int]] = []
+        seen: set = set()
         attempts = 0
-        while len(vectors) < count and attempts < 50 * max(1, count):
+        cap = 50 * max(1, count)
+        while len(vectors) < count and attempts < cap:
             attempts += 1
             vector = {
                 block.name: int(self._rng.integers(0, block.max_level + 1))
                 for block in self.app.blocks
             }
-            if any(vector.values()):
-                vectors.append(vector)
+            if not any(vector.values()):
+                continue
+            key = tuple(sorted(vector.items()))
+            if key in seen:
+                continue
+            seen.add(key)
+            vectors.append(vector)
+        if len(vectors) < count:
+            warnings.warn(
+                f"joint_level_vectors: found only {len(vectors)} of the "
+                f"{count} requested distinct joint vectors within {cap} "
+                f"attempts (shortfall {count - len(vectors)}); the joint "
+                f"level space of {self.app.name!r} is likely smaller than "
+                f"joint_samples_per_phase",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return vectors
 
     # -- collection ----------------------------------------------------------
 
-    def collect_for_input(self, params: ParamsDict) -> List[TrainingSample]:
-        """All single-phase samples for one input-parameter combination."""
-        plan = self.app.make_plan(params, self.n_phases)
-        samples: List[TrainingSample] = []
-        joint = self.joint_level_vectors(self.joint_samples_per_phase)
-        for phase in range(self.n_phases):
-            for levels in list(self.local_level_vectors()) + joint:
-                schedule = ApproxSchedule.single_phase(
-                    self.app.blocks, plan, phase, levels
-                )
-                run = self.profiler.measure(params, schedule)
-                samples.append(
-                    TrainingSample(
-                        params=dict(params),
-                        n_phases=self.n_phases,
-                        phase=phase,
-                        levels=dict(schedule.phase_levels(phase)),
-                        speedup=run.speedup,
-                        degradation=run.degradation,
-                        qos_value=run.qos_value,
-                        iterations=run.iterations,
-                    )
-                )
-        return samples
+    def collect_for_input(
+        self,
+        params: ParamsDict,
+        workers: Optional[int] = None,
+        disk_cache=None,
+        stats: Optional[MeasurementStats] = None,
+    ) -> List[TrainingSample]:
+        """All single-phase samples for one input-parameter combination.
 
-    def collect(self, inputs: Sequence[ParamsDict]) -> List[TrainingSample]:
+        ``workers > 1`` fans the profiling runs out through
+        :func:`~repro.instrument.parallel.measure_batch`; the applications
+        are deterministic, so the samples are identical to a serial sweep.
+        """
+        plan = self.app.make_plan(params, self.n_phases)
+        vectors = list(self.local_level_vectors()) + self.joint_level_vectors(
+            self.joint_samples_per_phase
+        )
+        phases = [phase for phase in range(self.n_phases) for _ in vectors]
+        schedules = [
+            ApproxSchedule.single_phase(self.app.blocks, plan, phase, levels)
+            for phase in range(self.n_phases)
+            for levels in vectors
+        ]
+        runs = measure_batch(
+            self.profiler,
+            [(params, schedule) for schedule in schedules],
+            workers=workers,
+            disk_cache=disk_cache,
+            stats=stats,
+        )
+        return [
+            TrainingSample(
+                params=dict(params),
+                n_phases=self.n_phases,
+                phase=phase,
+                levels=dict(schedule.phase_levels(phase)),
+                speedup=run.speedup,
+                degradation=run.degradation,
+                qos_value=run.qos_value,
+                iterations=run.iterations,
+            )
+            for phase, schedule, run in zip(phases, schedules, runs)
+        ]
+
+    def collect(
+        self,
+        inputs: Sequence[ParamsDict],
+        workers: Optional[int] = None,
+        disk_cache=None,
+        stats: Optional[MeasurementStats] = None,
+    ) -> List[TrainingSample]:
         """Samples for every training input (Sec. 3.3's full sweep)."""
         if not inputs:
             raise ValueError("need at least one training input")
         samples: List[TrainingSample] = []
         for params in inputs:
-            samples.extend(self.collect_for_input(params))
+            samples.extend(
+                self.collect_for_input(
+                    params, workers=workers, disk_cache=disk_cache, stats=stats
+                )
+            )
         return samples

@@ -6,16 +6,19 @@ Each figure and table of the paper's evaluation (Sec. 5) has a driver in
 """
 
 from repro.eval.adaptive import AdaptiveController, AdaptiveTrajectory
-from repro.eval.cache import shared_profiler
-from repro.eval.oracle import OracleResult, phase_agnostic_oracle
+from repro.eval.cache import DiskCache, measure_cached, shared_profiler
+from repro.eval.oracle import OracleResult, oracle_frontier, phase_agnostic_oracle
 from repro.eval.reporting import format_series, format_table
 
 __all__ = [
     "AdaptiveController",
     "AdaptiveTrajectory",
+    "DiskCache",
     "OracleResult",
     "format_series",
     "format_table",
+    "measure_cached",
+    "oracle_frontier",
     "phase_agnostic_oracle",
     "shared_profiler",
 ]

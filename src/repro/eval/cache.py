@@ -10,19 +10,31 @@ under overlapping approximation settings.  Two layers keep that cheap:
   iterations), so repeated benchmark invocations skip re-execution.
   Applications are deterministic, which makes this sound; the cache key
   includes the package version so substrate changes invalidate it.
+
+The disk cache is hardened for concurrent use: every writer appends to
+its own *shard* file (so parallel sweeps and overlapping pytest/CLI
+processes never interleave partial lines), readers merge the base file
+plus all shards without any file locking, corrupt or truncated lines
+(e.g. a process killed mid-append) are skipped with a warning, and a
+load that found corruption compacts everything back into the base file
+atomically.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
+import uuid
+import warnings
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.apps import make_app
 from repro.apps.base import ParamsDict
 from repro.approx.schedule import ApproxSchedule
 from repro.instrument.harness import MeasuredRun, Profiler
+from repro.instrument.stats import MeasurementStats
 
 __all__ = ["DiskCache", "measure_cached", "shared_profiler", "reset_shared_profilers"]
 
@@ -42,31 +54,142 @@ def reset_shared_profilers() -> None:
 
 
 class DiskCache:
-    """JSON-lines cache of measured (speedup, qos, iterations) triples."""
+    """Sharded JSON-lines cache of measured (speedup, qos, iterations) triples.
+
+    Layout under ``root``::
+
+        measurements-<version>.jsonl            # compacted base file
+        measurements-<version>.shard-*.jsonl    # one per writing process
+
+    ``put`` appends to this instance's private shard, so concurrent
+    writers never contend; ``_load`` merges the base plus every shard
+    (lock-free — shard files are append-only and line-oriented).
+    Malformed lines are skipped with a warning and trigger a compaction
+    that rewrites the base file atomically and absorbs the shards.
+    """
+
+    _REQUIRED_FIELDS = ("key", "speedup", "qos_value", "iterations")
 
     def __init__(self, root: Path | str):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self._entries: Dict[str, dict] = {}
         self._loaded = False
+        self._shard: Optional[Path] = None
+        #: corrupt lines skipped across all loads of this instance
+        self.corrupt_lines_skipped = 0
+        #: compactions performed by this instance
+        self.compactions = 0
 
-    def _file(self) -> Path:
+    # -- file layout ---------------------------------------------------------
+
+    def _base_file(self) -> Path:
         from repro import __version__
 
         return self.root / f"measurements-{__version__}.jsonl"
+
+    def _shard_files(self) -> List[Path]:
+        from repro import __version__
+
+        return sorted(self.root.glob(f"measurements-{__version__}.shard-*.jsonl"))
+
+    def _own_shard(self) -> Path:
+        if self._shard is None:
+            token = f"{os.getpid()}-{uuid.uuid4().hex[:8]}"
+            self._shard = (
+                self._base_file().parent
+                / f"{self._base_file().stem}.shard-{token}.jsonl"
+            )
+        return self._shard
+
+    # -- loading and compaction ----------------------------------------------
+
+    @classmethod
+    def _scan(cls, path: Path) -> Tuple[Dict[str, dict], int]:
+        """Entries from one JSONL file, tolerating corrupt/truncated lines."""
+        entries: Dict[str, dict] = {}
+        corrupt = 0
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return entries, corrupt
+        for raw_line in raw.splitlines():
+            # tolerate binary garbage (a writer killed mid-append can
+            # leave arbitrary bytes); bad lines just fail JSON parsing
+            line = raw_line.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+                key = entry["key"]
+                if not isinstance(key, str):
+                    raise TypeError("cache key must be a string")
+                float(entry["speedup"])
+                float(entry["qos_value"])
+                int(entry["iterations"])
+            except (KeyError, TypeError, ValueError):
+                corrupt += 1
+                continue
+            entries[key] = entry
+        return entries, corrupt
 
     def _load(self) -> None:
         if self._loaded:
             return
         self._loaded = True
-        path = self._file()
-        if not path.exists():
-            return
-        with path.open() as handle:
-            for line in handle:
-                if line.strip():
-                    entry = json.loads(line)
-                    self._entries[entry["key"]] = entry
+        corrupt = 0
+        for path in [self._base_file(), *self._shard_files()]:
+            if not path.exists():
+                continue
+            entries, bad = self._scan(path)
+            self._entries.update(entries)
+            corrupt += bad
+        if corrupt:
+            self.corrupt_lines_skipped += corrupt
+            warnings.warn(
+                f"DiskCache: skipped {corrupt} corrupt cache line(s) under "
+                f"{self.root} (likely a writer killed mid-append); kept "
+                f"{len(self._entries)} valid entries and compacting",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self.compact()
+
+    def compact(self) -> Path:
+        """Rewrite the base file atomically and absorb all shard files.
+
+        Safe against readers (they see either the old or the new base
+        file); run it when no *other* process is actively appending.
+        """
+        self._load()
+        base = self._base_file()
+        tmp = base.parent / f"{base.name}.tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        with tmp.open("w") as handle:
+            for entry in self._entries.values():
+                handle.write(json.dumps(entry) + "\n")
+        os.replace(tmp, base)
+        for shard in self._shard_files():
+            try:
+                shard.unlink()
+            except OSError:
+                pass
+        self._shard = None
+        self.compactions += 1
+        return base
+
+    def stats(self) -> Dict[str, object]:
+        """Structured summary of the cache directory (CLI ``cache-stats``)."""
+        self._load()
+        return {
+            "root": str(self.root),
+            "base_file": self._base_file().name,
+            "entries": len(self._entries),
+            "shard_files": len(self._shard_files()),
+            "corrupt_lines_skipped": self.corrupt_lines_skipped,
+            "compactions": self.compactions,
+        }
+
+    # -- lookups and writes --------------------------------------------------
 
     @staticmethod
     def key_for(app_name: str, params: ParamsDict, schedule: ApproxSchedule) -> str:
@@ -94,26 +217,28 @@ class DiskCache:
             "iterations": iterations,
         }
         self._entries[key] = entry
-        with self._file().open("a") as handle:
+        with self._own_shard().open("a") as handle:
             handle.write(json.dumps(entry) + "\n")
+            handle.flush()
 
+    # -- MeasuredRun protocol (used by the batch engine) ----------------------
 
-def measure_cached(
-    profiler: Profiler,
-    params: ParamsDict,
-    schedule: ApproxSchedule,
-    disk_cache: Optional[DiskCache] = None,
-) -> MeasuredRun:
-    """Measure through the profiler, short-circuiting via the disk cache.
+    def get_run(
+        self,
+        profiler: Profiler,
+        params: ParamsDict,
+        schedule: ApproxSchedule,
+    ) -> Optional[MeasuredRun]:
+        """Rebuild a (slim) MeasuredRun from persisted scalars, or None.
 
-    Disk hits still produce a :class:`MeasuredRun` (with an empty record
-    body) so downstream consumers see a uniform type.
-    """
-    if disk_cache is None:
-        return profiler.measure(params, schedule)
-    key = DiskCache.key_for(profiler.app.name, params, schedule)
-    hit = disk_cache.get(key)
-    if hit is not None:
+        Only the scalar outcomes were stored, so the record is marked
+        ``is_slim``; per-iteration accessors on it raise
+        :class:`~repro.instrument.harness.SlimRecordError` instead of
+        silently reporting zero work.
+        """
+        hit = self.get(self.key_for(profiler.app.name, params, schedule))
+        if hit is None:
+            return None
         import numpy as np
 
         from repro.instrument.harness import ExecutionRecord
@@ -127,6 +252,7 @@ def measure_cached(
             work_by_block={},
             work_by_iteration=(),
             signature="",
+            is_slim=True,
         )
         return MeasuredRun(
             record=record,
@@ -135,6 +261,52 @@ def measure_cached(
             qos_value=float(hit["qos_value"]),
             degradation=profiler.app.metric.to_degradation(float(hit["qos_value"])),
         )
-    run = profiler.measure(params, schedule)
-    disk_cache.put(key, run.speedup, run.qos_value, run.iterations)
+
+    def put_run(
+        self,
+        profiler: Profiler,
+        params: ParamsDict,
+        schedule: ApproxSchedule,
+        run: MeasuredRun,
+    ) -> None:
+        self.put(
+            self.key_for(profiler.app.name, params, schedule),
+            run.speedup,
+            run.qos_value,
+            run.iterations,
+        )
+
+
+def measure_cached(
+    profiler: Profiler,
+    params: ParamsDict,
+    schedule: Optional[ApproxSchedule],
+    disk_cache: Optional[DiskCache] = None,
+    stats: Optional[MeasurementStats] = None,
+) -> MeasuredRun:
+    """Measure through the profiler, short-circuiting via the disk cache.
+
+    Disk hits still produce a :class:`MeasuredRun` (with a *slim* record
+    body — see :meth:`DiskCache.get_run`) so downstream consumers see a
+    uniform type.
+    """
+    def _measure() -> MeasuredRun:
+        executions_before = profiler.executions
+        run = profiler.measure(params, schedule)
+        if stats is not None:
+            if profiler.executions > executions_before:
+                stats.record_execution()
+            else:
+                stats.record_memory_hit()
+        return run
+
+    if disk_cache is None or schedule is None or schedule.is_exact:
+        return _measure()
+    hit = disk_cache.get_run(profiler, params, schedule)
+    if hit is not None:
+        if stats is not None:
+            stats.record_disk_hit()
+        return hit
+    run = _measure()
+    disk_cache.put_run(profiler, params, schedule, run)
     return run

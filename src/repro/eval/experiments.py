@@ -25,6 +25,7 @@ from repro.core.spec import AccuracySpec
 from repro.eval.cache import shared_profiler
 from repro.eval.oracle import OracleResult, phase_agnostic_oracle
 from repro.instrument.harness import Profiler
+from repro.instrument.stats import MeasurementStats
 from repro.ml.crossval import train_test_split
 from repro.ml.metrics import r2_score
 
@@ -39,6 +40,7 @@ __all__ = [
     "fig12_13_model_predictions",
     "fig14_opprox_vs_oracle",
     "fig15_input_sensitivity",
+    "parallel_training_report",
     "phase_behaviour",
     "table1_search_space",
     "table2_overheads",
@@ -81,8 +83,13 @@ def trained_opprox(
     max_inputs: int = 4,
     joint_samples_per_phase: int = 16,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> Opprox:
-    """A trained OPPROX instance per app, cached for the whole process."""
+    """A trained OPPROX instance per app, cached for the whole process.
+
+    ``workers`` only changes how fast training profiles — the resulting
+    models are identical — so it is not part of the cache key.
+    """
     key = (app_name, n_phases)
     if key not in _TRAINED:
         app = shared_profiler(app_name).app
@@ -90,6 +97,7 @@ def trained_opprox(
             n_phases=n_phases,
             joint_samples_per_phase=joint_samples_per_phase,
             seed=seed,
+            workers=workers,
         )
         kwargs.update(OPPROX_OVERRIDES.get(app_name, {}))
         kwargs["joint_samples_per_phase"] = int(kwargs["joint_samples_per_phase"])
@@ -470,11 +478,14 @@ def table2_overheads(
     phase_counts: Sequence[int] = (1, 2, 4, 8),
     max_inputs: int = 2,
     joint_samples_per_phase: int = 6,
+    workers: Optional[int] = None,
 ) -> List[Dict[str, float]]:
     """Training and optimization wall-clock time vs phase granularity.
 
     Fresh profilers are used on purpose: training time must include the
-    profiling runs, exactly like the paper's offline stage.
+    profiling runs, exactly like the paper's offline stage.  Each row
+    carries the measurement-stats counters (executions vs. cache hits)
+    of its training sweep.
     """
     rows: List[Dict[str, float]] = []
     for n_phases in phase_counts:
@@ -486,17 +497,70 @@ def table2_overheads(
             profiler=profiler,
             n_phases=n_phases,
             joint_samples_per_phase=joint_samples_per_phase,
+            workers=workers,
         )
         report = opprox.train()
         started = time.perf_counter()
         opprox.optimize(app.default_params(), BUDGET_LEVELS[app_name]["medium"])
         optimization_seconds = time.perf_counter() - started
+        stats = opprox.measurement_stats
         rows.append(
             {
                 "n_phases": n_phases,
                 "training_seconds": report.training_seconds,
                 "optimization_seconds": optimization_seconds,
                 "n_samples": report.n_samples,
+                "executions": stats.executions,
+                "memory_hits": stats.memory_hits,
+                "cache_hit_rate": stats.cache_hit_rate,
             }
         )
     return rows
+
+
+def parallel_training_report(
+    app_name: str = "pso",
+    workers: int = 4,
+    n_phases: int = 2,
+    max_inputs: int = 2,
+    joint_samples_per_phase: int = 8,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Serial vs parallel training-data sweep: wall-clock and equality.
+
+    Runs the same Sec. 3.3 sweep twice on fresh profilers — once serial,
+    once through the process pool — and reports both wall-clocks, the
+    speedup factor, the measurement-stats of each leg, and whether the
+    two sample lists are identical (they must be: the applications are
+    deterministic).
+    """
+
+    def sweep(n_workers: Optional[int]):
+        app = make_app(app_name)
+        profiler = Profiler(app)
+        sampler = TrainingSampler(
+            app,
+            profiler,
+            n_phases,
+            joint_samples_per_phase=joint_samples_per_phase,
+            seed=seed,
+        )
+        inputs = AccuracySpec.for_app(app, max_inputs=max_inputs).training_inputs
+        stats = MeasurementStats()
+        started = time.perf_counter()
+        samples = sampler.collect(inputs, workers=n_workers, stats=stats)
+        return samples, time.perf_counter() - started, stats
+
+    serial_samples, serial_seconds, serial_stats = sweep(None)
+    parallel_samples, parallel_seconds, parallel_stats = sweep(workers)
+    return {
+        "app": app_name,
+        "workers": workers,
+        "n_samples": len(serial_samples),
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": serial_seconds / max(parallel_seconds, 1e-9),
+        "identical": serial_samples == parallel_samples,
+        "serial_stats": serial_stats.report(),
+        "parallel_stats": parallel_stats.report(),
+    }

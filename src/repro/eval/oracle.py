@@ -17,8 +17,10 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.approx.schedule import ApproxSchedule
 from repro.apps.base import Application, ParamsDict
-from repro.eval.cache import DiskCache, measure_cached
+from repro.eval.cache import DiskCache
 from repro.instrument.harness import Profiler
+from repro.instrument.parallel import measure_batch
+from repro.instrument.stats import MeasurementStats
 
 __all__ = ["OracleResult", "oracle_frontier", "phase_agnostic_oracle"]
 
@@ -57,16 +59,30 @@ def oracle_frontier(
     params: ParamsDict,
     level_stride: int = 1,
     disk_cache: Optional[DiskCache] = None,
+    workers: Optional[int] = None,
+    stats: Optional[MeasurementStats] = None,
 ) -> List[Tuple[Dict[str, int], float, float]]:
-    """Measured (levels, speedup, qos) for every uniform configuration."""
+    """Measured (levels, speedup, qos) for every uniform configuration.
+
+    The sweep goes through the batch engine: ``workers > 1`` fans the
+    configurations out to worker processes with identical results.
+    """
     app = profiler.app
     plan = app.make_plan(params, 1)
-    frontier = []
-    for levels in _uniform_level_vectors(app, level_stride):
-        schedule = ApproxSchedule.uniform(app.blocks, plan, levels)
-        run = measure_cached(profiler, params, schedule, disk_cache)
-        frontier.append((levels, run.speedup, run.qos_value))
-    return frontier
+    vectors = _uniform_level_vectors(app, level_stride)
+    runs = measure_batch(
+        profiler,
+        [
+            (params, ApproxSchedule.uniform(app.blocks, plan, levels))
+            for levels in vectors
+        ],
+        workers=workers,
+        disk_cache=disk_cache,
+        stats=stats,
+    )
+    return [
+        (levels, run.speedup, run.qos_value) for levels, run in zip(vectors, runs)
+    ]
 
 
 def phase_agnostic_oracle(
@@ -75,6 +91,8 @@ def phase_agnostic_oracle(
     budget: float,
     level_stride: int = 1,
     disk_cache: Optional[DiskCache] = None,
+    workers: Optional[int] = None,
+    stats: Optional[MeasurementStats] = None,
 ) -> OracleResult:
     """Exhaustive phase-agnostic search under a raw QoS budget.
 
@@ -86,7 +104,9 @@ def phase_agnostic_oracle(
     best_speedup = 1.0
     best_qos = app.metric.ceiling if app.metric.higher_is_better else 0.0
     feasible_found = False
-    frontier = oracle_frontier(profiler, params, level_stride, disk_cache)
+    frontier = oracle_frontier(
+        profiler, params, level_stride, disk_cache, workers=workers, stats=stats
+    )
     for levels, speedup, qos in frontier:
         if not app.metric.satisfies(qos, budget):
             continue

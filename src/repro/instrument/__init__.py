@@ -11,15 +11,28 @@ into an :class:`~repro.instrument.harness.ExecutionRecord`.
 from repro.instrument.callcontext import CallContextLog, control_flow_signature
 from repro.instrument.counters import WorkMeter
 from repro.instrument.energy import EnergyModel, EnergyReport
-from repro.instrument.harness import ExecutionRecord, MeasuredRun, Profiler
+from repro.instrument.harness import (
+    ExecutionRecord,
+    MeasuredRun,
+    Profiler,
+    SlimRecordError,
+)
+from repro.instrument.parallel import MeasureJob, default_workers, measure_batch
+from repro.instrument.stats import JobTiming, MeasurementStats
 
 __all__ = [
     "CallContextLog",
     "EnergyModel",
     "EnergyReport",
     "ExecutionRecord",
+    "JobTiming",
+    "MeasureJob",
     "MeasuredRun",
+    "MeasurementStats",
     "Profiler",
+    "SlimRecordError",
     "WorkMeter",
     "control_flow_signature",
+    "default_workers",
+    "measure_batch",
 ]

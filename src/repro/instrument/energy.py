@@ -64,6 +64,7 @@ class EnergyModel:
 
     def report(self, record: ExecutionRecord) -> EnergyReport:
         """Energy estimate for a recorded run."""
+        record.require_full("total_work")
         execution_time = record.total_work / self.work_per_time_unit
         return EnergyReport(
             dynamic_energy=self.energy_per_work_unit * record.total_work,
@@ -97,6 +98,8 @@ class EnergyModel:
         """
         if deadline_factor <= 0:
             raise ValueError("deadline_factor must be positive")
+        golden.require_full("total_work")
+        run.record.require_full("total_work")
         period = deadline_factor * golden.total_work / self.work_per_time_unit
         static = self.static_power * period
         baseline = self.energy_per_work_unit * golden.total_work + static

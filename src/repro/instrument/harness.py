@@ -16,12 +16,27 @@ import numpy as np
 
 from repro.approx.schedule import ApproxSchedule
 
-__all__ = ["ExecutionRecord", "MeasuredRun", "Profiler"]
+__all__ = ["ExecutionRecord", "MeasuredRun", "Profiler", "SlimRecordError"]
+
+
+class SlimRecordError(RuntimeError):
+    """Raised when per-iteration data is requested from a slim record.
+
+    Disk-cache hits rebuild a :class:`MeasuredRun` from the persisted
+    scalars only (speedup, QoS, iterations); the per-iteration work
+    breakdown was never stored, so consumers that need it must re-measure
+    instead of silently reading zeros.
+    """
 
 
 @dataclass(frozen=True)
 class ExecutionRecord:
-    """Everything one instrumented run produces."""
+    """Everything one instrumented run produces.
+
+    Records rebuilt from the scalar disk cache carry ``is_slim=True``:
+    their ``output``/work breakdowns were not persisted, and accessors
+    that need them raise :class:`SlimRecordError`.
+    """
 
     app_name: str
     params: Dict[str, float]
@@ -31,17 +46,41 @@ class ExecutionRecord:
     work_by_block: Dict[str, float]
     work_by_iteration: Tuple[float, ...]
     signature: str
+    is_slim: bool = False
+
+    def require_full(self, what: str = "per-iteration work") -> None:
+        """Raise :class:`SlimRecordError` unless this record is full."""
+        if self.is_slim:
+            raise SlimRecordError(
+                f"{what} was not persisted for this disk-cached run of "
+                f"{self.app_name!r}; re-measure without the disk cache "
+                f"short-circuit to obtain it"
+            )
 
     def work_by_phase(self, boundaries: Tuple[int, ...]) -> Tuple[float, ...]:
-        """Aggregate per-iteration work into phases."""
-        totals = [0.0] * len(boundaries)
-        for iteration, work in enumerate(self.work_by_iteration):
-            phase = 0
-            for p, start in enumerate(boundaries):
-                if iteration >= start:
-                    phase = p
-            totals[phase] += work
-        return tuple(totals)
+        """Aggregate per-iteration work into phases.
+
+        ``boundaries`` holds the start iteration of each phase (as in
+        :attr:`~repro.approx.schedule.PhasePlan.boundaries`) and must be
+        non-empty and strictly increasing.
+        """
+        self.require_full("work_by_phase")
+        bounds = np.asarray(boundaries, dtype=np.int64)
+        if bounds.size == 0:
+            raise ValueError("boundaries must contain at least one phase start")
+        if bounds[0] < 0 or np.any(np.diff(bounds) <= 0):
+            raise ValueError(
+                f"boundaries must be non-negative and strictly increasing, "
+                f"got {tuple(boundaries)}"
+            )
+        work = np.asarray(self.work_by_iteration, dtype=float)
+        totals = np.zeros(bounds.size)
+        if work.size:
+            # Iterations before the first boundary (there are none for
+            # PhasePlan boundaries, which start at 0) clamp to phase 0.
+            phases = np.searchsorted(bounds, np.arange(work.size), side="right") - 1
+            np.add.at(totals, np.clip(phases, 0, bounds.size - 1), work)
+        return tuple(float(total) for total in totals)
 
 
 @dataclass(frozen=True)
@@ -118,6 +157,46 @@ class Profiler:
                 degradation=self.app.metric.to_degradation(qos_value),
             )
         return self._measured[key]
+
+    # -- batch-engine hooks --------------------------------------------------
+
+    def measured_key(
+        self, params: Dict[str, float], schedule: ApproxSchedule
+    ) -> Tuple:
+        """Cache key identifying one (params, schedule) measurement."""
+        return (self.app.params_key(params), schedule.key())
+
+    def peek(
+        self, params: Dict[str, float], schedule: Optional[ApproxSchedule]
+    ) -> Optional[MeasuredRun]:
+        """Cached run for (params, schedule), or None — never executes.
+
+        Exact schedules are answered from the golden cache; approximate
+        ones from the measured cache.  Used by the batch engine to sort
+        cache hits from work that must be fanned out.
+        """
+        if schedule is None or schedule.is_exact:
+            if self.app.params_key(params) not in self._golden:
+                return None
+            return self.measure(params, schedule)
+        return self._measured.get(self.measured_key(params, schedule))
+
+    def store(
+        self,
+        params: Dict[str, float],
+        schedule: ApproxSchedule,
+        run: MeasuredRun,
+    ) -> None:
+        """Merge an externally measured run (e.g. a worker's) into the cache.
+
+        Applications are deterministic, so a run measured in another
+        process is bit-identical to one measured here; slim disk-cache
+        reconstructions are rejected because they would poison the
+        in-memory cache with records missing their work breakdown.
+        """
+        if run.record.is_slim:
+            raise ValueError("refusing to cache a slim (disk-hit) record")
+        self._measured[self.measured_key(params, schedule)] = run
 
     def _exact_qos(self) -> float:
         metric = self.app.metric

@@ -1,0 +1,194 @@
+"""Parallel batch-measurement engine.
+
+:func:`measure_batch` fans a list of ``(params, schedule)`` jobs out to a
+pool of worker processes.  Each worker reconstructs the application from
+its name; the applications are deterministic pure functions of
+``(params, schedule)``, so a worker's :class:`MeasuredRun` is
+bit-identical to the one the parent's own :meth:`Profiler.measure` would
+produce.  That determinism is what makes the merge sound: worker results
+are folded back into the parent profiler's in-memory caches and written
+through the optional scalar disk cache exactly as if they had been
+measured serially.
+
+Resolution order per job:
+
+1. in-memory profiler caches (free, counts as a memory hit);
+2. the optional disk cache (scalars only — produces a *slim* run);
+3. execution — deduplicated per unique configuration, serial in-process
+   for ``workers<=1``, fanned out to a process pool otherwise.
+
+Exact (accurate) jobs always run in the parent: they cost at most one
+execution per unique input and their golden record is the scoring
+baseline for everything else.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.approx.schedule import ApproxSchedule
+from repro.instrument.harness import MeasuredRun, Profiler
+from repro.instrument.stats import MeasurementStats
+
+__all__ = ["MeasureJob", "default_workers", "measure_batch"]
+
+#: One batch job: input parameters plus a schedule (None = exact run).
+MeasureJob = Tuple[Dict[str, float], Optional[ApproxSchedule]]
+
+#: Per-worker-process profiler registry, so jobs landing in the same
+#: worker share golden runs and measured configurations.
+_WORKER_PROFILERS: Dict[str, Profiler] = {}
+
+
+def default_workers() -> int:
+    """Sensible worker count: every core but one, at least one."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def _worker_profiler(app_name: str) -> Profiler:
+    profiler = _WORKER_PROFILERS.get(app_name)
+    if profiler is None:
+        from repro.apps import make_app
+
+        profiler = Profiler(make_app(app_name))
+        _WORKER_PROFILERS[app_name] = profiler
+    return profiler
+
+
+def _measure_one(task: Tuple[str, Dict[str, float], ApproxSchedule]):
+    """Worker entry point: measure one job, return (run, seconds)."""
+    app_name, params, schedule = task
+    started = time.perf_counter()
+    run = _worker_profiler(app_name).measure(params, schedule)
+    return run, time.perf_counter() - started
+
+
+def _pool_context():
+    """Prefer fork (cheap, inherits imports); fall back to the default."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None
+
+
+def _job_label(profiler: Profiler, params, schedule) -> str:
+    params_text = ",".join(f"{k}={v:g}" for k, v in sorted(params.items()))
+    return f"{profiler.app.name}({params_text}) {schedule!r}"
+
+
+def measure_batch(
+    profiler: Profiler,
+    jobs: Iterable[MeasureJob],
+    workers: Optional[int] = None,
+    disk_cache=None,
+    stats: Optional[MeasurementStats] = None,
+) -> List[MeasuredRun]:
+    """Measure every job, in job order, as cheaply as possible.
+
+    Parameters
+    ----------
+    profiler:
+        The parent profiler whose caches are consulted first and into
+        which every freshly executed result is merged.
+    jobs:
+        ``(params, schedule)`` pairs; ``schedule=None`` means exact.
+    workers:
+        ``None``/``0``/``1`` measures serially in-process (identical to
+        a plain ``profiler.measure`` loop); ``>1`` fans unique cache
+        misses out to that many worker processes.
+    disk_cache:
+        Optional :class:`repro.eval.cache.DiskCache`-like object
+        (``get_run``/``put_run``).  Hits produce slim runs; fresh
+        executions are written through.
+    stats:
+        Optional :class:`MeasurementStats` receiving hit/execution
+        counters, batch wall-clock, and slowest-job timings.
+
+    Returns the measured runs aligned with ``jobs``.  Results are
+    deterministic and independent of ``workers``.
+    """
+    job_list = list(jobs)
+    started = time.perf_counter()
+    results: List[Optional[MeasuredRun]] = [None] * len(job_list)
+    #: unique cache-missing configurations, in first-seen order
+    pending: Dict[Tuple, MeasureJob] = {}
+    pending_indices: Dict[Tuple, List[int]] = {}
+    #: configurations already answered this batch (e.g. a disk hit that
+    #: a later duplicate job should reuse as a memory hit)
+    resolved: Dict[Tuple, MeasuredRun] = {}
+
+    for index, (params, schedule) in enumerate(job_list):
+        if schedule is None or schedule.is_exact:
+            executions_before = profiler.executions
+            run = profiler.measure(params, schedule)
+            if stats is not None:
+                if profiler.executions > executions_before:
+                    stats.record_execution(_job_label(profiler, params, schedule))
+                else:
+                    stats.record_memory_hit()
+            results[index] = run
+            continue
+        key = profiler.measured_key(params, schedule)
+        if key in pending:
+            pending_indices[key].append(index)
+            continue
+        if key in resolved:
+            if stats is not None:
+                stats.record_memory_hit()
+            results[index] = resolved[key]
+            continue
+        cached = profiler.peek(params, schedule)
+        if cached is not None:
+            if stats is not None:
+                stats.record_memory_hit()
+            results[index] = resolved[key] = cached
+            continue
+        if disk_cache is not None:
+            hit = disk_cache.get_run(profiler, params, schedule)
+            if hit is not None:
+                if stats is not None:
+                    stats.record_disk_hit()
+                results[index] = resolved[key] = hit
+                continue
+        pending[key] = (params, schedule)
+        pending_indices[key] = [index]
+
+    if pending:
+        unique = list(pending.items())
+        effective = int(workers or 1)
+        if effective <= 1 or len(unique) == 1:
+            timed = []
+            for _, (params, schedule) in unique:
+                job_started = time.perf_counter()
+                run = profiler.measure(params, schedule)
+                timed.append((run, time.perf_counter() - job_started))
+        else:
+            app_name = profiler.app.name
+            tasks = [
+                (app_name, params, schedule) for _, (params, schedule) in unique
+            ]
+            pool_workers = min(effective, len(unique))
+            chunksize = max(1, len(unique) // (pool_workers * 4))
+            with ProcessPoolExecutor(
+                max_workers=pool_workers, mp_context=_pool_context()
+            ) as pool:
+                timed = list(pool.map(_measure_one, tasks, chunksize=chunksize))
+            for (_, (params, schedule)), (run, _) in zip(unique, timed):
+                profiler.store(params, schedule, run)
+                # Keep the execution counter meaningful: each unique job
+                # cost one real execution, just in another process.
+                profiler.executions += 1
+        for (key, (params, schedule)), (run, seconds) in zip(unique, timed):
+            if stats is not None:
+                stats.record_execution(_job_label(profiler, params, schedule), seconds)
+            if disk_cache is not None:
+                disk_cache.put_run(profiler, params, schedule, run)
+            for index in pending_indices[key]:
+                results[index] = run
+
+    if stats is not None:
+        stats.record_batch(time.perf_counter() - started)
+    return results  # type: ignore[return-value]

@@ -1,0 +1,134 @@
+"""Measurement observability: counters and reports for batch sweeps.
+
+Every layer that issues measurements (the batch engine, the training
+sampler, the oracle, the CLI) can thread a :class:`MeasurementStats`
+through and get a uniform accounting of where runs came from —
+fresh executions vs. in-memory cache hits vs. disk cache hits — plus
+per-batch wall-clock and the slowest individual jobs.  The structured
+:meth:`MeasurementStats.report` feeds the overhead benchmarks; the
+:meth:`MeasurementStats.format_report` text feeds the CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["JobTiming", "MeasurementStats"]
+
+
+@dataclass(frozen=True)
+class JobTiming:
+    """Wall-clock of one executed measurement job."""
+
+    label: str
+    seconds: float
+
+
+@dataclass
+class MeasurementStats:
+    """Counters for a measurement campaign (batches, hits, executions)."""
+
+    #: actual application executions performed (per unique configuration)
+    executions: int = 0
+    #: measurements answered from a profiler's in-memory caches
+    memory_hits: int = 0
+    #: measurements answered from the scalar disk cache
+    disk_hits: int = 0
+    #: number of measure_batch calls accounted here
+    batches: int = 0
+    #: total wall-clock spent inside batches
+    wall_seconds: float = 0.0
+    #: corrupt cache lines skipped while loading disk caches
+    corrupt_lines_skipped: int = 0
+    #: how many of the slowest jobs to retain
+    max_slowest: int = 5
+    _slowest: List[JobTiming] = field(default_factory=list, repr=False)
+
+    # -- recording -----------------------------------------------------------
+
+    def record_execution(self, label: str = "", seconds: float = 0.0) -> None:
+        self.executions += 1
+        if seconds > 0.0:
+            self._slowest.append(JobTiming(label, seconds))
+            self._slowest.sort(key=lambda timing: -timing.seconds)
+            del self._slowest[self.max_slowest :]
+
+    def record_memory_hit(self, count: int = 1) -> None:
+        self.memory_hits += count
+
+    def record_disk_hit(self, count: int = 1) -> None:
+        self.disk_hits += count
+
+    def record_batch(self, wall_seconds: float) -> None:
+        self.batches += 1
+        self.wall_seconds += wall_seconds
+
+    def merge(self, other: "MeasurementStats") -> None:
+        """Fold another campaign's counters into this one."""
+        self.executions += other.executions
+        self.memory_hits += other.memory_hits
+        self.disk_hits += other.disk_hits
+        self.batches += other.batches
+        self.wall_seconds += other.wall_seconds
+        self.corrupt_lines_skipped += other.corrupt_lines_skipped
+        self._slowest.extend(other._slowest)
+        self._slowest.sort(key=lambda timing: -timing.seconds)
+        del self._slowest[self.max_slowest :]
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def total_measurements(self) -> int:
+        return self.executions + self.memory_hits + self.disk_hits
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of measurements served without executing (0 when idle)."""
+        total = self.total_measurements
+        if total == 0:
+            return 0.0
+        return (self.memory_hits + self.disk_hits) / total
+
+    @property
+    def slowest_jobs(self) -> List[JobTiming]:
+        return list(self._slowest)
+
+    def report(self) -> Dict[str, object]:
+        """Structured summary (used by the overhead benchmarks)."""
+        return {
+            "executions": self.executions,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "total_measurements": self.total_measurements,
+            "cache_hit_rate": self.cache_hit_rate,
+            "batches": self.batches,
+            "wall_seconds": self.wall_seconds,
+            "corrupt_lines_skipped": self.corrupt_lines_skipped,
+            "slowest_jobs": [
+                {"label": timing.label, "seconds": timing.seconds}
+                for timing in self._slowest
+            ],
+        }
+
+    def format_report(self, title: str = "measurement stats") -> str:
+        """Readable multi-line report (used by the CLI)."""
+        lines = [
+            title,
+            f"  measurements: {self.total_measurements} "
+            f"({self.executions} executed, {self.memory_hits} memory hits, "
+            f"{self.disk_hits} disk hits; "
+            f"hit rate {self.cache_hit_rate * 100.0:.1f}%)",
+            f"  batches:      {self.batches} "
+            f"({self.wall_seconds:.2f}s wall-clock)",
+        ]
+        if self.corrupt_lines_skipped:
+            lines.append(
+                f"  cache repair: skipped {self.corrupt_lines_skipped} "
+                f"corrupt line(s)"
+            )
+        if self._slowest:
+            lines.append("  slowest jobs:")
+            for timing in self._slowest:
+                lines.append(f"    {timing.seconds * 1e3:8.1f} ms  {timing.label}")
+        return "\n".join(lines)

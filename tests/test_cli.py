@@ -113,3 +113,36 @@ class TestOracleCommand:
         assert code == 0
         out = capsys.readouterr().out
         assert "configurations tried: 8" in out
+        assert "measurement stats:" in out
+
+    def test_oracle_with_workers_and_cache(self, capsys, tmp_path):
+        argv = [
+            "oracle", "--app", "pso", "--budget", "30", "--level-stride", "5",
+            "--param", "swarm_size=24", "--param", "dimension=4",
+            "--workers", "2", "--cache", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "configurations tried: 8" in first
+        # the second invocation answers from the disk cache
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "7 disk hits" in second
+
+
+class TestCacheStatsCommand:
+    def test_reports_and_compacts(self, capsys, tmp_path):
+        main(
+            ["oracle", "--app", "pso", "--budget", "30", "--level-stride", "5",
+             "--param", "swarm_size=24", "--param", "dimension=4",
+             "--cache", str(tmp_path)]
+        )
+        capsys.readouterr()
+        assert main(["cache-stats", "--cache", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries:       7" in out
+        assert "shard files:   1" in out
+        assert main(["cache-stats", "--cache", str(tmp_path), "--compact"]) == 0
+        out = capsys.readouterr().out
+        assert "shard files:   0" in out
+        assert "compactions:   1" in out

@@ -1,0 +1,263 @@
+"""Tests for the batch-measurement engine and the hardened disk cache."""
+
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.approx.knobs import ApproximableBlock, Technique
+from repro.approx.schedule import ApproxSchedule
+from repro.apps import make_app
+from repro.core.sampling import TrainingSampler
+from repro.eval.cache import DiskCache, measure_cached
+from repro.instrument.energy import EnergyModel
+from repro.instrument.harness import ExecutionRecord, Profiler, SlimRecordError
+from repro.instrument.parallel import measure_batch
+from repro.instrument.stats import MeasurementStats
+
+from tests.conftest import profiler_for, smallest_params
+
+
+def _record(work_by_iteration, is_slim=False):
+    return ExecutionRecord(
+        app_name="t",
+        params={},
+        output=np.empty(0),
+        iterations=len(work_by_iteration),
+        total_work=float(sum(work_by_iteration)) if not is_slim else float("nan"),
+        work_by_block={},
+        work_by_iteration=tuple(work_by_iteration),
+        signature="",
+        is_slim=is_slim,
+    )
+
+
+class TestWorkByPhase:
+    def test_matches_bruteforce_assignment(self):
+        work = [float(i + 1) for i in range(17)]
+        record = _record(work)
+        boundaries = (0, 4, 9, 15)
+        expected = [0.0] * len(boundaries)
+        for iteration, units in enumerate(work):
+            phase = max(
+                p for p, start in enumerate(boundaries) if iteration >= start
+            )
+            expected[phase] += units
+        assert record.work_by_phase(boundaries) == pytest.approx(tuple(expected))
+
+    def test_totals_sum_to_total_work(self):
+        record = _record([2.0, 3.0, 5.0, 7.0])
+        assert sum(record.work_by_phase((0, 2))) == pytest.approx(17.0)
+
+    def test_empty_boundaries_raise(self):
+        with pytest.raises(ValueError, match="at least one phase"):
+            _record([1.0]).work_by_phase(())
+
+    def test_unsorted_boundaries_raise(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            _record([1.0, 2.0]).work_by_phase((3, 1))
+
+    def test_slim_record_raises_instead_of_zeros(self):
+        slim = _record([], is_slim=True)
+        with pytest.raises(SlimRecordError, match="not persisted"):
+            slim.work_by_phase((0,))
+
+    def test_slim_record_rejected_by_energy_model(self):
+        slim = _record([], is_slim=True)
+        with pytest.raises(SlimRecordError):
+            EnergyModel().report(slim)
+
+
+class _TinyApp:
+    """Just enough Application surface for the level-vector generators."""
+
+    name = "tiny"
+    blocks = (ApproximableBlock("only", Technique.PERFORATION, 2),)
+
+
+class TestJointLevelVectors:
+    def test_shortfall_warns_and_dedupes(self):
+        sampler = TrainingSampler.__new__(TrainingSampler)
+        sampler.app = _TinyApp()
+        sampler._rng = np.random.default_rng(0)
+        # the whole non-zero joint space is {only:1}, {only:2}
+        with pytest.warns(RuntimeWarning, match="shortfall 3"):
+            vectors = sampler.joint_level_vectors(5)
+        keys = [tuple(sorted(v.items())) for v in vectors]
+        assert len(keys) == len(set(keys)) == 2
+
+    def test_large_space_returns_requested_distinct_count(self):
+        app = make_app("pso")
+        sampler = TrainingSampler(app, profiler_for("pso"), n_phases=2, seed=3)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            vectors = sampler.joint_level_vectors(10)
+        keys = [tuple(sorted(v.items())) for v in vectors]
+        assert len(keys) == 10
+        assert len(set(keys)) == 10
+
+
+def _pso_schedule(profiler, params, levels):
+    app = profiler.app
+    plan = app.make_plan(params, 1)
+    return ApproxSchedule.uniform(app.blocks, plan, levels)
+
+
+class TestDiskCacheHardened:
+    def _seed_cache(self, tmp_path):
+        profiler = profiler_for("pso")
+        params = smallest_params(profiler.app)
+        schedule = _pso_schedule(profiler, params, {"fitness_eval": 2})
+        cache = DiskCache(tmp_path)
+        run = measure_cached(profiler, params, schedule, cache)
+        return profiler, params, schedule, run
+
+    def test_corrupt_trailing_line_is_skipped_with_warning(self, tmp_path):
+        profiler, params, schedule, run = self._seed_cache(tmp_path)
+        # simulate a writer killed mid-append: garbage + truncated JSON
+        shard = next(tmp_path.glob("measurements-*.shard-*.jsonl"))
+        with shard.open("ab") as handle:
+            handle.write(b'\x00\xffgarbage\n{"key": "trunc')
+        fresh = DiskCache(tmp_path)
+        with pytest.warns(RuntimeWarning, match="corrupt cache line"):
+            hit = fresh.get(DiskCache.key_for("pso", params, schedule))
+        assert hit is not None
+        assert hit["speedup"] == pytest.approx(run.speedup)
+        assert fresh.corrupt_lines_skipped == 2
+
+    def test_corruption_triggers_compaction(self, tmp_path):
+        profiler, params, schedule, run = self._seed_cache(tmp_path)
+        shard = next(tmp_path.glob("measurements-*.shard-*.jsonl"))
+        with shard.open("ab") as handle:
+            handle.write(b"not json at all\n")
+        fresh = DiskCache(tmp_path)
+        with pytest.warns(RuntimeWarning):
+            fresh.get("no-such-key")
+        assert fresh.compactions == 1
+        # shards were absorbed into a clean base file
+        assert not list(tmp_path.glob("measurements-*.shard-*.jsonl"))
+        base = next(tmp_path.glob("measurements-*.jsonl"))
+        lines = [line for line in base.read_text().splitlines() if line]
+        assert all(json.loads(line)["key"] for line in lines)
+        # and a re-load finds everything without warnings
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            again = DiskCache(tmp_path)
+            assert again.get(DiskCache.key_for("pso", params, schedule))
+
+    def test_shard_merge_across_writers(self, tmp_path):
+        profiler = profiler_for("pso")
+        params = smallest_params(profiler.app)
+        sched_a = _pso_schedule(profiler, params, {"fitness_eval": 1})
+        sched_b = _pso_schedule(profiler, params, {"fitness_eval": 3})
+        # two independent writer instances — each appends to its own shard
+        writer_a, writer_b = DiskCache(tmp_path), DiskCache(tmp_path)
+        measure_cached(profiler, params, sched_a, writer_a)
+        measure_cached(profiler, params, sched_b, writer_b)
+        assert len(list(tmp_path.glob("measurements-*.shard-*.jsonl"))) == 2
+        reader = DiskCache(tmp_path)
+        assert reader.get(DiskCache.key_for("pso", params, sched_a))
+        assert reader.get(DiskCache.key_for("pso", params, sched_b))
+        assert reader.stats()["entries"] == 2
+
+    def test_explicit_compact_absorbs_shards(self, tmp_path):
+        self._seed_cache(tmp_path)
+        cache = DiskCache(tmp_path)
+        cache.compact()
+        assert not list(tmp_path.glob("measurements-*.shard-*.jsonl"))
+        assert DiskCache(tmp_path).stats()["entries"] == 1
+
+    def test_disk_hit_is_slim_and_refuses_work_queries(self, tmp_path):
+        profiler, params, schedule, _ = self._seed_cache(tmp_path)
+        hit = measure_cached(profiler, params, schedule, DiskCache(tmp_path))
+        assert hit.record.is_slim
+        with pytest.raises(SlimRecordError):
+            hit.record.work_by_phase((0,))
+        with pytest.raises(ValueError):
+            profiler.store(params, schedule, hit)
+
+
+class TestMeasureBatch:
+    def _jobs(self, profiler, params):
+        return [
+            (params, None),
+            (params, _pso_schedule(profiler, params, {"fitness_eval": 2})),
+            (params, _pso_schedule(profiler, params, {"velocity_update": 1})),
+            # duplicate of an earlier job — must resolve to the same run
+            (params, _pso_schedule(profiler, params, {"fitness_eval": 2})),
+        ]
+
+    def test_matches_serial_measure_in_order(self):
+        serial = Profiler(make_app("pso"))
+        params = smallest_params(serial.app)
+        jobs = self._jobs(serial, params)
+        expected = [serial.measure(p, s) for p, s in jobs]
+        batched = Profiler(make_app("pso"))
+        results = measure_batch(batched, jobs)
+        for want, got in zip(expected, results):
+            assert got.speedup == want.speedup
+            assert got.qos_value == want.qos_value
+            assert got.record.work_by_iteration == want.record.work_by_iteration
+        assert results[1] is results[3]
+
+    def test_memory_hits_counted_on_second_batch(self):
+        profiler = Profiler(make_app("pso"))
+        params = smallest_params(profiler.app)
+        jobs = self._jobs(profiler, params)
+        first = MeasurementStats()
+        measure_batch(profiler, jobs, stats=first)
+        assert first.executions > 0
+        second = MeasurementStats()
+        measure_batch(profiler, jobs, stats=second)
+        assert second.executions == 0
+        assert second.memory_hits == len(jobs)
+        assert second.cache_hit_rate == 1.0
+
+    def test_disk_write_through_feeds_fresh_profiler(self, tmp_path):
+        profiler = Profiler(make_app("pso"))
+        params = smallest_params(profiler.app)
+        jobs = self._jobs(profiler, params)[1:]  # approximate jobs only
+        measure_batch(profiler, jobs, disk_cache=DiskCache(tmp_path))
+        fresh = Profiler(make_app("pso"))
+        stats = MeasurementStats()
+        runs = measure_batch(
+            fresh, jobs, disk_cache=DiskCache(tmp_path), stats=stats
+        )
+        assert stats.executions == 0
+        assert stats.disk_hits == 2  # two unique configurations
+        assert all(run.record.is_slim for run in runs)
+
+    def test_parallel_workers_match_serial(self):
+        serial = Profiler(make_app("pso"))
+        params = smallest_params(serial.app)
+        jobs = self._jobs(serial, params)
+        expected = [serial.measure(p, s) for p, s in jobs]
+        batched = Profiler(make_app("pso"))
+        results = measure_batch(batched, jobs, workers=2)
+        for want, got in zip(expected, results):
+            assert got.speedup == want.speedup
+            assert got.qos_value == want.qos_value
+        # worker executions are merged back into the parent's cache
+        assert batched.cache_sizes()[1] == 2
+        assert batched.executions >= 2
+
+
+class TestSerialParallelEquality:
+    """Acceptance: workers>1 produces identical TrainingSample lists."""
+
+    @pytest.mark.parametrize("app_name", ["pso", "lulesh"])
+    def test_training_sweep_identical(self, app_name):
+        def sweep(workers):
+            app = make_app(app_name)
+            profiler = Profiler(app)
+            sampler = TrainingSampler(
+                app, profiler, n_phases=2, joint_samples_per_phase=3, seed=0
+            )
+            params = smallest_params(app)
+            return sampler.collect([params], workers=workers)
+
+        serial = sweep(None)
+        parallel = sweep(2)
+        assert serial == parallel
+        assert len(serial) > 0

@@ -1,6 +1,6 @@
 # Convenience targets for the OPPROX reproduction.
 
-.PHONY: install test verify bench figures examples clean
+.PHONY: install test verify serve-smoke bench figures examples clean
 
 install:
 	pip install -e .
@@ -9,13 +9,26 @@ test:
 	pytest tests/ -q
 
 # The per-PR gate: the tier-1 suite plus a smoke of the parallel
-# measurement path (worker processes + disk cache + cache-stats report).
+# measurement path (worker processes + disk cache + cache-stats report)
+# and of the serving subsystem (train -> serve a mixed request load).
 verify:
 	PYTHONPATH=src python -m pytest -x -q
 	PYTHONPATH=src python -m repro oracle --app pso --budget 10 \
 		--level-stride 2 --workers 2 --cache .verify-cache
 	PYTHONPATH=src python -m repro cache-stats --cache .verify-cache --compact
 	rm -rf .verify-cache
+	$(MAKE) serve-smoke
+
+# Serving-path smoke: train a small model, start the engine in-process,
+# fire 50 mixed requests from 4 clients, and fail unless there were zero
+# errors, zero degraded responses, and a nonzero cache hit-rate.
+serve-smoke:
+	rm -rf .serve-smoke-models
+	PYTHONPATH=src python -m repro train --app pso --phases 2 --inputs 2 \
+		--joint-samples 6 --store .serve-smoke-models
+	PYTHONPATH=src python -m repro serve --store .serve-smoke-models \
+		--requests 50 --clients 4 --smoke
+	rm -rf .serve-smoke-models
 
 bench:
 	pytest benchmarks/ --benchmark-only -q

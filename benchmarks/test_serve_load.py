@@ -1,0 +1,123 @@
+"""Serving-engine load benchmark — emits BENCH_serve.json.
+
+Closed-loop replay of a Zipf-skewed request mix against the serve
+subsystem, with the paper's one-shot runtime (`submit_job`) as the cold
+baseline.  Three legs:
+
+1. **cold** — a fresh `submit_job` (model unpickle + optimize + measured
+   launch), the per-request cost the paper's deployment pays every time.
+2. **warm** — the skewed mix through the engine; the LRU schedule cache
+   plus in-flight coalescing should put cache-hit latency >= 100x below
+   the cold path while staying bit-identical to direct optimization.
+3. **degraded** — the model file is killed mid-benchmark; every
+   subsequent request must fall back to the accurate schedule with the
+   ``degraded`` flag, and no exception may escape the engine.
+
+The combined report (throughput, hit-rate, p50/p95/p99 per leg) is
+written to ``BENCH_serve.json`` in the repository root.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.apps import make_app
+from repro.core.opprox import Opprox
+from repro.core.runtime import ModelStore, submit_job
+from repro.core.spec import AccuracySpec
+from repro.serve import ModelRegistry, ServeEngine, build_request_mix, run_load
+
+from benchmarks.conftest import run_once
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+
+def _train_store(root: Path) -> ModelStore:
+    app = make_app("pso")
+    opprox = Opprox(
+        app,
+        AccuracySpec.for_app(app, max_inputs=2),
+        n_phases=2,
+        joint_samples_per_phase=6,
+        confidence_p=0.9,
+    )
+    opprox.train()
+    store = ModelStore(root)
+    store.save(opprox, train_timestamp=time.time())
+    return store
+
+
+def serve_load_experiment(root: Path) -> dict:
+    store = _train_store(root)
+    registry = ModelRegistry(store)
+    engine = ServeEngine(registry, cache_size=128)
+
+    # Leg 1: the paper's one-shot runtime, fully cold (fresh unpickle,
+    # fresh profiler caches inside the loaded instance).
+    app = make_app("pso")
+    cold = submit_job(store, "pso", app.default_params(), 10.0)
+
+    # Leg 2: skewed warm traffic from 8 closed-loop clients.
+    mix = build_request_mix(
+        ["pso"], budgets=[5.0, 10.0, 20.0], n_requests=300, seed=0, skew=1.2
+    )
+    warm = run_load(engine, mix, clients=8)
+
+    # Leg 3: kill the model file mid-benchmark and replay more traffic.
+    store.path_for("pso").unlink()
+    degraded_mix = build_request_mix(
+        ["pso"], budgets=[5.0, 10.0, 20.0], n_requests=60, seed=1,
+    )
+    degraded = run_load(engine, degraded_mix, clients=8, collect_responses=True)
+    responses = degraded.pop("responses")
+
+    report = {
+        "app": "pso",
+        "cold_submit_seconds": cold.submit_seconds,
+        "warm": warm,
+        "degraded_leg": degraded,
+        "all_degraded_flagged": all(r is not None and r.degraded for r in responses),
+        "warm_speedup_vs_cold": (
+            cold.submit_seconds / warm["hit_latency"]["p50_seconds"]
+            if warm["hit_latency"]["p50_seconds"] > 0
+            else float("inf")
+        ),
+        "engine_stats": engine.stats.report(),
+        "registry": {"loads": registry.loads, "reloads": registry.reloads},
+    }
+    BENCH_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
+def test_serve_load(benchmark, tmp_path):
+    report = run_once(benchmark, serve_load_experiment, tmp_path / "models")
+    warm = report["warm"]
+    degraded = report["degraded_leg"]
+
+    print(f"cold submit_job:      {report['cold_submit_seconds'] * 1e3:.1f} ms")
+    print(f"warm hit p50/p95/p99: "
+          f"{warm['hit_latency']['p50_seconds'] * 1e6:.1f} / "
+          f"{warm['hit_latency']['p95_seconds'] * 1e6:.1f} / "
+          f"{warm['hit_latency']['p99_seconds'] * 1e6:.1f} us")
+    print(f"warm throughput:      {warm['throughput_rps']:.0f} req/s "
+          f"(hit rate {warm['hit_rate'] * 100.0:.1f}%)")
+    print(f"warm vs cold:         {report['warm_speedup_vs_cold']:.0f}x")
+    print(f"degraded leg:         {degraded['degraded']}/{degraded['n_requests']} "
+          f"degraded, {len(degraded['errors'])} errors")
+    print(f"report: {BENCH_PATH}")
+
+    # The serving acceptance contract.
+    assert warm["errors"] == [] and degraded["errors"] == []
+    assert warm["degraded"] == 0
+    assert warm["hit_rate"] > 0.5  # the skewed mix must actually hit
+    assert warm["throughput_rps"] > 0.0
+    # Warm (cache-hit) latency at least 100x below a cold submit_job.
+    assert report["warm_speedup_vs_cold"] >= 100.0
+    # Killing the model degrades every subsequent request, gracefully.
+    assert degraded["degraded"] == degraded["n_requests"]
+    assert report["all_degraded_flagged"]
+    # The report file records the required series.
+    persisted = json.loads(BENCH_PATH.read_text())
+    for key in ("p50_seconds", "p95_seconds", "p99_seconds"):
+        assert key in persisted["warm"]["hit_latency"]
+    assert persisted["warm"]["hit_rate"] == warm["hit_rate"]

@@ -155,12 +155,18 @@ class ApproxSchedule:
         )
 
     def key(self) -> Tuple:
-        """Hashable identity used by the measurement cache."""
+        """Hashable identity used by the measurement cache.
+
+        Level-0 entries are dropped: an explicit level 0 and an omitted
+        block both mean "run exactly", so schedules that differ only in
+        that spelling share one identity (and one cache entry).
+        """
         return (
             self.plan.nominal_iterations,
             self.plan.n_phases,
             tuple(
-                tuple(sorted(phase.items())) for phase in self._settings
+                tuple(item for item in sorted(phase.items()) if item[1] != 0)
+                for phase in self._settings
             ),
         )
 

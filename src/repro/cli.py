@@ -15,6 +15,12 @@ Subcommands::
     python -m repro oracle    --app pso --budget 10 --workers 4
     python -m repro golden    --app pso
     python -m repro cache-stats --cache .opprox-cache
+    python -m repro serve       --store models/ --requests 50 --clients 4
+    python -m repro serve-bench --store models/ --output BENCH_serve.json
+
+``serve`` and ``serve-bench`` drive the :mod:`repro.serve` subsystem: a
+hot-reloading model registry plus a concurrent request engine with an
+LRU schedule cache, fed by a deterministic skewed request mix.
 
 Parameters default to each application's representative midpoint and can
 be overridden with repeated ``--param name=value`` flags.  Measurement
@@ -28,6 +34,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
@@ -143,6 +150,38 @@ def build_parser() -> argparse.ArgumentParser:
     cache_stats.add_argument("--compact", action="store_true",
                              help="merge all shard files into the base file")
 
+    def add_serve_args(p):
+        p.add_argument("--store", default="models", help="model-store directory")
+        p.add_argument("--app", action="append", choices=ALL_APPLICATIONS,
+                       help="serve only these apps (default: all in the store)")
+        p.add_argument("--budgets", default="5,10,20",
+                       help="comma-separated error budgets in the mix")
+        p.add_argument("--requests", type=int, default=50,
+                       help="requests to replay through the engine")
+        p.add_argument("--clients", type=int, default=4,
+                       help="closed-loop client threads")
+        p.add_argument("--cache-size", type=int, default=256,
+                       help="bounded LRU schedule-cache capacity")
+        p.add_argument("--seed", type=int, default=0,
+                       help="request-mix seed (the mix is deterministic)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="in-process serving engine: replay a request mix, print stats",
+    )
+    add_serve_args(serve)
+    serve.add_argument("--smoke", action="store_true",
+                       help="exit nonzero unless zero errors, zero degraded "
+                            "responses, and a nonzero cache hit-rate")
+
+    serve_bench = sub.add_parser(
+        "serve-bench",
+        help="serving load benchmark: cold submit_job baseline vs warm engine",
+    )
+    add_serve_args(serve_bench)
+    serve_bench.add_argument("--output", default="BENCH_serve.json",
+                             metavar="FILE", help="write the JSON report here")
+
     return parser
 
 
@@ -197,7 +236,7 @@ def _cmd_train(args) -> int:
     )
     report = opprox.train()
     store = ModelStore(Path(args.store))
-    path = store.save(opprox)
+    path = store.save(opprox, train_timestamp=time.time())
     print(f"trained {app.name}: {report.n_samples} samples, "
           f"{report.n_phases} phases, {report.n_control_flows} control flow(s), "
           f"{report.training_seconds:.1f}s")
@@ -288,6 +327,110 @@ def _cmd_cache_stats(args) -> int:
     return 0
 
 
+def _parse_budgets(raw: str) -> List[float]:
+    try:
+        budgets = [float(item) for item in raw.split(",") if item.strip()]
+    except ValueError:
+        raise SystemExit(f"--budgets expects comma-separated numbers, got {raw!r}")
+    if not budgets:
+        raise SystemExit("--budgets must name at least one budget")
+    return budgets
+
+
+def _serve_setup(args):
+    """Shared serve/serve-bench wiring: registry, engine, request mix."""
+    from repro.serve import ModelRegistry, ServeEngine, build_request_mix
+
+    registry = ModelRegistry(ModelStore(Path(args.store)))
+    available = registry.available()
+    app_names = args.app or sorted(available)
+    if not app_names:
+        raise SystemExit(
+            f"model store {args.store!r} holds no trained models; "
+            f"run `repro train` first"
+        )
+    engine = ServeEngine(registry, cache_size=args.cache_size)
+    mix = build_request_mix(
+        app_names, _parse_budgets(args.budgets), args.requests, seed=args.seed
+    )
+    return registry, engine, mix, available
+
+
+def _print_registry_listing(available) -> None:
+    print("registry:")
+    for app_name, metadata in sorted(available.items()):
+        if "error" in metadata:
+            print(f"  {app_name}: UNREADABLE ({metadata['error']})")
+            continue
+        stamp = metadata.get("train_timestamp")
+        trained = (
+            time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(stamp))
+            if isinstance(stamp, (int, float))
+            else "unknown"
+        )
+        print(f"  {app_name}: format v{metadata.get('format_version')}, "
+              f"{metadata.get('n_phases')} phase(s), trained {trained}")
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve import format_load_report, run_load
+
+    registry, engine, mix, available = _serve_setup(args)
+    _print_registry_listing(available)
+    report = run_load(engine, mix, clients=args.clients)
+    print(format_load_report(report, "serve — load report"))
+    print(engine.stats.format_report("serve — engine stats"))
+    if args.smoke:
+        healthy = (
+            not report["errors"]
+            and report["degraded"] == 0
+            and report["hit_rate"] > 0.0
+        )
+        if not healthy:
+            print("serve smoke FAILED: "
+                  f"errors={report['errors']}, degraded={report['degraded']}, "
+                  f"hit_rate={report['hit_rate']:.3f}")
+            return 4
+        print("serve smoke ok")
+    return 0
+
+
+def _cmd_serve_bench(args) -> int:
+    import json
+
+    from repro.core.runtime import submit_job
+    from repro.serve import format_load_report, run_load
+
+    registry, engine, mix, available = _serve_setup(args)
+    _print_registry_listing(available)
+
+    # Cold baseline: the paper's one-shot runtime script (fresh model
+    # load + optimize + measured launch) for the mix's first request.
+    store = ModelStore(Path(args.store))
+    cold = submit_job(
+        store, mix[0].app_name, mix[0].params, mix[0].error_budget
+    )
+    report = run_load(engine, mix, clients=args.clients)
+    warm_p50 = report["hit_latency"]["p50_seconds"]
+    report["cold_submit_seconds"] = cold.submit_seconds
+    report["warm_speedup_vs_cold"] = (
+        cold.submit_seconds / warm_p50 if warm_p50 > 0 else float("inf")
+    )
+    report["engine_stats"] = engine.stats.report()
+    report["registry"] = {"loads": registry.loads, "reloads": registry.reloads}
+    report["apps"] = args.app or sorted(available)
+    report["budgets"] = _parse_budgets(args.budgets)
+
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(format_load_report(report, "serve-bench — load report"))
+    print(f"cold submit_job: {cold.submit_seconds * 1e3:.1f} ms; "
+          f"warm p50 {warm_p50 * 1e6:.1f} us "
+          f"({report['warm_speedup_vs_cold']:.0f}x)")
+    print(f"report written to {output}")
+    return 0
+
+
 def _cmd_evaluate(args) -> int:
     from repro.eval.experiments import BUDGET_LEVELS, fig14_opprox_vs_oracle
     from repro.eval.reporting import format_table
@@ -335,6 +478,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "oracle": lambda: _cmd_oracle(args),
         "evaluate": lambda: _cmd_evaluate(args),
         "cache-stats": lambda: _cmd_cache_stats(args),
+        "serve": lambda: _cmd_serve(args),
+        "serve-bench": lambda: _cmd_serve_bench(args),
     }
     return handlers[args.command]()
 

@@ -6,72 +6,266 @@ settings for the configured error budget, and passes them to the job
 through environment variables before invoking the SLURM scheduler.
 This module reproduces that flow with an in-process "scheduler": the
 environment-variable encoding is identical, only the launcher differs.
+
+On top of the paper's raw pickles, :class:`ModelStore` writes a small
+plain-text header in front of every payload (format version, app name,
+train timestamp) so that consumers — most importantly the serving
+registry in :mod:`repro.serve` — can detect incompatible or corrupt
+blobs *before* unpickling and fail with :class:`ModelFormatError`
+instead of an arbitrary unpickling exception.
 """
 
 from __future__ import annotations
 
+import json
 import pickle
+import re
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, Mapping, Optional, Sequence, Union
 
 from repro.apps.base import ParamsDict
+from repro.approx.knobs import ApproximableBlock
+from repro.approx.schedule import ApproxSchedule, PhasePlan
 from repro.core.opprox import Opprox, OptimizationResult
 from repro.instrument.harness import MeasuredRun
 
-__all__ = ["JobLaunch", "ModelStore", "schedule_to_env", "submit_job"]
+__all__ = [
+    "JobLaunch",
+    "MODEL_FORMAT_VERSION",
+    "ModelFormatError",
+    "ModelStore",
+    "env_to_schedule",
+    "schedule_to_env",
+    "submit_job",
+]
+
+#: first line of every stored model file; anything else is not ours
+MODEL_MAGIC = b"#OPPROX-MODEL\n"
+#: bump when the pickled payload's layout changes incompatibly
+MODEL_FORMAT_VERSION = 1
+
+_STORE_SUFFIX = ".opprox.pkl"
 
 
-def schedule_to_env(result: OptimizationResult) -> Dict[str, str]:
+class ModelFormatError(RuntimeError):
+    """A stored model blob is missing, corrupt, or incompatible.
+
+    Raised by :meth:`ModelStore.load` / :meth:`ModelStore.read_metadata`
+    before (or instead of) unpickling, so callers get one clear error
+    type for "this file cannot be served" rather than whatever
+    :mod:`pickle` happens to throw on foreign bytes.
+    """
+
+
+def schedule_to_env(
+    result: Union[OptimizationResult, ApproxSchedule],
+) -> Dict[str, str]:
     """Encode a phase schedule as environment variables.
 
     One variable per (phase, block): ``OPPROX_P<phase>_<BLOCK>=<level>``,
     the paper's mechanism for passing phase-specific approximation
-    settings to the job.
+    settings to the job.  Accepts either an :class:`OptimizationResult`
+    or a bare :class:`ApproxSchedule`.
     """
+    schedule = getattr(result, "schedule", result)
     env: Dict[str, str] = {
-        "OPPROX_NUM_PHASES": str(result.schedule.plan.n_phases),
+        "OPPROX_NUM_PHASES": str(schedule.plan.n_phases),
     }
-    for phase in range(result.schedule.plan.n_phases):
-        for name, level in result.schedule.phase_levels(phase).items():
+    for phase in range(schedule.plan.n_phases):
+        for name, level in schedule.phase_levels(phase).items():
             env[f"OPPROX_P{phase}_{name.upper()}"] = str(level)
     return env
 
 
+def env_to_schedule(
+    env: Mapping[str, str],
+    blocks: Sequence[ApproximableBlock],
+    nominal_iterations: int,
+) -> ApproxSchedule:
+    """Decode the :func:`schedule_to_env` encoding back into a schedule.
+
+    This is the job's side of the paper's hand-off: the launched process
+    reads ``OPPROX_*`` variables from its environment and reconstructs
+    the per-phase settings.  ``blocks`` and ``nominal_iterations`` come
+    from the application (the env block intentionally carries only the
+    settings, as in the paper).
+
+    Raises :class:`ValueError` on malformed input: a missing or
+    non-integer ``OPPROX_NUM_PHASES``, a missing per-block variable, a
+    non-integer level, a stray ``OPPROX_P*`` variable that matches no
+    known (phase, block), or — via the :class:`ApproxSchedule`
+    constructor — a level outside a block's range.
+    """
+    raw_phases = env.get("OPPROX_NUM_PHASES")
+    if raw_phases is None:
+        raise ValueError("environment is missing OPPROX_NUM_PHASES")
+    try:
+        n_phases = int(raw_phases)
+    except ValueError:
+        raise ValueError(
+            f"OPPROX_NUM_PHASES must be an integer, got {raw_phases!r}"
+        ) from None
+    if n_phases < 1:
+        raise ValueError(f"OPPROX_NUM_PHASES must be >= 1, got {n_phases}")
+
+    by_upper: Dict[str, str] = {}
+    for block in blocks:
+        upper = block.name.upper()
+        if upper in by_upper:
+            raise ValueError(
+                f"block names {by_upper[upper]!r} and {block.name!r} collide "
+                f"in the case-insensitive env encoding"
+            )
+        by_upper[upper] = block.name
+
+    settings = []
+    expected = set()
+    for phase in range(n_phases):
+        levels: Dict[str, int] = {}
+        for upper, name in by_upper.items():
+            key = f"OPPROX_P{phase}_{upper}"
+            expected.add(key)
+            raw = env.get(key)
+            if raw is None:
+                raise ValueError(f"environment is missing {key}")
+            try:
+                levels[name] = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"{key} must be an integer level, got {raw!r}"
+                ) from None
+        settings.append(levels)
+
+    stray = [
+        key
+        for key in env
+        if re.match(r"OPPROX_P\d+_", key) and key not in expected
+    ]
+    if stray:
+        raise ValueError(
+            f"environment has OPPROX_P* variables matching no known "
+            f"(phase, block): {sorted(stray)}"
+        )
+
+    return ApproxSchedule(
+        blocks,
+        plan=PhasePlan(int(nominal_iterations), n_phases),
+        settings=settings,
+    )
+
+
 class ModelStore:
-    """Pickle-backed storage for trained OPPROX instances."""
+    """Header-validated pickle storage for trained OPPROX instances.
+
+    File layout: one magic line (``#OPPROX-MODEL``), one JSON metadata
+    line (``format_version``, ``app``, ``train_timestamp``), then the
+    pickled :class:`Opprox` payload.  Files that do not start with the
+    magic line — including pre-header legacy pickles — are refused with
+    :class:`ModelFormatError` rather than unpickled blind.
+    """
 
     def __init__(self, root: Path | str):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
 
     def path_for(self, app_name: str) -> Path:
-        return self.root / f"{app_name}.opprox.pkl"
+        return self.root / f"{app_name}{_STORE_SUFFIX}"
 
-    def save(self, opprox: Opprox) -> Path:
-        """Persist a trained optimizer; refuses to store untrained state."""
+    def save(
+        self,
+        opprox: Opprox,
+        train_timestamp: Optional[float] = None,
+    ) -> Path:
+        """Persist a trained optimizer; refuses to store untrained state.
+
+        ``train_timestamp`` is supplied by the caller (the CLI passes
+        ``time.time()`` right after training) and recorded in the header
+        for staleness reporting; it is not read back into the model.
+        """
         if not opprox.is_trained:
             raise ValueError("refusing to store an untrained Opprox instance")
+        header = {
+            "format_version": MODEL_FORMAT_VERSION,
+            "app": opprox.app.name,
+            "train_timestamp": train_timestamp,
+            "n_phases": opprox.n_phases,
+        }
         path = self.path_for(opprox.app.name)
         with path.open("wb") as handle:
+            handle.write(MODEL_MAGIC)
+            handle.write(json.dumps(header, sort_keys=True).encode("utf-8"))
+            handle.write(b"\n")
             pickle.dump(opprox, handle)
         return path
+
+    def read_metadata(self, app_name: str) -> Dict[str, object]:
+        """Parse and validate a stored model's header without unpickling."""
+        path = self.path_for(app_name)
+        if not path.exists():
+            raise FileNotFoundError(f"no stored models for {app_name!r} at {path}")
+        with path.open("rb") as handle:
+            return self._read_header(handle, path, app_name)
 
     def load(self, app_name: str) -> Opprox:
         path = self.path_for(app_name)
         if not path.exists():
             raise FileNotFoundError(f"no stored models for {app_name!r} at {path}")
         with path.open("rb") as handle:
-            opprox = pickle.load(handle)
+            self._read_header(handle, path, app_name)
+            try:
+                opprox = pickle.load(handle)
+            except Exception as exc:
+                raise ModelFormatError(
+                    f"{path}: model payload is corrupt ({exc})"
+                ) from exc
         if not isinstance(opprox, Opprox):
-            raise TypeError(f"{path} does not contain an Opprox instance")
+            raise ModelFormatError(
+                f"{path} does not contain an Opprox instance"
+            )
         return opprox
 
+    def _read_header(
+        self, handle, path: Path, app_name: str
+    ) -> Dict[str, object]:
+        magic = handle.readline()
+        if magic != MODEL_MAGIC:
+            raise ModelFormatError(
+                f"{path}: not an OPPROX model file (bad or missing header "
+                f"magic; legacy headerless pickles must be re-saved)"
+            )
+        raw = handle.readline()
+        try:
+            header = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ModelFormatError(
+                f"{path}: corrupt metadata header ({exc})"
+            ) from exc
+        if not isinstance(header, dict):
+            raise ModelFormatError(f"{path}: metadata header is not an object")
+        version = header.get("format_version")
+        if version != MODEL_FORMAT_VERSION:
+            raise ModelFormatError(
+                f"{path}: format version {version!r} is not supported "
+                f"(expected {MODEL_FORMAT_VERSION})"
+            )
+        if header.get("app") != app_name:
+            raise ModelFormatError(
+                f"{path}: header claims app {header.get('app')!r}, "
+                f"expected {app_name!r}"
+            )
+        return header
+
     def available(self) -> Dict[str, Path]:
+        """Stored app names (headers not validated — see ``read_metadata``).
+
+        App names may themselves contain dots, so only the exact
+        ``.opprox.pkl`` suffix is stripped from the file name.
+        """
         return {
-            path.name.split(".")[0]: path
-            for path in sorted(self.root.glob("*.opprox.pkl"))
+            path.name[: -len(_STORE_SUFFIX)]: path
+            for path in sorted(self.root.glob(f"*{_STORE_SUFFIX}"))
         }
 
 
@@ -89,7 +283,7 @@ class JobLaunch:
 
 
 def submit_job(
-    store: ModelStore,
+    store: "ModelStore",
     app_name: str,
     params: ParamsDict,
     error_budget: float,
@@ -97,9 +291,12 @@ def submit_job(
 ) -> JobLaunch:
     """The runtime script: load models, optimize, "schedule" the job.
 
-    ``opprox`` may be passed directly to skip the pickle round-trip
-    (useful in tests); otherwise it is loaded from the store, exactly
-    like the paper's runtime loads the serialized models.
+    ``store`` is anything with a ``load(app_name) -> Opprox`` method — a
+    plain :class:`ModelStore` or the hot-reloading
+    :class:`repro.serve.registry.ModelRegistry`.  ``opprox`` may be
+    passed directly to skip the pickle round-trip (useful in tests);
+    otherwise it is loaded from the store, exactly like the paper's
+    runtime loads the serialized models.
     """
     started = time.perf_counter()
     if opprox is None:

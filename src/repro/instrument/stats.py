@@ -14,7 +14,84 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-__all__ = ["JobTiming", "MeasurementStats"]
+__all__ = ["JobTiming", "LatencyHistogram", "MeasurementStats"]
+
+
+class LatencyHistogram:
+    """Latency samples with on-demand percentiles (p50/p95/p99).
+
+    Keeps every sample up to ``max_samples``; beyond that the buffer
+    wraps deterministically (sample ``i`` overwrites slot
+    ``i % max_samples``), so ``count``/``total_seconds`` stay exact while
+    percentiles become a uniform approximation over the retained window.
+    Used by the serving engine's per-request observability; callers are
+    responsible for locking (the engine records under its stats lock).
+    """
+
+    def __init__(self, max_samples: int = 65536):
+        if max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
+        self.max_samples = max_samples
+        self.count = 0
+        self.total_seconds = 0.0
+        self.min_seconds = float("inf")
+        self.max_seconds = 0.0
+        self._samples: List[float] = []
+
+    def record(self, seconds: float) -> None:
+        if seconds < 0.0:
+            raise ValueError(f"latency must be non-negative, got {seconds}")
+        if len(self._samples) < self.max_samples:
+            self._samples.append(seconds)
+        else:
+            self._samples[self.count % self.max_samples] = seconds
+        self.count += 1
+        self.total_seconds += seconds
+        self.min_seconds = min(self.min_seconds, seconds)
+        self.max_seconds = max(self.max_seconds, seconds)
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram's samples into this one."""
+        for seconds in other._samples:
+            self.record(seconds)
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile over the retained samples (0 if empty)."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = min(len(ordered) - 1, max(0, int(round(p / 100.0 * (len(ordered) - 1)))))
+        return ordered[rank]
+
+    def report(self) -> Dict[str, float]:
+        """Structured summary (feeds ``BENCH_serve.json``)."""
+        return {
+            "count": self.count,
+            "mean_seconds": self.mean_seconds,
+            "min_seconds": self.min_seconds if self.count else 0.0,
+            "max_seconds": self.max_seconds,
+            "p50_seconds": self.percentile(50.0),
+            "p95_seconds": self.percentile(95.0),
+            "p99_seconds": self.percentile(99.0),
+        }
+
+    def format_line(self, label: str) -> str:
+        """One aligned text line, in the MeasurementStats report style."""
+        if not self.count:
+            return f"  {label}: no samples"
+        return (
+            f"  {label}: n={self.count} "
+            f"p50={self.percentile(50.0) * 1e3:.2f}ms "
+            f"p95={self.percentile(95.0) * 1e3:.2f}ms "
+            f"p99={self.percentile(99.0) * 1e3:.2f}ms "
+            f"max={self.max_seconds * 1e3:.2f}ms"
+        )
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,35 @@
+"""repro.serve — the optimization-serving subsystem.
+
+Turns the offline-trained artifacts of the paper's Sec. 4.2 runtime
+into a long-lived concurrent service:
+
+- :class:`~repro.serve.registry.ModelRegistry` — versioned,
+  header-validated model registry with staleness detection and hot
+  reload over :class:`repro.core.runtime.ModelStore`.
+- :class:`~repro.serve.engine.ServeEngine` — thread-safe request engine
+  with a bounded LRU schedule cache, in-flight request coalescing, and
+  graceful degradation to the accurate schedule.
+- :mod:`~repro.serve.loadgen` — deterministic skewed load generator for
+  the ``serve-bench`` CLI and the load benchmark.
+"""
+
+from repro.serve.engine import ServeEngine, ServeResponse, ServeStats
+from repro.serve.loadgen import (
+    LoadRequest,
+    build_request_mix,
+    format_load_report,
+    run_load,
+)
+from repro.serve.registry import ModelRegistry, RegisteredModel
+
+__all__ = [
+    "LoadRequest",
+    "ModelRegistry",
+    "RegisteredModel",
+    "ServeEngine",
+    "ServeResponse",
+    "ServeStats",
+    "build_request_mix",
+    "format_load_report",
+    "run_load",
+]

@@ -1,0 +1,339 @@
+"""Concurrent optimization-serving engine (the runtime, made a service).
+
+Where :func:`repro.core.runtime.submit_job` reproduces the paper's
+one-shot runtime script — load pickles, optimize, launch — this engine
+turns the same trained artifacts into a long-lived service: many client
+threads submit ``(app, params, error_budget)`` requests and get back the
+phase schedule plus its environment encoding.
+
+Request flow:
+
+1. The request is canonicalized (sorted, float-normalized params) into a
+   cache key.
+2. A bounded LRU **schedule cache** answers repeats without touching the
+   optimizer; every hit re-checks the model file's generation via the
+   registry so schedules die with the model that computed them.
+3. Concurrent identical misses are **coalesced**: one leader runs the
+   optimization, followers wait on its result instead of duplicating it.
+4. Any failure — missing model file, corrupt header, incompatible
+   format, an optimizer exception — **degrades** the response to the
+   accurate (no-approximation) schedule with ``degraded=True`` and a
+   reason string.  No exception escapes :meth:`ServeEngine.submit`.
+
+Per-request observability (hit/miss/coalesced/degraded counters plus
+p50/p95/p99 latency histograms) lives in :class:`ServeStats`, in the
+style of :class:`repro.instrument.stats.MeasurementStats`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple, Union
+
+from repro.apps import make_app
+from repro.apps.base import ParamsDict
+from repro.approx.schedule import ApproxSchedule
+from repro.core.runtime import schedule_to_env
+from repro.instrument.stats import LatencyHistogram
+from repro.serve.registry import Generation, ModelRegistry
+
+__all__ = ["ServeEngine", "ServeResponse", "ServeStats"]
+
+#: canonical request identity: (app, sorted float params, budget)
+RequestKey = Tuple[str, Tuple[Tuple[str, float], ...], float]
+
+
+@dataclass(frozen=True)
+class ServeResponse:
+    """One served optimization decision.
+
+    ``schedule`` is None only in the deepest degraded case (the app name
+    itself is unknown, so not even an accurate schedule can be built);
+    every other path returns a usable schedule, with ``degraded=True``
+    marking the accurate fallback.
+    """
+
+    app_name: str
+    params: Dict[str, float]
+    error_budget: float
+    schedule: Optional[ApproxSchedule]
+    env: Dict[str, str]
+    predicted_speedup: float
+    predicted_degradation: float
+    control_flow: str
+    degraded: bool
+    degraded_reason: Optional[str]
+    cache_hit: bool
+    latency_seconds: float
+
+
+@dataclass
+class ServeStats:
+    """Request counters + latency histograms for one engine."""
+
+    requests: int = 0
+    #: answered from the schedule cache
+    hits: int = 0
+    #: computed by this request (leader of its key)
+    misses: int = 0
+    #: waited on an identical in-flight request
+    coalesced: int = 0
+    #: responses that fell back to the accurate schedule
+    degraded: int = 0
+    hit_latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    miss_latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record(self, outcome: str, latency_seconds: float, degraded: bool) -> None:
+        """Account one finished request (outcome: hit/miss/coalesced)."""
+        with self._lock:
+            self.requests += 1
+            if outcome == "hit":
+                self.hits += 1
+                self.hit_latency.record(latency_seconds)
+            elif outcome == "miss":
+                self.misses += 1
+                self.miss_latency.record(latency_seconds)
+            elif outcome == "coalesced":
+                self.coalesced += 1
+                self.hit_latency.record(latency_seconds)
+            else:
+                raise ValueError(f"unknown request outcome {outcome!r}")
+            if degraded:
+                self.degraded += 1
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests served without running the optimizer."""
+        if self.requests == 0:
+            return 0.0
+        return (self.hits + self.coalesced) / self.requests
+
+    def report(self) -> Dict[str, object]:
+        """Structured summary (feeds the serve CLI and BENCH_serve.json)."""
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "hits": self.hits,
+                "misses": self.misses,
+                "coalesced": self.coalesced,
+                "degraded": self.degraded,
+                "hit_rate": self.hit_rate,
+                "hit_latency": self.hit_latency.report(),
+                "miss_latency": self.miss_latency.report(),
+            }
+
+    def format_report(self, title: str = "serving stats") -> str:
+        """Readable multi-line report (used by the serve CLI)."""
+        with self._lock:
+            lines = [
+                title,
+                f"  requests: {self.requests} "
+                f"({self.hits} hits, {self.misses} misses, "
+                f"{self.coalesced} coalesced, {self.degraded} degraded; "
+                f"hit rate {self.hit_rate * 100.0:.1f}%)",
+                self.hit_latency.format_line("hit latency "),
+                self.miss_latency.format_line("miss latency"),
+            ]
+        return "\n".join(lines)
+
+
+@dataclass
+class _CacheEntry:
+    template: ServeResponse
+    generation: Generation
+
+
+class _Inflight:
+    """One in-flight computation: followers wait on ``done``."""
+
+    __slots__ = ("done", "template")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.template: Optional[ServeResponse] = None
+
+
+class ServeEngine:
+    """Thread-safe serving engine over a :class:`ModelRegistry`."""
+
+    def __init__(
+        self,
+        registry: Union[ModelRegistry, str],
+        cache_size: int = 256,
+        stats: Optional[ServeStats] = None,
+    ):
+        if cache_size < 1:
+            raise ValueError(f"cache_size must be >= 1, got {cache_size}")
+        self.registry = (
+            registry
+            if isinstance(registry, ModelRegistry)
+            else ModelRegistry(registry)
+        )
+        self.cache_size = cache_size
+        self.stats = stats if stats is not None else ServeStats()
+        self._lock = threading.Lock()
+        self._cache: "OrderedDict[RequestKey, _CacheEntry]" = OrderedDict()
+        self._inflight: Dict[RequestKey, _Inflight] = {}
+        self._fallback_apps: Dict[str, object] = {}
+
+    # -- public API ----------------------------------------------------------
+
+    def submit(
+        self, app_name: str, params: ParamsDict, error_budget: float
+    ) -> ServeResponse:
+        """Serve one request; never raises (degrades instead)."""
+        started = time.perf_counter()
+        key = self._canonical_key(app_name, params, error_budget)
+
+        with self._lock:
+            entry = self._cache.get(key)
+            if entry is not None:
+                if self.registry.generation(app_name) == entry.generation:
+                    self._cache.move_to_end(key)
+                    return self._finish(entry.template, "hit", started)
+                # The model behind this schedule changed or vanished:
+                # the cached decision is no longer trustworthy.
+                del self._cache[key]
+            slot = self._inflight.get(key)
+            if slot is None:
+                slot = _Inflight()
+                self._inflight[key] = slot
+                leader = True
+            else:
+                leader = False
+
+        if not leader:
+            slot.done.wait()
+            assert slot.template is not None
+            return self._finish(slot.template, "coalesced", started)
+
+        try:
+            template, generation = self._compute(app_name, params, error_budget)
+        except BaseException:
+            # _compute absorbs all Exceptions; this is the backstop for
+            # KeyboardInterrupt and friends so followers never hang.
+            template = self._degraded(
+                app_name, params, error_budget, "request aborted"
+            )
+            generation = None
+            raise
+        finally:
+            with self._lock:
+                if generation is not None and not template.degraded:
+                    self._cache[key] = _CacheEntry(template, generation)
+                    self._cache.move_to_end(key)
+                    while len(self._cache) > self.cache_size:
+                        self._cache.popitem(last=False)
+                slot.template = template
+                del self._inflight[key]
+            slot.done.set()
+        return self._finish(template, "miss", started)
+
+    def cache_info(self) -> Dict[str, int]:
+        with self._lock:
+            return {"size": len(self._cache), "capacity": self.cache_size}
+
+    # -- internals -----------------------------------------------------------
+
+    @staticmethod
+    def _canonical_key(
+        app_name: str, params: ParamsDict, error_budget: float
+    ) -> RequestKey:
+        def scalar(value):
+            # Unconvertible values still need a hashable identity; the
+            # request itself will degrade downstream with a clear reason.
+            try:
+                return float(value)
+            except (TypeError, ValueError):
+                return str(value)
+
+        return (
+            str(app_name),
+            tuple(sorted((str(k), scalar(v)) for k, v in dict(params).items())),
+            scalar(error_budget),
+        )
+
+    def _finish(
+        self, template: ServeResponse, outcome: str, started: float
+    ) -> ServeResponse:
+        latency = time.perf_counter() - started
+        self.stats.record(outcome, latency, template.degraded)
+        return replace(
+            template,
+            cache_hit=(outcome != "miss"),
+            latency_seconds=latency,
+        )
+
+    def _compute(
+        self, app_name: str, params: ParamsDict, error_budget: float
+    ) -> Tuple[ServeResponse, Optional[Generation]]:
+        """Run the optimization, or build the degraded fallback."""
+        try:
+            model = self.registry.get(app_name)
+        except Exception as exc:
+            return self._degraded(
+                app_name, params, error_budget, f"model unavailable: {exc}"
+            ), None
+        try:
+            result = model.opprox.optimize(params, error_budget)
+        except Exception as exc:
+            return self._degraded(
+                app_name, params, error_budget, f"optimization failed: {exc}"
+            ), None
+        return (
+            ServeResponse(
+                app_name=app_name,
+                params=dict(params),
+                error_budget=float(error_budget),
+                schedule=result.schedule,
+                env=schedule_to_env(result),
+                predicted_speedup=result.predicted_speedup,
+                predicted_degradation=result.predicted_degradation,
+                control_flow=result.control_flow,
+                degraded=False,
+                degraded_reason=None,
+                cache_hit=False,
+                latency_seconds=0.0,
+            ),
+            model.generation,
+        )
+
+    def _degraded(
+        self,
+        app_name: str,
+        params: ParamsDict,
+        error_budget: float,
+        reason: str,
+    ) -> ServeResponse:
+        """Accurate (all-exact) fallback; absorbs its own failures too."""
+        schedule: Optional[ApproxSchedule] = None
+        env: Dict[str, str] = {}
+        try:
+            app = self._fallback_apps.get(app_name)
+            if app is None:
+                app = make_app(app_name)
+                with self._lock:
+                    self._fallback_apps[app_name] = app
+            validated = app.validate_params(dict(params))
+            schedule = ApproxSchedule.exact(app.blocks, app.make_plan(validated, 1))
+            env = schedule_to_env(schedule)
+        except Exception as exc:
+            reason = f"{reason}; fallback schedule unavailable: {exc}"
+        return ServeResponse(
+            app_name=app_name,
+            params=dict(params),
+            error_budget=float(error_budget),
+            schedule=schedule,
+            env=env,
+            predicted_speedup=1.0,
+            predicted_degradation=0.0,
+            control_flow="",
+            degraded=True,
+            degraded_reason=reason,
+            cache_hit=False,
+            latency_seconds=0.0,
+        )

@@ -1,0 +1,195 @@
+"""Closed-loop load generator for the serving engine.
+
+Builds a deterministic, skewed request mix — production optimization
+traffic is never uniform: a few (app, input, budget) combinations
+dominate — and replays it from N client threads in closed loop (each
+client fires its next request as soon as the previous one returns).
+The report combines the generator's own per-response accounting with
+throughput, and is what ``BENCH_serve.json`` and the ``serve`` /
+``serve-bench`` CLI subcommands print.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps import make_app
+from repro.apps.base import ParamsDict
+from repro.instrument.stats import LatencyHistogram
+from repro.serve.engine import ServeEngine, ServeResponse
+
+__all__ = ["LoadRequest", "build_request_mix", "format_load_report", "run_load"]
+
+
+@dataclass(frozen=True)
+class LoadRequest:
+    """One request of the replayed mix."""
+
+    app_name: str
+    params: ParamsDict
+    error_budget: float
+
+
+def build_request_mix(
+    app_names: Sequence[str],
+    budgets: Sequence[float],
+    n_requests: int,
+    seed: int = 0,
+    skew: float = 1.2,
+    param_variants: int = 2,
+) -> List[LoadRequest]:
+    """A deterministic Zipf-skewed mix over (app, input, budget) combos.
+
+    Distinct combinations are ranked and drawn with probability
+    proportional to ``1 / rank**skew`` — rank 1 dominates, the tail is
+    long — which is exactly the regime an LRU schedule cache is built
+    for.  ``param_variants`` controls how many representative inputs per
+    app enter the pool (drawn from the app's training-input grid).
+    """
+    if n_requests < 1:
+        raise ValueError(f"n_requests must be >= 1, got {n_requests}")
+    if not app_names:
+        raise ValueError("app_names must not be empty")
+    if not budgets:
+        raise ValueError("budgets must not be empty")
+
+    combos: List[LoadRequest] = []
+    for app_name in app_names:
+        app = make_app(app_name)
+        variants = list(itertools.islice(app.training_inputs(), param_variants))
+        if not variants:
+            variants = [app.default_params()]
+        for params in variants:
+            for budget in budgets:
+                combos.append(LoadRequest(app_name, dict(params), float(budget)))
+
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, len(combos) + 1, dtype=float)
+    weights = ranks ** (-float(skew))
+    weights /= weights.sum()
+    picks = rng.choice(len(combos), size=n_requests, p=weights)
+    return [combos[pick] for pick in picks]
+
+
+def run_load(
+    engine: ServeEngine,
+    requests: Sequence[LoadRequest],
+    clients: int = 4,
+    collect_responses: bool = False,
+) -> Dict[str, object]:
+    """Replay ``requests`` from ``clients`` closed-loop threads.
+
+    Latency accounting is the generator's own (built from each
+    response's ``latency_seconds``), so two load legs on one engine
+    report independently even though the engine's lifetime
+    :class:`~repro.serve.engine.ServeStats` keeps accumulating.
+    """
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+
+    next_index = itertools.count()
+    index_lock = threading.Lock()
+    hit_latency = LatencyHistogram()
+    miss_latency = LatencyHistogram()
+    counters = {"hits": 0, "misses": 0, "degraded": 0}
+    per_app: Dict[str, int] = {}
+    responses: List[Optional[ServeResponse]] = (
+        [None] * len(requests) if collect_responses else []
+    )
+    errors: List[str] = []
+    account_lock = threading.Lock()
+
+    def client() -> None:
+        while True:
+            with index_lock:
+                index = next(next_index)
+            if index >= len(requests):
+                return
+            request = requests[index]
+            try:
+                response = engine.submit(
+                    request.app_name, request.params, request.error_budget
+                )
+            except Exception as exc:  # the engine promises this never fires
+                with account_lock:
+                    errors.append(f"{request.app_name}: {exc!r}")
+                continue
+            with account_lock:
+                per_app[request.app_name] = per_app.get(request.app_name, 0) + 1
+                if response.cache_hit:
+                    counters["hits"] += 1
+                    hit_latency.record(response.latency_seconds)
+                else:
+                    counters["misses"] += 1
+                    miss_latency.record(response.latency_seconds)
+                if response.degraded:
+                    counters["degraded"] += 1
+                if collect_responses:
+                    responses[index] = response
+
+    threads = [
+        threading.Thread(target=client, name=f"loadgen-{i}", daemon=True)
+        for i in range(clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_seconds = time.perf_counter() - started
+
+    total = counters["hits"] + counters["misses"]
+    report: Dict[str, object] = {
+        "n_requests": total,
+        "clients": clients,
+        "wall_seconds": wall_seconds,
+        "throughput_rps": total / wall_seconds if wall_seconds > 0 else 0.0,
+        "hits": counters["hits"],
+        "misses": counters["misses"],
+        "degraded": counters["degraded"],
+        "hit_rate": counters["hits"] / total if total else 0.0,
+        "hit_latency": hit_latency.report(),
+        "miss_latency": miss_latency.report(),
+        "per_app": dict(sorted(per_app.items())),
+        "errors": list(errors),
+    }
+    if collect_responses:
+        report["responses"] = responses
+    return report
+
+
+def format_load_report(report: Dict[str, object], title: str = "load report") -> str:
+    """Readable summary of a :func:`run_load` report (CLI output)."""
+    hit = report["hit_latency"]
+    miss = report["miss_latency"]
+
+    def line(label: str, h: Dict[str, float]) -> str:
+        return (
+            f"  {label}: n={h['count']} "
+            f"p50={h['p50_seconds'] * 1e3:.3f}ms "
+            f"p95={h['p95_seconds'] * 1e3:.3f}ms "
+            f"p99={h['p99_seconds'] * 1e3:.3f}ms"
+        )
+
+    lines = [
+        title,
+        f"  requests:   {report['n_requests']} from {report['clients']} client(s) "
+        f"in {report['wall_seconds']:.2f}s "
+        f"({report['throughput_rps']:.0f} req/s)",
+        f"  cache:      {report['hits']} hits, {report['misses']} misses "
+        f"(hit rate {report['hit_rate'] * 100.0:.1f}%), "
+        f"{report['degraded']} degraded",
+        line("hit latency ", hit),
+        line("miss latency", miss),
+        "  per app:    "
+        + ", ".join(f"{k}={v}" for k, v in report["per_app"].items()),
+    ]
+    if report["errors"]:
+        lines.append(f"  ERRORS: {report['errors']}")
+    return "\n".join(lines)

@@ -1,0 +1,131 @@
+"""Versioned, hot-reloading model registry for the serving engine.
+
+The paper's runtime (Sec. 4.2) re-loads the pickled models on every job
+submission; a long-lived serving process cannot afford that, but it also
+cannot cache blindly — operators retrain and overwrite model files while
+the service is up.  :class:`ModelRegistry` sits between the two: it
+wraps a header-validated :class:`~repro.core.runtime.ModelStore`, caches
+unpickled :class:`~repro.core.opprox.Opprox` instances, and re-checks
+the backing file's identity (mtime + size) on every access so a
+re-trained, corrupted, or deleted model is picked up immediately without
+restarting the service.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from repro.core.opprox import Opprox
+from repro.core.runtime import ModelStore
+
+__all__ = ["ModelRegistry", "RegisteredModel"]
+
+#: file identity used for staleness checks: (mtime_ns, size)
+Generation = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class RegisteredModel:
+    """One resolved model: the instance, its header, and file identity."""
+
+    app_name: str
+    opprox: Opprox
+    metadata: Dict[str, object]
+    generation: Generation
+
+
+class ModelRegistry:
+    """Thread-safe cache of stored models with staleness detection.
+
+    ``get`` returns a :class:`RegisteredModel` whose ``generation``
+    tags exactly which on-disk bytes produced it; the serving engine
+    stores that tag next to each cached schedule so schedules die with
+    the model that computed them.  Errors surface as the store's own
+    exception types (:class:`FileNotFoundError` for missing files,
+    :class:`~repro.core.runtime.ModelFormatError` for corrupt or
+    incompatible ones) — the registry never swallows them.
+    """
+
+    def __init__(self, store: Union[ModelStore, Path, str]):
+        self.store = store if isinstance(store, ModelStore) else ModelStore(store)
+        self._lock = threading.Lock()
+        self._cache: Dict[str, RegisteredModel] = {}
+        #: cold loads performed (first sight of an app)
+        self.loads = 0
+        #: reloads triggered by a changed generation (hot reload)
+        self.reloads = 0
+
+    def generation(self, app_name: str) -> Optional[Generation]:
+        """Current file identity for ``app_name``, or None if missing."""
+        try:
+            stat = os.stat(self.store.path_for(app_name))
+        except OSError:
+            return None
+        return (stat.st_mtime_ns, stat.st_size)
+
+    def get(self, app_name: str) -> RegisteredModel:
+        """Resolve ``app_name``, reloading if the backing file changed."""
+        generation = self.generation(app_name)
+        with self._lock:
+            cached = self._cache.get(app_name)
+            if generation is None:
+                self._cache.pop(app_name, None)
+                raise FileNotFoundError(
+                    f"no stored models for {app_name!r} at "
+                    f"{self.store.path_for(app_name)}"
+                )
+            if cached is not None and cached.generation == generation:
+                return cached
+            try:
+                metadata = self.store.read_metadata(app_name)
+                opprox = self.store.load(app_name)
+            except Exception:
+                self._cache.pop(app_name, None)
+                raise
+            model = RegisteredModel(
+                app_name=app_name,
+                opprox=opprox,
+                metadata=metadata,
+                generation=generation,
+            )
+            if cached is None:
+                self.loads += 1
+            else:
+                self.reloads += 1
+            self._cache[app_name] = model
+            return model
+
+    def load(self, app_name: str) -> Opprox:
+        """`ModelStore.load` signature — lets `submit_job` take a registry."""
+        return self.get(app_name).opprox
+
+    def invalidate(self, app_name: Optional[str] = None) -> None:
+        """Drop cached instances (all of them when ``app_name`` is None)."""
+        with self._lock:
+            if app_name is None:
+                self._cache.clear()
+            else:
+                self._cache.pop(app_name, None)
+
+    def available(self) -> Dict[str, Dict[str, object]]:
+        """Stored apps with their validated headers.
+
+        Unreadable headers are reported inline as ``{"error": ...}``
+        entries rather than raised, so one corrupt file cannot hide the
+        healthy rest of the store from operators.
+        """
+        listing: Dict[str, Dict[str, object]] = {}
+        for app_name in self.store.available():
+            try:
+                listing[app_name] = dict(self.store.read_metadata(app_name))
+            except Exception as exc:
+                listing[app_name] = {"error": str(exc)}
+        return listing
+
+    def cached_apps(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._cache))

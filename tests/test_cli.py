@@ -146,3 +146,70 @@ class TestCacheStatsCommand:
         out = capsys.readouterr().out
         assert "shard files:   0" in out
         assert "compactions:   1" in out
+
+
+class TestServeCommands:
+    @pytest.fixture(scope="class")
+    def store_dir(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("serve-models")
+        assert main(
+            [
+                "train", "--app", "pso", "--phases", "2", "--inputs", "2",
+                "--joint-samples", "4", "--store", str(path),
+            ]
+        ) == 0
+        return path
+
+    def test_serve_smoke(self, store_dir, capsys):
+        code = main(
+            ["serve", "--store", str(store_dir), "--requests", "50",
+             "--clients", "4", "--smoke"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "registry:" in out and "pso: format v1" in out
+        assert "hit rate" in out and "p99" in out
+        assert "serve smoke ok" in out
+
+    def test_serve_empty_store_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["serve", "--store", str(tmp_path / "void")])
+
+    def test_serve_bad_budgets(self, store_dir):
+        with pytest.raises(SystemExit):
+            main(["serve", "--store", str(store_dir), "--budgets", "a,b"])
+
+    def test_serve_smoke_fails_on_corrupt_store(self, store_dir, tmp_path, capsys):
+        import shutil
+
+        broken = tmp_path / "broken-store"
+        shutil.copytree(store_dir, broken)
+        blob = (broken / "pso.opprox.pkl").read_bytes()
+        (broken / "pso.opprox.pkl").write_bytes(b"#GARBAGE\n" + blob)
+        code = main(
+            ["serve", "--store", str(broken), "--requests", "10",
+             "--app", "pso", "--smoke"]
+        )
+        out = capsys.readouterr().out
+        assert code == 4
+        assert "serve smoke FAILED" in out
+
+    def test_serve_bench_writes_json(self, store_dir, tmp_path, capsys):
+        import json
+
+        output = tmp_path / "BENCH_serve.json"
+        code = main(
+            ["serve-bench", "--store", str(store_dir), "--requests", "60",
+             "--clients", "4", "--output", str(output)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "report written to" in out
+        report = json.loads(output.read_text())
+        assert report["n_requests"] == 60
+        assert report["hit_rate"] > 0.0
+        assert report["degraded"] == 0 and report["errors"] == []
+        assert report["cold_submit_seconds"] > 0.0
+        for key in ("p50_seconds", "p95_seconds", "p99_seconds"):
+            assert key in report["hit_latency"]
+        assert report["throughput_rps"] > 0.0

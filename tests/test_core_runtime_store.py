@@ -1,0 +1,227 @@
+"""Dedicated tests for repro.core.runtime: store format, env codec.
+
+The Opprox facade itself is covered in test_core_opprox_runtime; this
+file owns the runtime module's storage format (headers, ModelFormatError,
+the dotted-app-name regression) and the env encode/decode pair.
+"""
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.approx.schedule import ApproxSchedule, PhasePlan
+from repro.core.opprox import Opprox
+from repro.core.runtime import (
+    MODEL_FORMAT_VERSION,
+    MODEL_MAGIC,
+    ModelFormatError,
+    ModelStore,
+    env_to_schedule,
+    schedule_to_env,
+    submit_job,
+)
+from repro.core.spec import AccuracySpec
+
+from tests.conftest import app_instance, profiler_for, smallest_params
+
+
+@pytest.fixture(scope="module")
+def trained_pso():
+    app = app_instance("pso")
+    opprox = Opprox(
+        app,
+        AccuracySpec.for_app(app, max_inputs=2),
+        profiler=profiler_for("pso"),
+        n_phases=2,
+        joint_samples_per_phase=4,
+        confidence_p=0.9,
+    )
+    opprox.train()
+    return opprox
+
+
+class TestStoreFormat:
+    def test_save_load_roundtrip(self, trained_pso, tmp_path):
+        store = ModelStore(tmp_path)
+        path = store.save(trained_pso, train_timestamp=123.5)
+        assert path.exists()
+        loaded = store.load("pso")
+        assert loaded.is_trained
+        assert loaded.n_phases == trained_pso.n_phases
+
+    def test_header_metadata(self, trained_pso, tmp_path):
+        store = ModelStore(tmp_path)
+        store.save(trained_pso, train_timestamp=123.5)
+        metadata = store.read_metadata("pso")
+        assert metadata["format_version"] == MODEL_FORMAT_VERSION
+        assert metadata["app"] == "pso"
+        assert metadata["train_timestamp"] == 123.5
+        assert metadata["n_phases"] == 2
+
+    def test_header_is_plain_text_prefix(self, trained_pso, tmp_path):
+        store = ModelStore(tmp_path)
+        path = store.save(trained_pso)
+        with path.open("rb") as handle:
+            assert handle.readline() == MODEL_MAGIC
+            header = json.loads(handle.readline())
+        assert header["app"] == "pso"
+
+    def test_rejects_untrained(self, tmp_path):
+        app = app_instance("pso")
+        fresh = Opprox(app, AccuracySpec.for_app(app, max_inputs=1))
+        with pytest.raises(ValueError):
+            ModelStore(tmp_path).save(fresh)
+
+    def test_missing_model(self, tmp_path):
+        store = ModelStore(tmp_path)
+        with pytest.raises(FileNotFoundError):
+            store.load("nothing")
+        with pytest.raises(FileNotFoundError):
+            store.read_metadata("nothing")
+
+    def test_legacy_headerless_pickle_refused(self, trained_pso, tmp_path):
+        store = ModelStore(tmp_path)
+        with store.path_for("pso").open("wb") as handle:
+            pickle.dump(trained_pso, handle)
+        with pytest.raises(ModelFormatError, match="magic"):
+            store.load("pso")
+
+    def test_corrupt_header_json_refused(self, trained_pso, tmp_path):
+        store = ModelStore(tmp_path)
+        path = store.save(trained_pso)
+        payload = path.read_bytes()
+        path.write_bytes(MODEL_MAGIC + b"not json{{{\n" + payload)
+        with pytest.raises(ModelFormatError, match="header"):
+            store.read_metadata("pso")
+
+    def test_wrong_format_version_refused(self, trained_pso, tmp_path):
+        store = ModelStore(tmp_path)
+        path = store.save(trained_pso)
+        lines = path.read_bytes().split(b"\n", 2)
+        header = json.loads(lines[1])
+        header["format_version"] = MODEL_FORMAT_VERSION + 1
+        path.write_bytes(
+            lines[0] + b"\n" + json.dumps(header).encode() + b"\n" + lines[2]
+        )
+        with pytest.raises(ModelFormatError, match="version"):
+            store.load("pso")
+
+    def test_header_app_mismatch_refused(self, trained_pso, tmp_path):
+        store = ModelStore(tmp_path)
+        path = store.save(trained_pso)
+        path.rename(store.path_for("imposter"))
+        with pytest.raises(ModelFormatError, match="imposter"):
+            store.load("imposter")
+
+    def test_truncated_payload_refused(self, trained_pso, tmp_path):
+        store = ModelStore(tmp_path)
+        path = store.save(trained_pso)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(ModelFormatError, match="corrupt"):
+            store.load("pso")
+
+    def test_available_preserves_dotted_app_names(self, tmp_path):
+        store = ModelStore(tmp_path)
+        # Regression: split(".")[0] used to mangle dotted app names.
+        for name in ("pso", "my.app.v2", "a.b"):
+            store.path_for(name).write_bytes(b"stub")
+        assert set(store.available()) == {"pso", "my.app.v2", "a.b"}
+        assert store.available()["my.app.v2"] == store.path_for("my.app.v2")
+
+
+class TestEnvCodec:
+    def test_env_encoding_shape(self, trained_pso):
+        result = trained_pso.optimize(smallest_params(trained_pso.app), 15.0)
+        env = schedule_to_env(result)
+        assert env["OPPROX_NUM_PHASES"] == "2"
+        for phase in range(2):
+            for block in trained_pso.app.blocks:
+                key = f"OPPROX_P{phase}_{block.name.upper()}"
+                assert 0 <= int(env[key]) <= block.max_level
+
+    def test_accepts_bare_schedule(self, pso_app):
+        plan = PhasePlan(20, 2)
+        schedule = ApproxSchedule.exact(pso_app.blocks, plan)
+        env = schedule_to_env(schedule)
+        assert env["OPPROX_NUM_PHASES"] == "2"
+
+    def test_roundtrip_random_schedules(self, pso_app):
+        """Property: decode(encode(s)) == s for random schedules."""
+        rng = np.random.default_rng(7)
+        for _ in range(25):
+            n_phases = int(rng.integers(1, 5))
+            nominal = int(rng.integers(n_phases, 64))
+            settings = [
+                {
+                    block.name: int(rng.integers(0, block.max_level + 1))
+                    for block in pso_app.blocks
+                }
+                for _ in range(n_phases)
+            ]
+            schedule = ApproxSchedule(
+                pso_app.blocks, PhasePlan(nominal, n_phases), settings
+            )
+            decoded = env_to_schedule(
+                schedule_to_env(schedule), pso_app.blocks, nominal
+            )
+            assert decoded == schedule
+
+    def test_decode_ignores_foreign_variables(self, pso_app):
+        schedule = ApproxSchedule.exact(pso_app.blocks, PhasePlan(10, 1))
+        env = dict(schedule_to_env(schedule), PATH="/bin", OPPROX_NUM="x")
+        assert env_to_schedule(env, pso_app.blocks, 10) == schedule
+
+    def test_missing_num_phases(self, pso_app):
+        with pytest.raises(ValueError, match="OPPROX_NUM_PHASES"):
+            env_to_schedule({}, pso_app.blocks, 10)
+
+    def test_non_integer_num_phases(self, pso_app):
+        with pytest.raises(ValueError, match="integer"):
+            env_to_schedule({"OPPROX_NUM_PHASES": "two"}, pso_app.blocks, 10)
+
+    def test_missing_block_variable(self, pso_app):
+        schedule = ApproxSchedule.exact(pso_app.blocks, PhasePlan(10, 2))
+        env = schedule_to_env(schedule)
+        removed = next(k for k in env if k.startswith("OPPROX_P1_"))
+        del env[removed]
+        with pytest.raises(ValueError, match=removed):
+            env_to_schedule(env, pso_app.blocks, 10)
+
+    def test_non_integer_level(self, pso_app):
+        schedule = ApproxSchedule.exact(pso_app.blocks, PhasePlan(10, 1))
+        env = schedule_to_env(schedule)
+        key = next(k for k in env if k.startswith("OPPROX_P0_"))
+        env[key] = "high"
+        with pytest.raises(ValueError, match="integer level"):
+            env_to_schedule(env, pso_app.blocks, 10)
+
+    def test_stray_phase_variable(self, pso_app):
+        schedule = ApproxSchedule.exact(pso_app.blocks, PhasePlan(10, 1))
+        env = dict(schedule_to_env(schedule), OPPROX_P9_NOSUCH="1")
+        with pytest.raises(ValueError, match="OPPROX_P9_NOSUCH"):
+            env_to_schedule(env, pso_app.blocks, 10)
+
+    def test_out_of_range_level(self, pso_app):
+        schedule = ApproxSchedule.exact(pso_app.blocks, PhasePlan(10, 1))
+        env = schedule_to_env(schedule)
+        block = pso_app.blocks[0]
+        env[f"OPPROX_P0_{block.name.upper()}"] = str(block.max_level + 1)
+        with pytest.raises(ValueError):
+            env_to_schedule(env, pso_app.blocks, 10)
+
+
+class TestSubmitJobDuckTyping:
+    def test_submit_job_accepts_registry(self, trained_pso, tmp_path):
+        from repro.serve import ModelRegistry
+
+        store = ModelStore(tmp_path)
+        store.save(trained_pso, train_timestamp=1.0)
+        registry = ModelRegistry(store)
+        launch = submit_job(
+            registry, "pso", smallest_params(trained_pso.app), 15.0
+        )
+        assert launch.app_name == "pso"
+        assert launch.run.speedup > 0.0

@@ -9,7 +9,7 @@ from repro.approx.knobs import ApproximableBlock, Technique
 from repro.approx.schedule import ApproxSchedule, PhasePlan
 from repro.core.models import FittedModel, PhaseModels
 from repro.core.opprox import Opprox
-from repro.core.runtime import ModelStore
+from repro.core.runtime import MODEL_FORMAT_VERSION, MODEL_MAGIC, ModelFormatError, ModelStore
 from repro.core.sampling import TrainingSample
 from repro.core.spec import AccuracySpec
 from repro.instrument.harness import Profiler
@@ -19,19 +19,33 @@ from tests.conftest import app_instance, profiler_for, smallest_params
 
 class TestCorruptedModelStore:
     def test_non_opprox_pickle_rejected(self, tmp_path):
+        """Even behind a valid header, a foreign payload is refused."""
+        import json
+
+        store = ModelStore(tmp_path)
+        path = store.path_for("pso")
+        header = {"format_version": MODEL_FORMAT_VERSION, "app": "pso",
+                  "train_timestamp": None}
+        with path.open("wb") as handle:
+            handle.write(MODEL_MAGIC)
+            handle.write(json.dumps(header).encode() + b"\n")
+            pickle.dump({"not": "an optimizer"}, handle)
+        with pytest.raises(ModelFormatError):
+            store.load("pso")
+
+    def test_headerless_pickle_rejected_before_unpickling(self, tmp_path):
         store = ModelStore(tmp_path)
         path = store.path_for("pso")
         with path.open("wb") as handle:
             pickle.dump({"not": "an optimizer"}, handle)
-        with pytest.raises(TypeError):
+        with pytest.raises(ModelFormatError):
             store.load("pso")
 
-    def test_truncated_pickle_surfaces_as_unpickling_error(self, tmp_path):
+    def test_truncated_pickle_surfaces_as_format_error(self, tmp_path):
         store = ModelStore(tmp_path)
         store.path_for("pso").write_bytes(b"\x80\x04garbage")
-        with pytest.raises(Exception) as info:
+        with pytest.raises(ModelFormatError):
             store.load("pso")
-        assert not isinstance(info.value, FileNotFoundError)
 
 
 class TestScheduleAppMismatch:

@@ -174,3 +174,53 @@ class TestProfiler:
         record = Profiler(app).golden(smallest_params(app))
         totals = record.work_by_phase((0, record.iterations // 2))
         assert sum(totals) == pytest.approx(sum(record.work_by_iteration))
+
+
+class TestLatencyHistogram:
+    def test_empty_report(self):
+        from repro.instrument.stats import LatencyHistogram
+
+        histogram = LatencyHistogram()
+        report = histogram.report()
+        assert report["count"] == 0
+        assert report["p50_seconds"] == 0.0
+        assert "no samples" in histogram.format_line("x")
+
+    def test_percentiles_on_known_distribution(self):
+        from repro.instrument.stats import LatencyHistogram
+
+        histogram = LatencyHistogram()
+        for ms in range(1, 101):  # 1..100 ms
+            histogram.record(ms / 1e3)
+        assert histogram.count == 100
+        assert histogram.percentile(50.0) == pytest.approx(0.050, abs=0.002)
+        assert histogram.percentile(95.0) == pytest.approx(0.095, abs=0.002)
+        assert histogram.percentile(99.0) == pytest.approx(0.099, abs=0.002)
+        assert histogram.mean_seconds == pytest.approx(0.0505)
+        assert histogram.max_seconds == pytest.approx(0.100)
+
+    def test_bounded_buffer_keeps_exact_count(self):
+        from repro.instrument.stats import LatencyHistogram
+
+        histogram = LatencyHistogram(max_samples=10)
+        for i in range(100):
+            histogram.record(float(i))
+        assert histogram.count == 100
+        assert len(histogram._samples) == 10
+        assert histogram.max_seconds == 99.0
+
+    def test_merge_and_validation(self):
+        from repro.instrument.stats import LatencyHistogram
+
+        a, b = LatencyHistogram(), LatencyHistogram()
+        a.record(0.1)
+        b.record(0.3)
+        a.merge(b)
+        assert a.count == 2
+        assert a.max_seconds == pytest.approx(0.3)
+        with pytest.raises(ValueError):
+            a.record(-1.0)
+        with pytest.raises(ValueError):
+            a.percentile(101.0)
+        with pytest.raises(ValueError):
+            LatencyHistogram(max_samples=0)

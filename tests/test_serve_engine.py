@@ -1,0 +1,262 @@
+"""Tests for the concurrent serving engine.
+
+Covers the acceptance contract of the serve subsystem: served schedules
+are bit-identical to direct Opprox.optimize calls (including across
+concurrent clients), identical in-flight requests are coalesced, the
+LRU schedule cache is bounded and generation-checked, and every failure
+mode degrades to the accurate schedule instead of raising.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.opprox import Opprox
+from repro.core.runtime import ModelStore, schedule_to_env
+from repro.core.spec import AccuracySpec
+from repro.serve import ModelRegistry, ServeEngine
+
+from tests.conftest import app_instance, profiler_for, smallest_params
+
+
+@pytest.fixture(scope="module")
+def trained_pso():
+    app = app_instance("pso")
+    opprox = Opprox(
+        app,
+        AccuracySpec.for_app(app, max_inputs=2),
+        profiler=profiler_for("pso"),
+        n_phases=2,
+        joint_samples_per_phase=4,
+        confidence_p=0.9,
+    )
+    opprox.train()
+    return opprox
+
+
+@pytest.fixture
+def served(trained_pso, tmp_path):
+    store = ModelStore(tmp_path)
+    store.save(trained_pso, train_timestamp=1.0)
+    registry = ModelRegistry(store)
+    return store, registry, ServeEngine(registry, cache_size=32)
+
+
+class TestServing:
+    def test_served_schedule_bit_identical_to_direct_optimize(self, served, trained_pso):
+        store, _, engine = served
+        params = smallest_params(trained_pso.app)
+        response = engine.submit("pso", params, 10.0)
+        direct = store.load("pso").optimize(params, 10.0)
+        assert not response.degraded
+        assert response.schedule == direct.schedule
+        assert response.env == schedule_to_env(direct)
+        assert response.control_flow == direct.control_flow
+        assert response.predicted_speedup == direct.predicted_speedup
+
+    def test_repeat_request_hits_cache(self, served, trained_pso):
+        _, _, engine = served
+        params = smallest_params(trained_pso.app)
+        first = engine.submit("pso", params, 10.0)
+        second = engine.submit("pso", params, 10.0)
+        assert not first.cache_hit and second.cache_hit
+        assert first.schedule == second.schedule
+        assert engine.stats.hits == 1 and engine.stats.misses == 1
+        assert engine.stats.hit_rate == pytest.approx(0.5)
+
+    def test_key_canonicalization_ignores_param_order(self, served, trained_pso):
+        _, _, engine = served
+        params = smallest_params(trained_pso.app)
+        engine.submit("pso", dict(params), 10.0)
+        reordered = dict(reversed(list(params.items())))
+        assert engine.submit("pso", reordered, 10.0).cache_hit
+
+    def test_concurrent_identical_requests_coalesce(self, served, trained_pso):
+        _, registry, engine = served
+        params = smallest_params(trained_pso.app)
+        opprox = registry.get("pso").opprox
+        calls = []
+        original = opprox.optimize
+
+        def counting_optimize(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        opprox.optimize = counting_optimize
+        try:
+            n_threads = 8
+            barrier = threading.Barrier(n_threads)
+            responses = [None] * n_threads
+
+            def client(i):
+                barrier.wait()
+                responses[i] = engine.submit("pso", params, 12.0)
+
+            threads = [
+                threading.Thread(target=client, args=(i,))
+                for i in range(n_threads)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            del opprox.optimize  # restore the bound method
+
+        assert len(calls) == 1
+        assert engine.stats.misses == 1
+        assert engine.stats.hits + engine.stats.coalesced == n_threads - 1
+        schedules = {r.schedule for r in responses}
+        assert len(schedules) == 1
+        assert all(not r.degraded for r in responses)
+
+    def test_concurrent_mixed_budgets_all_bit_identical(self, served, trained_pso):
+        store, _, engine = served
+        params = smallest_params(trained_pso.app)
+        budgets = [5.0, 10.0, 15.0, 20.0]
+        results = {}
+
+        def client(budget):
+            for _ in range(5):
+                results.setdefault(budget, []).append(
+                    engine.submit("pso", params, budget)
+                )
+
+        threads = [threading.Thread(target=client, args=(b,)) for b in budgets]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        direct = store.load("pso")
+        for budget in budgets:
+            expected = direct.optimize(params, budget).schedule
+            assert all(r.schedule == expected for r in results[budget])
+
+
+class TestCacheBounds:
+    def test_lru_cache_is_bounded(self, trained_pso, tmp_path):
+        store = ModelStore(tmp_path)
+        store.save(trained_pso, train_timestamp=1.0)
+        engine = ServeEngine(ModelRegistry(store), cache_size=4)
+        params = smallest_params(trained_pso.app)
+        for budget in range(1, 11):
+            engine.submit("pso", params, float(budget))
+        assert engine.cache_info() == {"size": 4, "capacity": 4}
+        # Oldest budgets were evicted: re-requesting one is a miss again.
+        before = engine.stats.misses
+        engine.submit("pso", params, 1.0)
+        assert engine.stats.misses == before + 1
+        # Most recent budget is still cached.
+        assert engine.submit("pso", params, 10.0).cache_hit
+
+    def test_rejects_silly_cache_size(self, tmp_path):
+        with pytest.raises(ValueError):
+            ServeEngine(ModelRegistry(ModelStore(tmp_path)), cache_size=0)
+
+
+class TestDegradation:
+    def test_missing_model_degrades_not_raises(self, tmp_path):
+        engine = ServeEngine(ModelRegistry(ModelStore(tmp_path)))
+        params = smallest_params(app_instance("pso"))
+        response = engine.submit("pso", params, 10.0)
+        assert response.degraded
+        assert "model unavailable" in response.degraded_reason
+        assert response.schedule is not None and response.schedule.is_exact
+        assert response.env["OPPROX_NUM_PHASES"] == "1"
+        assert response.predicted_speedup == 1.0
+        assert engine.stats.degraded == 1
+
+    def test_killed_model_file_invalidates_cached_schedule(self, served, trained_pso):
+        store, _, engine = served
+        params = smallest_params(trained_pso.app)
+        warm = engine.submit("pso", params, 10.0)
+        assert engine.submit("pso", params, 10.0).cache_hit
+        store.path_for("pso").unlink()
+        after = engine.submit("pso", params, 10.0)
+        assert after.degraded and not after.cache_hit
+        assert after.schedule.is_exact
+        assert not warm.schedule.is_exact or warm.degraded is False
+
+    def test_corrupted_header_degrades_with_reason(self, served, trained_pso):
+        store, _, engine = served
+        params = smallest_params(trained_pso.app)
+        assert not engine.submit("pso", params, 10.0).degraded
+        path = store.path_for("pso")
+        path.write_bytes(b"#GARBAGE\n" + path.read_bytes())
+        response = engine.submit("pso", params, 10.0)
+        assert response.degraded
+        assert "model unavailable" in response.degraded_reason
+
+    def test_restored_model_recovers_service(self, served, trained_pso):
+        store, _, engine = served
+        params = smallest_params(trained_pso.app)
+        store.path_for("pso").unlink()
+        assert engine.submit("pso", params, 10.0).degraded
+        store.save(trained_pso, train_timestamp=2.0)
+        assert not engine.submit("pso", params, 10.0).degraded
+
+    def test_degraded_responses_are_not_cached(self, tmp_path, trained_pso):
+        store = ModelStore(tmp_path)
+        engine = ServeEngine(ModelRegistry(store))
+        params = smallest_params(trained_pso.app)
+        engine.submit("pso", params, 10.0)
+        assert engine.cache_info()["size"] == 0
+        # Once the model appears, the same key serves a real schedule.
+        store.save(trained_pso, train_timestamp=1.0)
+        assert not engine.submit("pso", params, 10.0).degraded
+
+    def test_unknown_app_returns_minimal_degraded_response(self, tmp_path):
+        engine = ServeEngine(ModelRegistry(ModelStore(tmp_path)))
+        response = engine.submit("no-such-app", {"x": 1.0}, 10.0)
+        assert response.degraded
+        assert response.schedule is None and response.env == {}
+        assert "fallback schedule unavailable" in response.degraded_reason
+
+    def test_optimizer_exception_degrades(self, served, trained_pso):
+        _, registry, engine = served
+        opprox = registry.get("pso").opprox
+
+        def broken_optimize(*args, **kwargs):
+            raise RuntimeError("model blew up")
+
+        opprox.optimize = broken_optimize
+        try:
+            response = engine.submit(
+                "pso", smallest_params(trained_pso.app), 10.0
+            )
+        finally:
+            del opprox.optimize
+        assert response.degraded
+        assert "optimization failed: model blew up" in response.degraded_reason
+        assert response.schedule.is_exact
+
+    def test_invalid_params_degrade_with_fallback_failure_reason(self, served):
+        _, _, engine = served
+        response = engine.submit("pso", {"bogus": 1.0}, 10.0)
+        assert response.degraded
+        assert response.schedule is None
+        assert "fallback schedule unavailable" in response.degraded_reason
+
+
+class TestStatsReport:
+    def test_report_structure(self, served, trained_pso):
+        _, _, engine = served
+        params = smallest_params(trained_pso.app)
+        engine.submit("pso", params, 10.0)
+        engine.submit("pso", params, 10.0)
+        report = engine.stats.report()
+        assert report["requests"] == 2
+        assert report["hits"] == 1 and report["misses"] == 1
+        assert report["hit_rate"] == pytest.approx(0.5)
+        for leg in ("hit_latency", "miss_latency"):
+            for key in ("count", "p50_seconds", "p95_seconds", "p99_seconds"):
+                assert key in report[leg]
+        assert report["miss_latency"]["p50_seconds"] > 0.0
+
+    def test_format_report_mentions_all_counters(self, served, trained_pso):
+        _, _, engine = served
+        engine.submit("pso", smallest_params(trained_pso.app), 10.0)
+        text = engine.stats.format_report("engine stats")
+        assert "hits" in text and "misses" in text and "degraded" in text
+        assert "p99" in text

@@ -1,0 +1,122 @@
+"""Tests for the hot-reloading model registry."""
+
+import os
+
+import pytest
+
+from repro.core.opprox import Opprox
+from repro.core.runtime import MODEL_MAGIC, ModelFormatError, ModelStore
+from repro.core.spec import AccuracySpec
+from repro.serve.registry import ModelRegistry
+
+from tests.conftest import app_instance, profiler_for
+
+
+@pytest.fixture(scope="module")
+def trained_pso():
+    app = app_instance("pso")
+    opprox = Opprox(
+        app,
+        AccuracySpec.for_app(app, max_inputs=2),
+        profiler=profiler_for("pso"),
+        n_phases=2,
+        joint_samples_per_phase=4,
+        confidence_p=0.9,
+    )
+    opprox.train()
+    return opprox
+
+
+@pytest.fixture
+def store(trained_pso, tmp_path):
+    store = ModelStore(tmp_path)
+    store.save(trained_pso, train_timestamp=100.0)
+    return store
+
+
+class TestResolution:
+    def test_get_returns_model_with_metadata(self, store):
+        registry = ModelRegistry(store)
+        model = registry.get("pso")
+        assert model.app_name == "pso"
+        assert model.opprox.is_trained
+        assert model.metadata["train_timestamp"] == 100.0
+        assert model.generation is not None
+
+    def test_repeated_get_is_cached(self, store):
+        registry = ModelRegistry(store)
+        first = registry.get("pso")
+        second = registry.get("pso")
+        assert first.opprox is second.opprox
+        assert registry.loads == 1
+        assert registry.reloads == 0
+
+    def test_accepts_path_and_store(self, store):
+        assert ModelRegistry(store.root).get("pso").app_name == "pso"
+        assert ModelRegistry(store).get("pso").app_name == "pso"
+
+    def test_missing_model_raises(self, store):
+        registry = ModelRegistry(store)
+        with pytest.raises(FileNotFoundError):
+            registry.get("nothing")
+        assert registry.generation("nothing") is None
+
+    def test_load_alias_matches_store_contract(self, store):
+        registry = ModelRegistry(store)
+        assert registry.load("pso").is_trained
+
+
+class TestStalenessAndHotReload:
+    def test_rewrite_triggers_reload(self, store, trained_pso):
+        registry = ModelRegistry(store)
+        old = registry.get("pso")
+        store.save(trained_pso, train_timestamp=200.0)
+        # Force a distinct mtime even on coarse-grained filesystems.
+        stat = os.stat(store.path_for("pso"))
+        os.utime(store.path_for("pso"), ns=(stat.st_atime_ns, stat.st_mtime_ns + 1))
+        new = registry.get("pso")
+        assert new.metadata["train_timestamp"] == 200.0
+        assert new.generation != old.generation
+        assert registry.reloads == 1
+
+    def test_deleted_file_drops_cache_and_raises(self, store):
+        registry = ModelRegistry(store)
+        registry.get("pso")
+        store.path_for("pso").unlink()
+        with pytest.raises(FileNotFoundError):
+            registry.get("pso")
+        assert registry.cached_apps() == ()
+
+    def test_corrupted_header_raises_format_error(self, store):
+        registry = ModelRegistry(store)
+        registry.get("pso")
+        path = store.path_for("pso")
+        path.write_bytes(b"#GARBAGE\n" + path.read_bytes())
+        with pytest.raises(ModelFormatError):
+            registry.get("pso")
+        assert registry.cached_apps() == ()
+
+    def test_invalidate(self, store):
+        registry = ModelRegistry(store)
+        registry.get("pso")
+        registry.invalidate("pso")
+        assert registry.cached_apps() == ()
+        registry.get("pso")
+        registry.invalidate()
+        assert registry.cached_apps() == ()
+        assert registry.loads == 2
+
+
+class TestListing:
+    def test_available_reports_headers(self, store):
+        listing = ModelRegistry(store).available()
+        assert set(listing) == {"pso"}
+        assert listing["pso"]["train_timestamp"] == 100.0
+
+    def test_available_reports_corrupt_files_inline(self, store):
+        bad = store.path_for("broken")
+        bad.write_bytes(MODEL_MAGIC + b"not json\n")
+        listing = ModelRegistry(store).available()
+        assert set(listing) == {"broken", "pso"}
+        assert "error" in listing["broken"]
+        assert "error" not in listing["pso"]

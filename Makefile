@@ -1,6 +1,6 @@
 # Convenience targets for the OPPROX reproduction.
 
-.PHONY: install test verify serve-smoke bench figures examples clean
+.PHONY: install test verify serve-smoke train-resume-smoke bench figures examples clean
 
 install:
 	pip install -e .
@@ -9,8 +9,10 @@ test:
 	pytest tests/ -q
 
 # The per-PR gate: the tier-1 suite plus a smoke of the parallel
-# measurement path (worker processes + disk cache + cache-stats report)
-# and of the serving subsystem (train -> serve a mixed request load).
+# measurement path (worker processes + disk cache + cache-stats report),
+# of the serving subsystem (train -> serve a mixed request load), and of
+# the checkpointed pipeline (train -> SIGKILL mid-sampling -> resume ->
+# bit-identical model).
 verify:
 	PYTHONPATH=src python -m pytest -x -q
 	PYTHONPATH=src python -m repro oracle --app pso --budget 10 \
@@ -18,6 +20,7 @@ verify:
 	PYTHONPATH=src python -m repro cache-stats --cache .verify-cache --compact
 	rm -rf .verify-cache
 	$(MAKE) serve-smoke
+	$(MAKE) train-resume-smoke
 
 # Serving-path smoke: train a small model, start the engine in-process,
 # fire 50 mixed requests from 4 clients, and fail unless there were zero
@@ -29,6 +32,14 @@ serve-smoke:
 	PYTHONPATH=src python -m repro serve --store .serve-smoke-models \
 		--requests 50 --clients 4 --smoke
 	rm -rf .serve-smoke-models
+
+# Resumable-pipeline smoke: train a reference model, SIGKILL a pipeline
+# training run mid-sampling, resume it, and fail unless the resumed
+# model is bit-identical and checkpointed work was not re-measured.
+train-resume-smoke:
+	rm -rf .train-resume-smoke
+	python scripts/train_resume_smoke.py .train-resume-smoke
+	rm -rf .train-resume-smoke
 
 bench:
 	pytest benchmarks/ --benchmark-only -q
@@ -44,4 +55,5 @@ examples:
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks
+	rm -rf .verify-cache .serve-smoke-models .train-resume-smoke
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,173 @@
+#!/usr/bin/env python
+"""Kill-and-resume smoke gate for the checkpointed training pipeline.
+
+Proves the resumable pipeline's central promise end to end, across real
+process boundaries:
+
+1. train a reference model uninterrupted (plain in-memory ``--no-pipeline``);
+2. start the same training as a subprocess in pipeline mode and SIGKILL
+   it as soon as the trace shows the first freshly measured sample batch
+   (i.e. mid-sampling, with a partial flow checkpoint on disk);
+3. resume with ``--resume`` and assert
+
+   * the final model is **bit-identical** to the uninterrupted reference
+     (canonical state fingerprint, not pickle bytes);
+   * the resumed run skipped the completed stages (phase search and
+     control flow answered from checkpoints);
+   * every batch persisted before the kill was replayed with **zero**
+     re-measured samples (``sample_batch`` events with ``resumed=true``
+     and ``executions=0``).
+
+Exit status 0 on success; nonzero with a diagnostic otherwise.  The
+training workload is deliberately tiny (~2 s) — the point is the
+kill/resume machinery, not model quality.
+
+Usage::
+
+    python scripts/train_resume_smoke.py [workdir]
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.core.runtime import ModelStore  # noqa: E402
+from repro.pipeline import model_fingerprint, read_trace  # noqa: E402
+
+APP = "pso"
+TRAIN_ARGS = [
+    "train", "--app", APP, "--phases", "2", "--inputs", "4",
+    "--joint-samples", "8",
+]
+KILL_ATTEMPTS = 5
+POLL_SECONDS = 0.02
+
+
+def fail(message: str) -> None:
+    print(f"train-resume smoke FAILED: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run_cli(workdir: Path, extra: list[str]) -> None:
+    env = dict(os.environ, PYTHONPATH=str(SRC))
+    subprocess.run(
+        [sys.executable, "-m", "repro", *TRAIN_ARGS, *extra],
+        cwd=workdir, env=env, check=True, capture_output=True, text=True,
+    )
+
+
+def fingerprint_store(store: Path) -> str:
+    return model_fingerprint(ModelStore(store).load(APP))
+
+
+def start_and_kill(workdir: Path, store: Path, pipeline_dir: Path) -> bool:
+    """One interrupted-training attempt.
+
+    Returns True if the subprocess was killed mid-sampling (a fresh
+    ``sample_batch`` event seen, no ``pipeline_end``); False if training
+    finished before the kill landed — the caller clears state and
+    retries with the race lost.
+    """
+    trace_path = pipeline_dir / "trace.jsonl"
+    env = dict(os.environ, PYTHONPATH=str(SRC))
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", *TRAIN_ARGS,
+         "--store", str(store), "--pipeline-dir", str(pipeline_dir)],
+        cwd=workdir, env=env,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    try:
+        while proc.poll() is None:
+            events = read_trace(trace_path)
+            fresh = [e for e in events
+                     if e.get("event") == "sample_batch" and not e.get("resumed")]
+            if fresh:
+                proc.send_signal(signal.SIGKILL)
+                proc.wait(timeout=30)
+                break
+            time.sleep(POLL_SECONDS)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+
+    events = read_trace(trace_path)
+    finished = any(e.get("event") == "pipeline_end" for e in events)
+    return not finished
+
+
+def main() -> None:
+    workdir = Path(sys.argv[1] if len(sys.argv) > 1 else ".train-resume-smoke")
+    workdir = workdir.resolve()
+    workdir.mkdir(parents=True, exist_ok=True)
+    ref_store = workdir / "models-ref"
+    store = workdir / "models-resumed"
+    pipeline_dir = workdir / "pipeline"
+
+    # 1. Uninterrupted reference run (plain in-memory training).
+    run_cli(workdir, ["--store", str(ref_store), "--no-pipeline"])
+    reference = fingerprint_store(ref_store)
+    print(f"reference model fingerprint: {reference[:16]}…")
+
+    # 2. Pipeline run killed mid-sampling (retry if it wins the race).
+    for attempt in range(1, KILL_ATTEMPTS + 1):
+        for stale in (store, pipeline_dir):
+            if stale.exists():
+                subprocess.run(["rm", "-rf", str(stale)], check=True)
+        if start_and_kill(workdir, store, pipeline_dir):
+            print(f"killed training mid-sampling (attempt {attempt})")
+            break
+        print(f"attempt {attempt}: training finished before the kill; retrying")
+    else:
+        fail(f"could not interrupt training in {KILL_ATTEMPTS} attempts")
+
+    events_before = read_trace(pipeline_dir / "trace.jsonl")
+    persisted_batches = sum(
+        1 for e in events_before
+        if e.get("event") == "sample_batch" and not e.get("resumed")
+    )
+    print(f"{persisted_batches} sample batch(es) persisted before the kill")
+
+    # 3. Resume and verify.
+    run_cli(workdir, ["--store", str(store),
+                      "--pipeline-dir", str(pipeline_dir), "--resume"])
+    resumed = fingerprint_store(store)
+    print(f"resumed model fingerprint:   {resumed[:16]}…")
+    if resumed != reference:
+        fail("resumed model differs from the uninterrupted reference "
+             f"({resumed[:16]}… != {reference[:16]}…)")
+
+    events = read_trace(pipeline_dir / "trace.jsonl")
+    segment = events[len(events_before):]  # the resumed run's events only
+    skipped = {e.get("stage") for e in segment if e.get("event") == "stage_skipped"}
+    for stage in ("phase-search", "control-flow"):
+        if stage not in skipped:
+            fail(f"resumed run re-executed {stage!r} instead of skipping it "
+                 f"(skipped: {sorted(skipped)})")
+
+    replayed = [e for e in segment
+                if e.get("event") == "sample_batch" and e.get("resumed")]
+    if len(replayed) < persisted_batches:
+        fail(f"only {len(replayed)} of {persisted_batches} persisted "
+             f"batches were replayed from checkpoints")
+    remeasured = [e for e in replayed if e.get("executions")]
+    if remeasured:
+        fail(f"{len(remeasured)} replayed batch(es) re-measured samples: "
+             f"{remeasured}")
+
+    print(f"resume skipped {sorted(skipped)}; replayed {len(replayed)} "
+          f"batch(es) with 0 re-measured samples")
+    print("train-resume smoke ok")
+
+
+if __name__ == "__main__":
+    main()

@@ -10,6 +10,8 @@ Subcommands::
     python -m repro list-apps
     python -m repro describe  --app lulesh
     python -m repro train     --app pso --phases 4 --store models/
+    python -m repro train     --app pso --store models/ --resume
+    python -m repro trace     --pipeline-dir models/.pipeline/pso
     python -m repro optimize  --app pso --budget 10 --store models/
     python -m repro run       --app pso --budget 10 --store models/
     python -m repro oracle    --app pso --budget 10 --workers 4
@@ -21,6 +23,13 @@ Subcommands::
 ``serve`` and ``serve-bench`` drive the :mod:`repro.serve` subsystem: a
 hot-reloading model registry plus a concurrent request engine with an
 LRU schedule cache, fed by a deterministic skewed request mix.
+
+``train`` runs through the checkpointed :mod:`repro.pipeline`
+orchestrator by default: every stage (and every per-input sample batch)
+is persisted atomically under ``--pipeline-dir``, so a killed training
+job restarted with ``--resume`` skips completed work and still produces
+bit-identical models.  ``trace`` summarizes (or ``--tail``\\ s) the
+pipeline's structured JSONL event log.
 
 Parameters default to each application's representative midpoint and can
 be overridden with repeated ``--param name=value`` flags.  Measurement
@@ -108,6 +117,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="random joint samples per phase")
     train.add_argument("--budget-policy", default="roi",
                        choices=("roi", "uniform", "greedy", "sqrt-roi"))
+    train.add_argument("--cache", default=None, metavar="DIR",
+                       help="persist measured scalars in this disk cache")
+    train.add_argument("--pipeline-dir", default=None, metavar="DIR",
+                       help="checkpoint/trace directory for the resumable "
+                            "pipeline (default: <store>/.pipeline/<app>)")
+    train.add_argument("--resume", action="store_true",
+                       help="resume from the pipeline directory's checkpoints "
+                            "instead of starting fresh")
+    train.add_argument("--no-pipeline", action="store_true",
+                       help="train purely in memory, without checkpoints "
+                            "or trace events")
     add_workers_arg(train)
 
     optimize = sub.add_parser(
@@ -142,6 +162,14 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--phases", type=int, default=4)
     evaluate.add_argument("--level-stride", type=int, default=1)
     add_workers_arg(evaluate)
+
+    trace = sub.add_parser(
+        "trace", help="summarize or tail a training pipeline's trace log"
+    )
+    trace.add_argument("--pipeline-dir", required=True, metavar="DIR",
+                       help="pipeline directory holding trace.jsonl")
+    trace.add_argument("--tail", type=int, default=None, metavar="N",
+                       help="print the last N raw events instead of a summary")
 
     cache_stats = sub.add_parser(
         "cache-stats", help="inspect (and optionally compact) a disk cache"
@@ -225,7 +253,11 @@ def _cmd_golden(args) -> int:
 
 
 def _cmd_train(args) -> int:
+    from repro.eval.cache import DiskCache
+
     app = make_app(args.app)
+    if args.no_pipeline and (args.resume or args.pipeline_dir):
+        raise SystemExit("--no-pipeline conflicts with --resume/--pipeline-dir")
     opprox = Opprox(
         app,
         AccuracySpec.for_app(app, max_inputs=args.inputs),
@@ -233,8 +265,23 @@ def _cmd_train(args) -> int:
         joint_samples_per_phase=args.joint_samples,
         budget_policy=args.budget_policy,
         workers=args.workers,
+        disk_cache=DiskCache(Path(args.cache)) if args.cache else None,
     )
-    report = opprox.train()
+    if args.no_pipeline:
+        report = opprox.train()
+    else:
+        from repro.pipeline import TrainingPipeline
+
+        pipeline_dir = Path(args.pipeline_dir or
+                            Path(args.store) / ".pipeline" / app.name)
+        pipeline = TrainingPipeline(opprox, pipeline_dir)
+        result = pipeline.run(resume=args.resume)
+        report = result.report
+        if result.resumed_stages:
+            print(f"resumed: skipped {len(result.resumed_stages)} "
+                  f"checkpointed stage(s) "
+                  f"({', '.join(result.resumed_stages)})")
+        print(f"pipeline dir: {pipeline_dir} (trace: {result.trace_path})")
     store = ModelStore(Path(args.store))
     path = store.save(opprox, train_timestamp=time.time())
     print(f"trained {app.name}: {report.n_samples} samples, "
@@ -308,6 +355,24 @@ def _cmd_oracle(args) -> int:
     else:
         print("no uniform approximation satisfies the budget")
     print(stats.format_report("measurement stats:"))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.pipeline import TrainingPipeline, read_trace, summarize_trace
+    from repro.pipeline.trace import format_trace_summary, format_trace_tail
+
+    trace_path = Path(args.pipeline_dir) / TrainingPipeline.TRACE_NAME
+    events = read_trace(trace_path)
+    if not events:
+        print(f"no trace events at {trace_path}")
+        return 2
+    if args.tail is not None:
+        print(format_trace_tail(events, args.tail))
+    else:
+        print(format_trace_summary(
+            summarize_trace(events), f"pipeline trace — {trace_path}"
+        ))
     return 0
 
 
@@ -477,6 +542,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": lambda: _cmd_run(args),
         "oracle": lambda: _cmd_oracle(args),
         "evaluate": lambda: _cmd_evaluate(args),
+        "trace": lambda: _cmd_trace(args),
         "cache-stats": lambda: _cmd_cache_stats(args),
         "serve": lambda: _cmd_serve(args),
         "serve-bench": lambda: _cmd_serve_bench(args),

@@ -10,6 +10,7 @@ function accepts any ROI mapping.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Iterable, Sequence
 
 import numpy as np
@@ -60,8 +61,35 @@ def allocate_budget(budget: float, rois: Dict[int, float]) -> Dict[int, float]:
 def rois_from_samples(
     samples: Sequence[TrainingSample], n_phases: int
 ) -> Dict[int, float]:
-    """Per-phase ROI dictionary for a full training set."""
-    return {phase: phase_roi(samples, phase) for phase in range(n_phases)}
+    """Per-phase ROI dictionary for a full training set.
+
+    A phase with zero training samples (the joint-sampling shortfall
+    path can leave one empty) degrades to a *neutral* ROI — the median
+    of the populated phases — with a warning, instead of crashing the
+    whole training run through :func:`phase_roi`'s ``ValueError``.
+    """
+    phases_seen = {sample.phase for sample in samples}
+    populated = {
+        phase: phase_roi(samples, phase)
+        for phase in range(n_phases)
+        if phase in phases_seen
+    }
+    if not populated:
+        raise ValueError("no training samples in any phase")
+    missing = [phase for phase in range(n_phases) if phase not in populated]
+    if missing:
+        neutral = float(np.median(list(populated.values())))
+        warnings.warn(
+            f"rois_from_samples: phase(s) {missing} have no training "
+            f"samples (joint-sampling shortfall); assigning the median "
+            f"ROI {neutral:.4g} of the {len(populated)} populated "
+            f"phase(s) instead of failing",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        for phase in missing:
+            populated[phase] = neutral
+    return {phase: populated[phase] for phase in range(n_phases)}
 
 
 # ---------------------------------------------------------------------------

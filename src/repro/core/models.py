@@ -16,6 +16,7 @@ intervals:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -254,7 +255,18 @@ class PhaseModels:
 
         for phase, phase_samples in by_phase.items():
             if not phase_samples:
-                raise ValueError(f"no training samples for phase {phase}")
+                # A joint-sampling shortfall can leave a phase empty;
+                # borrow the full training set as a neutral prior so the
+                # optimizer still has models for every phase instead of
+                # the whole training run crashing.
+                warnings.warn(
+                    f"PhaseModels.fit: no training samples for phase "
+                    f"{phase}; fitting its models on all {len(samples)} "
+                    f"samples as a neutral fallback",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                phase_samples = list(samples)
             models._fit_phase(phase, phase_samples, seed)
         return models
 

@@ -119,24 +119,54 @@ class Opprox:
         return bool(self._models_by_flow)
 
     def train(self) -> TrainingReport:
-        """Offline phase: pick N, profile, and fit all models (Fig. 6)."""
-        started = time.perf_counter()
-        inputs = self.spec.training_inputs
+        """Offline phase: pick N, profile, and fit all models (Fig. 6).
 
+        Runs the explicit stage functions below in sequence, entirely
+        in memory.  For a crash-safe, resumable variant of the same
+        decomposition, see :class:`repro.pipeline.TrainingPipeline`,
+        which interleaves these stages with atomic checkpoints and a
+        structured trace log.
+        """
+        started = time.perf_counter()
+        self.stage_phase_search()
+        groups = self.stage_control_flow()
+        sampler = self.make_sampler()
+        for signature, flow_inputs in groups.items():
+            samples = self.stage_sample_flow(sampler, flow_inputs)
+            self.stage_fit_flow(signature, samples)
+        return self.stage_report(time.perf_counter() - started)
+
+    # -- training stages (the pipeline's unit of checkpointing) ---------------
+
+    def stage_phase_search(self) -> int:
+        """Stage 1 — resolve the phase count (Algorithm 1) if unset."""
         if self.n_phases is None:
             search = find_phase_count(
                 self.app,
                 self.profiler,
-                inputs[0],
+                self.spec.training_inputs[0],
                 threshold=self.phase_threshold,
                 max_phases=self.max_phases,
             )
             self.n_phases = search.n_phases
+        return self.n_phases
 
+    def stage_control_flow(self) -> Dict[str, List[ParamsDict]]:
+        """Stage 2 — fit the control-flow model, group the inputs by flow."""
+        inputs = self.spec.training_inputs
         self._control_flow = ControlFlowModel.train(self.app, self.profiler, inputs)
-        groups = self._control_flow.group_by_signature(self.profiler, inputs)
+        return self._control_flow.group_by_signature(self.profiler, inputs)
 
-        sampler = TrainingSampler(
+    def make_sampler(self) -> TrainingSampler:
+        """The training sampler shared by all per-flow sampling stages.
+
+        One sampler spans every flow so the joint-vector RNG stream is a
+        single deterministic sequence — the property the checkpointed
+        pipeline's replay-on-resume relies on.
+        """
+        if self.n_phases is None:
+            raise RuntimeError("stage_phase_search() must run first")
+        return TrainingSampler(
             self.app,
             self.profiler,
             self.n_phases,
@@ -145,31 +175,52 @@ class Opprox:
             local_samples_per_block=self.local_samples_per_block,
             seed=self.seed,
         )
-        total_samples = 0
-        for signature, flow_inputs in groups.items():
-            samples = sampler.collect(
-                flow_inputs,
-                workers=self.workers,
-                disk_cache=self.disk_cache,
-                stats=self.measurement_stats,
-            )
-            total_samples += len(samples)
-            self._samples_by_flow[signature] = samples
-            self._models_by_flow[signature] = PhaseModels.fit(
-                self.app,
-                self.n_phases,
-                samples,
-                seed=self.seed,
-                confidence_p=self.confidence_p,
-                subdivision_target_r2=self.subdivision_target_r2,
-            )
-            self._rois_by_flow[signature] = rois_from_samples(samples, self.n_phases)
 
+    def stage_sample_flow(
+        self,
+        sampler: TrainingSampler,
+        flow_inputs: List[ParamsDict],
+        completed_batches=None,
+        checkpoint_hook=None,
+    ) -> List[TrainingSample]:
+        """Stage 3 (per flow) — collect the flow's training samples."""
+        return sampler.collect(
+            flow_inputs,
+            workers=self.workers,
+            disk_cache=self.disk_cache,
+            stats=self.measurement_stats,
+            completed_batches=completed_batches,
+            checkpoint_hook=checkpoint_hook,
+        )
+
+    def stage_fit_flow(
+        self, signature: str, samples: List[TrainingSample]
+    ) -> PhaseModels:
+        """Stage 4 (per flow) — fit the flow's models and phase ROIs."""
+        if self.n_phases is None:
+            raise RuntimeError("stage_phase_search() must run first")
+        self._samples_by_flow[signature] = samples
+        models = PhaseModels.fit(
+            self.app,
+            self.n_phases,
+            samples,
+            seed=self.seed,
+            confidence_p=self.confidence_p,
+            subdivision_target_r2=self.subdivision_target_r2,
+        )
+        self._models_by_flow[signature] = models
+        self._rois_by_flow[signature] = rois_from_samples(samples, self.n_phases)
+        return models
+
+    def stage_report(self, training_seconds: float) -> TrainingReport:
+        """Stage 5 — assemble the training report from the fitted state."""
+        if self.n_phases is None or not self._models_by_flow:
+            raise RuntimeError("training stages have not all run")
         self._report = TrainingReport(
             n_phases=self.n_phases,
-            n_samples=total_samples,
-            n_control_flows=len(groups),
-            training_seconds=time.perf_counter() - started,
+            n_samples=sum(len(s) for s in self._samples_by_flow.values()),
+            n_control_flows=len(self._models_by_flow),
+            training_seconds=training_seconds,
             r2_by_flow={
                 signature: models.r2_summary()
                 for signature, models in self._models_by_flow.items()

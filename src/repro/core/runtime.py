@@ -18,12 +18,14 @@ instead of an arbitrary unpickling exception.
 from __future__ import annotations
 
 import json
+import os
 import pickle
 import re
 import time
+import uuid
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Mapping, Optional, Sequence, Union
+from typing import BinaryIO, Dict, Mapping, Optional, Sequence, Type, Union
 
 from repro.apps.base import ParamsDict
 from repro.approx.knobs import ApproximableBlock
@@ -36,7 +38,10 @@ __all__ = [
     "MODEL_FORMAT_VERSION",
     "ModelFormatError",
     "ModelStore",
+    "atomic_write_bytes",
+    "encode_header",
     "env_to_schedule",
+    "read_framed_header",
     "schedule_to_env",
     "submit_job",
 ]
@@ -57,6 +62,68 @@ class ModelFormatError(RuntimeError):
     type for "this file cannot be served" rather than whatever
     :mod:`pickle` happens to throw on foreign bytes.
     """
+
+
+# -- shared on-disk framing helpers -------------------------------------------
+#
+# Every durable artifact in this repo (stored models here, training
+# checkpoints in repro.pipeline) uses the same frame: a one-line magic,
+# a one-line JSON header, then an opaque payload — and the same
+# write-to-temp + fsync + rename discipline so a crash mid-write can
+# never tear an existing file.
+
+
+def atomic_write_bytes(path: Path, payload: bytes) -> None:
+    """Write ``payload`` to ``path`` atomically (temp + fsync + rename).
+
+    Readers concurrently opening ``path`` see either the previous
+    content or the full new content, never a truncated mix; a process
+    killed mid-write leaves the previous file intact.  The temporary
+    file lives in the same directory so the final ``os.replace`` stays
+    on one filesystem.
+    """
+    tmp = path.parent / f".{path.name}.tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+    try:
+        with tmp.open("wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def encode_header(magic: bytes, header: Dict[str, object]) -> bytes:
+    """The shared frame prefix: magic line + one sorted-JSON header line."""
+    return magic + json.dumps(header, sort_keys=True).encode("utf-8") + b"\n"
+
+
+def read_framed_header(
+    handle: BinaryIO,
+    magic: bytes,
+    path: Path,
+    error: Type[Exception],
+    kind: str = "file",
+) -> Dict[str, object]:
+    """Parse the magic + JSON header frame, raising ``error`` on damage.
+
+    Leaves ``handle`` positioned at the first payload byte.  Validation
+    of individual header fields (version, app, …) is the caller's job —
+    this only guarantees "a well-formed header of the expected kind".
+    """
+    first = handle.readline()
+    if first != magic:
+        raise error(
+            f"{path}: not an OPPROX {kind} (bad or missing header magic)"
+        )
+    raw = handle.readline()
+    try:
+        header = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise error(f"{path}: corrupt metadata header ({exc})") from exc
+    if not isinstance(header, dict):
+        raise error(f"{path}: metadata header is not an object")
+    return header
 
 
 def schedule_to_env(
@@ -193,11 +260,11 @@ class ModelStore:
             "n_phases": opprox.n_phases,
         }
         path = self.path_for(opprox.app.name)
-        with path.open("wb") as handle:
-            handle.write(MODEL_MAGIC)
-            handle.write(json.dumps(header, sort_keys=True).encode("utf-8"))
-            handle.write(b"\n")
-            pickle.dump(opprox, handle)
+        # Atomic publish: a crash mid-save must leave any previously
+        # stored model intact, never a truncated file that every serve
+        # request then has to discover and degrade around.
+        payload = encode_header(MODEL_MAGIC, header) + pickle.dumps(opprox)
+        atomic_write_bytes(path, payload)
         return path
 
     def read_metadata(self, app_name: str) -> Dict[str, object]:
@@ -229,21 +296,9 @@ class ModelStore:
     def _read_header(
         self, handle, path: Path, app_name: str
     ) -> Dict[str, object]:
-        magic = handle.readline()
-        if magic != MODEL_MAGIC:
-            raise ModelFormatError(
-                f"{path}: not an OPPROX model file (bad or missing header "
-                f"magic; legacy headerless pickles must be re-saved)"
-            )
-        raw = handle.readline()
-        try:
-            header = json.loads(raw.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise ModelFormatError(
-                f"{path}: corrupt metadata header ({exc})"
-            ) from exc
-        if not isinstance(header, dict):
-            raise ModelFormatError(f"{path}: metadata header is not an object")
+        header = read_framed_header(
+            handle, MODEL_MAGIC, path, ModelFormatError, kind="model file"
+        )
         version = header.get("format_version")
         if version != MODEL_FORMAT_VERSION:
             raise ModelFormatError(

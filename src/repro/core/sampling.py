@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -83,6 +83,23 @@ class TrainingSampler:
         self.local_sampling = local_sampling
         self.local_samples_per_block = local_samples_per_block
         self._rng = np.random.default_rng(seed)
+
+    # -- RNG snapshots (checkpointed-pipeline support) ------------------------
+
+    @property
+    def rng_state(self):
+        """Snapshot of the joint-sampling RNG (restorable via the setter).
+
+        The checkpointed training pipeline snapshots this before a
+        sampling stage so a retried stage replays exactly the draws the
+        failed attempt consumed — keeping resumed runs bit-identical to
+        uninterrupted ones.
+        """
+        return self._rng.bit_generator.state
+
+    @rng_state.setter
+    def rng_state(self, state) -> None:
+        self._rng.bit_generator.state = state
 
     # -- level-vector generators --------------------------------------------
 
@@ -199,15 +216,45 @@ class TrainingSampler:
         workers: Optional[int] = None,
         disk_cache=None,
         stats: Optional[MeasurementStats] = None,
+        completed_batches: Optional[Sequence[Sequence[TrainingSample]]] = None,
+        checkpoint_hook: Optional[
+            Callable[[int, List[TrainingSample]], None]
+        ] = None,
     ) -> List[TrainingSample]:
-        """Samples for every training input (Sec. 3.3's full sweep)."""
+        """Samples for every training input (Sec. 3.3's full sweep).
+
+        ``completed_batches`` holds per-input sample batches persisted by
+        an earlier (interrupted) run: their inputs are *not* re-measured —
+        the persisted samples are reused verbatim — but the joint-vector
+        draws are still replayed so the RNG reaches exactly the state an
+        uninterrupted sweep would have, keeping later inputs (and later
+        flows sharing this sampler) bit-identical.
+
+        ``checkpoint_hook(input_index, batch)`` is invoked after each
+        *freshly measured* input's batch, letting the checkpointed
+        training pipeline persist progress incrementally; a crash between
+        hooks loses at most one input's worth of measurements.
+        """
         if not inputs:
             raise ValueError("need at least one training input")
-        samples: List[TrainingSample] = []
-        for params in inputs:
-            samples.extend(
-                self.collect_for_input(
-                    params, workers=workers, disk_cache=disk_cache, stats=stats
-                )
+        done = list(completed_batches or ())
+        if len(done) > len(inputs):
+            raise ValueError(
+                f"got {len(done)} completed batches for {len(inputs)} inputs; "
+                f"the checkpoint does not match this input set"
             )
+        samples: List[TrainingSample] = []
+        for index, params in enumerate(inputs):
+            if index < len(done):
+                # Replay the RNG draws this input would have consumed,
+                # then reuse the persisted batch without re-measuring.
+                self.joint_level_vectors(self.joint_samples_per_phase)
+                samples.extend(done[index])
+                continue
+            batch = self.collect_for_input(
+                params, workers=workers, disk_cache=disk_cache, stats=stats
+            )
+            if checkpoint_hook is not None:
+                checkpoint_hook(index, batch)
+            samples.extend(batch)
         return samples

@@ -37,23 +37,42 @@ class LatencyHistogram:
         self.min_seconds = float("inf")
         self.max_seconds = 0.0
         self._samples: List[float] = []
+        #: samples ever placed in the window (recorded + merged); drives
+        #: the wrap slot so merged samples don't skew later overwrites
+        self._window_writes = 0
+
+    def _append_sample(self, seconds: float) -> None:
+        if len(self._samples) < self.max_samples:
+            self._samples.append(seconds)
+        else:
+            self._samples[self._window_writes % self.max_samples] = seconds
+        self._window_writes += 1
 
     def record(self, seconds: float) -> None:
         if seconds < 0.0:
             raise ValueError(f"latency must be non-negative, got {seconds}")
-        if len(self._samples) < self.max_samples:
-            self._samples.append(seconds)
-        else:
-            self._samples[self.count % self.max_samples] = seconds
+        self._append_sample(seconds)
         self.count += 1
         self.total_seconds += seconds
         self.min_seconds = min(self.min_seconds, seconds)
         self.max_seconds = max(self.max_seconds, seconds)
 
     def merge(self, other: "LatencyHistogram") -> None:
-        """Fold another histogram's samples into this one."""
+        """Fold another histogram into this one.
+
+        Scalar counters (``count``, ``total_seconds``, ``min``/``max``)
+        are merged directly, so a source histogram that overflowed its
+        retention window contributes its *true* totals; only the
+        retained sample window is replayed, and only for percentiles.
+        """
+        if other.count == 0:
+            return
+        self.count += other.count
+        self.total_seconds += other.total_seconds
+        self.min_seconds = min(self.min_seconds, other.min_seconds)
+        self.max_seconds = max(self.max_seconds, other.max_seconds)
         for seconds in other._samples:
-            self.record(seconds)
+            self._append_sample(seconds)
 
     @property
     def mean_seconds(self) -> float:

@@ -1,0 +1,55 @@
+"""Checkpointed, resumable offline-training pipeline.
+
+The paper's offline stage (Fig. 6) is a long-running job: phase search,
+control-flow grouping, per-flow sampling sweeps, model fitting.  This
+package wraps :class:`repro.core.opprox.Opprox`'s stage functions in an
+orchestrator that
+
+* persists an atomic on-disk checkpoint after every stage (and after
+  every per-input sample batch within a sampling stage), using the same
+  magic + JSON-header framing as the model store;
+* resumes from those checkpoints, skipping completed stages and
+  restarting a mid-flow sampling sweep from the last persisted batch,
+  while replaying RNG draws so the resumed run is bit-identical to an
+  uninterrupted one;
+* retries stages with exponential backoff on transient failures;
+* emits append-only JSONL trace events that ``python -m repro trace``
+  tails and summarizes.
+"""
+
+from repro.pipeline.checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    CHECKPOINT_MAGIC,
+    CheckpointError,
+    CheckpointStore,
+)
+from repro.pipeline.fingerprint import model_fingerprint, state_digest
+from repro.pipeline.orchestrator import (
+    PipelineResult,
+    StageOutcome,
+    TrainingPipeline,
+    training_fingerprint,
+)
+from repro.pipeline.trace import (
+    TraceWriter,
+    format_trace_summary,
+    read_trace,
+    summarize_trace,
+)
+
+__all__ = [
+    "CHECKPOINT_FORMAT_VERSION",
+    "CHECKPOINT_MAGIC",
+    "CheckpointError",
+    "CheckpointStore",
+    "PipelineResult",
+    "StageOutcome",
+    "TraceWriter",
+    "TrainingPipeline",
+    "format_trace_summary",
+    "model_fingerprint",
+    "read_trace",
+    "state_digest",
+    "summarize_trace",
+    "training_fingerprint",
+]

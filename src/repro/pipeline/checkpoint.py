@@ -1,0 +1,162 @@
+"""Atomic stage checkpoints for the training pipeline.
+
+One file per stage under the pipeline directory, framed exactly like
+stored models (see :mod:`repro.core.runtime`): a magic line, a JSON
+header line, then a pickled payload.  Writes go through
+:func:`~repro.core.runtime.atomic_write_bytes`, so a crash mid-write
+never tears an existing checkpoint — the resumed run sees either the
+previous complete checkpoint or the new one.
+
+Damaged or incompatible checkpoints are *never* fatal: the orchestrator
+probes with :meth:`CheckpointStore.try_load`, which turns every failure
+mode (truncation, bad magic, stale format version, header/config
+mismatch, unpicklable payload) into a ``(None, reason)`` pair, and the
+stage simply restarts from its beginning with a trace event.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from repro.core.runtime import (
+    atomic_write_bytes,
+    encode_header,
+    read_framed_header,
+)
+
+__all__ = [
+    "CHECKPOINT_FORMAT_VERSION",
+    "CHECKPOINT_MAGIC",
+    "CheckpointError",
+    "CheckpointStore",
+]
+
+#: first line of every checkpoint file; anything else is not ours
+CHECKPOINT_MAGIC = b"#OPPROX-CKPT\n"
+#: bump when the pickled payload layout changes incompatibly
+CHECKPOINT_FORMAT_VERSION = 1
+
+_SUFFIX = ".ckpt"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is missing, corrupt, or incompatible."""
+
+
+class CheckpointStore:
+    """One-file-per-stage checkpoint storage for a training pipeline run.
+
+    Every header carries the app name and a *configuration fingerprint*
+    (a digest of the training-relevant :class:`Opprox` knobs plus the
+    training inputs), so checkpoints written under a different
+    configuration are rejected on resume instead of silently producing
+    wrong models.
+    """
+
+    def __init__(self, root: Path | str, app_name: str, config_fingerprint: str):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.app_name = app_name
+        self.config_fingerprint = config_fingerprint
+
+    def path_for(self, stage_key: str) -> Path:
+        return self.root / f"{stage_key}{_SUFFIX}"
+
+    # -- writing --------------------------------------------------------------
+
+    def save(
+        self,
+        stage_key: str,
+        payload: object,
+        extra_header: Optional[Dict[str, object]] = None,
+    ) -> Path:
+        """Atomically persist ``payload`` for ``stage_key``."""
+        header: Dict[str, object] = {
+            "format_version": CHECKPOINT_FORMAT_VERSION,
+            "app": self.app_name,
+            "config_fingerprint": self.config_fingerprint,
+            "stage": stage_key,
+        }
+        if extra_header:
+            header.update(extra_header)
+        path = self.path_for(stage_key)
+        atomic_write_bytes(
+            path, encode_header(CHECKPOINT_MAGIC, header) + pickle.dumps(payload)
+        )
+        return path
+
+    # -- reading --------------------------------------------------------------
+
+    def load(
+        self, stage_key: str, expect: Optional[Dict[str, object]] = None
+    ) -> Tuple[object, Dict[str, object]]:
+        """Load and validate a checkpoint; raises :class:`CheckpointError`.
+
+        ``expect`` maps header fields to required values (e.g.
+        ``{"n_phases": 4}``); any disagreement — including the implicit
+        app / config-fingerprint / format-version checks — fails the
+        load.  Returns ``(payload, header)``.
+        """
+        path = self.path_for(stage_key)
+        if not path.exists():
+            raise CheckpointError(f"{path}: no checkpoint for {stage_key!r}")
+        with path.open("rb") as handle:
+            header = read_framed_header(
+                handle, CHECKPOINT_MAGIC, path, CheckpointError, kind="checkpoint"
+            )
+            checks: Dict[str, object] = {
+                "format_version": CHECKPOINT_FORMAT_VERSION,
+                "app": self.app_name,
+                "config_fingerprint": self.config_fingerprint,
+                "stage": stage_key,
+            }
+            if expect:
+                checks.update(expect)
+            for field, wanted in checks.items():
+                got = header.get(field)
+                if got != wanted:
+                    raise CheckpointError(
+                        f"{path}: header field {field!r} is {got!r}, "
+                        f"expected {wanted!r}"
+                    )
+            try:
+                payload = pickle.load(handle)
+            except Exception as exc:
+                raise CheckpointError(
+                    f"{path}: checkpoint payload is corrupt ({exc})"
+                ) from exc
+        return payload, header
+
+    def try_load(
+        self, stage_key: str, expect: Optional[Dict[str, object]] = None
+    ) -> Tuple[Optional[object], Optional[str]]:
+        """Non-raising probe: ``(payload, None)``, ``(None, reason)``, or
+        ``(None, None)`` when no checkpoint exists at all."""
+        if not self.path_for(stage_key).exists():
+            return None, None
+        try:
+            payload, _ = self.load(stage_key, expect=expect)
+        except CheckpointError as exc:
+            return None, str(exc)
+        return payload, None
+
+    # -- maintenance ----------------------------------------------------------
+
+    def discard(self, stage_key: str) -> None:
+        self.path_for(stage_key).unlink(missing_ok=True)
+
+    def clear(self) -> int:
+        """Remove every checkpoint (fresh, non-resumed run)."""
+        removed = 0
+        for path in sorted(self.root.glob(f"*{_SUFFIX}")):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def existing(self) -> Dict[str, Path]:
+        return {
+            path.name[: -len(_SUFFIX)]: path
+            for path in sorted(self.root.glob(f"*{_SUFFIX}"))
+        }

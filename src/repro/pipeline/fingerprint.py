@@ -1,0 +1,125 @@
+"""Deterministic digests of trained model state.
+
+The kill-and-resume smoke gate must prove that a resumed training run
+produced *bit-identical* models to an uninterrupted one.  Raw pickles of
+:class:`~repro.core.opprox.Opprox` cannot be compared byte-for-byte —
+they embed wall-clock timings, profiler caches, and object-identity
+sharing that legitimately differ between processes — so this module
+walks the *functional* trained state (fitted coefficients, confidence
+intervals, ROIs, training samples, control-flow tree) and feeds a
+canonical byte encoding of every leaf into SHA-256.  Floats are hashed
+via their exact IEEE-754 bit patterns: two states digest equal iff every
+number in them is bit-identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import struct
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["model_fingerprint", "state_digest"]
+
+
+def _feed(hasher, obj) -> None:
+    """Recursively feed a canonical encoding of ``obj`` into ``hasher``."""
+    # Applications are heavyweight substrate objects referenced from
+    # every fitted model; their identity is their name.
+    from repro.apps.base import Application
+
+    if obj is None:
+        hasher.update(b"N")
+    elif isinstance(obj, bool):
+        hasher.update(b"B1" if obj else b"B0")
+    elif isinstance(obj, (int, np.integer)):
+        hasher.update(b"I" + repr(int(obj)).encode())
+    elif isinstance(obj, (float, np.floating)):
+        hasher.update(b"F" + struct.pack("<d", float(obj)))
+    elif isinstance(obj, str):
+        encoded = obj.encode("utf-8")
+        hasher.update(b"S" + repr(len(encoded)).encode() + b":" + encoded)
+    elif isinstance(obj, bytes):
+        hasher.update(b"Y" + repr(len(obj)).encode() + b":" + obj)
+    elif isinstance(obj, np.ndarray):
+        canonical = np.ascontiguousarray(obj)
+        hasher.update(
+            b"A" + canonical.dtype.str.encode() + repr(canonical.shape).encode()
+        )
+        hasher.update(canonical.tobytes())
+    elif isinstance(obj, Application):
+        hasher.update(b"app:" + obj.name.encode())
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        hasher.update(b"D" + type(obj).__name__.encode() + b"{")
+        for field in dataclasses.fields(obj):
+            hasher.update(field.name.encode() + b"=")
+            _feed(hasher, getattr(obj, field.name))
+        hasher.update(b"}")
+    elif isinstance(obj, dict):
+        # Sort by each key's own digest so dict insertion order — an
+        # artifact of code paths, not of the fitted state — is erased.
+        items = sorted(
+            ((state_digest(key), key, value) for key, value in obj.items()),
+            key=lambda entry: entry[0],
+        )
+        hasher.update(b"M{")
+        for key_digest, _, value in items:
+            hasher.update(key_digest.encode() + b"=")
+            _feed(hasher, value)
+        hasher.update(b"}")
+    elif isinstance(obj, (list, tuple)):
+        hasher.update(b"L[" if isinstance(obj, list) else b"T[")
+        for item in obj:
+            _feed(hasher, item)
+        hasher.update(b"]")
+    elif isinstance(obj, (set, frozenset)):
+        hasher.update(b"Z{")
+        for digest in sorted(state_digest(item) for item in obj):
+            hasher.update(digest.encode())
+        hasher.update(b"}")
+    elif hasattr(obj, "__dict__"):
+        # Plain model objects (PolynomialRegression, the CART tree,
+        # confidence intervals, …): class name + sorted attributes.
+        hasher.update(
+            b"O" + type(obj).__module__.encode() + b"." + type(obj).__name__.encode() + b"{"
+        )
+        for name in sorted(vars(obj)):
+            hasher.update(name.encode() + b"=")
+            _feed(hasher, vars(obj)[name])
+        hasher.update(b"}")
+    else:
+        raise TypeError(
+            f"state_digest cannot canonicalize {type(obj).__name__} ({obj!r})"
+        )
+
+
+def state_digest(obj) -> str:
+    """SHA-256 hex digest of ``obj``'s canonical byte encoding."""
+    hasher = hashlib.sha256()
+    _feed(hasher, obj)
+    return hasher.hexdigest()
+
+
+def model_fingerprint(opprox) -> str:
+    """Digest of an Opprox instance's trained functional state.
+
+    Covers everything :meth:`Opprox.optimize` consults — phase count,
+    control-flow model, per-flow fitted models, ROIs, and training
+    samples — and deliberately excludes wall-clock timings, profiler
+    caches, and measurement statistics.  Two trainings with the same
+    configuration must produce the same fingerprint regardless of
+    interruption, process boundaries, or worker counts.
+    """
+    if not opprox.is_trained:
+        raise ValueError("cannot fingerprint an untrained Opprox instance")
+    state: Dict[str, object] = {
+        "app": opprox.app.name,
+        "n_phases": opprox.n_phases,
+        "control_flow": opprox._control_flow,
+        "models_by_flow": opprox._models_by_flow,
+        "rois_by_flow": opprox._rois_by_flow,
+        "samples_by_flow": opprox._samples_by_flow,
+    }
+    return state_digest(state)

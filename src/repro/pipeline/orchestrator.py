@@ -1,0 +1,464 @@
+"""The staged, checkpointed, resumable training orchestrator.
+
+Decomposes :meth:`Opprox.train` into its stage functions —
+``phase-search`` → ``control-flow`` → per-flow ``sample-flow<i>`` →
+per-flow ``fit-flow<i>`` → ``report`` — and wraps each stage with
+
+* an atomic checkpoint (:mod:`repro.pipeline.checkpoint`), written on
+  stage completion and, for sampling stages, after *every* per-input
+  sample batch, so a killed run loses at most one input's measurements;
+* resume logic that skips completed stages, replays checkpointed sample
+  batches without re-measuring (RNG draws are replayed so the stream
+  stays bit-identical), and restarts cleanly from any damaged or
+  config-mismatched checkpoint;
+* retry-with-exponential-backoff for transient worker failures, with
+  the sampler RNG snapshot restored per attempt;
+* structured trace events (:mod:`repro.pipeline.trace`).
+
+Determinism contract: for a fixed configuration, ``TrainingPipeline``
+produces models whose :func:`~repro.pipeline.fingerprint.model_fingerprint`
+is identical to a plain in-memory ``Opprox.train()`` — interrupted and
+resumed any number of times, with any worker count.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.core.opprox import Opprox, TrainingReport
+from repro.pipeline.checkpoint import CheckpointStore
+from repro.pipeline.fingerprint import state_digest
+from repro.pipeline.trace import TraceWriter
+
+__all__ = [
+    "PipelineResult",
+    "StageOutcome",
+    "TrainingPipeline",
+    "training_fingerprint",
+]
+
+#: Opprox fields that shape the *training artifacts*.  Post-training
+#: knobs (budget_policy, conservative, interaction_margin) and execution
+#: details that cannot change results (workers, disk_cache) are
+#: deliberately excluded, so e.g. resuming with more workers is valid.
+_CONFIG_FIELDS = (
+    "n_phases",
+    "phase_threshold",
+    "max_phases",
+    "joint_samples_per_phase",
+    "local_sampling",
+    "local_samples_per_block",
+    "seed",
+    "confidence_p",
+    "subdivision_target_r2",
+)
+
+
+def training_fingerprint(opprox: Opprox) -> str:
+    """Digest of the training-relevant configuration of ``opprox``.
+
+    Stamped into every checkpoint header; a resume under a different
+    configuration invalidates all prior checkpoints instead of welding
+    incompatible stage outputs together.
+    """
+    config: Dict[str, object] = {
+        "app": opprox.app.name,
+        "training_inputs": [
+            sorted(params.items()) for params in opprox.spec.training_inputs
+        ],
+    }
+    for name in _CONFIG_FIELDS:
+        config[name] = getattr(opprox, name)
+    return state_digest(config)
+
+
+@dataclass(frozen=True)
+class StageOutcome:
+    """How one stage concluded in one pipeline run."""
+
+    stage: str
+    skipped: bool
+    wall_seconds: float
+    retries: int = 0
+
+
+@dataclass
+class PipelineResult:
+    """Everything one :meth:`TrainingPipeline.run` call produced."""
+
+    report: TrainingReport
+    outcomes: List[StageOutcome] = field(default_factory=list)
+    trace_path: Optional[Path] = None
+
+    @property
+    def resumed_stages(self) -> List[str]:
+        return [o.stage for o in self.outcomes if o.skipped]
+
+    @property
+    def executed_stages(self) -> List[str]:
+        return [o.stage for o in self.outcomes if not o.skipped]
+
+
+class TrainingPipeline:
+    """Checkpointed, resumable driver for ``Opprox``'s training stages.
+
+    Layout under ``root``::
+
+        checkpoints/*.ckpt    one atomic checkpoint per stage
+        trace.jsonl           append-only structured event log
+
+    ``max_retries``/``backoff_seconds`` govern the per-stage retry loop
+    (attempt *n* sleeps ``backoff_seconds * 2**n``); ``sleep`` is
+    injectable for tests.
+    """
+
+    TRACE_NAME = "trace.jsonl"
+
+    def __init__(
+        self,
+        opprox: Opprox,
+        root: Path | str,
+        max_retries: int = 2,
+        backoff_seconds: float = 0.05,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if backoff_seconds < 0:
+            raise ValueError(
+                f"backoff_seconds must be >= 0, got {backoff_seconds}"
+            )
+        self.opprox = opprox
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.max_retries = max_retries
+        self.backoff_seconds = backoff_seconds
+        self._sleep = sleep
+        self.config_fingerprint = training_fingerprint(opprox)
+        self.checkpoints = CheckpointStore(
+            self.root / "checkpoints",
+            app_name=opprox.app.name,
+            config_fingerprint=self.config_fingerprint,
+        )
+        self.trace = TraceWriter(self.root / self.TRACE_NAME)
+        self._outcomes: List[StageOutcome] = []
+
+    # -- public API -----------------------------------------------------------
+
+    def run(self, resume: bool = True) -> PipelineResult:
+        """Execute (or resume) the full training pipeline.
+
+        ``resume=False`` discards any existing checkpoints first; the
+        trace file is always appended to, preserving history.
+        """
+        started = time.perf_counter()
+        stats = self.opprox.measurement_stats
+        stats_before = stats.report()
+        self._outcomes = []
+        self._resume = resume
+        self.trace.emit(
+            "pipeline_start",
+            app=self.opprox.app.name,
+            resume=resume,
+            config_fingerprint=self.config_fingerprint,
+        )
+        if not resume:
+            removed = self.checkpoints.clear()
+            if removed:
+                self.trace.emit("checkpoints_cleared", count=removed)
+
+        n_phases = self._stage_phase_search()
+        groups = self._stage_control_flow(n_phases)
+        sampler = self.opprox.make_sampler()
+        flows = list(groups.items())
+        samples_by_flow = {}
+        for index, (signature, flow_inputs) in enumerate(flows):
+            samples = self._stage_sample_flow(
+                index, signature, flow_inputs, sampler, n_phases
+            )
+            samples_by_flow[signature] = samples
+            self._stage_fit_flow(index, signature, samples, n_phases)
+        report = self._stage_report(n_phases, len(flows), started)
+
+        stats_after = stats.report()
+        self.trace.emit(
+            "pipeline_end",
+            app=self.opprox.app.name,
+            wall_seconds=time.perf_counter() - started,
+            n_samples=report.n_samples,
+            n_control_flows=report.n_control_flows,
+            n_phases=report.n_phases,
+            stages_executed=[o.stage for o in self._outcomes if not o.skipped],
+            stages_skipped=[o.stage for o in self._outcomes if o.skipped],
+            executions=int(stats_after["executions"])
+            - int(stats_before["executions"]),
+            memory_hits=int(stats_after["memory_hits"])
+            - int(stats_before["memory_hits"]),
+            disk_hits=int(stats_after["disk_hits"])
+            - int(stats_before["disk_hits"]),
+            cache_hit_rate=stats.cache_hit_rate,
+        )
+        return PipelineResult(
+            report=report,
+            outcomes=list(self._outcomes),
+            trace_path=self.trace.path,
+        )
+
+    # -- stage plumbing -------------------------------------------------------
+
+    def _probe(self, stage_key: str, expect: Optional[Dict[str, object]]):
+        """Checkpoint payload for ``stage_key``, or None (with tracing)."""
+        if not self._resume:
+            return None
+        payload, reason = self.checkpoints.try_load(stage_key, expect=expect)
+        if reason is not None:
+            self.trace.emit("checkpoint_invalid", stage=stage_key, reason=reason)
+            self.checkpoints.discard(stage_key)
+        return payload
+
+    def _attempt(self, stage_key: str, compute: Callable[[], object]) -> object:
+        """Run ``compute`` with retry-with-backoff for transient failures."""
+        attempt = 0
+        while True:
+            try:
+                return compute()
+            except Exception as exc:
+                if attempt >= self.max_retries:
+                    self.trace.emit(
+                        "stage_failed",
+                        stage=stage_key,
+                        attempts=attempt + 1,
+                        error=repr(exc),
+                    )
+                    raise
+                delay = self.backoff_seconds * (2.0 ** attempt)
+                attempt += 1
+                self.trace.emit(
+                    "retry",
+                    stage=stage_key,
+                    attempt=attempt,
+                    backoff_seconds=delay,
+                    error=repr(exc),
+                )
+                self._sleep(delay)
+
+    def _record(self, stage: str, skipped: bool, wall: float) -> None:
+        self._outcomes.append(
+            StageOutcome(stage=stage, skipped=skipped, wall_seconds=wall)
+        )
+
+    # -- individual stages ----------------------------------------------------
+
+    def _stage_phase_search(self) -> int:
+        key = "phase-search"
+        expect: Dict[str, object] = {}
+        if self.opprox.n_phases is not None:
+            # An explicitly configured phase count must agree with the
+            # checkpoint, or the checkpoint is for another run shape.
+            expect["n_phases"] = self.opprox.n_phases
+        payload = self._probe(key, expect)
+        if payload is not None:
+            self.opprox.n_phases = int(payload["n_phases"])
+            self.trace.emit("stage_skipped", stage=key,
+                            n_phases=self.opprox.n_phases)
+            self._record(key, True, 0.0)
+            return self.opprox.n_phases
+        self.trace.emit("stage_start", stage=key)
+        started = time.perf_counter()
+        n_phases = int(self._attempt(key, self.opprox.stage_phase_search))
+        self.checkpoints.save(
+            key, {"n_phases": n_phases}, {"n_phases": n_phases}
+        )
+        wall = time.perf_counter() - started
+        self.trace.emit("stage_end", stage=key, wall_seconds=wall,
+                        n_phases=n_phases)
+        self._record(key, False, wall)
+        return n_phases
+
+    def _stage_control_flow(self, n_phases: int):
+        key = "control-flow"
+        payload = self._probe(key, {"n_phases": n_phases})
+        if payload is not None:
+            control_flow = payload["control_flow"]
+            # Re-bind the substrate singleton: the unpickled copy must
+            # not shadow the live application instance.
+            control_flow.app = self.opprox.app
+            self.opprox._control_flow = control_flow
+            groups = payload["groups"]
+            self.trace.emit("stage_skipped", stage=key, n_flows=len(groups))
+            self._record(key, True, 0.0)
+            return groups
+        self.trace.emit("stage_start", stage=key)
+        started = time.perf_counter()
+        groups = self._attempt(key, self.opprox.stage_control_flow)
+        self.checkpoints.save(
+            key,
+            {"control_flow": self.opprox._control_flow, "groups": groups},
+            {"n_phases": n_phases, "n_flows": len(groups)},
+        )
+        wall = time.perf_counter() - started
+        self.trace.emit("stage_end", stage=key, wall_seconds=wall,
+                        n_flows=len(groups))
+        self._record(key, False, wall)
+        return groups
+
+    def _stage_sample_flow(
+        self, index: int, signature: str, flow_inputs, sampler, n_phases: int
+    ):
+        key = f"sample-flow{index}"
+        expect = {
+            "n_phases": n_phases,
+            "signature": signature,
+            "n_inputs": len(flow_inputs),
+        }
+        payload = self._probe(key, expect)
+        persisted: List[List] = list(payload["batches"]) if payload else []
+        complete = bool(payload and payload.get("complete"))
+
+        stats = self.opprox.measurement_stats
+        if complete and len(persisted) == len(flow_inputs):
+            # Fully checkpointed flow: replay the RNG draws (so later
+            # flows see the same stream) and reuse every batch verbatim
+            # — zero re-measured samples.
+            samples = self.opprox.stage_sample_flow(
+                sampler, flow_inputs, completed_batches=persisted
+            )
+            for batch_index, batch in enumerate(persisted):
+                self.trace.emit(
+                    "sample_batch", stage=key, flow=signature,
+                    input_index=batch_index, n_samples=len(batch),
+                    resumed=True, executions=0,
+                )
+            self.trace.emit("stage_skipped", stage=key, flow=signature,
+                            n_samples=len(samples))
+            self._record(key, True, 0.0)
+            return samples
+
+        resumed_batches = len(persisted)
+        self.trace.emit(
+            "stage_start", stage=key, flow=signature,
+            n_inputs=len(flow_inputs), resumed_batches=resumed_batches,
+        )
+        started = time.perf_counter()
+        rng_snapshot = sampler.rng_state
+        executions_mark = [stats.executions]
+
+        for batch_index, batch in enumerate(persisted):
+            self.trace.emit(
+                "sample_batch", stage=key, flow=signature,
+                input_index=batch_index, n_samples=len(batch),
+                resumed=True, executions=0,
+            )
+
+        def hook(batch_index: int, batch: List) -> None:
+            # Persist FIRST, then trace: a sample_batch event in the log
+            # guarantees the batch is durable on disk.
+            persisted.append(batch)
+            self.checkpoints.save(
+                key,
+                {
+                    "signature": signature,
+                    "batches": persisted,
+                    "complete": len(persisted) == len(flow_inputs),
+                },
+                expect,
+            )
+            executed = stats.executions - executions_mark[0]
+            executions_mark[0] = stats.executions
+            self.trace.emit(
+                "sample_batch", stage=key, flow=signature,
+                input_index=batch_index, n_samples=len(batch),
+                resumed=False, executions=executed,
+            )
+
+        executions_start = stats.executions
+
+        def compute():
+            # Each attempt restores the RNG and re-reads the persisted
+            # prefix, so a retried stage resumes from the last durable
+            # batch with an identical draw stream.
+            sampler.rng_state = rng_snapshot
+            fresh, _ = self.checkpoints.try_load(key, expect=expect)
+            persisted.clear()  # keep list identity for the hook closure
+            persisted.extend(fresh["batches"] if fresh else [])
+            executions_mark[0] = stats.executions
+            return self.opprox.stage_sample_flow(
+                sampler,
+                flow_inputs,
+                completed_batches=list(persisted),
+                checkpoint_hook=hook,
+            )
+
+        samples = self._attempt(key, compute)
+        wall = time.perf_counter() - started
+        self.trace.emit(
+            "stage_end", stage=key, flow=signature, wall_seconds=wall,
+            n_samples=len(samples), n_inputs=len(flow_inputs),
+            resumed_batches=resumed_batches,
+            executions=stats.executions - executions_start,
+        )
+        self._record(key, False, wall)
+        return samples
+
+    def _stage_fit_flow(
+        self, index: int, signature: str, samples, n_phases: int
+    ) -> None:
+        key = f"fit-flow{index}"
+        expect = {"n_phases": n_phases, "signature": signature}
+        payload = self._probe(key, expect)
+        if payload is not None:
+            models = payload["models"]
+            models.app = self.opprox.app
+            self.opprox._samples_by_flow[signature] = samples
+            self.opprox._models_by_flow[signature] = models
+            self.opprox._rois_by_flow[signature] = payload["rois"]
+            self.trace.emit("stage_skipped", stage=key, flow=signature)
+            self._record(key, True, 0.0)
+            return
+        self.trace.emit("stage_start", stage=key, flow=signature)
+        started = time.perf_counter()
+        self._attempt(
+            key, lambda: self.opprox.stage_fit_flow(signature, samples)
+        )
+        self.checkpoints.save(
+            key,
+            {
+                "signature": signature,
+                "models": self.opprox._models_by_flow[signature],
+                "rois": self.opprox._rois_by_flow[signature],
+            },
+            expect,
+        )
+        wall = time.perf_counter() - started
+        self.trace.emit(
+            "stage_end", stage=key, flow=signature, wall_seconds=wall,
+            r2=self.opprox._models_by_flow[signature].r2_summary(),
+        )
+        self._record(key, False, wall)
+
+    def _stage_report(
+        self, n_phases: int, n_flows: int, run_started: float
+    ) -> TrainingReport:
+        key = "report"
+        expect = {"n_phases": n_phases, "n_flows": n_flows}
+        payload = self._probe(key, expect)
+        if payload is not None:
+            self.opprox._report = payload["report"]
+            self.trace.emit("stage_skipped", stage=key)
+            self._record(key, True, 0.0)
+            return payload["report"]
+        self.trace.emit("stage_start", stage=key)
+        started = time.perf_counter()
+        report = self._attempt(
+            key,
+            lambda: self.opprox.stage_report(time.perf_counter() - run_started),
+        )
+        self.checkpoints.save(key, {"report": report}, expect)
+        wall = time.perf_counter() - started
+        self.trace.emit("stage_end", stage=key, wall_seconds=wall,
+                        n_samples=report.n_samples)
+        self._record(key, False, wall)
+        return report

@@ -1,0 +1,211 @@
+"""Append-only JSONL trace log for the training pipeline.
+
+Every pipeline run appends structured events to ``trace.jsonl`` in the
+pipeline directory — the file is never rewritten, so a single trace
+tells the whole kill/resume history of a training job.  Events are one
+JSON object per line with at least ``ts`` (epoch seconds) and ``event``;
+the event vocabulary is:
+
+``pipeline_start``/``pipeline_end``
+    one per :meth:`TrainingPipeline.run` call (``pipeline_end`` carries
+    wall time, stage tallies, and the measurement-stats deltas);
+``stage_start``/``stage_end``
+    around every executed stage (``stage_end`` carries wall time plus
+    stage-specific detail: sample counts, cache hit rates, …);
+``stage_skipped``
+    a stage answered entirely from its checkpoint;
+``checkpoint_invalid``
+    a checkpoint existed but failed validation (truncated, bad magic,
+    stale version, config/n_phases mismatch) — the stage restarts;
+``sample_batch``
+    one training input's batch within a sampling stage, with
+    ``resumed`` telling replayed-from-checkpoint batches (zero new
+    executions) apart from freshly measured ones;
+``retry``
+    a stage attempt failed and is being retried after backoff.
+
+Readers are crash-tolerant: a process killed mid-append leaves at most
+one torn final line, which :func:`read_trace` skips.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "TraceWriter",
+    "format_trace_summary",
+    "read_trace",
+    "summarize_trace",
+]
+
+
+class TraceWriter:
+    """Durable append-only JSONL event sink (one flush+fsync per event).
+
+    Event granularity is stages and sample batches — tens of events per
+    training run — so the per-event fsync is noise next to the
+    measurements it records, and it guarantees an event is on disk
+    before the work the next event describes begins.
+    """
+
+    def __init__(self, path: Path | str):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def emit(self, event: str, **fields: object) -> Dict[str, object]:
+        record: Dict[str, object] = {"ts": time.time(), "event": event}
+        record.update(fields)
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        return record
+
+
+def read_trace(path: Path | str) -> List[Dict[str, object]]:
+    """All events in a trace file, skipping torn/corrupt lines."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    events: List[Dict[str, object]] = []
+    for raw_line in path.read_bytes().splitlines():
+        line = raw_line.decode("utf-8", errors="replace").strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # a writer killed mid-append leaves one torn line
+        if isinstance(record, dict) and "event" in record:
+            events.append(record)
+    return events
+
+
+def summarize_trace(events: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Aggregate a trace into one structured summary (CLI ``trace``)."""
+    stages: Dict[str, Dict[str, object]] = {}
+    summary: Dict[str, object] = {
+        "events": len(events),
+        "runs": 0,
+        "completed_runs": 0,
+        "retries": 0,
+        "checkpoints_invalidated": 0,
+        "samples_measured": 0,
+        "samples_resumed": 0,
+        "last_event": None,
+        "last_ts": None,
+        "stages": stages,
+    }
+    for record in events:
+        kind = record.get("event")
+        summary["last_event"] = kind
+        summary["last_ts"] = record.get("ts")
+        if kind == "pipeline_start":
+            summary["runs"] = int(summary["runs"]) + 1
+        elif kind == "pipeline_end":
+            summary["completed_runs"] = int(summary["completed_runs"]) + 1
+            summary["cache_hit_rate"] = record.get("cache_hit_rate")
+            summary["executions"] = record.get("executions")
+        elif kind == "retry":
+            summary["retries"] = int(summary["retries"]) + 1
+        elif kind == "checkpoint_invalid":
+            summary["checkpoints_invalidated"] = (
+                int(summary["checkpoints_invalidated"]) + 1
+            )
+        elif kind == "sample_batch":
+            n = int(record.get("n_samples", 0) or 0)
+            if record.get("resumed"):
+                summary["samples_resumed"] = int(summary["samples_resumed"]) + n
+            else:
+                summary["samples_measured"] = int(summary["samples_measured"]) + n
+        if kind in ("stage_start", "stage_end", "stage_skipped", "retry"):
+            name = str(record.get("stage", "?"))
+            entry = stages.setdefault(
+                name,
+                {"runs": 0, "skips": 0, "retries": 0, "wall_seconds": 0.0,
+                 "last_status": None},
+            )
+            if kind == "stage_start":
+                entry["runs"] = int(entry["runs"]) + 1
+                entry["last_status"] = "started"
+            elif kind == "stage_end":
+                entry["wall_seconds"] = float(entry["wall_seconds"]) + float(
+                    record.get("wall_seconds", 0.0) or 0.0
+                )
+                entry["last_status"] = "completed"
+                if "n_samples" in record:
+                    entry["n_samples"] = record["n_samples"]
+            elif kind == "stage_skipped":
+                entry["skips"] = int(entry["skips"]) + 1
+                entry["last_status"] = "skipped (checkpoint)"
+                if "n_samples" in record:
+                    entry["n_samples"] = record["n_samples"]
+            elif kind == "retry":
+                entry["retries"] = int(entry["retries"]) + 1
+    return summary
+
+
+def format_trace_summary(
+    summary: Dict[str, object], title: str = "pipeline trace"
+) -> str:
+    """Readable multi-line rendering of :func:`summarize_trace`."""
+    lines = [
+        title,
+        f"  events: {summary['events']}  runs: {summary['runs']} "
+        f"({summary['completed_runs']} completed)  "
+        f"retries: {summary['retries']}  "
+        f"invalid checkpoints: {summary['checkpoints_invalidated']}",
+        f"  samples: {summary['samples_measured']} measured, "
+        f"{summary['samples_resumed']} resumed from checkpoints",
+    ]
+    if summary.get("cache_hit_rate") is not None:
+        lines.append(
+            f"  measurement cache hit rate: "
+            f"{float(summary['cache_hit_rate']) * 100.0:.1f}% "
+            f"({summary.get('executions')} executions)"
+        )
+    stages: Dict[str, Dict[str, object]] = summary["stages"]  # type: ignore[assignment]
+    if stages:
+        lines.append("  stages:")
+        for name, entry in stages.items():
+            extra = ""
+            if "n_samples" in entry:
+                extra = f"  samples={entry['n_samples']}"
+            lines.append(
+                f"    {name:20s} {str(entry['last_status'] or '?'):22s} "
+                f"wall={float(entry['wall_seconds']):.2f}s "
+                f"runs={entry['runs']} skips={entry['skips']} "
+                f"retries={entry['retries']}{extra}"
+            )
+    if summary.get("last_ts") is not None:
+        stamp = time.strftime(
+            "%Y-%m-%d %H:%M:%S", time.localtime(float(summary["last_ts"]))
+        )
+        lines.append(f"  last event: {summary['last_event']} at {stamp}")
+    return "\n".join(lines)
+
+
+def format_trace_tail(
+    events: Sequence[Dict[str, object]], n: Optional[int] = None
+) -> str:
+    """The last ``n`` events, one compact line each (CLI ``trace --tail``)."""
+    chosen = list(events if n is None else events[-n:])
+    lines = []
+    for record in chosen:
+        stamp = time.strftime(
+            "%H:%M:%S", time.localtime(float(record.get("ts", 0.0)))
+        )
+        rest = {
+            key: value
+            for key, value in record.items()
+            if key not in ("ts", "event")
+        }
+        detail = " ".join(f"{k}={v}" for k, v in sorted(rest.items()))
+        lines.append(f"{stamp} {record.get('event', '?'):18s} {detail}".rstrip())
+    return "\n".join(lines)

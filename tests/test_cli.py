@@ -213,3 +213,72 @@ class TestServeCommands:
         for key in ("p50_seconds", "p95_seconds", "p99_seconds"):
             assert key in report["hit_latency"]
         assert report["throughput_rps"] > 0.0
+
+
+class TestPipelineCLI:
+    TRAIN = ["train", "--app", "pso", "--phases", "2", "--inputs", "2",
+             "--joint-samples", "4"]
+
+    @pytest.fixture(scope="class")
+    def trained(self, tmp_path_factory):
+        """One pipeline-mode training run: (store_dir, pipeline_dir)."""
+        root = tmp_path_factory.mktemp("pipeline-cli")
+        store, pipeline_dir = root / "models", root / "pipe"
+        assert main(
+            [*self.TRAIN, "--store", str(store),
+             "--pipeline-dir", str(pipeline_dir)]
+        ) == 0
+        return store, pipeline_dir
+
+    def test_train_default_pipeline_dir_is_store_scoped(
+        self, tmp_path, capsys
+    ):
+        store = tmp_path / "models"
+        assert main([*self.TRAIN, "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline dir:" in out
+        assert (store / ".pipeline" / "pso" / "trace.jsonl").exists()
+        assert (store / ".pipeline" / "pso" / "checkpoints").is_dir()
+
+    def test_train_resume_skips_checkpointed_stages(self, trained, capsys):
+        store, pipeline_dir = trained
+        assert main(
+            [*self.TRAIN, "--store", str(store),
+             "--pipeline-dir", str(pipeline_dir), "--resume"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "resumed: skipped 5 checkpointed stage(s)" in out
+        assert "0 executed" in out  # nothing re-measured
+
+    def test_no_pipeline_trains_without_checkpoints(self, tmp_path, capsys):
+        store = tmp_path / "models"
+        assert main([*self.TRAIN, "--store", str(store), "--no-pipeline"]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline dir:" not in out
+        assert not (store / ".pipeline").exists()
+        assert (store / "pso.opprox.pkl").exists()
+
+    def test_no_pipeline_conflicts_with_resume(self, tmp_path):
+        with pytest.raises(SystemExit, match="conflicts"):
+            main([*self.TRAIN, "--store", str(tmp_path), "--no-pipeline",
+                  "--resume"])
+
+    def test_trace_summary(self, trained, capsys):
+        _, pipeline_dir = trained
+        assert main(["trace", "--pipeline-dir", str(pipeline_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline trace" in out
+        assert "sample-flow0" in out
+        assert "measured" in out
+
+    def test_trace_tail(self, trained, capsys):
+        _, pipeline_dir = trained
+        assert main(["trace", "--pipeline-dir", str(pipeline_dir),
+                     "--tail", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline_end" in out
+        assert len(out.strip().splitlines()) == 3
+
+    def test_trace_missing_dir(self, tmp_path, capsys):
+        assert main(["trace", "--pipeline-dir", str(tmp_path / "void")]) == 2
+        assert "no trace events" in capsys.readouterr().out

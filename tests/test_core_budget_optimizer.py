@@ -43,6 +43,64 @@ class TestROI:
         assert set(rois) == {0, 1}
         assert rois[0] > rois[1]
 
+    def test_empty_phase_degrades_to_neutral_roi(self):
+        """Regression: an unpopulated phase used to crash all of train().
+
+        rois_from_samples propagated phase_roi's ValueError for a phase
+        with zero samples; now it warns and assigns the median ROI of
+        the populated phases, keeping the allocation usable.
+        """
+        samples = [
+            _sample(0, 2.0, 1.0, n_phases=3),   # ROI 2.0
+            _sample(2, 1.0, 1.0, n_phases=3),   # ROI 1.0; phase 1 empty
+        ]
+        with pytest.warns(RuntimeWarning, match=r"phase\(s\) \[1\]"):
+            rois = rois_from_samples(samples, 3)
+        assert set(rois) == {0, 1, 2}
+        assert rois[1] == pytest.approx(np.median([rois[0], rois[2]]))
+        # the degraded ROI still feeds allocation without blowing up
+        allocation = allocate_budget(9.0, rois)
+        assert sum(allocation.values()) == pytest.approx(9.0)
+
+    def test_all_phases_empty_still_raises(self):
+        with pytest.raises(ValueError, match="any phase"):
+            rois_from_samples([], 2)
+
+    def test_training_survives_injected_empty_phase(self, monkeypatch):
+        """End-to-end: train() completes when one phase has no samples."""
+        import warnings
+
+        from repro.core.opprox import Opprox
+        from repro.core.sampling import TrainingSampler
+        from repro.core.spec import AccuracySpec
+
+        app = app_instance("pso")
+        opprox = Opprox(
+            app,
+            AccuracySpec.for_app(app, max_inputs=2),
+            profiler=profiler_for("pso"),
+            n_phases=2,
+            joint_samples_per_phase=4,
+        )
+
+        original = TrainingSampler.collect
+
+        def drop_phase_one(self, inputs, **kwargs):
+            # Simulate the joint-sampling shortfall path: every sample
+            # that landed in phase 1 is lost before fitting.
+            return [s for s in original(self, inputs, **kwargs) if s.phase != 1]
+
+        monkeypatch.setattr(TrainingSampler, "collect", drop_phase_one)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            report = opprox.train()
+        assert opprox.is_trained
+        assert report.n_phases == 2
+        assert set(opprox._rois_by_flow[next(iter(opprox._rois_by_flow))]) == {0, 1}
+        # the trained facade must still optimize through the empty phase
+        result = opprox.optimize(smallest_params(app), 15.0)
+        assert result.predicted_speedup >= 1.0
+
 
 class TestAllocation:
     def test_normalization_sums_to_one(self):

@@ -123,6 +123,36 @@ class TestStoreFormat:
         with pytest.raises(ModelFormatError, match="corrupt"):
             store.load("pso")
 
+    def test_save_is_atomic_under_crash(self, trained_pso, tmp_path, monkeypatch):
+        """A crash mid-write must leave the previous model intact.
+
+        Regression: save() used to stream the pickle straight into the
+        final path, so dying partway left a truncated, unloadable file.
+        Now the payload goes to a temp file that is fsynced and renamed;
+        we inject the crash at the fsync (i.e. after a partial write,
+        before publication) and assert the old model still loads.
+        """
+        import os as os_module
+
+        store = ModelStore(tmp_path)
+        path = store.save(trained_pso, train_timestamp=1.0)
+        before = path.read_bytes()
+
+        def boom(fd):
+            raise OSError("injected crash mid-write")
+
+        monkeypatch.setattr(os_module, "fsync", boom)
+        with pytest.raises(OSError, match="injected crash"):
+            store.save(trained_pso, train_timestamp=2.0)
+        monkeypatch.undo()
+
+        assert path.read_bytes() == before
+        assert store.read_metadata("pso")["train_timestamp"] == 1.0
+        assert store.load("pso").is_trained
+        # the failed attempt must not litter temp files either
+        leftovers = [p for p in tmp_path.iterdir() if p != path]
+        assert leftovers == []
+
     def test_available_preserves_dotted_app_names(self, tmp_path):
         store = ModelStore(tmp_path)
         # Regression: split(".")[0] used to mangle dotted app names.

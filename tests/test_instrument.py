@@ -224,3 +224,45 @@ class TestLatencyHistogram:
             a.percentile(101.0)
         with pytest.raises(ValueError):
             LatencyHistogram(max_samples=0)
+
+    def test_merge_from_overflowed_source_keeps_true_totals(self):
+        """Regression: merge() used to replay only the retained window.
+
+        A source histogram past its retention limit then contributed
+        only ``max_samples`` of its recordings — undercounting ``count``
+        and ``total_seconds`` and forgetting the true min/max once those
+        extremes had been overwritten in the window.
+        """
+        from repro.instrument.stats import LatencyHistogram
+
+        source = LatencyHistogram(max_samples=8)
+        source.record(0.001)   # true min — will be overwritten in the window
+        source.record(5.0)     # true max — likewise
+        for i in range(100):   # wraps the 8-slot window many times over
+            source.record(1.0 + i / 1000.0)
+        assert len(source._samples) == 8
+
+        target = LatencyHistogram(max_samples=8)
+        target.record(2.0)
+        target.merge(source)
+
+        assert target.count == 103
+        assert target.total_seconds == pytest.approx(
+            2.0 + source.total_seconds
+        )
+        assert target.min_seconds == pytest.approx(0.001)
+        assert target.max_seconds == pytest.approx(5.0)
+        assert target.mean_seconds == pytest.approx(
+            (2.0 + source.total_seconds) / 103
+        )
+        # percentiles still answer from the bounded window
+        assert len(target._samples) == 8
+
+    def test_merge_empty_source_is_noop(self):
+        from repro.instrument.stats import LatencyHistogram
+
+        target = LatencyHistogram()
+        target.record(0.2)
+        target.merge(LatencyHistogram())
+        assert target.count == 1
+        assert target.min_seconds == pytest.approx(0.2)

@@ -1,0 +1,488 @@
+"""Tests for repro.pipeline: checkpoints, resume, retry, trace, digests.
+
+The invariant under test throughout: however a pipeline run is cut up —
+interrupted mid-flow, retried after injected failures, restarted over
+corrupt checkpoints — the final trained state is bit-identical (by
+canonical fingerprint) to one uninterrupted in-memory ``train()``.
+"""
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.apps import make_app
+from repro.core.opprox import Opprox
+from repro.core.sampling import TrainingSampler
+from repro.core.spec import AccuracySpec
+from repro.pipeline import (
+    CHECKPOINT_FORMAT_VERSION,
+    CHECKPOINT_MAGIC,
+    CheckpointError,
+    CheckpointStore,
+    TrainingPipeline,
+    model_fingerprint,
+    read_trace,
+    state_digest,
+    summarize_trace,
+    training_fingerprint,
+)
+from repro.pipeline.trace import TraceWriter, format_trace_summary, format_trace_tail
+
+from tests.conftest import app_instance, profiler_for
+
+
+def make_opprox(**overrides):
+    """A small, fast PSO training job (shared profiler keeps it hot)."""
+    defaults = dict(n_phases=2, joint_samples_per_phase=4, confidence_p=0.9)
+    defaults.update(overrides)
+    app = app_instance("pso")
+    return Opprox(
+        app,
+        AccuracySpec.for_app(app, max_inputs=2),
+        profiler=profiler_for("pso"),
+        **defaults,
+    )
+
+
+@pytest.fixture(scope="module")
+def reference_fingerprint():
+    """Fingerprint of one uninterrupted in-memory train()."""
+    opprox = make_opprox()
+    opprox.train()
+    return model_fingerprint(opprox)
+
+
+def events_after(path, skip):
+    """Trace events beyond the first ``skip`` (i.e. one run's segment)."""
+    return read_trace(path)[skip:]
+
+
+# ---------------------------------------------------------------------------
+# CheckpointStore
+# ---------------------------------------------------------------------------
+
+
+class TestCheckpointStore:
+    @pytest.fixture
+    def store(self, tmp_path):
+        return CheckpointStore(tmp_path, app_name="pso", config_fingerprint="cfg1")
+
+    def test_roundtrip_with_header_validation(self, store):
+        store.save("stage-a", {"value": [1, 2.5, "x"]}, {"n_phases": 2})
+        payload, header = store.load("stage-a", expect={"n_phases": 2})
+        assert payload == {"value": [1, 2.5, "x"]}
+        assert header["app"] == "pso"
+        assert header["format_version"] == CHECKPOINT_FORMAT_VERSION
+        assert header["config_fingerprint"] == "cfg1"
+
+    def test_missing_checkpoint(self, store):
+        assert store.try_load("nothing") == (None, None)
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            store.load("nothing")
+
+    def test_expect_mismatch_refused(self, store):
+        store.save("stage-a", {"x": 1}, {"n_phases": 2})
+        payload, reason = store.try_load("stage-a", expect={"n_phases": 5})
+        assert payload is None
+        assert "n_phases" in reason and "5" in reason
+
+    def test_foreign_config_fingerprint_refused(self, store, tmp_path):
+        store.save("stage-a", {"x": 1})
+        other = CheckpointStore(tmp_path, app_name="pso", config_fingerprint="cfg2")
+        payload, reason = other.try_load("stage-a")
+        assert payload is None
+        assert "config_fingerprint" in reason
+
+    def test_discard_clear_existing(self, store):
+        store.save("a", 1)
+        store.save("b", 2)
+        assert set(store.existing()) == {"a", "b"}
+        store.discard("a")
+        assert set(store.existing()) == {"b"}
+        assert store.clear() == 1
+        assert store.existing() == {}
+        store.discard("gone")  # idempotent
+
+    def test_atomic_overwrite_keeps_old_on_crash(self, store, monkeypatch):
+        import os as os_module
+
+        store.save("a", "old")
+        monkeypatch.setattr(
+            os_module, "fsync",
+            lambda fd: (_ for _ in ()).throw(OSError("injected")),
+        )
+        with pytest.raises(OSError):
+            store.save("a", "new")
+        monkeypatch.undo()
+        payload, _ = store.load("a")
+        assert payload == "old"
+        assert list(store.root.glob(".*.tmp-*")) == []
+
+
+# ---------------------------------------------------------------------------
+# Canonical state digests
+# ---------------------------------------------------------------------------
+
+
+class TestStateDigest:
+    def test_dict_insertion_order_is_erased(self):
+        assert state_digest({"a": 1, "b": 2}) == state_digest({"b": 2, "a": 1})
+
+    def test_float_bits_matter(self):
+        assert state_digest(0.1 + 0.2) != state_digest(0.3)
+        assert state_digest(1.0) != state_digest(1)
+
+    def test_ndarray_dtype_and_shape_matter(self):
+        a = np.arange(6, dtype=np.float64)
+        assert state_digest(a) == state_digest(a.copy())
+        assert state_digest(a) != state_digest(a.astype(np.float32))
+        assert state_digest(a) != state_digest(a.reshape(2, 3))
+
+    def test_application_digests_by_name_not_identity(self):
+        assert state_digest(app_instance("pso")) == state_digest(make_app("pso"))
+        assert state_digest(make_app("pso")) != state_digest(make_app("lulesh"))
+
+    def test_containers_and_none(self):
+        assert state_digest([1, 2]) != state_digest((1, 2))
+        assert state_digest({1, 2}) == state_digest({2, 1})
+        assert state_digest(None) != state_digest(0)
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError, match="canonicalize"):
+            state_digest(object())
+
+
+class TestTrainingFingerprint:
+    def test_stable_for_identical_config(self):
+        assert training_fingerprint(make_opprox()) == training_fingerprint(
+            make_opprox()
+        )
+
+    def test_changes_with_training_knobs(self):
+        base = training_fingerprint(make_opprox())
+        assert training_fingerprint(make_opprox(seed=9)) != base
+        assert training_fingerprint(make_opprox(joint_samples_per_phase=6)) != base
+
+    def test_ignores_execution_only_knobs(self):
+        base = training_fingerprint(make_opprox())
+        assert training_fingerprint(make_opprox(workers=4)) == base
+        assert training_fingerprint(make_opprox(budget_policy="uniform")) == base
+
+
+# ---------------------------------------------------------------------------
+# Pipeline equivalence and resume
+# ---------------------------------------------------------------------------
+
+
+class TestPipelineEquivalence:
+    def test_pipeline_matches_plain_train(self, tmp_path, reference_fingerprint):
+        opprox = make_opprox()
+        result = TrainingPipeline(opprox, tmp_path).run()
+        assert model_fingerprint(opprox) == reference_fingerprint
+        assert result.report.n_samples > 0
+        assert result.resumed_stages == []
+        assert "phase-search" in result.executed_stages
+
+    def test_full_resume_skips_everything(self, tmp_path, reference_fingerprint):
+        first = make_opprox()
+        TrainingPipeline(first, tmp_path).run()
+        seen = len(read_trace(tmp_path / "trace.jsonl"))
+
+        second = make_opprox()
+        result = TrainingPipeline(second, tmp_path).run()
+        assert model_fingerprint(second) == reference_fingerprint
+        assert result.executed_stages == []
+        assert set(result.resumed_stages) == {
+            "phase-search", "control-flow", "sample-flow0", "fit-flow0", "report",
+        }
+        segment = events_after(tmp_path / "trace.jsonl", seen)
+        end = [e for e in segment if e["event"] == "pipeline_end"][-1]
+        assert end["executions"] == 0
+        replayed = [e for e in segment if e["event"] == "sample_batch"]
+        assert replayed and all(e["resumed"] for e in replayed)
+
+    def test_resume_false_starts_fresh(self, tmp_path, reference_fingerprint):
+        TrainingPipeline(make_opprox(), tmp_path).run()
+        opprox = make_opprox()
+        result = TrainingPipeline(opprox, tmp_path).run(resume=False)
+        assert result.resumed_stages == []
+        assert model_fingerprint(opprox) == reference_fingerprint
+        events = read_trace(tmp_path / "trace.jsonl")
+        assert any(e["event"] == "checkpoints_cleared" for e in events)
+
+    def test_report_survives_resume(self, tmp_path):
+        first = make_opprox()
+        report_a = TrainingPipeline(first, tmp_path).run().report
+        second = make_opprox()
+        report_b = TrainingPipeline(second, tmp_path).run().report
+        assert report_b.n_samples == report_a.n_samples
+        assert report_b.r2_by_flow == report_a.r2_by_flow
+        assert second.training_report is report_b
+
+
+class TestMidFlowResume:
+    def test_interrupted_sampling_resumes_bit_identical(
+        self, tmp_path, reference_fingerprint
+    ):
+        """Die after the first persisted batch; resume measures the rest."""
+        original = TrainingSampler.collect_for_input
+        calls = {"n": 0}
+
+        def die_after_first(self, params, **kwargs):
+            if calls["n"] >= 1:
+                raise RuntimeError("injected crash mid-sampling")
+            calls["n"] += 1
+            return original(self, params, **kwargs)
+
+        crashing = make_opprox()
+        pipeline = TrainingPipeline(crashing, tmp_path, max_retries=0)
+        TrainingSampler.collect_for_input = die_after_first
+        try:
+            with pytest.raises(RuntimeError, match="injected crash"):
+                pipeline.run()
+        finally:
+            TrainingSampler.collect_for_input = original
+        seen = len(read_trace(tmp_path / "trace.jsonl"))
+        # exactly one batch made it to disk before the "crash"
+        ckpt = pipeline.checkpoints.path_for("sample-flow0")
+        assert ckpt.exists()
+
+        resumed = make_opprox()
+        TrainingPipeline(resumed, tmp_path).run()
+        assert model_fingerprint(resumed) == reference_fingerprint
+
+        segment = events_after(tmp_path / "trace.jsonl", seen)
+        skipped = {e["stage"] for e in segment if e["event"] == "stage_skipped"}
+        assert {"phase-search", "control-flow"} <= skipped
+        batches = [e for e in segment if e["event"] == "sample_batch"]
+        replayed = [e for e in batches if e["resumed"]]
+        fresh = [e for e in batches if not e["resumed"]]
+        assert len(replayed) == 1  # the pre-crash batch, not re-measured
+        assert all(e["executions"] == 0 for e in replayed)
+        assert len(fresh) == 1  # only the remaining input was measured
+
+
+class TestRetry:
+    def test_transient_failures_retried_with_backoff(
+        self, tmp_path, reference_fingerprint
+    ):
+        original = TrainingSampler.collect_for_input
+        failures = {"left": 2}
+
+        def flaky(self, params, **kwargs):
+            if failures["left"] > 0:
+                failures["left"] -= 1
+                raise RuntimeError("transient worker failure")
+            return original(self, params, **kwargs)
+
+        sleeps = []
+        opprox = make_opprox()
+        pipeline = TrainingPipeline(
+            opprox, tmp_path, max_retries=3, backoff_seconds=0.01,
+            sleep=sleeps.append,
+        )
+        TrainingSampler.collect_for_input = flaky
+        try:
+            pipeline.run()
+        finally:
+            TrainingSampler.collect_for_input = original
+
+        # exponential backoff: 0.01, then 0.02
+        assert sleeps == pytest.approx([0.01, 0.02])
+        events = read_trace(tmp_path / "trace.jsonl")
+        retries = [e for e in events if e["event"] == "retry"]
+        assert len(retries) == 2
+        assert all(e["stage"] == "sample-flow0" for e in retries)
+        # RNG state was restored per attempt: results are still identical
+        assert model_fingerprint(opprox) == reference_fingerprint
+
+    def test_exhausted_retries_raise_with_trace(self, tmp_path):
+        original = TrainingSampler.collect_for_input
+
+        def always_fails(self, params, **kwargs):
+            raise RuntimeError("permanent failure")
+
+        pipeline = TrainingPipeline(
+            make_opprox(), tmp_path, max_retries=1, backoff_seconds=0.0,
+            sleep=lambda s: None,
+        )
+        TrainingSampler.collect_for_input = always_fails
+        try:
+            with pytest.raises(RuntimeError, match="permanent"):
+                pipeline.run()
+        finally:
+            TrainingSampler.collect_for_input = original
+        events = read_trace(tmp_path / "trace.jsonl")
+        failed = [e for e in events if e["event"] == "stage_failed"]
+        assert failed and failed[0]["attempts"] == 2
+
+    def test_invalid_retry_configuration(self, tmp_path):
+        with pytest.raises(ValueError, match="max_retries"):
+            TrainingPipeline(make_opprox(), tmp_path, max_retries=-1)
+        with pytest.raises(ValueError, match="backoff_seconds"):
+            TrainingPipeline(make_opprox(), tmp_path, backoff_seconds=-0.1)
+
+
+# ---------------------------------------------------------------------------
+# Satellite 4: the checkpoint corruption matrix
+# ---------------------------------------------------------------------------
+
+
+def _corrupt_truncate(path):
+    blob = path.read_bytes()
+    path.write_bytes(blob[: len(blob) // 2])
+
+
+def _corrupt_magic(path):
+    blob = path.read_bytes()
+    path.write_bytes(b"#NOT-A-CKPT!\n" + blob.split(b"\n", 1)[1])
+
+
+def _corrupt_stale_version(path):
+    magic, header_line, payload = path.read_bytes().split(b"\n", 2)
+    header = json.loads(header_line)
+    header["format_version"] = CHECKPOINT_FORMAT_VERSION + 1
+    path.write_bytes(
+        magic + b"\n" + json.dumps(header).encode() + b"\n" + payload
+    )
+
+
+def _corrupt_n_phases(path):
+    magic, header_line, payload = path.read_bytes().split(b"\n", 2)
+    header = json.loads(header_line)
+    header["n_phases"] = 99
+    path.write_bytes(
+        magic + b"\n" + json.dumps(header).encode() + b"\n" + payload
+    )
+
+
+def _corrupt_payload(path):
+    magic, header_line, _ = path.read_bytes().split(b"\n", 2)
+    path.write_bytes(magic + b"\n" + header_line + b"\n" + b"\x80garbage")
+
+
+CORRUPTIONS = {
+    "truncated": _corrupt_truncate,
+    "bad-magic": _corrupt_magic,
+    "stale-version": _corrupt_stale_version,
+    "n-phases-mismatch": _corrupt_n_phases,
+    "unpicklable-payload": _corrupt_payload,
+}
+
+
+class TestCorruptionMatrix:
+    @pytest.mark.parametrize("mode", sorted(CORRUPTIONS))
+    @pytest.mark.parametrize("stage", ["control-flow", "sample-flow0"])
+    def test_corrupt_checkpoint_restarts_stage_cleanly(
+        self, tmp_path, mode, stage, reference_fingerprint
+    ):
+        """Every damage mode → clean restart from stage start + trace event.
+
+        Never a crash, and never a silently wrong model: the re-trained
+        result must still match the uninterrupted reference bit-for-bit.
+        """
+        pipeline = TrainingPipeline(make_opprox(), tmp_path)
+        pipeline.run()
+        seen = len(read_trace(tmp_path / "trace.jsonl"))
+        CORRUPTIONS[mode](pipeline.checkpoints.path_for(stage))
+
+        resumed = make_opprox()
+        result = TrainingPipeline(resumed, tmp_path).run()
+        assert model_fingerprint(resumed) == reference_fingerprint
+        assert stage in result.executed_stages  # restarted from stage start
+
+        segment = events_after(tmp_path / "trace.jsonl", seen)
+        invalid = [e for e in segment if e["event"] == "checkpoint_invalid"]
+        assert [e["stage"] for e in invalid] == [stage]
+        assert invalid[0]["reason"]
+
+    def test_corrupt_checkpoint_is_discarded_and_rewritten(self, tmp_path):
+        pipeline = TrainingPipeline(make_opprox(), tmp_path)
+        pipeline.run()
+        path = pipeline.checkpoints.path_for("control-flow")
+        _corrupt_magic(path)
+        TrainingPipeline(make_opprox(), tmp_path).run()
+        # the rewritten checkpoint is valid again
+        with path.open("rb") as handle:
+            assert handle.readline() == CHECKPOINT_MAGIC
+
+    def test_config_change_invalidates_all_checkpoints(self, tmp_path):
+        TrainingPipeline(make_opprox(), tmp_path).run()
+        seen = len(read_trace(tmp_path / "trace.jsonl"))
+        changed = make_opprox(seed=123)
+        result = TrainingPipeline(changed, tmp_path).run()
+        assert changed.is_trained
+        assert result.resumed_stages == []  # nothing reusable
+        segment = events_after(tmp_path / "trace.jsonl", seen)
+        invalid = [e for e in segment if e["event"] == "checkpoint_invalid"]
+        assert invalid  # every probed checkpoint was rejected
+        assert all("config_fingerprint" in e["reason"] for e in invalid)
+
+
+# ---------------------------------------------------------------------------
+# Trace log
+# ---------------------------------------------------------------------------
+
+
+class TestTrace:
+    def test_writer_appends_and_reader_roundtrips(self, tmp_path):
+        writer = TraceWriter(tmp_path / "t.jsonl")
+        writer.emit("stage_start", stage="a")
+        writer.emit("stage_end", stage="a", wall_seconds=0.5)
+        events = read_trace(writer.path)
+        assert [e["event"] for e in events] == ["stage_start", "stage_end"]
+        assert all("ts" in e for e in events)
+
+    def test_reader_skips_torn_final_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        writer = TraceWriter(path)
+        writer.emit("pipeline_start", app="pso")
+        with path.open("a") as handle:
+            handle.write('{"ts": 1.0, "event": "stage_st')  # killed mid-append
+        events = read_trace(path)
+        assert [e["event"] for e in events] == ["pipeline_start"]
+
+    def test_reader_skips_non_event_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('not json\n[1, 2]\n{"no_event": true}\n'
+                        '{"ts": 1.0, "event": "retry", "stage": "s"}\n')
+        events = read_trace(path)
+        assert len(events) == 1 and events[0]["event"] == "retry"
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_trace(tmp_path / "absent.jsonl") == []
+
+    def test_summary_counts(self, tmp_path):
+        writer = TraceWriter(tmp_path / "t.jsonl")
+        writer.emit("pipeline_start", app="pso")
+        writer.emit("stage_start", stage="s")
+        writer.emit("retry", stage="s", attempt=1)
+        writer.emit("checkpoint_invalid", stage="s", reason="x")
+        writer.emit("sample_batch", stage="s", n_samples=10, resumed=False)
+        writer.emit("sample_batch", stage="s", n_samples=7, resumed=True)
+        writer.emit("stage_end", stage="s", wall_seconds=1.5, n_samples=17)
+        writer.emit("pipeline_end", app="pso", executions=3,
+                    cache_hit_rate=0.25)
+        summary = summarize_trace(read_trace(writer.path))
+        assert summary["runs"] == 1 and summary["completed_runs"] == 1
+        assert summary["retries"] == 1
+        assert summary["checkpoints_invalidated"] == 1
+        assert summary["samples_measured"] == 10
+        assert summary["samples_resumed"] == 7
+        assert summary["stages"]["s"]["retries"] == 1
+        assert summary["stages"]["s"]["wall_seconds"] == pytest.approx(1.5)
+        assert summary["cache_hit_rate"] == 0.25
+
+        text = format_trace_summary(summary, "trace")
+        assert "10 measured" in text and "7 resumed" in text
+        tail = format_trace_tail(read_trace(writer.path), 2)
+        assert "pipeline_end" in tail and "stage_start" not in tail
+
+    def test_real_pipeline_trace_summarizes(self, tmp_path):
+        TrainingPipeline(make_opprox(), tmp_path).run()
+        summary = summarize_trace(read_trace(tmp_path / "trace.jsonl"))
+        assert summary["completed_runs"] == 1
+        assert summary["samples_measured"] > 0
+        assert summary["stages"]["sample-flow0"]["last_status"] == "completed"

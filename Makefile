@@ -1,6 +1,6 @@
 # Convenience targets for the OPPROX reproduction.
 
-.PHONY: install test verify serve-smoke train-resume-smoke bench figures examples clean
+.PHONY: install test verify serve-smoke train-resume-smoke chaos-smoke bench figures examples clean
 
 install:
 	pip install -e .
@@ -10,9 +10,10 @@ test:
 
 # The per-PR gate: the tier-1 suite plus a smoke of the parallel
 # measurement path (worker processes + disk cache + cache-stats report),
-# of the serving subsystem (train -> serve a mixed request load), and of
+# of the serving subsystem (train -> serve a mixed request load), of
 # the checkpointed pipeline (train -> SIGKILL mid-sampling -> resume ->
-# bit-identical model).
+# bit-identical model), and of the fault-injection framework (seeded
+# chaos run -> bit-identical model despite crashes/hangs/corruption).
 verify:
 	PYTHONPATH=src python -m pytest -x -q
 	PYTHONPATH=src python -m repro oracle --app pso --budget 10 \
@@ -21,6 +22,7 @@ verify:
 	rm -rf .verify-cache
 	$(MAKE) serve-smoke
 	$(MAKE) train-resume-smoke
+	$(MAKE) chaos-smoke
 
 # Serving-path smoke: train a small model, start the engine in-process,
 # fire 50 mixed requests from 4 clients, and fail unless there were zero
@@ -41,6 +43,17 @@ train-resume-smoke:
 	python scripts/train_resume_smoke.py .train-resume-smoke
 	rm -rf .train-resume-smoke
 
+# Fault-injection smoke: run training under a seeded FaultPlan (worker
+# crash, hung job, corrupted/torn cache appends, torn model write,
+# transient stage error) plus a breaker-cycling serve phase, and fail
+# unless the model is bit-identical to a fault-free run, every fault
+# fired, recovery left evidence, and no temp-file litter remains.  On
+# failure the seed is printed for replay via `python -m repro chaos`.
+chaos-smoke:
+	rm -rf .chaos-smoke
+	python scripts/chaos_smoke.py .chaos-smoke
+	rm -rf .chaos-smoke
+
 bench:
 	pytest benchmarks/ --benchmark-only -q
 
@@ -56,4 +69,5 @@ examples:
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks
 	rm -rf .verify-cache .serve-smoke-models .train-resume-smoke
+	rm -rf .chaos-smoke .chaos
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -19,6 +19,7 @@ Subcommands::
     python -m repro cache-stats --cache .opprox-cache
     python -m repro serve       --store models/ --requests 50 --clients 4
     python -m repro serve-bench --store models/ --output BENCH_serve.json
+    python -m repro chaos       --workdir .chaos --seed 7
 
 ``serve`` and ``serve-bench`` drive the :mod:`repro.serve` subsystem: a
 hot-reloading model registry plus a concurrent request engine with an
@@ -31,17 +32,29 @@ job restarted with ``--resume`` skips completed work and still produces
 bit-identical models.  ``trace`` summarizes (or ``--tail``\\ s) the
 pipeline's structured JSONL event log.
 
+``chaos`` runs the deterministic fault-injection cycle from
+:mod:`repro.faults.chaos`: train + serve under a seeded
+:class:`~repro.faults.FaultPlan` (worker crash, hung job, corrupted
+cache shard, torn model write, failing serve-time loads) and verify the
+system recovers to bit-identical models with zero temp-file litter.
+Setting the ``OPPROX_FAULT_PLAN`` environment variable to a plan JSON
+file activates that plan for any subcommand (the chaos harness uses
+this to reach subprocess runs).
+
 Parameters default to each application's representative midpoint and can
 be overridden with repeated ``--param name=value`` flags.  Measurement
 sweeps (``train``, ``oracle``, ``evaluate``) accept ``--workers N`` to
 fan profiling runs out to worker processes — the applications are
 deterministic, so results are identical to a serial run — and ``oracle``
 accepts ``--cache DIR`` to persist measured scalars across invocations.
+``--workers`` is validated: negative counts are rejected, and counts
+above ``os.cpu_count()`` are clamped with a warning.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
@@ -71,6 +84,28 @@ def _parse_params(app, overrides: Optional[Sequence[str]]) -> Dict[str, float]:
         except ValueError:
             raise SystemExit(f"parameter {name!r} needs a numeric value, got {raw!r}")
     return params
+
+
+def _validate_workers(workers: Optional[int]) -> Optional[int]:
+    """Reject negative ``--workers``; clamp (with a warning) above cpu_count.
+
+    Oversubscribing fork-heavy measurement pools on fewer cores only adds
+    scheduler thrash, so the clamp is a kindness, not a hard error —
+    results are identical at any worker count.
+    """
+    if workers is None:
+        return None
+    if workers < 0:
+        raise SystemExit(f"--workers must be >= 0, got {workers}")
+    cores = os.cpu_count() or 1
+    if workers > cores:
+        print(
+            f"warning: --workers {workers} exceeds the {cores} available "
+            f"CPU(s); clamping to {cores}",
+            file=sys.stderr,
+        )
+        return cores
+    return workers
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -210,6 +245,22 @@ def build_parser() -> argparse.ArgumentParser:
     serve_bench.add_argument("--output", default="BENCH_serve.json",
                              metavar="FILE", help="write the JSON report here")
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="train + serve under a seeded fault plan and verify recovery",
+    )
+    chaos.add_argument("--workdir", default=".chaos", metavar="DIR",
+                       help="working directory for the chaos cycle "
+                            "(left in place for post-mortems)")
+    chaos.add_argument("--seed", type=int, default=None,
+                       help="fault-plan seed (default: randomized; the chosen "
+                            "seed is always printed for reproduction)")
+    chaos.add_argument("--app", default="pso", choices=ALL_APPLICATIONS,
+                       help="application to train and serve under faults")
+    chaos.add_argument("--job-timeout", type=float, default=3.0,
+                       help="per-measurement deadline armed during the cycle")
+    add_workers_arg(chaos)
+
     return parser
 
 
@@ -264,7 +315,7 @@ def _cmd_train(args) -> int:
         n_phases=args.phases,
         joint_samples_per_phase=args.joint_samples,
         budget_policy=args.budget_policy,
-        workers=args.workers,
+        workers=_validate_workers(args.workers),
         disk_cache=DiskCache(Path(args.cache)) if args.cache else None,
     )
     if args.no_pipeline:
@@ -342,7 +393,7 @@ def _cmd_oracle(args) -> int:
         args.budget,
         level_stride=args.level_stride,
         disk_cache=disk_cache,
-        workers=args.workers,
+        workers=_validate_workers(args.workers),
         stats=stats,
     )
     print(f"configurations tried: {result.configurations_tried}")
@@ -496,6 +547,31 @@ def _cmd_serve_bench(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    import random
+
+    from repro.faults.chaos import run_chaos_cycle
+
+    seed = args.seed if args.seed is not None else random.SystemRandom().randrange(2**32)
+    # the cycle's crash/hang faults live in the pool path, which needs
+    # at least two workers regardless of the core count
+    workers = max(2, _validate_workers(args.workers) or 2)
+    report = run_chaos_cycle(
+        Path(args.workdir),
+        seed=seed,
+        workers=workers,
+        job_timeout=args.job_timeout,
+        app_name=args.app,
+    )
+    print(report.format())
+    if not report.ok:
+        print(f"chaos cycle FAILED — reproduce with: "
+              f"python -m repro chaos --seed {seed} --app {args.app}")
+        return 5
+    print(f"chaos cycle ok (seed {seed})")
+    return 0
+
+
 def _cmd_evaluate(args) -> int:
     from repro.eval.experiments import BUDGET_LEVELS, fig14_opprox_vs_oracle
     from repro.eval.reporting import format_table
@@ -504,7 +580,9 @@ def _cmd_evaluate(args) -> int:
 
     # Pre-train through the shared cache so --workers accelerates the
     # sweep; fig14 then reuses the trained instance.
-    trained_opprox(args.app, n_phases=args.phases, workers=args.workers)
+    trained_opprox(
+        args.app, n_phases=args.phases, workers=_validate_workers(args.workers)
+    )
     rows = fig14_opprox_vs_oracle(
         args.app,
         budgets=BUDGET_LEVELS[args.app],
@@ -532,6 +610,9 @@ def _cmd_evaluate(args) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.faults import install_from_env
+
+    install_from_env()
     args = build_parser().parse_args(argv)
     handlers = {
         "list-apps": lambda: _cmd_list_apps(),
@@ -546,6 +627,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "cache-stats": lambda: _cmd_cache_stats(args),
         "serve": lambda: _cmd_serve(args),
         "serve-bench": lambda: _cmd_serve_bench(args),
+        "chaos": lambda: _cmd_chaos(args),
     }
     return handlers[args.command]()
 

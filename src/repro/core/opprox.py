@@ -92,6 +92,10 @@ class Opprox:
     #: results are identical either way — the applications are
     #: deterministic, see repro.instrument.parallel).
     workers: Optional[int] = None
+    #: per-measurement deadline (seconds) for pooled training jobs; a
+    #: job that misses it is treated as hung and re-dispatched on a
+    #: fresh pool (None = no watchdog)
+    job_timeout: Optional[float] = None
     #: optional repro.eval.cache.DiskCache threaded through training
     disk_cache: Optional[object] = None
     #: counters for the training sweep's executions and cache hits
@@ -189,6 +193,7 @@ class Opprox:
             workers=self.workers,
             disk_cache=self.disk_cache,
             stats=self.measurement_stats,
+            job_timeout=self.job_timeout,
             completed_batches=completed_batches,
             checkpoint_hook=checkpoint_hook,
         )

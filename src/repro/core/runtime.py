@@ -31,6 +31,7 @@ from repro.apps.base import ParamsDict
 from repro.approx.knobs import ApproximableBlock
 from repro.approx.schedule import ApproxSchedule, PhasePlan
 from repro.core.opprox import Opprox, OptimizationResult
+from repro.faults.injector import fault_point
 from repro.instrument.harness import MeasuredRun
 
 __all__ = [
@@ -73,7 +74,7 @@ class ModelFormatError(RuntimeError):
 # never tear an existing file.
 
 
-def atomic_write_bytes(path: Path, payload: bytes) -> None:
+def atomic_write_bytes(path: Path, payload: bytes, retries: int = 2) -> None:
     """Write ``payload`` to ``path`` atomically (temp + fsync + rename).
 
     Readers concurrently opening ``path`` see either the previous
@@ -81,16 +82,29 @@ def atomic_write_bytes(path: Path, payload: bytes) -> None:
     killed mid-write leaves the previous file intact.  The temporary
     file lives in the same directory so the final ``os.replace`` stays
     on one filesystem.
+
+    A transient ``OSError`` (full-disk blip, injected torn write) is
+    retried up to ``retries`` times on a fresh temp file; each failed
+    attempt's temp file is removed before the next, so even the failure
+    path leaves zero litter.  Persistent errors re-raise the last one.
     """
-    tmp = path.parent / f".{path.name}.tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}"
-    try:
-        with tmp.open("wb") as handle:
-            handle.write(payload)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, path)
-    finally:
-        tmp.unlink(missing_ok=True)
+    last_error: Optional[OSError] = None
+    for _ in range(retries + 1):
+        tmp = path.parent / f".{path.name}.tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        try:
+            with tmp.open("wb") as handle:
+                fault_point("store.write", path=path, handle=handle)
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+            return
+        except OSError as exc:
+            last_error = exc
+        finally:
+            tmp.unlink(missing_ok=True)
+    assert last_error is not None
+    raise last_error
 
 
 def encode_header(magic: bytes, header: Dict[str, object]) -> bytes:
@@ -279,6 +293,7 @@ class ModelStore:
         path = self.path_for(app_name)
         if not path.exists():
             raise FileNotFoundError(f"no stored models for {app_name!r} at {path}")
+        fault_point("store.load", path=path)
         with path.open("rb") as handle:
             self._read_header(handle, path, app_name)
             try:

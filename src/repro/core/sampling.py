@@ -172,6 +172,7 @@ class TrainingSampler:
         workers: Optional[int] = None,
         disk_cache=None,
         stats: Optional[MeasurementStats] = None,
+        job_timeout: Optional[float] = None,
     ) -> List[TrainingSample]:
         """All single-phase samples for one input-parameter combination.
 
@@ -195,6 +196,7 @@ class TrainingSampler:
             workers=workers,
             disk_cache=disk_cache,
             stats=stats,
+            job_timeout=job_timeout,
         )
         return [
             TrainingSample(
@@ -216,6 +218,7 @@ class TrainingSampler:
         workers: Optional[int] = None,
         disk_cache=None,
         stats: Optional[MeasurementStats] = None,
+        job_timeout: Optional[float] = None,
         completed_batches: Optional[Sequence[Sequence[TrainingSample]]] = None,
         checkpoint_hook: Optional[
             Callable[[int, List[TrainingSample]], None]
@@ -252,7 +255,11 @@ class TrainingSampler:
                 samples.extend(done[index])
                 continue
             batch = self.collect_for_input(
-                params, workers=workers, disk_cache=disk_cache, stats=stats
+                params,
+                workers=workers,
+                disk_cache=disk_cache,
+                stats=stats,
+                job_timeout=job_timeout,
             )
             if checkpoint_hook is not None:
                 checkpoint_hook(index, batch)

@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.apps import make_app
 from repro.apps.base import ParamsDict
 from repro.approx.schedule import ApproxSchedule
+from repro.faults.injector import fault_point
 from repro.instrument.harness import MeasuredRun, Profiler
 from repro.instrument.stats import MeasurementStats
 
@@ -80,6 +81,8 @@ class DiskCache:
         self.corrupt_lines_skipped = 0
         #: compactions performed by this instance
         self.compactions = 0
+        #: shard appends that failed and were dropped (cache is best-effort)
+        self.write_errors = 0
 
     # -- file layout ---------------------------------------------------------
 
@@ -153,21 +156,41 @@ class DiskCache:
                 RuntimeWarning,
                 stacklevel=2,
             )
-            self.compact()
+            try:
+                self.compact()
+            except OSError as exc:
+                # repair is opportunistic: the merged in-memory view is
+                # already clean, so a failed rewrite costs nothing but
+                # the chance to shrink the directory
+                warnings.warn(
+                    f"DiskCache: auto-compaction under {self.root} failed "
+                    f"({exc}); keeping existing shard files",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
 
     def compact(self) -> Path:
         """Rewrite the base file atomically and absorb all shard files.
 
         Safe against readers (they see either the old or the new base
         file); run it when no *other* process is actively appending.
+        A failure anywhere before the atomic ``os.replace`` leaves the
+        old base file and every shard untouched and removes the
+        temporary file, so a crashed compaction never loses entries or
+        litters the cache directory.
         """
         self._load()
         base = self._base_file()
         tmp = base.parent / f"{base.name}.tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}"
-        with tmp.open("w") as handle:
-            for entry in self._entries.values():
-                handle.write(json.dumps(entry) + "\n")
-        os.replace(tmp, base)
+        try:
+            with tmp.open("w") as handle:
+                for entry in self._entries.values():
+                    handle.write(json.dumps(entry) + "\n")
+                handle.flush()
+                fault_point("cache.compact", path=tmp, handle=handle.buffer)
+            os.replace(tmp, base)
+        finally:
+            tmp.unlink(missing_ok=True)
         for shard in self._shard_files():
             try:
                 shard.unlink()
@@ -187,6 +210,7 @@ class DiskCache:
             "shard_files": len(self._shard_files()),
             "corrupt_lines_skipped": self.corrupt_lines_skipped,
             "compactions": self.compactions,
+            "write_errors": self.write_errors,
         }
 
     # -- lookups and writes --------------------------------------------------
@@ -209,6 +233,15 @@ class DiskCache:
         return self._entries.get(key)
 
     def put(self, key: str, speedup: float, qos_value: float, iterations: int) -> None:
+        """Record one measurement; the disk append is best-effort.
+
+        The in-memory entry always lands.  A failed shard append (disk
+        full, injected torn write) is counted in ``write_errors`` and
+        warned about, but never propagated: the cache is an accelerator,
+        and a measurement campaign must not die because persisting a
+        memo failed.  A torn partial line left behind by such a failure
+        is exactly what the corruption-tolerant ``_scan`` skips.
+        """
         self._load()
         entry = {
             "key": key,
@@ -217,9 +250,21 @@ class DiskCache:
             "iterations": iterations,
         }
         self._entries[key] = entry
-        with self._own_shard().open("a") as handle:
-            handle.write(json.dumps(entry) + "\n")
-            handle.flush()
+        shard = self._own_shard()
+        try:
+            with shard.open("a") as handle:
+                handle.flush()
+                fault_point("cache.put", path=shard, handle=handle.buffer)
+                handle.write(json.dumps(entry) + "\n")
+                handle.flush()
+        except OSError as exc:
+            self.write_errors += 1
+            warnings.warn(
+                f"DiskCache: dropped append to {shard.name} ({exc}); "
+                f"entry kept in memory only",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     # -- MeasuredRun protocol (used by the batch engine) ----------------------
 

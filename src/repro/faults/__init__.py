@@ -1,0 +1,47 @@
+"""repro.faults — deterministic, seedable fault injection.
+
+The chaos backbone of the reproduction: a :class:`FaultPlan` is a list
+of scoped :class:`FaultSpec` faults (worker crash, hang, transient
+``OSError``, byte corruption, torn partial write) that fire at explicit
+``fault_point(site, ...)`` hook points spread through the measurement,
+cache, model-store, pipeline, and serving layers.  With no plan active
+the hooks are a single ``None`` check — the hot paths pay nothing.
+
+Plans are deterministic: construction is seeded, firing is governed by
+per-site invocation counters (plus optional cross-process one-shot
+tokens under a scratch directory), and every firing is appended to a
+``fired.jsonl`` log so a chaos run can prove which faults actually hit.
+
+The end-to-end chaos cycle (train + serve under a seeded plan, asserting
+bit-identical models and zero litter) lives in :mod:`repro.faults.chaos`
+— imported explicitly, not from this package root, so the injection
+layer stays dependency-free for the modules that host hook points.
+"""
+
+from repro.faults.injector import (
+    InjectedFault,
+    InjectedOSError,
+    activate,
+    active_plan,
+    deactivate,
+    fault_point,
+    injected_faults,
+    install_from_env,
+    is_injected_fault,
+)
+from repro.faults.plan import FAULT_KINDS, FaultPlan, FaultSpec
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "InjectedOSError",
+    "activate",
+    "active_plan",
+    "deactivate",
+    "fault_point",
+    "injected_faults",
+    "install_from_env",
+    "is_injected_fault",
+]

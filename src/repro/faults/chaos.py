@@ -1,0 +1,363 @@
+"""End-to-end chaos cycle: train + serve under a seeded fault plan.
+
+:func:`run_chaos_cycle` is the executable proof behind the hardening
+work: it trains a reference model fault-free, re-trains under a seeded
+:class:`~repro.faults.plan.FaultPlan` that crashes a worker, hangs a job
+past its deadline, corrupts cache shards, tears a model write, and
+injects a transient pipeline-stage error — then asserts
+
+* the chaos-trained model (in memory *and* as re-loaded from its store)
+  is **bit-identical** to the reference (canonical state fingerprint);
+* every required fault actually fired (from the plan's cross-process
+  ``fired.jsonl`` log — a chaos harness that silently ran fault-free
+  would be worse than none);
+* the serving engine's circuit breaker opens after consecutive injected
+  load failures, short-circuits without touching the registry, and
+  recovers through a half-open probe once the faults stop;
+* the work directory contains **zero** temp-file litter afterwards.
+
+The fault schedule is deterministic in ``seed`` (the seed only varies
+*where* faults land, via each spec's ``after`` ordinal), so any failure
+is reproducible by re-running with the printed seed.
+"""
+
+from __future__ import annotations
+
+import random
+import shutil
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.faults.injector import injected_faults
+from repro.faults.plan import FaultPlan, FaultSpec
+
+__all__ = ["ChaosReport", "build_chaos_plan", "find_litter", "run_chaos_cycle"]
+
+#: (site, kind) firings every chaos training plan must produce
+REQUIRED_TRAINING_FAULTS = (
+    ("parallel.worker", "crash"),
+    ("parallel.worker", "hang"),
+    ("cache.put", "corrupt"),
+    ("cache.put", "partial_write"),
+    ("store.write", "partial_write"),
+    ("pipeline.stage", "os_error"),
+)
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos cycle; ``ok`` iff ``problems`` is empty."""
+
+    seed: int
+    workdir: str
+    reference_fingerprint: str = ""
+    chaos_fingerprint: str = ""
+    stored_fingerprint: str = ""
+    fired: Dict[str, int] = field(default_factory=dict)
+    injected_retries: int = 0
+    redispatches: int = 0
+    cache_corrupt_lines: int = 0
+    breaker: Dict[str, int] = field(default_factory=dict)
+    litter: List[str] = field(default_factory=list)
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def format(self) -> str:
+        lines = [
+            f"chaos cycle (seed {self.seed}) under {self.workdir}",
+            f"  model fingerprints: reference {self.reference_fingerprint[:16]}… "
+            f"chaos {self.chaos_fingerprint[:16]}… "
+            f"stored {self.stored_fingerprint[:16]}…",
+            "  faults fired: "
+            + (
+                ", ".join(
+                    f"{name}×{count}" for name, count in sorted(self.fired.items())
+                )
+                or "none"
+            ),
+            f"  recovery: {self.redispatches} pool re-dispatch(es), "
+            f"{self.injected_retries} injected stage retr(ies), "
+            f"{self.cache_corrupt_lines} corrupt cache line(s) skipped on reload",
+            "  breaker: "
+            + ", ".join(
+                f"{name}={count}" for name, count in sorted(self.breaker.items())
+            ),
+        ]
+        if self.litter:
+            lines.append(f"  LITTER: {self.litter}")
+        if self.problems:
+            lines.append("  problems:")
+            lines.extend(f"    - {problem}" for problem in self.problems)
+        else:
+            lines.append("  all checks passed")
+        return "\n".join(lines)
+
+
+def build_chaos_plan(
+    seed: int,
+    scratch_dir: Path,
+    job_timeout: float,
+    model_suffix: str = ".opprox.pkl",
+) -> FaultPlan:
+    """The training-phase fault schedule for :func:`run_chaos_cycle`.
+
+    Deterministic in ``seed``; the seed varies the ``after`` ordinals so
+    repeated CI runs land the same fault kinds at different points of
+    the training sweep.
+    """
+    rng = random.Random(seed)
+    specs = [
+        FaultSpec(
+            "parallel.worker",
+            "crash",
+            once_globally=True,
+            after=rng.randint(0, 2),
+            note="chaos: worker crash (BrokenProcessPool path)",
+        ),
+        FaultSpec(
+            "parallel.worker",
+            "hang",
+            once_globally=True,
+            after=rng.randint(0, 2),
+            # far past the deadline: only the watchdog can end this job
+            delay_seconds=job_timeout * 20.0,
+            note="chaos: hung worker (watchdog path)",
+        ),
+        FaultSpec(
+            "cache.put",
+            "corrupt",
+            times=2,
+            after=rng.randint(0, 4),
+            note="chaos: corrupted cache shard",
+        ),
+        FaultSpec(
+            "cache.put",
+            "partial_write",
+            times=1,
+            after=rng.randint(0, 4),
+            note="chaos: torn cache append",
+        ),
+        FaultSpec(
+            "store.write",
+            "partial_write",
+            once_globally=True,
+            match=model_suffix,
+            note="chaos: torn model write (atomic retry path)",
+        ),
+        FaultSpec(
+            "pipeline.stage",
+            "os_error",
+            times=1,
+            after=rng.randint(0, 1),
+            note="chaos: transient stage error (retry path)",
+        ),
+    ]
+    return FaultPlan(specs, scratch_dir=scratch_dir, seed=seed)
+
+
+def find_litter(root: Path, exclude: Tuple[Path, ...] = ()) -> List[str]:
+    """Temp-file debris under ``root`` (tmp names from any subsystem)."""
+    litter: List[str] = []
+    for path in sorted(root.rglob("*")):
+        if not path.is_file():
+            continue
+        if any(str(path).startswith(str(prefix)) for prefix in exclude):
+            continue
+        name = path.name
+        if ".tmp-" in name or name.endswith(".tmp"):
+            litter.append(str(path.relative_to(root)))
+    return litter
+
+
+def run_chaos_cycle(
+    workdir: Path,
+    seed: int = 0,
+    workers: int = 2,
+    job_timeout: float = 3.0,
+    app_name: str = "pso",
+) -> ChaosReport:
+    """Run the full train + serve chaos cycle; never raises on check
+    failures — every violated invariant lands in ``report.problems``.
+
+    ``workdir`` is created (and its previous chaos subdirectories
+    cleared) on entry and left in place for post-mortems.
+    """
+    from repro.apps import make_app
+    from repro.core import AccuracySpec, Opprox
+    from repro.core.runtime import ModelStore
+    from repro.eval.cache import DiskCache
+    from repro.pipeline import (
+        TrainingPipeline,
+        model_fingerprint,
+        read_trace,
+        summarize_trace,
+    )
+    from repro.serve.engine import ServeEngine
+    from repro.serve.registry import ModelRegistry
+
+    workdir = Path(workdir)
+    report = ChaosReport(seed=seed, workdir=str(workdir))
+    for sub in ("ref", "chaos", "serve-scratch"):
+        shutil.rmtree(workdir / sub, ignore_errors=True)
+    workdir.mkdir(parents=True, exist_ok=True)
+
+    def make_opprox(root: Path) -> Opprox:
+        app = make_app(app_name)
+        return Opprox(
+            app,
+            AccuracySpec.for_app(app, max_inputs=2),
+            n_phases=2,
+            joint_samples_per_phase=6,
+            workers=workers,
+            job_timeout=job_timeout,
+            disk_cache=DiskCache(root / "cache"),
+        )
+
+    # -- 1. fault-free reference ------------------------------------------
+    ref_dir = workdir / "ref"
+    reference = make_opprox(ref_dir)
+    TrainingPipeline(reference, ref_dir / "pipeline").run(resume=False)
+    report.reference_fingerprint = model_fingerprint(reference)
+
+    # -- 2. the same training under the seeded fault plan ------------------
+    chaos_dir = workdir / "chaos"
+    plan = build_chaos_plan(seed, chaos_dir / "scratch", job_timeout=job_timeout)
+    chaos = make_opprox(chaos_dir)
+    store = ModelStore(chaos_dir / "models")
+    with warnings.catch_warnings():
+        # injected cache faults legitimately warn; keep chaos output clean
+        warnings.simplefilter("ignore", RuntimeWarning)
+        with injected_faults(plan):
+            TrainingPipeline(chaos, chaos_dir / "pipeline").run(resume=False)
+            store.save(chaos)
+    report.chaos_fingerprint = model_fingerprint(chaos)
+    report.stored_fingerprint = model_fingerprint(store.load(app_name))
+
+    if report.chaos_fingerprint != report.reference_fingerprint:
+        report.problems.append(
+            "chaos-trained model differs from the fault-free reference "
+            f"({report.chaos_fingerprint[:16]}… != "
+            f"{report.reference_fingerprint[:16]}…)"
+        )
+    if report.stored_fingerprint != report.reference_fingerprint:
+        report.problems.append(
+            "model re-loaded from the chaos store differs from the reference "
+            "(the torn model write was not recovered cleanly)"
+        )
+
+    # -- 3. audit which faults actually fired ------------------------------
+    counts = plan.fired_counts()
+    report.fired = {f"{site}:{kind}": n for (site, kind), n in sorted(counts.items())}
+    for site, kind in REQUIRED_TRAINING_FAULTS:
+        if counts.get((site, kind), 0) < 1:
+            report.problems.append(
+                f"required fault {site}:{kind} never fired "
+                f"(training was too small for its ordinal, or the hook is dead)"
+            )
+
+    stats = chaos.measurement_stats
+    report.redispatches = stats.redispatches
+    if stats.redispatches < 1:
+        report.problems.append(
+            "no pool re-dispatch was recorded despite crash/hang faults"
+        )
+    if stats.quarantined:
+        report.problems.append(
+            f"{stats.quarantined} configuration(s) were quarantined — "
+            f"one-shot faults must recover within the attempt budget"
+        )
+
+    trace = summarize_trace(read_trace(chaos_dir / "pipeline" / "trace.jsonl"))
+    report.injected_retries = int(trace.get("injected_retries", 0) or 0)
+    if report.injected_retries < 1:
+        report.problems.append(
+            "the trace recorded no injected stage retry "
+            "(pipeline fault accounting is not wired)"
+        )
+
+    # a fresh cache instance must shrug off the corrupted shards
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        reload_stats = DiskCache(chaos_dir / "cache").stats()
+    report.cache_corrupt_lines = int(reload_stats["corrupt_lines_skipped"])
+    if report.cache_corrupt_lines < 1:
+        report.problems.append(
+            "reloading the chaos cache skipped no corrupt lines "
+            "(the corruption faults left no trace?)"
+        )
+
+    # -- 4. serving under load faults: breaker open -> probe -> close ------
+    serve_plan = FaultPlan(
+        [
+            FaultSpec(
+                "serve.load",
+                "os_error",
+                times=2,
+                note="chaos: failing model load (breaker path)",
+            )
+        ],
+        scratch_dir=workdir / "serve-scratch",
+        seed=seed,
+    )
+    clock = [0.0]
+    registry = ModelRegistry(store)
+    engine = ServeEngine(
+        registry,
+        breaker_threshold=2,
+        breaker_cooldown_seconds=60.0,
+        clock=lambda: clock[0],
+    )
+    params = make_app(app_name).default_params()
+    with injected_faults(serve_plan):
+        first = engine.submit(app_name, params, 10.0)
+        second = engine.submit(app_name, params, 10.0)
+        loads_when_open = registry.loads
+        third = engine.submit(app_name, params, 10.0)
+        if registry.loads != loads_when_open:
+            report.problems.append(
+                "an open breaker still touched the model registry"
+            )
+        clock[0] = 120.0  # past the cooldown: admit the half-open probe
+        fourth = engine.submit(app_name, params, 10.0)
+    fifth = engine.submit(app_name, params, 10.0)
+
+    if not (first.degraded and second.degraded):
+        report.problems.append("injected load failures did not degrade responses")
+    if not third.degraded or "circuit open" not in (third.degraded_reason or ""):
+        report.problems.append(
+            f"request under an open breaker was not short-circuited "
+            f"(reason: {third.degraded_reason!r})"
+        )
+    if fourth.degraded:
+        report.problems.append(
+            f"half-open probe did not recover: {fourth.degraded_reason!r}"
+        )
+    if fifth.degraded or not fifth.cache_hit:
+        report.problems.append("post-recovery request missed the schedule cache")
+    serve_report = engine.stats.report()
+    report.breaker = {
+        key.replace("breaker_", ""): int(serve_report[key])  # type: ignore[call-overload]
+        for key in (
+            "breaker_opens",
+            "breaker_closes",
+            "breaker_probes",
+            "breaker_short_circuits",
+        )
+    }
+    if report.breaker != {"opens": 1, "closes": 1, "probes": 1, "short_circuits": 1}:
+        report.problems.append(
+            f"unexpected breaker transition counts: {report.breaker}"
+        )
+
+    # -- 5. zero temp-file litter ------------------------------------------
+    report.litter = find_litter(workdir)
+    if report.litter:
+        report.problems.append(
+            f"{len(report.litter)} temp file(s) left behind: {report.litter}"
+        )
+    return report

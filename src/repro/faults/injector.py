@@ -1,0 +1,160 @@
+"""The injection side of repro.faults: hook points and plan activation.
+
+Hardened modules call :func:`fault_point` at the places a real system
+breaks (worker entry, cache append, compaction rename, model-store
+write/load, pipeline stage, serve-time model load).  With no plan
+active the call is a module-global ``None`` check and an immediate
+return — cheap enough to leave in hot paths permanently.
+
+Activation is process-global (``activate`` / ``deactivate`` or the
+:func:`injected_faults` context manager).  Forked worker processes
+inherit the active plan; subprocess CLI runs pick it up from the
+``OPPROX_FAULT_PLAN`` environment variable via :func:`install_from_env`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.faults.plan import CORRUPTION_BYTES, TORN_PREFIX, FaultPlan, FaultSpec
+
+__all__ = [
+    "InjectedFault",
+    "InjectedOSError",
+    "activate",
+    "active_plan",
+    "deactivate",
+    "fault_point",
+    "injected_faults",
+    "install_from_env",
+    "is_injected_fault",
+]
+
+#: environment variable naming a JSON plan file for subprocess runs
+ENV_PLAN_PATH = "OPPROX_FAULT_PLAN"
+
+#: exit status used by ``crash`` faults, distinctive in worker autopsies
+CRASH_EXIT_CODE = 23
+
+_ACTIVE: Optional[FaultPlan] = None
+
+
+class InjectedFault(Exception):
+    """Marker base class for every exception raised by the injector."""
+
+
+class InjectedOSError(InjectedFault, OSError):
+    """An injected transient ``OSError`` (also catchable as ``OSError``)."""
+
+
+def is_injected_fault(exc: BaseException) -> bool:
+    """True when an exception (or its cause chain) came from the injector."""
+    seen = set()
+    current: Optional[BaseException] = exc
+    while current is not None and id(current) not in seen:
+        if isinstance(current, InjectedFault):
+            return True
+        # worker exceptions cross the process boundary re-pickled; fall
+        # back to the class name so provenance survives the round trip
+        if type(current).__name__ in ("InjectedFault", "InjectedOSError"):
+            return True
+        seen.add(id(current))
+        current = current.__cause__ or current.__context__
+    return False
+
+
+def activate(plan: FaultPlan) -> None:
+    """Make ``plan`` the process-global active plan."""
+    global _ACTIVE
+    _ACTIVE = plan
+
+
+def deactivate() -> None:
+    """Clear the active plan; hook points return to no-ops."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    return _ACTIVE
+
+
+@contextmanager
+def injected_faults(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Activate ``plan`` for the duration of the block."""
+    previous = _ACTIVE
+    activate(plan)
+    try:
+        yield plan
+    finally:
+        activate(previous) if previous is not None else deactivate()
+
+
+def install_from_env() -> Optional[FaultPlan]:
+    """Activate the plan named by ``OPPROX_FAULT_PLAN``, if any.
+
+    Called at CLI entry so chaos runs can drive subprocess invocations.
+    A missing or unreadable plan file is a hard error — a chaos harness
+    that silently ran fault-free would report false confidence.  The
+    variable being unset is the normal production case and a no-op.
+    """
+    path = os.environ.get(ENV_PLAN_PATH, "").strip()
+    if not path:
+        return None
+    plan = FaultPlan.load(path)
+    activate(plan)
+    return plan
+
+
+def fault_point(site: str, path: object = None, handle=None, **context) -> None:
+    """Declare a hook point; executes a fault if the active plan says so.
+
+    ``path`` (stringified) plus any extra ``context`` values form the
+    match target for :class:`FaultSpec.match`.  ``handle`` is an open
+    binary file object for sites inside a write, letting
+    ``partial_write`` faults tear the actual stream.
+    """
+    plan = _ACTIVE
+    if plan is None:
+        return
+    target = str(path) if path is not None else ""
+    if context:
+        extras = " ".join(str(value) for value in context.values())
+        target = f"{target} {extras}".strip()
+    spec = plan.pick(site, target)
+    if spec is None:
+        return
+    plan.record_fired(spec, site, target)
+    _execute(spec, site, path, handle)
+
+
+def _execute(spec: FaultSpec, site: str, path: object, handle) -> None:
+    suffix = f" [{spec.note}]" if spec.note else ""
+    if spec.kind == "hang":
+        time.sleep(spec.delay_seconds)
+        return
+    if spec.kind == "crash":
+        os._exit(CRASH_EXIT_CODE)
+    if spec.kind == "os_error":
+        raise InjectedOSError(f"injected transient OSError at {site}{suffix}")
+    if spec.kind == "corrupt":
+        _write_bytes(path, handle, CORRUPTION_BYTES)
+        return
+    if spec.kind == "partial_write":
+        _write_bytes(path, handle, TORN_PREFIX)
+        raise InjectedOSError(f"injected torn write at {site}{suffix}")
+    raise AssertionError(f"unreachable fault kind {spec.kind!r}")
+
+
+def _write_bytes(path: object, handle, payload: bytes) -> None:
+    if handle is not None:
+        handle.write(payload)
+        handle.flush()
+        return
+    if path is None:
+        return
+    with open(os.fspath(path), "ab") as sink:  # type: ignore[arg-type]
+        sink.write(payload)

@@ -1,0 +1,254 @@
+"""Fault plans: deterministic, seedable descriptions of what breaks where.
+
+A :class:`FaultSpec` scopes one fault to a hook *site* (e.g.
+``"parallel.worker"``) with an ordinal window (``after`` / ``times``),
+an optional path substring (``match``), and an optional cross-process
+one-shot guarantee (``once_globally``, claimed via ``O_EXCL`` token
+files in the plan's scratch directory).  A :class:`FaultPlan` bundles
+specs with a seed and the scratch directory, tracks per-process
+invocation counters, and appends every firing to ``fired.jsonl`` so a
+chaos run can later prove which faults actually hit — the log line is
+written *before* the fault executes, so even a worker crash leaves a
+record.
+
+Plans serialize to plain JSON (:meth:`FaultPlan.save` /
+:meth:`FaultPlan.load`) so a single plan file can drive subprocesses via
+the ``OPPROX_FAULT_PLAN`` environment variable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["FAULT_KINDS", "FaultPlan", "FaultSpec"]
+
+#: every fault kind the injector knows how to execute
+FAULT_KINDS = ("crash", "hang", "os_error", "corrupt", "partial_write")
+
+#: appended to a file by ``corrupt`` faults — never parses as JSON or a header
+CORRUPTION_BYTES = b"\x00\xfe\xfd injected corruption\n"
+
+#: written by ``partial_write`` faults — a torn record prefix with no newline
+TORN_PREFIX = b'{"injected": "torn wri'
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scoped fault.
+
+    ``site``
+        Hook point name this fault is armed at (see docs/FAULTS.md for
+        the full table of sites).
+    ``kind``
+        One of :data:`FAULT_KINDS`.  ``crash`` calls ``os._exit`` in
+        the current process; ``hang`` sleeps ``delay_seconds``;
+        ``os_error`` raises :class:`~repro.faults.injector.InjectedOSError`;
+        ``corrupt`` appends garbage bytes to the context path;
+        ``partial_write`` writes a torn record prefix and then raises.
+    ``times``
+        Maximum number of firings per process (per plan activation).
+    ``after``
+        Skip the first ``after`` matching invocations before firing —
+        this is how a seeded plan lands faults at varied ordinals.
+    ``delay_seconds``
+        Sleep duration for ``hang`` faults.
+    ``once_globally``
+        Fire at most once across *all* processes sharing the plan's
+        scratch directory (claimed atomically with an ``O_EXCL`` token
+        file).  Essential for crash faults under re-dispatch: a fresh
+        worker pool inherits the plan, and without the token the
+        replacement worker would crash again, forever.
+    ``match``
+        Substring that must appear in the invocation's path/context for
+        the spec to apply (e.g. ``".opprox.pkl"`` to tear only model
+        writes, leaving checkpoints alone).
+    ``note``
+        Free-form annotation carried into the fired log.
+    """
+
+    site: str
+    kind: str
+    times: int = 1
+    after: int = 0
+    delay_seconds: float = 0.0
+    once_globally: bool = False
+    match: str = ""
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if not self.site:
+            raise ValueError("fault site must be a non-empty string")
+        if self.times < 1:
+            raise ValueError(f"times must be >= 1, got {self.times}")
+        if self.after < 0:
+            raise ValueError(f"after must be >= 0, got {self.after}")
+        if self.delay_seconds < 0:
+            raise ValueError(f"delay_seconds must be >= 0, got {self.delay_seconds}")
+
+
+class FaultPlan:
+    """An ordered set of :class:`FaultSpec` plus firing state.
+
+    Invocation counters (``seen`` / ``fired``) are per-process — a
+    forked worker starts from a copy of the parent's counters, which is
+    what makes ``once_globally`` tokens necessary for faults that must
+    not repeat across re-dispatched pools.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[FaultSpec],
+        scratch_dir: Optional[os.PathLike] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.specs: Tuple[FaultSpec, ...] = tuple(specs)
+        self.seed = seed
+        self.scratch_dir: Optional[Path] = None
+        if scratch_dir is not None:
+            self.scratch_dir = Path(scratch_dir)
+            self.scratch_dir.mkdir(parents=True, exist_ok=True)
+        self._seen = [0] * len(self.specs)
+        self._fired = [0] * len(self.specs)
+
+    # ------------------------------------------------------------------
+    # matching
+
+    def pick(self, site: str, target: str) -> Optional[FaultSpec]:
+        """Return the spec that should fire for this invocation, or None.
+
+        Each matching spec's ``seen`` counter advances whether or not it
+        fires; at most one spec fires per invocation (first match wins).
+        Firing is recorded in the fired log *by the caller* via
+        :meth:`record_fired` before the fault executes.
+        """
+        chosen: Optional[FaultSpec] = None
+        for index, spec in enumerate(self.specs):
+            if spec.site != site:
+                continue
+            if spec.match and spec.match not in target:
+                continue
+            ordinal = self._seen[index]
+            self._seen[index] = ordinal + 1
+            if chosen is not None:
+                continue
+            if ordinal < spec.after or self._fired[index] >= spec.times:
+                continue
+            if spec.once_globally and not self._claim_token(index):
+                continue
+            self._fired[index] += 1
+            chosen = spec
+        return chosen
+
+    def _claim_token(self, index: int) -> bool:
+        """Atomically claim the cross-process one-shot token for a spec."""
+        if self.scratch_dir is None:
+            # no shared scratch: degrade to per-process once semantics
+            return True
+        token = self.scratch_dir / f"claim-{index:02d}.token"
+        try:
+            fd = os.open(token, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+        except FileExistsError:
+            return False
+        try:
+            os.write(fd, f"pid={os.getpid()}\n".encode("ascii"))
+        finally:
+            os.close(fd)
+        return True
+
+    # ------------------------------------------------------------------
+    # firing log
+
+    def record_fired(self, spec: FaultSpec, site: str, target: str) -> None:
+        """Append one firing to ``fired.jsonl`` (before the fault runs)."""
+        if self.scratch_dir is None:
+            return
+        record = {
+            "site": site,
+            "kind": spec.kind,
+            "target": target,
+            "pid": os.getpid(),
+            "note": spec.note,
+        }
+        line = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        # low-level append so the bytes reach the OS even if the very
+        # next statement is os._exit()
+        fd = os.open(
+            self.scratch_dir / "fired.jsonl",
+            os.O_CREAT | os.O_WRONLY | os.O_APPEND,
+            0o644,
+        )
+        try:
+            os.write(fd, line)
+        finally:
+            os.close(fd)
+
+    def fired_log(self) -> List[Dict[str, Any]]:
+        """Read back every firing recorded across all processes."""
+        if self.scratch_dir is None:
+            return []
+        path = self.scratch_dir / "fired.jsonl"
+        if not path.exists():
+            return []
+        records: List[Dict[str, Any]] = []
+        for raw in path.read_text(encoding="utf-8").splitlines():
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                records.append(json.loads(raw))
+            except json.JSONDecodeError:
+                continue  # torn tail from a crash mid-write
+        return records
+
+    def fired_counts(self) -> Dict[Tuple[str, str], int]:
+        """``(site, kind) -> count`` over the cross-process fired log."""
+        counts: Dict[Tuple[str, str], int] = {}
+        for record in self.fired_log():
+            key = (str(record.get("site")), str(record.get("kind")))
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # serialization
+
+    def to_json(self) -> str:
+        payload = {
+            "seed": self.seed,
+            "scratch_dir": str(self.scratch_dir) if self.scratch_dir else None,
+            "specs": [asdict(spec) for spec in self.specs],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        payload = json.loads(text)
+        specs = [FaultSpec(**spec) for spec in payload.get("specs", [])]
+        return cls(
+            specs,
+            scratch_dir=payload.get("scratch_dir"),
+            seed=payload.get("seed"),
+        )
+
+    def save(self, path: os.PathLike) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: os.PathLike) -> "FaultPlan":
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultPlan(specs={len(self.specs)}, seed={self.seed}, "
+            f"scratch_dir={str(self.scratch_dir) if self.scratch_dir else None!r})"
+        )

@@ -8,7 +8,8 @@ bit-identical to the one the parent's own :meth:`Profiler.measure` would
 produce.  That determinism is what makes the merge sound: worker results
 are folded back into the parent profiler's in-memory caches and written
 through the optional scalar disk cache exactly as if they had been
-measured serially.
+measured serially — and it is also what makes *re-dispatch* sound: a job
+whose worker crashed or hung can simply run again on a fresh pool.
 
 Resolution order per job:
 
@@ -20,6 +21,25 @@ Resolution order per job:
 Exact (accurate) jobs always run in the parent: they cost at most one
 execution per unique input and their golden record is the scoring
 baseline for everything else.
+
+Pool-path failure handling (``workers>1``):
+
+* ``job_timeout`` arms a per-job deadline.  A job that produces no
+  result in time is treated as hung: the watchdog kills the pool's
+  worker processes, salvages every already-completed result, refunds
+  the dispatch attempt of innocent bystanders, and re-dispatches the
+  queue on a fresh pool.  Only the timed-out suspect is charged an
+  attempt.
+* A broken pool (a worker crashed — ``BrokenProcessPool``) cannot name
+  the culprit, so every still-outstanding job is charged an attempt and
+  re-dispatched together; completed futures are salvaged first.
+* A job that exhausts ``max_dispatch_attempts`` is *quarantined*: the
+  rest of the batch completes and is written through the caches, then
+  :class:`PoisonedJobError` reports the quarantined job indices and
+  causes instead of silently aborting (or worse, silently succeeding).
+* As a final backstop, any result slot still empty when the batch ends
+  raises :class:`MeasureBatchError` listing the offending job indices —
+  a short result list is never silently zipped against the job list.
 """
 
 from __future__ import annotations
@@ -27,14 +47,22 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.approx.schedule import ApproxSchedule
+from repro.faults.injector import fault_point
 from repro.instrument.harness import MeasuredRun, Profiler
 from repro.instrument.stats import MeasurementStats
 
-__all__ = ["MeasureJob", "default_workers", "measure_batch"]
+__all__ = [
+    "MeasureBatchError",
+    "MeasureJob",
+    "PoisonedJobError",
+    "default_workers",
+    "measure_batch",
+]
 
 #: One batch job: input parameters plus a schedule (None = exact run).
 MeasureJob = Tuple[Dict[str, float], Optional[ApproxSchedule]]
@@ -42,6 +70,37 @@ MeasureJob = Tuple[Dict[str, float], Optional[ApproxSchedule]]
 #: Per-worker-process profiler registry, so jobs landing in the same
 #: worker share golden runs and measured configurations.
 _WORKER_PROFILERS: Dict[str, Profiler] = {}
+
+#: dispatch attempts per unique configuration before quarantine
+MAX_DISPATCH_ATTEMPTS = 3
+
+
+class MeasureBatchError(RuntimeError):
+    """The batch engine could not produce a result for every job."""
+
+
+class PoisonedJobError(MeasureBatchError):
+    """Jobs repeatedly took down or outlived their workers.
+
+    Raised *after* the rest of the batch completed and was written
+    through the caches, so a poisoned configuration costs its own
+    result, not the whole campaign's.  ``job_indices`` are positions in
+    the caller's job list; ``causes`` maps each index to a description
+    of the final failure; ``results`` is the job-aligned partial result
+    list with ``None`` at the quarantined slots.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        job_indices: Sequence[int],
+        causes: Dict[int, str],
+        results: Sequence[Optional[MeasuredRun]],
+    ) -> None:
+        super().__init__(message)
+        self.job_indices = list(job_indices)
+        self.causes = dict(causes)
+        self.results = list(results)
 
 
 def default_workers() -> int:
@@ -62,6 +121,7 @@ def _worker_profiler(app_name: str) -> Profiler:
 def _measure_one(task: Tuple[str, Dict[str, float], ApproxSchedule]):
     """Worker entry point: measure one job, return (run, seconds)."""
     app_name, params, schedule = task
+    fault_point("parallel.worker", app=app_name)
     started = time.perf_counter()
     run = _worker_profiler(app_name).measure(params, schedule)
     return run, time.perf_counter() - started
@@ -79,12 +139,153 @@ def _job_label(profiler: Profiler, params, schedule) -> str:
     return f"{profiler.app.name}({params_text}) {schedule!r}"
 
 
+def _kill_pool_processes(pool: ProcessPoolExecutor) -> None:
+    """Forcibly terminate a pool's workers (hung-worker watchdog).
+
+    ``ProcessPoolExecutor`` has no public kill switch; a hung worker
+    would otherwise pin ``shutdown`` forever.  Reaching into
+    ``_processes`` is guarded so a stdlib layout change degrades to a
+    no-op rather than an attribute error.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:
+            pass
+    for process in list(processes.values()):
+        try:
+            process.join(timeout=1.0)
+        except Exception:
+            pass
+
+
+def _run_unique_jobs(
+    profiler: Profiler,
+    unique: Sequence[Tuple[Tuple, MeasureJob]],
+    workers: int,
+    job_timeout: Optional[float],
+    max_attempts: int,
+    stats: Optional[MeasurementStats],
+) -> Tuple[Dict[Tuple, Tuple[MeasuredRun, float]], Dict[Tuple, str]]:
+    """Execute unique cache-missing jobs on (possibly several) pools.
+
+    Returns ``(timed, failures)``: per-key ``(run, seconds)`` results
+    and, for quarantined keys, a description of the terminal failure.
+    Each pass dispatches the whole queue on a fresh pool; a pass that
+    loses its pool (hang or crash) salvages completed results and
+    re-queues the rest, so the loop strictly shrinks and terminates.
+    """
+    app_name = profiler.app.name
+    jobs_by_key: Dict[Tuple, MeasureJob] = dict(unique)
+    attempts: Dict[Tuple, int] = {key: 0 for key, _ in unique}
+    timed: Dict[Tuple, Tuple[MeasuredRun, float]] = {}
+    failures: Dict[Tuple, str] = {}
+    queue: List[Tuple] = [key for key, _ in unique]
+
+    while queue:
+        pool = ProcessPoolExecutor(
+            max_workers=min(workers, len(queue)), mp_context=_pool_context()
+        )
+        futures = []
+        not_dispatched: List[Tuple] = []
+        for position, key in enumerate(queue):
+            params, schedule = jobs_by_key[key]
+            try:
+                future = pool.submit(_measure_one, (app_name, params, schedule))
+            except BrokenExecutor:
+                # the pool died while we were still feeding it; jobs never
+                # dispatched are not charged an attempt
+                not_dispatched = queue[position:]
+                break
+            attempts[key] += 1
+            futures.append((future, key))
+
+        suspects: Dict[Tuple, str] = {}  # charged their dispatch attempt
+        bystanders: List[Tuple] = []  # attempt refunded (hang collateral)
+        pool_dead = False
+        refund_bystanders = False
+        for future, key in futures:
+            if not pool_dead:
+                try:
+                    timed[key] = future.result(timeout=job_timeout)
+                    continue
+                except FuturesTimeoutError:
+                    suspects[key] = (
+                        f"no result within job_timeout={job_timeout:g}s "
+                        f"(hung worker, pool killed)"
+                    )
+                    pool_dead = True
+                    refund_bystanders = True
+                    _kill_pool_processes(pool)
+                    continue
+                except BrokenExecutor as exc:
+                    suspects[key] = (
+                        f"worker pool broke while the job was outstanding "
+                        f"({exc or 'a worker died abruptly'})"
+                    )
+                    pool_dead = True
+                    continue
+                except Exception as exc:
+                    suspects[key] = f"worker raised {exc!r}"
+                    continue
+            # the pool is gone: salvage finished work, sort the rest
+            if future.done() and not future.cancelled():
+                try:
+                    timed[key] = future.result(timeout=0)
+                    continue
+                except (BrokenExecutor, FuturesTimeoutError):
+                    pass  # resolved by the pool's death, not its own doing
+                except Exception as exc:
+                    suspects[key] = f"worker raised {exc!r}"
+                    continue
+            else:
+                future.cancel()
+            if refund_bystanders:
+                bystanders.append(key)
+            else:
+                # a broken pool cannot name the culprit: every job still
+                # outstanding is charged the attempt, so repeated crashes
+                # converge on quarantine instead of looping forever
+                suspects[key] = "worker pool broke while the job was outstanding"
+        pool.shutdown(wait=not pool_dead, cancel_futures=True)
+        if pool_dead:
+            _kill_pool_processes(pool)
+
+        queue = []
+        if not futures:
+            # nothing was even dispatched: charge the whole queue so a
+            # pool that cannot start at all converges on quarantine
+            for key in not_dispatched:
+                attempts[key] += 1
+                suspects[key] = "worker pool rejected the submission"
+            not_dispatched = []
+        queue.extend(not_dispatched)
+        for key in bystanders:
+            attempts[key] -= 1
+            queue.append(key)
+        for key, cause in suspects.items():
+            if attempts[key] >= max_attempts:
+                failures[key] = (
+                    f"{cause}; quarantined after {attempts[key]} dispatch attempt(s)"
+                )
+            else:
+                queue.append(key)
+        if queue and stats is not None:
+            stats.record_redispatch(len(queue))
+    if failures and stats is not None:
+        stats.record_quarantined(len(failures))
+    return timed, failures
+
+
 def measure_batch(
     profiler: Profiler,
     jobs: Iterable[MeasureJob],
     workers: Optional[int] = None,
     disk_cache=None,
     stats: Optional[MeasurementStats] = None,
+    job_timeout: Optional[float] = None,
+    max_dispatch_attempts: int = MAX_DISPATCH_ATTEMPTS,
 ) -> List[MeasuredRun]:
     """Measure every job, in job order, as cheaply as possible.
 
@@ -105,11 +306,28 @@ def measure_batch(
         executions are written through.
     stats:
         Optional :class:`MeasurementStats` receiving hit/execution
-        counters, batch wall-clock, and slowest-job timings.
+        counters, batch wall-clock, slowest-job timings, and fault
+        recovery counters (re-dispatches, quarantined jobs).
+    job_timeout:
+        Per-job deadline in seconds for the pool path (``None`` = no
+        watchdog).  Jobs that miss it are treated as hung and
+        re-dispatched on a fresh pool.
+    max_dispatch_attempts:
+        Dispatch attempts per unique configuration before the job is
+        quarantined and reported via :class:`PoisonedJobError`.
 
     Returns the measured runs aligned with ``jobs``.  Results are
-    deterministic and independent of ``workers``.
+    deterministic and independent of ``workers`` — re-dispatch after a
+    crash or hang re-runs pure functions, so recovery cannot change
+    values.  Raises :class:`PoisonedJobError` when some configurations
+    had to be quarantined (the rest of the batch is completed and
+    persisted first) and :class:`MeasureBatchError` if the engine would
+    otherwise return fewer results than jobs.
     """
+    if max_dispatch_attempts < 1:
+        raise ValueError(
+            f"max_dispatch_attempts must be >= 1, got {max_dispatch_attempts}"
+        )
     job_list = list(jobs)
     started = time.perf_counter()
     results: List[Optional[MeasuredRun]] = [None] * len(job_list)
@@ -156,32 +374,35 @@ def measure_batch(
         pending[key] = (params, schedule)
         pending_indices[key] = [index]
 
+    failures: Dict[Tuple, str] = {}
     if pending:
         unique = list(pending.items())
         effective = int(workers or 1)
         if effective <= 1 or len(unique) == 1:
-            timed = []
-            for _, (params, schedule) in unique:
+            timed: Dict[Tuple, Tuple[MeasuredRun, float]] = {}
+            for key, (params, schedule) in unique:
                 job_started = time.perf_counter()
                 run = profiler.measure(params, schedule)
-                timed.append((run, time.perf_counter() - job_started))
+                timed[key] = (run, time.perf_counter() - job_started)
         else:
-            app_name = profiler.app.name
-            tasks = [
-                (app_name, params, schedule) for _, (params, schedule) in unique
-            ]
-            pool_workers = min(effective, len(unique))
-            chunksize = max(1, len(unique) // (pool_workers * 4))
-            with ProcessPoolExecutor(
-                max_workers=pool_workers, mp_context=_pool_context()
-            ) as pool:
-                timed = list(pool.map(_measure_one, tasks, chunksize=chunksize))
-            for (_, (params, schedule)), (run, _) in zip(unique, timed):
+            timed, failures = _run_unique_jobs(
+                profiler,
+                unique,
+                effective,
+                job_timeout,
+                max_dispatch_attempts,
+                stats,
+            )
+            for key, (run, _) in timed.items():
+                params, schedule = pending[key]
                 profiler.store(params, schedule, run)
                 # Keep the execution counter meaningful: each unique job
                 # cost one real execution, just in another process.
                 profiler.executions += 1
-        for (key, (params, schedule)), (run, seconds) in zip(unique, timed):
+        for key, (params, schedule) in unique:
+            if key not in timed:
+                continue
+            run, seconds = timed[key]
             if stats is not None:
                 stats.record_execution(_job_label(profiler, params, schedule), seconds)
             if disk_cache is not None:
@@ -191,4 +412,34 @@ def measure_batch(
 
     if stats is not None:
         stats.record_batch(time.perf_counter() - started)
+
+    if failures:
+        causes = {
+            index: cause
+            for key, cause in failures.items()
+            for index in pending_indices[key]
+        }
+        indices = sorted(causes)
+        details = "; ".join(
+            f"job {index} "
+            f"({_job_label(profiler, *pending[key])}): {failures[key]}"
+            for key in failures
+            for index in pending_indices[key]
+        )
+        raise PoisonedJobError(
+            f"{len(failures)} configuration(s) quarantined after repeated "
+            f"worker failures (job indices {indices}); the rest of the "
+            f"batch completed and was cached. {details}",
+            job_indices=indices,
+            causes=causes,
+            results=results,
+        )
+
+    missing = [index for index, run in enumerate(results) if run is None]
+    if missing:
+        raise MeasureBatchError(
+            f"measure_batch produced no result for job indices {missing} "
+            f"out of {len(job_list)} dispatched — the worker pool returned "
+            f"fewer results than jobs"
+        )
     return results  # type: ignore[return-value]

@@ -11,6 +11,7 @@ per-batch wall-clock and the slowest individual jobs.  The structured
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List
 
@@ -49,6 +50,8 @@ class LatencyHistogram:
         self._window_writes += 1
 
     def record(self, seconds: float) -> None:
+        if not math.isfinite(seconds):
+            raise ValueError(f"latency must be finite, got {seconds}")
         if seconds < 0.0:
             raise ValueError(f"latency must be non-negative, got {seconds}")
         self._append_sample(seconds)
@@ -137,6 +140,11 @@ class MeasurementStats:
     wall_seconds: float = 0.0
     #: corrupt cache lines skipped while loading disk caches
     corrupt_lines_skipped: int = 0
+    #: unique configurations re-dispatched to a fresh pool after a
+    #: worker crash or hung-job pool kill
+    redispatches: int = 0
+    #: unique configurations quarantined after exhausting dispatch attempts
+    quarantined: int = 0
     #: how many of the slowest jobs to retain
     max_slowest: int = 5
     _slowest: List[JobTiming] = field(default_factory=list, repr=False)
@@ -160,6 +168,12 @@ class MeasurementStats:
         self.batches += 1
         self.wall_seconds += wall_seconds
 
+    def record_redispatch(self, count: int = 1) -> None:
+        self.redispatches += count
+
+    def record_quarantined(self, count: int = 1) -> None:
+        self.quarantined += count
+
     def merge(self, other: "MeasurementStats") -> None:
         """Fold another campaign's counters into this one."""
         self.executions += other.executions
@@ -168,6 +182,8 @@ class MeasurementStats:
         self.batches += other.batches
         self.wall_seconds += other.wall_seconds
         self.corrupt_lines_skipped += other.corrupt_lines_skipped
+        self.redispatches += other.redispatches
+        self.quarantined += other.quarantined
         self._slowest.extend(other._slowest)
         self._slowest.sort(key=lambda timing: -timing.seconds)
         del self._slowest[self.max_slowest :]
@@ -201,6 +217,8 @@ class MeasurementStats:
             "batches": self.batches,
             "wall_seconds": self.wall_seconds,
             "corrupt_lines_skipped": self.corrupt_lines_skipped,
+            "redispatches": self.redispatches,
+            "quarantined": self.quarantined,
             "slowest_jobs": [
                 {"label": timing.label, "seconds": timing.seconds}
                 for timing in self._slowest
@@ -222,6 +240,11 @@ class MeasurementStats:
             lines.append(
                 f"  cache repair: skipped {self.corrupt_lines_skipped} "
                 f"corrupt line(s)"
+            )
+        if self.redispatches or self.quarantined:
+            lines.append(
+                f"  fault recovery: {self.redispatches} re-dispatch(es), "
+                f"{self.quarantined} quarantined"
             )
         if self._slowest:
             lines.append("  slowest jobs:")

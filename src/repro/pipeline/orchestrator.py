@@ -220,10 +220,19 @@ class TrainingPipeline:
         return payload
 
     def _attempt(self, stage_key: str, compute: Callable[[], object]) -> object:
-        """Run ``compute`` with retry-with-backoff for transient failures."""
+        """Run ``compute`` with retry-with-backoff for transient failures.
+
+        ``retry``/``stage_failed`` trace events carry an ``injected``
+        flag when the triggering exception came from the fault-injection
+        framework, so chaos runs can be audited apart from organic
+        failures in the trace log.
+        """
+        from repro.faults.injector import fault_point, is_injected_fault
+
         attempt = 0
         while True:
             try:
+                fault_point("pipeline.stage", stage=stage_key)
                 return compute()
             except Exception as exc:
                 if attempt >= self.max_retries:
@@ -232,6 +241,7 @@ class TrainingPipeline:
                         stage=stage_key,
                         attempts=attempt + 1,
                         error=repr(exc),
+                        injected=is_injected_fault(exc),
                     )
                     raise
                 delay = self.backoff_seconds * (2.0 ** attempt)
@@ -242,6 +252,7 @@ class TrainingPipeline:
                     attempt=attempt,
                     backoff_seconds=delay,
                     error=repr(exc),
+                    injected=is_injected_fault(exc),
                 )
                 self._sleep(delay)
 

@@ -95,6 +95,7 @@ def summarize_trace(events: Sequence[Dict[str, object]]) -> Dict[str, object]:
         "runs": 0,
         "completed_runs": 0,
         "retries": 0,
+        "injected_retries": 0,
         "checkpoints_invalidated": 0,
         "samples_measured": 0,
         "samples_resumed": 0,
@@ -114,6 +115,8 @@ def summarize_trace(events: Sequence[Dict[str, object]]) -> Dict[str, object]:
             summary["executions"] = record.get("executions")
         elif kind == "retry":
             summary["retries"] = int(summary["retries"]) + 1
+            if record.get("injected"):
+                summary["injected_retries"] = int(summary["injected_retries"]) + 1
         elif kind == "checkpoint_invalid":
             summary["checkpoints_invalidated"] = (
                 int(summary["checkpoints_invalidated"]) + 1
@@ -159,8 +162,13 @@ def format_trace_summary(
         title,
         f"  events: {summary['events']}  runs: {summary['runs']} "
         f"({summary['completed_runs']} completed)  "
-        f"retries: {summary['retries']}  "
-        f"invalid checkpoints: {summary['checkpoints_invalidated']}",
+        f"retries: {summary['retries']}"
+        + (
+            f" ({summary['injected_retries']} injected)"
+            if summary.get("injected_retries")
+            else ""
+        )
+        + f"  invalid checkpoints: {summary['checkpoints_invalidated']}",
         f"  samples: {summary['samples_measured']} measured, "
         f"{summary['samples_resumed']} resumed from checkpoints",
     ]

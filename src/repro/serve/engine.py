@@ -19,6 +19,13 @@ Request flow:
    format, an optimizer exception — **degrades** the response to the
    accurate (no-approximation) schedule with ``degraded=True`` and a
    reason string.  No exception escapes :meth:`ServeEngine.submit`.
+5. A per-app **circuit breaker** guards the model load: after
+   ``breaker_threshold`` consecutive load failures the breaker opens
+   and requests are short-circuited to the degraded response without
+   touching the store at all; after ``breaker_cooldown_seconds`` one
+   half-open probe request is admitted — success closes the breaker,
+   failure re-opens it for another cooldown.  Optimizer failures do
+   *not* trip the breaker (the model loaded fine; the store is healthy).
 
 Per-request observability (hit/miss/coalesced/degraded counters plus
 p50/p95/p99 latency histograms) lives in :class:`ServeStats`, in the
@@ -37,6 +44,7 @@ from repro.apps import make_app
 from repro.apps.base import ParamsDict
 from repro.approx.schedule import ApproxSchedule
 from repro.core.runtime import schedule_to_env
+from repro.faults.injector import fault_point
 from repro.instrument.stats import LatencyHistogram
 from repro.serve.registry import Generation, ModelRegistry
 
@@ -83,6 +91,14 @@ class ServeStats:
     coalesced: int = 0
     #: responses that fell back to the accurate schedule
     degraded: int = 0
+    #: circuit-breaker transitions closed -> open
+    breaker_opens: int = 0
+    #: circuit-breaker transitions open -> closed (successful probe)
+    breaker_closes: int = 0
+    #: half-open probe requests admitted to the store
+    breaker_probes: int = 0
+    #: requests answered degraded without touching the store (breaker open)
+    breaker_short_circuits: int = 0
     hit_latency: LatencyHistogram = field(default_factory=LatencyHistogram)
     miss_latency: LatencyHistogram = field(default_factory=LatencyHistogram)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
@@ -105,6 +121,20 @@ class ServeStats:
             if degraded:
                 self.degraded += 1
 
+    def record_breaker(self, event: str) -> None:
+        """Account one circuit-breaker event (open/close/probe/short_circuit)."""
+        with self._lock:
+            if event == "open":
+                self.breaker_opens += 1
+            elif event == "close":
+                self.breaker_closes += 1
+            elif event == "probe":
+                self.breaker_probes += 1
+            elif event == "short_circuit":
+                self.breaker_short_circuits += 1
+            else:
+                raise ValueError(f"unknown breaker event {event!r}")
+
     @property
     def hit_rate(self) -> float:
         """Fraction of requests served without running the optimizer."""
@@ -122,6 +152,10 @@ class ServeStats:
                 "coalesced": self.coalesced,
                 "degraded": self.degraded,
                 "hit_rate": self.hit_rate,
+                "breaker_opens": self.breaker_opens,
+                "breaker_closes": self.breaker_closes,
+                "breaker_probes": self.breaker_probes,
+                "breaker_short_circuits": self.breaker_short_circuits,
                 "hit_latency": self.hit_latency.report(),
                 "miss_latency": self.miss_latency.report(),
             }
@@ -138,6 +172,13 @@ class ServeStats:
                 self.hit_latency.format_line("hit latency "),
                 self.miss_latency.format_line("miss latency"),
             ]
+            if self.breaker_opens or self.breaker_short_circuits:
+                lines.append(
+                    f"  breaker:  {self.breaker_opens} open(s), "
+                    f"{self.breaker_closes} close(s), "
+                    f"{self.breaker_probes} probe(s), "
+                    f"{self.breaker_short_circuits} short-circuit(s)"
+                )
         return "\n".join(lines)
 
 
@@ -145,6 +186,20 @@ class ServeStats:
 class _CacheEntry:
     template: ServeResponse
     generation: Generation
+
+
+@dataclass
+class _Breaker:
+    """Per-app circuit-breaker state (guarded by the engine lock)."""
+
+    #: consecutive load failures (reset on any successful load)
+    failures: int = 0
+    #: clock reading when the breaker (re-)opened; None = closed
+    open_since: Optional[float] = None
+    #: a half-open probe request is currently in flight
+    probing: bool = False
+    #: description of the last load failure (for short-circuit reasons)
+    last_error: str = ""
 
 
 class _Inflight:
@@ -165,9 +220,21 @@ class ServeEngine:
         registry: Union[ModelRegistry, str],
         cache_size: int = 256,
         stats: Optional[ServeStats] = None,
+        breaker_threshold: int = 5,
+        breaker_cooldown_seconds: float = 30.0,
+        clock=time.monotonic,
     ):
         if cache_size < 1:
             raise ValueError(f"cache_size must be >= 1, got {cache_size}")
+        if breaker_threshold < 1:
+            raise ValueError(
+                f"breaker_threshold must be >= 1, got {breaker_threshold}"
+            )
+        if breaker_cooldown_seconds < 0.0:
+            raise ValueError(
+                f"breaker_cooldown_seconds must be >= 0, "
+                f"got {breaker_cooldown_seconds}"
+            )
         self.registry = (
             registry
             if isinstance(registry, ModelRegistry)
@@ -175,10 +242,15 @@ class ServeEngine:
         )
         self.cache_size = cache_size
         self.stats = stats if stats is not None else ServeStats()
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown_seconds = breaker_cooldown_seconds
+        #: injectable for deterministic breaker tests; monotonic in prod
+        self._clock = clock
         self._lock = threading.Lock()
         self._cache: "OrderedDict[RequestKey, _CacheEntry]" = OrderedDict()
         self._inflight: Dict[RequestKey, _Inflight] = {}
         self._fallback_apps: Dict[str, object] = {}
+        self._breakers: Dict[str, _Breaker] = {}
 
     # -- public API ----------------------------------------------------------
 
@@ -237,6 +309,18 @@ class ServeEngine:
         with self._lock:
             return {"size": len(self._cache), "capacity": self.cache_size}
 
+    def breaker_info(self) -> Dict[str, Dict[str, object]]:
+        """Per-app breaker state snapshot (tests and operators)."""
+        with self._lock:
+            return {
+                app: {
+                    "state": "open" if breaker.open_since is not None else "closed",
+                    "failures": breaker.failures,
+                    "probing": breaker.probing,
+                }
+                for app, breaker in self._breakers.items()
+            }
+
     # -- internals -----------------------------------------------------------
 
     @staticmethod
@@ -272,12 +356,18 @@ class ServeEngine:
         self, app_name: str, params: ParamsDict, error_budget: float
     ) -> Tuple[ServeResponse, Optional[Generation]]:
         """Run the optimization, or build the degraded fallback."""
+        admitted, reason = self._breaker_admit(app_name)
+        if not admitted:
+            return self._degraded(app_name, params, error_budget, reason), None
         try:
+            fault_point("serve.load", app=app_name)
             model = self.registry.get(app_name)
         except Exception as exc:
+            self._breaker_failure(app_name, exc)
             return self._degraded(
                 app_name, params, error_budget, f"model unavailable: {exc}"
             ), None
+        self._breaker_success(app_name)
         try:
             result = model.opprox.optimize(params, error_budget)
         except Exception as exc:
@@ -302,6 +392,56 @@ class ServeEngine:
             model.generation,
         )
 
+    # -- circuit breaker ------------------------------------------------------
+
+    def _breaker_admit(self, app_name: str) -> Tuple[bool, str]:
+        """Decide whether a miss may touch the store.
+
+        Returns ``(True, "")`` when the breaker is closed or this request
+        wins the half-open probe slot; ``(False, reason)`` when the
+        request must short-circuit to the degraded response.
+        """
+        with self._lock:
+            breaker = self._breakers.setdefault(app_name, _Breaker())
+            if breaker.open_since is None:
+                return True, ""
+            cooling = (
+                self._clock() - breaker.open_since
+            ) < self.breaker_cooldown_seconds
+            if breaker.probing or cooling:
+                self.stats.record_breaker("short_circuit")
+                return False, (
+                    f"circuit open for {app_name!r} after {breaker.failures} "
+                    f"consecutive load failure(s): {breaker.last_error}"
+                )
+            breaker.probing = True
+            self.stats.record_breaker("probe")
+            return True, ""
+
+    def _breaker_failure(self, app_name: str, exc: Exception) -> None:
+        with self._lock:
+            breaker = self._breakers.setdefault(app_name, _Breaker())
+            breaker.failures += 1
+            breaker.last_error = str(exc) or repr(exc)
+            breaker.probing = False
+            if breaker.open_since is not None:
+                # failed half-open probe: restart the cooldown window
+                breaker.open_since = self._clock()
+            elif breaker.failures >= self.breaker_threshold:
+                breaker.open_since = self._clock()
+                self.stats.record_breaker("open")
+
+    def _breaker_success(self, app_name: str) -> None:
+        with self._lock:
+            breaker = self._breakers.get(app_name)
+            if breaker is None:
+                return
+            if breaker.open_since is not None:
+                self.stats.record_breaker("close")
+            breaker.failures = 0
+            breaker.open_since = None
+            breaker.probing = False
+
     def _degraded(
         self,
         app_name: str,
@@ -323,10 +463,16 @@ class ServeEngine:
             env = schedule_to_env(schedule)
         except Exception as exc:
             reason = f"{reason}; fallback schedule unavailable: {exc}"
+        try:
+            budget_value = float(error_budget)
+        except (TypeError, ValueError):
+            # an unfloatable budget is one of the reasons we degrade; the
+            # fallback response must not die trying to echo it back
+            budget_value = float("nan")
         return ServeResponse(
             app_name=app_name,
             params=dict(params),
-            error_budget=float(error_budget),
+            error_budget=budget_value,
             schedule=schedule,
             env=env,
             predicted_speedup=1.0,

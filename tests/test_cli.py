@@ -130,6 +130,43 @@ class TestOracleCommand:
         assert "7 disk hits" in second
 
 
+class TestWorkersValidation:
+    ORACLE = [
+        "oracle", "--app", "pso", "--budget", "30", "--level-stride", "5",
+        "--param", "swarm_size=24", "--param", "dimension=4",
+    ]
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(SystemExit, match="--workers must be >= 0"):
+            main([*self.ORACLE, "--workers", "-1"])
+
+    def test_workers_above_cpu_count_clamped_with_warning(self, capsys):
+        assert main([*self.ORACLE, "--workers", "4096"]) == 0
+        captured = capsys.readouterr()
+        assert "configurations tried: 8" in captured.out
+        assert "clamping" in captured.err
+        assert "--workers 4096 exceeds" in captured.err
+
+    def test_sane_workers_pass_through_silently(self, capsys):
+        assert main([*self.ORACLE, "--workers", "1"]) == 0
+        assert capsys.readouterr().err == ""
+
+
+class TestChaosCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["chaos", "--seed", "3"])
+        assert args.command == "chaos"
+        assert args.seed == 3
+        assert args.workdir == ".chaos"
+        assert args.app == "pso"
+        assert args.job_timeout == pytest.approx(3.0)
+        assert args.workers is None
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--app", "no-such-app"])
+
+
 class TestCacheStatsCommand:
     def test_reports_and_compacts(self, capsys, tmp_path):
         main(

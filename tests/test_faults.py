@@ -1,0 +1,293 @@
+"""Tests for the deterministic fault-injection framework (repro.faults).
+
+Covers the plan/injector mechanics (spec validation, ordinal windows,
+match scoping, cross-process one-shot tokens, the crash-safe fired log,
+serialization, env activation) and the hardening the faults force on
+the storage layers: ``DiskCache`` stays loadable and litter-free under
+torn appends and failed compactions, and ``atomic_write_bytes`` retries
+torn model writes without ever exposing a partial file.
+"""
+
+import json
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.eval.cache import DiskCache
+from repro.core.runtime import atomic_write_bytes
+from repro.faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedOSError,
+    activate,
+    active_plan,
+    deactivate,
+    fault_point,
+    injected_faults,
+    install_from_env,
+    is_injected_fault,
+)
+from repro.faults.injector import ENV_PLAN_PATH, InjectedFault
+from repro.faults.plan import CORRUPTION_BYTES, TORN_PREFIX
+
+
+@pytest.fixture(autouse=True)
+def _no_plan_leaks():
+    """No test may leak an active plan into the rest of the suite."""
+    yield
+    deactivate()
+
+
+def _tmp_litter(root: Path):
+    return [
+        p for p in root.rglob("*")
+        if p.is_file() and (".tmp-" in p.name or p.name.endswith(".tmp"))
+    ]
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("site", "explode")
+
+    def test_empty_site_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            FaultSpec("", "crash")
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"times": 0}, {"after": -1}, {"delay_seconds": -0.1}]
+    )
+    def test_negative_windows_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultSpec("site", "hang", **kwargs)
+
+
+class TestFaultPlanPick:
+    def test_after_window_skips_then_fires_up_to_times(self):
+        plan = FaultPlan([FaultSpec("s", "os_error", times=2, after=1)])
+        fires = [plan.pick("s", "") is not None for _ in range(5)]
+        assert fires == [False, True, True, False, False]
+
+    def test_site_mismatch_never_advances_or_fires(self):
+        plan = FaultPlan([FaultSpec("s", "os_error")])
+        assert plan.pick("other", "") is None
+        assert plan.pick("s", "") is not None
+
+    def test_match_substring_scopes_the_spec(self):
+        plan = FaultPlan([FaultSpec("s", "os_error", match=".pkl")])
+        # non-matching targets do not advance the ordinal window
+        assert plan.pick("s", "/models/checkpoint.json") is None
+        assert plan.pick("s", "/models/pso.pkl") is not None
+
+    def test_at_most_one_spec_fires_per_invocation(self):
+        plan = FaultPlan(
+            [FaultSpec("s", "os_error", note="first"),
+             FaultSpec("s", "os_error", note="second")]
+        )
+        assert plan.pick("s", "").note == "first"
+        # the second spec's ordinal advanced during the first pick, but
+        # it stayed armed and fires on the next invocation
+        assert plan.pick("s", "").note == "second"
+        assert plan.pick("s", "") is None
+
+    def test_once_globally_claims_a_token_across_plan_instances(self, tmp_path):
+        spec = FaultSpec("s", "os_error", once_globally=True)
+        first = FaultPlan([spec], scratch_dir=tmp_path)
+        second = FaultPlan([spec], scratch_dir=tmp_path)  # a "forked worker"
+        assert first.pick("s", "") is not None
+        assert second.pick("s", "") is None
+        assert first.pick("s", "") is None
+
+
+class TestFiredLog:
+    def test_firings_recorded_and_counted(self, tmp_path):
+        plan = FaultPlan(
+            [FaultSpec("s", "os_error", times=2)], scratch_dir=tmp_path
+        )
+        for _ in range(2):
+            spec = plan.pick("s", "target")
+            plan.record_fired(spec, "s", "target")
+        assert plan.fired_counts() == {("s", "os_error"): 2}
+        assert all(r["pid"] for r in plan.fired_log())
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        plan = FaultPlan([FaultSpec("s", "crash")], scratch_dir=tmp_path)
+        plan.record_fired(plan.specs[0], "s", "")
+        with (tmp_path / "fired.jsonl").open("ab") as handle:
+            handle.write(b'{"site": "s", "kind": "cra')  # crashed mid-write
+        assert plan.fired_counts() == {("s", "crash"): 1}
+
+
+class TestSerialization:
+    def test_round_trip_preserves_specs_seed_and_scratch(self, tmp_path):
+        plan = FaultPlan(
+            [FaultSpec("a", "hang", delay_seconds=2.5, match="x", note="n")],
+            scratch_dir=tmp_path / "scratch",
+            seed=42,
+        )
+        loaded = FaultPlan.load(plan.save(tmp_path / "plan.json"))
+        assert loaded.specs == plan.specs
+        assert loaded.seed == 42
+        assert loaded.scratch_dir == plan.scratch_dir
+
+    def test_install_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(ENV_PLAN_PATH, raising=False)
+        assert install_from_env() is None
+        path = FaultPlan([FaultSpec("s", "os_error")], seed=1).save(
+            tmp_path / "plan.json"
+        )
+        monkeypatch.setenv(ENV_PLAN_PATH, str(path))
+        plan = install_from_env()
+        assert plan is not None and active_plan() is plan
+        monkeypatch.setenv(ENV_PLAN_PATH, str(tmp_path / "missing.json"))
+        with pytest.raises(OSError):
+            install_from_env()
+
+
+class TestActivation:
+    def test_context_manager_restores_previous_plan(self):
+        outer = FaultPlan([FaultSpec("s", "os_error")])
+        inner = FaultPlan([FaultSpec("s", "os_error")])
+        activate(outer)
+        with injected_faults(inner):
+            assert active_plan() is inner
+        assert active_plan() is outer
+        deactivate()
+        assert active_plan() is None
+
+    def test_fault_point_is_a_noop_without_a_plan(self):
+        deactivate()
+        fault_point("anything", path="/nowhere")  # must not raise
+
+
+class TestIsInjectedFault:
+    def test_direct_and_cause_chained(self):
+        assert is_injected_fault(InjectedOSError("x"))
+        wrapped = RuntimeError("stage failed")
+        wrapped.__cause__ = InjectedFault("inner")
+        assert is_injected_fault(wrapped)
+        assert not is_injected_fault(RuntimeError("organic"))
+
+    def test_name_fallback_survives_repickling(self):
+        # a worker exception crossing the process boundary loses its
+        # class identity; provenance must survive on the name alone
+        impostor = type("InjectedOSError", (OSError,), {})("from a worker")
+        assert is_injected_fault(impostor)
+
+    def test_cycle_in_context_chain_terminates(self):
+        first, second = RuntimeError("a"), RuntimeError("b")
+        first.__context__, second.__context__ = second, first
+        assert not is_injected_fault(first)
+
+
+class TestFaultExecution:
+    def test_os_error_raises_injected_oserror(self):
+        with injected_faults(FaultPlan([FaultSpec("s", "os_error")])):
+            with pytest.raises(InjectedOSError):
+                fault_point("s")
+
+    def test_corrupt_appends_garbage_to_path(self, tmp_path):
+        victim = tmp_path / "file.jsonl"
+        victim.write_bytes(b"good line\n")
+        with injected_faults(FaultPlan([FaultSpec("s", "corrupt")])):
+            fault_point("s", path=victim)
+        assert victim.read_bytes() == b"good line\n" + CORRUPTION_BYTES
+
+    def test_partial_write_tears_the_handle_then_raises(self, tmp_path):
+        victim = tmp_path / "file.jsonl"
+        with injected_faults(FaultPlan([FaultSpec("s", "partial_write")])):
+            with victim.open("wb") as handle:
+                with pytest.raises(InjectedOSError):
+                    fault_point("s", path=victim, handle=handle)
+        assert victim.read_bytes() == TORN_PREFIX
+
+
+class TestDiskCacheUnderFaults:
+    """Satellite: injected partial writes must not lose or litter."""
+
+    def _seeded(self, tmp_path, n=3):
+        cache = DiskCache(tmp_path)
+        for i in range(n):
+            cache.put(f"key-{i}", speedup=1.0 + i, qos_value=0.5, iterations=9)
+        return cache
+
+    def test_failed_compact_keeps_old_shards_loadable(self, tmp_path):
+        cache = self._seeded(tmp_path)
+        shards_before = sorted(p.name for p in tmp_path.glob("*.shard-*.jsonl"))
+        plan = FaultPlan([FaultSpec("cache.compact", "partial_write")])
+        with injected_faults(plan):
+            with pytest.raises(OSError):
+                cache.compact()
+        assert sorted(p.name for p in tmp_path.glob("*.shard-*.jsonl")) == \
+            shards_before
+        assert _tmp_litter(tmp_path) == []
+        fresh = DiskCache(tmp_path)
+        assert fresh.stats()["entries"] == 3
+        assert fresh.get("key-2")["speedup"] == pytest.approx(3.0)
+
+    def test_auto_compaction_failure_degrades_to_warning(self, tmp_path):
+        self._seeded(tmp_path)
+        shard = next(tmp_path.glob("*.shard-*.jsonl"))
+        with shard.open("ab") as handle:
+            handle.write(b"not json\n")  # corruption triggers auto-compact
+        plan = FaultPlan([FaultSpec("cache.compact", "partial_write")])
+        with injected_faults(plan):
+            fresh = DiskCache(tmp_path)
+            with pytest.warns(RuntimeWarning, match="auto-compaction.*failed"):
+                assert fresh.get("key-0") is not None
+        assert _tmp_litter(tmp_path) == []
+
+    def test_torn_put_keeps_entry_in_memory_and_reload_skips_it(self, tmp_path):
+        cache = self._seeded(tmp_path, n=1)
+        plan = FaultPlan([FaultSpec("cache.put", "partial_write")])
+        with injected_faults(plan):
+            with pytest.warns(RuntimeWarning, match="dropped append"):
+                cache.put("torn-key", speedup=2.0, qos_value=0.1, iterations=5)
+        # the writer still answers from memory
+        assert cache.get("torn-key")["speedup"] == pytest.approx(2.0)
+        assert cache.write_errors == 1
+        assert cache.stats()["write_errors"] == 1
+        # a fresh reader skips the torn line but keeps everything durable
+        with pytest.warns(RuntimeWarning, match="corrupt cache line"):
+            fresh = DiskCache(tmp_path)
+            assert fresh.get("key-0") is not None
+            assert fresh.get("torn-key") is None
+
+    def test_corrupt_append_is_skipped_on_reload(self, tmp_path):
+        cache = self._seeded(tmp_path, n=2)
+        plan = FaultPlan([FaultSpec("cache.put", "corrupt")])
+        with injected_faults(plan):
+            cache.put("key-after", speedup=4.0, qos_value=0.2, iterations=3)
+        with pytest.warns(RuntimeWarning, match="corrupt cache line"):
+            fresh = DiskCache(tmp_path)
+            assert fresh.stats()["entries"] == 3
+            assert fresh.get("key-after")["speedup"] == pytest.approx(4.0)
+
+
+class TestAtomicWriteUnderFaults:
+    def test_single_torn_write_is_retried_cleanly(self, tmp_path):
+        target = tmp_path / "model.pkl"
+        plan = FaultPlan([FaultSpec("store.write", "partial_write", times=1)])
+        with injected_faults(plan):
+            atomic_write_bytes(target, b"payload")
+        assert target.read_bytes() == b"payload"
+        assert _tmp_litter(tmp_path) == []
+
+    def test_exhausted_retries_raise_and_leave_no_partial_file(self, tmp_path):
+        target = tmp_path / "model.pkl"
+        plan = FaultPlan([FaultSpec("store.write", "partial_write", times=5)])
+        with injected_faults(plan):
+            with pytest.raises(OSError):
+                atomic_write_bytes(target, b"payload", retries=2)
+        assert not target.exists()
+        assert _tmp_litter(tmp_path) == []
+
+    def test_overwrite_keeps_old_contents_until_retries_exhaust(self, tmp_path):
+        target = tmp_path / "model.pkl"
+        target.write_bytes(b"old")
+        plan = FaultPlan([FaultSpec("store.write", "partial_write", times=5)])
+        with injected_faults(plan):
+            with pytest.raises(OSError):
+                atomic_write_bytes(target, b"new", retries=1)
+        assert target.read_bytes() == b"old"

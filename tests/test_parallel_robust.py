@@ -1,0 +1,163 @@
+"""Tests for measure_batch's crash/hang/poison recovery (the pool path).
+
+The chaos-marked tests drive real worker pools through injected crashes
+and hangs and assert the recovery contract: results bit-identical to a
+serial sweep, re-dispatches accounted in the stats, quarantine reported
+via :class:`PoisonedJobError` with the healthy part of the batch intact,
+and a short result list never silently zipped against the job list.
+"""
+
+import pytest
+
+from repro.approx.schedule import ApproxSchedule
+from repro.apps import make_app
+from repro.faults import FaultPlan, FaultSpec, deactivate, injected_faults
+from repro.instrument import parallel
+from repro.instrument.harness import Profiler
+from repro.instrument.parallel import (
+    MeasureBatchError,
+    PoisonedJobError,
+    measure_batch,
+)
+from repro.instrument.stats import MeasurementStats
+
+from tests.conftest import smallest_params
+
+
+@pytest.fixture(autouse=True)
+def _no_plan_leaks():
+    yield
+    deactivate()
+
+
+def _schedule(profiler, params, levels):
+    app = profiler.app
+    return ApproxSchedule.uniform(app.blocks, app.make_plan(params, 1), levels)
+
+
+def _jobs(profiler, params):
+    return [
+        (params, _schedule(profiler, params, {"fitness_eval": 1})),
+        (params, _schedule(profiler, params, {"fitness_eval": 2})),
+        (params, _schedule(profiler, params, {"velocity_update": 1})),
+    ]
+
+
+def _serial_reference(jobs):
+    profiler = Profiler(make_app("pso"))
+    return [profiler.measure(p, s) for p, s in jobs]
+
+
+_original_measure_one = parallel._measure_one
+
+#: poison marker: this exact level vector always blows up its worker
+_POISON_LEVELS = {"best_tracking": 2}
+
+
+def _poisoned_measure_one(task):
+    """Module-level so forked workers can unpickle it by name."""
+    _, _, schedule = task
+    if schedule is not None:
+        levels = dict(schedule.phase_levels(0))
+        if all(levels.get(k) == v for k, v in _POISON_LEVELS.items()):
+            raise RuntimeError("poisoned configuration")
+    return _original_measure_one(task)
+
+
+@pytest.mark.chaos
+class TestCrashRecovery:
+    def test_worker_crash_is_redispatched_and_results_match_serial(
+        self, tmp_path
+    ):
+        profiler = Profiler(make_app("pso"))
+        params = smallest_params(profiler.app)
+        jobs = _jobs(profiler, params)
+        expected = _serial_reference(jobs)
+        plan = FaultPlan(
+            [FaultSpec("parallel.worker", "crash", once_globally=True)],
+            scratch_dir=tmp_path,
+        )
+        stats = MeasurementStats()
+        with injected_faults(plan):
+            results = measure_batch(profiler, jobs, workers=2, stats=stats)
+        for want, got in zip(expected, results):
+            assert got.speedup == want.speedup
+            assert got.qos_value == want.qos_value
+        assert plan.fired_counts() == {("parallel.worker", "crash"): 1}
+        assert stats.redispatches >= 1
+        assert stats.quarantined == 0
+
+    def test_hung_worker_hits_the_deadline_and_is_redispatched(self, tmp_path):
+        profiler = Profiler(make_app("pso"))
+        params = smallest_params(profiler.app)
+        jobs = _jobs(profiler, params)
+        expected = _serial_reference(jobs)
+        plan = FaultPlan(
+            [FaultSpec(
+                "parallel.worker", "hang",
+                delay_seconds=60.0, once_globally=True,
+            )],
+            scratch_dir=tmp_path,
+        )
+        stats = MeasurementStats()
+        with injected_faults(plan):
+            results = measure_batch(
+                profiler, jobs, workers=2, stats=stats, job_timeout=1.0
+            )
+        for want, got in zip(expected, results):
+            assert got.speedup == want.speedup
+        assert plan.fired_counts() == {("parallel.worker", "hang"): 1}
+        assert stats.redispatches >= 1
+        assert stats.quarantined == 0
+
+
+@pytest.mark.chaos
+class TestQuarantine:
+    def test_poisoned_job_reported_with_partial_results_persisted(
+        self, monkeypatch, tmp_path
+    ):
+        from repro.eval.cache import DiskCache
+
+        monkeypatch.setattr(parallel, "_measure_one", _poisoned_measure_one)
+        profiler = Profiler(make_app("pso"))
+        params = smallest_params(profiler.app)
+        good = _jobs(profiler, params)
+        poison = (params, _schedule(profiler, params, _POISON_LEVELS))
+        jobs = [good[0], poison, good[1], good[2]]
+        stats = MeasurementStats()
+        disk_cache = DiskCache(tmp_path / "cache")
+        with pytest.raises(PoisonedJobError) as excinfo:
+            measure_batch(
+                profiler, jobs, workers=2, stats=stats, disk_cache=disk_cache
+            )
+        err = excinfo.value
+        assert err.job_indices == [1]
+        assert "poisoned configuration" in err.causes[1]
+        assert "quarantined after 3 dispatch attempt(s)" in err.causes[1]
+        # the healthy part of the batch completed and was persisted
+        assert err.results[1] is None
+        assert all(err.results[i] is not None for i in (0, 2, 3))
+        for index in (0, 2, 3):
+            p, s = jobs[index]
+            assert profiler.peek(p, s) is not None
+        assert disk_cache.stats()["entries"] == 3
+        assert stats.quarantined == 1
+        assert stats.redispatches >= 2  # the poison job re-queued twice
+
+
+class TestShortResultsBackstop:
+    def test_missing_results_fail_loudly_with_job_indices(self, monkeypatch):
+        # a (hypothetically buggy) pool layer that silently loses jobs
+        monkeypatch.setattr(
+            parallel, "_run_unique_jobs", lambda *a, **k: ({}, {})
+        )
+        profiler = Profiler(make_app("pso"))
+        params = smallest_params(profiler.app)
+        jobs = [(params, None)] + _jobs(profiler, params)
+        with pytest.raises(MeasureBatchError, match=r"job indices \[1, 2, 3\]"):
+            measure_batch(profiler, jobs, workers=2)
+
+    def test_max_dispatch_attempts_validated(self):
+        profiler = Profiler(make_app("pso"))
+        with pytest.raises(ValueError, match="max_dispatch_attempts"):
+            measure_batch(profiler, [], max_dispatch_attempts=0)

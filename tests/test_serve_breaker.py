@@ -1,0 +1,218 @@
+"""Tests for the serve-time circuit breaker and stats edge cases.
+
+The breaker tests use a registry stub whose loads fail on command and a
+fake clock injected into the engine, so every state transition —
+closed → open at the failure threshold, short-circuits during cooldown,
+the single half-open probe, close-on-success and re-open-on-failed-probe
+— is driven deterministically without sleeping or touching real models.
+"""
+
+import math
+
+import pytest
+
+from repro.apps import make_app
+from repro.core.opprox import Opprox
+from repro.core.runtime import ModelStore
+from repro.core.spec import AccuracySpec
+from repro.instrument.stats import LatencyHistogram
+from repro.serve import ModelRegistry, ServeEngine
+from repro.serve.engine import ServeStats
+
+from tests.conftest import app_instance, profiler_for, smallest_params
+
+PARAMS = smallest_params(make_app("pso"))
+
+
+@pytest.fixture(scope="module")
+def trained_store(tmp_path_factory):
+    """A real trained pso model on disk (for successful-load paths)."""
+    app = app_instance("pso")
+    opprox = Opprox(
+        app,
+        AccuracySpec.for_app(app, max_inputs=2),
+        profiler=profiler_for("pso"),
+        n_phases=2,
+        joint_samples_per_phase=4,
+        confidence_p=0.9,
+    )
+    opprox.train()
+    store = ModelStore(tmp_path_factory.mktemp("trained-store"))
+    store.save(opprox, train_timestamp=1.0)
+    return store, opprox
+
+
+class _FlakyRegistry(ModelRegistry):
+    """Registry whose model loads fail while ``outages`` is positive."""
+
+    def __init__(self, store, outages=0):
+        super().__init__(store)
+        self.outages = outages
+        self.load_calls = 0
+
+    def get(self, app_name):
+        self.load_calls += 1
+        if self.outages > 0:
+            self.outages -= 1
+            raise OSError("store unreachable")
+        return super().get(app_name)
+
+
+def _engine(tmp_path, outages, threshold=3, cooldown=100.0):
+    registry = _FlakyRegistry(ModelStore(tmp_path), outages=outages)
+    clock = [0.0]
+    engine = ServeEngine(
+        registry,
+        breaker_threshold=threshold,
+        breaker_cooldown_seconds=cooldown,
+        clock=lambda: clock[0],
+    )
+    return engine, registry, clock
+
+
+class TestBreakerOpens:
+    def test_opens_after_threshold_consecutive_load_failures(self, tmp_path):
+        engine, registry, _ = _engine(tmp_path, outages=99, threshold=3)
+        for _ in range(3):
+            response = engine.submit("pso", PARAMS, 10.0)
+            assert response.degraded
+            assert "model unavailable" in response.degraded_reason
+        info = engine.breaker_info()["pso"]
+        assert info["state"] == "open"
+        assert info["failures"] == 3
+        assert engine.stats.breaker_opens == 1
+        assert registry.load_calls == 3
+
+    def test_below_threshold_stays_closed(self, tmp_path):
+        engine, _, _ = _engine(tmp_path, outages=2, threshold=3)
+        engine.submit("pso", PARAMS, 10.0)
+        engine.submit("pso", PARAMS, 10.0)
+        assert engine.breaker_info()["pso"]["state"] == "closed"
+        assert engine.stats.breaker_opens == 0
+
+    def test_threshold_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="breaker_threshold"):
+            ServeEngine(ModelRegistry(ModelStore(tmp_path)), breaker_threshold=0)
+        with pytest.raises(ValueError, match="breaker_cooldown_seconds"):
+            ServeEngine(
+                ModelRegistry(ModelStore(tmp_path)),
+                breaker_cooldown_seconds=-1.0,
+            )
+
+
+class TestBreakerShortCircuit:
+    def test_open_breaker_answers_degraded_without_touching_the_store(
+        self, tmp_path
+    ):
+        engine, registry, _ = _engine(tmp_path, outages=99, threshold=2)
+        engine.submit("pso", PARAMS, 10.0)
+        engine.submit("pso", PARAMS, 10.0)  # breaker opens here
+        loads_when_open = registry.load_calls
+        response = engine.submit("pso", PARAMS, 10.0)
+        assert response.degraded
+        assert "circuit open" in response.degraded_reason
+        assert "store unreachable" in response.degraded_reason
+        assert registry.load_calls == loads_when_open
+        assert engine.stats.breaker_short_circuits == 1
+        # short-circuited responses still carry a usable accurate schedule
+        assert response.schedule is not None and response.schedule.is_exact
+
+
+class TestBreakerProbe:
+    def test_probe_after_cooldown_closes_on_success(self, tmp_path, trained_store):
+        store, _ = trained_store
+        registry = _FlakyRegistry(store, outages=2)
+        clock = [0.0]
+        engine = ServeEngine(
+            registry,
+            breaker_threshold=2,
+            breaker_cooldown_seconds=100.0,
+            clock=lambda: clock[0],
+        )
+        engine.submit("pso", PARAMS, 10.0)
+        engine.submit("pso", PARAMS, 10.0)  # opens
+        assert engine.breaker_info()["pso"]["state"] == "open"
+        clock[0] = 150.0  # past the cooldown: next request is the probe
+        response = engine.submit("pso", PARAMS, 10.0)
+        assert not response.degraded
+        assert engine.breaker_info()["pso"]["state"] == "closed"
+        assert engine.stats.breaker_probes == 1
+        assert engine.stats.breaker_closes == 1
+
+    def test_failed_probe_reopens_with_a_fresh_cooldown(self, tmp_path):
+        engine, registry, clock = _engine(
+            tmp_path, outages=99, threshold=2, cooldown=100.0
+        )
+        engine.submit("pso", PARAMS, 10.0)
+        engine.submit("pso", PARAMS, 10.0)  # opens at t=0
+        clock[0] = 150.0
+        engine.submit("pso", PARAMS, 10.0)  # probe admitted, fails
+        assert engine.stats.breaker_probes == 1
+        assert engine.breaker_info()["pso"]["state"] == "open"
+        loads = registry.load_calls
+        clock[0] = 200.0  # inside the restarted cooldown (150 + 100)
+        engine.submit("pso", PARAMS, 10.0)
+        assert registry.load_calls == loads  # short-circuited
+        clock[0] = 260.0  # past it: another probe reaches the store
+        engine.submit("pso", PARAMS, 10.0)
+        assert registry.load_calls == loads + 1
+        assert engine.stats.breaker_probes == 2
+        # a failed probe must not double-count breaker_opens
+        assert engine.stats.breaker_opens == 1
+
+    def test_optimizer_failures_do_not_trip_the_breaker(
+        self, tmp_path, trained_store
+    ):
+        store, _ = trained_store
+        engine = ServeEngine(
+            ModelRegistry(store), breaker_threshold=2, clock=lambda: 0.0
+        )
+        for _ in range(4):
+            # budget of the wrong type: load succeeds, optimize fails
+            response = engine.submit("pso", PARAMS, "not-a-number")
+            assert response.degraded
+            assert "optimization failed" in response.degraded_reason
+        assert engine.breaker_info()["pso"]["state"] == "closed"
+        assert engine.stats.breaker_opens == 0
+
+
+class TestServeStatsEdges:
+    """Satellite: zero-request and non-finite-latency edge cases."""
+
+    def test_zero_request_report_is_well_defined(self):
+        stats = ServeStats()
+        assert stats.hit_rate == 0.0
+        report = stats.report()
+        assert report["requests"] == 0
+        assert report["hit_rate"] == 0.0
+        assert report["hit_latency"]["count"] == 0
+        assert report["hit_latency"]["min_seconds"] == 0.0
+        assert "no samples" in stats.format_report()
+
+    def test_unknown_outcome_and_breaker_event_rejected(self):
+        stats = ServeStats()
+        with pytest.raises(ValueError, match="unknown request outcome"):
+            stats.record("teleported", 0.1, degraded=False)
+        with pytest.raises(ValueError, match="unknown breaker event"):
+            stats.record_breaker("melted")
+
+    @pytest.mark.parametrize(
+        "bad", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_non_finite_latency_rejected(self, bad):
+        histogram = LatencyHistogram()
+        with pytest.raises(ValueError, match="finite"):
+            histogram.record(bad)
+        assert histogram.count == 0
+        assert histogram.report()["count"] == 0
+
+    def test_negative_latency_still_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            LatencyHistogram().record(-0.5)
+
+    def test_empty_histogram_percentiles_are_zero(self):
+        histogram = LatencyHistogram()
+        assert histogram.percentile(50.0) == 0.0
+        assert histogram.mean_seconds == 0.0
+        assert math.isinf(histogram.min_seconds)  # raw field; report() masks
+        assert histogram.report()["min_seconds"] == 0.0

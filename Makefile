@@ -1,6 +1,6 @@
 # Convenience targets for the OPPROX reproduction.
 
-.PHONY: install test verify serve-smoke train-resume-smoke chaos-smoke bench figures examples clean
+.PHONY: install test verify serve-smoke train-resume-smoke chaos-smoke bench bench-measure bench-diff figures examples clean
 
 install:
 	pip install -e .
@@ -12,8 +12,10 @@ test:
 # measurement path (worker processes + disk cache + cache-stats report),
 # of the serving subsystem (train -> serve a mixed request load), of
 # the checkpointed pipeline (train -> SIGKILL mid-sampling -> resume ->
-# bit-identical model), and of the fault-injection framework (seeded
-# chaos run -> bit-identical model despite crashes/hangs/corruption).
+# bit-identical model), of the fault-injection framework (seeded
+# chaos run -> bit-identical model despite crashes/hangs/corruption),
+# and the bench-diff perf-regression gate (quick measurement benchmark
+# vs the committed BENCH_measure.json baseline).
 verify:
 	PYTHONPATH=src python -m pytest -x -q
 	PYTHONPATH=src python -m repro oracle --app pso --budget 10 \
@@ -23,6 +25,7 @@ verify:
 	$(MAKE) serve-smoke
 	$(MAKE) train-resume-smoke
 	$(MAKE) chaos-smoke
+	$(MAKE) bench-diff
 
 # Serving-path smoke: train a small model, start the engine in-process,
 # fire 50 mixed requests from 4 clients, and fail unless there were zero
@@ -57,6 +60,24 @@ chaos-smoke:
 bench:
 	pytest benchmarks/ --benchmark-only -q
 
+# Refresh the committed measurement benchmark baseline (full mode:
+# 256 schedules x 3 repeats; asserts scalar/vectorized bit-equality).
+bench-measure:
+	PYTHONPATH=src python -m repro bench-measure --output BENCH_measure.json
+
+# Perf-regression gate: re-run the measurement benchmark in quick mode
+# and compare the vectorized speedups against the committed baseline.
+# The quick run uses fewer schedules (slightly lower amortization), so
+# the relative threshold is generous; a real regression — losing the
+# vectorized path's order-of-magnitude advantage — still trips it and
+# exits 6.
+bench-diff:
+	rm -f .bench-head.json
+	PYTHONPATH=src python -m repro bench-measure --quick --output .bench-head.json
+	PYTHONPATH=src python -m repro bench-diff BENCH_measure.json .bench-head.json \
+		--metric '*speedup*' --rel-threshold 0.5
+	rm -f .bench-head.json
+
 figures:
 	python examples/generate_figures.py figures
 
@@ -70,4 +91,5 @@ clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks
 	rm -rf .verify-cache .serve-smoke-models .train-resume-smoke
 	rm -rf .chaos-smoke .chaos
+	rm -f .bench-head.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -48,8 +48,15 @@ def _validate(n: int, level: int, max_level: int) -> None:
 
 @lru_cache(maxsize=4096)
 def _strided_base(n: int, step: int) -> np.ndarray:
-    """Cached ``arange(0, n, step)``; callers must not mutate the result."""
-    return np.arange(0, n, step)
+    """Cached ``arange(0, n, step)``, frozen read-only.
+
+    The cached array is shared by every caller that asks for the same
+    ``(n, step)`` plan; a caller scattering into it would silently
+    corrupt all later callers, so in-place writes raise instead.
+    """
+    base = np.arange(0, n, step)
+    base.setflags(write=False)
+    return base
 
 
 def perforated_indices(n: int, level: int, offset: int = 0) -> np.ndarray:

@@ -4,23 +4,115 @@ An :class:`Application` declares its input-parameter space, its
 approximable blocks, and a QoS metric, and knows how to run itself under
 an :class:`~repro.approx.schedule.ApproxSchedule` while charging work to
 a :class:`~repro.instrument.counters.WorkMeter`.
+
+Substrates whose state fits NumPy arrays can additionally implement
+:meth:`Application._execute_batch` and set ``supports_vectorized``: one
+call then evaluates a whole *batch* of schedules for the same input as
+stacked state arrays (schedules x particles/atoms/frames), amortizing
+the per-op NumPy dispatch overhead that dominates the pure-Python outer
+loops.  :meth:`Application.run_batch` is the public entry point; it
+falls back to a scalar loop for substrates without a vectorized kernel,
+and the vectorized kernels are required (and property-tested) to be
+**bit-identical** to the scalar path — same outputs, same per-iteration
+work accounting, same control-flow signatures.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections import OrderedDict
 from dataclasses import dataclass
 from itertools import product
-from typing import Callable, Dict, Iterator, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.approx.knobs import ApproximableBlock
 from repro.approx.schedule import ApproxSchedule, PhasePlan
 
-__all__ = ["Application", "InputParameter", "ParamsDict", "QoSMetric"]
+__all__ = [
+    "Application",
+    "InputParameter",
+    "ParamsDict",
+    "QoSMetric",
+    "batch_level_masks",
+    "schedule_level_table",
+]
 
 ParamsDict = Dict[str, float]
+
+
+def batch_level_masks(
+    block: ApproximableBlock,
+    n: int,
+    levels: np.ndarray,
+    active: Optional[np.ndarray] = None,
+    offset: int = 0,
+    row_cache: Optional[Dict] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-lane boolean computed-indices masks for one approximable block.
+
+    ``levels`` holds one approximation level per lane; lanes where
+    ``active`` is ``False`` (e.g. already-converged ones; ``None`` means
+    all lanes) get an all-``False`` row.  Lanes sharing a level share
+    one plan lookup.  Returns ``(mask, counts)`` where ``mask`` is
+    ``(n_lanes, n)`` bool and ``counts[lane]`` is the number of computed
+    indices (the scalar path's ``len(computed_indices(...))`` — what the
+    lane's work charge uses; zero for inactive lanes).
+
+    ``row_cache`` (optional, a plain dict owned by the caller) lets a
+    kernel share mask rows across blocks and iterations that resolve to
+    the same iteration plan.
+    """
+    from repro.approx.techniques import computed_indices
+
+    n_lanes = len(levels)
+    mask = np.zeros((n_lanes, n), dtype=bool)
+    counts = np.zeros(n_lanes, dtype=np.int64)
+    pool = levels if active is None else levels[active]
+    for level in set(pool.tolist()):
+        selected = levels == level
+        if active is not None:
+            selected &= active
+        key = (block.technique, n, block.max_level, level, offset)
+        entry = row_cache.get(key) if row_cache is not None else None
+        if entry is None:
+            indices = computed_indices(
+                block.technique, n, level, block.max_level, offset=offset
+            )
+            row = np.zeros(n, dtype=bool)
+            row[indices] = True
+            entry = (row, len(indices))
+            if row_cache is not None:
+                row_cache[key] = entry
+        mask[selected] = entry[0]
+        counts[selected] = entry[1]
+    return mask, counts
+
+
+def schedule_level_table(
+    schedule: ApproxSchedule, block_names: Sequence[str], max_iterations: int
+) -> np.ndarray:
+    """Per-iteration approximation levels, precomputed as an array.
+
+    Returns ``(len(block_names), max_iterations)`` where entry
+    ``[b, i]`` equals ``schedule.level(block_names[b], i)`` — the batch
+    kernels index this table instead of paying a Python-level
+    ``schedule.level`` call per lane per iteration.
+    """
+    plan = schedule.plan
+    base = plan.nominal_iterations // plan.n_phases
+    phases = np.minimum(
+        np.arange(max_iterations) // base, plan.n_phases - 1
+    )
+    per_phase = np.array(
+        [
+            [schedule.phase_levels(phase)[name] for phase in range(plan.n_phases)]
+            for name in block_names
+        ],
+        dtype=np.int64,
+    )
+    return per_phase[:, phases]
 
 
 @dataclass(frozen=True)
@@ -96,9 +188,19 @@ class Application(ABC):
     blocks: Tuple[ApproximableBlock, ...]
     parameters: Tuple[InputParameter, ...]
     metric: QoSMetric
+    #: substrates implementing :meth:`_execute_batch` flip this on
+    supports_vectorized: bool = False
+    #: exact-run LRU bound — large enough for every app's full cartesian
+    #: training-input product, small enough that a long-lived serve
+    #: process handling many distinct params cannot grow without limit
+    #: (the cached ExecutionRecords hold full output vectors)
+    exact_cache_limit: int = 32
 
     def __init__(self) -> None:
-        self._exact_cache: Dict[Tuple, "ExecutionRecord"] = {}
+        self._exact_cache: "OrderedDict[Tuple, ExecutionRecord]" = OrderedDict()
+        self.exact_cache_hits: int = 0
+        self.exact_cache_misses: int = 0
+        self.exact_cache_evictions: int = 0
 
     # -- parameter helpers ---------------------------------------------------
 
@@ -172,24 +274,50 @@ class Application(ABC):
 
     def _exact_record(self, params: ParamsDict) -> "ExecutionRecord":
         key = self.params_key(params)
-        if key not in self._exact_cache:
-            # A trivial 1-phase plan: every iteration maps to phase 0, so
-            # the exact run never needs to know its own length up front.
-            schedule = ApproxSchedule.exact(self.blocks, PhasePlan(1, 1))
-            self._exact_cache[key] = self._run_with(params, schedule)
-        return self._exact_cache[key]
+        record = self._exact_cache.get(key)
+        if record is not None:
+            self.exact_cache_hits += 1
+            self._exact_cache.move_to_end(key)
+            return record
+        self.exact_cache_misses += 1
+        # A trivial 1-phase plan: every iteration maps to phase 0, so
+        # the exact run never needs to know its own length up front.
+        schedule = ApproxSchedule.exact(self.blocks, PhasePlan(1, 1))
+        record = self._run_with(params, schedule)
+        self._exact_cache[key] = record
+        while len(self._exact_cache) > max(1, self.exact_cache_limit):
+            self._exact_cache.popitem(last=False)
+            self.exact_cache_evictions += 1
+        return record
+
+    def exact_cache_info(self) -> Dict[str, int]:
+        """Hit/miss/eviction counters and size of the exact-run LRU."""
+        return {
+            "hits": self.exact_cache_hits,
+            "misses": self.exact_cache_misses,
+            "evictions": self.exact_cache_evictions,
+            "size": len(self._exact_cache),
+        }
 
     def _run_with(self, params: ParamsDict, schedule: ApproxSchedule) -> "ExecutionRecord":
-        from repro.instrument.callcontext import CallContextLog, control_flow_signature
+        from repro.instrument.callcontext import CallContextLog
         from repro.instrument.counters import WorkMeter
-        from repro.instrument.harness import ExecutionRecord
 
         meter = WorkMeter()
         log = CallContextLog()
         output = self._execute(params, schedule, meter, log)
-        per_iteration = [
-            sum(meter.work_in_iteration(i).values()) for i in range(meter.iterations)
-        ]
+        return self._assemble_record(params, output, meter, log)
+
+    def _assemble_record(self, params: ParamsDict, output, meter, log) -> "ExecutionRecord":
+        """Build an :class:`ExecutionRecord` from one run's instrumentation.
+
+        Shared by the scalar path and the vectorized batch path so both
+        produce structurally identical records.
+        """
+        from repro.instrument.callcontext import control_flow_signature
+        from repro.instrument.harness import ExecutionRecord
+
+        per_iteration = meter.iteration_totals()
         return ExecutionRecord(
             app_name=self.name,
             params=dict(params),
@@ -199,4 +327,71 @@ class Application(ABC):
             work_by_block=meter.work_by_block,
             work_by_iteration=tuple(per_iteration),
             signature=control_flow_signature(log),
+        )
+
+    # -- batch execution ------------------------------------------------------
+
+    def run_batch(
+        self, params: ParamsDict, schedules: Sequence[Optional[ApproxSchedule]]
+    ) -> List["ExecutionRecord"]:
+        """Execute many schedules for one input, vectorized when possible.
+
+        Returns one :class:`ExecutionRecord` per schedule, in order.
+        ``None`` (or exact) schedules are answered from the exact-run
+        cache exactly as :meth:`run` would.  Substrates with
+        ``supports_vectorized`` evaluate all approximate schedules in a
+        single lockstep pass over stacked state arrays; the records are
+        bit-identical to what a :meth:`run` loop would produce — the
+        vectorized kernels perform the same elementwise arithmetic on
+        full arrays and apply per-schedule masks, and all floating-point
+        reductions run over the contiguous trailing axis in both paths
+        so the accumulation order matches by construction.
+        """
+        from repro.instrument.callcontext import CallContextLog
+        from repro.instrument.counters import WorkMeter
+
+        params = self.validate_params(dict(params))
+        schedules = list(schedules)
+        records: List[Optional["ExecutionRecord"]] = [None] * len(schedules)
+        lanes: List[int] = []
+        for index, schedule in enumerate(schedules):
+            if schedule is None or schedule.is_exact:
+                records[index] = self._exact_record(params)
+            else:
+                lanes.append(index)
+        if lanes:
+            lane_schedules = [schedules[index] for index in lanes]
+            if not self.supports_vectorized:
+                for index, schedule in zip(lanes, lane_schedules):
+                    records[index] = self._run_with(params, schedule)
+            else:
+                meters = [WorkMeter() for _ in lanes]
+                logs = [CallContextLog() for _ in lanes]
+                outputs = self._execute_batch(params, lane_schedules, meters, logs)
+                if len(outputs) != len(lanes):
+                    raise RuntimeError(
+                        f"{self.name}._execute_batch returned {len(outputs)} "
+                        f"outputs for {len(lanes)} schedules"
+                    )
+                for index, output, meter, log in zip(lanes, outputs, meters, logs):
+                    records[index] = self._assemble_record(params, output, meter, log)
+        return records  # type: ignore[return-value]
+
+    def _execute_batch(
+        self,
+        params: ParamsDict,
+        schedules: Sequence[ApproxSchedule],
+        meters,
+        logs,
+    ) -> List[np.ndarray]:
+        """Vectorized lockstep execution of many schedules (optional).
+
+        Substrates that set ``supports_vectorized`` evaluate every
+        schedule as one lane of stacked state arrays, charging each
+        lane's :class:`WorkMeter`/:class:`CallContextLog` exactly as the
+        scalar :meth:`_execute` would, and return the per-lane output
+        vectors in schedule order.
+        """
+        raise NotImplementedError(
+            f"{self.name} does not implement vectorized batch execution"
         )

@@ -31,7 +31,14 @@ import numpy as np
 from repro.approx.knobs import ApproximableBlock, Technique
 from repro.approx.schedule import ApproxSchedule
 from repro.approx.techniques import computed_indices
-from repro.apps.base import Application, InputParameter, ParamsDict, QoSMetric
+from repro.apps.base import (
+    Application,
+    InputParameter,
+    ParamsDict,
+    QoSMetric,
+    batch_level_masks,
+    schedule_level_table,
+)
 from repro.apps.seeding import stable_seed
 
 __all__ = ["CoMD"]
@@ -56,6 +63,7 @@ class CoMD(Application):
     """2-D Lennard-Jones molecular dynamics with a fixed timestep loop."""
 
     name = "comd"
+    supports_vectorized = True
     blocks: Tuple[ApproximableBlock, ...] = (
         ApproximableBlock("force_computation", Technique.PERFORATION, 5),
         ApproximableBlock("velocity_update", Technique.TRUNCATION, 5),
@@ -166,21 +174,159 @@ class CoMD(Application):
         steps_done = max(1, n_steps)
         return np.concatenate([pe_sum / steps_done, ke_sum / steps_done])
 
-    @staticmethod
-    def _pairwise(
-        positions: np.ndarray,
-        box: float,
-        forces: np.ndarray,
-        pair_pe: np.ndarray,
-        atoms: np.ndarray,
-    ) -> None:
-        """Lennard-Jones forces and per-atom PE for ``atoms`` (in place).
+    #: per-iteration event sequence of the timestep loop — every step
+    #: records exactly these (block, context) pairs in this order
+    _BATCH_PATTERN = (
+        ("velocity_update", "half_kick_1"),
+        ("position_update", ""),
+        ("force_computation", ""),
+        ("velocity_update", "half_kick_2"),
+    )
+    #: per-iteration charge order — velocity_update is charged first in
+    #: the scalar path, so it leads the per-iteration work dicts
+    _BATCH_BLOCKS = ("velocity_update", "position_update", "force_computation")
 
-        Minimum-image convention in a periodic square box; interactions
-        beyond the cutoff are ignored.  Only the rows in ``atoms`` are
-        refreshed — the loop-perforation contract.
+    def _execute_batch(self, params, schedules, meters, logs):
+        """All schedules as lockstep lanes of stacked (lane, atom, xy)
+        state arrays.
+
+        The timestep count is an input parameter, so every lane runs the
+        same number of steps — no convergence bookkeeping.  Bit-equality
+        with :meth:`_execute` follows from the shared :meth:`_lj_kernel`
+        (whose force accumulation order depends only on ``n_atoms``) and
+        from every other update being the same elementwise expression
+        applied full-array or through per-lane gather/scatter masks,
+        exactly as the scalar path applies it through index arrays.
         """
-        delta = positions[atoms, None, :] - positions[None, :, :]
+        n_cells = int(params["unit_cells"])
+        lattice = float(params["lattice_parameter"])
+        n_steps = int(params["timesteps"])
+        if n_cells < 2:
+            raise ValueError(f"unit_cells must be >= 2, got {n_cells}")
+        if n_steps < 1:
+            raise ValueError(f"timesteps must be >= 1, got {n_steps}")
+        n_lanes = len(schedules)
+        n_atoms = n_cells * n_cells
+        box = n_cells * lattice
+
+        grid = np.arange(n_cells) * lattice
+        positions0 = np.stack(
+            np.meshgrid(grid, grid, indexing="ij"), axis=-1
+        ).reshape(n_atoms, 2)
+        rng = np.random.default_rng(
+            stable_seed(self.name, n_cells, round(lattice * 1000), n_steps)
+        )
+        velocities0 = rng.normal(0.0, np.sqrt(_TEMPERATURE), size=(n_atoms, 2))
+        velocities0 -= velocities0.mean(axis=0)
+        forces0 = np.zeros((n_atoms, 2))
+        pair_pe0 = np.zeros(n_atoms)
+        self._pairwise(positions0, box, forces0, pair_pe0, np.arange(n_atoms))
+
+        positions = np.repeat(positions0[None], n_lanes, axis=0)
+        velocities = np.repeat(velocities0[None], n_lanes, axis=0)
+        forces = np.repeat(forces0[None], n_lanes, axis=0)
+        pair_pe = np.repeat(pair_pe0[None], n_lanes, axis=0)
+        pe_sum = np.zeros((n_lanes, n_atoms))
+        ke_sum = np.zeros((n_lanes, n_atoms))
+
+        blk_force = self.blocks[0]
+        blk_velocity = self.blocks[1]
+        blk_position = self.blocks[2]
+        half_dt = 0.5 * _DT
+        drift_correction = 0.5 * _DT * _DT
+
+        #: (lane, block, step) approximation levels, precomputed so the
+        #: loop never calls schedule.level (block order = _BATCH_BLOCKS)
+        level_table = np.stack(
+            [
+                schedule_level_table(s, self._BATCH_BLOCKS, n_steps)
+                for s in schedules
+            ]
+        )
+        charges = np.empty((n_steps, n_lanes, 3))
+        mask_rows: dict = {}
+
+        for step in range(n_steps):
+            # -- velocity_update: first Verlet half-kick (exact part) -------
+            velocities += half_dt * forces
+            np.clip(velocities, -_SPEED_CAP, _SPEED_CAP, out=velocities)
+
+            # -- position_update: drift (perforation over atoms) ------------
+            moved, moved_counts = batch_level_masks(
+                blk_position,
+                n_atoms,
+                level_table[:, 1, step],
+                offset=step,
+                row_cache=mask_rows,
+            )
+            positions += _DT * velocities
+            positions[moved] += drift_correction * forces[moved]
+            positions %= box
+            charges[step, :, 1] = moved_counts
+
+            # -- force_computation (perforation over atoms) -----------------
+            computed, computed_counts = batch_level_masks(
+                blk_force,
+                n_atoms,
+                level_table[:, 2, step],
+                offset=step + 1,
+                row_cache=mask_rows,
+            )
+            forces_prev = forces.copy()
+            lane_ids, atom_ids = np.nonzero(computed)
+            force_rows, pe_rows = self._lj_kernel(
+                positions[lane_ids, atom_ids], positions[lane_ids], box
+            )
+            forces[computed] = force_rows
+            pair_pe[computed] = pe_rows
+            charges[step, :, 2] = computed_counts * n_atoms
+
+            # -- velocity_update: second Verlet half-kick (truncation) ------
+            kicked, kicked_counts = batch_level_masks(
+                blk_velocity,
+                n_atoms,
+                level_table[:, 0, step],
+                row_cache=mask_rows,
+            )
+            velocities += half_dt * forces_prev
+            velocities[kicked] += half_dt * (forces[kicked] - forces_prev[kicked])
+            np.clip(velocities, -_SPEED_CAP, _SPEED_CAP, out=velocities)
+            charges[step, :, 0] = n_atoms + kicked_counts
+
+            pe_sum += pair_pe
+            ke_sum += 0.5 * np.sum(velocities**2, axis=-1)
+
+        steps_done = max(1, n_steps)
+        final = np.concatenate(
+            [pe_sum / steps_done, ke_sum / steps_done], axis=1
+        )
+        epilogue = float(n_atoms)
+        for lane, (meter, log) in enumerate(zip(meters, logs)):
+            meter.load_iterations(self._BATCH_BLOCKS, charges[:, lane, :])
+            meter.charge_overhead(epilogue)
+            log.record_iterations(self._BATCH_PATTERN, n_steps)
+        return [final[lane] for lane in range(n_lanes)]
+
+    @staticmethod
+    def _lj_kernel(
+        selected: np.ndarray, others: np.ndarray, box: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Lennard-Jones force and PE rows for ``selected`` atoms.
+
+        ``selected`` is ``(rows, 2)`` positions of the atoms being
+        refreshed; ``others`` is ``(rows, n_atoms, 2)`` (or broadcastable
+        to it) holding the full position set each row interacts with.
+        Minimum-image convention in a periodic square box; interactions
+        beyond the cutoff are ignored.
+
+        Both the scalar and the vectorized path funnel through this one
+        kernel, and the force reduction is arranged over an explicitly
+        *contiguous* trailing axis (``swapaxes`` + ``ascontiguousarray``)
+        so the floating-point accumulation order is a function of
+        ``n_atoms`` alone — identical no matter how many rows are
+        stacked, which is what makes batch execution bit-identical.
+        """
+        delta = selected[:, None, :] - others
         delta -= box * np.round(delta / box)
         r2 = np.sum(delta**2, axis=-1)
         # Mask self-interaction and beyond-cutoff pairs.
@@ -190,5 +336,29 @@ class CoMD(Application):
         inv_r6 = inv_r2**3
         # F = 24 eps (2/r^13 - 1/r^7) r_hat ; PE = 4 eps (1/r^12 - 1/r^6)
         magnitude = 24.0 * (2.0 * inv_r6**2 - inv_r6) * inv_r2
-        forces[atoms] = np.sum(magnitude[..., None] * delta, axis=1)
-        pair_pe[atoms] = 0.5 * np.sum(4.0 * (inv_r6**2 - inv_r6), axis=1)
+        contrib = np.ascontiguousarray(
+            np.swapaxes(magnitude[..., None] * delta, -1, -2)
+        )
+        force_rows = np.sum(contrib, axis=-1)
+        pe_rows = 0.5 * np.sum(4.0 * (inv_r6**2 - inv_r6), axis=-1)
+        return force_rows, pe_rows
+
+    @classmethod
+    def _pairwise(
+        cls,
+        positions: np.ndarray,
+        box: float,
+        forces: np.ndarray,
+        pair_pe: np.ndarray,
+        atoms: np.ndarray,
+    ) -> None:
+        """Refresh forces and per-atom PE for ``atoms`` (in place).
+
+        Only the rows in ``atoms`` are refreshed — the loop-perforation
+        contract.
+        """
+        force_rows, pe_rows = cls._lj_kernel(
+            positions[atoms], positions[None, :, :], box
+        )
+        forces[atoms] = force_rows
+        pair_pe[atoms] = pe_rows

@@ -30,7 +30,14 @@ import numpy as np
 from repro.approx.knobs import ApproximableBlock, Technique
 from repro.approx.schedule import ApproxSchedule
 from repro.approx.techniques import CrossIterationMemo, computed_indices
-from repro.apps.base import Application, InputParameter, ParamsDict, QoSMetric
+from repro.apps.base import (
+    Application,
+    InputParameter,
+    ParamsDict,
+    QoSMetric,
+    batch_level_masks,
+    schedule_level_table,
+)
 from repro.apps.seeding import stable_seed
 
 __all__ = ["ParticleSwarm"]
@@ -46,8 +53,20 @@ _VELOCITY_CAP = 2.0
 
 
 def _rastrigin(points: np.ndarray) -> np.ndarray:
-    """Rastrigin value per row; global minimum 0 at the origin."""
-    return np.sum(points**2 - 10.0 * np.cos(2.0 * np.pi * points) + 10.0, axis=-1)
+    """Rastrigin value per row; global minimum 0 at the origin.
+
+    Buffer-reusing spelling of ``sum(p**2 - 10*cos(2*pi*p) + 10)`` —
+    same per-element operations and grouping (``-10*c`` is an exact sign
+    flip of ``10*c``, ``a + (-b)`` is IEEE-identical to ``a - b``), so
+    the values are bit-identical while the temporaries drop from six
+    arrays to two.
+    """
+    tmp = (2.0 * np.pi) * points
+    np.cos(tmp, out=tmp)
+    tmp *= -10.0
+    tmp += points**2
+    tmp += 10.0
+    return np.sum(tmp, axis=-1)
 
 
 def _fitness_difference(golden: np.ndarray, approx: np.ndarray) -> float:
@@ -67,6 +86,7 @@ class ParticleSwarm(Application):
     """Global-best PSO on Rastrigin with a convergence outer loop."""
 
     name = "pso"
+    supports_vectorized = True
     blocks: Tuple[ApproximableBlock, ...] = (
         ApproximableBlock("fitness_eval", Technique.PERFORATION, 5),
         ApproximableBlock("velocity_update", Technique.PERFORATION, 5),
@@ -178,3 +198,208 @@ class ParticleSwarm(Application):
         # than stale bookkeeping.
         meter.charge_overhead(float(swarm_size * dimension))
         return _rastrigin(pbest_pos)
+
+    #: per-iteration event sequence of the main loop — every iteration
+    #: records exactly these blocks in this order in the scalar path
+    _BATCH_PATTERN = (
+        ("velocity_update", ""),
+        ("fitness_eval", ""),
+        ("best_tracking", ""),
+    )
+    #: per-iteration charge order — matches the scalar path's charge
+    #: sequence so the per-iteration work dicts are key-order identical
+    _BATCH_BLOCKS = ("velocity_update", "fitness_eval", "best_tracking")
+
+    def _execute_batch(self, params, schedules, meters, logs):
+        """All schedules as lockstep lanes of stacked (lane, particle, dim)
+        state arrays.
+
+        Bit-equality with :meth:`_execute` rests on three invariants:
+        every update is the same elementwise expression evaluated on the
+        full array and applied through a per-lane mask; every reduction
+        (`_rastrigin`'s sum, ``argmin``) runs over an axis whose length
+        and memory layout match the scalar path; and the random stream
+        is shared — the scalar path's draws are full-swarm-sized and
+        once per iteration regardless of the schedule, so iteration
+        ``i``'s draws are identical for every schedule by design.
+        Converged lanes freeze: their masks go all-``False`` and their
+        best-so-far state is never touched again.  All per-lane
+        bookkeeping (levels, charges, events) lives in precomputed
+        tables and accumulator arrays; the meters and logs are loaded in
+        bulk after the loop so the hot loop contains no per-lane Python.
+        """
+        swarm_size = int(params["swarm_size"])
+        dimension = int(params["dimension"])
+        if swarm_size < 2 or dimension < 1:
+            raise ValueError("swarm_size must be >= 2 and dimension >= 1")
+        n_lanes = len(schedules)
+
+        rng = np.random.default_rng(stable_seed(self.name, swarm_size, dimension))
+        positions0 = rng.uniform(
+            -_SEARCH_BOUND, _SEARCH_BOUND, (swarm_size, dimension)
+        )
+        velocities0 = rng.uniform(-1.0, 1.0, (swarm_size, dimension))
+        fitness0 = _rastrigin(positions0)
+
+        positions = np.repeat(positions0[None], n_lanes, axis=0)
+        velocities = np.repeat(velocities0[None], n_lanes, axis=0)
+        fitness = np.repeat(fitness0[None], n_lanes, axis=0)
+        pbest_pos = positions.copy()
+        pbest_fit = fitness.copy()
+        gbest_idx = int(np.argmin(fitness0))
+        gbest_pos = np.repeat(positions0[gbest_idx][None], n_lanes, axis=0)
+        gbest_fit = np.full(n_lanes, float(fitness0[gbest_idx]))
+
+        blk_fitness = self.blocks[0]
+        blk_velocity = self.blocks[1]
+        #: (lane, block, iteration) approximation levels, precomputed so
+        #: the loop never calls schedule.level
+        level_table = np.stack(
+            [
+                schedule_level_table(s, self._BATCH_BLOCKS, _MAX_ITERATIONS)
+                for s in schedules
+            ]
+        )
+        #: per-iteration work charges per lane, loaded into the meters
+        #: in bulk after the loop (column order = _BATCH_BLOCKS)
+        charges = np.zeros((_MAX_ITERATIONS, n_lanes, 3))
+        #: memoization state of best_tracking: iteration of the last
+        #: fresh gbest scan per lane; the sentinel predates any level's
+        #: reuse window, reproducing CrossIterationMemo's "None" state
+        last_computed = np.full(n_lanes, -(_MAX_ITERATIONS + 10), dtype=np.int64)
+
+        #: gbest after each completed iteration; [:, 0] is the initial
+        #: value, mirroring the scalar path's gbest_history list
+        history = np.empty((n_lanes, _MAX_ITERATIONS + 1))
+        history[:, 0] = gbest_fit
+        iterations_run = np.zeros(n_lanes, dtype=np.int64)
+        #: original lane id of each row of the (compacted) state arrays;
+        #: converged lanes are dropped so dead lanes cost nothing
+        live = np.arange(n_lanes)
+        live_levels = level_table
+        mask_rows: dict = {}
+        #: best positions of converged lanes, parked as they drop out
+        final_pbest = np.empty((n_lanes, swarm_size, dimension))
+        # Scratch buffers, sliced to the live row count each iteration
+        # so the hot loop allocates nothing lane-sized.
+        scratch_a = np.empty((n_lanes, swarm_size, dimension))
+        scratch_b = np.empty((n_lanes, swarm_size, dimension))
+        scratch_c = np.empty((n_lanes, swarm_size, dimension))
+        charge_rows = np.empty((n_lanes, 3))
+
+        iteration = 0
+        while iteration < _MAX_ITERATIONS and live.size:
+            # Windowed convergence test, evaluated per lane exactly as
+            # the scalar loop does at the top of each iteration.
+            if iteration >= _PATIENCE:
+                converged = (
+                    history[live, iteration - _PATIENCE] - gbest_fit
+                    < _IMPROVEMENT_TOL
+                )
+                if converged.any():
+                    dead = live[converged]
+                    final_pbest[dead] = pbest_pos[converged]
+                    iterations_run[dead] = iteration
+                    keep = ~converged
+                    live = live[keep]
+                    if not live.size:
+                        break
+                    positions = positions[keep]
+                    velocities = velocities[keep]
+                    fitness = fitness[keep]
+                    pbest_pos = pbest_pos[keep]
+                    pbest_fit = pbest_fit[keep]
+                    gbest_pos = gbest_pos[keep]
+                    gbest_fit = gbest_fit[keep]
+                    last_computed = last_computed[keep]
+                    live_levels = live_levels[keep]
+            rows = live.size
+            t_a = scratch_a[:rows]
+            t_b = scratch_b[:rows]
+            t_c = scratch_c[:rows]
+            lane_charges = charge_rows[:rows]
+
+            # -- velocity_update (perforation over particles) ----------------
+            steered, steered_counts = batch_level_masks(
+                blk_velocity,
+                swarm_size,
+                live_levels[:, 0, iteration],
+                offset=iteration,
+                row_cache=mask_rows,
+            )
+            r_cog = rng.random((swarm_size, dimension))
+            r_soc = rng.random((swarm_size, dimension))
+            # Same expression and grouping as the scalar path's
+            #   _INERTIA*v + (_COGNITIVE*r_cog)*(pbest-pos)
+            #            + (_SOCIAL*r_soc)*(gbest-pos)
+            # spelled into scratch buffers: left-to-right additions and
+            # the coefficient-times-draw products keep their grouping,
+            # so every element is bit-identical.
+            np.subtract(pbest_pos, positions, out=t_a)
+            t_a *= _COGNITIVE * r_cog
+            np.subtract(gbest_pos[:, None, :], positions, out=t_b)
+            t_b *= _SOCIAL * r_soc
+            np.multiply(_INERTIA, velocities, out=t_c)
+            t_c += t_a
+            t_c += t_b
+            steered_cols = steered[:, :, None]
+            np.copyto(velocities, t_c, where=steered_cols)
+            np.clip(velocities, -_VELOCITY_CAP, _VELOCITY_CAP, out=velocities)
+            np.add(positions, velocities, out=t_c)
+            np.copyto(positions, t_c, where=steered_cols)
+            np.clip(positions, -_SEARCH_BOUND, _SEARCH_BOUND, out=positions)
+            np.multiply(steered_counts, dimension, out=lane_charges[:, 0])
+
+            # -- fitness_eval (perforation over particles) -------------------
+            evaluated, evaluated_counts = batch_level_masks(
+                blk_fitness,
+                swarm_size,
+                live_levels[:, 1, iteration],
+                offset=iteration,
+                row_cache=mask_rows,
+            )
+            # Gather-compute-scatter, exactly the scalar path's
+            # fitness[evaluated] = _rastrigin(positions[evaluated]):
+            # _rastrigin reduces per particle row, so evaluating only
+            # the selected rows is bit-identical and skips the cos()
+            # work for particles the perforated loop never touches.
+            fitness[evaluated] = _rastrigin(positions[evaluated])
+            improved = evaluated & (fitness < pbest_fit)
+            np.copyto(pbest_fit, fitness, where=improved)
+            np.copyto(pbest_pos, positions, where=improved[:, :, None])
+            np.multiply(evaluated_counts, dimension, out=lane_charges[:, 1])
+
+            # -- best_tracking (memoization across iterations) ---------------
+            bt_levels = live_levels[:, 2, iteration]
+            computing = (bt_levels == 0) | (iteration - last_computed > bt_levels)
+            # argmin over the trailing (particle) axis matches the
+            # scalar path's 1-D argmin, first-minimum tie-break included
+            candidates = np.argmin(pbest_fit, axis=1)
+            scanned = np.flatnonzero(computing)
+            scanned_best = candidates[scanned]
+            scanned_fit = pbest_fit[scanned, scanned_best]
+            better = scanned_fit < gbest_fit[scanned]
+            updated = scanned[better]
+            gbest_fit[updated] = scanned_fit[better]
+            gbest_pos[updated] = pbest_pos[updated, scanned_best[better]]
+            last_computed[scanned] = iteration
+            # A stale best (live, not computing) charges the cached
+            # lookup's single unit, exactly like the scalar else-branch.
+            np.copyto(lane_charges[:, 2], 1.0)
+            lane_charges[computing, 2] = float(swarm_size)
+            charges[iteration, live] = lane_charges
+            history[live, iteration + 1] = gbest_fit
+
+            iteration += 1
+
+        if live.size:
+            final_pbest[live] = pbest_pos
+            iterations_run[live] = iteration
+        final = _rastrigin(final_pbest)
+        epilogue = float(swarm_size * dimension)
+        for lane, (meter, log) in enumerate(zip(meters, logs)):
+            ran = int(iterations_run[lane])
+            meter.load_iterations(self._BATCH_BLOCKS, charges[:ran, lane, :])
+            meter.charge_overhead(epilogue)
+            log.record_iterations(self._BATCH_PATTERN, ran)
+        return [final[lane] for lane in range(n_lanes)]

@@ -1,0 +1,29 @@
+"""Performance benchmarking and regression gating.
+
+:mod:`repro.bench.measure` times the scalar measurement path against the
+vectorized batch path (:meth:`Application.run_batch` /
+``measure_batch(strategy="vectorized")``), verifies bit-equality while
+it is at it, and emits a ``BENCH_measure.json`` metrics file.
+
+:mod:`repro.bench.diff` is a Perun-style performance-regression gate: it
+fits simple models to the metric trajectories across successive
+``BENCH_*.json`` files and fails (exit code 6) when the newest point
+degrades significantly — wired into ``make bench-diff`` / ``make
+verify`` so a perf regression fails CI like a correctness bug would.
+"""
+
+from repro.bench.diff import (
+    MetricChange,
+    detect_changes,
+    format_changes,
+    load_bench,
+)
+from repro.bench.measure import run_measure_bench
+
+__all__ = [
+    "MetricChange",
+    "detect_changes",
+    "format_changes",
+    "load_bench",
+    "run_measure_bench",
+]

@@ -1,0 +1,234 @@
+"""Perun-style performance-regression detection over ``BENCH_*.json`` files.
+
+Benchmarks drift: machines differ, loads spike, and a single slow sample
+is not a regression.  Instead of comparing the newest number against a
+hard-coded floor, :func:`detect_changes` looks at each metric's
+*trajectory* across an ordered series of bench files (oldest to newest)
+and models the expectation for the newest point:
+
+* with three or more historical points, a least-squares line is fitted
+  to everything but the newest point and extrapolated one step; the
+  fit's residual spread becomes the noise scale;
+* with exactly two files, the newest point is compared against the
+  baseline directly, using the two samples' pooled standard error as
+  the noise scale (a Welch-style comparison).
+
+The newest point *regresses* a metric when it deviates from that
+expectation in the metric's worse direction (``"higher"``-is-better
+metrics regress downward, ``"lower"``-is-better upward) by more than
+``max(rel_threshold * |expected|, sigma * noise)`` — a relative guard
+for noise-free metrics and a statistical guard for noisy ones.  The
+``bench-diff`` CLI exits with code 6 when any gated metric regresses.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["MetricChange", "detect_changes", "format_changes", "load_bench"]
+
+
+@dataclass(frozen=True)
+class MetricChange:
+    """Verdict for one metric's newest point against its trajectory."""
+
+    metric: str
+    direction: str  # "higher" or "lower" is better
+    expected: float  # model's expectation for the newest point
+    latest: float  # newest point's mean
+    #: deviation in the worse direction (positive = got worse)
+    deviation: float
+    threshold: float  # deviation above this flags a regression
+    kind: str  # "trend-fit" (>=3 points) or "pairwise" (2 points)
+    n_points: int  # history length including the newest point
+    regressed: bool
+
+    @property
+    def relative_change(self) -> float:
+        """Signed worse-direction change relative to the expectation."""
+        if self.expected == 0.0:
+            return 0.0 if self.deviation == 0.0 else math.inf
+        return self.deviation / abs(self.expected)
+
+
+def _coerce_metric(name: str, value) -> Optional[Dict[str, object]]:
+    """Normalize one metrics entry to ``{"samples": [...], "direction": ...}``.
+
+    Accepts the native schema (dict with ``samples``), a bare number, or
+    a bare list of numbers — older bench files predate the schema.
+    Returns ``None`` for entries that hold no numeric samples.
+    """
+    if isinstance(value, dict):
+        samples = value.get("samples", value.get("values"))
+        direction = value.get("direction")
+    else:
+        samples = value
+        direction = None
+    if isinstance(samples, (int, float)) and not isinstance(samples, bool):
+        samples = [samples]
+    if not isinstance(samples, list):
+        return None
+    numbers = [
+        float(sample)
+        for sample in samples
+        if isinstance(sample, (int, float)) and not isinstance(sample, bool)
+    ]
+    if not numbers or not all(math.isfinite(number) for number in numbers):
+        return None
+    if direction not in ("higher", "lower"):
+        # Heuristic for schema-less files: ratios named like speedups /
+        # throughputs are higher-is-better, times and counts lower.
+        lowered = name.lower()
+        direction = (
+            "higher"
+            if any(tag in lowered for tag in ("speedup", "throughput", "rate", "ops"))
+            else "lower"
+        )
+    return {"samples": numbers, "direction": direction}
+
+
+def load_bench(path) -> Dict[str, Dict[str, object]]:
+    """Load one ``BENCH_*.json`` file into normalized metric entries.
+
+    Tolerates schema variants: a top-level ``"metrics"`` mapping (the
+    native layout), or a flat mapping of metric name to samples.
+    Non-metric entries are skipped rather than rejected, so bench files
+    that carry extra context (config, registry dumps) still load.
+    """
+    raw = json.loads(Path(path).read_text())
+    if not isinstance(raw, dict):
+        raise ValueError(f"{path}: bench file must hold a JSON object")
+    table = raw.get("metrics") if isinstance(raw.get("metrics"), dict) else raw
+    metrics: Dict[str, Dict[str, object]] = {}
+    for name, value in table.items():
+        entry = _coerce_metric(str(name), value)
+        if entry is not None:
+            metrics[str(name)] = entry
+    return metrics
+
+
+def _mean(samples: Sequence[float]) -> float:
+    return sum(samples) / len(samples)
+
+
+def _std(samples: Sequence[float]) -> float:
+    if len(samples) < 2:
+        return 0.0
+    mean = _mean(samples)
+    return math.sqrt(sum((s - mean) ** 2 for s in samples) / (len(samples) - 1))
+
+
+def _fit_expectation(history: Sequence[float]) -> Tuple[float, float]:
+    """(expected_next, residual_std) from a least-squares line fit.
+
+    Fits ``history`` (all points *before* the newest) and extrapolates
+    one step.  Plain Python: two-parameter normal equations need no
+    NumPy, and bench histories are tiny.
+    """
+    n = len(history)
+    xs = list(range(n))
+    x_mean = _mean(xs)
+    y_mean = _mean(history)
+    denominator = sum((x - x_mean) ** 2 for x in xs)
+    slope = (
+        sum((x - x_mean) * (y - y_mean) for x, y in zip(xs, history)) / denominator
+        if denominator
+        else 0.0
+    )
+    intercept = y_mean - slope * x_mean
+    residuals = [y - (intercept + slope * x) for x, y in zip(xs, history)]
+    residual_std = math.sqrt(sum(r * r for r in residuals) / max(n - 2, 1))
+    return intercept + slope * n, residual_std
+
+
+def detect_changes(
+    series: Sequence[Dict[str, Dict[str, object]]],
+    rel_threshold: float = 0.1,
+    sigma: float = 3.0,
+    metrics: Optional[Sequence[str]] = None,
+) -> List[MetricChange]:
+    """Judge the newest bench file against the trajectory before it.
+
+    ``series`` holds normalized metric tables (see :func:`load_bench`)
+    ordered oldest to newest; ``metrics`` optionally restricts gating to
+    names matching any of the glob patterns.  Metrics absent from the
+    newest file, or present only there, are skipped — a rename should
+    not trip the gate.  Returns one :class:`MetricChange` per gated
+    metric, regressions first.
+    """
+    if len(series) < 2:
+        raise ValueError(
+            f"need at least two bench files to diff, got {len(series)}"
+        )
+    if rel_threshold < 0.0:
+        raise ValueError(f"rel_threshold must be >= 0, got {rel_threshold}")
+    if sigma < 0.0:
+        raise ValueError(f"sigma must be >= 0, got {sigma}")
+    newest = series[-1]
+    changes: List[MetricChange] = []
+    for name in sorted(newest):
+        if metrics and not any(fnmatch(name, pattern) for pattern in metrics):
+            continue
+        history_entries = [table[name] for table in series if name in table]
+        if len(history_entries) < 2:
+            continue
+        direction = str(newest[name]["direction"])
+        means = [_mean(entry["samples"]) for entry in history_entries]
+        latest = means[-1]
+        if len(means) >= 3:
+            expected, noise = _fit_expectation(means[:-1])
+            kind = "trend-fit"
+        else:
+            expected = means[0]
+            previous_samples = list(history_entries[0]["samples"])
+            latest_samples = list(history_entries[-1]["samples"])
+            noise = math.sqrt(
+                _std(previous_samples) ** 2 / len(previous_samples)
+                + _std(latest_samples) ** 2 / len(latest_samples)
+            )
+            kind = "pairwise"
+        deviation = expected - latest if direction == "higher" else latest - expected
+        threshold = max(rel_threshold * abs(expected), sigma * noise)
+        changes.append(
+            MetricChange(
+                metric=name,
+                direction=direction,
+                expected=expected,
+                latest=latest,
+                deviation=deviation,
+                threshold=threshold,
+                kind=kind,
+                n_points=len(means),
+                regressed=deviation > threshold,
+            )
+        )
+    changes.sort(key=lambda change: (not change.regressed, change.metric))
+    return changes
+
+
+def format_changes(changes: Sequence[MetricChange]) -> str:
+    """Readable verdict table for the CLI."""
+    if not changes:
+        return "bench-diff: no overlapping metrics to compare"
+    lines = []
+    for change in changes:
+        verdict = "REGRESSED" if change.regressed else "ok"
+        arrow = "v" if change.direction == "higher" else "^"
+        lines.append(
+            f"  {verdict:9s} {change.metric}: "
+            f"expected {change.expected:.4g}, got {change.latest:.4g} "
+            f"(worse{arrow} by {change.deviation:.4g}, "
+            f"threshold {change.threshold:.4g}; "
+            f"{change.kind}, {change.n_points} point(s))"
+        )
+    regressed = sum(change.regressed for change in changes)
+    header = (
+        f"bench-diff: {regressed} regression(s) across "
+        f"{len(changes)} gated metric(s)"
+    )
+    return "\n".join([header] + lines)

@@ -1,0 +1,200 @@
+"""Scalar-vs-vectorized measurement benchmark (feeds ``BENCH_measure.json``).
+
+Times the measurement hot path both ways through the public batch
+engine: ``measure_batch(strategy="process")`` with a serial profiler
+(one :meth:`Application.run` per schedule — the pre-vectorization cost)
+against ``measure_batch(strategy="vectorized")`` (one lockstep pass over
+stacked state arrays per input).  Bit-equality of every scored run is
+asserted on the first repeat — a performance number for a kernel that
+returns different results would be meaningless — and the emitted
+metrics file is what :mod:`repro.bench.diff` gates regressions against.
+
+The benchmark inputs are chosen for dispatch-bound substrate
+configurations (small swarms, few atoms), where per-op NumPy dispatch
+dominates the scalar loop and batching pays off most; larger states
+shift time into memory bandwidth that both paths share equally.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.approx.schedule import ApproxSchedule
+
+__all__ = ["BENCH_PARAMS", "SCHEMA", "build_bench_schedules", "run_measure_bench"]
+
+SCHEMA = "repro-bench-v1"
+
+#: Per-app benchmark inputs: dispatch-bound configurations where
+#: vectorization shines (and which keep the scalar baseline affordable).
+BENCH_PARAMS: Dict[str, Dict[str, float]] = {
+    "pso": {"swarm_size": 24.0, "dimension": 4.0},
+    "comd": {"unit_cells": 3.0, "lattice_parameter": 1.26, "timesteps": 240.0},
+}
+
+#: Phase count used for the benchmark schedules.
+N_PHASES = 2
+
+
+def build_bench_schedules(app, params, n_schedules: int, seed: int = 2017):
+    """Deterministic random approximate schedules for one input.
+
+    All-zero (exact) draws are nudged to level 1 on the first block so
+    every schedule actually exercises the approximate path.
+    """
+    plan = app.make_plan(params, N_PHASES)
+    rng = np.random.default_rng(seed)
+    schedules: List[ApproxSchedule] = []
+    for _ in range(n_schedules):
+        settings = [
+            {
+                block.name: int(rng.integers(0, block.max_level + 1))
+                for block in app.blocks
+            }
+            for _ in range(plan.n_phases)
+        ]
+        if all(level == 0 for phase in settings for level in phase.values()):
+            settings[0][app.blocks[0].name] = 1
+        schedules.append(ApproxSchedule(app.blocks, plan, settings))
+    return schedules
+
+
+def _runs_equal(a, b) -> bool:
+    """Bit-equality of two scored MeasuredRuns (records are slim)."""
+    ra, rb = a.record, b.record
+    return (
+        a.speedup == b.speedup
+        and a.qos_value == b.qos_value
+        and a.degradation == b.degradation
+        and ra.iterations == rb.iterations
+        and ra.total_work == rb.total_work
+        and ra.work_by_block == rb.work_by_block
+        and ra.work_by_iteration == rb.work_by_iteration
+        and ra.signature == rb.signature
+    )
+
+
+def run_measure_bench(
+    apps: Optional[Sequence[str]] = None,
+    n_schedules: int = 256,
+    repeats: int = 3,
+    quick: bool = False,
+    seed: int = 2017,
+    progress=None,
+) -> Dict[str, object]:
+    """Benchmark scalar vs vectorized measurement; return the report dict.
+
+    ``quick`` shrinks the schedule count and repeats for smoke/CI use —
+    the speedup moves a little with scale (amortization improves with
+    more lanes), so regression gating compares like against like via a
+    generous relative threshold.  Raises ``RuntimeError`` if any
+    vectorized run is not bit-identical to its scalar counterpart.
+    """
+    from repro.apps import make_app
+    from repro.instrument.harness import Profiler
+    from repro.instrument.parallel import measure_batch
+
+    if quick:
+        n_schedules = min(n_schedules, 128)
+        repeats = min(repeats, 2)
+    app_names = list(apps) if apps else list(BENCH_PARAMS)
+    say = progress or (lambda message: None)
+
+    metrics: Dict[str, Dict[str, object]] = {}
+    equivalent: Dict[str, bool] = {}
+    speedup_samples_by_repeat: List[List[float]] = [[] for _ in range(repeats)]
+
+    for app_name in app_names:
+        if app_name not in BENCH_PARAMS:
+            raise ValueError(
+                f"no benchmark configuration for {app_name!r} "
+                f"(available: {sorted(BENCH_PARAMS)})"
+            )
+        app = make_app(app_name)
+        params = dict(BENCH_PARAMS[app_name])
+        schedules = build_bench_schedules(app, params, n_schedules, seed=seed)
+        jobs = [(params, schedule) for schedule in schedules]
+
+        scalar_seconds: List[float] = []
+        vector_seconds: List[float] = []
+        speedups: List[float] = []
+        for repeat in range(repeats):
+            # Fresh profilers so caches cannot short-circuit the timing;
+            # golden runs are pre-warmed on both sides so the identical
+            # exact run does not dilute the scalar/vectorized contrast.
+            scalar_profiler = Profiler(make_app(app_name))
+            vector_profiler = Profiler(make_app(app_name))
+            scalar_profiler.golden(params)
+            vector_profiler.golden(params)
+
+            started = time.perf_counter()
+            scalar_runs = measure_batch(scalar_profiler, jobs)
+            scalar_elapsed = time.perf_counter() - started
+
+            started = time.perf_counter()
+            vector_runs = measure_batch(
+                vector_profiler, jobs, strategy="vectorized"
+            )
+            vector_elapsed = time.perf_counter() - started
+
+            if repeat == 0:
+                same = all(
+                    _runs_equal(a, b) for a, b in zip(scalar_runs, vector_runs)
+                )
+                equivalent[app_name] = same
+                if not same:
+                    raise RuntimeError(
+                        f"{app_name}: vectorized measurement is not "
+                        f"bit-identical to the scalar path — refusing to "
+                        f"report a speedup for wrong results"
+                    )
+            scalar_seconds.append(scalar_elapsed)
+            vector_seconds.append(vector_elapsed)
+            speedup = scalar_elapsed / max(vector_elapsed, 1e-12)
+            speedups.append(speedup)
+            speedup_samples_by_repeat[repeat].append(speedup)
+            say(
+                f"{app_name} repeat {repeat + 1}/{repeats}: "
+                f"scalar {scalar_elapsed:.2f}s vectorized {vector_elapsed:.2f}s "
+                f"({speedup:.1f}x)"
+            )
+
+        metrics[f"{app_name}_scalar_seconds"] = {
+            "samples": scalar_seconds,
+            "direction": "lower",
+            "unit": "s",
+        }
+        metrics[f"{app_name}_vectorized_seconds"] = {
+            "samples": vector_seconds,
+            "direction": "lower",
+            "unit": "s",
+        }
+        metrics[f"{app_name}_vectorized_speedup"] = {
+            "samples": speedups,
+            "direction": "higher",
+            "unit": "x",
+        }
+
+    metrics["vectorized_speedup_max"] = {
+        "samples": [max(row) for row in speedup_samples_by_repeat if row],
+        "direction": "higher",
+        "unit": "x",
+    }
+    return {
+        "schema": SCHEMA,
+        "benchmark": "measure",
+        "config": {
+            "apps": app_names,
+            "params": {name: BENCH_PARAMS[name] for name in app_names},
+            "n_schedules": n_schedules,
+            "n_phases": N_PHASES,
+            "repeats": repeats,
+            "quick": quick,
+            "seed": seed,
+        },
+        "equivalent": equivalent,
+        "metrics": metrics,
+    }

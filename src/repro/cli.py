@@ -20,6 +20,16 @@ Subcommands::
     python -m repro serve       --store models/ --requests 50 --clients 4
     python -m repro serve-bench --store models/ --output BENCH_serve.json
     python -m repro chaos       --workdir .chaos --seed 7
+    python -m repro bench-measure --output BENCH_measure.json
+    python -m repro bench-diff  BENCH_old.json BENCH_measure.json
+
+``bench-measure`` times the scalar measurement path against the
+vectorized batch engine (``measure_batch(strategy="vectorized")``),
+asserts the two are bit-identical, and writes a metrics file;
+``bench-diff`` fits simple models to metric trajectories across an
+ordered series of such files and exits with code 6 when the newest
+point is a statistically significant regression (see
+:mod:`repro.bench.diff`).
 
 ``serve`` and ``serve-bench`` drive the :mod:`repro.serve` subsystem: a
 hot-reloading model registry plus a concurrent request engine with an
@@ -260,6 +270,40 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--job-timeout", type=float, default=3.0,
                        help="per-measurement deadline armed during the cycle")
     add_workers_arg(chaos)
+
+    bench_measure = sub.add_parser(
+        "bench-measure",
+        help="time scalar vs vectorized measurement; write a metrics file",
+    )
+    bench_measure.add_argument("--output", default="BENCH_measure.json",
+                               metavar="FILE",
+                               help="write the JSON metrics report here")
+    bench_measure.add_argument("--apps", default=None, metavar="NAME[,NAME]",
+                               help="comma-separated vectorized apps to bench "
+                                    "(default: all with bench configurations)")
+    bench_measure.add_argument("--schedules", type=int, default=256,
+                               help="schedules per app per repeat")
+    bench_measure.add_argument("--repeats", type=int, default=3,
+                               help="timing repeats per app")
+    bench_measure.add_argument("--quick", action="store_true",
+                               help="shrink schedules/repeats for smoke use")
+
+    bench_diff = sub.add_parser(
+        "bench-diff",
+        help="gate BENCH_*.json trajectories; exit 6 on a perf regression",
+    )
+    bench_diff.add_argument("files", nargs="+", metavar="BENCH.json",
+                            help="bench files ordered oldest to newest "
+                                 "(at least two)")
+    bench_diff.add_argument("--rel-threshold", type=float, default=0.1,
+                            help="relative worse-direction deviation tolerated "
+                                 "(fraction of the expected value)")
+    bench_diff.add_argument("--sigma", type=float, default=3.0,
+                            help="noise multiples tolerated on top of the "
+                                 "relative threshold")
+    bench_diff.add_argument("--metric", action="append", metavar="GLOB",
+                            help="gate only metrics matching this glob "
+                                 "(repeatable; default: all shared metrics)")
 
     return parser
 
@@ -572,6 +616,57 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_bench_measure(args) -> int:
+    import json
+
+    from repro.bench import run_measure_bench
+
+    apps = [name for name in (args.apps or "").split(",") if name] or None
+    report = run_measure_bench(
+        apps=apps,
+        n_schedules=args.schedules,
+        repeats=args.repeats,
+        quick=args.quick,
+        progress=print,
+    )
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    for name, entry in sorted(report["metrics"].items()):
+        if not name.endswith("_speedup") and "speedup" not in name:
+            continue
+        samples = entry["samples"]
+        best = max(samples) if samples else 0.0
+        print(f"{name}: best {best:.1f}x over {len(samples)} repeat(s)")
+    print(f"report written to {output}")
+    return 0
+
+
+def _cmd_bench_diff(args) -> int:
+    import json
+
+    from repro.bench import detect_changes, format_changes, load_bench
+
+    if len(args.files) < 2:
+        raise SystemExit("bench-diff needs at least two files (oldest first)")
+    try:
+        series = [load_bench(path) for path in args.files]
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"bench-diff: cannot load bench file: {exc}")
+    changes = detect_changes(
+        series,
+        rel_threshold=args.rel_threshold,
+        sigma=args.sigma,
+        metrics=args.metric,
+    )
+    print(format_changes(changes))
+    if any(change.regressed for change in changes):
+        return 6
+    if not changes:
+        print("warning: no metric was gated — check --metric patterns "
+              "and that the files share metric names", file=sys.stderr)
+    return 0
+
+
 def _cmd_evaluate(args) -> int:
     from repro.eval.experiments import BUDGET_LEVELS, fig14_opprox_vs_oracle
     from repro.eval.reporting import format_table
@@ -628,6 +723,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": lambda: _cmd_serve(args),
         "serve-bench": lambda: _cmd_serve_bench(args),
         "chaos": lambda: _cmd_chaos(args),
+        "bench-measure": lambda: _cmd_bench_measure(args),
+        "bench-diff": lambda: _cmd_bench_diff(args),
     }
     return handlers[args.command]()
 

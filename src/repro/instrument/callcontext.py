@@ -9,7 +9,7 @@ context sequence repeats recovers the outer-loop iteration count.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 __all__ = ["CallContextEvent", "CallContextLog", "control_flow_signature"]
 
@@ -23,31 +23,110 @@ class CallContextEvent:
     context: str = ""
 
 
+@dataclass(frozen=True)
+class _PatternRun:
+    """A compressed run: ``iterations`` outer iterations starting at
+    ``start`` that each execute the same ``pattern`` of (name, context)
+    events.  The vectorized batch path records one of these per lane
+    instead of millions of individual events."""
+
+    pattern: Tuple[Tuple[str, str], ...]
+    start: int
+    iterations: int
+
+
 class CallContextLog:
-    """Ordered record of AB executions across a run."""
+    """Ordered record of AB executions across a run.
+
+    Events can be appended one at a time (:meth:`record`) or as a
+    compressed run of identical per-iteration sequences
+    (:meth:`record_iterations`); the two produce identical ``events``
+    tuples, but the compressed form defers materializing the individual
+    :class:`CallContextEvent` objects until something reads them.
+    """
 
     def __init__(self) -> None:
-        self._events: List[CallContextEvent] = []
+        self._entries: List[Union[CallContextEvent, _PatternRun]] = []
+        self._expanded: Optional[Tuple[CallContextEvent, ...]] = None
 
     def record(self, iteration: int, block_name: str, context: str = "") -> None:
         if iteration < 0:
             raise ValueError(f"iteration must be non-negative, got {iteration}")
         if not block_name:
             raise ValueError("block_name must be non-empty")
-        self._events.append(CallContextEvent(iteration, block_name, context))
+        self._entries.append(CallContextEvent(iteration, block_name, context))
+        self._expanded = None
+
+    def record_iterations(
+        self,
+        pattern: Sequence[Tuple[str, str]],
+        iterations: int,
+        start: int = 0,
+    ) -> None:
+        """Bulk-append ``iterations`` outer iterations that each execute
+        the same ``pattern`` of ``(block_name, context)`` events.
+
+        Equivalent to calling :meth:`record` for every event of every
+        iteration in ``[start, start + iterations)``, in order.
+        """
+        if iterations < 0:
+            raise ValueError(f"iterations must be non-negative, got {iterations}")
+        if start < 0:
+            raise ValueError(f"start must be non-negative, got {start}")
+        frozen = tuple((str(name), str(context)) for name, context in pattern)
+        for name, _ in frozen:
+            if not name:
+                raise ValueError("block_name must be non-empty")
+        if iterations == 0 or not frozen:
+            return
+        self._entries.append(_PatternRun(frozen, start, iterations))
+        self._expanded = None
 
     @property
     def events(self) -> Tuple[CallContextEvent, ...]:
-        return tuple(self._events)
+        if self._expanded is None:
+            expanded: List[CallContextEvent] = []
+            for entry in self._entries:
+                if isinstance(entry, CallContextEvent):
+                    expanded.append(entry)
+                else:
+                    expanded.extend(
+                        CallContextEvent(iteration, name, context)
+                        for iteration in range(
+                            entry.start, entry.start + entry.iterations
+                        )
+                        for name, context in entry.pattern
+                    )
+            self._expanded = tuple(expanded)
+        return self._expanded
 
     def __len__(self) -> int:
-        return len(self._events)
+        return sum(
+            1
+            if isinstance(entry, CallContextEvent)
+            else entry.iterations * len(entry.pattern)
+            for entry in self._entries
+        )
+
+    def constant_pattern(self) -> Optional[Tuple[Tuple[Tuple[str, str], ...], int]]:
+        """``(pattern, iterations)`` if the whole log is one compressed
+        run starting at iteration 0, else ``None``.
+
+        This lets :func:`control_flow_signature` skip materializing and
+        re-collapsing events whose per-iteration sequence is constant by
+        construction.
+        """
+        if len(self._entries) == 1 and isinstance(self._entries[0], _PatternRun):
+            run = self._entries[0]
+            if run.start == 0:
+                return run.pattern, run.iterations
+        return None
 
     def sequence_for_iteration(self, iteration: int) -> Tuple[str, ...]:
         """The AB (name, context) sequence executed in one outer iteration."""
         return tuple(
             f"{e.block_name}@{e.context}" if e.context else e.block_name
-            for e in self._events
+            for e in self.events
             if e.iteration == iteration
         )
 
@@ -57,9 +136,13 @@ class CallContextLog:
         Mirrors the paper's extraction: the number of times the
         per-iteration call-context sequence repeats in the log.
         """
-        if not self._events:
-            return 0
-        return max(e.iteration for e in self._events) + 1
+        last = -1
+        for entry in self._entries:
+            if isinstance(entry, CallContextEvent):
+                last = max(last, entry.iteration)
+            elif entry.iterations > 0:
+                last = max(last, entry.start + entry.iterations - 1)
+        return last + 1
 
 
 def control_flow_signature(log: CallContextLog) -> str:
@@ -70,6 +153,16 @@ def control_flow_signature(log: CallContextLog) -> str:
     each sequence).  This is the label OPPROX's decision tree predicts
     from input parameters.
     """
+    constant = log.constant_pattern()
+    if constant is not None:
+        # Every iteration repeats one sequence: the collapse below would
+        # reduce to exactly that single sequence.
+        pattern, iterations = constant
+        if iterations == 0:
+            return ""
+        return ">".join(
+            f"{name}@{context}" if context else name for name, context in pattern
+        )
     # Single pass: events arrive in iteration order, so we can build each
     # iteration's sequence as we go instead of re-scanning the log.
     per_iteration: List[List[str]] = []

@@ -11,7 +11,9 @@ paper's instruction-count ratios.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
 
 __all__ = ["WorkMeter"]
 
@@ -23,7 +25,16 @@ class WorkMeter:
         self._iteration: int = -1
         self._by_block: Dict[str, float] = defaultdict(float)
         self._per_iteration: List[Dict[str, float]] = []
+        #: bulk charge blocks from load_iterations, expanded into
+        #: _per_iteration dicts only when something reads them
+        self._pending: List[Tuple[Tuple[str, ...], np.ndarray]] = []
         self._overhead: float = 0.0
+
+    def _materialize(self) -> None:
+        for names, charges in self._pending:
+            for row in charges.tolist():
+                self._per_iteration.append(defaultdict(float, zip(names, row)))
+        self._pending.clear()
 
     def begin_iteration(self, iteration: int) -> None:
         """Mark the start of outer-loop iteration ``iteration``.
@@ -36,16 +47,59 @@ class WorkMeter:
                 f"iterations must be sequential: expected {self._iteration + 1}, "
                 f"got {iteration}"
             )
+        if self._pending:
+            self._materialize()
         self._iteration = iteration
         self._per_iteration.append(defaultdict(float))
 
     def charge(self, block_name: str, units: float) -> None:
-        """Charge ``units`` of work to ``block_name`` in the current iteration."""
+        """Charge ``units`` of work to ``block_name`` in the current iteration.
+
+        Work charged before any :meth:`begin_iteration` cannot be
+        attributed to an iteration (and hence to a phase); it is routed
+        to overhead so that ``sum(work_by_phase(...)) + overhead ==
+        total_work`` always holds instead of silently leaking the units
+        out of the per-phase view.
+        """
         if units < 0:
             raise ValueError(f"work units must be non-negative, got {units}")
+        if self._pending:
+            self._materialize()
+        if not self._per_iteration:
+            self._overhead += units
+            return
         self._by_block[block_name] += units
-        if self._per_iteration:
-            self._per_iteration[-1][block_name] += units
+        self._per_iteration[-1][block_name] += units
+
+    def load_iterations(self, block_names: Sequence[str], charges) -> None:
+        """Bulk-append per-iteration charges for sequential iterations.
+
+        Row ``i`` of ``charges`` (shape ``(iterations, len(block_names))``)
+        holds the work charged to each block during the next outer
+        iteration; the effect is identical to a
+        :meth:`begin_iteration`/:meth:`charge` sequence per row.  The
+        vectorized batch path uses this to load a whole lane's
+        accounting at once instead of paying per-charge call overhead.
+        """
+        names = tuple(block_names)
+        if len(set(names)) != len(names):
+            raise ValueError(f"block names must be unique, got {names}")
+        charges = np.asarray(charges, dtype=float)
+        if charges.ndim != 2 or charges.shape[1] != len(names):
+            raise ValueError(
+                f"charges must have shape (iterations, {len(names)}), "
+                f"got {charges.shape}"
+            )
+        if charges.size and float(charges.min()) < 0:
+            raise ValueError("work units must be non-negative")
+        if len(charges):
+            self._pending.append((names, charges))
+            self._iteration += len(charges)
+            # Work charges are exact integers in float64, so summing a
+            # column is bit-identical to the scalar path's sequential
+            # accumulation regardless of reduction order.
+            for name, total in zip(names, charges.sum(axis=0).tolist()):
+                self._by_block[name] += total
 
     def charge_overhead(self, units: float) -> None:
         """Charge work outside any block (setup, reductions, output)."""
@@ -69,14 +123,40 @@ class WorkMeter:
         return dict(self._by_block)
 
     def work_in_iteration(self, iteration: int) -> Dict[str, float]:
+        if self._pending:
+            self._materialize()
         if not 0 <= iteration < len(self._per_iteration):
             raise ValueError(
                 f"iteration {iteration} outside [0, {len(self._per_iteration)})"
             )
         return dict(self._per_iteration[iteration])
 
+    def iteration_totals(self) -> List[float]:
+        """Total work per iteration — ``sum(work_in_iteration(i).values())``
+        for every iteration, without the per-call dict copies.
+
+        Bulk-loaded charge blocks are totalled straight off their
+        matrices (exact: work charges are integers in float64), so the
+        batch path never pays for expanding them into dicts.
+        """
+        totals = [sum(work.values()) for work in self._per_iteration]
+        for _, charges in self._pending:
+            totals.extend(charges.sum(axis=1).tolist())
+        return totals
+
     def work_by_phase(self, boundaries: Tuple[int, ...]) -> List[float]:
-        """Total work per phase, given phase start iterations."""
+        """Total work per phase, given phase start iterations.
+
+        ``boundaries`` must be non-empty — with no phases there is no
+        bucket to put the iterations' work in, so an empty tuple raises
+        :class:`ValueError` (matching
+        :meth:`repro.instrument.harness.ExecutionRecord.work_by_phase`)
+        instead of crashing with an ``IndexError`` mid-accumulation.
+        """
+        if not boundaries:
+            raise ValueError("boundaries must contain at least one phase start")
+        if self._pending:
+            self._materialize()
         totals = [0.0] * len(boundaries)
         for iteration, work in enumerate(self._per_iteration):
             phase = 0

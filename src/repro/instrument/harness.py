@@ -10,7 +10,7 @@ is sound and keeps the full figure suite fast.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -157,6 +157,58 @@ class Profiler:
                 degradation=self.app.metric.to_degradation(qos_value),
             )
         return self._measured[key]
+
+    def measure_many(
+        self,
+        params: Dict[str, float],
+        schedules: Sequence[Optional[ApproxSchedule]],
+    ) -> List[MeasuredRun]:
+        """Measure many schedules for one input through the batch path.
+
+        Semantically identical to a :meth:`measure` loop — same cache
+        consultation, same scoring, same cache writes — but cache-missing
+        schedules are executed in a single :meth:`Application.run_batch`
+        call, which substrates with vectorized kernels evaluate as one
+        lockstep pass over stacked state arrays.  The kernels are
+        required to be bit-identical to the scalar path, so the returned
+        runs (speedup, QoS, work breakdowns) match a serial loop exactly.
+        """
+        schedules = list(schedules)
+        golden = self.golden(params)
+        results: List[Optional[MeasuredRun]] = [None] * len(schedules)
+        #: unique cache-missing schedule keys -> job indices sharing them
+        pending: Dict[Tuple, List[int]] = {}
+        for index, schedule in enumerate(schedules):
+            if schedule is None or schedule.is_exact:
+                results[index] = self.measure(params, schedule)
+                continue
+            key = self.measured_key(params, schedule)
+            cached = self._measured.get(key)
+            if cached is not None:
+                results[index] = cached
+                continue
+            pending.setdefault(key, []).append(index)
+        if pending:
+            index_groups = list(pending.values())
+            records = self.app.run_batch(
+                params, [schedules[group[0]] for group in index_groups]
+            )
+            self.executions += len(records)
+            for group, record in zip(index_groups, records):
+                schedule = schedules[group[0]]
+                qos_value = self.app.metric.compute(golden.output, record.output)
+                speedup = golden.total_work / max(record.total_work, 1e-12)
+                run = MeasuredRun(
+                    record=replace(record, output=np.empty(0)),
+                    schedule=schedule,
+                    speedup=speedup,
+                    qos_value=qos_value,
+                    degradation=self.app.metric.to_degradation(qos_value),
+                )
+                self._measured[self.measured_key(params, schedule)] = run
+                for index in group:
+                    results[index] = run
+        return results  # type: ignore[return-value]
 
     # -- batch-engine hooks --------------------------------------------------
 

@@ -22,6 +22,15 @@ Exact (accurate) jobs always run in the parent: they cost at most one
 execution per unique input and their golden record is the scoring
 baseline for everything else.
 
+``strategy="vectorized"`` replaces the process fan-out entirely: unique
+cache misses are grouped by input parameters and each group is handed to
+:meth:`Profiler.measure_many`, which evaluates all of a group's
+schedules in one lockstep pass over stacked state arrays for substrates
+with vectorized kernels (``Application.supports_vectorized``).  The
+kernels are property-tested bit-identical to the scalar path, so the
+choice of strategy — like the choice of worker count — can never change
+a result, only how fast it arrives.
+
 Pool-path failure handling (``workers>1``):
 
 * ``job_timeout`` arms a per-job deadline.  A job that produces no
@@ -286,6 +295,7 @@ def measure_batch(
     stats: Optional[MeasurementStats] = None,
     job_timeout: Optional[float] = None,
     max_dispatch_attempts: int = MAX_DISPATCH_ATTEMPTS,
+    strategy: str = "process",
 ) -> List[MeasuredRun]:
     """Measure every job, in job order, as cheaply as possible.
 
@@ -299,7 +309,18 @@ def measure_batch(
     workers:
         ``None``/``0``/``1`` measures serially in-process (identical to
         a plain ``profiler.measure`` loop); ``>1`` fans unique cache
-        misses out to that many worker processes.
+        misses out to that many worker processes.  Ignored under
+        ``strategy="vectorized"``, which executes in-process.
+    strategy:
+        ``"process"`` (default) executes unique cache misses serially or
+        on a process pool as governed by ``workers``.  ``"vectorized"``
+        groups them by input parameters and hands each group to
+        :meth:`Profiler.measure_many`, which substrates with vectorized
+        kernels evaluate as one lockstep pass over stacked state arrays
+        — bit-identical results, no process fan-out, and typically an
+        order of magnitude faster than serial for NumPy substrates.
+        Per-job timings are then the group wall-clock amortized over the
+        group's unique jobs.
     disk_cache:
         Optional :class:`repro.eval.cache.DiskCache`-like object
         (``get_run``/``put_run``).  Hits produce slim runs; fresh
@@ -328,8 +349,13 @@ def measure_batch(
         raise ValueError(
             f"max_dispatch_attempts must be >= 1, got {max_dispatch_attempts}"
         )
+    if strategy not in ("process", "vectorized"):
+        raise ValueError(
+            f"strategy must be 'process' or 'vectorized', got {strategy!r}"
+        )
     job_list = list(jobs)
     started = time.perf_counter()
+    exact_cache_before = profiler.app.exact_cache_info()
     results: List[Optional[MeasuredRun]] = [None] * len(job_list)
     #: unique cache-missing configurations, in first-seen order
     pending: Dict[Tuple, MeasureJob] = {}
@@ -378,7 +404,24 @@ def measure_batch(
     if pending:
         unique = list(pending.items())
         effective = int(workers or 1)
-        if effective <= 1 or len(unique) == 1:
+        if strategy == "vectorized":
+            # Group by input: one measure_many call per distinct params
+            # evaluates the group's schedules in a single vectorized
+            # pass.  measure_many maintains the profiler caches and the
+            # execution counter itself; timings are amortized.
+            timed = {}
+            groups: Dict[Tuple, List[Tuple]] = {}
+            for key, (params, _) in unique:
+                groups.setdefault(profiler.app.params_key(params), []).append(key)
+            for keys in groups.values():
+                group_started = time.perf_counter()
+                runs = profiler.measure_many(
+                    pending[keys[0]][0], [pending[key][1] for key in keys]
+                )
+                seconds = (time.perf_counter() - group_started) / len(keys)
+                for key, run in zip(keys, runs):
+                    timed[key] = (run, seconds)
+        elif effective <= 1 or len(unique) == 1:
             timed: Dict[Tuple, Tuple[MeasuredRun, float]] = {}
             for key, (params, schedule) in unique:
                 job_started = time.perf_counter()
@@ -411,6 +454,13 @@ def measure_batch(
                 results[index] = run
 
     if stats is not None:
+        exact_cache_after = profiler.app.exact_cache_info()
+        stats.record_exact_cache(
+            hits=exact_cache_after["hits"] - exact_cache_before["hits"],
+            misses=exact_cache_after["misses"] - exact_cache_before["misses"],
+            evictions=exact_cache_after["evictions"]
+            - exact_cache_before["evictions"],
+        )
         stats.record_batch(time.perf_counter() - started)
 
     if failures:

@@ -145,6 +145,11 @@ class MeasurementStats:
     redispatches: int = 0
     #: unique configurations quarantined after exhausting dispatch attempts
     quarantined: int = 0
+    #: application exact-run (golden) LRU cache activity observed while
+    #: batches ran — hits/misses/evictions of the bounded record cache
+    exact_cache_hits: int = 0
+    exact_cache_misses: int = 0
+    exact_cache_evictions: int = 0
     #: how many of the slowest jobs to retain
     max_slowest: int = 5
     _slowest: List[JobTiming] = field(default_factory=list, repr=False)
@@ -174,6 +179,14 @@ class MeasurementStats:
     def record_quarantined(self, count: int = 1) -> None:
         self.quarantined += count
 
+    def record_exact_cache(
+        self, hits: int = 0, misses: int = 0, evictions: int = 0
+    ) -> None:
+        """Fold in an application's exact-cache counter deltas."""
+        self.exact_cache_hits += hits
+        self.exact_cache_misses += misses
+        self.exact_cache_evictions += evictions
+
     def merge(self, other: "MeasurementStats") -> None:
         """Fold another campaign's counters into this one."""
         self.executions += other.executions
@@ -184,6 +197,9 @@ class MeasurementStats:
         self.corrupt_lines_skipped += other.corrupt_lines_skipped
         self.redispatches += other.redispatches
         self.quarantined += other.quarantined
+        self.exact_cache_hits += other.exact_cache_hits
+        self.exact_cache_misses += other.exact_cache_misses
+        self.exact_cache_evictions += other.exact_cache_evictions
         self._slowest.extend(other._slowest)
         self._slowest.sort(key=lambda timing: -timing.seconds)
         del self._slowest[self.max_slowest :]
@@ -219,6 +235,9 @@ class MeasurementStats:
             "corrupt_lines_skipped": self.corrupt_lines_skipped,
             "redispatches": self.redispatches,
             "quarantined": self.quarantined,
+            "exact_cache_hits": self.exact_cache_hits,
+            "exact_cache_misses": self.exact_cache_misses,
+            "exact_cache_evictions": self.exact_cache_evictions,
             "slowest_jobs": [
                 {"label": timing.label, "seconds": timing.seconds}
                 for timing in self._slowest
@@ -245,6 +264,12 @@ class MeasurementStats:
             lines.append(
                 f"  fault recovery: {self.redispatches} re-dispatch(es), "
                 f"{self.quarantined} quarantined"
+            )
+        if self.exact_cache_hits or self.exact_cache_misses:
+            lines.append(
+                f"  exact cache:  {self.exact_cache_hits} hit(s), "
+                f"{self.exact_cache_misses} miss(es), "
+                f"{self.exact_cache_evictions} eviction(s)"
             )
         if self._slowest:
             lines.append("  slowest jobs:")

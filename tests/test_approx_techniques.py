@@ -172,3 +172,34 @@ class TestCrossIterationMemo:
             memo.should_compute(-1, 0)
         with pytest.raises(ValueError):
             memo.should_compute(0, -1)
+
+
+class TestSharedPlanArraysAreReadOnly:
+    """The lru_cached index arrays are shared across every caller that
+    asks for the same plan; an in-place write would silently corrupt all
+    later callers, so mutation must raise instead."""
+
+    @pytest.mark.parametrize(
+        "technique",
+        [Technique.PERFORATION, Technique.TRUNCATION, Technique.MEMOIZATION],
+    )
+    @pytest.mark.parametrize("level", [0, 1, 2])
+    def test_computed_indices_mutation_raises(self, technique, level):
+        indices = computed_indices(technique, 16, level, 3)
+        if indices.flags.writeable:
+            # perforation with a rotation returns a fresh derived array;
+            # only the shared cached bases must be frozen
+            assert technique is Technique.PERFORATION and level > 0
+            return
+        with pytest.raises((ValueError, RuntimeError)):
+            indices[0] = 99
+        # the cached plan is unchanged for the next caller
+        again = computed_indices(technique, 16, level, 3)
+        assert again[0] == 0
+
+    def test_rotated_perforation_is_private_copy(self):
+        rotated = perforated_indices(12, 2, offset=5)
+        base = perforated_indices(12, 2, offset=0)
+        rotated[0] = 7  # writable: must not share memory with the base
+        assert not np.shares_memory(rotated, base)
+        assert base[0] == 0

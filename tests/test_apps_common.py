@@ -126,3 +126,42 @@ class TestContracts:
         assert any_app.block(first.name) is first
         with pytest.raises(ValueError):
             any_app.block("nonexistent")
+
+
+class TestExactCacheLRU:
+    """The exact-run cache is bounded (LRU) and exposes hit/miss counters."""
+
+    def _params(self, swarm):
+        return {"swarm_size": float(swarm), "dimension": 2.0}
+
+    def test_hits_misses_and_bound(self):
+        app = make_app("pso")
+        app.exact_cache_limit = 2
+        for swarm in (8, 10, 12):  # third insert evicts the first
+            app.run(self._params(swarm), schedule=None)
+        info = app.exact_cache_info()
+        assert info == {"hits": 0, "misses": 3, "evictions": 1, "size": 2}
+
+        app.run(self._params(12), schedule=None)  # still resident
+        assert app.exact_cache_info()["hits"] == 1
+        app.run(self._params(8), schedule=None)  # evicted: re-executes
+        info = app.exact_cache_info()
+        assert info["misses"] == 4 and info["evictions"] == 2
+        assert info["size"] <= app.exact_cache_limit
+
+    def test_lru_recency_ordering(self):
+        app = make_app("pso")
+        app.exact_cache_limit = 2
+        app.run(self._params(8), schedule=None)
+        app.run(self._params(10), schedule=None)
+        app.run(self._params(8), schedule=None)   # refresh 8's recency
+        app.run(self._params(12), schedule=None)  # should evict 10, not 8
+        misses_before = app.exact_cache_info()["misses"]
+        app.run(self._params(8), schedule=None)
+        assert app.exact_cache_info()["misses"] == misses_before  # hit
+
+    def test_cached_records_are_identical_objects(self):
+        app = make_app("pso")
+        first = app.run(self._params(8), schedule=None)
+        second = app.run(self._params(8), schedule=None)
+        assert first is second

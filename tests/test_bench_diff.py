@@ -1,0 +1,192 @@
+"""Tests for the Perun-style bench-diff perf-regression gate."""
+
+import json
+
+import pytest
+
+from repro.bench.diff import detect_changes, format_changes, load_bench
+from repro.cli import main
+
+
+def metrics(**entries):
+    """Shorthand: name -> samples (direction from name heuristics)."""
+    return {
+        name: {"samples": samples, "direction": direction}
+        for name, (samples, direction) in entries.items()
+    }
+
+
+class TestLoadBench:
+    def test_native_schema(self, tmp_path):
+        path = tmp_path / "BENCH_a.json"
+        path.write_text(json.dumps({
+            "schema": "repro-bench-v1",
+            "config": {"repeats": 2},
+            "metrics": {
+                "pso_vectorized_speedup": {
+                    "samples": [9.0, 10.0], "direction": "higher", "unit": "x"
+                },
+            },
+        }))
+        loaded = load_bench(path)
+        assert loaded == {
+            "pso_vectorized_speedup": {
+                "samples": [9.0, 10.0], "direction": "higher"
+            }
+        }
+
+    def test_flat_schema_with_bare_values(self, tmp_path):
+        path = tmp_path / "BENCH_b.json"
+        path.write_text(json.dumps({
+            "serve_speedup": 40.0,
+            "latency_seconds": [0.2, 0.3],
+            "label": "not a metric",
+            "nested": {"samples": "junk"},
+        }))
+        loaded = load_bench(path)
+        # bare numbers/lists are adopted; direction comes from the name
+        assert loaded["serve_speedup"] == {
+            "samples": [40.0], "direction": "higher"
+        }
+        assert loaded["latency_seconds"] == {
+            "samples": [0.2, 0.3], "direction": "lower"
+        }
+        assert "label" not in loaded and "nested" not in loaded
+
+    def test_non_object_file_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_c.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError, match="JSON object"):
+            load_bench(path)
+
+
+class TestDetectChanges:
+    def test_pairwise_flags_higher_metric_drop(self):
+        old = metrics(speedup=([10.0, 10.2], "higher"))
+        new = metrics(speedup=([2.0, 2.1], "higher"))
+        (change,) = detect_changes([old, new], rel_threshold=0.2, sigma=3.0)
+        assert change.regressed and change.kind == "pairwise"
+        assert change.deviation == pytest.approx(10.1 - 2.05)
+
+    def test_pairwise_tolerates_noise_within_threshold(self):
+        old = metrics(speedup=([10.0, 10.4], "higher"))
+        new = metrics(speedup=([9.5, 9.7], "higher"))
+        (change,) = detect_changes([old, new], rel_threshold=0.1, sigma=3.0)
+        assert not change.regressed
+
+    def test_lower_is_better_regresses_upward(self):
+        old = metrics(seconds=([1.0], "lower"))
+        worse = metrics(seconds=([2.0], "lower"))
+        better = metrics(seconds=([0.5], "lower"))
+        (change,) = detect_changes([old, worse], rel_threshold=0.1)
+        assert change.regressed and change.deviation == pytest.approx(1.0)
+        (change,) = detect_changes([old, better], rel_threshold=0.1)
+        assert not change.regressed  # improvement is never a regression
+
+    def test_trend_fit_follows_real_trajectory(self):
+        # steadily improving history; the newest point continues the
+        # trend, so even a value below the all-time max is fine
+        series = [
+            metrics(speedup=([8.0], "higher")),
+            metrics(speedup=([9.0], "higher")),
+            metrics(speedup=([10.0], "higher")),
+            metrics(speedup=([10.8], "higher")),
+        ]
+        (change,) = detect_changes(series, rel_threshold=0.1)
+        assert change.kind == "trend-fit" and change.n_points == 4
+        assert not change.regressed
+
+    def test_trend_fit_flags_collapse(self):
+        series = [
+            metrics(speedup=([8.0], "higher")),
+            metrics(speedup=([9.0], "higher")),
+            metrics(speedup=([10.0], "higher")),
+            metrics(speedup=([3.0], "higher")),
+        ]
+        (change,) = detect_changes(series, rel_threshold=0.1)
+        assert change.regressed
+        assert change.expected == pytest.approx(11.0)  # extrapolated line
+
+    def test_metric_globs_and_disjoint_names_skipped(self):
+        old = metrics(speedup=([10.0], "higher"), seconds=([1.0], "lower"),
+                      renamed_away=([5.0], "higher"))
+        new = metrics(speedup=([1.0], "higher"), seconds=([9.0], "lower"),
+                      brand_new=([1.0], "higher"))
+        changes = detect_changes([old, new], metrics=["*speedup*"])
+        assert [change.metric for change in changes] == ["speedup"]
+        # without a filter, only shared metrics are gated
+        names = {change.metric for change in detect_changes([old, new])}
+        assert names == {"speedup", "seconds"}
+
+    def test_input_validation(self):
+        table = metrics(speedup=([1.0], "higher"))
+        with pytest.raises(ValueError, match="two bench files"):
+            detect_changes([table])
+        with pytest.raises(ValueError, match="rel_threshold"):
+            detect_changes([table, table], rel_threshold=-0.1)
+        with pytest.raises(ValueError, match="sigma"):
+            detect_changes([table, table], sigma=-1.0)
+
+    def test_format_changes_mentions_verdicts(self):
+        old = metrics(speedup=([10.0], "higher"))
+        new = metrics(speedup=([1.0], "higher"))
+        text = format_changes(detect_changes([old, new]))
+        assert "REGRESSED" in text and "speedup" in text
+        assert format_changes([]).startswith("bench-diff: no overlapping")
+
+
+class TestBenchCli:
+    def write(self, tmp_path, name, speedups):
+        path = tmp_path / name
+        path.write_text(json.dumps({
+            "metrics": {
+                "pso_vectorized_speedup": {
+                    "samples": speedups, "direction": "higher"
+                }
+            }
+        }))
+        return str(path)
+
+    def test_bench_diff_exits_6_on_regression(self, tmp_path, capsys):
+        old = self.write(tmp_path, "old.json", [10.0, 10.1])
+        bad = self.write(tmp_path, "new.json", [1.2, 1.3])
+        assert main(["bench-diff", old, bad]) == 6
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_bench_diff_passes_stable_trajectory(self, tmp_path, capsys):
+        files = [
+            self.write(tmp_path, f"b{i}.json", [10.0 + 0.1 * i])
+            for i in range(4)
+        ]
+        assert main(["bench-diff", *files]) == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_bench_diff_rejects_single_file(self, tmp_path):
+        only = self.write(tmp_path, "only.json", [10.0])
+        with pytest.raises(SystemExit, match="at least two"):
+            main(["bench-diff", only])
+
+    def test_bench_diff_unreadable_file(self, tmp_path):
+        broken = tmp_path / "broken.json"
+        broken.write_text("{not json")
+        ok = self.write(tmp_path, "ok.json", [10.0])
+        with pytest.raises(SystemExit, match="cannot load"):
+            main(["bench-diff", ok, str(broken)])
+
+    def test_bench_measure_smoke(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_measure.json"
+        code = main([
+            "bench-measure", "--apps", "pso", "--schedules", "6",
+            "--repeats", "1", "--output", str(output),
+        ])
+        assert code == 0
+        report = json.loads(output.read_text())
+        assert report["equivalent"] == {"pso": True}
+        speedup = report["metrics"]["pso_vectorized_speedup"]["samples"]
+        assert len(speedup) == 1 and speedup[0] > 0
+        # the emitted file round-trips through the diff loader
+        assert "pso_vectorized_speedup" in load_bench(output)
+
+    def test_bench_measure_unknown_app(self):
+        with pytest.raises(ValueError, match="no benchmark configuration"):
+            main(["bench-measure", "--apps", "lulesh", "--repeats", "1"])

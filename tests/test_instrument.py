@@ -266,3 +266,133 @@ class TestLatencyHistogram:
         target.merge(LatencyHistogram())
         assert target.count == 1
         assert target.min_seconds == pytest.approx(0.2)
+
+
+class TestWorkMeterAccountingInvariants:
+    """The holes fixed in this PR: pre-iteration charges and empty phases."""
+
+    def test_pre_iteration_charge_routes_to_overhead(self):
+        meter = WorkMeter()
+        meter.charge("setup_block", 7.0)  # before any begin_iteration
+        meter.begin_iteration(0)
+        meter.charge("a", 3.0)
+        # the pre-iteration units are visible in the total but belong to
+        # no iteration (hence no phase) — they are overhead, not a leak
+        assert meter.total_work == 10.0
+        assert meter.work_by_block == {"a": 3.0}
+        assert meter.work_in_iteration(0) == {"a": 3.0}
+
+    def test_phase_sum_plus_overhead_equals_total(self):
+        meter = WorkMeter()
+        meter.charge("early", 2.5)  # pre-iteration -> overhead
+        meter.charge_overhead(1.5)
+        for i in range(6):
+            meter.begin_iteration(i)
+            meter.charge("a", float(i))
+            meter.charge("b", 0.5)
+        by_phase = meter.work_by_phase((0, 2, 4))
+        assert sum(by_phase) + meter._overhead == pytest.approx(meter.total_work)
+        assert meter._overhead == 4.0
+
+    def test_empty_boundaries_rejected(self):
+        meter = WorkMeter()
+        meter.begin_iteration(0)
+        meter.charge("a", 1.0)
+        with pytest.raises(ValueError, match="at least one phase"):
+            meter.work_by_phase(())
+
+    def test_execution_record_empty_boundaries_rejected(self):
+        from repro.instrument.harness import ExecutionRecord
+
+        record = ExecutionRecord(
+            app_name="x", params={}, output=np.zeros(1), iterations=2,
+            total_work=2.0, work_by_block={"a": 2.0},
+            work_by_iteration=(1.0, 1.0), signature="a",
+        )
+        with pytest.raises(ValueError, match="at least one phase"):
+            record.work_by_phase(())
+
+    def test_load_iterations_matches_scalar_charging(self):
+        charges = np.array([[3.0, 0.0], [1.0, 2.0], [0.0, 5.0]])
+        scalar, bulk = WorkMeter(), WorkMeter()
+        for i, row in enumerate(charges):
+            scalar.begin_iteration(i)
+            scalar.charge("a", row[0])
+            scalar.charge("b", row[1])
+        bulk.load_iterations(("a", "b"), charges)
+        assert bulk.iterations == scalar.iterations
+        assert bulk.total_work == scalar.total_work
+        assert bulk.work_by_block == scalar.work_by_block
+        assert bulk.iteration_totals() == scalar.iteration_totals()
+        for i in range(3):
+            assert bulk.work_in_iteration(i) == scalar.work_in_iteration(i)
+        assert bulk.work_by_phase((0, 2)) == scalar.work_by_phase((0, 2))
+
+    def test_load_iterations_validation(self):
+        meter = WorkMeter()
+        with pytest.raises(ValueError, match="unique"):
+            meter.load_iterations(("a", "a"), np.zeros((2, 2)))
+        with pytest.raises(ValueError, match="shape"):
+            meter.load_iterations(("a", "b"), np.zeros((2, 3)))
+        with pytest.raises(ValueError, match="non-negative"):
+            meter.load_iterations(("a", "b"), np.array([[1.0, -1.0]]))
+
+    def test_load_then_scalar_charging_interleave(self):
+        meter = WorkMeter()
+        meter.load_iterations(("a",), np.array([[2.0], [3.0]]))
+        meter.begin_iteration(2)  # continues the sequence
+        meter.charge("a", 4.0)
+        assert meter.iterations == 3
+        assert meter.total_work == 9.0
+        assert meter.iteration_totals() == [2.0, 3.0, 4.0]
+
+
+class TestCallContextBulkRecording:
+    def test_record_iterations_matches_scalar_recording(self):
+        pattern = (("velocity", ""), ("fitness", "inner"))
+        scalar, bulk = CallContextLog(), CallContextLog()
+        for i in range(4):
+            for name, context in pattern:
+                scalar.record(i, name, context)
+        bulk.record_iterations(pattern, 4)
+        assert bulk.events == scalar.events
+        assert len(bulk) == len(scalar)
+        assert bulk.iteration_count() == scalar.iteration_count()
+        assert control_flow_signature(bulk) == control_flow_signature(scalar)
+        for i in range(4):
+            assert bulk.sequence_for_iteration(i) == scalar.sequence_for_iteration(i)
+
+    def test_constant_pattern_fast_path(self):
+        log = CallContextLog()
+        log.record_iterations((("a", ""), ("b", "ctx")), 3)
+        assert log.constant_pattern() == ((("a", ""), ("b", "ctx")), 3)
+        assert control_flow_signature(log) == "a>b@ctx"
+        # a second entry breaks the single-run shape
+        log.record(3, "a")
+        assert log.constant_pattern() is None
+
+    def test_record_iterations_validation(self):
+        log = CallContextLog()
+        with pytest.raises(ValueError, match="non-negative"):
+            log.record_iterations((("a", ""),), -1)
+        with pytest.raises(ValueError, match="non-empty"):
+            log.record_iterations((("", ""),), 2)
+        log.record_iterations((("a", ""),), 0)  # no-op, not an error
+        assert len(log) == 0 and log.events == ()
+
+
+class TestMeasurementStatsExactCache:
+    def test_record_merge_and_report(self):
+        from repro.instrument.stats import MeasurementStats
+
+        stats = MeasurementStats()
+        stats.record_exact_cache(hits=3, misses=2, evictions=1)
+        other = MeasurementStats()
+        other.record_exact_cache(hits=1)
+        stats.merge(other)
+        report = stats.report()
+        assert report["exact_cache_hits"] == 4
+        assert report["exact_cache_misses"] == 2
+        assert report["exact_cache_evictions"] == 1
+        assert "exact cache" in stats.format_report()
+        assert "exact cache" not in MeasurementStats().format_report()

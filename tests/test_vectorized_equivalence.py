@@ -1,0 +1,148 @@
+"""Property tests: the vectorized batch path is bit-identical to scalar.
+
+The batch kernels (``Application._execute_batch``) are only allowed to
+exist because they change nothing: for random schedules and inputs,
+every field of every :class:`ExecutionRecord` — output vector,
+iteration count, total work, per-block and per-iteration work, control
+flow signature — must equal the scalar path's exactly (``==``, not
+approx), and the scored QoS/speedup must follow.  These tests are the
+contract that lets ``measure_batch(strategy="vectorized")`` replace
+process fan-out without a tolerance anywhere.
+"""
+
+import numpy as np
+import pytest
+
+from repro.approx.schedule import ApproxSchedule
+from repro.apps import make_app
+from repro.instrument.harness import Profiler
+from repro.instrument.parallel import measure_batch
+
+VECTORIZED_APPS = ("pso", "comd")
+
+#: small inputs keep the scalar baseline affordable in the tier-1 suite
+SMALL_PARAMS = {
+    "pso": {"swarm_size": 16.0, "dimension": 4.0},
+    "comd": {"unit_cells": 3.0, "lattice_parameter": 1.26, "timesteps": 120.0},
+}
+
+
+def random_schedules(app, params, n_schedules, n_phases, seed):
+    plan = app.make_plan(params, n_phases)
+    rng = np.random.default_rng(seed)
+    schedules = []
+    for _ in range(n_schedules):
+        settings = [
+            {
+                block.name: int(rng.integers(0, block.max_level + 1))
+                for block in app.blocks
+            }
+            for _ in range(plan.n_phases)
+        ]
+        schedules.append(ApproxSchedule(app.blocks, plan, settings))
+    return schedules
+
+
+def assert_records_identical(scalar, vectorized):
+    assert vectorized.iterations == scalar.iterations
+    assert vectorized.total_work == scalar.total_work
+    assert vectorized.work_by_block == scalar.work_by_block
+    assert vectorized.work_by_iteration == scalar.work_by_iteration
+    assert vectorized.signature == scalar.signature
+    assert vectorized.output.shape == scalar.output.shape
+    assert np.array_equal(vectorized.output, scalar.output)
+
+
+@pytest.mark.parametrize("app_name", VECTORIZED_APPS)
+@pytest.mark.parametrize("n_phases,seed", [(1, 0), (2, 1), (3, 2)])
+def test_run_batch_bit_identical_to_scalar(app_name, n_phases, seed):
+    app = make_app(app_name)
+    assert app.supports_vectorized
+    params = dict(SMALL_PARAMS[app_name])
+    schedules = random_schedules(app, params, 6, n_phases, seed)
+    scalar_records = [app.run(params, schedule) for schedule in schedules]
+    batch_records = make_app(app_name).run_batch(params, schedules)
+    for scalar, vectorized in zip(scalar_records, batch_records):
+        assert_records_identical(scalar, vectorized)
+
+
+@pytest.mark.parametrize("app_name", VECTORIZED_APPS)
+def test_run_batch_handles_exact_and_duplicate_lanes(app_name):
+    app = make_app(app_name)
+    params = dict(SMALL_PARAMS[app_name])
+    schedules = random_schedules(app, params, 2, 2, 3)
+    exact = ApproxSchedule.exact(app.blocks, app.make_plan(params, 1))
+    mixed = [schedules[0], None, schedules[1], exact, schedules[0]]
+    records = app.run_batch(params, mixed)
+    golden = app.run(params, None)
+    assert_records_identical(golden, records[1])
+    assert_records_identical(golden, records[3])
+    assert_records_identical(app.run(params, schedules[0]), records[0])
+    # duplicate lanes are separate records but identical values
+    assert_records_identical(records[0], records[4])
+
+
+@pytest.mark.parametrize("app_name", VECTORIZED_APPS)
+def test_measure_many_scores_identically(app_name):
+    params = dict(SMALL_PARAMS[app_name])
+    serial = Profiler(make_app(app_name))
+    batched = Profiler(make_app(app_name))
+    schedules = random_schedules(serial.app, params, 5, 2, 4)
+    serial_runs = [serial.measure(params, schedule) for schedule in schedules]
+    batched_runs = batched.measure_many(params, schedules)
+    for a, b in zip(serial_runs, batched_runs):
+        assert b.speedup == a.speedup
+        assert b.qos_value == a.qos_value
+        assert b.degradation == a.degradation
+        assert_records_identical(a.record, b.record)
+    assert serial.executions == batched.executions
+    # second call is answered entirely from cache
+    executions = batched.executions
+    again = batched.measure_many(params, schedules)
+    assert batched.executions == executions
+    assert [run.speedup for run in again] == [run.speedup for run in batched_runs]
+
+
+@pytest.mark.parametrize("app_name", VECTORIZED_APPS)
+def test_measure_batch_strategy_equivalence(app_name):
+    params = dict(SMALL_PARAMS[app_name])
+    process_profiler = Profiler(make_app(app_name))
+    vector_profiler = Profiler(make_app(app_name))
+    schedules = random_schedules(process_profiler.app, params, 5, 2, 5)
+    jobs = [(params, s) for s in schedules] + [(params, None), (params, schedules[2])]
+    process_runs = measure_batch(process_profiler, jobs)
+    vector_runs = measure_batch(vector_profiler, jobs, strategy="vectorized")
+    assert len(process_runs) == len(vector_runs) == len(jobs)
+    for a, b in zip(process_runs, vector_runs):
+        assert b.speedup == a.speedup
+        assert b.qos_value == a.qos_value
+        assert b.degradation == a.degradation
+        assert b.record.total_work == a.record.total_work
+        assert b.record.work_by_iteration == a.record.work_by_iteration
+        assert b.record.signature == a.record.signature
+    assert process_profiler.executions == vector_profiler.executions
+
+
+def test_measure_batch_rejects_unknown_strategy():
+    profiler = Profiler(make_app("pso"))
+    with pytest.raises(ValueError, match="strategy"):
+        measure_batch(profiler, [], strategy="quantum")
+
+
+def test_run_batch_scalar_fallback_app():
+    """Substrates without a vectorized kernel fall back to a run loop."""
+    app = make_app("bodytrack")
+    assert not app.supports_vectorized
+    params = app.default_params()
+    params["frames"] = 4.0
+    schedules = random_schedules(app, params, 3, 2, 6)
+    records = app.run_batch(params, schedules + [None])
+    for schedule, record in zip(schedules, records):
+        assert_records_identical(app.run(params, schedule), record)
+    assert_records_identical(app.run(params, None), records[-1])
+
+
+def test_execute_batch_stub_raises():
+    app = make_app("lulesh")
+    with pytest.raises(NotImplementedError):
+        app._execute_batch(app.default_params(), [], [], [])

@@ -1,6 +1,6 @@
 # Convenience targets for the OPPROX reproduction.
 
-.PHONY: install test verify serve-smoke train-resume-smoke chaos-smoke bench bench-measure bench-diff figures examples clean
+.PHONY: install test verify serve-smoke train-resume-smoke chaos-smoke guard-smoke bench bench-measure bench-diff figures examples clean
 
 install:
 	pip install -e .
@@ -25,6 +25,7 @@ verify:
 	$(MAKE) serve-smoke
 	$(MAKE) train-resume-smoke
 	$(MAKE) chaos-smoke
+	$(MAKE) guard-smoke
 	$(MAKE) bench-diff
 
 # Serving-path smoke: train a small model, start the engine in-process,
@@ -56,6 +57,17 @@ chaos-smoke:
 	rm -rf .chaos-smoke
 	python scripts/chaos_smoke.py .chaos-smoke
 	rm -rf .chaos-smoke
+
+# QoS-guard smoke: replay the seeded input-drift scenario three ways —
+# ungated (must violate the budget), guarded (must detect, fall back,
+# recover QoS, and emit a retrain event), and guarded under a seeded
+# fault plan hitting the guard's own fault points (serve.guard.sample /
+# escalate / event) — and fail unless every injected failure is
+# absorbed, QoS is restored, and no temp-file litter remains.
+guard-smoke:
+	rm -rf .guard-smoke
+	python scripts/guard_smoke.py .guard-smoke
+	rm -rf .guard-smoke
 
 bench:
 	pytest benchmarks/ --benchmark-only -q
@@ -90,6 +102,6 @@ examples:
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks
 	rm -rf .verify-cache .serve-smoke-models .train-resume-smoke
-	rm -rf .chaos-smoke .chaos
+	rm -rf .chaos-smoke .chaos .guard-smoke .guard
 	rm -f .bench-head.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

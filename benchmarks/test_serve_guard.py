@@ -1,0 +1,122 @@
+"""QoS-guard drift benchmark — emits BENCH_serve_guard.json.
+
+The serve-time counterpart of the paper's offline QoS guarantees: a
+seeded input-drift scenario (the request distribution shifts below the
+training grid mid-run) replayed through the serving engine four times:
+
+1. **ungated** — guard disabled; the trained model keeps serving its
+   optimistic schedules, so every post-drift request violates the error
+   budget.  This is the baseline the guard must beat.
+2. **guarded** — the closed-loop guard samples canary replays, detects
+   the drift, walks ``healthy -> tightened -> fallback -> stale``, and
+   restores realized QoS via per-phase fallback: zero violations while
+   serving fallback and zero in the last quarter of the run.
+3. **guarded (repeat)** — the same seed again; the per-request digest
+   must be bit-identical (sampling cadence, estimator updates, and
+   stage transitions are all deterministic).
+4. **retrain** — the emitted retrain event is consumed, the model is
+   retrained on the drifted distribution, hot-reloaded, and the guard
+   resets; the settle traffic serves within budget with speedup > 1.
+"""
+
+import json
+from pathlib import Path
+
+from repro.serve import run_drift_scenario
+
+from benchmarks.conftest import run_once
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve_guard.json"
+
+
+def guard_drift_experiment(root: Path) -> dict:
+    ungated = run_drift_scenario(root, guard=False)
+    guarded = run_drift_scenario(root, guard=True)
+    repeat = run_drift_scenario(root, guard=True)
+    retrained = run_drift_scenario(root, guard=True, retrain=True)
+
+    report = {
+        "app": guarded["scenario"]["app"],
+        "budget": guarded["scenario"]["budget"],
+        "n_requests": guarded["load"]["n_requests"],
+        "drift_at": guarded["scenario"]["drift_at"],
+        "seed": guarded["scenario"]["seed"],
+        "metrics": {
+            "ungated_post_violations": ungated["violations"]["post"],
+            "ungated_last_quarter_violations": ungated["violations"]["last_quarter"],
+            "guarded_post_violations": guarded["violations"]["post"],
+            "guarded_last_quarter_violations": guarded["violations"]["last_quarter"],
+            "guarded_fallback_violations": guarded["violations"]["in_fallback"],
+            "guard_samples": guarded["stats"]["guard_samples"],
+            "guard_fallback_responses": guarded["stats"]["guard_fallbacks"],
+            "pre_drift_speedup": guarded["speedup"]["pre_mean"],
+            "post_drift_speedup": guarded["speedup"]["post_mean"],
+            "retrain_violations": retrained["retrain"]["violations"],
+            "retrain_speedup": retrained["retrain"]["speedup_mean"],
+        },
+        "digests": {
+            "ungated": ungated["digest"],
+            "guarded": guarded["digest"],
+            "guarded_repeat": repeat["digest"],
+        },
+        "bit_identical": guarded["digest"] == repeat["digest"],
+        "guard_transitions": guarded["guard_report"]["apps"]["pso"]["transitions"],
+        "stale": guarded["stale"],
+        "retrain_leg": {
+            "event_consumed": retrained["retrain"]["event_consumed"],
+            "guard_stage": retrained["retrain"]["guard_stage"],
+            "guard_resets": retrained["retrain"]["guard_resets"],
+            "stale_after": retrained["retrain"]["stale"],
+        },
+    }
+    BENCH_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
+def test_serve_guard_drift(benchmark, tmp_path):
+    report = run_once(benchmark, guard_drift_experiment, tmp_path / "store")
+    m = report["metrics"]
+
+    print(f"ungated:  {m['ungated_post_violations']} post-drift violations "
+          f"({m['ungated_last_quarter_violations']} in the last quarter)")
+    print(f"guarded:  {m['guarded_post_violations']} during detection, "
+          f"{m['guarded_fallback_violations']} under fallback, "
+          f"{m['guarded_last_quarter_violations']} in the last quarter")
+    print(f"guard:    {m['guard_samples']} samples, "
+          f"{m['guard_fallback_responses']} fallback responses, "
+          f"transitions {' -> '.join(['healthy'] + report['guard_transitions'])}")
+    print(f"speedup:  pre {m['pre_drift_speedup']:.2f}x, "
+          f"post {m['post_drift_speedup']:.2f}x")
+    print(f"digest:   {report['digests']['guarded']} "
+          f"(repeat {'identical' if report['bit_identical'] else 'DIVERGED'})")
+    print(f"retrain:  {m['retrain_violations']} violations, "
+          f"{m['retrain_speedup']:.2f}x, "
+          f"stage {report['retrain_leg']['guard_stage']}")
+    print(f"report: {BENCH_PATH}")
+
+    # Guard-disabled, the drifted distribution demonstrably violates
+    # the budget — and keeps violating it forever.
+    assert m["ungated_post_violations"] > 0
+    assert m["ungated_last_quarter_violations"] > 0
+    # Guarded, realized QoS is restored: no violations once fallback is
+    # in force and none in the last quarter.
+    assert m["guarded_fallback_violations"] == 0
+    assert m["guarded_last_quarter_violations"] == 0
+    assert m["guarded_post_violations"] < m["ungated_post_violations"]
+    # The escalation went all the way and emitted a retrain event.
+    assert report["guard_transitions"][:3] == ["tightened", "fallback", "stale"]
+    assert "pso" in report["stale"]
+    # The whole closed loop is bit-reproducible by seed.
+    assert report["bit_identical"]
+    assert report["digests"]["guarded"] != report["digests"]["ungated"]
+    # Retrain leg: event consumed, model hot-reloaded, guard reset,
+    # drifted traffic served within budget at a real speedup.
+    assert report["retrain_leg"]["event_consumed"]
+    assert report["retrain_leg"]["guard_resets"] >= 1
+    assert report["retrain_leg"]["guard_stage"] == "healthy"
+    assert not report["retrain_leg"]["stale_after"]
+    assert m["retrain_violations"] == 0
+    assert m["retrain_speedup"] > 1.0
+
+    persisted = json.loads(BENCH_PATH.read_text())
+    assert persisted["metrics"]["guarded_last_quarter_violations"] == 0

@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Seeded QoS-guard smoke gate for the serving subsystem.
+
+Three legs over the deterministic PSO drift scenario (the request
+distribution shifts below the training grid mid-run):
+
+1. **ungated** — guard disabled: the post-drift traffic must
+   demonstrably violate the error budget (this is the failure mode the
+   guard exists to stop; if it disappears, the scenario has rotted).
+2. **guarded** — the closed-loop guard must detect the drift, walk
+   ``healthy -> tightened -> fallback -> stale``, serve zero violations
+   under fallback and zero in the last quarter, and emit a durable
+   retrain event.
+3. **chaos** — the same guarded leg under a seeded ``FaultPlan``
+   covering the guard's own fault points (``serve.guard.sample``,
+   ``serve.guard.escalate``, ``serve.guard.event`` — transient
+   ``OSError`` plus a hang; ``crash`` would ``os._exit`` the smoke
+   itself).  The guard must absorb every injected failure (accounted as
+   sample errors, never surfaced to a client) and still recover QoS.
+
+The workdir must end with zero temp-file litter.  Exit status 0 on
+success; nonzero with a diagnostic otherwise.
+
+Usage::
+
+    python scripts/guard_smoke.py [workdir] [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.faults import FaultPlan, FaultSpec, injected_faults  # noqa: E402
+from repro.serve import run_drift_scenario  # noqa: E402
+
+DEFAULT_SEED = 0
+
+
+def fail(message: str) -> None:
+    print(f"guard smoke FAILED: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_recovered(report: dict, leg: str) -> None:
+    violations = report["violations"]
+    if violations["in_fallback"]:
+        fail(f"{leg}: {violations['in_fallback']} violation(s) served "
+             f"under fallback — the fallback schedule is not safe")
+    if violations["last_quarter"]:
+        fail(f"{leg}: {violations['last_quarter']} violation(s) in the "
+             f"last quarter — the guard did not restore QoS")
+    transitions = report["guard_report"]["apps"]["pso"]["transitions"]
+    if transitions[:3] != ["tightened", "fallback", "stale"]:
+        fail(f"{leg}: unexpected escalation path {transitions}")
+    if "pso" not in report["stale"]:
+        fail(f"{leg}: the model was never marked stale")
+
+
+def main() -> None:
+    workdir = Path(sys.argv[1] if len(sys.argv) > 1 else ".guard-smoke").resolve()
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else DEFAULT_SEED
+    store = workdir / "store"
+    print(f"guard smoke: workdir {workdir}, seed {seed}")
+
+    # Leg 1: without the guard the drifted traffic must violate.
+    ungated = run_drift_scenario(store, seed=seed, guard=False)
+    post = ungated["violations"]["post"]
+    print(f"ungated: {post} post-drift violation(s), "
+          f"digest {ungated['digest'][:16]}")
+    if not post or not ungated["violations"]["last_quarter"]:
+        fail("the ungated scenario no longer violates the budget — "
+             "the drift scenario lost its teeth")
+
+    # Leg 2: the guard must detect, fall back, recover, and mark stale.
+    guarded = run_drift_scenario(store, seed=seed, guard=True)
+    print(f"guarded: {guarded['violations']['post']} violation(s) during "
+          f"detection, {guarded['stats']['guard_samples']} sample(s), "
+          f"digest {guarded['digest'][:16]}")
+    check_recovered(guarded, "guarded")
+    if not guarded["pending_retrains"]:
+        fail("guarded: no retrain event was written")
+    if guarded["violations"]["post"] >= post:
+        fail("guarded: the guard prevented no violations at all")
+
+    # Leg 3: the guard's own failure paths, injected.  The os_error and
+    # hang kinds exercise absorption; crash is excluded by design (it
+    # would _exit this process — chaos_smoke covers crash kinds in the
+    # measurement/serving paths).
+    plan = FaultPlan(
+        [
+            FaultSpec(site="serve.guard.sample", kind="os_error", times=2),
+            FaultSpec(site="serve.guard.sample", kind="hang", times=1,
+                      after=3, delay_seconds=0.05),
+            FaultSpec(site="serve.guard.escalate", kind="os_error", times=1),
+            FaultSpec(site="serve.guard.event", kind="os_error", times=1),
+        ],
+        scratch_dir=workdir / "fault-scratch",
+        seed=seed,
+    )
+    with injected_faults(plan):
+        import warnings
+
+        with warnings.catch_warnings():
+            # the injected event-write failure warns by contract
+            warnings.simplefilter("ignore", RuntimeWarning)
+            chaos = run_drift_scenario(store, seed=seed, guard=True)
+    counts = {site: n for (site, _), n in plan.fired_counts().items()}
+    print(f"chaos:   {chaos['stats']['guard_sample_errors']} absorbed "
+          f"error(s), fired {counts}")
+    for site in ("serve.guard.sample", "serve.guard.escalate",
+                 "serve.guard.event"):
+        if not counts.get(site):
+            fail(f"chaos: fault at {site} never fired")
+    if not chaos["stats"]["guard_sample_errors"]:
+        fail("chaos: injected guard failures were not accounted")
+    if chaos["load"]["errors"]:
+        fail(f"chaos: {len(chaos['load']['errors'])} request(s) errored — "
+             f"an injected guard failure escaped to a client")
+    check_recovered(chaos, "chaos")
+
+    litter = [p for p in workdir.rglob("*.tmp*") if p.is_file()]
+    if litter:
+        fail(f"temp-file litter left behind: {[str(p) for p in litter]}")
+
+    print(f"guard smoke ok (seed {seed})")
+
+
+if __name__ == "__main__":
+    main()

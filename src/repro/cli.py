@@ -19,6 +19,7 @@ Subcommands::
     python -m repro cache-stats --cache .opprox-cache
     python -m repro serve       --store models/ --requests 50 --clients 4
     python -m repro serve-bench --store models/ --output BENCH_serve.json
+    python -m repro guard-report --workdir .guard --retrain
     python -m repro chaos       --workdir .chaos --seed 7
     python -m repro bench-measure --output BENCH_measure.json
     python -m repro bench-diff  BENCH_old.json BENCH_measure.json
@@ -33,7 +34,14 @@ point is a statistically significant regression (see
 
 ``serve`` and ``serve-bench`` drive the :mod:`repro.serve` subsystem: a
 hot-reloading model registry plus a concurrent request engine with an
-LRU schedule cache, fed by a deterministic skewed request mix.
+LRU schedule cache, fed by a deterministic skewed request mix.  With
+``--guard`` the engine runs the closed-loop QoS guard
+(:mod:`repro.serve.guard`): sampled canary replays, per-phase drift
+estimators, and the ``healthy -> tightened -> fallback -> stale``
+escalation ladder.  ``guard-report`` replays a seeded input-drift
+scenario end to end — detection, fallback, retrain event — and exits 7
+if the guard fails to restore QoS; ``train`` consumes a pending
+``<app>.retrain.json`` event after a successful save, closing the loop.
 
 ``train`` runs through the checkpointed :mod:`repro.pipeline`
 orchestrator by default: every stage (and every per-input sample batch)
@@ -237,6 +245,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bounded LRU schedule-cache capacity")
         p.add_argument("--seed", type=int, default=0,
                        help="request-mix seed (the mix is deterministic)")
+        p.add_argument("--guard", action="store_true",
+                       help="enable the closed-loop QoS guard (canary "
+                            "sampling, drift detection, per-phase fallback)")
+        p.add_argument("--guard-sample-interval", type=int, default=4,
+                       metavar="N", help="sample every Nth request per app "
+                                         "when the guard is enabled")
 
     serve = sub.add_parser(
         "serve",
@@ -254,6 +268,35 @@ def build_parser() -> argparse.ArgumentParser:
     add_serve_args(serve_bench)
     serve_bench.add_argument("--output", default="BENCH_serve.json",
                              metavar="FILE", help="write the JSON report here")
+
+    guard_report = sub.add_parser(
+        "guard-report",
+        help="seeded drift scenario: serve under input drift, report the "
+             "QoS guard's detection, fallback, and recovery",
+    )
+    guard_report.add_argument("--workdir", default=".guard", metavar="DIR",
+                              help="working directory (model store is "
+                                   "created here if absent)")
+    guard_report.add_argument("--app", default="pso",
+                              choices=("pso",),
+                              help="drift scenario to run")
+    guard_report.add_argument("--requests", type=int, default=120,
+                              help="requests in the drift mix")
+    guard_report.add_argument("--drift-at", type=float, default=0.5,
+                              help="fraction of the mix after which the "
+                                   "input distribution shifts")
+    guard_report.add_argument("--seed", type=int, default=0,
+                              help="mix seed (the scenario is deterministic)")
+    guard_report.add_argument("--no-guard", action="store_true",
+                              help="run the same scenario with the guard "
+                                   "disabled (shows the violations it "
+                                   "would have prevented)")
+    guard_report.add_argument("--retrain", action="store_true",
+                              help="after the drift leg, consume the "
+                                   "retrain event, retrain on the drifted "
+                                   "distribution, and verify recovery")
+    guard_report.add_argument("--output", default=None, metavar="FILE",
+                              help="also write the full JSON report here")
 
     chaos = sub.add_parser(
         "chaos",
@@ -379,6 +422,14 @@ def _cmd_train(args) -> int:
         print(f"pipeline dir: {pipeline_dir} (trace: {result.trace_path})")
     store = ModelStore(Path(args.store))
     path = store.save(opprox, train_timestamp=time.time())
+    # A successful retrain satisfies any pending guard-emitted retrain
+    # event for this app; consume it so it is not re-processed.
+    from repro.serve import ModelRegistry
+
+    event = ModelRegistry(store).consume_retrain_event(app.name)
+    if event is not None:
+        print(f"consumed retrain event for {app.name}: "
+              f"{event.get('reason', 'unknown reason')}")
     print(f"trained {app.name}: {report.n_samples} samples, "
           f"{report.n_phases} phases, {report.n_control_flows} control flow(s), "
           f"{report.training_seconds:.1f}s")
@@ -499,7 +550,9 @@ def _parse_budgets(raw: str) -> List[float]:
 
 def _serve_setup(args):
     """Shared serve/serve-bench wiring: registry, engine, request mix."""
-    from repro.serve import ModelRegistry, ServeEngine, build_request_mix
+    from repro.serve import (
+        GuardConfig, ModelRegistry, QosGuard, ServeEngine, build_request_mix,
+    )
 
     registry = ModelRegistry(ModelStore(Path(args.store)))
     available = registry.available()
@@ -509,7 +562,12 @@ def _serve_setup(args):
             f"model store {args.store!r} holds no trained models; "
             f"run `repro train` first"
         )
-    engine = ServeEngine(registry, cache_size=args.cache_size)
+    guard = None
+    if args.guard:
+        guard = QosGuard(
+            GuardConfig(sample_interval=args.guard_sample_interval)
+        )
+    engine = ServeEngine(registry, cache_size=args.cache_size, guard=guard)
     mix = build_request_mix(
         app_names, _parse_budgets(args.budgets), args.requests, seed=args.seed
     )
@@ -540,6 +598,12 @@ def _cmd_serve(args) -> int:
     report = run_load(engine, mix, clients=args.clients)
     print(format_load_report(report, "serve — load report"))
     print(engine.stats.format_report("serve — engine stats"))
+    if engine.guard is not None:
+        print(engine.guard.format_report("serve — qos guard"))
+        stale = registry.stale_info()
+        if stale:
+            for app_name, info in stale.items():
+                print(f"STALE {app_name}: {info['reason']}")
     if args.smoke:
         healthy = (
             not report["errors"]
@@ -588,6 +652,38 @@ def _cmd_serve_bench(args) -> int:
           f"warm p50 {warm_p50 * 1e6:.1f} us "
           f"({report['warm_speedup_vs_cold']:.0f}x)")
     print(f"report written to {output}")
+    return 0
+
+
+def _cmd_guard_report(args) -> int:
+    import json
+
+    from repro.serve import format_drift_report, run_drift_scenario
+
+    report = run_drift_scenario(
+        Path(args.workdir),
+        app_name=args.app,
+        n_requests=args.requests,
+        drift_at=args.drift_at,
+        seed=args.seed,
+        guard=not args.no_guard,
+        retrain=args.retrain,
+    )
+    print(format_drift_report(report, f"guard-report — {args.app}"))
+    if args.output:
+        output = Path(args.output)
+        output.write_text(json.dumps(report, indent=2, sort_keys=True,
+                                     default=str) + "\n")
+        print(f"report written to {output}")
+    if args.no_guard:
+        # The ungated leg is expected to violate — that is the point of
+        # running it.  Exit 0 so operators can diff both legs in scripts.
+        return 0
+    post = report["violations"]["last_quarter"]
+    if post:
+        print(f"guard-report FAILED: {post} budget violation(s) in the "
+              f"last quarter of the run — the guard did not restore QoS")
+        return 7
     return 0
 
 
@@ -722,6 +818,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "cache-stats": lambda: _cmd_cache_stats(args),
         "serve": lambda: _cmd_serve(args),
         "serve-bench": lambda: _cmd_serve_bench(args),
+        "guard-report": lambda: _cmd_guard_report(args),
         "chaos": lambda: _cmd_chaos(args),
         "bench-measure": lambda: _cmd_bench_measure(args),
         "bench-diff": lambda: _cmd_bench_diff(args),

@@ -16,7 +16,7 @@ profiling cost.  :func:`train_with_canaries` implements that extension:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -24,8 +24,17 @@ from repro.apps.base import Application, ParamsDict
 from repro.approx.schedule import ApproxSchedule
 from repro.core.opprox import Opprox
 from repro.core.spec import AccuracySpec, unique_params
+from repro.instrument.harness import Profiler
 
-__all__ = ["CanaryReport", "canary_params", "train_with_canaries"]
+__all__ = [
+    "CanaryReport",
+    "QosDelta",
+    "canary_params",
+    "measure_qos_delta",
+    "replay_params_for",
+    "replay_schedule",
+    "train_with_canaries",
+]
 
 
 def canary_params(app: Application, params: ParamsDict) -> ParamsDict:
@@ -34,18 +43,159 @@ def canary_params(app: Application, params: ParamsDict) -> ParamsDict:
     "Cheapest" is the smallest representative value — for every
     parameter in our benchmarks larger values mean more work (mesh
     zones, atoms, frames, particles, timesteps), so the minimum is the
-    canary.  Categorical parameters (all representative values equal in
-    cost, e.g. FFmpeg's ``filter_order``) are left untouched when they
-    have exactly two values spanning 0/1 — shrinking those would change
-    the control flow rather than the scale.
+    canary.  Inputs already *below* a representative minimum (possible
+    at serve time, where production inputs drift off the training grid)
+    keep their own value: a canary must never be more expensive than
+    the input it stands in for.  Categorical parameters (all
+    representative values equal in cost, e.g. FFmpeg's
+    ``filter_order``) are left untouched when they have exactly two
+    values spanning 0/1 — shrinking those would change the control flow
+    rather than the scale.
     """
     canary = dict(params)
     for parameter in app.parameters:
         values = sorted(parameter.values)
         is_binary_switch = len(values) == 2 and values == [0.0, 1.0]
         if not is_binary_switch:
-            canary[parameter.name] = values[0]
+            canary[parameter.name] = min(float(params[parameter.name]), values[0])
     return canary
+
+
+def replay_params_for(
+    app: Application, params: ParamsDict, cost_cap: float = 2.0
+) -> Tuple[ParamsDict, str]:
+    """Pick the parameters at which to *replay* a served request.
+
+    Returns ``(replay_params, scale)`` with ``scale`` one of ``"full"``
+    or ``"canary"``.  The online guard wants ground truth about the
+    request it actually served, but replaying every sampled request at
+    full scale is unaffordable for big inputs — that is what canaries
+    are for.  The catch: mapping a drifted input onto the canary grid
+    erases exactly the distribution shift the guard exists to detect
+    (a request at ``dimension=5`` replayed at the representative
+    minimum ``dimension=4`` measures the wrong program).  So the choice
+    is cost-driven: when the request's estimated work is within
+    ``cost_cap`` times its canary's (the product of per-knob value
+    ratios — all our scale knobs grow work monotonically), replay the
+    request verbatim; only genuinely large inputs fall back to the
+    canary twin.  Drifted inputs are typically *small* (that is why the
+    trained model misjudges them), so they replay at full fidelity.
+    """
+    if cost_cap <= 0:
+        raise ValueError(f"cost_cap must be positive, got {cost_cap}")
+    canary = canary_params(app, params)
+    ratio = 1.0
+    for name, value in params.items():
+        base = float(canary[name])
+        if base > 0:
+            ratio *= float(value) / base
+    if ratio <= cost_cap:
+        return dict(params), "full"
+    return canary, "canary"
+
+
+def replay_schedule(
+    app: Application, schedule: ApproxSchedule, params: ParamsDict
+) -> ApproxSchedule:
+    """Re-anchor a schedule's per-phase levels onto a plan for ``params``.
+
+    Phase boundaries are laid out against the *replay* input's nominal
+    iteration count, so the canary run spends the same fraction of its
+    outer loop in each phase as the full-scale run would.
+    """
+    plan = app.make_plan(params, schedule.plan.n_phases)
+    settings = [
+        schedule.phase_levels(phase) for phase in range(schedule.plan.n_phases)
+    ]
+    return ApproxSchedule(app.blocks, plan, settings)
+
+
+@dataclass(frozen=True)
+class QosDelta:
+    """Realized-vs-predicted QoS for one replayed serving decision.
+
+    ``delta`` is ``realized_degradation - predicted_degradation`` in
+    common lower-is-better degradation space: positive means the model
+    was optimistic (the approximation hurt more than promised) — the
+    quantity the serve-time drift estimators track.
+    """
+
+    app_name: str
+    params: Dict[str, float]
+    replay_params: Dict[str, float]
+    #: "full" (request replayed verbatim) or "canary" (scaled-down twin)
+    scale: str
+    predicted_degradation: float
+    realized_degradation: float
+    delta: float
+    realized_speedup: float
+    #: per-phase realized-minus-predicted deltas (single-phase replays),
+    #: only for phases with a prediction and a non-exact configuration
+    phase_deltas: Dict[int, float]
+    #: application executions this measurement actually cost (cache
+    #: hits in the profiler are free)
+    executions: int
+
+
+def measure_qos_delta(
+    app: Application,
+    profiler: Profiler,
+    params: ParamsDict,
+    schedule: ApproxSchedule,
+    predicted_degradation: float,
+    phase_predictions: Optional[Mapping[int, float]] = None,
+    cost_cap: float = 2.0,
+) -> QosDelta:
+    """Measure how one optimization decision *actually* behaves.
+
+    Replays ``schedule`` for ``params`` at the cheapest faithful scale
+    (see :func:`replay_params_for`) and scores realized degradation
+    against the model's prediction.  When ``phase_predictions`` maps
+    phase indices to their predicted degradations, each such phase is
+    additionally replayed in isolation (the schedule restricted to that
+    phase) so drift can be attributed to specific phases — the handle
+    the serve guard's per-phase fallback needs.
+
+    This is the standalone, online-usable core of what
+    :func:`train_with_canaries` does offline: measure, predict, diff.
+    The profiler memoizes (params, schedule) pairs, so repeated samples
+    of a hot request cost nothing after the first.
+    """
+    replay, scale = replay_params_for(app, params, cost_cap=cost_cap)
+    n_phases = schedule.plan.n_phases
+    if app.nominal_iterations(replay) < n_phases:
+        # The canary is too small to host the phase layout; the request
+        # itself must be able to (it was served this schedule).
+        replay, scale = dict(params), "full"
+    executions_before = profiler.executions
+    run = profiler.measure(replay, replay_schedule(app, schedule, replay))
+    delta = run.degradation - float(predicted_degradation)
+
+    phase_deltas: Dict[int, float] = {}
+    if phase_predictions:
+        plan = app.make_plan(replay, n_phases)
+        for phase, predicted in sorted(phase_predictions.items()):
+            levels = schedule.phase_levels(phase)
+            if not any(levels.values()):
+                continue
+            phase_run = profiler.measure(
+                replay,
+                ApproxSchedule.single_phase(app.blocks, plan, phase, levels),
+            )
+            phase_deltas[int(phase)] = phase_run.degradation - float(predicted)
+
+    return QosDelta(
+        app_name=app.name,
+        params=dict(params),
+        replay_params=replay,
+        scale=scale,
+        predicted_degradation=float(predicted_degradation),
+        realized_degradation=run.degradation,
+        delta=delta,
+        realized_speedup=run.speedup,
+        phase_deltas=phase_deltas,
+        executions=profiler.executions - executions_before,
+    )
 
 
 @dataclass(frozen=True)

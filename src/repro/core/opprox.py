@@ -262,17 +262,42 @@ class Opprox:
     # -- optimization -----------------------------------------------------------------
 
     def optimize(
-        self, params: ParamsDict, error_budget: Optional[float] = None
+        self,
+        params: ParamsDict,
+        error_budget: Optional[float] = None,
+        budget_scale: float = 1.0,
+        phase_weight_scale: Optional[Dict[int, float]] = None,
     ) -> OptimizationResult:
-        """Find phase-specific AL settings for a production input + budget."""
+        """Find phase-specific AL settings for a production input + budget.
+
+        ``budget_scale`` multiplies the budget *in degradation space*
+        (scaling the raw budget would misbehave for higher-is-better
+        metrics like PSNR), and ``phase_weight_scale`` multiplies
+        individual phases' allocation weights.  Both default to
+        no-ops; the serve-time QoS guard uses them to tighten the
+        effective budget for phases whose predictions have drifted,
+        reusing the normal allocation path rather than bolting on a
+        second budget mechanism.
+        """
+        if budget_scale < 0.0:
+            raise ValueError(f"budget_scale must be >= 0, got {budget_scale}")
         params = self.app.validate_params(dict(params))
         budget_raw = self.spec.error_budget if error_budget is None else error_budget
-        budget_deg = budget_to_degradation(self.app.metric, budget_raw)
+        budget_deg = budget_to_degradation(self.app.metric, budget_raw) * budget_scale
         started = time.perf_counter()
 
         signature = self._predict_flow(params)
         models = self._models_by_flow[signature]
         weights = policy_weights(self.budget_policy, self._rois_by_flow[signature])
+        if phase_weight_scale:
+            for phase, scale in phase_weight_scale.items():
+                if scale < 0.0:
+                    raise ValueError(
+                        f"phase_weight_scale[{phase}] must be >= 0, got {scale}"
+                    )
+                if phase in weights:
+                    # keep a crumb of weight so the ROI ordering stays total
+                    weights[phase] = max(weights[phase] * scale, 1e-12)
         optimizer = PhaseOptimizer(self.app, models, conservative=self.conservative)
         entries = optimizer.optimize(
             params, budget_deg * self.interaction_margin, weights

@@ -4,32 +4,56 @@ Turns the offline-trained artifacts of the paper's Sec. 4.2 runtime
 into a long-lived concurrent service:
 
 - :class:`~repro.serve.registry.ModelRegistry` — versioned,
-  header-validated model registry with staleness detection and hot
-  reload over :class:`repro.core.runtime.ModelStore`.
+  header-validated model registry with staleness detection, hot
+  reload, and retrain events over :class:`repro.core.runtime.ModelStore`.
 - :class:`~repro.serve.engine.ServeEngine` — thread-safe request engine
   with a bounded LRU schedule cache, in-flight request coalescing, and
   graceful degradation to the accurate schedule.
-- :mod:`~repro.serve.loadgen` — deterministic skewed load generator for
-  the ``serve-bench`` CLI and the load benchmark.
+- :class:`~repro.serve.guard.QosGuard` — closed-loop QoS guard: canary
+  sampling of served decisions, per-app/per-phase drift estimators, and
+  the ``healthy -> tightened -> fallback -> stale`` escalation machine.
+- :mod:`~repro.serve.loadgen` — deterministic skewed load generator,
+  including seeded drift-injection scenarios, for the ``serve-bench`` /
+  ``guard-report`` CLIs and the serve benchmarks.
 """
 
 from repro.serve.engine import ServeEngine, ServeResponse, ServeStats
+from repro.serve.guard import (
+    DriftEstimator,
+    GuardConfig,
+    GuardDirective,
+    QosGuard,
+    fallback_schedule,
+)
 from repro.serve.loadgen import (
+    DriftScenario,
     LoadRequest,
+    build_drift_mix,
     build_request_mix,
+    format_drift_report,
     format_load_report,
+    run_drift_scenario,
     run_load,
 )
 from repro.serve.registry import ModelRegistry, RegisteredModel
 
 __all__ = [
+    "DriftEstimator",
+    "DriftScenario",
+    "GuardConfig",
+    "GuardDirective",
     "LoadRequest",
     "ModelRegistry",
+    "QosGuard",
     "RegisteredModel",
     "ServeEngine",
     "ServeResponse",
     "ServeStats",
+    "build_drift_mix",
     "build_request_mix",
+    "fallback_schedule",
+    "format_drift_report",
     "format_load_report",
+    "run_drift_scenario",
     "run_load",
 ]

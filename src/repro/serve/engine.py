@@ -43,9 +43,11 @@ from typing import Dict, Optional, Tuple, Union
 from repro.apps import make_app
 from repro.apps.base import ParamsDict
 from repro.approx.schedule import ApproxSchedule
+from repro.core.opprox import OptimizationResult
 from repro.core.runtime import schedule_to_env
 from repro.faults.injector import fault_point
 from repro.instrument.stats import LatencyHistogram
+from repro.serve.guard import QosGuard, fallback_schedule
 from repro.serve.registry import Generation, ModelRegistry
 
 __all__ = ["ServeEngine", "ServeResponse", "ServeStats"]
@@ -76,6 +78,8 @@ class ServeResponse:
     degraded_reason: Optional[str]
     cache_hit: bool
     latency_seconds: float
+    #: QoS-guard stage this response was served under (None = no guard)
+    guard_stage: Optional[str] = None
 
 
 @dataclass
@@ -99,11 +103,37 @@ class ServeStats:
     breaker_probes: int = 0
     #: requests answered degraded without touching the store (breaker open)
     breaker_short_circuits: int = 0
+    #: guard replay samples measured
+    guard_samples: int = 0
+    #: guard transitions healthy -> tightened
+    guard_trips: int = 0
+    #: guard escalations past tightened (-> fallback, -> stale)
+    guard_escalations: int = 0
+    #: guard stage step-downs after sustained clean samples
+    guard_recoveries: int = 0
+    #: models marked stale (retrain events emitted)
+    guard_stale_marks: int = 0
+    #: guard resets caused by a model generation change (retrain landed)
+    guard_resets: int = 0
+    #: guard sampling/measurement failures (absorbed, never served)
+    guard_sample_errors: int = 0
+    #: responses served with drifting phases forced exact by the guard
+    guard_fallbacks: int = 0
     hit_latency: LatencyHistogram = field(default_factory=LatencyHistogram)
     miss_latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    #: per-app request/degraded/guard-fallback counters (satellite view
+    #: of partial degradation that the global counters average away)
+    per_app: Dict[str, Dict[str, int]] = field(default_factory=dict)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
-    def record(self, outcome: str, latency_seconds: float, degraded: bool) -> None:
+    def record(
+        self,
+        outcome: str,
+        latency_seconds: float,
+        degraded: bool,
+        app_name: Optional[str] = None,
+        guard_fallback: bool = False,
+    ) -> None:
         """Account one finished request (outcome: hit/miss/coalesced)."""
         with self._lock:
             self.requests += 1
@@ -120,6 +150,17 @@ class ServeStats:
                 raise ValueError(f"unknown request outcome {outcome!r}")
             if degraded:
                 self.degraded += 1
+            if guard_fallback:
+                self.guard_fallbacks += 1
+            if app_name is not None:
+                counters = self.per_app.setdefault(
+                    app_name, {"requests": 0, "degraded": 0, "guard_fallbacks": 0}
+                )
+                counters["requests"] += 1
+                if degraded:
+                    counters["degraded"] += 1
+                if guard_fallback:
+                    counters["guard_fallbacks"] += 1
 
     def record_breaker(self, event: str) -> None:
         """Account one circuit-breaker event (open/close/probe/short_circuit)."""
@@ -135,6 +176,28 @@ class ServeStats:
             else:
                 raise ValueError(f"unknown breaker event {event!r}")
 
+    def record_guard(self, event: str) -> None:
+        """Account one QoS-guard event (sample/trip/escalate/...)."""
+        with self._lock:
+            if event == "sample":
+                self.guard_samples += 1
+            elif event == "trip":
+                self.guard_trips += 1
+            elif event == "escalate":
+                self.guard_escalations += 1
+            elif event == "recover":
+                self.guard_recoveries += 1
+            elif event == "stale_mark":
+                self.guard_stale_marks += 1
+            elif event == "reset":
+                self.guard_resets += 1
+            elif event == "sample_error":
+                self.guard_sample_errors += 1
+            elif event == "fallback":
+                pass  # per-response fallbacks are counted in record()
+            else:
+                raise ValueError(f"unknown guard event {event!r}")
+
     @property
     def hit_rate(self) -> float:
         """Fraction of requests served without running the optimizer."""
@@ -145,6 +208,17 @@ class ServeStats:
     def report(self) -> Dict[str, object]:
         """Structured summary (feeds the serve CLI and BENCH_serve.json)."""
         with self._lock:
+            per_app = {
+                app: {
+                    **counters,
+                    "degraded_rate": (
+                        counters["degraded"] / counters["requests"]
+                        if counters["requests"]
+                        else 0.0
+                    ),
+                }
+                for app, counters in sorted(self.per_app.items())
+            }
             return {
                 "requests": self.requests,
                 "hits": self.hits,
@@ -156,6 +230,15 @@ class ServeStats:
                 "breaker_closes": self.breaker_closes,
                 "breaker_probes": self.breaker_probes,
                 "breaker_short_circuits": self.breaker_short_circuits,
+                "guard_samples": self.guard_samples,
+                "guard_trips": self.guard_trips,
+                "guard_escalations": self.guard_escalations,
+                "guard_recoveries": self.guard_recoveries,
+                "guard_stale_marks": self.guard_stale_marks,
+                "guard_resets": self.guard_resets,
+                "guard_sample_errors": self.guard_sample_errors,
+                "guard_fallbacks": self.guard_fallbacks,
+                "per_app": per_app,
                 "hit_latency": self.hit_latency.report(),
                 "miss_latency": self.miss_latency.report(),
             }
@@ -179,6 +262,30 @@ class ServeStats:
                     f"{self.breaker_probes} probe(s), "
                     f"{self.breaker_short_circuits} short-circuit(s)"
                 )
+            if self.guard_samples or self.guard_trips or self.guard_sample_errors:
+                lines.append(
+                    f"  guard:    {self.guard_samples} sample(s), "
+                    f"{self.guard_trips} trip(s), "
+                    f"{self.guard_escalations} escalation(s), "
+                    f"{self.guard_recoveries} recovery(ies), "
+                    f"{self.guard_stale_marks} stale mark(s), "
+                    f"{self.guard_resets} reset(s), "
+                    f"{self.guard_fallbacks} fallback response(s), "
+                    f"{self.guard_sample_errors} sample error(s)"
+                )
+            for app, counters in sorted(self.per_app.items()):
+                rate = (
+                    counters["degraded"] / counters["requests"] * 100.0
+                    if counters["requests"]
+                    else 0.0
+                )
+                line = (
+                    f"  {app}: {counters['requests']} request(s), "
+                    f"{counters['degraded']} degraded ({rate:.1f}%)"
+                )
+                if counters["guard_fallbacks"]:
+                    line += f", {counters['guard_fallbacks']} guard fallback(s)"
+                lines.append(line)
         return "\n".join(lines)
 
 
@@ -186,6 +293,11 @@ class ServeStats:
 class _CacheEntry:
     template: ServeResponse
     generation: Generation
+    #: raw optimizer proposal behind the template (guard replay input)
+    result: Optional[OptimizationResult] = None
+    #: QosGuard epoch at compute time; hits re-check it so schedules
+    #: computed under an outdated guard directive die with the epoch
+    guard_epoch: int = 0
 
 
 @dataclass
@@ -223,6 +335,7 @@ class ServeEngine:
         breaker_threshold: int = 5,
         breaker_cooldown_seconds: float = 30.0,
         clock=time.monotonic,
+        guard: Optional[QosGuard] = None,
     ):
         if cache_size < 1:
             raise ValueError(f"cache_size must be >= 1, got {cache_size}")
@@ -242,6 +355,9 @@ class ServeEngine:
         )
         self.cache_size = cache_size
         self.stats = stats if stats is not None else ServeStats()
+        self.guard = guard
+        if self.guard is not None:
+            self.guard.bind(self.registry, self.stats)
         self.breaker_threshold = breaker_threshold
         self.breaker_cooldown_seconds = breaker_cooldown_seconds
         #: injectable for deterministic breaker tests; monotonic in prod
@@ -262,29 +378,48 @@ class ServeEngine:
         key = self._canonical_key(app_name, params, error_budget)
 
         with self._lock:
+            hit = None
             entry = self._cache.get(key)
             if entry is not None:
-                if self.registry.generation(app_name) == entry.generation:
+                if self.registry.generation(
+                    app_name
+                ) == entry.generation and (
+                    self.guard is None
+                    or entry.guard_epoch == self.guard.epoch(app_name)
+                ):
                     self._cache.move_to_end(key)
-                    return self._finish(entry.template, "hit", started)
-                # The model behind this schedule changed or vanished:
-                # the cached decision is no longer trustworthy.
-                del self._cache[key]
-            slot = self._inflight.get(key)
-            if slot is None:
-                slot = _Inflight()
-                self._inflight[key] = slot
-                leader = True
-            else:
-                leader = False
+                    hit = entry
+                else:
+                    # The model behind this schedule changed/vanished, or
+                    # the guard escalated since it was computed: the
+                    # cached decision is no longer trustworthy.
+                    del self._cache[key]
+            if hit is None:
+                slot = self._inflight.get(key)
+                if slot is None:
+                    slot = _Inflight()
+                    self._inflight[key] = slot
+                    leader = True
+                else:
+                    leader = False
+
+        if hit is not None:
+            # Guard sampling happens outside the engine lock: a replay
+            # measurement must never stall unrelated requests.
+            self._guard_sample(app_name, params, error_budget, hit.result)
+            return self._finish(hit.template, "hit", started)
 
         if not leader:
             slot.done.wait()
             assert slot.template is not None
             return self._finish(slot.template, "coalesced", started)
 
+        result: Optional[OptimizationResult] = None
+        epoch = 0
         try:
-            template, generation = self._compute(app_name, params, error_budget)
+            template, generation, result, epoch = self._compute(
+                app_name, params, error_budget
+            )
         except BaseException:
             # _compute absorbs all Exceptions; this is the backstop for
             # KeyboardInterrupt and friends so followers never hang.
@@ -296,13 +431,16 @@ class ServeEngine:
         finally:
             with self._lock:
                 if generation is not None and not template.degraded:
-                    self._cache[key] = _CacheEntry(template, generation)
+                    self._cache[key] = _CacheEntry(
+                        template, generation, result, epoch
+                    )
                     self._cache.move_to_end(key)
                     while len(self._cache) > self.cache_size:
                         self._cache.popitem(last=False)
                 slot.template = template
                 del self._inflight[key]
             slot.done.set()
+        self._guard_sample(app_name, params, error_budget, result)
         return self._finish(template, "miss", started)
 
     def cache_info(self) -> Dict[str, int]:
@@ -345,51 +483,129 @@ class ServeEngine:
         self, template: ServeResponse, outcome: str, started: float
     ) -> ServeResponse:
         latency = time.perf_counter() - started
-        self.stats.record(outcome, latency, template.degraded)
+        self.stats.record(
+            outcome,
+            latency,
+            template.degraded,
+            app_name=template.app_name,
+            guard_fallback=(
+                template.degraded
+                and template.guard_stage in ("fallback", "stale")
+            ),
+        )
         return replace(
             template,
             cache_hit=(outcome != "miss"),
             latency_seconds=latency,
         )
 
+    def _guard_sample(
+        self,
+        app_name: str,
+        params: ParamsDict,
+        error_budget: float,
+        result: Optional[OptimizationResult],
+    ) -> None:
+        """Feed one served decision to the guard (outside the lock)."""
+        if self.guard is None or result is None:
+            return
+        try:
+            self.guard.after_serve(app_name, params, error_budget, result)
+        except Exception:
+            pass  # the guard absorbs its own errors; this is the backstop
+
     def _compute(
         self, app_name: str, params: ParamsDict, error_budget: float
-    ) -> Tuple[ServeResponse, Optional[Generation]]:
-        """Run the optimization, or build the degraded fallback."""
+    ) -> Tuple[ServeResponse, Optional[Generation], Optional["OptimizationResult"], int]:
+        """Run the optimization, or build the degraded fallback.
+
+        Returns ``(template, generation, raw_result, guard_epoch)`` —
+        the raw optimizer proposal survives even when the guard swaps a
+        fallback schedule into the template, because the guard keeps
+        sampling the *proposal* to gather recovery evidence.
+        """
         admitted, reason = self._breaker_admit(app_name)
         if not admitted:
-            return self._degraded(app_name, params, error_budget, reason), None
+            return (
+                self._degraded(app_name, params, error_budget, reason),
+                None,
+                None,
+                0,
+            )
         try:
             fault_point("serve.load", app=app_name)
             model = self.registry.get(app_name)
         except Exception as exc:
             self._breaker_failure(app_name, exc)
-            return self._degraded(
-                app_name, params, error_budget, f"model unavailable: {exc}"
-            ), None
+            return (
+                self._degraded(
+                    app_name, params, error_budget, f"model unavailable: {exc}"
+                ),
+                None,
+                None,
+                0,
+            )
         self._breaker_success(app_name)
+        directive = (
+            self.guard.directive(app_name) if self.guard is not None else None
+        )
+        epoch = directive.epoch if directive is not None else 0
         try:
-            result = model.opprox.optimize(params, error_budget)
+            if directive is not None and (
+                directive.budget_scale != 1.0 or directive.weight_scale
+            ):
+                result = model.opprox.optimize(
+                    params,
+                    error_budget,
+                    budget_scale=directive.budget_scale,
+                    phase_weight_scale=directive.weight_scale,
+                )
+            else:
+                result = model.opprox.optimize(params, error_budget)
         except Exception as exc:
-            return self._degraded(
-                app_name, params, error_budget, f"optimization failed: {exc}"
-            ), None
+            return (
+                self._degraded(
+                    app_name, params, error_budget, f"optimization failed: {exc}"
+                ),
+                None,
+                None,
+                epoch,
+            )
+
+        schedule = result.schedule
+        speedup = result.predicted_speedup
+        degradation = result.predicted_degradation
+        degraded = False
+        reason = None
+        if directive is not None and directive.fallback_phases:
+            fallen = fallback_schedule(result, directive.fallback_phases)
+            if fallen is not None:
+                schedule, speedup, degradation = fallen
+                degraded = True
+                reason = (
+                    f"qos guard {directive.stage}: phase(s) "
+                    f"{sorted(directive.fallback_phases)} forced to the "
+                    f"accurate schedule"
+                )
         return (
             ServeResponse(
                 app_name=app_name,
                 params=dict(params),
                 error_budget=float(error_budget),
-                schedule=result.schedule,
-                env=schedule_to_env(result),
-                predicted_speedup=result.predicted_speedup,
-                predicted_degradation=result.predicted_degradation,
+                schedule=schedule,
+                env=schedule_to_env(schedule),
+                predicted_speedup=speedup,
+                predicted_degradation=degradation,
                 control_flow=result.control_flow,
-                degraded=False,
-                degraded_reason=None,
+                degraded=degraded,
+                degraded_reason=reason,
                 cache_hit=False,
                 latency_seconds=0.0,
+                guard_stage=directive.stage if directive is not None else None,
             ),
             model.generation,
+            result,
+            epoch,
         )
 
     # -- circuit breaker ------------------------------------------------------

@@ -1,0 +1,618 @@
+"""Online QoS guard: closed-loop canary sampling at serve time.
+
+OPPROX is an offline autotuner — once trained, the serving layer trusts
+the model's predicted QoS forever, so input-distribution drift silently
+violates the error budget.  Capri reframes approximation as *control
+with feedback*; this module closes that loop for the serving engine:
+
+1. **Sample.**  A deterministic per-app cadence (every
+   ``sample_interval``-th request) replays served optimization
+   decisions through :func:`repro.core.canary.measure_qos_delta` —
+   verbatim when the request is cheap, through its canary twin when it
+   is large — and scores *realized* degradation against the model's
+   prediction.
+2. **Estimate.**  Per-app and per-phase :class:`DriftEstimator`\\ s
+   track the prediction error as an exponentially-weighted mean with a
+   variance band.  Echoing ``core/confidence.py``'s conservative-bound
+   discipline, a drift only counts when the *lower* confidence bound of
+   the error exceeds the tolerance — a single noisy canary replay
+   cannot trip the guard.
+3. **Escalate.**  Sustained drift walks an app through the stage
+   machine ``healthy -> tightened -> fallback -> stale``:
+
+   * *tightened* — shrink the effective error budget and the drifting
+     phases' allocation weights through the existing budget
+     re-allocation path (``Opprox.optimize(budget_scale=...,
+     phase_weight_scale=...)``);
+   * *fallback* — force the drifting phases to run exactly
+     (:func:`fallback_schedule`), serving partial degradation under the
+     engine's normal ``degraded`` flag;
+   * *stale* — additionally mark the model stale in the
+     :class:`~repro.serve.registry.ModelRegistry` and emit a
+     retrain-needed event that ``train --resume`` consumes; the hot
+     reload of the retrained model resets the guard.
+
+   Sustained clean samples step the stage back down; a model
+   generation change (retrain) resets the app to healthy outright.
+
+The guard *observes* — it never raises into the serving path; every
+hook absorbs its own failures and accounts them.  Chaos can exercise
+that promise through the ``serve.guard.sample`` and
+``serve.guard.escalate`` fault points.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from math import sqrt
+from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+
+from repro.apps import make_app
+from repro.apps.base import ParamsDict
+from repro.approx.schedule import ApproxSchedule
+from repro.core.canary import measure_qos_delta
+from repro.core.opprox import OptimizationResult
+from repro.core.optimizer import combined_speedup
+from repro.faults.injector import fault_point
+from repro.instrument.harness import Profiler
+
+__all__ = [
+    "DriftEstimator",
+    "GuardConfig",
+    "GuardDirective",
+    "QosGuard",
+    "STAGES",
+    "fallback_schedule",
+]
+
+#: stage machine, in escalation order
+STAGES: Tuple[str, ...] = ("healthy", "tightened", "fallback", "stale")
+
+
+@dataclass(frozen=True)
+class GuardConfig:
+    """Tuning knobs for one :class:`QosGuard` (all deterministic)."""
+
+    #: replay every k-th request per app (1 = every request)
+    sample_interval: int = 4
+    #: estimator samples required before a drift verdict is possible
+    min_samples: int = 2
+    #: EWMA smoothing factor for the drift estimators
+    ewma_alpha: float = 0.35
+    #: absolute drift tolerance (degradation points of prediction error)
+    drift_tolerance: float = 3.0
+    #: relative tolerance — fraction of the request's degradation budget
+    drift_tolerance_rel: float = 0.35
+    #: z-multiplier for the estimator's conservative lower bound
+    confidence_z: float = 1.0
+    #: consecutive drifting samples before escalating one more stage
+    escalate_after: int = 2
+    #: consecutive clean samples before stepping one stage back down
+    recover_after: int = 8
+    #: effective-budget multiplier in the tightened stage
+    tighten_budget_scale: float = 0.5
+    #: allocation-weight multiplier for drifting phases when tightened
+    tighten_weight_scale: float = 0.25
+    #: replay requests verbatim when their estimated work is within
+    #: this factor of their canary's (see core.canary.replay_params_for)
+    replay_cost_cap: float = 2.0
+    #: also replay single-phase probes to attribute drift to phases
+    measure_phases: bool = True
+
+    def __post_init__(self) -> None:
+        if self.sample_interval < 1:
+            raise ValueError(
+                f"sample_interval must be >= 1, got {self.sample_interval}"
+            )
+        if self.min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {self.min_samples}")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError(f"ewma_alpha must be in (0, 1], got {self.ewma_alpha}")
+        if self.escalate_after < 1 or self.recover_after < 1:
+            raise ValueError("escalate_after and recover_after must be >= 1")
+        if not 0.0 <= self.tighten_budget_scale <= 1.0:
+            raise ValueError(
+                f"tighten_budget_scale must be in [0, 1], "
+                f"got {self.tighten_budget_scale}"
+            )
+
+
+@dataclass
+class DriftEstimator:
+    """EWMA of prediction error with an exponentially-weighted variance.
+
+    ``update`` folds in one realized-minus-predicted delta; ``drifting``
+    applies the conservative-bound discipline of ``core/confidence.py``
+    in reverse: the optimizer trusts an *upper* bound on degradation,
+    so the guard only declares drift when even the *lower* confidence
+    bound of the observed error clears the tolerance.
+    """
+
+    alpha: float = 0.35
+    mean: float = 0.0
+    var: float = 0.0
+    samples: int = 0
+
+    def update(self, delta: float) -> None:
+        if self.samples == 0:
+            self.mean = float(delta)
+            self.var = 0.0
+        else:
+            diff = float(delta) - self.mean
+            incr = self.alpha * diff
+            self.mean += incr
+            self.var = (1.0 - self.alpha) * (self.var + diff * incr)
+        self.samples += 1
+
+    def lower_bound(self, z: float) -> float:
+        """Conservative (lower) edge of the error's confidence band."""
+        return self.mean - z * sqrt(max(self.var, 0.0))
+
+    def drifting(self, tolerance: float, z: float, min_samples: int) -> bool:
+        if self.samples < min_samples:
+            return False
+        return self.lower_bound(z) > tolerance
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "mean": self.mean,
+            "std": sqrt(max(self.var, 0.0)),
+            "samples": self.samples,
+        }
+
+
+@dataclass(frozen=True)
+class GuardDirective:
+    """What the engine should do for an app's next optimization."""
+
+    stage: str
+    budget_scale: float
+    weight_scale: Optional[Dict[int, float]]
+    fallback_phases: FrozenSet[int]
+    epoch: int
+
+
+def fallback_schedule(
+    result: OptimizationResult, phases: FrozenSet[int]
+) -> Optional[Tuple[ApproxSchedule, float, float]]:
+    """Force ``phases`` of an optimizer proposal to run exactly.
+
+    Returns ``(schedule, predicted_speedup, predicted_degradation)``
+    rebuilt from the surviving phase entries, or ``None`` when every
+    listed phase was already exact (nothing to degrade).
+    """
+    schedule = result.schedule
+    n_phases = schedule.plan.n_phases
+    settings = [schedule.phase_levels(phase) for phase in range(n_phases)]
+    changed = False
+    kept = []
+    for entry in result.entries:
+        if entry.phase in phases and any(entry.levels.values()):
+            settings[entry.phase] = {}
+            changed = True
+        else:
+            kept.append(entry)
+    if not changed:
+        return None
+    rebuilt = ApproxSchedule(schedule.blocks, schedule.plan, settings)
+    speedup = combined_speedup(
+        [entry.predicted_speedup for entry in kept]
+    ) if kept else 1.0
+    degradation = sum(entry.predicted_degradation for entry in kept)
+    return rebuilt, speedup, degradation
+
+
+@dataclass
+class _AppGuardState:
+    """Per-app guard state (guarded by the QosGuard lock)."""
+
+    stage_index: int = 0
+    epoch: int = 0
+    requests: int = 0
+    samples: int = 0
+    sample_errors: int = 0
+    uninformative: int = 0
+    drift_streak: int = 0
+    clean_streak: int = 0
+    drifting_phases: Set[int] = field(default_factory=set)
+    generation: Optional[Tuple[int, int]] = None
+    stale_event_path: Optional[str] = None
+    total: DriftEstimator = field(default_factory=DriftEstimator)
+    phases: Dict[int, DriftEstimator] = field(default_factory=dict)
+    transitions: List[str] = field(default_factory=list)
+
+
+class QosGuard:
+    """Drift detector + stage machine for one :class:`ServeEngine`.
+
+    Construct it, hand it to the engine (``ServeEngine(registry,
+    guard=QosGuard())``), and the engine wires the registry and stats
+    in through :meth:`bind`.  All public hooks are thread-safe and
+    exception-free by contract.
+    """
+
+    def __init__(self, config: Optional[GuardConfig] = None):
+        self.config = config if config is not None else GuardConfig()
+        self._lock = threading.Lock()
+        self._states: Dict[str, _AppGuardState] = {}
+        self._registry = None
+        self._stats = None
+        self._apps: Dict[str, object] = {}
+        self._profilers: Dict[str, Profiler] = {}
+
+    def bind(self, registry, stats) -> None:
+        """Attach the engine's registry and stats (idempotent)."""
+        if self._registry is not None and self._registry is not registry:
+            raise RuntimeError("QosGuard is already bound to another engine")
+        self._registry = registry
+        self._stats = stats
+
+    # -- engine hooks --------------------------------------------------------
+
+    def epoch(self, app_name: str) -> int:
+        """Monotonic per-app epoch; bumps on any stage/phase-set change.
+
+        The engine stores it in cache entries so schedules computed
+        under an outdated directive die on their next lookup.
+        """
+        with self._lock:
+            state = self._states.get(app_name)
+            return state.epoch if state is not None else 0
+
+    def directive(self, app_name: str) -> GuardDirective:
+        """Current serving directive for ``app_name`` (never raises)."""
+        config = self.config
+        with self._lock:
+            state = self._states.get(app_name)
+            if state is None or state.stage_index == 0:
+                epoch = state.epoch if state is not None else 0
+                return GuardDirective("healthy", 1.0, None, frozenset(), epoch)
+            stage = STAGES[state.stage_index]
+            weight_scale = {
+                phase: config.tighten_weight_scale
+                for phase in sorted(state.drifting_phases)
+            }
+            fallback = (
+                frozenset(state.drifting_phases)
+                if state.stage_index >= STAGES.index("fallback")
+                else frozenset()
+            )
+            return GuardDirective(
+                stage=stage,
+                budget_scale=config.tighten_budget_scale,
+                weight_scale=weight_scale or None,
+                fallback_phases=fallback,
+                epoch=state.epoch,
+            )
+
+    def after_serve(
+        self,
+        app_name: str,
+        params: ParamsDict,
+        error_budget: float,
+        result: Optional[OptimizationResult],
+    ) -> None:
+        """Account one served request; maybe replay it (never raises).
+
+        ``result`` is the optimizer's *raw* proposal — even while the
+        engine serves the fallback, the guard keeps scoring what the
+        model *would* serve, so recovery evidence accumulates without
+        re-exposing clients to drifted schedules.
+        """
+        try:
+            self._observe(app_name, params, error_budget, result)
+        except Exception:
+            with self._lock:
+                state = self._ensure(app_name)
+                state.sample_errors += 1
+            self._record("sample_error")
+
+    # -- observation ---------------------------------------------------------
+
+    def _observe(
+        self,
+        app_name: str,
+        params: ParamsDict,
+        error_budget: float,
+        result: Optional[OptimizationResult],
+    ) -> None:
+        if result is None:
+            return
+        config = self.config
+        with self._lock:
+            state = self._ensure(app_name)
+            state.requests += 1
+            due = (
+                config.sample_interval == 1
+                or state.requests % config.sample_interval == 1
+            )
+        self._check_generation(app_name)
+        if not due:
+            return
+        fault_point("serve.guard.sample", app=app_name)
+        if result.schedule.is_exact:
+            # An exact proposal realizes exactly what it predicts
+            # (nothing); it carries no evidence about model drift.
+            with self._lock:
+                state.uninformative += 1
+            return
+
+        app, profiler = self._measurement_tools(app_name)
+        phase_predictions: Optional[Mapping[int, float]] = None
+        if config.measure_phases:
+            phase_predictions = {
+                entry.phase: entry.predicted_degradation
+                for entry in result.entries
+                if any(entry.levels.values())
+            }
+        qos = measure_qos_delta(
+            app,
+            profiler,
+            params,
+            result.schedule,
+            result.predicted_degradation,
+            phase_predictions=phase_predictions,
+            cost_cap=config.replay_cost_cap,
+        )
+        tolerance = max(
+            config.drift_tolerance,
+            config.drift_tolerance_rel * result.budget_degradation,
+        )
+        self._record("sample")
+        self._update_and_transition(app_name, state, qos, tolerance, result)
+
+    def _update_and_transition(
+        self, app_name, state, qos, tolerance, result
+    ) -> None:
+        config = self.config
+        stale_reason = None
+        with self._lock:
+            state.samples += 1
+            state.total.update(qos.delta)
+            for phase, delta in qos.phase_deltas.items():
+                estimator = state.phases.setdefault(
+                    phase, DriftEstimator(alpha=config.ewma_alpha)
+                )
+                estimator.update(delta)
+
+            drifted_phases = {
+                phase
+                for phase, estimator in state.phases.items()
+                if estimator.drifting(
+                    tolerance, config.confidence_z, config.min_samples
+                )
+            }
+            total_drift = state.total.drifting(
+                tolerance, config.confidence_z, config.min_samples
+            )
+            if total_drift and not drifted_phases:
+                # Drift is real but un-attributed: blame every phase the
+                # proposal approximates (conservative attribution).
+                drifted_phases = {
+                    entry.phase
+                    for entry in result.entries
+                    if any(entry.levels.values())
+                }
+
+            if total_drift or drifted_phases:
+                state.clean_streak = 0
+                state.drift_streak += 1
+                grew = bool(drifted_phases - state.drifting_phases)
+                state.drifting_phases |= drifted_phases
+                if state.stage_index == 0:
+                    self._advance(app_name, state, "trip")
+                elif (
+                    state.drift_streak >= config.escalate_after
+                    and state.stage_index < len(STAGES) - 1
+                ):
+                    self._advance(app_name, state, "escalate")
+                elif grew:
+                    # same stage, wider fallback set: invalidate caches
+                    state.epoch += 1
+                if (
+                    state.stage_index == len(STAGES) - 1
+                    and state.stale_event_path is None
+                ):
+                    stale_reason = (
+                        f"qos drift: mean prediction error "
+                        f"{state.total.mean:+.2f} over {state.samples} "
+                        f"sample(s), tolerance {tolerance:.2f}"
+                    )
+            else:
+                state.drift_streak = 0
+                state.clean_streak += 1
+                if (
+                    state.stage_index > 0
+                    and state.clean_streak >= config.recover_after
+                ):
+                    self._retreat(app_name, state)
+        if stale_reason is not None:
+            self._mark_stale(app_name, state, stale_reason)
+
+    # -- transitions (lock held) ---------------------------------------------
+
+    def _advance(self, app_name: str, state: _AppGuardState, kind: str) -> None:
+        fault_point(
+            "serve.guard.escalate", app=app_name, stage=STAGES[state.stage_index + 1]
+        )
+        state.stage_index += 1
+        state.epoch += 1
+        state.drift_streak = 0
+        state.transitions.append(STAGES[state.stage_index])
+        self._record(kind)
+
+    def _retreat(self, app_name: str, state: _AppGuardState) -> None:
+        from_stale = state.stage_index == len(STAGES) - 1
+        state.stage_index -= 1
+        state.epoch += 1
+        state.clean_streak = 0
+        state.transitions.append(STAGES[state.stage_index])
+        self._record("recover")
+        if from_stale:
+            state.stale_event_path = None
+            if self._registry is not None:
+                try:
+                    self._registry.clear_stale(app_name)
+                except Exception:
+                    pass
+        if state.stage_index == 0:
+            # Fresh start: old drift evidence should not re-trip us.
+            state.drifting_phases.clear()
+            state.total = DriftEstimator(alpha=self.config.ewma_alpha)
+            state.phases.clear()
+
+    def _mark_stale(
+        self, app_name: str, state: _AppGuardState, reason: str
+    ) -> None:
+        """Registry side of the stale stage (outside the guard lock)."""
+        path = None
+        if self._registry is not None:
+            with self._lock:
+                detail = {
+                    "drifting_phases": sorted(state.drifting_phases),
+                    "error_mean": state.total.mean,
+                    "samples": state.samples,
+                }
+            path = self._registry.mark_stale(app_name, reason, detail=detail)
+        with self._lock:
+            state.stale_event_path = str(path) if path is not None else "<unwritten>"
+        self._record("stale_mark")
+
+    def _check_generation(self, app_name: str) -> None:
+        """Reset the app on a model generation change (retrain landed)."""
+        if self._registry is None:
+            return
+        generation = self._registry.generation(app_name)
+        with self._lock:
+            state = self._states.get(app_name)
+            if state is None:
+                return
+            if state.generation is None:
+                state.generation = generation
+                return
+            if generation == state.generation:
+                return
+            state.generation = generation
+            if (
+                state.stage_index > 0
+                or state.total.samples
+                or state.drifting_phases
+            ):
+                state.stage_index = 0
+                state.epoch += 1
+                state.drift_streak = 0
+                state.clean_streak = 0
+                state.drifting_phases.clear()
+                state.stale_event_path = None
+                state.total = DriftEstimator(alpha=self.config.ewma_alpha)
+                state.phases.clear()
+                state.transitions.append("reset")
+                self._record("reset")
+
+    # -- helpers -------------------------------------------------------------
+
+    def _ensure(self, app_name: str) -> _AppGuardState:
+        state = self._states.get(app_name)
+        if state is None:
+            state = _AppGuardState(
+                total=DriftEstimator(alpha=self.config.ewma_alpha)
+            )
+            self._states[app_name] = state
+        return state
+
+    def _measurement_tools(self, app_name: str):
+        with self._lock:
+            app = self._apps.get(app_name)
+            profiler = self._profilers.get(app_name)
+        if app is None:
+            app = make_app(app_name)
+            profiler = Profiler(app)
+            with self._lock:
+                app = self._apps.setdefault(app_name, app)
+                profiler = self._profilers.setdefault(app_name, profiler)
+        return app, profiler
+
+    def _record(self, event: str) -> None:
+        if self._stats is None:
+            return
+        try:
+            self._stats.record_guard(event)
+        except Exception:
+            pass
+
+    # -- introspection -------------------------------------------------------
+
+    def stage(self, app_name: str) -> str:
+        with self._lock:
+            state = self._states.get(app_name)
+            return STAGES[state.stage_index] if state is not None else "healthy"
+
+    def info(self) -> Dict[str, Dict[str, object]]:
+        """Per-app guard snapshot (``breaker_info``-style, for operators)."""
+        with self._lock:
+            return {
+                app_name: {
+                    "stage": STAGES[state.stage_index],
+                    "epoch": state.epoch,
+                    "requests": state.requests,
+                    "samples": state.samples,
+                    "sample_errors": state.sample_errors,
+                    "uninformative": state.uninformative,
+                    "drift_streak": state.drift_streak,
+                    "clean_streak": state.clean_streak,
+                    "drifting_phases": sorted(state.drifting_phases),
+                    "stale_event": state.stale_event_path,
+                    "transitions": list(state.transitions),
+                    "error": state.total.snapshot(),
+                    "phase_error": {
+                        phase: estimator.snapshot()
+                        for phase, estimator in sorted(state.phases.items())
+                    },
+                }
+                for app_name, state in sorted(self._states.items())
+            }
+
+    def report(self) -> Dict[str, object]:
+        """Structured summary (feeds guard-report and the benchmark)."""
+        return {
+            "config": {
+                "sample_interval": self.config.sample_interval,
+                "drift_tolerance": self.config.drift_tolerance,
+                "drift_tolerance_rel": self.config.drift_tolerance_rel,
+                "confidence_z": self.config.confidence_z,
+                "min_samples": self.config.min_samples,
+                "escalate_after": self.config.escalate_after,
+                "recover_after": self.config.recover_after,
+                "tighten_budget_scale": self.config.tighten_budget_scale,
+            },
+            "apps": self.info(),
+        }
+
+    def format_report(self, title: str = "qos guard") -> str:
+        """Readable multi-line report (guard-report CLI)."""
+        lines = [title]
+        apps = self.info()
+        if not apps:
+            lines.append("  (no traffic observed)")
+        for app_name, snap in apps.items():
+            error = snap["error"]
+            lines.append(
+                f"  {app_name}: stage={snap['stage']} "
+                f"(epoch {snap['epoch']}, "
+                f"{snap['samples']}/{snap['requests']} sampled, "
+                f"{snap['uninformative']} uninformative, "
+                f"{snap['sample_errors']} errors)"
+            )
+            lines.append(
+                f"    error: mean={error['mean']:+.3f} "
+                f"std={error['std']:.3f} n={error['samples']}; "
+                f"drifting phases {snap['drifting_phases']}"
+            )
+            if snap["transitions"]:
+                lines.append(
+                    "    transitions: " + " -> ".join(["healthy"] + snap["transitions"])
+                )
+            if snap["stale_event"]:
+                lines.append(f"    retrain event: {snap['stale_event']}")
+        return "\n".join(lines)

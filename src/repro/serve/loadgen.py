@@ -11,11 +11,13 @@ throughput, and is what ``BENCH_serve.json`` and the ``serve`` /
 
 from __future__ import annotations
 
+import hashlib
 import itertools
+import json
 import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -24,7 +26,17 @@ from repro.apps.base import ParamsDict
 from repro.instrument.stats import LatencyHistogram
 from repro.serve.engine import ServeEngine, ServeResponse
 
-__all__ = ["LoadRequest", "build_request_mix", "format_load_report", "run_load"]
+__all__ = [
+    "DriftScenario",
+    "DRIFT_SCENARIOS",
+    "LoadRequest",
+    "build_drift_mix",
+    "build_request_mix",
+    "format_drift_report",
+    "format_load_report",
+    "run_drift_scenario",
+    "run_load",
+]
 
 
 @dataclass(frozen=True)
@@ -75,6 +87,104 @@ def build_request_mix(
     weights /= weights.sum()
     picks = rng.choice(len(combos), size=n_requests, p=weights)
     return [combos[pick] for pick in picks]
+
+
+def _zipf_draw(
+    rng: np.random.Generator,
+    combos: Sequence[LoadRequest],
+    n_requests: int,
+    skew: float,
+) -> List[LoadRequest]:
+    ranks = np.arange(1, len(combos) + 1, dtype=float)
+    weights = ranks ** (-float(skew))
+    weights /= weights.sum()
+    picks = rng.choice(len(combos), size=n_requests, p=weights)
+    return [combos[pick] for pick in picks]
+
+
+def build_drift_mix(
+    app_names: Sequence[str],
+    budgets: Sequence[float],
+    n_requests: int,
+    seed: int = 0,
+    skew: float = 1.2,
+    drift_at: float = 0.5,
+    base_pools: Optional[Mapping[str, Sequence[ParamsDict]]] = None,
+    drift_pools: Optional[Mapping[str, Sequence[ParamsDict]]] = None,
+    param_variants: int = 2,
+) -> List[LoadRequest]:
+    """A seeded request mix whose input distribution shifts mid-run.
+
+    The first ``drift_at`` fraction of the mix is Zipf-drawn from the
+    *base* input pool (``base_pools[app]``, defaulting to the app's
+    training-input grid as in :func:`build_request_mix`); the remainder
+    is drawn from the *drift* pool — inputs off the training
+    distribution.  ``drift_pools[app]`` supplies those explicitly; when
+    absent, they are synthesized by deterministically shrinking each
+    base input's non-binary parameters below their representative
+    minima (drifted production inputs are typically *smaller* than the
+    profiled grid, which is exactly the regime where a model trained on
+    large inputs under-predicts degradation).
+
+    The whole mix is a pure function of its arguments — the QoS guard's
+    detect/escalate/recover cycle replays bit-identically by seed.
+    """
+    if not 0.0 <= drift_at <= 1.0:
+        raise ValueError(f"drift_at must be in [0, 1], got {drift_at}")
+    if n_requests < 1:
+        raise ValueError(f"n_requests must be >= 1, got {n_requests}")
+    if not app_names:
+        raise ValueError("app_names must not be empty")
+    if not budgets:
+        raise ValueError("budgets must not be empty")
+
+    rng = np.random.default_rng(seed)
+    base_combos: List[LoadRequest] = []
+    drift_combos: List[LoadRequest] = []
+    for app_name in app_names:
+        app = make_app(app_name)
+        if base_pools is not None and app_name in base_pools:
+            base_variants = [dict(p) for p in base_pools[app_name]]
+        else:
+            base_variants = list(
+                itertools.islice(app.training_inputs(), param_variants)
+            )
+            if not base_variants:
+                base_variants = [app.default_params()]
+        if drift_pools is not None and app_name in drift_pools:
+            drift_variants = [dict(p) for p in drift_pools[app_name]]
+        else:
+            binary = {
+                p.name
+                for p in app.parameters
+                if len(p.values) == 2 and sorted(p.values) == [0.0, 1.0]
+            }
+            minima = {p.name: min(p.values) for p in app.parameters}
+            drift_variants = []
+            for params in base_variants:
+                shrunk = dict(params)
+                for name, value in params.items():
+                    if name in binary:
+                        continue
+                    factor = float(rng.uniform(0.5, 0.9))
+                    shrunk[name] = max(1.0, round(minima[name] * factor))
+                drift_variants.append(shrunk)
+        for params in base_variants:
+            for budget in budgets:
+                base_combos.append(
+                    LoadRequest(app_name, dict(params), float(budget))
+                )
+        for params in drift_variants:
+            for budget in budgets:
+                drift_combos.append(
+                    LoadRequest(app_name, dict(params), float(budget))
+                )
+
+    n_pre = int(round(n_requests * drift_at))
+    mix = _zipf_draw(rng, base_combos, n_pre, skew) if n_pre else []
+    if n_requests - n_pre:
+        mix += _zipf_draw(rng, drift_combos, n_requests - n_pre, skew)
+    return mix
 
 
 def run_load(
@@ -162,6 +272,350 @@ def run_load(
     if collect_responses:
         report["responses"] = responses
     return report
+
+
+# ---------------------------------------------------------------------------
+# Seeded drift-injection scenarios: the end-to-end harness behind
+# `serve --guard` demos, `guard-report --scenario`, scripts/guard_smoke.py
+# and benchmarks/test_serve_guard.py.  One function trains (once) a model
+# on a deliberately *upper* slice of the input grid, replays a mix whose
+# distribution shifts mid-run to small off-grid inputs, and scores every
+# served schedule against ground truth — with or without the guard.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DriftScenario:
+    """A reproducible drift experiment for one application."""
+
+    app_name: str
+    #: model is trained on these (an upper slice of the grid, so small
+    #: production inputs are out-of-distribution)
+    train_inputs: Tuple[ParamsDict, ...]
+    #: post-shift input pool: small off-grid inputs whose fixed-level
+    #: degradation the upper-slice model under-predicts
+    drift_pool: Tuple[ParamsDict, ...]
+    #: serving error budget (raw metric units)
+    budget: float
+    n_phases: int = 2
+    joint_samples_per_phase: int = 6
+    confidence_p: float = 0.9
+    #: training-spec budget (only a default for requests omitting one)
+    train_budget: float = 10.0
+    #: the retrain triggered by the guard samples denser and bounds
+    #: more conservatively than the original (the guard just proved the
+    #: original's error bars were optimistic for this traffic)
+    retrain_joint_samples_per_phase: int = 12
+    retrain_confidence_p: float = 0.95
+
+
+#: curated scenarios, validated to (a) violate the budget without the
+#: guard and (b) be detectable through cost-capped verbatim replays
+DRIFT_SCENARIOS: Dict[str, DriftScenario] = {
+    "pso": DriftScenario(
+        app_name="pso",
+        train_inputs=(
+            {"swarm_size": 32.0, "dimension": 6.0},
+            {"swarm_size": 48.0, "dimension": 8.0},
+        ),
+        drift_pool=(
+            {"swarm_size": 22.0, "dimension": 5.0},
+            {"swarm_size": 18.0, "dimension": 5.0},
+            {"swarm_size": 14.0, "dimension": 5.0},
+            {"swarm_size": 20.0, "dimension": 5.0},
+        ),
+        budget=8.0,
+    ),
+}
+
+
+def _scenario_for(app_name: str, scenario: Optional[DriftScenario]) -> DriftScenario:
+    if scenario is not None:
+        return scenario
+    try:
+        return DRIFT_SCENARIOS[app_name]
+    except KeyError:
+        raise ValueError(
+            f"no curated drift scenario for {app_name!r}; "
+            f"available: {sorted(DRIFT_SCENARIOS)}"
+        ) from None
+
+
+def _ensure_scenario_model(scenario: DriftScenario, store, seed: int):
+    """Train and persist the scenario's model unless already stored."""
+    from repro.core.opprox import Opprox
+    from repro.core.spec import AccuracySpec
+
+    if scenario.app_name in store.available():
+        return None
+    app = make_app(scenario.app_name)
+    spec = AccuracySpec(
+        training_inputs=[dict(p) for p in scenario.train_inputs],
+        error_budget=scenario.train_budget,
+    )
+    opprox = Opprox(
+        app,
+        spec,
+        n_phases=scenario.n_phases,
+        joint_samples_per_phase=scenario.joint_samples_per_phase,
+        confidence_p=scenario.confidence_p,
+        seed=seed,
+    )
+    opprox.train()
+    store.save(opprox, train_timestamp=time.time())
+    return opprox
+
+
+def run_drift_scenario(
+    store_dir,
+    app_name: str = "pso",
+    n_requests: int = 120,
+    drift_at: float = 0.5,
+    seed: int = 0,
+    guard: bool = True,
+    guard_config=None,
+    clients: int = 1,
+    retrain: bool = False,
+    scenario: Optional[DriftScenario] = None,
+) -> Dict[str, object]:
+    """Run one seeded drift-injection cycle end to end.
+
+    Trains the scenario model into ``store_dir`` (skipped when already
+    present — the training itself is deterministic by seed), serves the
+    shifting mix through a fresh engine, then scores every response
+    against ground truth: a *violation* is a served schedule whose
+    measured degradation exceeds the request's budget.  With
+    ``guard=False`` this demonstrates the failure mode; with the guard
+    on, drift is detected and served QoS is restored through per-phase
+    fallback.  ``retrain=True`` closes the loop: consume the guard's
+    retrain event, retrain with the drifted inputs included, and verify
+    the hot-reloaded model serves the drifted pool within budget again.
+
+    With ``clients=1`` the full report — every transition, every
+    schedule, the digest — is bit-reproducible by ``seed``.
+    """
+    from repro.core.runtime import ModelStore
+    from repro.core.spec import budget_to_degradation
+    from repro.instrument.harness import Profiler
+    from repro.serve.guard import QosGuard
+    from repro.serve.registry import ModelRegistry
+
+    scenario = _scenario_for(app_name, scenario)
+    store = ModelStore(store_dir)
+    _ensure_scenario_model(scenario, store, seed)
+    registry = ModelRegistry(store)
+    qos_guard = QosGuard(guard_config) if guard else None
+    engine = ServeEngine(registry, guard=qos_guard)
+
+    mix = build_drift_mix(
+        [scenario.app_name],
+        [scenario.budget],
+        n_requests,
+        seed=seed,
+        drift_at=drift_at,
+        base_pools={scenario.app_name: list(scenario.train_inputs)},
+        drift_pools={scenario.app_name: list(scenario.drift_pool)},
+    )
+    load = run_load(engine, mix, clients=clients, collect_responses=True)
+    responses = load.pop("responses")
+
+    verify_app = make_app(scenario.app_name)
+    verifier = Profiler(verify_app)
+    n_pre = int(round(n_requests * drift_at))
+    requests_out: List[Dict[str, object]] = []
+    speedups = {"pre": [], "post": []}
+    counts = {"total": 0, "pre": 0, "post": 0, "in_fallback": 0, "last_quarter": 0}
+    last_quarter_start = n_requests - max(1, n_requests // 4)
+    for index, (request, response) in enumerate(zip(mix, responses)):
+        segment = "pre" if index < n_pre else "post"
+        entry: Dict[str, object] = {
+            "index": index,
+            "segment": segment,
+            "params": dict(request.params),
+        }
+        if response is None or response.schedule is None:
+            entry["error"] = True
+            requests_out.append(entry)
+            continue
+        budget_deg = budget_to_degradation(
+            verify_app.metric, request.error_budget
+        )
+        run = verifier.measure(request.params, response.schedule)
+        violation = bool(run.degradation > budget_deg + 1e-9)
+        entry.update(
+            schedule=response.schedule.key(),
+            predicted_degradation=response.predicted_degradation,
+            realized_degradation=run.degradation,
+            realized_speedup=run.speedup,
+            budget_degradation=budget_deg,
+            degraded=response.degraded,
+            guard_stage=response.guard_stage,
+            violation=violation,
+        )
+        requests_out.append(entry)
+        speedups[segment].append(run.speedup)
+        if violation:
+            counts["total"] += 1
+            counts[segment] += 1
+            if response.guard_stage in ("fallback", "stale"):
+                counts["in_fallback"] += 1
+            if index >= last_quarter_start:
+                counts["last_quarter"] += 1
+
+    digest_basis = [
+        (
+            entry["index"],
+            entry.get("schedule"),
+            entry.get("degraded"),
+            entry.get("guard_stage"),
+            entry.get("violation"),
+        )
+        for entry in requests_out
+    ]
+    guard_report = qos_guard.report() if qos_guard is not None else None
+    if guard_report is not None:
+        digest_basis.append(
+            sorted(
+                (app, tuple(snap["transitions"]))
+                for app, snap in guard_report["apps"].items()
+            )
+        )
+    digest = hashlib.sha256(
+        json.dumps(digest_basis, sort_keys=True, default=str).encode()
+    ).hexdigest()
+
+    report: Dict[str, object] = {
+        "scenario": {
+            "app": scenario.app_name,
+            "budget": scenario.budget,
+            "train_inputs": [dict(p) for p in scenario.train_inputs],
+            "drift_pool": [dict(p) for p in scenario.drift_pool],
+            "n_requests": n_requests,
+            "drift_at": drift_at,
+            "seed": seed,
+            "clients": clients,
+            "guard": guard,
+        },
+        "load": load,
+        "requests": requests_out,
+        "violations": counts,
+        "speedup": {
+            "pre_mean": float(np.mean(speedups["pre"])) if speedups["pre"] else 1.0,
+            "post_mean": (
+                float(np.mean(speedups["post"])) if speedups["post"] else 1.0
+            ),
+        },
+        "guard_report": guard_report,
+        "stats": engine.stats.report(),
+        "stale": registry.stale_info(),
+        "pending_retrains": registry.pending_retrains(),
+        "digest": digest,
+    }
+
+    if retrain:
+        report["retrain"] = _retrain_leg(
+            scenario, store, registry, engine, qos_guard, verifier, seed
+        )
+    return report
+
+
+def _retrain_leg(
+    scenario, store, registry, engine, qos_guard, verifier, seed
+) -> Dict[str, object]:
+    """Consume the retrain event, retrain with drifted inputs, re-serve."""
+    from repro.core.opprox import Opprox
+    from repro.core.spec import AccuracySpec, budget_to_degradation, unique_params
+
+    event = registry.consume_retrain_event(scenario.app_name)
+    app = make_app(scenario.app_name)
+    spec = AccuracySpec(
+        training_inputs=unique_params(
+            [dict(p) for p in scenario.train_inputs]
+            + [dict(p) for p in scenario.drift_pool]
+        ),
+        error_budget=scenario.train_budget,
+    )
+    opprox = Opprox(
+        app,
+        spec,
+        n_phases=scenario.n_phases,
+        joint_samples_per_phase=scenario.retrain_joint_samples_per_phase,
+        confidence_p=scenario.retrain_confidence_p,
+        seed=seed,
+    )
+    opprox.train()
+    store.save(opprox, train_timestamp=time.time())
+
+    settle_mix = build_drift_mix(
+        [scenario.app_name],
+        [scenario.budget],
+        max(16, len(scenario.drift_pool) * 4),
+        seed=seed + 1,
+        drift_at=1.0,
+        base_pools={scenario.app_name: list(scenario.drift_pool)},
+    )
+    settle = run_load(engine, settle_mix, clients=1, collect_responses=True)
+    responses = settle.pop("responses")
+    violations = 0
+    speedups: List[float] = []
+    for request, response in zip(settle_mix, responses):
+        if response is None or response.schedule is None:
+            violations += 1
+            continue
+        budget_deg = budget_to_degradation(app.metric, request.error_budget)
+        run = verifier.measure(request.params, response.schedule)
+        if run.degradation > budget_deg + 1e-9:
+            violations += 1
+        speedups.append(run.speedup)
+    return {
+        "event_consumed": event,
+        "violations": violations,
+        "speedup_mean": float(np.mean(speedups)) if speedups else 1.0,
+        "guard_stage": (
+            qos_guard.stage(scenario.app_name) if qos_guard is not None else None
+        ),
+        "guard_resets": engine.stats.guard_resets,
+        "stale": registry.is_stale(scenario.app_name),
+        "load": settle,
+    }
+
+
+def format_drift_report(
+    report: Dict[str, object], title: str = "drift scenario"
+) -> str:
+    """Readable summary of a :func:`run_drift_scenario` report."""
+    scenario = report["scenario"]
+    counts = report["violations"]
+    speedup = report["speedup"]
+    lines = [
+        title,
+        f"  app {scenario['app']}, budget {scenario['budget']}, "
+        f"{scenario['n_requests']} requests (drift at "
+        f"{scenario['drift_at'] * 100:.0f}%), seed {scenario['seed']}, "
+        f"guard {'on' if scenario['guard'] else 'OFF'}",
+        f"  violations: {counts['total']} total "
+        f"({counts['pre']} pre-drift, {counts['post']} post-drift, "
+        f"{counts['in_fallback']} under fallback, "
+        f"{counts['last_quarter']} in last quarter)",
+        f"  realized speedup: pre {speedup['pre_mean']:.2f}x, "
+        f"post {speedup['post_mean']:.2f}x",
+        f"  digest: {report['digest'][:16]}",
+    ]
+    if report.get("stale"):
+        lines.append(f"  stale models: {sorted(report['stale'])}")
+    if report.get("pending_retrains"):
+        lines.append(
+            f"  pending retrain events: {sorted(report['pending_retrains'])}"
+        )
+    if report.get("retrain"):
+        retrain = report["retrain"]
+        lines.append(
+            f"  after retrain: {retrain['violations']} violation(s), "
+            f"speedup {retrain['speedup_mean']:.2f}x, "
+            f"guard stage {retrain['guard_stage']}, "
+            f"stale={retrain['stale']}"
+        )
+    return "\n".join(lines)
 
 
 def format_load_report(report: Dict[str, object], title: str = "load report") -> str:

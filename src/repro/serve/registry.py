@@ -13,16 +13,24 @@ restarting the service.
 
 from __future__ import annotations
 
+import json
 import os
 import threading
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
 
 from repro.core.opprox import Opprox
-from repro.core.runtime import ModelStore
+from repro.core.runtime import ModelStore, atomic_write_bytes
+from repro.faults.injector import fault_point
 
-__all__ = ["ModelRegistry", "RegisteredModel"]
+__all__ = ["ModelRegistry", "RegisteredModel", "RETRAIN_EVENT_SUFFIX"]
+
+#: sidecar file announcing "this model needs retraining": written next
+#: to the model blob by :meth:`ModelRegistry.mark_stale`, consumed by
+#: ``train`` / ``train --resume`` after a successful retrain
+RETRAIN_EVENT_SUFFIX = ".retrain.json"
 
 #: file identity used for staleness checks: (mtime_ns, size)
 Generation = Tuple[int, int]
@@ -54,10 +62,15 @@ class ModelRegistry:
         self.store = store if isinstance(store, ModelStore) else ModelStore(store)
         self._lock = threading.Lock()
         self._cache: Dict[str, RegisteredModel] = {}
+        #: apps the QoS guard declared untrustworthy, keyed by the
+        #: generation that was stale — a new generation clears the flag
+        self._stale: Dict[str, Dict[str, object]] = {}
         #: cold loads performed (first sight of an app)
         self.loads = 0
         #: reloads triggered by a changed generation (hot reload)
         self.reloads = 0
+        #: stale marks accepted (retrain events emitted or attempted)
+        self.stale_marks = 0
 
     def generation(self, app_name: str) -> Optional[Generation]:
         """Current file identity for ``app_name``, or None if missing."""
@@ -96,6 +109,11 @@ class ModelRegistry:
                 self.loads += 1
             else:
                 self.reloads += 1
+            # A hot reload means the on-disk model changed — whatever
+            # staleness applied to the previous generation is resolved.
+            stale = self._stale.get(app_name)
+            if stale is not None and stale.get("generation") != generation:
+                del self._stale[app_name]
             self._cache[app_name] = model
             return model
 
@@ -129,3 +147,136 @@ class ModelRegistry:
     def cached_apps(self) -> Tuple[str, ...]:
         with self._lock:
             return tuple(sorted(self._cache))
+
+    # -- staleness + retrain events ------------------------------------------
+    #
+    # The serve-time QoS guard's last escalation stage: mark the model
+    # version untrustworthy and leave a durable, atomic sidecar event
+    # that the training CLI consumes after the next successful retrain.
+    # Staleness is generation-scoped — retraining (which changes the
+    # file identity) resolves it automatically through the hot-reload
+    # path, no operator bookkeeping required.
+
+    def retrain_event_path(self, app_name: str) -> Path:
+        return self.store.root / f"{app_name}{RETRAIN_EVENT_SUFFIX}"
+
+    def mark_stale(
+        self,
+        app_name: str,
+        reason: str,
+        detail: Optional[Dict[str, object]] = None,
+    ) -> Optional[Path]:
+        """Flag ``app_name``'s current generation as needing retraining.
+
+        Records the stale flag in memory and emits a durable
+        ``<app>.retrain.json`` event next to the model file (atomic
+        write; a crash can never tear it).  Returns the event path, or
+        None when the event could not be written — the in-memory flag
+        sticks either way, and the failure is a warning, not an
+        exception: staleness accounting must never take serving down.
+        """
+        generation = self.generation(app_name)
+        with self._lock:
+            self._stale[app_name] = {
+                "reason": reason,
+                "generation": generation,
+                "detail": dict(detail) if detail else {},
+            }
+            self.stale_marks += 1
+        event = {
+            "app": app_name,
+            "action": "retrain",
+            "reason": reason,
+            "detail": dict(detail) if detail else {},
+            "generation": list(generation) if generation is not None else None,
+        }
+        path = self.retrain_event_path(app_name)
+        try:
+            fault_point("serve.guard.event", path=path, app=app_name)
+            atomic_write_bytes(
+                path, json.dumps(event, sort_keys=True, indent=2).encode() + b"\n"
+            )
+        except OSError as exc:
+            warnings.warn(
+                f"could not write retrain event for {app_name!r} at {path}: "
+                f"{exc}; the in-memory stale flag is still set",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+        return path
+
+    def clear_stale(self, app_name: str) -> None:
+        """Drop the stale flag (guard recovery without a retrain)."""
+        with self._lock:
+            self._stale.pop(app_name, None)
+
+    def is_stale(self, app_name: str) -> bool:
+        """Is the *current* generation of ``app_name`` flagged stale?
+
+        A generation change since the mark (a retrain landed) resolves
+        the flag lazily here, mirroring the hot-reload path.
+        """
+        with self._lock:
+            info = self._stale.get(app_name)
+        if info is None:
+            return False
+        if info.get("generation") != self.generation(app_name):
+            with self._lock:
+                current = self._stale.get(app_name)
+                if current is info:
+                    del self._stale[app_name]
+            return False
+        return True
+
+    def stale_info(self) -> Dict[str, Dict[str, object]]:
+        """Snapshot of all stale flags (operator introspection)."""
+        with self._lock:
+            return {
+                app: {"reason": info["reason"], "detail": dict(info["detail"])}
+                for app, info in sorted(self._stale.items())
+            }
+
+    def retrain_event(self, app_name: str) -> Optional[Dict[str, object]]:
+        """Read the pending retrain event for ``app_name``, if any."""
+        path = self.retrain_event_path(app_name)
+        try:
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            return None
+        try:
+            event = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            warnings.warn(
+                f"corrupt retrain event at {path}: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+        return event if isinstance(event, dict) else None
+
+    def consume_retrain_event(
+        self, app_name: str
+    ) -> Optional[Dict[str, object]]:
+        """Read *and remove* the pending retrain event (post-retrain).
+
+        A corrupt event file is removed too — a poisoned sidecar must
+        not wedge the retrain loop forever.
+        """
+        path = self.retrain_event_path(app_name)
+        event = self.retrain_event(app_name)
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            pass
+        return event
+
+    def pending_retrains(self) -> Dict[str, Dict[str, object]]:
+        """All apps with an on-disk retrain event (CLI listing)."""
+        pending: Dict[str, Dict[str, object]] = {}
+        for path in sorted(self.store.root.glob(f"*{RETRAIN_EVENT_SUFFIX}")):
+            app_name = path.name[: -len(RETRAIN_EVENT_SUFFIX)]
+            event = self.retrain_event(app_name)
+            if event is not None:
+                pending[app_name] = event
+        return pending

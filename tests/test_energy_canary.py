@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro.approx.schedule import ApproxSchedule
-from repro.core.canary import canary_params, train_with_canaries
+from repro.core.canary import (
+    canary_params,
+    measure_qos_delta,
+    replay_params_for,
+    replay_schedule,
+    train_with_canaries,
+)
 from repro.core.spec import AccuracySpec
 from repro.instrument.energy import EnergyModel, EnergyReport
 
@@ -81,6 +87,99 @@ class TestCanaryParams:
         assert canary["filter_order"] == 1.0  # control flow preserved
         assert canary["fps"] == 10.0
         assert canary["duration"] == 6.0
+
+
+class TestServeTimeCanaries:
+    """The online-guard side of canaries: replay selection + QoS deltas."""
+
+    def test_input_below_grid_keeps_its_own_value(self):
+        # Serve-time inputs can drift below the representative minimum;
+        # a canary must never be more expensive than its input.
+        app = app_instance("pso")
+        drifted = {"swarm_size": 18.0, "dimension": 5.0}
+        assert canary_params(app, drifted) == {"swarm_size": 18.0, "dimension": 4.0}
+
+    def test_cheap_request_replays_verbatim(self):
+        app = app_instance("pso")
+        small = {"swarm_size": 24.0, "dimension": 4.0}
+        replay, scale = replay_params_for(app, small)
+        assert scale == "full"
+        assert replay == small
+
+    def test_expensive_request_replays_at_canary_scale(self):
+        app = app_instance("pso")
+        big = {"swarm_size": 48.0, "dimension": 8.0}
+        replay, scale = replay_params_for(app, big)
+        assert scale == "canary"
+        assert replay == {"swarm_size": 24.0, "dimension": 4.0}
+
+    def test_cost_cap_is_inclusive(self):
+        # 32/24 * 6/4 = 2.0 exactly: still within the default cap.
+        app = app_instance("pso")
+        replay, scale = replay_params_for(app, {"swarm_size": 32.0, "dimension": 6.0})
+        assert scale == "full"
+
+    def test_cost_cap_validated(self):
+        app = app_instance("pso")
+        with pytest.raises(ValueError, match="cost_cap"):
+            replay_params_for(app, {"swarm_size": 24.0, "dimension": 4.0}, cost_cap=0.0)
+
+    def test_replay_schedule_reanchors_plan_and_keeps_levels(self):
+        app = app_instance("pso")
+        big = {"swarm_size": 48.0, "dimension": 8.0}
+        small = {"swarm_size": 24.0, "dimension": 4.0}
+        schedule = ApproxSchedule.uniform(
+            app.blocks, app.make_plan(big, 2), {"fitness_eval": 2}
+        )
+        replayed = replay_schedule(app, schedule, small)
+        assert replayed.plan == app.make_plan(small, 2)
+        for phase in range(2):
+            assert replayed.phase_levels(phase) == schedule.phase_levels(phase)
+
+    def test_qos_delta_is_realized_minus_predicted(self):
+        profiler = profiler_for("pso")
+        app = profiler.app
+        params = smallest_params(app)
+        schedule = ApproxSchedule.uniform(
+            app.blocks, app.make_plan(params, 2), {"fitness_eval": 3}
+        )
+        truth = profiler.measure(params, schedule)
+        qos = measure_qos_delta(app, profiler, params, schedule, 1.0)
+        assert qos.scale == "full"
+        assert qos.realized_degradation == pytest.approx(truth.degradation)
+        assert qos.delta == pytest.approx(truth.degradation - 1.0)
+        assert qos.realized_speedup == pytest.approx(truth.speedup)
+
+    def test_phase_deltas_cover_only_approximated_phases(self):
+        profiler = profiler_for("pso")
+        app = profiler.app
+        params = smallest_params(app)
+        plan = app.make_plan(params, 2)
+        # phase 0 exact, phase 1 approximated
+        schedule = ApproxSchedule(app.blocks, plan, [{}, {"fitness_eval": 3}])
+        qos = measure_qos_delta(
+            app, profiler, params, schedule, 0.0,
+            phase_predictions={0: 0.0, 1: 0.5},
+        )
+        assert set(qos.phase_deltas) == {1}
+        phase_truth = profiler.measure(
+            params,
+            ApproxSchedule.single_phase(app.blocks, plan, 1, {"fitness_eval": 3}),
+        )
+        assert qos.phase_deltas[1] == pytest.approx(phase_truth.degradation - 0.5)
+
+    def test_repeated_measurement_is_free(self):
+        # The profiler memoizes (params, schedule): sampling a hot
+        # request repeatedly must not re-run the application.
+        profiler = profiler_for("pso")
+        app = profiler.app
+        params = smallest_params(app)
+        schedule = ApproxSchedule.uniform(
+            app.blocks, app.make_plan(params, 2), {"fitness_eval": 2}
+        )
+        measure_qos_delta(app, profiler, params, schedule, 0.0)
+        again = measure_qos_delta(app, profiler, params, schedule, 0.0)
+        assert again.executions == 0
 
 
 class TestCanaryTraining:

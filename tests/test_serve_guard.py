@@ -1,0 +1,396 @@
+"""Tests for the serve-time QoS guard (closed-loop canary sampling).
+
+Covers the drift estimator's conservative-bound discipline, the
+``healthy -> tightened -> fallback -> stale`` stage machine, the
+per-phase fallback schedule, and the engine integration: guard-epoch
+cache invalidation, drift detection on off-grid inputs, staleness +
+retrain events, generation resets, and the never-raises contract.
+"""
+
+import threading
+import types
+
+import pytest
+
+from repro.core.canary import QosDelta
+from repro.core.opprox import Opprox
+from repro.core.runtime import ModelStore
+from repro.core.spec import AccuracySpec
+from repro.serve import GuardConfig, ModelRegistry, QosGuard, ServeEngine
+from repro.serve.guard import STAGES, DriftEstimator, fallback_schedule
+
+from tests.conftest import app_instance, profiler_for
+
+TRAIN_INPUTS = (
+    {"swarm_size": 32.0, "dimension": 6.0},
+    {"swarm_size": 48.0, "dimension": 8.0},
+)
+#: off the training grid *below* it — the model extrapolates optimistically
+DRIFTED = {"swarm_size": 18.0, "dimension": 5.0}
+BUDGET = 8.0
+
+
+@pytest.fixture(scope="module")
+def drift_model():
+    """PSO trained on the grid's upper slice: drifted inputs mispredict."""
+    app = app_instance("pso")
+    opprox = Opprox(
+        app,
+        AccuracySpec(training_inputs=list(TRAIN_INPUTS), error_budget=BUDGET),
+        profiler=profiler_for("pso"),
+        n_phases=2,
+        joint_samples_per_phase=6,
+        confidence_p=0.9,
+    )
+    opprox.train()
+    return opprox
+
+
+@pytest.fixture
+def guarded(drift_model, tmp_path):
+    store = ModelStore(tmp_path)
+    store.save(drift_model, train_timestamp=1.0)
+    registry = ModelRegistry(store)
+    guard = QosGuard(
+        GuardConfig(sample_interval=1, min_samples=2, escalate_after=2)
+    )
+    engine = ServeEngine(registry, cache_size=32, guard=guard)
+    return store, registry, guard, engine
+
+
+class TestDriftEstimator:
+    def test_first_sample_sets_mean_zero_variance(self):
+        est = DriftEstimator(alpha=0.5)
+        est.update(4.0)
+        assert est.mean == 4.0
+        assert est.var == 0.0
+        assert est.samples == 1
+
+    def test_ewma_tracks_toward_new_values(self):
+        est = DriftEstimator(alpha=0.5)
+        est.update(0.0)
+        est.update(10.0)
+        assert est.mean == pytest.approx(5.0)
+        assert est.var > 0.0
+
+    def test_min_samples_gates_the_verdict(self):
+        est = DriftEstimator(alpha=0.5)
+        est.update(100.0)
+        assert not est.drifting(3.0, z=1.0, min_samples=2)
+        est.update(100.0)
+        assert est.drifting(3.0, z=1.0, min_samples=2)
+
+    def test_conservative_bound_suppresses_noisy_drift(self):
+        # The mean clears the tolerance but the variance is huge: the
+        # *lower* confidence bound does not, so no drift is declared.
+        est = DriftEstimator(alpha=0.5)
+        est.update(-20.0)
+        est.update(30.0)
+        assert est.mean > 3.0
+        assert est.lower_bound(1.0) < 3.0
+        assert not est.drifting(3.0, z=1.0, min_samples=2)
+        assert est.drifting(3.0, z=0.0, min_samples=2)
+
+
+class TestGuardConfig:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"sample_interval": 0},
+            {"min_samples": 0},
+            {"ewma_alpha": 0.0},
+            {"ewma_alpha": 1.5},
+            {"escalate_after": 0},
+            {"recover_after": 0},
+            {"tighten_budget_scale": 1.5},
+        ],
+    )
+    def test_rejects_bad_values(self, bad):
+        with pytest.raises(ValueError):
+            GuardConfig(**bad)
+
+
+class TestFallbackSchedule:
+    def test_forces_listed_phases_exact(self, drift_model):
+        result = drift_model.optimize(DRIFTED, BUDGET)
+        approximated = {
+            e.phase for e in result.entries if any(e.levels.values())
+        }
+        assert approximated, "fixture must produce a non-exact proposal"
+        target = next(iter(approximated))
+        fallen = fallback_schedule(result, frozenset({target}))
+        assert fallen is not None
+        schedule, speedup, degradation = fallen
+        assert not any(schedule.phase_levels(target).values())
+        untouched = [p for p in range(schedule.plan.n_phases) if p != target]
+        for phase in untouched:
+            assert schedule.phase_levels(phase) == result.schedule.phase_levels(phase)
+        assert degradation <= result.predicted_degradation
+        assert speedup >= 1.0
+
+    def test_none_when_phases_already_exact(self, drift_model):
+        result = drift_model.optimize(DRIFTED, BUDGET)
+        exact_phases = frozenset(
+            e.phase for e in result.entries if not any(e.levels.values())
+        ) or frozenset({99})
+        assert fallback_schedule(result, exact_phases) is None
+
+    def test_all_phases_yields_fully_exact_schedule(self, drift_model):
+        result = drift_model.optimize(DRIFTED, BUDGET)
+        fallen = fallback_schedule(
+            result, frozenset(range(result.schedule.plan.n_phases))
+        )
+        assert fallen is not None
+        schedule, speedup, degradation = fallen
+        assert schedule.is_exact
+        assert speedup == 1.0
+        assert degradation == 0.0
+
+
+def _machine_guard(**overrides):
+    defaults = dict(
+        sample_interval=1,
+        min_samples=1,
+        escalate_after=1,
+        recover_after=1,
+        confidence_z=0.0,
+    )
+    defaults.update(overrides)
+    return QosGuard(GuardConfig(**defaults))
+
+
+def _feed(guard, delta, phase_deltas=None, tolerance=3.0):
+    """Drive the transition machine with a synthetic replay outcome."""
+    qos = QosDelta(
+        app_name="pso",
+        params={},
+        replay_params={},
+        scale="full",
+        predicted_degradation=0.0,
+        realized_degradation=delta,
+        delta=delta,
+        realized_speedup=1.0,
+        phase_deltas=dict(phase_deltas or {}),
+        executions=0,
+    )
+    state = guard._ensure("pso")
+    result = types.SimpleNamespace(entries=[])
+    guard._update_and_transition("pso", state, qos, tolerance, result)
+    return state
+
+
+class TestStageMachine:
+    def test_trip_escalate_to_stale(self):
+        guard = _machine_guard()
+        _feed(guard, 10.0, {1: 10.0})
+        assert guard.stage("pso") == "tightened"
+        _feed(guard, 10.0, {1: 10.0})
+        assert guard.stage("pso") == "fallback"
+        state = _feed(guard, 10.0, {1: 10.0})
+        assert guard.stage("pso") == "stale"
+        assert state.transitions == ["tightened", "fallback", "stale"]
+        # no registry bound: the event is recorded as unwritten
+        assert state.stale_event_path == "<unwritten>"
+
+    def test_epoch_bumps_on_every_transition(self):
+        guard = _machine_guard()
+        epochs = [guard.epoch("pso")]
+        for _ in range(3):
+            _feed(guard, 10.0, {1: 10.0})
+            epochs.append(guard.epoch("pso"))
+        assert epochs == sorted(set(epochs)), "epochs must be strictly increasing"
+
+    def test_directive_reflects_stage_and_phases(self):
+        guard = _machine_guard()
+        healthy = guard.directive("pso")
+        assert healthy.stage == "healthy"
+        assert healthy.budget_scale == 1.0
+        assert healthy.fallback_phases == frozenset()
+
+        _feed(guard, 10.0, {1: 10.0})
+        tightened = guard.directive("pso")
+        assert tightened.stage == "tightened"
+        assert tightened.budget_scale == guard.config.tighten_budget_scale
+        assert tightened.weight_scale == {1: guard.config.tighten_weight_scale}
+        assert tightened.fallback_phases == frozenset()
+
+        _feed(guard, 10.0, {1: 10.0})
+        fallback = guard.directive("pso")
+        assert fallback.stage == "fallback"
+        assert fallback.fallback_phases == frozenset({1})
+
+    def test_widened_drift_set_bumps_epoch_without_escalating(self):
+        guard = _machine_guard(escalate_after=10)
+        _feed(guard, 10.0, {0: 10.0})
+        assert guard.stage("pso") == "tightened"
+        before = guard.epoch("pso")
+        _feed(guard, 10.0, {1: 10.0})
+        assert guard.stage("pso") == "tightened"
+        assert guard.epoch("pso") > before
+        assert guard.directive("pso").weight_scale == {
+            0: guard.config.tighten_weight_scale,
+            1: guard.config.tighten_weight_scale,
+        }
+
+    def test_clean_samples_step_back_down_to_healthy(self):
+        guard = _machine_guard()
+        for _ in range(3):
+            _feed(guard, 10.0, {1: 10.0})
+        assert guard.stage("pso") == "stale"
+        # strongly clean samples pull the EWMA below tolerance fast
+        for expected in ("fallback", "tightened", "healthy"):
+            state = _feed(guard, -30.0, {1: -30.0})
+            assert guard.stage("pso") == expected
+        # reaching healthy clears the evidence: nothing left to re-trip
+        assert not state.drifting_phases
+        assert state.total.samples == 0
+        assert not state.phases
+
+    def test_tolerance_respected(self):
+        guard = _machine_guard()
+        _feed(guard, 2.0, {1: 2.0}, tolerance=3.0)
+        assert guard.stage("pso") == "healthy"
+        # the EWMA must *accumulate* past the tolerance, not just see
+        # one sample over it
+        _feed(guard, 8.0, {1: 8.0}, tolerance=3.0)
+        assert guard.stage("pso") == "tightened"
+
+    def test_unattributed_total_drift_blames_approximated_phases(self):
+        guard = _machine_guard()
+        qos = QosDelta(
+            app_name="pso", params={}, replay_params={}, scale="full",
+            predicted_degradation=0.0, realized_degradation=10.0, delta=10.0,
+            realized_speedup=1.0, phase_deltas={}, executions=0,
+        )
+        state = guard._ensure("pso")
+        result = types.SimpleNamespace(
+            entries=[
+                types.SimpleNamespace(phase=0, levels={"a": 0}),
+                types.SimpleNamespace(phase=1, levels={"a": 2}),
+            ]
+        )
+        guard._update_and_transition("pso", state, qos, 3.0, result)
+        assert guard.stage("pso") == "tightened"
+        assert state.drifting_phases == {1}
+
+
+class TestEngineIntegration:
+    def _drive_to(self, engine, guard, stage, limit=12):
+        for _ in range(limit):
+            engine.submit("pso", DRIFTED, BUDGET)
+            if STAGES.index(guard.stage("pso")) >= STAGES.index(stage):
+                return
+        pytest.fail(f"guard never reached {stage}: {guard.info()}")
+
+    def test_in_distribution_traffic_stays_healthy(self, guarded):
+        _, _, guard, engine = guarded
+        for _ in range(4):
+            response = engine.submit("pso", TRAIN_INPUTS[0], BUDGET)
+            assert not response.degraded
+        assert guard.stage("pso") == "healthy"
+        assert engine.stats.guard_trips == 0
+        assert engine.stats.guard_samples > 0
+
+    def test_drift_escalates_to_fallback_and_stale(self, guarded):
+        _, registry, guard, engine = guarded
+        self._drive_to(engine, guard, "stale")
+        response = engine.submit("pso", DRIFTED, BUDGET)
+        assert response.degraded
+        assert "qos guard" in response.degraded_reason
+        assert response.guard_stage == "stale"
+        assert engine.stats.guard_trips >= 1
+        assert engine.stats.guard_escalations >= 2
+        assert engine.stats.guard_stale_marks == 1
+        assert engine.stats.guard_fallbacks >= 1
+        assert registry.is_stale("pso")
+        event = registry.retrain_event("pso")
+        assert event is not None
+        assert event["action"] == "retrain"
+        assert "qos drift" in event["reason"]
+        snap = guard.info()["pso"]
+        assert snap["transitions"][:3] == ["tightened", "fallback", "stale"]
+        assert snap["drifting_phases"], "drift must be attributed to phases"
+
+    def test_cache_entries_die_with_the_guard_epoch(self, guarded):
+        _, _, guard, engine = guarded
+        first = engine.submit("pso", DRIFTED, BUDGET)
+        assert not first.cache_hit
+        second = engine.submit("pso", DRIFTED, BUDGET)
+        # the second submission's sample reaches min_samples and trips
+        assert second.cache_hit
+        assert guard.stage("pso") == "tightened"
+        third = engine.submit("pso", DRIFTED, BUDGET)
+        assert not third.cache_hit, (
+            "a schedule computed under an older guard epoch must not be served"
+        )
+        assert engine.stats.misses == 2
+
+    def test_fallback_restores_realized_qos(self, guarded):
+        _, _, guard, engine = guarded
+        self._drive_to(engine, guard, "fallback")
+        response = engine.submit("pso", DRIFTED, BUDGET)
+        assert response.degraded
+        profiler = profiler_for("pso")
+        run = profiler.measure(DRIFTED, response.schedule)
+        assert run.degradation <= BUDGET
+        # the raw proposal (what the guard tripped on) violates it
+        raw = engine.registry.get("pso").opprox.optimize(DRIFTED, BUDGET)
+        assert profiler.measure(DRIFTED, raw.schedule).degradation > BUDGET
+
+    def test_exact_proposals_are_uninformative(self, guarded):
+        _, _, guard, engine = guarded
+        engine.submit("pso", TRAIN_INPUTS[1], BUDGET)
+        snap = guard.info()["pso"]
+        assert snap["uninformative"] >= 1
+        assert snap["samples"] == 0
+        assert guard.stage("pso") == "healthy"
+
+    def test_generation_change_resets_the_guard(self, guarded, drift_model):
+        store, _, guard, engine = guarded
+        self._drive_to(engine, guard, "tightened")
+        store.save(drift_model, train_timestamp=2.0)
+        engine.submit("pso", TRAIN_INPUTS[0], BUDGET)
+        assert guard.stage("pso") == "healthy"
+        assert "reset" in guard.info()["pso"]["transitions"]
+        assert engine.stats.guard_resets == 1
+
+    def test_sampling_failure_never_reaches_the_client(self, guarded, monkeypatch):
+        _, _, guard, engine = guarded
+        import repro.serve.guard as guard_module
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("replay exploded")
+
+        monkeypatch.setattr(guard_module, "measure_qos_delta", boom)
+        response = engine.submit("pso", DRIFTED, BUDGET)
+        assert not response.degraded
+        assert engine.stats.guard_sample_errors >= 1
+        assert guard.info()["pso"]["sample_errors"] >= 1
+        assert guard.stage("pso") == "healthy"
+
+    def test_concurrent_drift_traffic_is_safe(self, guarded):
+        _, registry, guard, engine = guarded
+        errors = []
+
+        def client():
+            try:
+                for _ in range(6):
+                    response = engine.submit("pso", DRIFTED, BUDGET)
+                    assert response.schedule is not None
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert STAGES.index(guard.stage("pso")) >= STAGES.index("tightened")
+        assert registry.is_stale("pso") or guard.stage("pso") != "stale"
+
+    def test_bind_rejects_second_engine(self, guarded):
+        _, _, guard, _ = guarded
+        other = ModelRegistry(ModelStore("/tmp/does-not-matter"))
+        with pytest.raises(RuntimeError, match="already bound"):
+            guard.bind(other, None)

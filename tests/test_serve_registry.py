@@ -120,3 +120,127 @@ class TestListing:
         assert set(listing) == {"broken", "pso"}
         assert "error" in listing["broken"]
         assert "error" not in listing["pso"]
+
+
+class TestStalenessAndRetrainEvents:
+    def test_mark_stale_emits_durable_event(self, store):
+        registry = ModelRegistry(store)
+        path = registry.mark_stale("pso", "qos drift", detail={"phases": [1]})
+        assert path is not None and path.exists()
+        assert registry.is_stale("pso")
+        assert registry.stale_marks == 1
+        event = registry.retrain_event("pso")
+        assert event["app"] == "pso"
+        assert event["action"] == "retrain"
+        assert event["reason"] == "qos drift"
+        assert event["detail"] == {"phases": [1]}
+        assert registry.pending_retrains() == {"pso": event}
+
+    def test_clear_stale(self, store):
+        registry = ModelRegistry(store)
+        registry.mark_stale("pso", "qos drift")
+        registry.clear_stale("pso")
+        assert not registry.is_stale("pso")
+        # the durable event survives a soft recovery: retraining is
+        # still advisable, just no longer forced
+        assert registry.retrain_event("pso") is not None
+
+    def test_retrain_resolves_staleness_lazily(self, store, trained_pso):
+        registry = ModelRegistry(store)
+        registry.mark_stale("pso", "qos drift")
+        store.save(trained_pso, train_timestamp=200.0)
+        assert not registry.is_stale("pso")
+
+    def test_hot_reload_clears_stale_flag(self, store, trained_pso):
+        registry = ModelRegistry(store)
+        registry.get("pso")
+        registry.mark_stale("pso", "qos drift")
+        store.save(trained_pso, train_timestamp=200.0)
+        registry.get("pso")
+        assert not registry.is_stale("pso")
+        assert registry.stale_info() == {}
+
+    def test_consume_retrain_event_removes_the_file(self, store):
+        registry = ModelRegistry(store)
+        registry.mark_stale("pso", "qos drift")
+        event = registry.consume_retrain_event("pso")
+        assert event is not None
+        assert registry.retrain_event("pso") is None
+        assert registry.consume_retrain_event("pso") is None
+
+    def test_corrupt_event_warns_and_is_consumable(self, store):
+        registry = ModelRegistry(store)
+        registry.retrain_event_path("pso").write_bytes(b"not json{")
+        with pytest.warns(RuntimeWarning, match="corrupt retrain event"):
+            assert registry.retrain_event("pso") is None
+        with pytest.warns(RuntimeWarning):
+            registry.consume_retrain_event("pso")
+        assert not registry.retrain_event_path("pso").exists()
+
+
+class TestHotReloadRace:
+    """A retrain landing mid-flight must never mix model generations."""
+
+    @pytest.fixture(scope="class")
+    def other_pso(self):
+        # Same app, different phase layout: its schedules are
+        # structurally distinguishable from trained_pso's.
+        app = app_instance("pso")
+        opprox = Opprox(
+            app,
+            AccuracySpec.for_app(app, max_inputs=2),
+            profiler=profiler_for("pso"),
+            n_phases=4,
+            joint_samples_per_phase=4,
+            confidence_p=0.9,
+        )
+        opprox.train()
+        return opprox
+
+    def test_concurrent_submit_never_serves_mixed_generations(
+        self, store, trained_pso, other_pso
+    ):
+        import threading
+
+        from repro.serve import ServeEngine
+
+        params = {"swarm_size": 32.0, "dimension": 6.0}
+        budget = 10.0
+        valid = {
+            trained_pso.optimize(params, budget).schedule,
+            other_pso.optimize(params, budget).schedule,
+        }
+        assert len(valid) == 2, "the two models must disagree for this test"
+
+        engine = ServeEngine(ModelRegistry(store), cache_size=8)
+        responses = []
+        errors = []
+        swapped = threading.Event()
+
+        def client():
+            try:
+                for _ in range(40):
+                    responses.append(engine.submit("pso", params, budget))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def swapper():
+            swapped.wait()
+            store.save(other_pso, train_timestamp=300.0)
+
+        threads = [threading.Thread(target=client) for _ in range(4)]
+        threads.append(threading.Thread(target=swapper))
+        for t in threads:
+            t.start()
+        swapped.set()
+        for t in threads:
+            t.join()
+
+        assert not errors
+        assert responses and not any(r.degraded for r in responses)
+        # every response matches exactly one model's direct answer —
+        # never a schedule attributed to the wrong generation
+        for response in responses:
+            assert response.schedule in valid
+        final = engine.submit("pso", params, budget)
+        assert final.schedule == other_pso.optimize(params, budget).schedule

@@ -1,6 +1,6 @@
 # Convenience targets for the OPPROX reproduction.
 
-.PHONY: install test verify serve-smoke train-resume-smoke chaos-smoke guard-smoke bench bench-measure bench-diff figures examples clean
+.PHONY: install test verify serve-smoke train-resume-smoke chaos-smoke guard-smoke library-smoke bench bench-measure bench-library bench-diff figures examples clean
 
 install:
 	pip install -e .
@@ -14,8 +14,9 @@ test:
 # the checkpointed pipeline (train -> SIGKILL mid-sampling -> resume ->
 # bit-identical model), of the fault-injection framework (seeded
 # chaos run -> bit-identical model despite crashes/hangs/corruption),
-# and the bench-diff perf-regression gate (quick measurement benchmark
-# vs the committed BENCH_measure.json baseline).
+# of the variant library (build -> bit-identical >=5x-cheaper retrain
+# -> corruption recovery), and the bench-diff perf-regression gate
+# (quick benchmarks vs the committed BENCH_*.json baselines).
 verify:
 	PYTHONPATH=src python -m pytest -x -q
 	PYTHONPATH=src python -m repro oracle --app pso --budget 10 \
@@ -26,6 +27,7 @@ verify:
 	$(MAKE) train-resume-smoke
 	$(MAKE) chaos-smoke
 	$(MAKE) guard-smoke
+	$(MAKE) library-smoke
 	$(MAKE) bench-diff
 
 # Serving-path smoke: train a small model, start the engine in-process,
@@ -69,6 +71,16 @@ guard-smoke:
 	python scripts/guard_smoke.py .guard-smoke
 	rm -rf .guard-smoke
 
+# Variant-library smoke: full-sweep reference, then build the app's
+# library (bit-identical model), retrain from the reloaded library at a
+# new budget (bit-identical again, >=5x fewer fresh measurements),
+# corrupt the library file and retrain (clean rebuild, no crash), and
+# fail on any temp-file litter.
+library-smoke:
+	rm -rf .library-smoke
+	python scripts/library_smoke.py .library-smoke
+	rm -rf .library-smoke
+
 bench:
 	pytest benchmarks/ --benchmark-only -q
 
@@ -77,18 +89,29 @@ bench:
 bench-measure:
 	PYTHONPATH=src python -m repro bench-measure --output BENCH_measure.json
 
-# Perf-regression gate: re-run the measurement benchmark in quick mode
-# and compare the vectorized speedups against the committed baseline.
-# The quick run uses fewer schedules (slightly lower amortization), so
-# the relative threshold is generous; a real regression — losing the
-# vectorized path's order-of-magnitude advantage — still trips it and
-# exits 6.
+# Refresh the committed variant-library benchmark baseline (sweep vs
+# library-backed repeat training; asserts bit-identical fingerprints
+# and the >=5x measurement-reduction bar).
+bench-library:
+	PYTHONPATH=src python -m repro bench-library --output BENCH_library.json
+
+# Perf-regression gate: re-run the benchmarks in quick mode and compare
+# against the committed baselines.  The quick runs use fewer
+# schedules/repeats (slightly noisier), so the relative thresholds are
+# generous; a real regression — losing the vectorized path's
+# order-of-magnitude advantage, or a library change that craters the
+# measurement reduction — still trips it and exits 6.
 bench-diff:
-	rm -f .bench-head.json
+	rm -f .bench-head.json .bench-library-head.json
 	PYTHONPATH=src python -m repro bench-measure --quick --output .bench-head.json
 	PYTHONPATH=src python -m repro bench-diff BENCH_measure.json .bench-head.json \
 		--metric '*speedup*' --rel-threshold 0.5
-	rm -f .bench-head.json
+	PYTHONPATH=src python -m repro bench-library --quick \
+		--output .bench-library-head.json
+	PYTHONPATH=src python -m repro bench-diff BENCH_library.json \
+		.bench-library-head.json \
+		--metric '*reduction*' --rel-threshold 0.5
+	rm -f .bench-head.json .bench-library-head.json
 
 figures:
 	python examples/generate_figures.py figures
@@ -102,6 +125,6 @@ examples:
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks
 	rm -rf .verify-cache .serve-smoke-models .train-resume-smoke
-	rm -rf .chaos-smoke .chaos .guard-smoke .guard
-	rm -f .bench-head.json
+	rm -rf .chaos-smoke .chaos .guard-smoke .guard .library-smoke .library
+	rm -f .bench-head.json .bench-library-head.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,61 @@
+"""Variant-library reuse benchmark — emits BENCH_library.json.
+
+The acceptance bar of the library subsystem, measured: repeat training
+(same app, new error budget) through a persisted :class:`VariantLibrary`
+must perform at least **5x** fewer fresh application executions than a
+full sweep while producing a bit-identical model.  Three legs per app
+(sweep / build / reuse) plus an oracle-frontier leg where a warm library
+sweep must cost *zero* executions.  ``run_library_bench`` raises on any
+fingerprint divergence or sub-5x reduction, so a passing benchmark is
+itself the proof; the emitted ``*_measurement_reduction`` metrics are
+additionally gated by ``make bench-diff`` against the committed
+baseline.
+"""
+
+import json
+from pathlib import Path
+
+from repro.bench.library import run_library_bench
+
+from benchmarks.conftest import run_once
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_library.json"
+
+
+def library_reuse_experiment(root: Path) -> dict:
+    report = run_library_bench(repeats=3, library_root=root)
+    BENCH_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
+def test_library_reuse(benchmark, tmp_path):
+    report = run_once(benchmark, library_reuse_experiment, tmp_path / "library")
+    metrics = report["metrics"]
+
+    for app_name in report["config"]["apps"]:
+        sweep = metrics[f"{app_name}_sweep_executions"]["samples"]
+        reuse = metrics[f"{app_name}_reuse_executions"]["samples"]
+        reductions = metrics[f"{app_name}_measurement_reduction"]["samples"]
+        print(f"{app_name}: {sweep[0]:.0f} sweep vs {reuse[0]:.0f} reuse "
+              f"execution(s) per run ({min(reductions):.0f}x reduction, "
+              f"bit-identical={report['bit_identical'][app_name]})")
+        # The PR acceptance criterion: >=5x fewer fresh measurements on
+        # a repeat run, with the model fingerprint unchanged.
+        assert min(reductions) >= 5.0
+        assert report["bit_identical"][app_name]
+        assert min(sweep) > 0
+
+    cold = metrics["oracle_cold_executions"]["samples"]
+    warm = metrics["oracle_warm_executions"]["samples"]
+    print(f"oracle: {cold[0]:.0f} cold vs {warm[0]:.0f} warm execution(s)")
+    # A warm library turns the oracle sweep into a pure replay.
+    assert max(warm) == 0.0
+    assert min(cold) > 0
+
+    print(f"report: {BENCH_PATH}")
+    persisted = json.loads(BENCH_PATH.read_text())
+    assert persisted["benchmark"] == "library"
+    for app_name in persisted["config"]["apps"]:
+        assert min(
+            persisted["metrics"][f"{app_name}_measurement_reduction"]["samples"]
+        ) >= 5.0

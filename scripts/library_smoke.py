@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""Variant-library smoke gate (the PR acceptance bar, end to end).
+
+Proves the library subsystem's central promise in-process:
+
+1. train a reference model with a full sweep and record its canonical
+   fingerprint plus the number of fresh application executions;
+2. build the app's variant library by training through an empty
+   :class:`VariantLibrary` — the model must be bit-identical to the
+   sweep reference — and atomically publish it;
+3. retrain from the *reloaded* library with a fresh profiler and a new
+   error budget: the model must again be bit-identical and the fresh
+   measurements must be at least **5x** fewer than the sweep's;
+4. corrupt the on-disk library file and retrain: the load must degrade
+   to a clean rebuild (warning, no crash), the rebuilt model must still
+   be bit-identical, and republishing must produce a loadable library;
+5. the work directory must contain zero temp-file litter throughout.
+
+Exit status 0 on success; nonzero with a diagnostic otherwise.  The
+training workload is deliberately tiny (a few seconds) — the point is
+the reuse/invalidation machinery, not model quality.
+
+Usage::
+
+    python scripts/library_smoke.py [workdir]
+"""
+
+from __future__ import annotations
+
+import sys
+import warnings
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.apps import make_app  # noqa: E402
+from repro.core.opprox import Opprox  # noqa: E402
+from repro.core.spec import AccuracySpec  # noqa: E402
+from repro.library import VariantLibrary  # noqa: E402
+from repro.pipeline import model_fingerprint  # noqa: E402
+
+APP = "pso"
+N_PHASES = 2
+MAX_INPUTS = 2
+JOINT_SAMPLES = 6
+BUDGET_FIRST = 10.0
+BUDGET_REPEAT = 20.0
+MIN_REDUCTION = 5.0
+
+
+def fail(message: str) -> None:
+    print(f"library smoke FAILED: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def tmp_litter(root: Path) -> list[Path]:
+    return [
+        p for p in root.rglob("*")
+        if p.is_file() and (".tmp-" in p.name or p.name.endswith(".tmp"))
+    ]
+
+
+def fresh_opprox(budget: float, library=None) -> Opprox:
+    app = make_app(APP)
+    return Opprox(
+        app,
+        AccuracySpec.for_app(app, max_inputs=MAX_INPUTS, error_budget=budget),
+        n_phases=N_PHASES,
+        joint_samples_per_phase=JOINT_SAMPLES,
+        seed=0,
+        variant_library=library,
+    )
+
+
+def main() -> None:
+    workdir = Path(sys.argv[1] if len(sys.argv) > 1 else ".library-smoke")
+    workdir = workdir.resolve()
+    workdir.mkdir(parents=True, exist_ok=True)
+    library_root = workdir / "library"
+
+    # 1. Full-sweep reference.
+    sweep = fresh_opprox(BUDGET_FIRST)
+    sweep.train()
+    reference = model_fingerprint(sweep)
+    sweep_execs = sweep.measurement_stats.executions
+    print(f"sweep reference: {sweep_execs} execution(s), "
+          f"fingerprint {reference[:16]}…")
+    if sweep_execs <= 0:
+        fail("sweep training performed no measurements — nothing to compare")
+
+    # 2. Build the library (same training, through an empty library).
+    builder = fresh_opprox(BUDGET_FIRST, VariantLibrary(library_root, make_app(APP)))
+    builder.train()
+    if model_fingerprint(builder) != reference:
+        fail("library-building run diverged from the sweep reference "
+             f"({model_fingerprint(builder)[:16]}… != {reference[:16]}…)")
+    if builder.variant_library.save() is None:
+        fail("library save was dropped")
+    library_file = builder.variant_library.path
+    print(f"library built: {builder.variant_library.n_variants} variant(s), "
+          f"{library_file.stat().st_size} bytes")
+
+    # 3. Retrain from the reloaded library at a new budget.
+    reuse = fresh_opprox(BUDGET_REPEAT, VariantLibrary(library_root, make_app(APP)))
+    reuse.train()
+    reuse_execs = reuse.measurement_stats.executions
+    if model_fingerprint(reuse) != reference:
+        fail("library-trained model is not bit-identical to the sweep "
+             f"reference ({model_fingerprint(reuse)[:16]}… != {reference[:16]}…)")
+    reduction = sweep_execs / max(reuse_execs, 1)
+    print(f"retrain from library: {reuse_execs} execution(s) "
+          f"({reduction:.0f}x fewer), bit-identical")
+    if sweep_execs < MIN_REDUCTION * max(reuse_execs, 1):
+        fail(f"library reuse saved only {reduction:.1f}x measurements "
+             f"({sweep_execs} sweep vs {reuse_execs} reuse) — below the "
+             f"{MIN_REDUCTION:.0f}x acceptance bar")
+
+    # 4. Corrupt the library file; the next run must rebuild cleanly.
+    raw = library_file.read_bytes()
+    library_file.write_bytes(raw[: len(raw) // 3] + b"\x00garbage\x00")
+    corrupted_library = VariantLibrary(library_root, make_app(APP))
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        corrupted_library.load()
+    if corrupted_library.n_variants != 0:
+        fail("corrupt library was partially ingested instead of discarded")
+    if not any("corrupt" in str(w.message) for w in caught):
+        fail("corrupt library load did not warn")
+    rebuilt = fresh_opprox(BUDGET_FIRST, corrupted_library)
+    rebuilt.train()
+    if model_fingerprint(rebuilt) != reference:
+        fail("post-corruption rebuild diverged from the sweep reference")
+    if corrupted_library.save() is None:
+        fail("post-corruption library save was dropped")
+    reloaded = VariantLibrary(library_root, make_app(APP))
+    reloaded.load()
+    if reloaded.n_variants != builder.variant_library.n_variants:
+        fail(f"rebuilt library holds {reloaded.n_variants} variant(s), "
+             f"expected {builder.variant_library.n_variants}")
+    print(f"corruption recovered: clean rebuild with "
+          f"{reloaded.n_variants} variant(s) "
+          f"({corrupted_library.stats.corrupt_discards} corrupt discard(s))")
+
+    # 5. Zero temp-file litter anywhere in the workdir.
+    litter = tmp_litter(workdir)
+    if litter:
+        fail(f"temp-file litter left behind: {[str(p) for p in litter]}")
+
+    print("library smoke ok")
+
+
+if __name__ == "__main__":
+    main()

@@ -5,6 +5,10 @@ vectorized batch path (:meth:`Application.run_batch` /
 ``measure_batch(strategy="vectorized")``), verifies bit-equality while
 it is at it, and emits a ``BENCH_measure.json`` metrics file.
 
+:mod:`repro.bench.library` measures the variant-library reuse win
+(sweep vs library-backed repeat training, fingerprints asserted
+bit-identical) and emits ``BENCH_library.json``.
+
 :mod:`repro.bench.diff` is a Perun-style performance-regression gate: it
 fits simple models to the metric trajectories across successive
 ``BENCH_*.json`` files and fails (exit code 6) when the newest point
@@ -18,6 +22,7 @@ from repro.bench.diff import (
     format_changes,
     load_bench,
 )
+from repro.bench.library import run_library_bench
 from repro.bench.measure import run_measure_bench
 
 __all__ = [
@@ -25,5 +30,6 @@ __all__ = [
     "detect_changes",
     "format_changes",
     "load_bench",
+    "run_library_bench",
     "run_measure_bench",
 ]

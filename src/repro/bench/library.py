@@ -1,0 +1,260 @@
+"""Variant-library reuse benchmark (feeds ``BENCH_library.json``).
+
+Measures the claim the library subsystem exists for: *repeat training —
+same app, new budget — through the library performs at least 5x fewer
+fresh measurements than a full sweep, with a bit-identical model.*
+Three leg per app:
+
+1. **sweep** — train a fresh :class:`Opprox` the pre-library way and
+   count real application executions;
+2. **build** — train again through an empty :class:`VariantLibrary`
+   (same execution count; fills and publishes the library);
+3. **reuse** — reload the library from disk and retrain with a fresh
+   profiler, optimizer, and budget.  Executions here are the residual
+   cost of a repeat run.
+
+The emitted ``*_measurement_reduction`` metrics (sweep / reuse
+executions) are what :mod:`repro.bench.diff` gates against the
+committed baseline; a change that silently breaks reuse (e.g. a
+fingerprint perturbation that discards every library as stale) craters
+the reduction and fails CI.  Fingerprint identity between the sweep and
+reuse models is a hard error, not a metric — a fast wrong model is
+worthless.
+
+The oracle leg measures the same reuse effect for
+:func:`~repro.eval.oracle.oracle_frontier` across two budgets.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["BENCH_BUDGETS", "LIBRARY_BENCH_PARAMS", "run_library_bench"]
+
+SCHEMA = "repro-bench-v1"
+
+#: (first, repeat) error budgets — the repeat run's budget differs so
+#: the benchmark exercises "same app, new budget", not a trivial rerun.
+BENCH_BUDGETS = (10.0, 20.0)
+
+#: Per-app benchmark training configuration (small but structured:
+#: two phases, two inputs, a handful of joint vectors).
+LIBRARY_BENCH_PARAMS: Dict[str, Dict[str, int]] = {
+    "pso": {"n_phases": 2, "max_inputs": 2, "joint_samples": 6},
+    "comd": {"n_phases": 2, "max_inputs": 2, "joint_samples": 4},
+}
+
+
+def run_library_bench(
+    apps: Optional[Sequence[str]] = None,
+    repeats: int = 3,
+    quick: bool = False,
+    seed: int = 2017,
+    library_root=None,
+    progress=None,
+) -> Dict[str, object]:
+    """Benchmark sweep-vs-library training; return the report dict.
+
+    ``library_root`` is where the per-app libraries are built (a temp
+    directory when None).  Raises ``RuntimeError`` if a library-trained
+    model's fingerprint diverges from the sweep-trained one or the
+    measurement reduction falls below 5x — the acceptance bar, enforced
+    here so both the benchmark suite and the smoke gate inherit it.
+    """
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    from repro.apps import make_app
+    from repro.core.opprox import Opprox
+    from repro.core.spec import AccuracySpec
+    from repro.eval.oracle import oracle_frontier
+    from repro.instrument.harness import Profiler
+    from repro.instrument.stats import MeasurementStats
+    from repro.library.store import VariantLibrary
+    from repro.pipeline.fingerprint import model_fingerprint
+
+    if quick:
+        repeats = min(repeats, 1)
+    app_names = list(apps) if apps else list(LIBRARY_BENCH_PARAMS)
+    say = progress or (lambda message: None)
+
+    owns_root = library_root is None
+    root = Path(tempfile.mkdtemp(prefix="bench-library-")) if owns_root else Path(
+        library_root
+    )
+    metrics: Dict[str, Dict[str, object]] = {}
+    identical: Dict[str, bool] = {}
+    try:
+        for app_name in app_names:
+            if app_name not in LIBRARY_BENCH_PARAMS:
+                raise ValueError(
+                    f"no benchmark configuration for {app_name!r} "
+                    f"(available: {sorted(LIBRARY_BENCH_PARAMS)})"
+                )
+            config = LIBRARY_BENCH_PARAMS[app_name]
+
+            def fresh_opprox(budget: float, library=None) -> Opprox:
+                app = make_app(app_name)
+                return Opprox(
+                    app,
+                    AccuracySpec.for_app(
+                        app,
+                        max_inputs=config["max_inputs"],
+                        error_budget=budget,
+                    ),
+                    n_phases=config["n_phases"],
+                    joint_samples_per_phase=config["joint_samples"],
+                    seed=seed,
+                    variant_library=library,
+                )
+
+            sweep_execs: List[int] = []
+            reuse_execs: List[int] = []
+            reductions: List[float] = []
+            sweep_seconds: List[float] = []
+            reuse_seconds: List[float] = []
+            for repeat in range(repeats):
+                # sweep leg: the pre-library cost of one training run
+                sweep = fresh_opprox(BENCH_BUDGETS[0])
+                started = time.perf_counter()
+                sweep.train()
+                sweep_seconds.append(time.perf_counter() - started)
+                sweep_fp = model_fingerprint(sweep)
+                sweep_execs.append(sweep.measurement_stats.executions)
+
+                # build leg: same training, filling a fresh library
+                app_root = root / f"{app_name}-r{repeat}"
+                builder = fresh_opprox(
+                    BENCH_BUDGETS[0], VariantLibrary(app_root, make_app(app_name))
+                )
+                builder.train()
+                builder.variant_library.save()
+
+                # reuse leg: reload from disk, retrain at the new budget
+                reuse = fresh_opprox(
+                    BENCH_BUDGETS[1], VariantLibrary(app_root, make_app(app_name))
+                )
+                started = time.perf_counter()
+                reuse.train()
+                reuse_seconds.append(time.perf_counter() - started)
+                reuse_fp = model_fingerprint(reuse)
+                reuse_execs.append(reuse.measurement_stats.executions)
+
+                same = reuse_fp == sweep_fp == model_fingerprint(builder)
+                identical[app_name] = same
+                if not same:
+                    raise RuntimeError(
+                        f"{app_name}: library-trained model fingerprint "
+                        f"diverges from the sweep-trained one — refusing to "
+                        f"report a reuse win for a different model"
+                    )
+                reduction = sweep_execs[-1] / max(reuse_execs[-1], 1)
+                reductions.append(reduction)
+                if reduction < 5.0:
+                    raise RuntimeError(
+                        f"{app_name}: library reuse saved only "
+                        f"{reduction:.1f}x measurements "
+                        f"({sweep_execs[-1]} sweep vs {reuse_execs[-1]} "
+                        f"reuse) — below the 5x acceptance bar"
+                    )
+                say(
+                    f"{app_name} repeat {repeat + 1}/{repeats}: "
+                    f"{sweep_execs[-1]} sweep vs {reuse_execs[-1]} reuse "
+                    f"execution(s) ({reduction:.0f}x), bit-identical"
+                )
+
+            metrics[f"{app_name}_sweep_executions"] = {
+                "samples": [float(v) for v in sweep_execs],
+                "direction": "lower",
+                "unit": "runs",
+            }
+            metrics[f"{app_name}_reuse_executions"] = {
+                "samples": [float(v) for v in reuse_execs],
+                "direction": "lower",
+                "unit": "runs",
+            }
+            metrics[f"{app_name}_measurement_reduction"] = {
+                "samples": reductions,
+                "direction": "higher",
+                "unit": "x",
+            }
+            metrics[f"{app_name}_sweep_train_seconds"] = {
+                "samples": sweep_seconds,
+                "direction": "lower",
+                "unit": "s",
+            }
+            metrics[f"{app_name}_reuse_train_seconds"] = {
+                "samples": reuse_seconds,
+                "direction": "lower",
+                "unit": "s",
+            }
+
+        # oracle leg: frontier sweep at one budget, reuse at another
+        oracle_app = app_names[0]
+        cold_execs: List[float] = []
+        warm_execs: List[float] = []
+        for repeat in range(repeats):
+            app = make_app(oracle_app)
+            params = app.default_params()
+            library = VariantLibrary(root / f"oracle-r{repeat}", app)
+            cold_stats = MeasurementStats()
+            oracle_frontier(
+                Profiler(app),
+                params,
+                level_stride=2,
+                stats=cold_stats,
+                library=library,
+            )
+            library.save()
+            warm_stats = MeasurementStats()
+            oracle_frontier(
+                Profiler(make_app(oracle_app)),
+                params,
+                level_stride=2,
+                stats=warm_stats,
+                library=VariantLibrary(
+                    root / f"oracle-r{repeat}", make_app(oracle_app)
+                ),
+            )
+            cold_execs.append(float(cold_stats.executions))
+            warm_execs.append(float(warm_stats.executions))
+            say(
+                f"oracle {oracle_app} repeat {repeat + 1}/{repeats}: "
+                f"{cold_stats.executions} cold vs "
+                f"{warm_stats.executions} warm execution(s)"
+            )
+        if any(warm_execs):
+            raise RuntimeError(
+                f"oracle reuse leg re-measured {warm_execs} configurations; "
+                f"a warm library sweep must cost zero executions"
+            )
+        metrics["oracle_cold_executions"] = {
+            "samples": cold_execs,
+            "direction": "lower",
+            "unit": "runs",
+        }
+        metrics["oracle_warm_executions"] = {
+            "samples": warm_execs,
+            "direction": "lower",
+            "unit": "runs",
+        }
+    finally:
+        if owns_root:
+            shutil.rmtree(root, ignore_errors=True)
+
+    return {
+        "schema": SCHEMA,
+        "benchmark": "library",
+        "config": {
+            "apps": app_names,
+            "params": {name: LIBRARY_BENCH_PARAMS[name] for name in app_names},
+            "budgets": list(BENCH_BUDGETS),
+            "repeats": repeats,
+            "quick": quick,
+            "seed": seed,
+        },
+        "bit_identical": identical,
+        "metrics": metrics,
+    }

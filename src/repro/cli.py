@@ -16,12 +16,14 @@ Subcommands::
     python -m repro run       --app pso --budget 10 --store models/
     python -m repro oracle    --app pso --budget 10 --workers 4
     python -m repro golden    --app pso
-    python -m repro cache-stats --cache .opprox-cache
+    python -m repro train-fleet --library .library --store models/
+    python -m repro cache-stats --cache .opprox-cache --library .library
     python -m repro serve       --store models/ --requests 50 --clients 4
     python -m repro serve-bench --store models/ --output BENCH_serve.json
     python -m repro guard-report --workdir .guard --retrain
     python -m repro chaos       --workdir .chaos --seed 7
     python -m repro bench-measure --output BENCH_measure.json
+    python -m repro bench-library --output BENCH_library.json
     python -m repro bench-diff  BENCH_old.json BENCH_measure.json
 
 ``bench-measure`` times the scalar measurement path against the
@@ -49,6 +51,16 @@ is persisted atomically under ``--pipeline-dir``, so a killed training
 job restarted with ``--resume`` skips completed work and still produces
 bit-identical models.  ``trace`` summarizes (or ``--tail``\\ s) the
 pipeline's structured JSONL event log.
+
+``train --library DIR``, ``oracle --library DIR``, and ``train-fleet``
+drive the :mod:`repro.library` subsystem: a persistent per-app variant
+library with pruned Pareto frontiers over the disk cache.  Training and
+oracle sweeps through a library replay already-measured variants and
+measure only residuals (models stay bit-identical); ``train-fleet``
+builds/refreshes every application's library (and optionally a model
+store) in one pass; ``cache-stats --library DIR`` reports frontier
+sizes, hit/miss/prune counters, and on-disk bytes; ``bench-library``
+measures the reuse win and writes ``BENCH_library.json``.
 
 ``chaos`` runs the deterministic fault-injection cycle from
 :mod:`repro.faults.chaos`: train + serve under a seeded
@@ -172,6 +184,10 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("roi", "uniform", "greedy", "sqrt-roi"))
     train.add_argument("--cache", default=None, metavar="DIR",
                        help="persist measured scalars in this disk cache")
+    train.add_argument("--library", default=None, metavar="DIR",
+                       help="variant-library directory: replay known "
+                            "variants, measure only residuals, publish "
+                            "the refreshed library after training")
     train.add_argument("--pipeline-dir", default=None, metavar="DIR",
                        help="checkpoint/trace directory for the resumable "
                             "pipeline (default: <store>/.pipeline/<app>)")
@@ -205,7 +221,31 @@ def build_parser() -> argparse.ArgumentParser:
                         help="thin the uniform level grid (1 = exhaustive)")
     oracle.add_argument("--cache", default=None, metavar="DIR",
                         help="persist measured scalars in this disk cache")
+    oracle.add_argument("--library", default=None, metavar="DIR",
+                        help="variant-library directory: reuse measured "
+                             "configurations across budgets/invocations")
     add_workers_arg(oracle)
+
+    fleet = sub.add_parser(
+        "train-fleet",
+        help="build/refresh every app's variant library in one pass",
+    )
+    fleet.add_argument("--library", default=".library", metavar="DIR",
+                       help="variant-library root directory")
+    fleet.add_argument("--store", default=None, metavar="DIR",
+                       help="also save each trained model to this store")
+    fleet.add_argument("--apps", default=None, metavar="NAME[,NAME]",
+                       help="comma-separated apps (default: all five)")
+    fleet.add_argument("--phases", type=int, default=2,
+                       help="phase count for every app's models")
+    fleet.add_argument("--inputs", type=int, default=2,
+                       help="representative training inputs per app")
+    fleet.add_argument("--joint-samples", type=int, default=6,
+                       help="random joint samples per phase")
+    fleet.add_argument("--cache", default=None, metavar="DIR",
+                       help="persist measured scalars in this disk cache")
+    fleet.add_argument("--seed", type=int, default=0)
+    add_workers_arg(fleet)
 
     evaluate = sub.add_parser(
         "evaluate",
@@ -225,9 +265,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the last N raw events instead of a summary")
 
     cache_stats = sub.add_parser(
-        "cache-stats", help="inspect (and optionally compact) a disk cache"
+        "cache-stats",
+        help="inspect a disk cache and/or a variant-library directory",
     )
-    cache_stats.add_argument("--cache", required=True, metavar="DIR")
+    cache_stats.add_argument("--cache", default=None, metavar="DIR",
+                             help="disk-cache directory to report on")
+    cache_stats.add_argument("--library", default=None, metavar="DIR",
+                             help="variant-library root to report on "
+                                  "(per-app frontier sizes, hit/miss/prune "
+                                  "counters, on-disk bytes)")
     cache_stats.add_argument("--compact", action="store_true",
                              help="merge all shard files into the base file")
 
@@ -331,6 +377,21 @@ def build_parser() -> argparse.ArgumentParser:
     bench_measure.add_argument("--quick", action="store_true",
                                help="shrink schedules/repeats for smoke use")
 
+    bench_library = sub.add_parser(
+        "bench-library",
+        help="measure variant-library training reuse; write a metrics file",
+    )
+    bench_library.add_argument("--output", default="BENCH_library.json",
+                               metavar="FILE",
+                               help="write the JSON metrics report here")
+    bench_library.add_argument("--apps", default=None, metavar="NAME[,NAME]",
+                               help="comma-separated apps to bench (default: "
+                                    "all with bench configurations)")
+    bench_library.add_argument("--repeats", type=int, default=3,
+                               help="repeats per app")
+    bench_library.add_argument("--quick", action="store_true",
+                               help="shrink repeats for smoke use")
+
     bench_diff = sub.add_parser(
         "bench-diff",
         help="gate BENCH_*.json trajectories; exit 6 on a perf regression",
@@ -396,6 +457,11 @@ def _cmd_train(args) -> int:
     app = make_app(args.app)
     if args.no_pipeline and (args.resume or args.pipeline_dir):
         raise SystemExit("--no-pipeline conflicts with --resume/--pipeline-dir")
+    library = None
+    if args.library:
+        from repro.library import VariantLibrary
+
+        library = VariantLibrary(Path(args.library), app)
     opprox = Opprox(
         app,
         AccuracySpec.for_app(app, max_inputs=args.inputs),
@@ -404,6 +470,7 @@ def _cmd_train(args) -> int:
         budget_policy=args.budget_policy,
         workers=_validate_workers(args.workers),
         disk_cache=DiskCache(Path(args.cache)) if args.cache else None,
+        variant_library=library,
     )
     if args.no_pipeline:
         report = opprox.train()
@@ -420,6 +487,9 @@ def _cmd_train(args) -> int:
                   f"checkpointed stage(s) "
                   f"({', '.join(result.resumed_stages)})")
         print(f"pipeline dir: {pipeline_dir} (trace: {result.trace_path})")
+    if library is not None:
+        library.save(timestamp=time.time())
+        print(library.format_report(f"variant library — {args.library}"))
     store = ModelStore(Path(args.store))
     path = store.save(opprox, train_timestamp=time.time())
     # A successful retrain satisfies any pending guard-emitted retrain
@@ -481,6 +551,11 @@ def _cmd_oracle(args) -> int:
     params = _parse_params(app, args.param)
     profiler = Profiler(app)
     disk_cache = DiskCache(Path(args.cache)) if args.cache else None
+    library = None
+    if args.library:
+        from repro.library import VariantLibrary
+
+        library = VariantLibrary(Path(args.library), app)
     stats = MeasurementStats()
     result = phase_agnostic_oracle(
         profiler,
@@ -490,7 +565,11 @@ def _cmd_oracle(args) -> int:
         disk_cache=disk_cache,
         workers=_validate_workers(args.workers),
         stats=stats,
+        library=library,
     )
+    if library is not None:
+        library.save(timestamp=time.time())
+        print(library.format_report(f"variant library — {args.library}"))
     print(f"configurations tried: {result.configurations_tried}")
     if result.feasible:
         levels = ", ".join(f"{k}={v}" for k, v in sorted(result.levels.items()))
@@ -501,6 +580,34 @@ def _cmd_oracle(args) -> int:
     else:
         print("no uniform approximation satisfies the budget")
     print(stats.format_report("measurement stats:"))
+    return 0
+
+
+def _cmd_train_fleet(args) -> int:
+    from repro.eval.cache import DiskCache
+    from repro.library import format_fleet_report, train_fleet
+
+    apps = [name for name in (args.apps or "").split(",") if name] or None
+    for name in apps or ():
+        if name not in ALL_APPLICATIONS:
+            raise SystemExit(f"unknown application {name!r} "
+                             f"(valid: {', '.join(ALL_APPLICATIONS)})")
+    reports = train_fleet(
+        Path(args.library),
+        store_root=Path(args.store) if args.store else None,
+        apps=apps,
+        n_phases=args.phases,
+        max_inputs=args.inputs,
+        joint_samples=args.joint_samples,
+        workers=_validate_workers(args.workers),
+        seed=args.seed,
+        disk_cache=DiskCache(Path(args.cache)) if args.cache else None,
+        progress=print,
+    )
+    print(format_fleet_report(reports))
+    if args.store:
+        print(f"models stored under {args.store}")
+    print(f"libraries under {args.library}")
     return 0
 
 
@@ -523,18 +630,38 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_cache_stats(args) -> int:
-    from repro.eval.cache import DiskCache
+    if not args.cache and not args.library:
+        raise SystemExit("cache-stats needs --cache and/or --library")
+    if args.cache:
+        from repro.eval.cache import DiskCache
 
-    cache = DiskCache(Path(args.cache))
-    if args.compact:
-        cache.compact()
-    info = cache.stats()
-    print(f"cache root:    {info['root']}")
-    print(f"base file:     {info['base_file']}")
-    print(f"entries:       {info['entries']}")
-    print(f"shard files:   {info['shard_files']}")
-    print(f"corrupt lines: {info['corrupt_lines_skipped']} skipped")
-    print(f"compactions:   {info['compactions']}")
+        cache = DiskCache(Path(args.cache))
+        if args.compact:
+            cache.compact()
+        info = cache.stats()
+        print(f"cache root:    {info['root']}")
+        print(f"base file:     {info['base_file']}")
+        print(f"entries:       {info['entries']}")
+        print(f"shard files:   {info['shard_files']}")
+        print(f"corrupt lines: {info['corrupt_lines_skipped']} skipped")
+        print(f"compactions:   {info['compactions']}")
+    elif args.compact:
+        raise SystemExit("--compact needs --cache")
+    if args.library:
+        from repro.library import VariantLibrary, available_libraries
+
+        root = Path(args.library)
+        found = available_libraries(root)
+        if not found:
+            print(f"variant libraries: none under {root}")
+            return 0
+        for app_name in sorted(found):
+            if app_name not in ALL_APPLICATIONS:
+                print(f"variant library — {app_name}: unknown application "
+                      f"({found[app_name]}); skipped")
+                continue
+            library = VariantLibrary(root, make_app(app_name))
+            print(library.format_report(f"variant library — {app_name}"))
     return 0
 
 
@@ -737,6 +864,30 @@ def _cmd_bench_measure(args) -> int:
     return 0
 
 
+def _cmd_bench_library(args) -> int:
+    import json
+
+    from repro.bench import run_library_bench
+
+    apps = [name for name in (args.apps or "").split(",") if name] or None
+    report = run_library_bench(
+        apps=apps,
+        repeats=args.repeats,
+        quick=args.quick,
+        progress=print,
+    )
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    for name, entry in sorted(report["metrics"].items()):
+        if not name.endswith("_measurement_reduction"):
+            continue
+        samples = entry["samples"]
+        best = max(samples) if samples else 0.0
+        print(f"{name}: best {best:.0f}x over {len(samples)} repeat(s)")
+    print(f"report written to {output}")
+    return 0
+
+
 def _cmd_bench_diff(args) -> int:
     import json
 
@@ -810,6 +961,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "describe": lambda: _cmd_describe(args),
         "golden": lambda: _cmd_golden(args),
         "train": lambda: _cmd_train(args),
+        "train-fleet": lambda: _cmd_train_fleet(args),
         "optimize": lambda: _cmd_optimize(args),
         "run": lambda: _cmd_run(args),
         "oracle": lambda: _cmd_oracle(args),
@@ -821,6 +973,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "guard-report": lambda: _cmd_guard_report(args),
         "chaos": lambda: _cmd_chaos(args),
         "bench-measure": lambda: _cmd_bench_measure(args),
+        "bench-library": lambda: _cmd_bench_library(args),
         "bench-diff": lambda: _cmd_bench_diff(args),
     }
     return handlers[args.command]()

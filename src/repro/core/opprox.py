@@ -98,6 +98,12 @@ class Opprox:
     job_timeout: Optional[float] = None
     #: optional repro.eval.cache.DiskCache threaded through training
     disk_cache: Optional[object] = None
+    #: optional repro.library.VariantLibrary: training replays variants
+    #: the library already holds and measures only residuals.  Like
+    #: ``workers``/``disk_cache`` this cannot change results (stored
+    #: outcomes are the exact scalars a fresh sweep would produce), so
+    #: it is excluded from the pipeline's config fingerprint.
+    variant_library: Optional[object] = None
     #: counters for the training sweep's executions and cache hits
     measurement_stats: MeasurementStats = field(
         default_factory=MeasurementStats, repr=False
@@ -196,6 +202,7 @@ class Opprox:
             job_timeout=self.job_timeout,
             completed_batches=completed_batches,
             checkpoint_hook=checkpoint_hook,
+            library=self.variant_library,
         )
 
     def stage_fit_flow(

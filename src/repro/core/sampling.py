@@ -173,17 +173,55 @@ class TrainingSampler:
         disk_cache=None,
         stats: Optional[MeasurementStats] = None,
         job_timeout: Optional[float] = None,
+        library=None,
     ) -> List[TrainingSample]:
         """All single-phase samples for one input-parameter combination.
 
         ``workers > 1`` fans the profiling runs out through
         :func:`~repro.instrument.parallel.measure_batch`; the applications
         are deterministic, so the samples are identical to a serial sweep.
+
+        ``library`` is an optional
+        :class:`~repro.library.store.VariantLibrary`: variants it already
+        holds are replayed without touching the profiler, and only the
+        residual (phase, levels) pairs are measured (then recorded back).
+        Because the stored outcomes are the same scalars a fresh sweep
+        would produce, the returned sample list — and any model fitted
+        from it — is bit-identical either way.
         """
-        plan = self.app.make_plan(params, self.n_phases)
         vectors = list(self.local_level_vectors()) + self.joint_level_vectors(
             self.joint_samples_per_phase
         )
+        if library is not None:
+            pairs = [
+                (phase, levels)
+                for phase in range(self.n_phases)
+                for levels in vectors
+            ]
+            records = library.resolve(
+                self.profiler,
+                params,
+                self.n_phases,
+                pairs,
+                workers=workers,
+                disk_cache=disk_cache,
+                stats=stats,
+                job_timeout=job_timeout,
+            )
+            return [
+                TrainingSample(
+                    params=dict(params),
+                    n_phases=self.n_phases,
+                    phase=phase,
+                    levels=record.levels_dict(self.app.blocks),
+                    speedup=record.speedup,
+                    degradation=record.degradation,
+                    qos_value=record.qos_value,
+                    iterations=record.iterations,
+                )
+                for (phase, _), record in zip(pairs, records)
+            ]
+        plan = self.app.make_plan(params, self.n_phases)
         phases = [phase for phase in range(self.n_phases) for _ in vectors]
         schedules = [
             ApproxSchedule.single_phase(self.app.blocks, plan, phase, levels)
@@ -223,6 +261,7 @@ class TrainingSampler:
         checkpoint_hook: Optional[
             Callable[[int, List[TrainingSample]], None]
         ] = None,
+        library=None,
     ) -> List[TrainingSample]:
         """Samples for every training input (Sec. 3.3's full sweep).
 
@@ -237,6 +276,10 @@ class TrainingSampler:
         *freshly measured* input's batch, letting the checkpointed
         training pipeline persist progress incrementally; a crash between
         hooks loses at most one input's worth of measurements.
+
+        ``library`` (a :class:`~repro.library.store.VariantLibrary`) is
+        forwarded to :meth:`collect_for_input` — known variants replay
+        from the library, only residuals are measured.
         """
         if not inputs:
             raise ValueError("need at least one training input")
@@ -260,6 +303,7 @@ class TrainingSampler:
                 disk_cache=disk_cache,
                 stats=stats,
                 job_timeout=job_timeout,
+                library=library,
             )
             if checkpoint_hook is not None:
                 checkpoint_hook(index, batch)

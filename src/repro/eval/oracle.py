@@ -21,6 +21,7 @@ from repro.eval.cache import DiskCache
 from repro.instrument.harness import Profiler
 from repro.instrument.parallel import measure_batch
 from repro.instrument.stats import MeasurementStats
+from repro.library.pareto import dedupe_level_vectors
 
 __all__ = ["OracleResult", "oracle_frontier", "phase_agnostic_oracle"]
 
@@ -61,15 +62,42 @@ def oracle_frontier(
     disk_cache: Optional[DiskCache] = None,
     workers: Optional[int] = None,
     stats: Optional[MeasurementStats] = None,
+    library=None,
 ) -> List[Tuple[Dict[str, int], float, float]]:
-    """Measured (levels, speedup, qos) for every uniform configuration.
+    """Measured (levels, speedup, qos) for every *unique* uniform config.
+
+    Configurations are deduplicated by zero-normalized level vector
+    before measurement: strided grids (and callers feeding joint-sampled
+    vectors through here) can spell the same configuration twice, and
+    each duplicate used to cost a measurement and skew any downstream
+    dominance filtering with repeated points.
 
     The sweep goes through the batch engine: ``workers > 1`` fans the
-    configurations out to worker processes with identical results.
+    configurations out to worker processes with identical results.  With
+    ``library`` (a :class:`~repro.library.store.VariantLibrary`), known
+    configurations replay from the library and only the residuals are
+    measured — a repeat sweep at a new budget costs zero executions.
     """
     app = profiler.app
+    vectors = dedupe_level_vectors(_uniform_level_vectors(app, level_stride))
+    if library is not None:
+        # A uniform schedule over a 1-phase plan *is* that plan's phase-0
+        # single-phase schedule, so the oracle shares the training path's
+        # library scopes (and measurement cache keys) exactly.
+        records = library.resolve(
+            profiler,
+            params,
+            1,
+            [(0, levels) for levels in vectors],
+            workers=workers,
+            disk_cache=disk_cache,
+            stats=stats,
+        )
+        return [
+            (levels, record.speedup, record.qos_value)
+            for levels, record in zip(vectors, records)
+        ]
     plan = app.make_plan(params, 1)
-    vectors = _uniform_level_vectors(app, level_stride)
     runs = measure_batch(
         profiler,
         [
@@ -93,11 +121,14 @@ def phase_agnostic_oracle(
     disk_cache: Optional[DiskCache] = None,
     workers: Optional[int] = None,
     stats: Optional[MeasurementStats] = None,
+    library=None,
 ) -> OracleResult:
     """Exhaustive phase-agnostic search under a raw QoS budget.
 
     ``budget`` is in the application's raw metric units (a maximum
-    percent degradation, or a minimum PSNR for FFmpeg).
+    percent degradation, or a minimum PSNR for FFmpeg).  ``library`` is
+    forwarded to :func:`oracle_frontier` so repeat searches across
+    budgets reuse the measured variants instead of re-sweeping.
     """
     app = profiler.app
     best_levels: Dict[str, int] = {block.name: 0 for block in app.blocks}
@@ -105,7 +136,13 @@ def phase_agnostic_oracle(
     best_qos = app.metric.ceiling if app.metric.higher_is_better else 0.0
     feasible_found = False
     frontier = oracle_frontier(
-        profiler, params, level_stride, disk_cache, workers=workers, stats=stats
+        profiler,
+        params,
+        level_stride,
+        disk_cache,
+        workers=workers,
+        stats=stats,
+        library=library,
     )
     for levels, speedup, qos in frontier:
         if not app.metric.satisfies(qos, budget):

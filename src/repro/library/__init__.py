@@ -1,0 +1,46 @@
+"""Persistent per-app variant libraries with Pareto-frontier reuse.
+
+The layer between measurement and training (autoAx/ILAC-style): every
+measured (AB, AL) degradation variant is recorded once in a per-app
+:class:`VariantLibrary`, dominated variants are pruned into per-phase
+Pareto frontiers, and repeat training runs, oracle sweeps, and
+guard-triggered retrains consume the library instead of re-measuring.
+:func:`train_fleet` builds or refreshes every application's library in
+one pass.
+"""
+
+from repro.library.fleet import FleetAppReport, format_fleet_report, train_fleet
+from repro.library.pareto import (
+    canonical_levels,
+    dedupe_level_vectors,
+    dominates,
+    pareto_indices,
+)
+from repro.library.store import (
+    LIBRARY_FORMAT_VERSION,
+    LIBRARY_MAGIC,
+    LibraryFormatError,
+    LibraryStats,
+    VariantLibrary,
+    VariantRecord,
+    available_libraries,
+    library_fingerprint,
+)
+
+__all__ = [
+    "FleetAppReport",
+    "LIBRARY_FORMAT_VERSION",
+    "LIBRARY_MAGIC",
+    "LibraryFormatError",
+    "LibraryStats",
+    "VariantLibrary",
+    "VariantRecord",
+    "available_libraries",
+    "canonical_levels",
+    "dedupe_level_vectors",
+    "dominates",
+    "format_fleet_report",
+    "library_fingerprint",
+    "pareto_indices",
+    "train_fleet",
+]

@@ -1,0 +1,156 @@
+"""Fleet trainer: build/refresh every application's variant library.
+
+One pass over the whole app fleet: for each application, load (or
+create) its :class:`~repro.library.store.VariantLibrary`, train an
+:class:`~repro.core.opprox.Opprox` *through* the library — known
+variants replay, residuals are measured in parallel through
+``measure_batch`` — and atomically publish the refreshed library (and
+optionally the trained model).  The first pass over an empty library
+root performs the full sweeps; every later pass is dominated by
+frontier lookups, so refreshing the fleet after a knob change costs
+only the residual measurements that change actually invalidated.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.apps import ALL_APPLICATIONS, make_app
+from repro.core.opprox import Opprox
+from repro.core.spec import AccuracySpec
+from repro.library.store import VariantLibrary
+from repro.pipeline.fingerprint import model_fingerprint
+
+__all__ = ["FleetAppReport", "format_fleet_report", "train_fleet"]
+
+
+@dataclass(frozen=True)
+class FleetAppReport:
+    """One app's share of a fleet pass: model identity + library stats."""
+
+    app: str
+    n_phases: int
+    n_samples: int
+    model_fingerprint: str
+    #: fresh app executions this pass (residuals + golden/control-flow runs)
+    executions: int
+    train_seconds: float
+    library_path: str
+    library_stats: Dict[str, object]
+    model_path: Optional[str] = None
+
+
+def train_fleet(
+    library_root: Path | str,
+    store_root: Optional[Path | str] = None,
+    apps: Optional[Sequence[str]] = None,
+    n_phases: int = 2,
+    max_inputs: int = 2,
+    joint_samples: int = 6,
+    error_budget: float = 10.0,
+    workers: Optional[int] = None,
+    seed: int = 0,
+    job_timeout: Optional[float] = None,
+    disk_cache=None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[FleetAppReport]:
+    """Build or refresh the variant libraries for ``apps`` (default: all).
+
+    Apps are processed in order; within each app the measurement fan-out
+    is ``workers``-wide through ``measure_batch``.  ``store_root``, when
+    given, also saves each trained model to a
+    :class:`~repro.core.runtime.ModelStore` there — a fleet pass then
+    leaves a complete serving directory *and* the libraries that make
+    the next retrain cheap.  Libraries are saved even if a later app
+    fails, because each app's library publishes right after its pass.
+    """
+    names = list(apps) if apps else list(ALL_APPLICATIONS)
+    reports: List[FleetAppReport] = []
+    store = None
+    if store_root is not None:
+        from repro.core.runtime import ModelStore
+
+        store = ModelStore(store_root)
+    for name in names:
+        app = make_app(name)
+        library = VariantLibrary(library_root, app)
+        library.load()
+        opprox = Opprox(
+            app,
+            AccuracySpec.for_app(
+                app, max_inputs=max_inputs, error_budget=error_budget
+            ),
+            n_phases=n_phases,
+            joint_samples_per_phase=joint_samples,
+            seed=seed,
+            workers=workers,
+            job_timeout=job_timeout,
+            disk_cache=disk_cache,
+            variant_library=library,
+        )
+        if progress is not None:
+            progress(
+                f"[fleet] {name}: training over library "
+                f"({library.n_variants} stored variant(s))"
+            )
+        started = time.perf_counter()
+        report = opprox.train()
+        train_seconds = time.perf_counter() - started
+        library.save(timestamp=time.time())
+        model_path = None
+        if store is not None:
+            model_path = str(store.save(opprox, train_timestamp=time.time()))
+        stats = library.stats_report()
+        reports.append(
+            FleetAppReport(
+                app=name,
+                n_phases=report.n_phases,
+                n_samples=report.n_samples,
+                model_fingerprint=model_fingerprint(opprox),
+                executions=opprox.measurement_stats.executions,
+                train_seconds=train_seconds,
+                library_path=str(library.path),
+                library_stats=stats,
+                model_path=model_path,
+            )
+        )
+        if progress is not None:
+            counters = stats["counters"]
+            progress(
+                f"[fleet] {name}: {stats['variants']} variant(s), "
+                f"frontier {stats['frontier_variants']}, "
+                f"{counters['hits']} hit(s), "
+                f"{counters['residual_measurements']} residual(s), "
+                f"{reports[-1].executions} execution(s) "
+                f"in {train_seconds:.2f}s"
+            )
+    return reports
+
+
+def format_fleet_report(reports: Sequence[FleetAppReport]) -> str:
+    """Readable per-app table for the ``train-fleet`` CLI."""
+    lines = [
+        "fleet pass — per-app variant libraries",
+        f"  {'app':<10} {'variants':>8} {'frontier':>8} {'hits':>6} "
+        f"{'residual':>8} {'execs':>6} {'seconds':>8}  fingerprint",
+    ]
+    for report in reports:
+        stats = report.library_stats
+        counters = stats["counters"]
+        lines.append(
+            f"  {report.app:<10} {stats['variants']:>8} "
+            f"{stats['frontier_variants']:>8} {counters['hits']:>6} "
+            f"{counters['residual_measurements']:>8} "
+            f"{report.executions:>6} {report.train_seconds:>8.2f}  "
+            f"{report.model_fingerprint[:16]}"
+        )
+    total_execs = sum(report.executions for report in reports)
+    total_seconds = sum(report.train_seconds for report in reports)
+    lines.append(
+        f"  total: {len(reports)} app(s), {total_execs} execution(s), "
+        f"{total_seconds:.2f}s"
+    )
+    return "\n".join(lines)

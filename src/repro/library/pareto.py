@@ -1,0 +1,114 @@
+"""Pareto-dominance filtering over measured degradation variants.
+
+A variant *a* dominates *b* when it is at least as fast and at least as
+accurate, and strictly better on one axis.  The variant library stores
+every measured variant (model fitting needs the full sample set) but
+serves consumers the *pruned* non-dominated frontier, the autoAx-style
+structure that turns repeat design-space exploration into a lookup.
+
+All helpers here are pure functions over ``(speedup, degradation)``
+pairs so they can be property-tested without a library on disk.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+__all__ = [
+    "canonical_levels",
+    "dedupe_level_vectors",
+    "dominates",
+    "pareto_indices",
+]
+
+#: canonical identity of one AL vector: sorted, zero-levels dropped
+LevelsKey = Tuple[Tuple[str, int], ...]
+
+
+def canonical_levels(levels: Mapping[str, int]) -> LevelsKey:
+    """Sorted ``(name, level)`` tuple with level-0 entries dropped.
+
+    Mirrors :meth:`ApproxSchedule.key`'s zero-normalization: an explicit
+    level 0 and an omitted block both mean "run exactly", so the two
+    spellings share one library entry.
+    """
+    items = []
+    for name, level in levels.items():
+        level = int(level)
+        if level < 0:
+            raise ValueError(f"level for block {name!r} must be >= 0, got {level}")
+        if level:
+            items.append((str(name), level))
+    return tuple(sorted(items))
+
+
+def dedupe_level_vectors(
+    vectors: Iterable[Mapping[str, int]],
+) -> List[Dict[str, int]]:
+    """Unique level vectors in first-seen order (zero-normalized identity).
+
+    Joint-level sampling and strided uniform grids can both emit the
+    same AL vector twice (possibly spelled with different explicit
+    zeros); sweeping duplicates wastes a measurement per copy and skews
+    dominance filtering with repeated points.
+    """
+    unique: List[Dict[str, int]] = []
+    seen: set = set()
+    for vector in vectors:
+        key = canonical_levels(vector)
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(dict(vector))
+    return unique
+
+
+def dominates(
+    a: Tuple[float, float], b: Tuple[float, float]
+) -> bool:
+    """True when ``a = (speedup, degradation)`` Pareto-dominates ``b``.
+
+    Equal points do not dominate each other — equal-cost/equal-QoS ties
+    are both kept on the frontier.
+    """
+    return a[0] >= b[0] and a[1] <= b[1] and (a[0] > b[0] or a[1] < b[1])
+
+
+def pareto_indices(points: Sequence[Tuple[float, float]]) -> List[int]:
+    """Indices of the non-dominated ``(speedup, degradation)`` points.
+
+    Maximizes speedup, minimizes degradation.  Ties on both axes are all
+    kept (none of them dominates the others); a point that ties a
+    strictly faster point's degradation is dominated.  The result is
+    ordered by descending speedup, then ascending degradation, then
+    input index — deterministic for a deterministically ordered input.
+
+    Raises :class:`ValueError` on NaN coordinates: a NaN QoS can neither
+    dominate nor be dominated, so admitting one would silently disable
+    pruning for its whole phase.
+    """
+    for index, (speedup, degradation) in enumerate(points):
+        if math.isnan(speedup) or math.isnan(degradation):
+            raise ValueError(
+                f"point {index} has NaN coordinates "
+                f"(speedup={speedup}, degradation={degradation})"
+            )
+    order = sorted(
+        range(len(points)), key=lambda i: (-points[i][0], points[i][1], i)
+    )
+    frontier: List[int] = []
+    best_degradation = math.inf
+    position = 0
+    while position < len(order):
+        # one group per distinct speedup, scanned fastest-first
+        speedup = points[order[position]][0]
+        group = []
+        while position < len(order) and points[order[position]][0] == speedup:
+            group.append(order[position])
+            position += 1
+        group_best = min(points[i][1] for i in group)
+        if group_best < best_degradation:
+            frontier.extend(i for i in group if points[i][1] == group_best)
+            best_degradation = group_best
+    return frontier

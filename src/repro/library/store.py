@@ -1,0 +1,655 @@
+"""Persistent per-app variant library with Pareto-frontier reuse.
+
+The autoAx-style layer between measurement and training: every (AB, AL)
+degradation variant an application has ever been measured under — one
+phase approximated, everything else exact — is recorded here as a
+:class:`VariantRecord`, keyed by input parameters, phase count, phase,
+and the zero-normalized AL vector.  On top of the raw records the
+library maintains *pruned per-phase Pareto frontiers* (maximize speedup,
+minimize degradation), so repeat training runs, oracle sweeps across
+budgets, and guard-triggered retrains become frontier lookups plus
+residual measurement of only the variants nobody has measured yet.
+
+Layering: the library sits *above* the scalar
+:class:`~repro.eval.cache.DiskCache`.  The cache memoizes raw
+measurements by opaque hash; the library stores the enumerable
+*structure* (which variants exist per phase, which are dominated) that
+lets consumers skip the sweep entirely.  A damaged library is therefore
+cheap to rebuild: residual measurement flows through the disk cache
+underneath and comes back as hits, not fresh executions.
+
+On-disk format (one file per app, ``<app>.library.json``)::
+
+    #OPPROX-LIBRARY
+    {"app": ..., "fingerprint": ..., "format_version": 1, ...}
+    { ... JSON body: scopes, variants, frontiers, counters ... }
+
+— the same magic + JSON-header framing and write-to-temp + fsync +
+rename discipline as the model store and training checkpoints.  The
+header ``fingerprint`` digests the app's knob structure and QoS metric
+(via :func:`repro.pipeline.fingerprint.state_digest`); a library whose
+fingerprint no longer matches the live application is *stale* and is
+discarded on load rather than served.  Corrupt files are likewise
+discarded with a warning — the library is an accelerator, never a
+correctness dependency.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.approx.schedule import ApproxSchedule
+from repro.core.runtime import (
+    atomic_write_bytes,
+    encode_header,
+    read_framed_header,
+)
+from repro.faults.injector import fault_point
+from repro.library.pareto import LevelsKey, canonical_levels, pareto_indices
+from repro.pipeline.fingerprint import state_digest
+
+__all__ = [
+    "LIBRARY_FORMAT_VERSION",
+    "LIBRARY_MAGIC",
+    "LibraryFormatError",
+    "LibraryStats",
+    "VariantLibrary",
+    "VariantRecord",
+    "library_fingerprint",
+]
+
+#: first line of every library file; anything else is not ours
+LIBRARY_MAGIC = b"#OPPROX-LIBRARY\n"
+#: bump when the JSON body's layout changes incompatibly
+LIBRARY_FORMAT_VERSION = 1
+
+_LIBRARY_SUFFIX = ".library.json"
+
+#: one scope = all variants measured for (params, n_phases, phase)
+ScopeKey = Tuple[str, int, int]
+
+
+class LibraryFormatError(RuntimeError):
+    """A library file is missing its frame, corrupt, or incompatible."""
+
+
+def library_fingerprint(app) -> str:
+    """Digest of the variant space this library indexes.
+
+    Covers everything that gives a stored (levels → outcome) record its
+    meaning: the app's name, its QoS metric, and the approximable-block
+    structure (names, techniques, level ranges).  Any change to these —
+    a retuned knob, a new block, a different metric — silently changes
+    what every stored scalar means, so the fingerprint is stamped into
+    the file header and checked on load; a mismatch discards the library
+    as stale instead of serving wrong-world measurements.
+    """
+    return state_digest(
+        {
+            "app": app.name,
+            "metric": (
+                app.metric.name,
+                app.metric.unit,
+                app.metric.higher_is_better,
+            ),
+            "blocks": [
+                (block.name, block.technique.value, block.max_level)
+                for block in app.blocks
+            ],
+        }
+    )
+
+
+@dataclass(frozen=True)
+class VariantRecord:
+    """One measured degradation variant: canonical AL vector + outcomes."""
+
+    levels: LevelsKey
+    speedup: float
+    #: QoS in common lower-is-better degradation space
+    degradation: float
+    #: raw QoS metric value (percent or dB)
+    qos_value: float
+    iterations: int
+
+    def levels_dict(self, blocks) -> Dict[str, int]:
+        """Zero-filled per-block mapping (the TrainingSample spelling)."""
+        filled = {block.name: 0 for block in blocks}
+        filled.update(dict(self.levels))
+        return filled
+
+    @property
+    def point(self) -> Tuple[float, float]:
+        return (self.speedup, self.degradation)
+
+
+@dataclass
+class LibraryStats:
+    """Counters for one library's lifetime of lookups and maintenance."""
+
+    #: lookups answered from the library
+    hits: int = 0
+    #: lookups that found no record (and typically became residuals)
+    misses: int = 0
+    #: variants measured fresh because the library lacked them
+    residual_measurements: int = 0
+    #: records added (residuals plus explicit inserts)
+    inserts: int = 0
+    #: dominated variants excluded by the most recent frontier passes
+    pruned: int = 0
+    #: frontier (re)computations performed
+    prunes: int = 0
+    #: frontier computations that degraded to unpruned (injected/OS error)
+    prune_errors: int = 0
+    #: on-disk libraries discarded for a fingerprint mismatch
+    stale_discards: int = 0
+    #: on-disk libraries discarded as corrupt/unreadable
+    corrupt_discards: int = 0
+    #: failed best-effort saves
+    write_errors: int = 0
+
+    def report(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "residual_measurements": self.residual_measurements,
+            "inserts": self.inserts,
+            "pruned": self.pruned,
+            "prunes": self.prunes,
+            "prune_errors": self.prune_errors,
+            "stale_discards": self.stale_discards,
+            "corrupt_discards": self.corrupt_discards,
+            "write_errors": self.write_errors,
+        }
+
+    def merge_persisted(self, counters: Mapping[str, object]) -> None:
+        """Fold a loaded file's lifetime counters into this instance."""
+        for name in self.report():
+            value = counters.get(name)
+            if isinstance(value, int) and not isinstance(value, bool):
+                setattr(self, name, getattr(self, name) + value)
+
+
+class VariantLibrary:
+    """Persistent, versioned per-app library of degradation variants.
+
+    One instance manages one app's file under ``root``.  State loads
+    lazily on first use; :meth:`save` publishes atomically.  All lookup
+    keys are canonical — parameters sorted, AL vectors zero-normalized —
+    so the same variant spelled differently shares one record.
+    """
+
+    def __init__(self, root: Path | str, app, stats: Optional[LibraryStats] = None):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.app = app
+        self.fingerprint = library_fingerprint(app)
+        self.stats = stats if stats is not None else LibraryStats()
+        self._scopes: Dict[ScopeKey, Dict[LevelsKey, VariantRecord]] = {}
+        self._frontiers: Dict[ScopeKey, List[VariantRecord]] = {}
+        self._loaded = False
+
+    # -- identity and layout ---------------------------------------------------
+
+    @property
+    def path(self) -> Path:
+        return self.root / f"{self.app.name}{_LIBRARY_SUFFIX}"
+
+    @staticmethod
+    def _params_key(params: Mapping[str, float]) -> str:
+        return json.dumps(sorted((str(k), float(v)) for k, v in params.items()))
+
+    def _scope_key(
+        self, params: Mapping[str, float], n_phases: int, phase: int
+    ) -> ScopeKey:
+        if n_phases < 1:
+            raise ValueError(f"n_phases must be >= 1, got {n_phases}")
+        if not 0 <= phase < n_phases:
+            raise ValueError(f"phase {phase} outside [0, {n_phases})")
+        return (self._params_key(params), int(n_phases), int(phase))
+
+    # -- lookups and inserts ---------------------------------------------------
+
+    def lookup(
+        self,
+        params: Mapping[str, float],
+        n_phases: int,
+        phase: int,
+        levels: Mapping[str, int],
+    ) -> Optional[VariantRecord]:
+        """The stored record for one variant, or None (counted either way)."""
+        self._ensure_loaded()
+        scope = self._scopes.get(self._scope_key(params, n_phases, phase))
+        record = scope.get(canonical_levels(levels)) if scope else None
+        if record is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return record
+
+    def record(
+        self,
+        params: Mapping[str, float],
+        n_phases: int,
+        phase: int,
+        levels: Mapping[str, int],
+        *,
+        speedup: float,
+        degradation: float,
+        qos_value: float,
+        iterations: int,
+    ) -> VariantRecord:
+        """Insert (or overwrite) one measured variant.
+
+        NaN outcomes are rejected outright: a NaN QoS would poison
+        dominance filtering (it can neither dominate nor be dominated)
+        and any model fitted from the replayed sample.
+        """
+        self._ensure_loaded()
+        for name, value in (
+            ("speedup", speedup),
+            ("degradation", degradation),
+            ("qos_value", qos_value),
+        ):
+            if math.isnan(float(value)):
+                raise ValueError(
+                    f"refusing to record variant with NaN {name} "
+                    f"(app={self.app.name!r}, phase={phase}, "
+                    f"levels={dict(levels)!r})"
+                )
+        if int(iterations) < 0:
+            raise ValueError(f"iterations must be >= 0, got {iterations}")
+        key = self._scope_key(params, n_phases, phase)
+        entry = VariantRecord(
+            levels=canonical_levels(levels),
+            speedup=float(speedup),
+            degradation=float(degradation),
+            qos_value=float(qos_value),
+            iterations=int(iterations),
+        )
+        self._scopes.setdefault(key, {})[entry.levels] = entry
+        self._frontiers.pop(key, None)  # frontier is stale for this scope
+        self.stats.inserts += 1
+        return entry
+
+    def resolve(
+        self,
+        profiler,
+        params: Mapping[str, float],
+        n_phases: int,
+        pairs: Sequence[Tuple[int, Mapping[str, int]]],
+        *,
+        workers: Optional[int] = None,
+        disk_cache=None,
+        stats=None,
+        job_timeout: Optional[float] = None,
+    ) -> List[VariantRecord]:
+        """Records for every ``(phase, levels)`` pair, measuring residuals.
+
+        The core reuse primitive: pairs already in the library are
+        answered from memory; the rest — the *residuals* — are measured
+        in one :func:`~repro.instrument.parallel.measure_batch` call
+        (deduplicated, fanned out to ``workers``, written through the
+        optional disk cache) and inserted before being returned.  The
+        result list is aligned with ``pairs``; duplicates cost one
+        measurement.
+        """
+        from repro.instrument.parallel import measure_batch
+
+        self._ensure_loaded()
+        plan = profiler.app.make_plan(dict(params), n_phases)
+        results: List[Optional[VariantRecord]] = [None] * len(pairs)
+        #: unique missing (phase, canonical levels) -> aligned indices
+        missing: Dict[Tuple[int, LevelsKey], List[int]] = {}
+        missing_levels: Dict[Tuple[int, LevelsKey], Mapping[str, int]] = {}
+        for index, (phase, levels) in enumerate(pairs):
+            record = self.lookup(params, n_phases, phase, levels)
+            if record is not None:
+                results[index] = record
+                continue
+            key = (int(phase), canonical_levels(levels))
+            missing.setdefault(key, []).append(index)
+            missing_levels.setdefault(key, levels)
+        if missing:
+            keys = list(missing)
+            runs = measure_batch(
+                profiler,
+                [
+                    (
+                        dict(params),
+                        ApproxSchedule.single_phase(
+                            profiler.app.blocks, plan, phase, missing_levels[(phase, levels_key)]
+                        ),
+                    )
+                    for phase, levels_key in keys
+                ],
+                workers=workers,
+                disk_cache=disk_cache,
+                stats=stats,
+                job_timeout=job_timeout,
+            )
+            for (phase, _), run in zip(keys, runs):
+                record = self.record(
+                    params,
+                    n_phases,
+                    phase,
+                    dict(missing_levels[(phase, _)]),
+                    speedup=run.speedup,
+                    degradation=run.degradation,
+                    qos_value=run.qos_value,
+                    iterations=run.iterations,
+                )
+                for index in missing[(phase, _)]:
+                    results[index] = record
+            self.stats.residual_measurements += len(keys)
+        return results  # type: ignore[return-value]
+
+    # -- frontiers -------------------------------------------------------------
+
+    def frontier(
+        self, params: Mapping[str, float], n_phases: int, phase: int
+    ) -> List[VariantRecord]:
+        """The phase's pruned Pareto frontier (deterministic order).
+
+        Empty scopes return an empty list — mirroring the degrade-not-
+        crash discipline of the empty-phase neutral-prior fallback in
+        training — and an injected or real error during pruning degrades
+        to the *unpruned* variant list with a warning: serving a few
+        dominated variants is strictly safer than serving none.
+        """
+        self._ensure_loaded()
+        key = self._scope_key(params, n_phases, phase)
+        cached = self._frontiers.get(key)
+        if cached is not None:
+            return list(cached)
+        scope = self._scopes.get(key)
+        if not scope:
+            self._frontiers[key] = []
+            return []
+        ordered = [scope[levels] for levels in sorted(scope)]
+        try:
+            fault_point("library.prune", app=self.app.name, phase=phase)
+            front = [
+                ordered[i] for i in pareto_indices([r.point for r in ordered])
+            ]
+        except OSError as exc:
+            self.stats.prune_errors += 1
+            warnings.warn(
+                f"VariantLibrary: pruning {self.app.name} phase {phase} "
+                f"failed ({exc}); serving the unpruned variant list",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            front = sorted(ordered, key=lambda r: (-r.speedup, r.degradation, r.levels))
+        else:
+            self.stats.prunes += 1
+            self.stats.pruned += len(ordered) - len(front)
+        self._frontiers[key] = front
+        return list(front)
+
+    def frontiers(
+        self, params: Mapping[str, float], n_phases: int
+    ) -> Dict[int, List[VariantRecord]]:
+        """Per-phase frontiers for one (params, n_phases) configuration."""
+        return {
+            phase: self.frontier(params, n_phases, phase)
+            for phase in range(n_phases)
+        }
+
+    # -- persistence -----------------------------------------------------------
+
+    def _ensure_loaded(self) -> None:
+        if not self._loaded:
+            self.load()
+
+    def load(self) -> None:
+        """(Re)load the library file; damaged or stale files are discarded.
+
+        Unlike the line-oriented disk cache there is no partial salvage:
+        the library is a *derived* structure over the cache, so the
+        cheap, always-correct recovery from any damage is an empty
+        library plus residual measurement (which the disk cache
+        underneath answers without re-executing).
+        """
+        self._loaded = True
+        self._scopes.clear()
+        self._frontiers.clear()
+        path = self.path
+        try:
+            fault_point("library.load", path=path)
+        except OSError as exc:
+            self.stats.corrupt_discards += 1
+            warnings.warn(
+                f"VariantLibrary: load of {path} failed ({exc}); "
+                f"starting empty",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return
+        if not path.exists():
+            return
+        try:
+            with path.open("rb") as handle:
+                header = read_framed_header(
+                    handle, LIBRARY_MAGIC, path, LibraryFormatError, kind="library"
+                )
+                if header.get("format_version") != LIBRARY_FORMAT_VERSION:
+                    raise LibraryFormatError(
+                        f"{path}: format version "
+                        f"{header.get('format_version')!r} is not supported"
+                    )
+                if header.get("app") != self.app.name:
+                    raise LibraryFormatError(
+                        f"{path}: header claims app {header.get('app')!r}, "
+                        f"expected {self.app.name!r}"
+                    )
+                if header.get("fingerprint") != self.fingerprint:
+                    self.stats.stale_discards += 1
+                    warnings.warn(
+                        f"VariantLibrary: {path} was built for a different "
+                        f"knob/metric configuration of {self.app.name!r} "
+                        f"(stale fingerprint); discarding it",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    return
+                body = json.loads(handle.read().decode("utf-8"))
+            self._ingest(body, path)
+        except (OSError, ValueError, KeyError, TypeError, LibraryFormatError) as exc:
+            self._scopes.clear()
+            self._frontiers.clear()
+            self.stats.corrupt_discards += 1
+            warnings.warn(
+                f"VariantLibrary: {path} is corrupt ({exc}); discarding it "
+                f"and rebuilding by residual measurement",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+    def _ingest(self, body: Mapping[str, object], path: Path) -> None:
+        """Populate scopes from a parsed body (raises on malformed shape)."""
+        scopes = body["scopes"]
+        if not isinstance(scopes, list):
+            raise LibraryFormatError(f"{path}: 'scopes' must be a list")
+        for scope in scopes:
+            params = {str(k): float(v) for k, v in scope["params"]}
+            n_phases = int(scope["n_phases"])
+            phase = int(scope["phase"])
+            key = self._scope_key(params, n_phases, phase)
+            entries = self._scopes.setdefault(key, {})
+            for variant in scope["variants"]:
+                record = VariantRecord(
+                    levels=canonical_levels(
+                        {str(name): int(level) for name, level in variant["levels"]}
+                    ),
+                    speedup=float(variant["speedup"]),
+                    degradation=float(variant["degradation"]),
+                    qos_value=float(variant["qos_value"]),
+                    iterations=int(variant["iterations"]),
+                )
+                if math.isnan(record.speedup) or math.isnan(record.degradation):
+                    raise LibraryFormatError(
+                        f"{path}: stored variant has NaN outcomes"
+                    )
+                entries[record.levels] = record
+        counters = body.get("counters")
+        if isinstance(counters, dict):
+            self.stats.merge_persisted(counters)
+
+    def save(self, timestamp: Optional[float] = None) -> Optional[Path]:
+        """Atomically publish the library; best-effort like the disk cache.
+
+        Frontiers are recomputed for every scope before writing, so the
+        on-disk file always carries current pruned frontiers alongside
+        the raw variants.  A failed write warns and counts in
+        ``write_errors`` instead of propagating — losing a library save
+        costs future residual measurements, never correctness.
+        """
+        self._ensure_loaded()
+        path = self.path
+        scopes_out = []
+        for key in sorted(self._scopes):
+            params_json, n_phases, phase = key
+            params = dict(json.loads(params_json))
+            scope = self._scopes[key]
+            ordered = [scope[levels] for levels in sorted(scope)]
+            front = {
+                record.levels
+                for record in self.frontier(params, n_phases, phase)
+            }
+            scopes_out.append(
+                {
+                    "params": sorted(params.items()),
+                    "n_phases": n_phases,
+                    "phase": phase,
+                    "variants": [
+                        {
+                            "levels": [list(item) for item in record.levels],
+                            "speedup": record.speedup,
+                            "degradation": record.degradation,
+                            "qos_value": record.qos_value,
+                            "iterations": record.iterations,
+                        }
+                        for record in ordered
+                    ],
+                    "frontier": [
+                        index
+                        for index, record in enumerate(ordered)
+                        if record.levels in front
+                    ],
+                }
+            )
+        header = {
+            "format_version": LIBRARY_FORMAT_VERSION,
+            "app": self.app.name,
+            "fingerprint": self.fingerprint,
+            "saved_timestamp": timestamp,
+        }
+        body = {"scopes": scopes_out, "counters": self.stats.report()}
+        payload = encode_header(LIBRARY_MAGIC, header) + (
+            json.dumps(body, sort_keys=True).encode("utf-8") + b"\n"
+        )
+        try:
+            fault_point("library.save", path=path)
+            atomic_write_bytes(path, payload)
+        except OSError as exc:
+            self.stats.write_errors += 1
+            warnings.warn(
+                f"VariantLibrary: dropped save to {path} ({exc}); "
+                f"the in-memory library is unaffected",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+        return path
+
+    def clear(self) -> None:
+        """Drop all in-memory state (the file is untouched until save)."""
+        self._scopes.clear()
+        self._frontiers.clear()
+        self._loaded = True
+
+    # -- observability ---------------------------------------------------------
+
+    @property
+    def n_variants(self) -> int:
+        self._ensure_loaded()
+        return sum(len(scope) for scope in self._scopes.values())
+
+    @property
+    def n_scopes(self) -> int:
+        self._ensure_loaded()
+        return len(self._scopes)
+
+    def stats_report(self) -> Dict[str, object]:
+        """Structured summary: structure + counters (CLI ``cache-stats``)."""
+        self._ensure_loaded()
+        frontier_sizes: Dict[str, int] = {}
+        total_frontier = 0
+        for key in sorted(self._scopes):
+            params_json, n_phases, phase = key
+            front = self.frontier(dict(json.loads(params_json)), n_phases, phase)
+            frontier_sizes[f"{params_json}|phases={n_phases}|phase={phase}"] = len(
+                front
+            )
+            total_frontier += len(front)
+        try:
+            disk_bytes = self.path.stat().st_size
+        except OSError:
+            disk_bytes = 0
+        return {
+            "app": self.app.name,
+            "path": str(self.path),
+            "fingerprint": self.fingerprint,
+            "scopes": self.n_scopes,
+            "variants": self.n_variants,
+            "frontier_variants": total_frontier,
+            "dominated_variants": self.n_variants - total_frontier,
+            "frontier_sizes": frontier_sizes,
+            "disk_bytes": disk_bytes,
+            "counters": self.stats.report(),
+        }
+
+    def format_report(self, title: Optional[str] = None) -> str:
+        """Readable multi-line report in the MeasurementStats style."""
+        info = self.stats_report()
+        counters = info["counters"]
+        lines = [
+            title or f"variant library — {self.app.name}",
+            f"  variants:  {info['variants']} across {info['scopes']} "
+            f"phase scope(s); frontier {info['frontier_variants']} "
+            f"({info['dominated_variants']} dominated)",
+            f"  lookups:   {counters['hits']} hit(s), "
+            f"{counters['misses']} miss(es), "
+            f"{counters['residual_measurements']} residual measurement(s)",
+            f"  on disk:   {info['disk_bytes']} bytes at {info['path']}",
+        ]
+        maintenance = []
+        if counters["stale_discards"]:
+            maintenance.append(f"{counters['stale_discards']} stale discard(s)")
+        if counters["corrupt_discards"]:
+            maintenance.append(f"{counters['corrupt_discards']} corrupt discard(s)")
+        if counters["write_errors"]:
+            maintenance.append(f"{counters['write_errors']} failed save(s)")
+        if counters["prune_errors"]:
+            maintenance.append(f"{counters['prune_errors']} prune error(s)")
+        if maintenance:
+            lines.append("  repairs:   " + ", ".join(maintenance))
+        return "\n".join(lines)
+
+
+def available_libraries(root: Path | str) -> Dict[str, Path]:
+    """App-name → file mapping of library files under ``root``."""
+    root = Path(root)
+    if not root.exists():
+        return {}
+    return {
+        path.name[: -len(_LIBRARY_SUFFIX)]: path
+        for path in sorted(root.glob(f"*{_LIBRARY_SUFFIX}"))
+    }

@@ -42,8 +42,10 @@ __all__ = [
 
 #: Opprox fields that shape the *training artifacts*.  Post-training
 #: knobs (budget_policy, conservative, interaction_margin) and execution
-#: details that cannot change results (workers, disk_cache) are
-#: deliberately excluded, so e.g. resuming with more workers is valid.
+#: details that cannot change results (workers, disk_cache,
+#: variant_library — library replays store the exact scalars a fresh
+#: sweep would measure) are deliberately excluded, so e.g. resuming
+#: with more workers or with a variant library attached is valid.
 _CONFIG_FIELDS = (
     "n_phases",
     "phase_threshold",

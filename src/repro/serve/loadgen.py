@@ -525,6 +525,7 @@ def _retrain_leg(
     """Consume the retrain event, retrain with drifted inputs, re-serve."""
     from repro.core.opprox import Opprox
     from repro.core.spec import AccuracySpec, budget_to_degradation, unique_params
+    from repro.library.store import VariantLibrary
 
     event = registry.consume_retrain_event(scenario.app_name)
     app = make_app(scenario.app_name)
@@ -535,6 +536,10 @@ def _retrain_leg(
         ),
         error_budget=scenario.train_budget,
     )
+    # Retrains ride the variant library next to the model store: the
+    # original training inputs' variants replay from it, so a guard
+    # escalation only pays for the *drifted* inputs' residuals.
+    library = VariantLibrary(store.root / "library", app)
     opprox = Opprox(
         app,
         spec,
@@ -542,8 +547,10 @@ def _retrain_leg(
         joint_samples_per_phase=scenario.retrain_joint_samples_per_phase,
         confidence_p=scenario.retrain_confidence_p,
         seed=seed,
+        variant_library=library,
     )
     opprox.train()
+    library.save(timestamp=time.time())
     store.save(opprox, train_timestamp=time.time())
 
     settle_mix = build_drift_mix(
@@ -570,6 +577,7 @@ def _retrain_leg(
     return {
         "event_consumed": event,
         "violations": violations,
+        "library": library.stats_report(),
         "speedup_mean": float(np.mean(speedups)) if speedups else 1.0,
         "guard_stage": (
             qos_guard.stage(scenario.app_name) if qos_guard is not None else None

@@ -1,0 +1,555 @@
+"""Tests for the variant-library subsystem (repro.library).
+
+Covers the pure Pareto helpers (dominance semantics, edge cases the
+satellite checklist names: equal-cost/equal-QoS ties, single-variant
+and empty phases, NaN rejection), the persistent store (framed on-disk
+format, staleness invalidation, corruption-tolerant load, atomic saves,
+counters), the residual-measurement ``resolve`` path, the library fault
+points (``library.save/load/prune``), the headline reuse property —
+library-backed retraining is bit-identical to a full sweep at >= 5x
+fewer fresh measurements — the ``oracle_frontier`` dedupe fix, and the
+CLI surfaces (``cache-stats --library``, ``train-fleet``).
+"""
+
+import json
+import math
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.apps import make_app
+from repro.core.opprox import Opprox
+from repro.core.sampling import TrainingSampler
+from repro.core.spec import AccuracySpec
+from repro.eval.oracle import oracle_frontier, phase_agnostic_oracle
+from repro.faults import FaultPlan, FaultSpec, deactivate, injected_faults
+from repro.instrument.harness import Profiler
+from repro.instrument.stats import MeasurementStats
+from repro.library import (
+    LIBRARY_MAGIC,
+    VariantLibrary,
+    available_libraries,
+    canonical_levels,
+    dedupe_level_vectors,
+    dominates,
+    library_fingerprint,
+    pareto_indices,
+    train_fleet,
+)
+from repro.pipeline.fingerprint import model_fingerprint
+from repro.pipeline.orchestrator import training_fingerprint
+
+
+@pytest.fixture(autouse=True)
+def _no_plan_leaks():
+    yield
+    deactivate()
+
+
+def _tmp_litter(root: Path):
+    return [
+        p for p in root.rglob("*")
+        if p.is_file() and (".tmp-" in p.name or p.name.endswith(".tmp"))
+    ]
+
+
+# -- pure Pareto helpers -------------------------------------------------------
+
+
+class TestParetoHelpers:
+    def test_strict_domination(self):
+        assert dominates((2.0, 1.0), (1.5, 2.0))
+        assert not dominates((1.5, 2.0), (2.0, 1.0))
+
+    def test_domination_needs_one_strict_axis(self):
+        assert dominates((2.0, 1.0), (2.0, 2.0))  # same speedup, worse QoS
+        assert dominates((2.0, 1.0), (1.0, 1.0))  # same QoS, slower
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates((2.0, 1.0), (2.0, 1.0))
+
+    def test_frontier_keeps_equal_cost_equal_qos_ties(self):
+        points = [(2.0, 1.0), (2.0, 1.0), (3.0, 3.0)]
+        front = pareto_indices(points)
+        assert 0 in front and 1 in front and 2 in front
+
+    def test_tie_with_strictly_faster_point_is_dominated(self):
+        # index 1 matches the frontier point's degradation but is slower
+        points = [(3.0, 1.0), (2.0, 1.0)]
+        assert pareto_indices(points) == [0]
+
+    def test_single_variant_phase_is_its_own_frontier(self):
+        assert pareto_indices([(1.0, 0.0)]) == [0]
+
+    def test_empty_phase_yields_empty_frontier(self):
+        assert pareto_indices([]) == []
+
+    def test_classic_frontier(self):
+        points = [
+            (1.0, 0.0),   # exact: slowest, perfect QoS — on the frontier
+            (2.0, 1.0),
+            (1.5, 2.0),   # dominated by (2.0, 1.0)
+            (3.0, 4.0),
+            (2.5, 5.0),   # dominated by (3.0, 4.0)
+        ]
+        assert sorted(pareto_indices(points)) == [0, 1, 3]
+
+    def test_order_is_deterministic_speedup_desc(self):
+        points = [(1.0, 0.0), (3.0, 4.0), (2.0, 1.0)]
+        assert pareto_indices(points) == [1, 2, 0]
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            pareto_indices([(1.0, float("nan"))])
+        with pytest.raises(ValueError, match="NaN"):
+            pareto_indices([(float("nan"), 1.0)])
+
+    def test_canonical_levels_drops_zeros_and_sorts(self):
+        assert canonical_levels({"b": 2, "a": 0, "c": 1}) == (("b", 2), ("c", 1))
+        assert canonical_levels({"b": 2, "c": 1}) == (("b", 2), ("c", 1))
+
+    def test_canonical_levels_rejects_negative(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            canonical_levels({"a": -1})
+
+    def test_dedupe_zero_spellings_collapse(self):
+        vectors = [{"a": 1, "b": 0}, {"a": 1}, {"b": 2}, {"a": 1, "b": 0}]
+        unique = dedupe_level_vectors(vectors)
+        assert unique == [{"a": 1, "b": 0}, {"b": 2}]  # first-seen order
+
+
+# -- the persistent store ------------------------------------------------------
+
+
+PARAMS = {"swarm_size": 16.0, "dimension": 4.0}
+
+
+def _record(library, phase=0, levels=None, speedup=2.0, degradation=1.0):
+    return library.record(
+        PARAMS, 2, phase, levels or {"fitness_eval": 1},
+        speedup=speedup, degradation=degradation, qos_value=degradation,
+        iterations=50,
+    )
+
+
+class TestVariantLibraryStore:
+    def test_lookup_roundtrip_and_zero_normalization(self, tmp_path):
+        library = VariantLibrary(tmp_path, make_app("pso"))
+        _record(library, levels={"fitness_eval": 1, "velocity_update": 0})
+        hit = library.lookup(PARAMS, 2, 0, {"fitness_eval": 1})
+        assert hit is not None and hit.speedup == 2.0
+        assert library.lookup(PARAMS, 2, 1, {"fitness_eval": 1}) is None
+        assert library.stats.hits == 1 and library.stats.misses == 1
+
+    def test_record_rejects_nan(self, tmp_path):
+        library = VariantLibrary(tmp_path, make_app("pso"))
+        with pytest.raises(ValueError, match="NaN"):
+            _record(library, degradation=float("nan"))
+        with pytest.raises(ValueError, match="NaN"):
+            _record(library, speedup=float("nan"))
+
+    def test_save_load_roundtrip(self, tmp_path):
+        library = VariantLibrary(tmp_path, make_app("pso"))
+        _record(library, phase=0)
+        _record(library, phase=1, levels={"velocity_update": 2}, speedup=3.0)
+        assert library.save() is not None
+        assert _tmp_litter(tmp_path) == []
+
+        fresh = VariantLibrary(tmp_path, make_app("pso"))
+        assert fresh.n_variants == 2 and fresh.n_scopes == 2
+        hit = fresh.lookup(PARAMS, 2, 1, {"velocity_update": 2})
+        assert hit is not None and hit.speedup == 3.0
+        # lifetime counters were persisted and restored
+        assert fresh.stats.inserts == 2
+
+    def test_levels_dict_zero_fills_all_blocks(self, tmp_path):
+        app = make_app("pso")
+        library = VariantLibrary(tmp_path, app)
+        record = _record(library)
+        filled = record.levels_dict(app.blocks)
+        assert filled["fitness_eval"] == 1
+        assert set(filled) == {block.name for block in app.blocks}
+        assert all(filled[n] == 0 for n in filled if n != "fitness_eval")
+
+    def test_corrupt_body_discarded_with_warning(self, tmp_path):
+        library = VariantLibrary(tmp_path, make_app("pso"))
+        _record(library)
+        library.save()
+        raw = library.path.read_bytes()
+        library.path.write_bytes(raw[: len(raw) // 2])  # truncate the body
+        fresh = VariantLibrary(tmp_path, make_app("pso"))
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            fresh.load()
+        assert fresh.n_variants == 0
+        assert fresh.stats.corrupt_discards == 1
+
+    def test_foreign_magic_discarded_with_warning(self, tmp_path):
+        library = VariantLibrary(tmp_path, make_app("pso"))
+        library.path.write_bytes(b"#NOT-A-LIBRARY\n{}\n{}\n")
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            library.load()
+        assert library.n_variants == 0
+
+    def test_stale_fingerprint_discarded_with_warning(self, tmp_path):
+        library = VariantLibrary(tmp_path, make_app("pso"))
+        _record(library)
+        library.fingerprint = "0" * 64  # simulate a knob/metric change
+        library.save()
+        fresh = VariantLibrary(tmp_path, make_app("pso"))
+        with pytest.warns(RuntimeWarning, match="stale"):
+            fresh.load()
+        assert fresh.n_variants == 0
+        assert fresh.stats.stale_discards == 1
+
+    def test_fingerprint_covers_blocks_and_metric(self):
+        pso, comd = make_app("pso"), make_app("comd")
+        assert library_fingerprint(pso) == library_fingerprint(make_app("pso"))
+        assert library_fingerprint(pso) != library_fingerprint(comd)
+
+    def test_atomic_save_preserves_previous_on_magic_check(self, tmp_path):
+        library = VariantLibrary(tmp_path, make_app("pso"))
+        _record(library)
+        library.save()
+        assert library.path.read_bytes().startswith(LIBRARY_MAGIC)
+
+    def test_frontier_prunes_dominated_and_counts(self, tmp_path):
+        library = VariantLibrary(tmp_path, make_app("pso"))
+        _record(library, levels={"fitness_eval": 1}, speedup=2.0, degradation=1.0)
+        _record(library, levels={"fitness_eval": 2}, speedup=1.5, degradation=2.0)
+        _record(library, levels={"fitness_eval": 3}, speedup=3.0, degradation=4.0)
+        front = library.frontier(PARAMS, 2, 0)
+        assert [record.speedup for record in front] == [3.0, 2.0]
+        assert library.stats.pruned == 1 and library.stats.prunes == 1
+
+    def test_empty_phase_frontier_is_empty_not_an_error(self, tmp_path):
+        # Mirrors the neutral-prior fallback: an empty phase degrades to
+        # "nothing to offer", never to a crash.
+        library = VariantLibrary(tmp_path, make_app("pso"))
+        assert library.frontier(PARAMS, 2, 1) == []
+        assert library.frontiers(PARAMS, 2) == {0: [], 1: []}
+
+    def test_frontier_cache_invalidated_by_record(self, tmp_path):
+        library = VariantLibrary(tmp_path, make_app("pso"))
+        _record(library, levels={"fitness_eval": 1}, speedup=2.0, degradation=1.0)
+        assert len(library.frontier(PARAMS, 2, 0)) == 1
+        _record(library, levels={"fitness_eval": 2}, speedup=3.0, degradation=0.5)
+        front = library.frontier(PARAMS, 2, 0)
+        assert [record.speedup for record in front] == [3.0]
+
+    def test_available_libraries(self, tmp_path):
+        assert available_libraries(tmp_path / "missing") == {}
+        library = VariantLibrary(tmp_path, make_app("pso"))
+        _record(library)
+        library.save()
+        assert list(available_libraries(tmp_path)) == ["pso"]
+
+    def test_stats_report_shape(self, tmp_path):
+        library = VariantLibrary(tmp_path, make_app("pso"))
+        _record(library)
+        library.save()
+        info = library.stats_report()
+        assert info["variants"] == 1 and info["frontier_variants"] == 1
+        assert info["disk_bytes"] > 0
+        assert info["counters"]["inserts"] == 1
+        assert "frontier_sizes" in info
+        assert "hit(s)" in library.format_report()
+
+
+# -- resolve: aligned lookups + residual measurement ---------------------------
+
+
+class TestResolve:
+    def test_duplicates_cost_one_measurement(self, tmp_path):
+        app = make_app("pso")
+        library = VariantLibrary(tmp_path, app)
+        stats = MeasurementStats()
+        pairs = [
+            (0, {"fitness_eval": 1}),
+            (0, {"fitness_eval": 1, "velocity_update": 0}),  # same variant
+            (1, {"fitness_eval": 1}),
+        ]
+        records = library.resolve(Profiler(app), PARAMS, 2, pairs, stats=stats)
+        assert len(records) == 3
+        assert records[0] is records[1]  # deduped to one record
+        assert records[2] is not None and records[2] is not records[0]
+        assert stats.executions == 2  # one per unique (phase, levels) pair
+        assert library.stats.residual_measurements == 2
+        assert library.stats.misses == 3 and library.stats.hits == 0
+
+    def test_second_resolve_measures_nothing(self, tmp_path):
+        app = make_app("pso")
+        library = VariantLibrary(tmp_path, app)
+        pairs = [(0, {"fitness_eval": 2})]
+        first = library.resolve(Profiler(app), PARAMS, 2, pairs)
+        library.save()
+
+        fresh = VariantLibrary(tmp_path, make_app("pso"))
+        stats = MeasurementStats()
+        again = fresh.resolve(
+            Profiler(make_app("pso")), PARAMS, 2, pairs, stats=stats
+        )
+        assert stats.executions == 0
+        assert again[0].speedup == first[0].speedup
+        assert again[0].degradation == first[0].degradation
+
+
+# -- fault points --------------------------------------------------------------
+
+
+class TestLibraryFaultPoints:
+    def test_save_os_error_is_absorbed(self, tmp_path):
+        library = VariantLibrary(tmp_path, make_app("pso"))
+        _record(library)
+        with injected_faults(FaultPlan([FaultSpec("library.save", "os_error")])):
+            with pytest.warns(RuntimeWarning, match="dropped save"):
+                assert library.save() is None
+        assert not library.path.exists()
+        assert library.stats.write_errors == 1
+        assert _tmp_litter(tmp_path) == []
+        # the in-memory library still answers, and a clean save succeeds
+        assert library.lookup(PARAMS, 2, 0, {"fitness_eval": 1}) is not None
+        assert library.save() is not None
+
+    def test_load_os_error_starts_empty_then_rebuilds(self, tmp_path):
+        library = VariantLibrary(tmp_path, make_app("pso"))
+        _record(library)
+        library.save()
+        fresh = VariantLibrary(tmp_path, make_app("pso"))
+        with injected_faults(FaultPlan([FaultSpec("library.load", "os_error")])):
+            with pytest.warns(RuntimeWarning, match="starting empty"):
+                fresh.load()
+        assert fresh.n_variants == 0
+        assert fresh.stats.corrupt_discards == 1
+        fresh.load()  # fault window passed: the file is intact
+        assert fresh.n_variants == 1
+
+    def test_prune_os_error_degrades_to_unpruned(self, tmp_path):
+        library = VariantLibrary(tmp_path, make_app("pso"))
+        _record(library, levels={"fitness_eval": 1}, speedup=2.0, degradation=1.0)
+        _record(library, levels={"fitness_eval": 2}, speedup=1.5, degradation=2.0)
+        with injected_faults(FaultPlan([FaultSpec("library.prune", "os_error")])):
+            with pytest.warns(RuntimeWarning, match="unpruned"):
+                front = library.frontier(PARAMS, 2, 0)
+        assert len(front) == 2  # dominated variant served rather than none
+        assert library.stats.prune_errors == 1
+
+    def test_corrupt_load_faults_rebuild_cleanly(self, tmp_path):
+        library = VariantLibrary(tmp_path, make_app("pso"))
+        _record(library)
+        library.save()
+        fresh = VariantLibrary(tmp_path, make_app("pso"))
+        plan = FaultPlan([FaultSpec("library.load", "corrupt")])
+        with injected_faults(plan):
+            with pytest.warns(RuntimeWarning, match="corrupt"):
+                fresh.load()
+        assert fresh.n_variants == 0  # garbage was appended, load discarded
+        _record(fresh)  # rebuild by residual measurement...
+        fresh.save()    # ...and republish atomically
+        final = VariantLibrary(tmp_path, make_app("pso"))
+        assert final.n_variants == 1
+
+
+# -- the headline reuse property ----------------------------------------------
+
+
+def _small_opprox(library=None, budget=10.0, seed=0):
+    app = make_app("pso")
+    return Opprox(
+        app,
+        AccuracySpec.for_app(app, max_inputs=2, error_budget=budget),
+        n_phases=2,
+        joint_samples_per_phase=4,
+        seed=seed,
+        variant_library=library,
+    )
+
+
+class TestTrainingReuse:
+    @pytest.fixture(scope="class")
+    def trained(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("library")
+        sweep = _small_opprox()
+        sweep.train()
+
+        builder = _small_opprox(VariantLibrary(root, make_app("pso")))
+        builder.train()
+        builder.variant_library.save()
+        return root, sweep
+
+    def test_library_training_is_bit_identical(self, trained):
+        root, sweep = trained
+        reuse = _small_opprox(VariantLibrary(root, make_app("pso")))
+        reuse.train()
+        assert model_fingerprint(reuse) == model_fingerprint(sweep)
+
+    def test_reuse_is_5x_fewer_measurements(self, trained):
+        root, sweep = trained
+        reuse = _small_opprox(VariantLibrary(root, make_app("pso")), budget=20.0)
+        reuse.train()
+        sweep_execs = sweep.measurement_stats.executions
+        reuse_execs = reuse.measurement_stats.executions
+        assert sweep_execs >= 5 * max(reuse_execs, 1)
+        # new budget is a post-training knob: the model is still identical
+        assert model_fingerprint(reuse) == model_fingerprint(sweep)
+
+    def test_sampler_collect_replays_from_library(self, trained):
+        root, sweep = trained
+        app = make_app("pso")
+        library = VariantLibrary(root, app)
+        sampler = TrainingSampler(
+            app, Profiler(app), 2, joint_samples_per_phase=4, seed=0
+        )
+        stats = MeasurementStats()
+        inputs = [sweep.spec.training_inputs[0]]
+        samples = sampler.collect(inputs, stats=stats, library=library)
+        assert stats.executions == 0  # every variant replayed
+        reference = sweep.samples_for(inputs[0])
+        by_key = {
+            (
+                tuple(sorted(s.params.items())),
+                s.phase,
+                tuple(sorted(s.levels.items())),
+            ): s
+            for s in reference
+        }
+        assert samples, "sampler returned no samples"
+        for sample in samples:
+            ref = by_key[(
+                tuple(sorted(sample.params.items())),
+                sample.phase,
+                tuple(sorted(sample.levels.items())),
+            )]
+            assert sample.speedup == ref.speedup
+            assert sample.degradation == ref.degradation
+            assert sample.qos_value == ref.qos_value
+            assert sample.iterations == ref.iterations
+
+    def test_variant_library_excluded_from_training_fingerprint(self, trained):
+        root, _ = trained
+        with_library = _small_opprox(VariantLibrary(root, make_app("pso")))
+        without = _small_opprox()
+        assert training_fingerprint(with_library) == training_fingerprint(without)
+
+
+# -- oracle integration --------------------------------------------------------
+
+
+class TestOracleLibrary:
+    def test_dedupe_regression_duplicates_measured_once(self, monkeypatch):
+        # joint-style duplicate spellings of one configuration must cost
+        # one measurement, not one per copy
+        import repro.eval.oracle as oracle_module
+
+        app = make_app("pso")
+        params = app.default_params()
+        duplicated = [
+            {block.name: 0 for block in app.blocks},
+            {"fitness_eval": 1, "velocity_update": 0, "best_tracking": 0},
+            {"fitness_eval": 1},  # same config, sparse spelling
+            {"fitness_eval": 1, "velocity_update": 0, "best_tracking": 0},
+        ]
+        monkeypatch.setattr(
+            oracle_module, "_uniform_level_vectors", lambda *a, **k: duplicated
+        )
+        stats = MeasurementStats()
+        frontier = oracle_frontier(Profiler(app), params, stats=stats)
+        assert len(frontier) == 2  # exact + the one real config
+        # one execution for the cold golden run, one for the unique
+        # config — the two duplicate spellings cost nothing
+        assert stats.executions == 2
+
+    def test_warm_library_sweep_costs_zero_executions(self, tmp_path):
+        app = make_app("pso")
+        params = app.default_params()
+        cold_stats = MeasurementStats()
+        cold_library = VariantLibrary(tmp_path, app)
+        cold = oracle_frontier(
+            Profiler(app), params, level_stride=3,
+            stats=cold_stats, library=cold_library,
+        )
+        assert cold_stats.executions > 0
+        cold_library.save()
+        warm_stats = MeasurementStats()
+        warm = oracle_frontier(
+            Profiler(make_app("pso")), params, level_stride=3,
+            stats=warm_stats,
+            library=VariantLibrary(tmp_path, make_app("pso")),
+        )
+        assert warm_stats.executions == 0
+        assert warm == cold
+
+    def test_library_frontier_matches_direct_sweep(self, tmp_path):
+        app = make_app("pso")
+        params = app.default_params()
+        direct = oracle_frontier(Profiler(app), params, level_stride=3)
+        via_library = oracle_frontier(
+            Profiler(make_app("pso")), params, level_stride=3,
+            library=VariantLibrary(tmp_path, make_app("pso")),
+        )
+        assert via_library == direct
+
+    def test_phase_agnostic_oracle_accepts_library(self, tmp_path):
+        app = make_app("pso")
+        params = app.default_params()
+        plain = phase_agnostic_oracle(Profiler(app), params, 10.0, level_stride=3)
+        stats = MeasurementStats()
+        via_library = phase_agnostic_oracle(
+            Profiler(make_app("pso")), params, 20.0, level_stride=3,
+            stats=stats, library=VariantLibrary(tmp_path, make_app("pso")),
+        )
+        assert via_library.configurations_tried == plain.configurations_tried
+        assert stats.executions > 0  # first pass still measures
+
+
+# -- fleet trainer + CLI -------------------------------------------------------
+
+
+class TestFleetAndCli:
+    def test_train_fleet_builds_and_reuses(self, tmp_path):
+        reports = train_fleet(
+            tmp_path / "lib",
+            store_root=tmp_path / "models",
+            apps=["pso"],
+            n_phases=2,
+            max_inputs=1,
+            joint_samples=3,
+        )
+        assert len(reports) == 1
+        first = reports[0]
+        assert first.executions > 0
+        assert Path(first.library_path).exists()
+        assert first.model_path and Path(first.model_path).exists()
+
+        again = train_fleet(
+            tmp_path / "lib",
+            apps=["pso"],
+            n_phases=2,
+            max_inputs=1,
+            joint_samples=3,
+        )[0]
+        assert again.executions == 0  # full replay from the library
+        assert again.model_fingerprint == first.model_fingerprint
+
+    def test_cli_cache_stats_library(self, tmp_path, capsys):
+        from repro.cli import main
+
+        library = VariantLibrary(tmp_path, make_app("pso"))
+        _record(library)
+        library.save()
+        assert main(["cache-stats", "--library", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "variant library — pso" in out
+        assert "on disk" in out
+
+    def test_cli_cache_stats_requires_a_target(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="--cache and/or --library"):
+            main(["cache-stats"])
+
+    def test_cli_cache_stats_empty_library_root(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["cache-stats", "--library", str(tmp_path / "none")]) == 0
+        assert "none" in capsys.readouterr().out

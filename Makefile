@@ -1,6 +1,6 @@
 # Convenience targets for the OPPROX reproduction.
 
-.PHONY: install test verify serve-smoke train-resume-smoke chaos-smoke guard-smoke library-smoke bench bench-measure bench-library bench-diff figures examples clean
+.PHONY: install test verify serve-smoke train-resume-smoke chaos-smoke guard-smoke library-smoke fleet-smoke bench bench-measure bench-library bench-serve-fleet bench-diff figures examples clean
 
 install:
 	pip install -e .
@@ -15,8 +15,10 @@ test:
 # bit-identical model), of the fault-injection framework (seeded
 # chaos run -> bit-identical model despite crashes/hangs/corruption),
 # of the variant library (build -> bit-identical >=5x-cheaper retrain
-# -> corruption recovery), and the bench-diff perf-regression gate
-# (quick benchmarks vs the committed BENCH_*.json baselines).
+# -> corruption recovery), of the sharded fleet-serving path (replay
+# equivalence, degraded-poisoning regression, admission shedding,
+# concurrent multi-tenant load), and the bench-diff perf-regression
+# gate (quick benchmarks vs the committed BENCH_*.json baselines).
 verify:
 	PYTHONPATH=src python -m pytest -x -q
 	PYTHONPATH=src python -m repro oracle --app pso --budget 10 \
@@ -28,6 +30,7 @@ verify:
 	$(MAKE) chaos-smoke
 	$(MAKE) guard-smoke
 	$(MAKE) library-smoke
+	$(MAKE) fleet-smoke
 	$(MAKE) bench-diff
 
 # Serving-path smoke: train a small model, start the engine in-process,
@@ -81,6 +84,17 @@ library-smoke:
 	python scripts/library_smoke.py .library-smoke
 	rm -rf .library-smoke
 
+# Fleet-serving smoke: train a small model, then gate the sharded
+# engine — sequential replay through 1 vs 4 shards bit-identical, a
+# transient store outage must not leave a degraded fallback in the
+# schedule cache, a tight admission pool must shed (never error) under
+# burst, and a concurrent Zipf-skewed fleet load must serve with zero
+# errors and a hit-dominated warm pass.
+fleet-smoke:
+	rm -rf .fleet-smoke
+	python scripts/fleet_smoke.py .fleet-smoke
+	rm -rf .fleet-smoke
+
 bench:
 	pytest benchmarks/ --benchmark-only -q
 
@@ -95,14 +109,24 @@ bench-measure:
 bench-library:
 	PYTHONPATH=src python -m repro bench-library --output BENCH_library.json
 
+# Refresh the committed fleet-serving benchmark baseline (full mode:
+# replay equivalence, a 4000-request warm sweep over 1/2/4/8 shards at
+# 8 clients, and the bursty two-tenant admission leg).
+bench-serve-fleet:
+	PYTHONPATH=src python -m repro bench-serve-fleet \
+		--output BENCH_serve_fleet.json
+
 # Perf-regression gate: re-run the benchmarks in quick mode and compare
 # against the committed baselines.  The quick runs use fewer
 # schedules/repeats (slightly noisier), so the relative thresholds are
 # generous; a real regression — losing the vectorized path's
 # order-of-magnitude advantage, or a library change that craters the
-# measurement reduction — still trips it and exits 6.
+# measurement reduction — still trips it and exits 6.  The fleet leg
+# gates warm throughput (a change that re-introduces a global lock on
+# the hit path craters rps) and hit-path p99 (microsecond-scale, so
+# the threshold is wide).
 bench-diff:
-	rm -f .bench-head.json .bench-library-head.json
+	rm -f .bench-head.json .bench-library-head.json .bench-fleet-head.json
 	PYTHONPATH=src python -m repro bench-measure --quick --output .bench-head.json
 	PYTHONPATH=src python -m repro bench-diff BENCH_measure.json .bench-head.json \
 		--metric '*speedup*' --rel-threshold 0.5
@@ -111,7 +135,15 @@ bench-diff:
 	PYTHONPATH=src python -m repro bench-diff BENCH_library.json \
 		.bench-library-head.json \
 		--metric '*reduction*' --rel-threshold 0.5
-	rm -f .bench-head.json .bench-library-head.json
+	PYTHONPATH=src python -m repro bench-serve-fleet --quick \
+		--output .bench-fleet-head.json
+	PYTHONPATH=src python -m repro bench-diff BENCH_serve_fleet.json \
+		.bench-fleet-head.json \
+		--metric '*rps*' --rel-threshold 0.6
+	PYTHONPATH=src python -m repro bench-diff BENCH_serve_fleet.json \
+		.bench-fleet-head.json \
+		--metric '*p99*' --rel-threshold 4.0
+	rm -f .bench-head.json .bench-library-head.json .bench-fleet-head.json
 
 figures:
 	python examples/generate_figures.py figures
@@ -126,5 +158,6 @@ clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks
 	rm -rf .verify-cache .serve-smoke-models .train-resume-smoke
 	rm -rf .chaos-smoke .chaos .guard-smoke .guard .library-smoke .library
-	rm -f .bench-head.json .bench-library-head.json
+	rm -rf .fleet-smoke
+	rm -f .bench-head.json .bench-library-head.json .bench-fleet-head.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,72 @@
+"""Fleet-serving benchmark — emits BENCH_serve_fleet.json.
+
+Runs :func:`repro.bench.serve_fleet.run_fleet_bench` in full mode:
+replay equivalence between the unsharded and sharded engines (any
+divergence is a hard error inside the harness), a warm throughput/p99
+sweep over shard counts at 8 closed-loop clients, and a bursty
+two-tenant leg behind the weighted-fair admission controller.
+
+The acceptance contract asserted here: at the same client count the
+fleet engine's warm throughput is at least 5x the committed
+single-engine baseline (``BENCH_serve.json``'s warm leg), with zero
+errors anywhere and rps + p99 recorded per shard count for the
+bench-diff gate.
+"""
+
+import json
+from pathlib import Path
+
+from repro.bench.serve_fleet import format_fleet_bench, run_fleet_bench
+
+from benchmarks.conftest import run_once
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve_fleet.json"
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+
+def fleet_experiment(root: Path) -> dict:
+    report = run_fleet_bench(store_root=root, clients=8)
+    BENCH_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
+def test_serve_fleet(benchmark, tmp_path):
+    report = run_once(benchmark, fleet_experiment, tmp_path / "models")
+
+    print(format_fleet_bench(report))
+    print(f"report: {BENCH_PATH}")
+
+    # Replay equivalence: sharding changed nothing about what is served.
+    assert report["replay_equivalence"]["identical"]
+
+    # Every shard count records rps + p99 and served without errors.
+    for shards, leg in report["shard_sweep"].items():
+        assert leg["throughput_rps"] > 0.0, shards
+        assert leg["p99_seconds"] > 0.0, shards
+        assert leg["hit_rate"] > 0.9, shards  # warm fleet = hit-dominated
+
+    # The fleet acceptance bar: >= 5x the committed single-engine
+    # baseline at the same client count (8).
+    baseline = json.loads(BASELINE_PATH.read_text())
+    baseline_rps = baseline["warm"]["throughput_rps"]
+    assert baseline["warm"]["clients"] == report["config"]["clients"]
+    fleet_rps = report["metrics"]["fleet_warm_rps"]["samples"][0]
+    assert fleet_rps >= 5.0 * baseline_rps, (
+        f"fleet {fleet_rps:.0f} rps < 5x committed baseline "
+        f"{baseline_rps:.0f} rps"
+    )
+
+    # The admission leg shed load instead of queueing without bound,
+    # and every shed computation is accounted in the engine stats.
+    admission = report["admission_leg"]["admission"]
+    stats = report["admission_leg"]["engine_stats"]
+    assert stats["admission_rejections"] == (
+        admission["rejected_queue_full"] + admission["rejected_timeout"]
+    )
+    assert report["admission_leg"]["load"]["errors"] == []
+
+    # The persisted report carries the gated metric series.
+    persisted = json.loads(BENCH_PATH.read_text())
+    assert persisted["schema"] == "repro-bench-v1"
+    for name in ("fleet_warm_rps", "fleet_hit_p99_ms", "single_shard_rps"):
+        assert name in persisted["metrics"]

@@ -1,0 +1,248 @@
+#!/usr/bin/env python
+"""Fleet-serving smoke gate for the sharded engine + admission control.
+
+Five legs over a small freshly-trained PSO store:
+
+1. **replay equivalence** — a deterministic mixed request stream
+   replayed sequentially through ``shards=1`` and ``shards=4`` engines
+   must serve bit-identical responses (schedule keys, envs, predictions,
+   degraded flags, hit/miss classification).  Sharding may only change
+   how fast, never what.
+2. **degraded-poisoning regression** — a transient store outage makes
+   the leader serve a degraded fallback; after the store recovers the
+   next request for the same key MUST re-optimize.  A degraded response
+   left in the schedule cache (the bug this gate exists for) keeps
+   serving the fallback forever.
+3. **admission shedding** — a deliberately tight admission pool under a
+   bursty two-tenant fleet must shed load (nonzero rejections), never
+   error, and account every shed computation in the engine stats.
+4. **concurrent fleet load** — 8 closed-loop clients over a sharded
+   engine against a Zipf-skewed multi-tenant mix: zero errors, a warm
+   hit-dominated second pass, and per-shard stats that merge to the
+   request total.
+5. **litter check** — the workdir must end with zero temp-file litter.
+
+Exit status 0 on success; nonzero with a diagnostic otherwise.
+
+Usage::
+
+    python scripts/fleet_smoke.py [workdir]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.apps import make_app  # noqa: E402
+from repro.core.opprox import Opprox  # noqa: E402
+from repro.core.runtime import ModelStore  # noqa: E402
+from repro.core.spec import AccuracySpec  # noqa: E402
+from repro.serve import (  # noqa: E402
+    AdmissionController,
+    FleetTenant,
+    ModelRegistry,
+    ServeEngine,
+    build_fleet_mix,
+    build_request_mix,
+    run_fleet_load,
+    run_load,
+)
+
+def smallest_params(app) -> dict:
+    """The cheapest input-parameter combination for ``app``."""
+    return {p.name: p.values[0] for p in app.parameters}
+
+
+def fail(message: str) -> None:
+    print(f"fleet smoke FAILED: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def train_store(root: Path) -> ModelStore:
+    store = ModelStore(root)
+    if "pso" not in store.available():
+        app = make_app("pso")
+        opprox = Opprox(
+            app,
+            AccuracySpec.for_app(app, max_inputs=2),
+            n_phases=2,
+            joint_samples_per_phase=4,
+            confidence_p=0.9,
+        )
+        opprox.train()
+        store.save(opprox, train_timestamp=time.time())
+    return store
+
+
+def signature(response):
+    return (
+        response.app_name,
+        response.schedule.key() if response.schedule is not None else None,
+        tuple(sorted(response.env.items())),
+        response.predicted_speedup,
+        response.predicted_degradation,
+        response.control_flow,
+        response.degraded,
+        response.degraded_reason,
+        response.cache_hit,
+    )
+
+
+class OutageRegistry(ModelRegistry):
+    """Registry whose next ``outages`` loads fail with a transient OSError."""
+
+    def __init__(self, store):
+        super().__init__(store)
+        self.outages = 0
+
+    def get(self, app_name):
+        if self.outages > 0:
+            self.outages -= 1
+            raise OSError("store unreachable")
+        return super().get(app_name)
+
+
+def leg_replay_equivalence(store_root: Path) -> None:
+    mix = build_request_mix(
+        ["pso"], budgets=[5.0, 10.0, 20.0], n_requests=60, seed=7
+    )
+    traces = {}
+    for shards in (1, 4):
+        engine = ServeEngine(
+            ModelRegistry(ModelStore(store_root)), cache_size=64, shards=shards
+        )
+        report = run_load(engine, mix, clients=1, collect_responses=True)
+        if report["errors"]:
+            fail(f"replay leg (shards={shards}) raised: {report['errors']}")
+        traces[shards] = [signature(r) for r in report["responses"]]
+    if traces[1] != traces[4]:
+        first = next(
+            i for i, (a, b) in enumerate(zip(traces[1], traces[4])) if a != b
+        )
+        fail(f"sharded replay diverged at request {first}: "
+             f"{traces[1][first]} != {traces[4][first]}")
+    print(f"replay equivalence: {len(mix)} requests bit-identical "
+          f"(shards=1 vs shards=4)")
+
+
+def leg_degraded_not_cached(store_root: Path) -> None:
+    registry = OutageRegistry(ModelStore(store_root))
+    engine = ServeEngine(registry, cache_size=8, shards=4)
+    params = smallest_params(make_app("pso"))
+
+    registry.outages = 1
+    degraded = engine.submit("pso", params, 10.0)
+    if not degraded.degraded:
+        fail("outage did not produce a degraded response")
+    if "store unreachable" not in (degraded.degraded_reason or ""):
+        fail(f"unexpected degraded reason: {degraded.degraded_reason!r}")
+
+    recovered = engine.submit("pso", params, 10.0)
+    if recovered.degraded:
+        fail("post-recovery request still degraded — the degraded "
+             "fallback poisoned the schedule cache")
+    if recovered.cache_hit:
+        fail("post-recovery request was a cache hit — the degraded "
+             "response was inserted into the schedule cache")
+    repeat = engine.submit("pso", params, 10.0)
+    if not repeat.cache_hit:
+        fail("healthy response was not cached")
+    print("degraded-poisoning regression: outage response not cached, "
+          "post-recovery request re-optimized")
+
+
+def leg_admission_shedding(store_root: Path) -> None:
+    tenants = [
+        FleetTenant("pso", weight=3.0, users=50_000,
+                    budgets=(4.0, 6.0, 8.0, 10.0, 12.0, 20.0),
+                    param_variants=4, burst_factor=8.0,
+                    burst_start=0.3, burst_end=0.6),
+    ]
+    admission = AdmissionController(
+        max_concurrency=2,
+        max_queue_depth=4,
+        queue_timeout_seconds=0.02,
+        tenant_weights={"pso": 3.0},
+    )
+    engine = ServeEngine(
+        ModelRegistry(ModelStore(store_root)),
+        cache_size=64,
+        shards=4,
+        admission=admission,
+    )
+    mix = build_fleet_mix(tenants, 200, seed=11)
+    report = run_fleet_load(engine, mix, clients=8)
+    if report["errors"]:
+        fail(f"admission leg raised: {report['errors']}")
+    counters = admission.report()
+    rejections = (
+        counters["rejected_queue_full"] + counters["rejected_timeout"]
+    )
+    if not rejections:
+        fail("the tight admission pool shed nothing under burst — "
+             "admission control is not engaging")
+    stats = engine.stats
+    if stats.admission_rejections != rejections:
+        fail(f"engine stats count {stats.admission_rejections} shed "
+             f"computations, controller counted {rejections}")
+    print(f"admission shedding: {counters['admitted']} admitted, "
+          f"{rejections} shed, zero errors")
+
+
+def leg_concurrent_fleet(store_root: Path) -> None:
+    tenants = [
+        FleetTenant("pso", weight=1.0, users=1_000_000,
+                    budgets=(5.0, 10.0, 20.0), param_variants=2),
+    ]
+    engine = ServeEngine(
+        ModelRegistry(ModelStore(store_root)), cache_size=64, shards=4
+    )
+    mix = build_fleet_mix(tenants, 400, seed=3)
+    cold = run_fleet_load(engine, mix, clients=8)
+    if cold["errors"]:
+        fail(f"cold fleet load raised: {cold['errors']}")
+    warm = run_fleet_load(engine, mix, clients=8)
+    if warm["errors"]:
+        fail(f"warm fleet load raised: {warm['errors']}")
+    hit_rate = warm["hits"] / warm["n_requests"]
+    if hit_rate < 0.9:
+        fail(f"warm fleet hit rate {hit_rate:.2f} < 0.9 — the sharded "
+             f"cache is not retaining the working set")
+    stats = engine.stats
+    total = cold["n_requests"] + warm["n_requests"]
+    if stats.requests != total:
+        fail(f"merged per-shard stats count {stats.requests} requests, "
+             f"served {total}")
+    print(f"concurrent fleet: {total} requests over 4 shards, warm hit "
+          f"rate {hit_rate * 100.0:.1f}%, {warm['distinct_users']} "
+          f"distinct users, {warm['throughput_rps']:.0f} req/s warm")
+
+
+def main() -> None:
+    workdir = Path(
+        sys.argv[1] if len(sys.argv) > 1 else ".fleet-smoke"
+    ).resolve()
+    store_root = workdir / "store"
+    print(f"fleet smoke: workdir {workdir}")
+
+    train_store(store_root)
+    leg_replay_equivalence(store_root)
+    leg_degraded_not_cached(store_root)
+    leg_admission_shedding(store_root)
+    leg_concurrent_fleet(store_root)
+
+    litter = [p for p in workdir.rglob("*.tmp*") if p.is_file()]
+    if litter:
+        fail(f"temp-file litter left behind: {[str(p) for p in litter]}")
+
+    print("fleet smoke PASSED")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,6 +9,11 @@ it is at it, and emits a ``BENCH_measure.json`` metrics file.
 (sweep vs library-backed repeat training, fingerprints asserted
 bit-identical) and emits ``BENCH_library.json``.
 
+:mod:`repro.bench.serve_fleet` measures the sharded serve path — replay
+equivalence against the unsharded engine (hard error on divergence), a
+warm throughput/p99 sweep over shard counts, and a bursty two-tenant
+admission-control leg — and emits ``BENCH_serve_fleet.json``.
+
 :mod:`repro.bench.diff` is a Perun-style performance-regression gate: it
 fits simple models to the metric trajectories across successive
 ``BENCH_*.json`` files and fails (exit code 6) when the newest point
@@ -24,12 +29,15 @@ from repro.bench.diff import (
 )
 from repro.bench.library import run_library_bench
 from repro.bench.measure import run_measure_bench
+from repro.bench.serve_fleet import format_fleet_bench, run_fleet_bench
 
 __all__ = [
     "MetricChange",
     "detect_changes",
     "format_changes",
+    "format_fleet_bench",
     "load_bench",
+    "run_fleet_bench",
     "run_library_bench",
     "run_measure_bench",
 ]

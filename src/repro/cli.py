@@ -24,6 +24,7 @@ Subcommands::
     python -m repro chaos       --workdir .chaos --seed 7
     python -m repro bench-measure --output BENCH_measure.json
     python -m repro bench-library --output BENCH_library.json
+    python -m repro bench-serve-fleet --output BENCH_serve_fleet.json
     python -m repro bench-diff  BENCH_old.json BENCH_measure.json
 
 ``bench-measure`` times the scalar measurement path against the
@@ -35,8 +36,13 @@ point is a statistically significant regression (see
 :mod:`repro.bench.diff`).
 
 ``serve`` and ``serve-bench`` drive the :mod:`repro.serve` subsystem: a
-hot-reloading model registry plus a concurrent request engine with an
-LRU schedule cache, fed by a deterministic skewed request mix.  With
+hot-reloading model registry plus a concurrent request engine whose
+schedule cache is split over ``--shards`` consistent-hash shards with a
+lock-free hit path; ``--admission-concurrency N`` puts the per-tenant
+weighted-fair admission front end before the optimizer.
+``bench-serve-fleet`` runs the fleet benchmark (replay equivalence vs
+the unsharded engine, a warm throughput/p99 shard sweep, and a bursty
+two-tenant admission leg) and writes ``BENCH_serve_fleet.json``.  With
 ``--guard`` the engine runs the closed-loop QoS guard
 (:mod:`repro.serve.guard`): sampled canary replays, per-phase drift
 estimators, and the ``healthy -> tightened -> fallback -> stale``
@@ -289,6 +295,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="closed-loop client threads")
         p.add_argument("--cache-size", type=int, default=256,
                        help="bounded LRU schedule-cache capacity")
+        p.add_argument("--shards", type=int, default=1,
+                       help="consistent-hash cache shards (lock-free hit "
+                            "path; 1 reproduces the unsharded engine)")
+        p.add_argument("--admission-concurrency", type=int, default=0,
+                       metavar="N",
+                       help="enable the per-tenant fair admission front end "
+                            "with N concurrent optimizer slots (0 = off)")
+        p.add_argument("--admission-queue-depth", type=int, default=16,
+                       help="bounded per-tenant admission queue depth")
+        p.add_argument("--admission-timeout", type=float, default=1.0,
+                       metavar="SECONDS",
+                       help="max seconds a request may wait for admission")
         p.add_argument("--seed", type=int, default=0,
                        help="request-mix seed (the mix is deterministic)")
         p.add_argument("--guard", action="store_true",
@@ -391,6 +409,25 @@ def build_parser() -> argparse.ArgumentParser:
                                help="repeats per app")
     bench_library.add_argument("--quick", action="store_true",
                                help="shrink repeats for smoke use")
+
+    bench_fleet = sub.add_parser(
+        "bench-serve-fleet",
+        help="fleet-serving benchmark: sharded warm sweep, replay "
+             "equivalence, admission burst leg; write a metrics file",
+    )
+    bench_fleet.add_argument("--output", default="BENCH_serve_fleet.json",
+                             metavar="FILE",
+                             help="write the JSON metrics report here")
+    bench_fleet.add_argument("--store", default=None, metavar="DIR",
+                             help="train/reuse benchmark models here "
+                                  "(default: a temp directory)")
+    bench_fleet.add_argument("--clients", type=int, default=8,
+                             help="closed-loop client threads (keep at 8 to "
+                                  "stay comparable with BENCH_serve.json)")
+    bench_fleet.add_argument("--seed", type=int, default=2017,
+                             help="fleet-mix seed")
+    bench_fleet.add_argument("--quick", action="store_true",
+                             help="shrink request volumes for smoke use")
 
     bench_diff = sub.add_parser(
         "bench-diff",
@@ -678,7 +715,8 @@ def _parse_budgets(raw: str) -> List[float]:
 def _serve_setup(args):
     """Shared serve/serve-bench wiring: registry, engine, request mix."""
     from repro.serve import (
-        GuardConfig, ModelRegistry, QosGuard, ServeEngine, build_request_mix,
+        AdmissionController, GuardConfig, ModelRegistry, QosGuard,
+        ServeEngine, build_request_mix,
     )
 
     registry = ModelRegistry(ModelStore(Path(args.store)))
@@ -694,7 +732,20 @@ def _serve_setup(args):
         guard = QosGuard(
             GuardConfig(sample_interval=args.guard_sample_interval)
         )
-    engine = ServeEngine(registry, cache_size=args.cache_size, guard=guard)
+    admission = None
+    if args.admission_concurrency > 0:
+        admission = AdmissionController(
+            max_concurrency=args.admission_concurrency,
+            max_queue_depth=args.admission_queue_depth,
+            queue_timeout_seconds=args.admission_timeout,
+        )
+    engine = ServeEngine(
+        registry,
+        cache_size=args.cache_size,
+        guard=guard,
+        shards=args.shards,
+        admission=admission,
+    )
     mix = build_request_mix(
         app_names, _parse_budgets(args.budgets), args.requests, seed=args.seed
     )
@@ -725,6 +776,8 @@ def _cmd_serve(args) -> int:
     report = run_load(engine, mix, clients=args.clients)
     print(format_load_report(report, "serve — load report"))
     print(engine.stats.format_report("serve — engine stats"))
+    if engine.admission is not None:
+        print(engine.admission.format_report("serve — admission control"))
     if engine.guard is not None:
         print(engine.guard.format_report("serve — qos guard"))
         stale = registry.stale_info()
@@ -888,6 +941,25 @@ def _cmd_bench_library(args) -> int:
     return 0
 
 
+def _cmd_bench_serve_fleet(args) -> int:
+    import json
+
+    from repro.bench import format_fleet_bench, run_fleet_bench
+
+    report = run_fleet_bench(
+        store_root=args.store,
+        clients=args.clients,
+        quick=args.quick,
+        seed=args.seed,
+        progress=print,
+    )
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(format_fleet_bench(report))
+    print(f"report written to {output}")
+    return 0
+
+
 def _cmd_bench_diff(args) -> int:
     import json
 
@@ -974,6 +1046,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "chaos": lambda: _cmd_chaos(args),
         "bench-measure": lambda: _cmd_bench_measure(args),
         "bench-library": lambda: _cmd_bench_library(args),
+        "bench-serve-fleet": lambda: _cmd_bench_serve_fleet(args),
         "bench-diff": lambda: _cmd_bench_diff(args),
     }
     return handlers[args.command]()

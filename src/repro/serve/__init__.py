@@ -7,8 +7,14 @@ into a long-lived concurrent service:
   header-validated model registry with staleness detection, hot
   reload, and retrain events over :class:`repro.core.runtime.ModelStore`.
 - :class:`~repro.serve.engine.ServeEngine` — thread-safe request engine
-  with a bounded LRU schedule cache, in-flight request coalescing, and
-  graceful degradation to the accurate schedule.
+  decomposed into cache/loader/optimizer layers, with in-flight request
+  coalescing and graceful degradation to the accurate schedule.
+- :mod:`~repro.serve.shard` — the cache layer: N consistent-hash
+  :class:`~repro.serve.shard.CacheShard` partitions with lock-free
+  snapshot reads and per-shard copy-on-write LRU.
+- :class:`~repro.serve.admission.AdmissionController` — per-tenant
+  weighted-fair admission over a bounded optimizer-concurrency pool
+  with bounded queueing and load shedding.
 - :class:`~repro.serve.guard.QosGuard` — closed-loop QoS guard: canary
   sampling of served decisions, per-app/per-phase drift estimators, and
   the ``healthy -> tightened -> fallback -> stale`` escalation machine.
@@ -17,7 +23,18 @@ into a long-lived concurrent service:
   ``guard-report`` CLIs and the serve benchmarks.
 """
 
-from repro.serve.engine import ServeEngine, ServeResponse, ServeStats
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionRejected,
+    AdmissionTicket,
+)
+from repro.serve.engine import (
+    ModelLoader,
+    ScheduleBuilder,
+    ServeEngine,
+    ServeResponse,
+    ServeStats,
+)
 from repro.serve.guard import (
     DriftEstimator,
     GuardConfig,
@@ -27,33 +44,50 @@ from repro.serve.guard import (
 )
 from repro.serve.loadgen import (
     DriftScenario,
+    FleetTenant,
     LoadRequest,
     build_drift_mix,
+    build_fleet_mix,
     build_request_mix,
     format_drift_report,
+    format_fleet_report,
     format_load_report,
     run_drift_scenario,
+    run_fleet_load,
     run_load,
 )
 from repro.serve.registry import ModelRegistry, RegisteredModel
+from repro.serve.shard import CacheEntry, CacheShard, ShardedScheduleCache
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionRejected",
+    "AdmissionTicket",
+    "CacheEntry",
+    "CacheShard",
     "DriftEstimator",
     "DriftScenario",
+    "FleetTenant",
     "GuardConfig",
     "GuardDirective",
     "LoadRequest",
+    "ModelLoader",
     "ModelRegistry",
     "QosGuard",
     "RegisteredModel",
+    "ScheduleBuilder",
     "ServeEngine",
     "ServeResponse",
     "ServeStats",
+    "ShardedScheduleCache",
     "build_drift_mix",
+    "build_fleet_mix",
     "build_request_mix",
     "fallback_schedule",
     "format_drift_report",
+    "format_fleet_report",
     "format_load_report",
     "run_drift_scenario",
+    "run_fleet_load",
     "run_load",
 ]

@@ -1,0 +1,270 @@
+"""Admission control: per-tenant fairness for the expensive serve path.
+
+Cache hits cost microseconds and hold no scarce resource, so they are
+never queued.  A *miss* runs the optimizer — milliseconds of GIL-bound
+work — and at fleet scale an unthrottled burst of misses from one
+tenant (one application) can head-of-line-block everyone else's.  The
+:class:`AdmissionController` sits in front of the optimizer:
+
+- **Concurrency budget.**  At most ``max_concurrency`` optimizations
+  run at once, engine-wide.
+- **Weighted fair shares.**  Each tenant is guaranteed
+  ``max_concurrency * weight / total_weight`` slots (at least one)
+  against the tenants *currently contending*.  The controller is
+  work-conserving: an idle tenant's slots are borrowable, but a
+  borrower yields as soon as a below-share tenant is waiting.
+- **Bounded queueing.**  At most ``max_queue_depth`` requests per
+  tenant may wait, for at most ``queue_timeout_seconds`` each; beyond
+  either bound the request is *rejected* — the engine degrades it to
+  the accurate schedule with an admission reason instead of letting
+  queues grow without bound (load shedding, not load hiding).
+
+All deadline bookkeeping uses an injectable **monotonic** clock
+(default :func:`time.monotonic`) — a wall-clock step (NTP) must never
+extend or collapse a queue timeout, mirroring the serve engine's
+breaker-cooldown discipline.  Rejection raises
+:class:`AdmissionRejected`; the controller itself never blocks longer
+than the configured timeout and never deadlocks on release (tickets are
+idempotent).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Mapping, Optional
+
+__all__ = ["AdmissionController", "AdmissionRejected", "AdmissionTicket"]
+
+
+class AdmissionRejected(Exception):
+    """A request was shed: queue full, or its queue wait timed out."""
+
+    def __init__(self, tenant: str, kind: str, reason: str):
+        super().__init__(reason)
+        self.tenant = tenant
+        #: "queue_full" or "timeout"
+        self.kind = kind
+        self.reason = reason
+
+
+class AdmissionTicket:
+    """One granted optimizer slot; ``release`` is idempotent."""
+
+    __slots__ = ("_controller", "_tenant", "_released")
+
+    def __init__(self, controller: "AdmissionController", tenant: str):
+        self._controller = controller
+        self._tenant = tenant
+        self._released = False
+
+    def release(self) -> None:
+        if self._released:
+            return
+        self._released = True
+        self._controller._release(self._tenant)
+
+    def __enter__(self) -> "AdmissionTicket":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+class AdmissionController:
+    """Weighted fair admission over a bounded optimizer-concurrency pool."""
+
+    def __init__(
+        self,
+        max_concurrency: int = 8,
+        max_queue_depth: int = 16,
+        queue_timeout_seconds: float = 1.0,
+        tenant_weights: Optional[Mapping[str, float]] = None,
+        clock=time.monotonic,
+    ):
+        if max_concurrency < 1:
+            raise ValueError(
+                f"max_concurrency must be >= 1, got {max_concurrency}"
+            )
+        if max_queue_depth < 0:
+            raise ValueError(
+                f"max_queue_depth must be >= 0, got {max_queue_depth}"
+            )
+        if queue_timeout_seconds < 0.0:
+            raise ValueError(
+                f"queue_timeout_seconds must be >= 0, "
+                f"got {queue_timeout_seconds}"
+            )
+        weights = dict(tenant_weights or {})
+        for tenant, weight in weights.items():
+            if weight <= 0.0:
+                raise ValueError(
+                    f"tenant weight must be > 0, got {tenant}={weight}"
+                )
+        self.max_concurrency = max_concurrency
+        self.max_queue_depth = max_queue_depth
+        self.queue_timeout_seconds = queue_timeout_seconds
+        self.tenant_weights = weights
+        #: monotonic by default; injectable for deterministic tests
+        self._clock = clock
+        self._cv = threading.Condition()
+        self._in_use: Dict[str, int] = {}
+        self._waiting: Dict[str, int] = {}
+        self._total_in_use = 0
+        # counters (all guarded by the condition's lock)
+        self.admitted = 0
+        self.queued = 0
+        self.rejected_queue_full = 0
+        self.rejected_timeout = 0
+        self._per_tenant: Dict[str, Dict[str, int]] = {}
+
+    # -- policy --------------------------------------------------------------
+
+    def _share(self, tenant: str) -> int:
+        """Guaranteed slots for ``tenant`` among currently-active tenants."""
+        active = set(self._in_use) | set(self._waiting) | {tenant}
+        total_weight = sum(self.tenant_weights.get(t, 1.0) for t in active)
+        weight = self.tenant_weights.get(tenant, 1.0)
+        return max(1, int(self.max_concurrency * weight / total_weight))
+
+    def _admissible(self, tenant: str) -> bool:
+        """May ``tenant`` take a slot right now?  (condition lock held)"""
+        if self._total_in_use >= self.max_concurrency:
+            return False
+        if self._in_use.get(tenant, 0) < self._share(tenant):
+            return True
+        # At/over its share: borrow only while no under-share tenant waits.
+        for other, waiting in self._waiting.items():
+            if waiting > 0 and other != tenant:
+                if self._in_use.get(other, 0) < self._share(other):
+                    return False
+        return True
+
+    # -- acquire / release ---------------------------------------------------
+
+    def acquire(self, tenant: str) -> AdmissionTicket:
+        """Take one optimizer slot, waiting up to the queue timeout.
+
+        Raises :class:`AdmissionRejected` when the tenant's queue is
+        full or the bounded wait expires; never raises anything else.
+        """
+        with self._cv:
+            counters = self._tenant_counters(tenant)
+            if self._admissible(tenant):
+                self._grant(tenant, counters)
+                return AdmissionTicket(self, tenant)
+            if self._waiting.get(tenant, 0) >= self.max_queue_depth:
+                counters["rejected_queue_full"] += 1
+                self.rejected_queue_full += 1
+                raise AdmissionRejected(
+                    tenant,
+                    "queue_full",
+                    f"tenant {tenant!r} queue depth "
+                    f"{self.max_queue_depth} exhausted",
+                )
+            self._waiting[tenant] = self._waiting.get(tenant, 0) + 1
+            counters["queued"] += 1
+            self.queued += 1
+            deadline = self._clock() + self.queue_timeout_seconds
+            try:
+                while True:
+                    remaining = deadline - self._clock()
+                    if remaining <= 0.0:
+                        counters["rejected_timeout"] += 1
+                        self.rejected_timeout += 1
+                        raise AdmissionRejected(
+                            tenant,
+                            "timeout",
+                            f"tenant {tenant!r} waited past the "
+                            f"{self.queue_timeout_seconds:g}s admission "
+                            f"deadline",
+                        )
+                    # Cap each sleep so an injected test clock (which
+                    # real-time wait() knows nothing about) still drives
+                    # the deadline forward promptly.
+                    self._cv.wait(min(remaining, 0.05))
+                    if self._admissible(tenant):
+                        self._grant(tenant, counters)
+                        return AdmissionTicket(self, tenant)
+            finally:
+                self._waiting[tenant] -= 1
+                if self._waiting[tenant] <= 0:
+                    del self._waiting[tenant]
+
+    def _grant(self, tenant: str, counters: Dict[str, int]) -> None:
+        self._in_use[tenant] = self._in_use.get(tenant, 0) + 1
+        self._total_in_use += 1
+        counters["admitted"] += 1
+        self.admitted += 1
+
+    def _release(self, tenant: str) -> None:
+        with self._cv:
+            current = self._in_use.get(tenant, 0)
+            if current <= 1:
+                self._in_use.pop(tenant, None)
+            else:
+                self._in_use[tenant] = current - 1
+            if current > 0:
+                self._total_in_use -= 1
+            self._cv.notify_all()
+
+    def _tenant_counters(self, tenant: str) -> Dict[str, int]:
+        return self._per_tenant.setdefault(
+            tenant,
+            {
+                "admitted": 0,
+                "queued": 0,
+                "rejected_queue_full": 0,
+                "rejected_timeout": 0,
+            },
+        )
+
+    # -- introspection -------------------------------------------------------
+
+    def info(self) -> Dict[str, object]:
+        """Live occupancy snapshot (operators, tests)."""
+        with self._cv:
+            return {
+                "in_use": dict(self._in_use),
+                "waiting": dict(self._waiting),
+                "total_in_use": self._total_in_use,
+                "max_concurrency": self.max_concurrency,
+            }
+
+    def report(self) -> Dict[str, object]:
+        """Structured counters (feeds BENCH_serve_fleet.json)."""
+        with self._cv:
+            return {
+                "max_concurrency": self.max_concurrency,
+                "max_queue_depth": self.max_queue_depth,
+                "queue_timeout_seconds": self.queue_timeout_seconds,
+                "admitted": self.admitted,
+                "queued": self.queued,
+                "rejected_queue_full": self.rejected_queue_full,
+                "rejected_timeout": self.rejected_timeout,
+                "per_tenant": {
+                    tenant: dict(counters)
+                    for tenant, counters in sorted(self._per_tenant.items())
+                },
+            }
+
+    def format_report(self, title: str = "admission control") -> str:
+        """Readable multi-line report (serve CLI)."""
+        report = self.report()
+        lines = [
+            title,
+            f"  slots: {report['max_concurrency']} concurrent, "
+            f"queue depth {report['max_queue_depth']}, "
+            f"timeout {report['queue_timeout_seconds']:g}s",
+            f"  admitted: {report['admitted']} ({report['queued']} queued); "
+            f"rejected: {report['rejected_queue_full']} queue-full, "
+            f"{report['rejected_timeout']} timeout",
+        ]
+        for tenant, counters in report["per_tenant"].items():
+            lines.append(
+                f"  {tenant}: {counters['admitted']} admitted, "
+                f"{counters['queued']} queued, "
+                f"{counters['rejected_queue_full'] + counters['rejected_timeout']}"
+                f" rejected"
+            )
+        return "\n".join(lines)

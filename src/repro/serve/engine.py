@@ -2,41 +2,54 @@
 
 Where :func:`repro.core.runtime.submit_job` reproduces the paper's
 one-shot runtime script — load pickles, optimize, launch — this engine
-turns the same trained artifacts into a long-lived service: many client
-threads submit ``(app, params, error_budget)`` requests and get back the
-phase schedule plus its environment encoding.
+turns the same trained artifacts into a long-lived service built from
+three explicit layers:
 
-Request flow:
+- **Cache layer** (:mod:`repro.serve.shard`): N consistent-hash
+  :class:`~repro.serve.shard.CacheShard` partitions over canonical
+  request keys.  Hits are *lock-free* snapshot reads (plus a GIL-atomic
+  recency stamp); only misses, inserts, and invalidations take a
+  per-shard lock.  In-flight coalescing rides the same shard, so
+  identical concurrent misses never contend across shards.
+- **Loader layer** (:class:`ModelLoader`): the versioned
+  :class:`~repro.serve.registry.ModelRegistry` behind a per-app circuit
+  breaker.  After ``breaker_threshold`` consecutive load failures the
+  breaker opens and requests short-circuit to the degraded response
+  without touching the store; after ``breaker_cooldown_seconds`` (on
+  the injectable **monotonic** clock — a wall-clock NTP step can
+  neither wedge the breaker open nor cut the cooldown short) one
+  half-open probe is admitted.
+- **Optimizer layer** (:class:`ScheduleBuilder`): runs the model's
+  optimization under the QoS guard's current directive and builds the
+  response templates, including the accurate-schedule degraded
+  fallback.  Any failure — missing model, corrupt header, optimizer
+  exception — **degrades** the response (``degraded=True`` + reason);
+  no exception escapes :meth:`ServeEngine.submit`.
 
-1. The request is canonicalized (sorted, float-normalized params) into a
-   cache key.
-2. A bounded LRU **schedule cache** answers repeats without touching the
-   optimizer; every hit re-checks the model file's generation via the
-   registry so schedules die with the model that computed them.
-3. Concurrent identical misses are **coalesced**: one leader runs the
-   optimization, followers wait on its result instead of duplicating it.
-4. Any failure — missing model file, corrupt header, incompatible
-   format, an optimizer exception — **degrades** the response to the
-   accurate (no-approximation) schedule with ``degraded=True`` and a
-   reason string.  No exception escapes :meth:`ServeEngine.submit`.
-5. A per-app **circuit breaker** guards the model load: after
-   ``breaker_threshold`` consecutive load failures the breaker opens
-   and requests are short-circuited to the degraded response without
-   touching the store at all; after ``breaker_cooldown_seconds`` one
-   half-open probe request is admitted — success closes the breaker,
-   failure re-opens it for another cooldown.  Optimizer failures do
-   *not* trip the breaker (the model loaded fine; the store is healthy).
+An optional **admission front end**
+(:class:`~repro.serve.admission.AdmissionController`) guards the miss
+path: cache hits always pass, but each optimization needs a slot from a
+bounded, per-tenant-fair pool; requests beyond a tenant's queue bound
+are shed as degraded responses with ``rejected=True``.
 
-Per-request observability (hit/miss/coalesced/degraded counters plus
-p50/p95/p99 latency histograms) lives in :class:`ServeStats`, in the
-style of :class:`repro.instrument.stats.MeasurementStats`.
+Request flow: canonicalize → shard → lock-free hit check (generation
+*and* guard epoch must match, per shard) → on miss, join or lead the
+shard's in-flight slot → leader takes an admission slot, loads through
+the breaker, optimizes, and publishes — the cache **never** stores a
+degraded template, so a transient outage can't poison the key after the
+store recovers (coalescing followers get the degraded answer only while
+the outage is live).
+
+Per-request observability lives in per-shard :class:`ServeStats`
+accumulators; ``engine.stats`` merges them (plus the engine-level
+breaker/guard counters) on read, so the hit path never touches a
+shared stats lock.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Tuple, Union
 
@@ -47,10 +60,18 @@ from repro.core.opprox import OptimizationResult
 from repro.core.runtime import schedule_to_env
 from repro.faults.injector import fault_point
 from repro.instrument.stats import LatencyHistogram
+from repro.serve.admission import AdmissionController, AdmissionRejected
 from repro.serve.guard import QosGuard, fallback_schedule
-from repro.serve.registry import Generation, ModelRegistry
+from repro.serve.registry import Generation, ModelRegistry, RegisteredModel
+from repro.serve.shard import CacheEntry, ShardedScheduleCache
 
-__all__ = ["ServeEngine", "ServeResponse", "ServeStats"]
+__all__ = [
+    "ModelLoader",
+    "ScheduleBuilder",
+    "ServeEngine",
+    "ServeResponse",
+    "ServeStats",
+]
 
 #: canonical request identity: (app, sorted float params, budget)
 RequestKey = Tuple[str, Tuple[Tuple[str, float], ...], float]
@@ -63,7 +84,8 @@ class ServeResponse:
     ``schedule`` is None only in the deepest degraded case (the app name
     itself is unknown, so not even an accurate schedule can be built);
     every other path returns a usable schedule, with ``degraded=True``
-    marking the accurate fallback.
+    marking the accurate fallback.  ``rejected=True`` additionally marks
+    responses shed by admission control (always also degraded).
     """
 
     app_name: str
@@ -80,11 +102,19 @@ class ServeResponse:
     latency_seconds: float
     #: QoS-guard stage this response was served under (None = no guard)
     guard_stage: Optional[str] = None
+    #: shed by admission control (degraded without touching the store)
+    rejected: bool = False
 
 
 @dataclass
 class ServeStats:
-    """Request counters + latency histograms for one engine."""
+    """Request counters + latency histograms for one accounting domain.
+
+    The engine keeps one instance per cache shard (request-path
+    counters, written under no shared lock) plus one engine-level
+    instance (breaker/guard/admission events); ``ServeEngine.stats``
+    folds them together with :meth:`merge` on every read.
+    """
 
     requests: int = 0
     #: answered from the schedule cache
@@ -95,6 +125,8 @@ class ServeStats:
     coalesced: int = 0
     #: responses that fell back to the accurate schedule
     degraded: int = 0
+    #: requests shed by admission control (degraded without optimizing)
+    admission_rejections: int = 0
     #: circuit-breaker transitions closed -> open
     breaker_opens: int = 0
     #: circuit-breaker transitions open -> closed (successful probe)
@@ -121,10 +153,12 @@ class ServeStats:
     guard_fallbacks: int = 0
     hit_latency: LatencyHistogram = field(default_factory=LatencyHistogram)
     miss_latency: LatencyHistogram = field(default_factory=LatencyHistogram)
-    #: per-app request/degraded/guard-fallback counters (satellite view
-    #: of partial degradation that the global counters average away)
+    #: per-app request/degraded/rejection counters (satellite view of
+    #: partial degradation that the global counters average away)
     per_app: Dict[str, Dict[str, int]] = field(default_factory=dict)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    _PER_APP_KEYS = ("requests", "degraded", "guard_fallbacks", "rejected")
 
     def record(
         self,
@@ -134,7 +168,7 @@ class ServeStats:
         app_name: Optional[str] = None,
         guard_fallback: bool = False,
     ) -> None:
-        """Account one finished request (outcome: hit/miss/coalesced)."""
+        """Account one finished request (outcome: hit/miss/coalesced/rejected)."""
         with self._lock:
             self.requests += 1
             if outcome == "hit":
@@ -146,6 +180,11 @@ class ServeStats:
             elif outcome == "coalesced":
                 self.coalesced += 1
                 self.hit_latency.record(latency_seconds)
+            elif outcome == "rejected":
+                # Shed before touching loader or optimizer: counted, but
+                # kept out of both latency histograms (a shed response's
+                # microseconds would fake out the miss percentiles).
+                self.admission_rejections += 1
             else:
                 raise ValueError(f"unknown request outcome {outcome!r}")
             if degraded:
@@ -154,13 +193,15 @@ class ServeStats:
                 self.guard_fallbacks += 1
             if app_name is not None:
                 counters = self.per_app.setdefault(
-                    app_name, {"requests": 0, "degraded": 0, "guard_fallbacks": 0}
+                    app_name, {key: 0 for key in self._PER_APP_KEYS}
                 )
                 counters["requests"] += 1
                 if degraded:
                     counters["degraded"] += 1
                 if guard_fallback:
                     counters["guard_fallbacks"] += 1
+                if outcome == "rejected":
+                    counters["rejected"] += 1
 
     def record_breaker(self, event: str) -> None:
         """Account one circuit-breaker event (open/close/probe/short_circuit)."""
@@ -198,6 +239,45 @@ class ServeStats:
             else:
                 raise ValueError(f"unknown guard event {event!r}")
 
+    def merge(self, other: "ServeStats") -> None:
+        """Fold another accounting domain into this one.
+
+        Locks are taken in a stable (id-ordered) order so concurrent
+        cross-merges cannot deadlock; histograms fold their true scalar
+        totals (see :meth:`LatencyHistogram.merge`).
+        """
+        if other is self:
+            return
+        first, second = sorted((self, other), key=id)
+        with first._lock:
+            with second._lock:
+                self.requests += other.requests
+                self.hits += other.hits
+                self.misses += other.misses
+                self.coalesced += other.coalesced
+                self.degraded += other.degraded
+                self.admission_rejections += other.admission_rejections
+                self.breaker_opens += other.breaker_opens
+                self.breaker_closes += other.breaker_closes
+                self.breaker_probes += other.breaker_probes
+                self.breaker_short_circuits += other.breaker_short_circuits
+                self.guard_samples += other.guard_samples
+                self.guard_trips += other.guard_trips
+                self.guard_escalations += other.guard_escalations
+                self.guard_recoveries += other.guard_recoveries
+                self.guard_stale_marks += other.guard_stale_marks
+                self.guard_resets += other.guard_resets
+                self.guard_sample_errors += other.guard_sample_errors
+                self.guard_fallbacks += other.guard_fallbacks
+                self.hit_latency.merge(other.hit_latency)
+                self.miss_latency.merge(other.miss_latency)
+                for app_name, theirs in other.per_app.items():
+                    counters = self.per_app.setdefault(
+                        app_name, {key: 0 for key in self._PER_APP_KEYS}
+                    )
+                    for key, value in theirs.items():
+                        counters[key] = counters.get(key, 0) + value
+
     @property
     def hit_rate(self) -> float:
         """Fraction of requests served without running the optimizer."""
@@ -225,6 +305,7 @@ class ServeStats:
                 "misses": self.misses,
                 "coalesced": self.coalesced,
                 "degraded": self.degraded,
+                "admission_rejections": self.admission_rejections,
                 "hit_rate": self.hit_rate,
                 "breaker_opens": self.breaker_opens,
                 "breaker_closes": self.breaker_closes,
@@ -244,7 +325,11 @@ class ServeStats:
             }
 
     def format_report(self, title: str = "serving stats") -> str:
-        """Readable multi-line report (used by the serve CLI)."""
+        """Readable multi-line report (used by the serve CLI).
+
+        Renders cleanly at zero requests — an idle engine's report must
+        never divide by zero or imply traffic that did not happen.
+        """
         with self._lock:
             lines = [
                 title,
@@ -255,6 +340,10 @@ class ServeStats:
                 self.hit_latency.format_line("hit latency "),
                 self.miss_latency.format_line("miss latency"),
             ]
+            if self.admission_rejections:
+                lines.append(
+                    f"  admission: {self.admission_rejections} rejection(s)"
+                )
             if self.breaker_opens or self.breaker_short_circuits:
                 lines.append(
                     f"  breaker:  {self.breaker_opens} open(s), "
@@ -283,26 +372,17 @@ class ServeStats:
                     f"  {app}: {counters['requests']} request(s), "
                     f"{counters['degraded']} degraded ({rate:.1f}%)"
                 )
-                if counters["guard_fallbacks"]:
+                if counters.get("guard_fallbacks"):
                     line += f", {counters['guard_fallbacks']} guard fallback(s)"
+                if counters.get("rejected"):
+                    line += f", {counters['rejected']} rejected"
                 lines.append(line)
         return "\n".join(lines)
 
 
 @dataclass
-class _CacheEntry:
-    template: ServeResponse
-    generation: Generation
-    #: raw optimizer proposal behind the template (guard replay input)
-    result: Optional[OptimizationResult] = None
-    #: QosGuard epoch at compute time; hits re-check it so schedules
-    #: computed under an outdated guard directive die with the epoch
-    guard_epoch: int = 0
-
-
-@dataclass
 class _Breaker:
-    """Per-app circuit-breaker state (guarded by the engine lock)."""
+    """Per-app circuit-breaker state (guarded by the loader lock)."""
 
     #: consecutive load failures (reset on any successful load)
     failures: int = 0
@@ -314,140 +394,102 @@ class _Breaker:
     last_error: str = ""
 
 
-class _Inflight:
-    """One in-flight computation: followers wait on ``done``."""
+class ModelLoader:
+    """Loader layer: registry access behind a per-app circuit breaker.
 
-    __slots__ = ("done", "template")
-
-    def __init__(self) -> None:
-        self.done = threading.Event()
-        self.template: Optional[ServeResponse] = None
-
-
-class ServeEngine:
-    """Thread-safe serving engine over a :class:`ModelRegistry`."""
+    All cooldown arithmetic runs on ``clock`` — ``time.monotonic`` by
+    default, injectable for deterministic tests.  Wall-clock time is
+    deliberately never consulted: an NTP step must not hold a breaker
+    open past its cooldown or re-close one early.  As a belt-and-braces
+    guard against a *misinjected* non-monotonic clock, a backwards step
+    re-arms ``open_since`` instead of extending the outage by the size
+    of the jump.
+    """
 
     def __init__(
         self,
-        registry: Union[ModelRegistry, str],
-        cache_size: int = 256,
-        stats: Optional[ServeStats] = None,
-        breaker_threshold: int = 5,
-        breaker_cooldown_seconds: float = 30.0,
+        registry: ModelRegistry,
+        stats: ServeStats,
+        threshold: int = 5,
+        cooldown_seconds: float = 30.0,
         clock=time.monotonic,
-        guard: Optional[QosGuard] = None,
     ):
-        if cache_size < 1:
-            raise ValueError(f"cache_size must be >= 1, got {cache_size}")
-        if breaker_threshold < 1:
+        if threshold < 1:
+            raise ValueError(f"breaker_threshold must be >= 1, got {threshold}")
+        if cooldown_seconds < 0.0:
             raise ValueError(
-                f"breaker_threshold must be >= 1, got {breaker_threshold}"
+                f"breaker_cooldown_seconds must be >= 0, got {cooldown_seconds}"
             )
-        if breaker_cooldown_seconds < 0.0:
-            raise ValueError(
-                f"breaker_cooldown_seconds must be >= 0, "
-                f"got {breaker_cooldown_seconds}"
-            )
-        self.registry = (
-            registry
-            if isinstance(registry, ModelRegistry)
-            else ModelRegistry(registry)
-        )
-        self.cache_size = cache_size
-        self.stats = stats if stats is not None else ServeStats()
-        self.guard = guard
-        if self.guard is not None:
-            self.guard.bind(self.registry, self.stats)
-        self.breaker_threshold = breaker_threshold
-        self.breaker_cooldown_seconds = breaker_cooldown_seconds
-        #: injectable for deterministic breaker tests; monotonic in prod
+        self.registry = registry
+        self.stats = stats
+        self.threshold = threshold
+        self.cooldown_seconds = cooldown_seconds
         self._clock = clock
         self._lock = threading.Lock()
-        self._cache: "OrderedDict[RequestKey, _CacheEntry]" = OrderedDict()
-        self._inflight: Dict[RequestKey, _Inflight] = {}
-        self._fallback_apps: Dict[str, object] = {}
         self._breakers: Dict[str, _Breaker] = {}
 
-    # -- public API ----------------------------------------------------------
-
-    def submit(
-        self, app_name: str, params: ParamsDict, error_budget: float
-    ) -> ServeResponse:
-        """Serve one request; never raises (degrades instead)."""
-        started = time.perf_counter()
-        key = self._canonical_key(app_name, params, error_budget)
-
-        with self._lock:
-            hit = None
-            entry = self._cache.get(key)
-            if entry is not None:
-                if self.registry.generation(
-                    app_name
-                ) == entry.generation and (
-                    self.guard is None
-                    or entry.guard_epoch == self.guard.epoch(app_name)
-                ):
-                    self._cache.move_to_end(key)
-                    hit = entry
-                else:
-                    # The model behind this schedule changed/vanished, or
-                    # the guard escalated since it was computed: the
-                    # cached decision is no longer trustworthy.
-                    del self._cache[key]
-            if hit is None:
-                slot = self._inflight.get(key)
-                if slot is None:
-                    slot = _Inflight()
-                    self._inflight[key] = slot
-                    leader = True
-                else:
-                    leader = False
-
-        if hit is not None:
-            # Guard sampling happens outside the engine lock: a replay
-            # measurement must never stall unrelated requests.
-            self._guard_sample(app_name, params, error_budget, hit.result)
-            return self._finish(hit.template, "hit", started)
-
-        if not leader:
-            slot.done.wait()
-            assert slot.template is not None
-            return self._finish(slot.template, "coalesced", started)
-
-        result: Optional[OptimizationResult] = None
-        epoch = 0
+    def load(self, app_name: str) -> Tuple[Optional[RegisteredModel], str]:
+        """Resolve a model through the breaker: ``(model, "")`` or
+        ``(None, reason)``."""
+        admitted, reason = self._admit(app_name)
+        if not admitted:
+            return None, reason
         try:
-            template, generation, result, epoch = self._compute(
-                app_name, params, error_budget
-            )
-        except BaseException:
-            # _compute absorbs all Exceptions; this is the backstop for
-            # KeyboardInterrupt and friends so followers never hang.
-            template = self._degraded(
-                app_name, params, error_budget, "request aborted"
-            )
-            generation = None
-            raise
-        finally:
-            with self._lock:
-                if generation is not None and not template.degraded:
-                    self._cache[key] = _CacheEntry(
-                        template, generation, result, epoch
-                    )
-                    self._cache.move_to_end(key)
-                    while len(self._cache) > self.cache_size:
-                        self._cache.popitem(last=False)
-                slot.template = template
-                del self._inflight[key]
-            slot.done.set()
-        self._guard_sample(app_name, params, error_budget, result)
-        return self._finish(template, "miss", started)
+            fault_point("serve.load", app=app_name)
+            model = self.registry.get(app_name)
+        except Exception as exc:
+            self._failure(app_name, exc)
+            return None, f"model unavailable: {exc}"
+        self._success(app_name)
+        return model, ""
 
-    def cache_info(self) -> Dict[str, int]:
+    def _admit(self, app_name: str) -> Tuple[bool, str]:
         with self._lock:
-            return {"size": len(self._cache), "capacity": self.cache_size}
+            breaker = self._breakers.setdefault(app_name, _Breaker())
+            if breaker.open_since is None:
+                return True, ""
+            now = self._clock()
+            if now < breaker.open_since:
+                # Only reachable with a non-monotonic injected clock
+                # that stepped backwards: re-arm the window instead of
+                # staying open for (jump + cooldown).
+                breaker.open_since = now
+            cooling = (now - breaker.open_since) < self.cooldown_seconds
+            if breaker.probing or cooling:
+                self.stats.record_breaker("short_circuit")
+                return False, (
+                    f"circuit open for {app_name!r} after {breaker.failures} "
+                    f"consecutive load failure(s): {breaker.last_error}"
+                )
+            breaker.probing = True
+            self.stats.record_breaker("probe")
+            return True, ""
 
-    def breaker_info(self) -> Dict[str, Dict[str, object]]:
+    def _failure(self, app_name: str, exc: Exception) -> None:
+        with self._lock:
+            breaker = self._breakers.setdefault(app_name, _Breaker())
+            breaker.failures += 1
+            breaker.last_error = str(exc) or repr(exc)
+            breaker.probing = False
+            if breaker.open_since is not None:
+                # failed half-open probe: restart the cooldown window
+                breaker.open_since = self._clock()
+            elif breaker.failures >= self.threshold:
+                breaker.open_since = self._clock()
+                self.stats.record_breaker("open")
+
+    def _success(self, app_name: str) -> None:
+        with self._lock:
+            breaker = self._breakers.get(app_name)
+            if breaker is None:
+                return
+            if breaker.open_since is not None:
+                self.stats.record_breaker("close")
+            breaker.failures = 0
+            breaker.open_since = None
+            breaker.probing = False
+
+    def info(self) -> Dict[str, Dict[str, object]]:
         """Per-app breaker state snapshot (tests and operators)."""
         with self._lock:
             return {
@@ -459,93 +501,29 @@ class ServeEngine:
                 for app, breaker in self._breakers.items()
             }
 
-    # -- internals -----------------------------------------------------------
 
-    @staticmethod
-    def _canonical_key(
-        app_name: str, params: ParamsDict, error_budget: float
-    ) -> RequestKey:
-        def scalar(value):
-            # Unconvertible values still need a hashable identity; the
-            # request itself will degrade downstream with a clear reason.
-            try:
-                return float(value)
-            except (TypeError, ValueError):
-                return str(value)
+class ScheduleBuilder:
+    """Optimizer layer: guard-directed optimization + degraded fallbacks."""
 
-        return (
-            str(app_name),
-            tuple(sorted((str(k), scalar(v)) for k, v in dict(params).items())),
-            scalar(error_budget),
-        )
+    def __init__(self, guard: Optional[QosGuard] = None):
+        self.guard = guard
+        self._lock = threading.Lock()
+        self._fallback_apps: Dict[str, object] = {}
 
-    def _finish(
-        self, template: ServeResponse, outcome: str, started: float
-    ) -> ServeResponse:
-        latency = time.perf_counter() - started
-        self.stats.record(
-            outcome,
-            latency,
-            template.degraded,
-            app_name=template.app_name,
-            guard_fallback=(
-                template.degraded
-                and template.guard_stage in ("fallback", "stale")
-            ),
-        )
-        return replace(
-            template,
-            cache_hit=(outcome != "miss"),
-            latency_seconds=latency,
-        )
-
-    def _guard_sample(
+    def build(
         self,
         app_name: str,
         params: ParamsDict,
         error_budget: float,
-        result: Optional[OptimizationResult],
-    ) -> None:
-        """Feed one served decision to the guard (outside the lock)."""
-        if self.guard is None or result is None:
-            return
-        try:
-            self.guard.after_serve(app_name, params, error_budget, result)
-        except Exception:
-            pass  # the guard absorbs its own errors; this is the backstop
-
-    def _compute(
-        self, app_name: str, params: ParamsDict, error_budget: float
-    ) -> Tuple[ServeResponse, Optional[Generation], Optional["OptimizationResult"], int]:
-        """Run the optimization, or build the degraded fallback.
+        model: RegisteredModel,
+    ) -> Tuple[ServeResponse, Optional[Generation], Optional[OptimizationResult], int]:
+        """Optimize under the guard directive; degrade on optimizer failure.
 
         Returns ``(template, generation, raw_result, guard_epoch)`` —
         the raw optimizer proposal survives even when the guard swaps a
         fallback schedule into the template, because the guard keeps
         sampling the *proposal* to gather recovery evidence.
         """
-        admitted, reason = self._breaker_admit(app_name)
-        if not admitted:
-            return (
-                self._degraded(app_name, params, error_budget, reason),
-                None,
-                None,
-                0,
-            )
-        try:
-            fault_point("serve.load", app=app_name)
-            model = self.registry.get(app_name)
-        except Exception as exc:
-            self._breaker_failure(app_name, exc)
-            return (
-                self._degraded(
-                    app_name, params, error_budget, f"model unavailable: {exc}"
-                ),
-                None,
-                None,
-                0,
-            )
-        self._breaker_success(app_name)
         directive = (
             self.guard.directive(app_name) if self.guard is not None else None
         )
@@ -564,7 +542,7 @@ class ServeEngine:
                 result = model.opprox.optimize(params, error_budget)
         except Exception as exc:
             return (
-                self._degraded(
+                self.degraded(
                     app_name, params, error_budget, f"optimization failed: {exc}"
                 ),
                 None,
@@ -608,62 +586,13 @@ class ServeEngine:
             epoch,
         )
 
-    # -- circuit breaker ------------------------------------------------------
-
-    def _breaker_admit(self, app_name: str) -> Tuple[bool, str]:
-        """Decide whether a miss may touch the store.
-
-        Returns ``(True, "")`` when the breaker is closed or this request
-        wins the half-open probe slot; ``(False, reason)`` when the
-        request must short-circuit to the degraded response.
-        """
-        with self._lock:
-            breaker = self._breakers.setdefault(app_name, _Breaker())
-            if breaker.open_since is None:
-                return True, ""
-            cooling = (
-                self._clock() - breaker.open_since
-            ) < self.breaker_cooldown_seconds
-            if breaker.probing or cooling:
-                self.stats.record_breaker("short_circuit")
-                return False, (
-                    f"circuit open for {app_name!r} after {breaker.failures} "
-                    f"consecutive load failure(s): {breaker.last_error}"
-                )
-            breaker.probing = True
-            self.stats.record_breaker("probe")
-            return True, ""
-
-    def _breaker_failure(self, app_name: str, exc: Exception) -> None:
-        with self._lock:
-            breaker = self._breakers.setdefault(app_name, _Breaker())
-            breaker.failures += 1
-            breaker.last_error = str(exc) or repr(exc)
-            breaker.probing = False
-            if breaker.open_since is not None:
-                # failed half-open probe: restart the cooldown window
-                breaker.open_since = self._clock()
-            elif breaker.failures >= self.breaker_threshold:
-                breaker.open_since = self._clock()
-                self.stats.record_breaker("open")
-
-    def _breaker_success(self, app_name: str) -> None:
-        with self._lock:
-            breaker = self._breakers.get(app_name)
-            if breaker is None:
-                return
-            if breaker.open_since is not None:
-                self.stats.record_breaker("close")
-            breaker.failures = 0
-            breaker.open_since = None
-            breaker.probing = False
-
-    def _degraded(
+    def degraded(
         self,
         app_name: str,
         params: ParamsDict,
         error_budget: float,
         reason: str,
+        rejected: bool = False,
     ) -> ServeResponse:
         """Accurate (all-exact) fallback; absorbs its own failures too."""
         schedule: Optional[ApproxSchedule] = None
@@ -673,7 +602,7 @@ class ServeEngine:
             if app is None:
                 app = make_app(app_name)
                 with self._lock:
-                    self._fallback_apps[app_name] = app
+                    app = self._fallback_apps.setdefault(app_name, app)
             validated = app.validate_params(dict(params))
             schedule = ApproxSchedule.exact(app.blocks, app.make_plan(validated, 1))
             env = schedule_to_env(schedule)
@@ -698,4 +627,290 @@ class ServeEngine:
             degraded_reason=reason,
             cache_hit=False,
             latency_seconds=0.0,
+            rejected=rejected,
         )
+
+
+class ServeEngine:
+    """Thread-safe serving engine over a :class:`ModelRegistry`.
+
+    ``shards=1`` (the default) reproduces the original single-cache
+    engine exactly — same LRU order, same hit/miss classification under
+    sequential replay.  ``shards=N`` partitions the cache and the
+    coalescing tables across a consistent-hash ring for fleet-scale
+    concurrency; ``admission`` adds the per-tenant fair front end.
+    """
+
+    def __init__(
+        self,
+        registry: Union[ModelRegistry, str],
+        cache_size: int = 256,
+        stats: Optional[ServeStats] = None,
+        breaker_threshold: int = 5,
+        breaker_cooldown_seconds: float = 30.0,
+        clock=time.monotonic,
+        guard: Optional[QosGuard] = None,
+        shards: int = 1,
+        admission: Optional[AdmissionController] = None,
+    ):
+        if cache_size < 1:
+            raise ValueError(f"cache_size must be >= 1, got {cache_size}")
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.registry = (
+            registry
+            if isinstance(registry, ModelRegistry)
+            else ModelRegistry(registry)
+        )
+        self.cache_size = cache_size
+        self.shards = shards
+        #: engine-level accounting (breaker/guard/admission events);
+        #: request-path counters live in the per-shard ServeStats and
+        #: everything is folded together by the ``stats`` property
+        self._base_stats = stats if stats is not None else ServeStats()
+        self.guard = guard
+        if self.guard is not None:
+            self.guard.bind(self.registry, self._base_stats)
+        self.admission = admission
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown_seconds = breaker_cooldown_seconds
+        #: injectable for deterministic breaker tests; monotonic in prod
+        self._clock = clock
+        self._loader = ModelLoader(
+            self.registry,
+            self._base_stats,
+            threshold=breaker_threshold,
+            cooldown_seconds=breaker_cooldown_seconds,
+            clock=clock,
+        )
+        self._builder = ScheduleBuilder(guard)
+        self._cache = ShardedScheduleCache(cache_size, n_shards=shards)
+
+    # -- public API ----------------------------------------------------------
+
+    @property
+    def stats(self) -> ServeStats:
+        """Merged engine accounting: base counters + every shard's."""
+        merged = ServeStats()
+        merged.merge(self._base_stats)
+        for shard in self._cache.shards:
+            merged.merge(shard.stats)
+        return merged
+
+    def submit(
+        self, app_name: str, params: ParamsDict, error_budget: float
+    ) -> ServeResponse:
+        """Serve one request; never raises (degrades instead)."""
+        started = time.perf_counter()
+        key = self._canonical_key(app_name, params, error_budget)
+        shard = self._cache.shard_for(key)
+
+        while True:
+            entry = shard.lookup(key)
+            if entry is not None:
+                if self._entry_live(app_name, entry):
+                    shard.touch(entry)
+                    # Guard sampling happens outside any lock: a replay
+                    # measurement must never stall unrelated requests.
+                    self._guard_sample(app_name, params, error_budget, entry.result)
+                    return self._finish(shard, entry.template, "hit", started)
+                # The model behind this schedule changed/vanished, or
+                # the guard escalated since it was computed: the cached
+                # decision is no longer trustworthy.  discard() is
+                # identity-checked, so a racing reader losing this race
+                # is a no-op rather than a KeyError.
+                shard.discard(key, entry)
+
+            kind, entry, slot = shard.begin(key)
+            if kind == "hit":
+                # A leader published between our lock-free miss and
+                # begin(): validate it like any other hit (loop).
+                if self._entry_live(app_name, entry):
+                    shard.touch(entry)
+                    self._guard_sample(app_name, params, error_budget, entry.result)
+                    return self._finish(shard, entry.template, "hit", started)
+                shard.discard(key, entry)
+                continue
+            break
+
+        if kind == "follower":
+            slot.done.wait()
+            assert slot.template is not None
+            return self._finish(shard, slot.template, "coalesced", started)
+
+        # Leader: admission front end first — the slot we hold only
+        # coalesces identical requests; the optimizer concurrency budget
+        # is the scarce resource.
+        ticket = None
+        rejected = False
+        if self.admission is not None:
+            try:
+                ticket = self.admission.acquire(app_name)
+            except AdmissionRejected as exc:
+                rejected = True
+                template = self._builder.degraded(
+                    app_name,
+                    params,
+                    error_budget,
+                    f"admission control shed request: {exc.reason}",
+                    rejected=True,
+                )
+                generation = None
+                result = None
+                epoch = 0
+
+        if not rejected:
+            template = None
+            generation = None
+            result = None
+            epoch = 0
+            try:
+                template, generation, result, epoch = self._compute(
+                    app_name, params, error_budget
+                )
+            except BaseException:
+                # _compute absorbs all Exceptions; this is the backstop
+                # for KeyboardInterrupt and friends so followers never
+                # hang.
+                template = self._builder.degraded(
+                    app_name, params, error_budget, "request aborted"
+                )
+                generation = None
+                raise
+            finally:
+                self._publish(
+                    shard, key, slot, template, generation, result, epoch
+                )
+                if ticket is not None:
+                    ticket.release()
+            self._guard_sample(app_name, params, error_budget, result)
+            return self._finish(shard, template, "miss", started)
+
+        # Shed path: publish the degraded template (never cached) so
+        # coalesced followers of this overloaded key return too.
+        self._publish(shard, key, slot, template, None, None, 0)
+        return self._finish(shard, template, "rejected", started)
+
+    def cache_info(self) -> Dict[str, int]:
+        return {"size": len(self._cache), "capacity": self.cache_size}
+
+    def shard_info(self) -> Dict[str, object]:
+        """Per-shard occupancy/eviction/invalidation snapshot."""
+        return self._cache.info()
+
+    def breaker_info(self) -> Dict[str, Dict[str, object]]:
+        """Per-app breaker state snapshot (tests and operators)."""
+        return self._loader.info()
+
+    def admission_info(self) -> Optional[Dict[str, object]]:
+        """Admission counters, or None when no front end is configured."""
+        return self.admission.report() if self.admission is not None else None
+
+    # -- internals -----------------------------------------------------------
+
+    @staticmethod
+    def _canonical_key(
+        app_name: str, params: ParamsDict, error_budget: float
+    ) -> RequestKey:
+        def scalar(value):
+            # Unconvertible values still need a hashable identity; the
+            # request itself will degrade downstream with a clear reason.
+            try:
+                return float(value)
+            except (TypeError, ValueError):
+                return str(value)
+
+        return (
+            str(app_name),
+            tuple(sorted((str(k), scalar(v)) for k, v in dict(params).items())),
+            scalar(error_budget),
+        )
+
+    def _entry_live(self, app_name: str, entry: CacheEntry) -> bool:
+        """Is a cached decision still trustworthy?  (lock-free checks)"""
+        if self.registry.generation(app_name) != entry.generation:
+            return False
+        if self.guard is not None and entry.guard_epoch != self.guard.epoch(
+            app_name
+        ):
+            return False
+        return True
+
+    def _publish(
+        self,
+        shard,
+        key: RequestKey,
+        slot,
+        template: Optional[ServeResponse],
+        generation: Optional[Generation],
+        result: Optional[OptimizationResult],
+        epoch: int,
+    ) -> None:
+        """Insert-if-cacheable + wake followers (the leader's hand-off).
+
+        Degraded templates are **never** inserted — a poisoned fallback
+        cached during a transient outage would keep being served after
+        the store recovered.
+        """
+        if template is None:  # backstop: a BaseException before _compute
+            template = self._builder.degraded(
+                template_app(key), {}, float("nan"), "request aborted"
+            )
+        entry = None
+        if generation is not None and not template.degraded:
+            entry = CacheEntry(template, generation, result, epoch)
+        shard.publish(key, slot, template, entry)
+
+    def _finish(
+        self, shard, template: ServeResponse, outcome: str, started: float
+    ) -> ServeResponse:
+        latency = time.perf_counter() - started
+        shard.stats.record(
+            outcome,
+            latency,
+            template.degraded,
+            app_name=template.app_name,
+            guard_fallback=(
+                template.degraded
+                and template.guard_stage in ("fallback", "stale")
+            ),
+        )
+        return replace(
+            template,
+            cache_hit=(outcome in ("hit", "coalesced")),
+            latency_seconds=latency,
+        )
+
+    def _guard_sample(
+        self,
+        app_name: str,
+        params: ParamsDict,
+        error_budget: float,
+        result: Optional[OptimizationResult],
+    ) -> None:
+        """Feed one served decision to the guard (outside the lock)."""
+        if self.guard is None or result is None:
+            return
+        try:
+            self.guard.after_serve(app_name, params, error_budget, result)
+        except Exception:
+            pass  # the guard absorbs its own errors; this is the backstop
+
+    def _compute(
+        self, app_name: str, params: ParamsDict, error_budget: float
+    ) -> Tuple[ServeResponse, Optional[Generation], Optional[OptimizationResult], int]:
+        """Loader layer then optimizer layer; degraded on either failing."""
+        model, reason = self._loader.load(app_name)
+        if model is None:
+            return (
+                self._builder.degraded(app_name, params, error_budget, reason),
+                None,
+                None,
+                0,
+            )
+        return self._builder.build(app_name, params, error_budget, model)
+
+
+def template_app(key: RequestKey) -> str:
+    """App name back out of a canonical key (backstop paths only)."""
+    return key[0]

@@ -236,6 +236,11 @@ class QosGuard:
         self.config = config if config is not None else GuardConfig()
         self._lock = threading.Lock()
         self._states: Dict[str, _AppGuardState] = {}
+        #: lock-free mirror of each state's epoch — the engine's hit
+        #: path validates cached entries against it on every request,
+        #: so it must not contend on the guard lock.  Written only
+        #: under _lock (dict item assignment is GIL-atomic to readers).
+        self._epochs: Dict[str, int] = {}
         self._registry = None
         self._stats = None
         self._apps: Dict[str, object] = {}
@@ -254,11 +259,12 @@ class QosGuard:
         """Monotonic per-app epoch; bumps on any stage/phase-set change.
 
         The engine stores it in cache entries so schedules computed
-        under an outdated directive die on their next lookup.
+        under an outdated directive die on their next lookup.  Read
+        lock-free from the ``_epochs`` mirror: this sits on the
+        engine's hit path, where the guard lock must never be a
+        bottleneck (or a deadlock risk while the guard samples).
         """
-        with self._lock:
-            state = self._states.get(app_name)
-            return state.epoch if state is not None else 0
+        return self._epochs.get(app_name, 0)
 
     def directive(self, app_name: str) -> GuardDirective:
         """Current serving directive for ``app_name`` (never raises)."""
@@ -409,7 +415,7 @@ class QosGuard:
                     self._advance(app_name, state, "escalate")
                 elif grew:
                     # same stage, wider fallback set: invalidate caches
-                    state.epoch += 1
+                    self._bump_epoch(app_name, state)
                 if (
                     state.stage_index == len(STAGES) - 1
                     and state.stale_event_path is None
@@ -432,12 +438,17 @@ class QosGuard:
 
     # -- transitions (lock held) ---------------------------------------------
 
+    def _bump_epoch(self, app_name: str, state: _AppGuardState) -> None:
+        """Advance the app's epoch and its lock-free mirror (lock held)."""
+        state.epoch += 1
+        self._epochs[app_name] = state.epoch
+
     def _advance(self, app_name: str, state: _AppGuardState, kind: str) -> None:
         fault_point(
             "serve.guard.escalate", app=app_name, stage=STAGES[state.stage_index + 1]
         )
         state.stage_index += 1
-        state.epoch += 1
+        self._bump_epoch(app_name, state)
         state.drift_streak = 0
         state.transitions.append(STAGES[state.stage_index])
         self._record(kind)
@@ -445,7 +456,7 @@ class QosGuard:
     def _retreat(self, app_name: str, state: _AppGuardState) -> None:
         from_stale = state.stage_index == len(STAGES) - 1
         state.stage_index -= 1
-        state.epoch += 1
+        self._bump_epoch(app_name, state)
         state.clean_streak = 0
         state.transitions.append(STAGES[state.stage_index])
         self._record("recover")
@@ -500,7 +511,7 @@ class QosGuard:
                 or state.drifting_phases
             ):
                 state.stage_index = 0
-                state.epoch += 1
+                self._bump_epoch(app_name, state)
                 state.drift_streak = 0
                 state.clean_streak = 0
                 state.drifting_phases.clear()

@@ -29,23 +29,35 @@ from repro.serve.engine import ServeEngine, ServeResponse
 __all__ = [
     "DriftScenario",
     "DRIFT_SCENARIOS",
+    "FleetTenant",
     "LoadRequest",
     "build_drift_mix",
+    "build_fleet_mix",
     "build_request_mix",
     "format_drift_report",
+    "format_fleet_report",
     "format_load_report",
     "run_drift_scenario",
+    "run_fleet_load",
     "run_load",
 ]
 
 
 @dataclass(frozen=True)
 class LoadRequest:
-    """One request of the replayed mix."""
+    """One request of the replayed mix.
+
+    ``user`` identifies the simulated end user behind the request (fleet
+    mixes draw it Zipf-skewed from a millions-strong population).  It is
+    deliberately *not* part of the engine's cache key — millions of
+    users share the (app, input, budget) schedule space — but the fleet
+    report accounts distinct users served per tenant.
+    """
 
     app_name: str
     params: ParamsDict
     error_budget: float
+    user: int = 0
 
 
 def build_request_mix(
@@ -272,6 +284,269 @@ def run_load(
     if collect_responses:
         report["responses"] = responses
     return report
+
+
+# ---------------------------------------------------------------------------
+# Fleet traffic: multi-tenant, bursty, millions-of-users simulation for
+# the sharded engine + admission front end (benchmarks/test_serve_fleet.py,
+# `serve-bench --fleet`, scripts/fleet_smoke.py).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetTenant:
+    """One tenant (application) of the simulated fleet.
+
+    ``weight`` sets the tenant's steady-state share of the request
+    stream (and typically mirrors its admission weight); ``users`` is
+    the size of its simulated end-user population — user ids are drawn
+    Zipf-skewed from it, so a few heavy users dominate while the long
+    tail still appears.  A ``burst`` tenant's arrival weight is
+    multiplied by ``burst_factor`` inside the ``[burst_start,
+    burst_end)`` fraction of the run, modeling the thundering herd that
+    admission control exists to contain.
+    """
+
+    app_name: str
+    weight: float = 1.0
+    users: int = 1_000_000
+    budgets: Tuple[float, ...] = (10.0,)
+    param_variants: int = 2
+    user_skew: float = 1.1
+    burst_factor: float = 1.0
+    burst_start: float = 0.0
+    burst_end: float = 0.0
+
+    def __post_init__(self):
+        if self.weight <= 0.0:
+            raise ValueError(f"weight must be > 0, got {self.weight}")
+        if self.users < 1:
+            raise ValueError(f"users must be >= 1, got {self.users}")
+        if not self.budgets:
+            raise ValueError("budgets must not be empty")
+        if self.burst_factor < 1.0:
+            raise ValueError(
+                f"burst_factor must be >= 1, got {self.burst_factor}"
+            )
+        if not 0.0 <= self.burst_start <= self.burst_end <= 1.0:
+            raise ValueError(
+                f"burst window must satisfy 0 <= start <= end <= 1, got "
+                f"[{self.burst_start}, {self.burst_end})"
+            )
+
+
+def build_fleet_mix(
+    tenants: Sequence[FleetTenant],
+    n_requests: int,
+    seed: int = 0,
+    skew: float = 1.2,
+) -> List[LoadRequest]:
+    """A deterministic multi-tenant bursty request stream.
+
+    Position ``i`` of the stream draws its tenant with probability
+    proportional to the tenant's weight — multiplied by its
+    ``burst_factor`` while ``i / n_requests`` falls inside the tenant's
+    burst window — then draws the request combo Zipf-``skew``-ranked
+    from that tenant's (input, budget) pool and the user id
+    Zipf-``user_skew``-ranked from its population.  Everything is a
+    pure function of the arguments: the same seed replays the same
+    fleet, burst spikes and all.
+    """
+    if n_requests < 1:
+        raise ValueError(f"n_requests must be >= 1, got {n_requests}")
+    if not tenants:
+        raise ValueError("tenants must not be empty")
+
+    rng = np.random.default_rng(seed)
+    pools: List[List[LoadRequest]] = []
+    combo_weights: List[np.ndarray] = []
+    user_weights: List[np.ndarray] = []
+    for tenant in tenants:
+        app = make_app(tenant.app_name)
+        variants = list(
+            itertools.islice(app.training_inputs(), tenant.param_variants)
+        )
+        if not variants:
+            variants = [app.default_params()]
+        pool = [
+            LoadRequest(tenant.app_name, dict(params), float(budget))
+            for params in variants
+            for budget in tenant.budgets
+        ]
+        pools.append(pool)
+        ranks = np.arange(1, len(pool) + 1, dtype=float)
+        weights = ranks ** (-float(skew))
+        combo_weights.append(weights / weights.sum())
+        # Zipf over the user population, truncated to the head plus a
+        # uniform tail bucket: materializing a weights vector over
+        # literal millions of users per request would swamp the mix
+        # build itself, and ranks past ~10k are indistinguishable noise.
+        head = min(tenant.users, 10_000)
+        user_ranks = np.arange(1, head + 1, dtype=float)
+        uw = user_ranks ** (-float(tenant.user_skew))
+        user_weights.append(uw / uw.sum())
+
+    base_weights = np.array([t.weight for t in tenants], dtype=float)
+    mix: List[LoadRequest] = []
+    for index in range(n_requests):
+        position = index / n_requests
+        weights = base_weights.copy()
+        for t_index, tenant in enumerate(tenants):
+            if tenant.burst_start <= position < tenant.burst_end:
+                weights[t_index] *= tenant.burst_factor
+        weights /= weights.sum()
+        t_index = int(rng.choice(len(tenants), p=weights))
+        pool = pools[t_index]
+        combo = pool[int(rng.choice(len(pool), p=combo_weights[t_index]))]
+        tenant = tenants[t_index]
+        head = len(user_weights[t_index])
+        if tenant.users > head and rng.random() < 0.05:
+            # 5% of traffic comes from the anonymous long tail beyond
+            # the Zipf head — distinct users on nearly every draw.
+            user = int(rng.integers(head, tenant.users))
+        else:
+            user = int(rng.choice(head, p=user_weights[t_index]))
+        mix.append(
+            LoadRequest(combo.app_name, combo.params, combo.error_budget, user)
+        )
+    return mix
+
+
+def run_fleet_load(
+    engine: ServeEngine,
+    requests: Sequence[LoadRequest],
+    clients: int = 8,
+) -> Dict[str, object]:
+    """Replay a fleet mix from closed-loop clients with per-tenant SLOs.
+
+    Like :func:`run_load` but accounts each tenant separately — request
+    counts, hit rates, degraded/rejected totals, distinct users, and a
+    full latency histogram per tenant (the p99s are the SLO gate inputs
+    in ``BENCH_serve_fleet.json``).
+    """
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+
+    next_index = itertools.count()
+    index_lock = threading.Lock()
+    account_lock = threading.Lock()
+    overall = LatencyHistogram()
+    errors: List[str] = []
+
+    class _TenantAccount:
+        __slots__ = ("requests", "hits", "degraded", "rejected", "users", "latency")
+
+        def __init__(self) -> None:
+            self.requests = 0
+            self.hits = 0
+            self.degraded = 0
+            self.rejected = 0
+            self.users = set()
+            self.latency = LatencyHistogram()
+
+    tenants: Dict[str, _TenantAccount] = {}
+
+    def client() -> None:
+        while True:
+            with index_lock:
+                index = next(next_index)
+            if index >= len(requests):
+                return
+            request = requests[index]
+            try:
+                response = engine.submit(
+                    request.app_name, request.params, request.error_budget
+                )
+            except Exception as exc:  # the engine promises this never fires
+                with account_lock:
+                    errors.append(f"{request.app_name}: {exc!r}")
+                continue
+            with account_lock:
+                account = tenants.get(request.app_name)
+                if account is None:
+                    account = tenants[request.app_name] = _TenantAccount()
+                account.requests += 1
+                account.users.add(request.user)
+                account.latency.record(response.latency_seconds)
+                overall.record(response.latency_seconds)
+                if response.cache_hit:
+                    account.hits += 1
+                if response.degraded:
+                    account.degraded += 1
+                if response.rejected:
+                    account.rejected += 1
+
+    threads = [
+        threading.Thread(target=client, name=f"fleet-{i}", daemon=True)
+        for i in range(clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_seconds = time.perf_counter() - started
+
+    total = sum(account.requests for account in tenants.values())
+    per_tenant = {
+        name: {
+            "requests": account.requests,
+            "hits": account.hits,
+            "hit_rate": account.hits / account.requests if account.requests else 0.0,
+            "degraded": account.degraded,
+            "rejected": account.rejected,
+            "distinct_users": len(account.users),
+            "latency": account.latency.report(),
+        }
+        for name, account in sorted(tenants.items())
+    }
+    return {
+        "n_requests": total,
+        "clients": clients,
+        "wall_seconds": wall_seconds,
+        "throughput_rps": total / wall_seconds if wall_seconds > 0 else 0.0,
+        "hits": sum(account.hits for account in tenants.values()),
+        "degraded": sum(account.degraded for account in tenants.values()),
+        "rejected": sum(account.rejected for account in tenants.values()),
+        "distinct_users": len(
+            set().union(*(account.users for account in tenants.values()))
+            if tenants
+            else set()
+        ),
+        "latency": overall.report(),
+        "per_tenant": per_tenant,
+        "errors": list(errors),
+    }
+
+
+def format_fleet_report(
+    report: Dict[str, object], title: str = "fleet load report"
+) -> str:
+    """Readable summary of a :func:`run_fleet_load` report (CLI output)."""
+    latency = report["latency"]
+    lines = [
+        title,
+        f"  requests: {report['n_requests']} from {report['clients']} client(s) "
+        f"in {report['wall_seconds']:.2f}s "
+        f"({report['throughput_rps']:.0f} req/s, "
+        f"{report['distinct_users']} distinct users)",
+        f"  overall:  {report['hits']} hits, {report['degraded']} degraded, "
+        f"{report['rejected']} rejected; "
+        f"p50={latency['p50_seconds'] * 1e3:.3f}ms "
+        f"p99={latency['p99_seconds'] * 1e3:.3f}ms",
+    ]
+    for name, tenant in report["per_tenant"].items():
+        t_latency = tenant["latency"]
+        lines.append(
+            f"  {name}: {tenant['requests']} request(s) "
+            f"({tenant['distinct_users']} users, "
+            f"hit rate {tenant['hit_rate'] * 100.0:.1f}%), "
+            f"{tenant['degraded']} degraded, {tenant['rejected']} rejected, "
+            f"p99={t_latency['p99_seconds'] * 1e3:.3f}ms"
+        )
+    if report["errors"]:
+        lines.append(f"  ERRORS: {report['errors']}")
+    return "\n".join(lines)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,286 @@
+"""Sharded schedule cache: the serving engine's cache layer.
+
+The original :class:`~repro.serve.engine.ServeEngine` funneled every
+request — including pure cache hits — through one ``threading.Lock``
+around one ``OrderedDict``, and every hit *mutated* that dict
+(``move_to_end``).  At fleet scale the lock is the ceiling: N client
+threads serialize on microsecond-long critical sections and the LRU
+bookkeeping write-shares a cache line across every core.
+
+This module replaces it with a consistent-hash ring over N
+:class:`CacheShard` partitions:
+
+- **Placement** is a proper consistent hash (virtual nodes on a
+  ``blake2b`` ring, not ``hash() % N`` — Python's string hashing is
+  per-process salted, and a modulo remaps almost every key when the
+  shard count changes).  The same canonical request key lands on the
+  same shard in every process, and growing the ring moves only ~1/N of
+  the keyspace.
+- **Reads are lock-free.**  Each shard publishes an immutable snapshot
+  ``dict`` (replaced wholesale, never mutated in place); the hit path
+  does one attribute load + one ``dict.get``.  Recency is tracked by
+  stamping entries from a per-shard monotonic ticker — a single GIL-
+  atomic attribute write, no lock, no shared-structure mutation.
+- **Writers copy.**  Miss/insert, invalidation, and eviction take the
+  per-shard lock, build the next snapshot, and swap the reference.
+  Eviction removes the smallest stamps, so with one shard the observable
+  behavior is exactly the old LRU (the replay-equivalence gate in
+  ``benchmarks/test_serve_fleet.py`` holds the engine to that).
+- **Coalescing is per shard.**  The in-flight table rides the same
+  shard lock, so identical concurrent misses on different shards never
+  contend with each other.
+
+Invalidation (a dead model generation, a bumped guard epoch) uses
+identity-checked discards — two racing readers may both notice a stale
+entry and both try to remove it, and the loser must be a no-op, not a
+``KeyError`` (tests/test_serve_shard.py hammers exactly that race).
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+import threading
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from hashlib import blake2b
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.opprox import OptimizationResult
+from repro.serve.registry import Generation
+
+__all__ = ["CacheEntry", "CacheShard", "ShardedScheduleCache", "shard_ring"]
+
+
+@dataclass
+class CacheEntry:
+    """One cached serving decision, stamped with everything that can kill it.
+
+    ``generation`` is the model-file identity that computed the schedule;
+    ``guard_epoch`` is the QoS-guard directive epoch at compute time.  A
+    hit is only valid while both still match — otherwise the entry is
+    discarded and the request recomputes.  ``stamp`` is the shard-local
+    recency tick (mutated lock-free on every hit); ``result`` keeps the
+    raw optimizer proposal for guard canary replays.
+    """
+
+    template: object  # ServeResponse (kept untyped to avoid an import cycle)
+    generation: Generation
+    result: Optional[OptimizationResult] = None
+    guard_epoch: int = 0
+    stamp: int = 0
+
+
+class _Inflight:
+    """One in-flight computation: followers wait on ``done``."""
+
+    __slots__ = ("done", "template")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.template = None
+
+
+def shard_ring(n_shards: int, vnodes: int = 64) -> List[Tuple[int, int]]:
+    """Build the consistent-hash ring: sorted ``(point, shard)`` pairs.
+
+    Every shard owns ``vnodes`` pseudo-random points on a 64-bit ring;
+    a key maps to the first point clockwise of its own hash.  blake2b
+    keeps the ring identical across processes and Python versions.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    if vnodes < 1:
+        raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+    ring: List[Tuple[int, int]] = []
+    for shard in range(n_shards):
+        for vnode in range(vnodes):
+            digest = blake2b(
+                f"shard:{shard}:vnode:{vnode}".encode(), digest_size=8
+            ).digest()
+            ring.append((int.from_bytes(digest, "big"), shard))
+    ring.sort()
+    return ring
+
+
+def _key_point(key: object) -> int:
+    """Deterministic 64-bit ring position of a canonical request key."""
+    return int.from_bytes(
+        blake2b(repr(key).encode(), digest_size=8).digest(), "big"
+    )
+
+
+class CacheShard:
+    """One partition: immutable snapshot + per-shard lock for writers."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"shard capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        #: the published snapshot — readers load this attribute once and
+        #: never see a half-built dict; writers replace it under _lock
+        self._snapshot: Dict[object, CacheEntry] = {}
+        self._inflight: Dict[object, _Inflight] = {}
+        #: recency ticker (C-level __next__ is atomic under the GIL)
+        self._tick = itertools.count(1).__next__
+        #: per-shard request accounting, merged on read by the engine
+        #: (import deferred: engine imports this module)
+        from repro.serve.engine import ServeStats
+
+        self.stats = ServeStats()
+        self.evictions = 0
+        self.invalidations = 0
+
+    # -- read path (no lock) -------------------------------------------------
+
+    def lookup(self, key: object) -> Optional[CacheEntry]:
+        """Lock-free snapshot read; validity is the caller's problem."""
+        return self._snapshot.get(key)
+
+    def touch(self, entry: CacheEntry) -> None:
+        """Refresh recency — one atomic attribute write, no lock."""
+        entry.stamp = self._tick()
+
+    # -- write path (per-shard lock) -----------------------------------------
+
+    def begin(self, key: object):
+        """Claim the miss for ``key``: ``(kind, entry, slot)``.
+
+        Under the shard lock, re-checks the snapshot first (a leader may
+        have published between the caller's lock-free miss and this
+        call), then joins or creates the in-flight slot.  Returns one of
+        ``("hit", entry, None)``, ``("follower", None, slot)``, or
+        ``("leader", None, slot)``.
+        """
+        with self._lock:
+            entry = self._snapshot.get(key)
+            if entry is not None:
+                return "hit", entry, None
+            slot = self._inflight.get(key)
+            if slot is not None:
+                return "follower", None, slot
+            slot = _Inflight()
+            self._inflight[key] = slot
+            return "leader", None, slot
+
+    def publish(
+        self,
+        key: object,
+        slot: _Inflight,
+        template: object,
+        entry: Optional[CacheEntry],
+    ) -> None:
+        """Leader hand-off: insert (optional), expose result, wake followers.
+
+        ``entry=None`` publishes the template to followers without
+        caching it — the degraded-response path.  A transient failure
+        must never leave a poisoned fallback in the cache: the next
+        request for the key re-optimizes (see
+        tests/test_serve_shard.py::TestDegradedNeverCached).
+        """
+        with self._lock:
+            if entry is not None:
+                entry.stamp = self._tick()
+                snapshot = dict(self._snapshot)
+                snapshot[key] = entry
+                while len(snapshot) > self.capacity:
+                    victim = min(snapshot, key=lambda k: snapshot[k].stamp)
+                    del snapshot[victim]
+                    self.evictions += 1
+                self._snapshot = snapshot
+            slot.template = template
+            self._inflight.pop(key, None)
+        slot.done.set()
+
+    def discard(self, key: object, entry: CacheEntry) -> bool:
+        """Identity-checked removal (stale generation / dead guard epoch).
+
+        Racing readers may both try to discard the same entry; only the
+        winner rebuilds the snapshot, the loser is a no-op.  Never
+        raises — a ``KeyError`` escaping the hit path was exactly the
+        failure mode the snapshot design exists to rule out.
+        """
+        with self._lock:
+            if self._snapshot.get(key) is not entry:
+                return False
+            snapshot = dict(self._snapshot)
+            del snapshot[key]
+            self._snapshot = snapshot
+            self.invalidations += 1
+            return True
+
+    def clear(self) -> None:
+        with self._lock:
+            self._snapshot = {}
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._snapshot)
+
+    def info(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "size": len(self._snapshot),
+                "capacity": self.capacity,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "inflight": len(self._inflight),
+            }
+
+
+class ShardedScheduleCache:
+    """N consistent-hash shards behind one cache-layer interface."""
+
+    def __init__(self, capacity: int, n_shards: int = 1, vnodes: int = 64):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self.capacity = capacity
+        self.n_shards = n_shards
+        # Ceil-split so the aggregate never shrinks below `capacity`;
+        # with one shard the capacity (and therefore the eviction
+        # behavior) is bit-identical to the old single-LRU engine.
+        per_shard = -(-capacity // n_shards)
+        self.shards = [CacheShard(per_shard) for _ in range(n_shards)]
+        self._ring = shard_ring(n_shards, vnodes=vnodes)
+        self._points = [point for point, _ in self._ring]
+        # Hot keys repeat: memoize their ring position so the steady
+        # state pays a dict probe, not a blake2b of the repr, per
+        # request.  Placement is a pure function of the key, so the
+        # memo can never go stale; the bound keeps adversarial key
+        # churn from growing it without limit.
+        self.shard_index = functools.lru_cache(maxsize=4096)(self._shard_index)
+
+    def _shard_index(self, key: object) -> int:
+        """Ring lookup: first virtual node clockwise of the key's hash."""
+        if self.n_shards == 1:
+            return 0
+        position = bisect_right(self._points, _key_point(key))
+        if position == len(self._ring):
+            position = 0
+        return self._ring[position][1]
+
+    def shard_for(self, key: object) -> CacheShard:
+        return self.shards[self.shard_index(key)]
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    def clear(self) -> None:
+        for shard in self.shards:
+            shard.clear()
+
+    def info(self) -> Dict[str, object]:
+        """Aggregate + per-shard occupancy/eviction/invalidation view."""
+        shards = [shard.info() for shard in self.shards]
+        return {
+            "size": sum(entry["size"] for entry in shards),
+            "capacity": self.capacity,
+            "n_shards": self.n_shards,
+            "evictions": sum(entry["evictions"] for entry in shards),
+            "invalidations": sum(entry["invalidations"] for entry in shards),
+            "shards": shards,
+        }

@@ -1,0 +1,231 @@
+"""Tests for the admission-control front end and its engine integration.
+
+The controller tests drive every policy branch deterministically —
+immediate grants, weighted fair shares, work-conserving borrowing,
+bounded queues, deadline timeouts on an injected clock — and the
+integration tests pin the engine contract: a shed request degrades to
+the accurate schedule with ``rejected=True``, is never cached, and
+cache hits bypass admission entirely.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.opprox import Opprox
+from repro.core.runtime import ModelStore
+from repro.core.spec import AccuracySpec
+from repro.serve import (
+    AdmissionController,
+    AdmissionRejected,
+    ModelRegistry,
+    ServeEngine,
+)
+
+from tests.conftest import app_instance, profiler_for, smallest_params
+
+PSO_PARAMS = smallest_params(app_instance("pso"))
+
+
+@pytest.fixture(scope="module")
+def pso_store(tmp_path_factory):
+    app = app_instance("pso")
+    opprox = Opprox(
+        app,
+        AccuracySpec.for_app(app, max_inputs=2),
+        profiler=profiler_for("pso"),
+        n_phases=2,
+        joint_samples_per_phase=4,
+        confidence_p=0.9,
+    )
+    opprox.train()
+    store = ModelStore(tmp_path_factory.mktemp("admission-store"))
+    store.save(opprox, train_timestamp=1.0)
+    return store
+
+
+class TestValidation:
+    def test_rejects_bad_limits(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_concurrency=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue_depth=-1)
+        with pytest.raises(ValueError):
+            AdmissionController(queue_timeout_seconds=-0.1)
+        with pytest.raises(ValueError):
+            AdmissionController(tenant_weights={"a": 0.0})
+
+
+class TestGrants:
+    def test_grants_up_to_max_concurrency(self):
+        ctrl = AdmissionController(max_concurrency=3, max_queue_depth=0)
+        tickets = [ctrl.acquire("a") for _ in range(3)]
+        with pytest.raises(AdmissionRejected) as excinfo:
+            ctrl.acquire("a")
+        assert excinfo.value.kind == "queue_full"
+        tickets[0].release()
+        ctrl.acquire("a").release()
+        for ticket in tickets[1:]:
+            ticket.release()
+        assert ctrl.info()["total_in_use"] == 0
+
+    def test_ticket_release_is_idempotent(self):
+        ctrl = AdmissionController(max_concurrency=1, max_queue_depth=0)
+        ticket = ctrl.acquire("a")
+        ticket.release()
+        ticket.release()
+        assert ctrl.info()["total_in_use"] == 0
+        ctrl.acquire("a").release()
+
+    def test_ticket_is_a_context_manager(self):
+        ctrl = AdmissionController(max_concurrency=1, max_queue_depth=0)
+        with ctrl.acquire("a"):
+            assert ctrl.info()["total_in_use"] == 1
+        assert ctrl.info()["total_in_use"] == 0
+
+
+class TestQueueing:
+    def test_released_slot_admits_a_waiter(self):
+        ctrl = AdmissionController(
+            max_concurrency=1, max_queue_depth=4, queue_timeout_seconds=10.0
+        )
+        held = ctrl.acquire("a")
+        admitted = threading.Event()
+
+        def waiter():
+            ticket = ctrl.acquire("b")
+            admitted.set()
+            ticket.release()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        # The waiter parks in the bounded queue...
+        assert not admitted.wait(0.1)
+        assert ctrl.info()["waiting"] == {"b": 1}
+        held.release()
+        assert admitted.wait(5.0)
+        thread.join(5.0)
+        assert ctrl.report()["queued"] == 1
+
+    def test_deadline_timeout_on_injected_clock(self):
+        clock = [0.0]
+        ctrl = AdmissionController(
+            max_concurrency=1,
+            max_queue_depth=4,
+            queue_timeout_seconds=30.0,
+            clock=lambda: clock[0],
+        )
+        held = ctrl.acquire("a")
+        outcome = {}
+
+        def waiter():
+            try:
+                ctrl.acquire("b")
+                outcome["ticket"] = True
+            except AdmissionRejected as exc:
+                outcome["rejected"] = exc.kind
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        thread.join(0.2)
+        assert thread.is_alive()  # parked: the injected clock hasn't moved
+        # A 100s step on the injected clock blows the 30s deadline; the
+        # capped cv.wait notices within a bounded real-time interval.
+        clock[0] = 100.0
+        thread.join(5.0)
+        assert not thread.is_alive()
+        assert outcome == {"rejected": "timeout"}
+        assert ctrl.report()["rejected_timeout"] == 1
+        held.release()
+
+
+class TestFairness:
+    def test_share_splits_by_weight_among_active_tenants(self):
+        ctrl = AdmissionController(
+            max_concurrency=8, tenant_weights={"heavy": 3.0, "light": 1.0}
+        )
+        with ctrl._cv:
+            ctrl._in_use = {"heavy": 1, "light": 1}
+            assert ctrl._share("heavy") == 6
+            assert ctrl._share("light") == 2
+
+    def test_over_share_tenant_cannot_borrow_past_a_waiter(self):
+        ctrl = AdmissionController(max_concurrency=2)
+        with ctrl._cv:
+            ctrl._in_use = {"a": 1}
+            ctrl._total_in_use = 1
+            ctrl._waiting = {"b": 1}
+            # a is at its share (1 of 2 split two ways) and b is an
+            # under-share waiter: a must not take the free slot.
+            assert not ctrl._admissible("a")
+            assert ctrl._admissible("b")
+
+    def test_work_conserving_when_alone(self):
+        ctrl = AdmissionController(max_concurrency=4, max_queue_depth=0)
+        tickets = [ctrl.acquire("only") for _ in range(4)]  # borrows all
+        for ticket in tickets:
+            ticket.release()
+
+    def test_waiter_beats_a_borrowing_tenant_to_the_freed_slot(self):
+        ctrl = AdmissionController(
+            max_concurrency=2, max_queue_depth=4, queue_timeout_seconds=10.0
+        )
+        first = ctrl.acquire("a")
+        second = ctrl.acquire("a")  # a borrows the whole pool
+        admitted = threading.Event()
+
+        def waiter():
+            ticket = ctrl.acquire("b")
+            admitted.set()
+            ticket.release()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        assert not admitted.wait(0.1)
+        first.release()
+        assert admitted.wait(5.0)  # freed slot goes to the under-share tenant
+        thread.join(5.0)
+        second.release()
+
+
+class TestEngineIntegration:
+    def test_shed_request_degrades_with_rejected_flag(self, pso_store):
+        admission = AdmissionController(max_concurrency=1, max_queue_depth=0)
+        engine = ServeEngine(
+            ModelRegistry(pso_store), cache_size=8, admission=admission
+        )
+        blocker = admission.acquire("elsewhere")  # pool exhausted
+        response = engine.submit("pso", PSO_PARAMS, 10.0)
+        assert response.rejected and response.degraded
+        assert "admission" in response.degraded_reason
+        assert response.schedule is not None  # accurate fallback, usable
+        stats = engine.stats
+        assert stats.admission_rejections == 1
+        assert stats.per_app["pso"]["rejected"] == 1
+        blocker.release()
+
+        # The shed response was not cached: the next request optimizes.
+        recovered = engine.submit("pso", PSO_PARAMS, 10.0)
+        assert not recovered.degraded and not recovered.rejected
+        assert not recovered.cache_hit
+        assert admission.report()["admitted"] == 2  # blocker + this miss
+
+    def test_cache_hits_bypass_admission(self, pso_store):
+        admission = AdmissionController(max_concurrency=1, max_queue_depth=0)
+        engine = ServeEngine(
+            ModelRegistry(pso_store), cache_size=8, admission=admission
+        )
+        assert not engine.submit("pso", PSO_PARAMS, 10.0).degraded  # warm
+        blocker = admission.acquire("elsewhere")
+        hit = engine.submit("pso", PSO_PARAMS, 10.0)
+        assert hit.cache_hit and not hit.rejected  # no slot needed
+        blocker.release()
+
+    def test_format_report_lists_tenants(self):
+        ctrl = AdmissionController(max_concurrency=2, max_queue_depth=0)
+        ctrl.acquire("pso").release()
+        with pytest.raises(AdmissionRejected):
+            with ctrl.acquire("pso"), ctrl.acquire("pso"), ctrl.acquire("pso"):
+                pass
+        text = ctrl.format_report()
+        assert "pso" in text and "rejected" in text

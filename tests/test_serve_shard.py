@@ -1,0 +1,486 @@
+"""Tests for the sharded cache layer and the serve-path bugfix sweep.
+
+Covers the fleet-scale serving contract:
+
+- consistent-hash placement is process-stable and balanced;
+- the per-shard stamp LRU is observably identical to the old
+  OrderedDict LRU under sequential access;
+- degraded responses are never cached — a coalescing follower behind a
+  degraded leader is not poisoned after the store recovers (the first
+  satellite bugfix);
+- breaker cooldowns survive a backwards clock step (second satellite);
+- ServeStats merges across shards and formats cleanly at zero requests
+  (third satellite);
+- the concurrent eviction vs. generation-bump hammer: no stale
+  generation served, no KeyError escapes submit (fourth satellite);
+- sharded replay is bit-identical to the unsharded engine.
+"""
+
+import threading
+import time
+from collections import Counter
+from types import SimpleNamespace
+
+import pytest
+
+from repro.approx.schedule import ApproxSchedule
+from repro.core.opprox import Opprox, OptimizationResult
+from repro.core.runtime import ModelStore
+from repro.core.spec import AccuracySpec
+from repro.serve import ModelRegistry, ServeEngine
+from repro.serve.engine import ServeStats
+from repro.serve.shard import CacheEntry, CacheShard, ShardedScheduleCache, shard_ring
+
+from tests.conftest import app_instance, profiler_for, smallest_params
+
+PSO_PARAMS = smallest_params(app_instance("pso"))
+
+
+@pytest.fixture(scope="module")
+def trained_pso():
+    app = app_instance("pso")
+    opprox = Opprox(
+        app,
+        AccuracySpec.for_app(app, max_inputs=2),
+        profiler=profiler_for("pso"),
+        n_phases=2,
+        joint_samples_per_phase=4,
+        confidence_p=0.9,
+    )
+    opprox.train()
+    return opprox
+
+
+@pytest.fixture(scope="module")
+def pso_store(trained_pso, tmp_path_factory):
+    store = ModelStore(tmp_path_factory.mktemp("shard-store"))
+    store.save(trained_pso, train_timestamp=1.0)
+    return store
+
+
+def _entry(tag, generation=(1, 1)):
+    return CacheEntry(template=tag, generation=generation)
+
+
+def _insert(shard, key, entry):
+    kind, _, slot = shard.begin(key)
+    assert kind == "leader"
+    shard.publish(key, slot, entry.template, entry)
+
+
+class TestPlacement:
+    def test_ring_is_deterministic_across_builds(self):
+        assert shard_ring(8) == shard_ring(8)
+
+    def test_every_shard_owns_keys(self):
+        cache = ShardedScheduleCache(64, n_shards=8)
+        keys = [("app", (("x", float(i)),), 10.0) for i in range(2000)]
+        owners = Counter(cache.shard_index(key) for key in keys)
+        assert set(owners) == set(range(8))
+        # Balanced within a loose factor: consistent hashing with 64
+        # vnodes/shard is not perfect, but no shard should be starved
+        # or hot by an order of magnitude.
+        assert max(owners.values()) < 4 * min(owners.values())
+
+    def test_same_key_same_shard_always(self):
+        cache = ShardedScheduleCache(64, n_shards=5)
+        key = ("pso", (("swarm_size", 16.0),), 10.0)
+        assert len({cache.shard_index(key) for _ in range(100)}) == 1
+
+    def test_single_shard_short_circuits(self):
+        cache = ShardedScheduleCache(8, n_shards=1)
+        assert cache.shard_index(("anything", (), 1.0)) == 0
+
+    def test_capacity_ceil_split_never_shrinks_aggregate(self):
+        cache = ShardedScheduleCache(10, n_shards=4)
+        assert sum(shard.capacity for shard in cache.shards) >= 10
+
+
+class TestShardLru:
+    def test_eviction_order_matches_lru(self):
+        shard = CacheShard(3)
+        for name in "abc":
+            _insert(shard, name, _entry(name))
+        # Touch "a": it becomes most recent, "b" is now the LRU victim.
+        shard.touch(shard.lookup("a"))
+        _insert(shard, "d", _entry("d"))
+        assert shard.lookup("b") is None
+        assert {k for k in "acd" if shard.lookup(k)} == {"a", "c", "d"}
+        assert shard.info()["evictions"] == 1
+
+    def test_discard_is_identity_checked(self):
+        shard = CacheShard(4)
+        stale = _entry("v1")
+        _insert(shard, "k", stale)
+        fresh = _entry("v2")
+        assert shard.discard("k", stale) is True
+        _insert(shard, "k", fresh)
+        # A racing reader still holding the stale entry must be a no-op.
+        assert shard.discard("k", stale) is False
+        assert shard.lookup("k") is fresh
+        assert shard.discard("missing", stale) is False
+
+    def test_publish_without_entry_does_not_cache(self):
+        shard = CacheShard(4)
+        kind, _, slot = shard.begin("k")
+        assert kind == "leader"
+        shard.publish("k", slot, "degraded-template", None)
+        assert slot.done.is_set()
+        assert slot.template == "degraded-template"
+        assert shard.lookup("k") is None
+
+    def test_begin_revalidates_snapshot_under_lock(self):
+        shard = CacheShard(4)
+        entry = _entry("v")
+        _insert(shard, "k", entry)
+        kind, found, slot = shard.begin("k")
+        assert kind == "hit" and found is entry and slot is None
+
+
+class TestDegradedNeverCached:
+    """Satellite 1: transient failures must not poison the cache."""
+
+    class _OutageRegistry(ModelRegistry):
+        def __init__(self, store):
+            super().__init__(store)
+            self.outages = 0
+            self.load_calls = 0
+            self.entered = threading.Event()
+            self.release = threading.Event()
+            self.block_next = False
+
+        def get(self, app_name):
+            self.load_calls += 1
+            if self.block_next:
+                self.block_next = False
+                self.entered.set()
+                assert self.release.wait(10.0)
+            if self.outages > 0:
+                self.outages -= 1
+                raise OSError("store unreachable")
+            return super().get(app_name)
+
+    @pytest.fixture
+    def outage_engine(self, pso_store):
+        registry = self._OutageRegistry(pso_store)
+        return registry, ServeEngine(registry, cache_size=8, shards=4)
+
+    def test_post_recovery_request_reoptimizes(self, outage_engine):
+        registry, engine = outage_engine
+        registry.outages = 1
+        degraded = engine.submit("pso", PSO_PARAMS, 10.0)
+        assert degraded.degraded
+        assert "store unreachable" in degraded.degraded_reason
+        loads_before = registry.load_calls
+        recovered = engine.submit("pso", PSO_PARAMS, 10.0)
+        assert not recovered.degraded
+        assert not recovered.cache_hit  # re-optimized, not a poisoned hit
+        assert registry.load_calls == loads_before + 1
+        # And the healthy response *is* cached afterwards.
+        assert engine.submit("pso", PSO_PARAMS, 10.0).cache_hit
+
+    def test_coalescing_follower_of_degraded_leader_not_poisoned(
+        self, outage_engine
+    ):
+        registry, engine = outage_engine
+        registry.outages = 1
+        registry.block_next = True
+        results = {}
+
+        def leader():
+            results["leader"] = engine.submit("pso", PSO_PARAMS, 10.0)
+
+        def follower():
+            results["follower"] = engine.submit("pso", PSO_PARAMS, 10.0)
+
+        leader_thread = threading.Thread(target=leader)
+        leader_thread.start()
+        assert registry.entered.wait(10.0)  # leader is inside the store
+        follower_thread = threading.Thread(target=follower)
+        follower_thread.start()
+        # Give the follower a moment to join the in-flight slot, then
+        # let the leader fail.
+        follower_thread.join(0.2)
+        registry.release.set()
+        leader_thread.join(10.0)
+        follower_thread.join(10.0)
+
+        # Both see the outage degraded response while it is live...
+        assert results["leader"].degraded
+        assert results["follower"].degraded
+        # ...but the store has recovered and the next request must
+        # re-optimize instead of being served a cached fallback.
+        recovered = engine.submit("pso", PSO_PARAMS, 10.0)
+        assert not recovered.degraded
+        assert not recovered.cache_hit
+
+
+class TestMonotonicClocks:
+    """Satellite 2: a clock step must not wedge the breaker."""
+
+    class _DownRegistry(ModelRegistry):
+        def __init__(self, store):
+            super().__init__(store)
+            self.down = True
+            self.load_calls = 0
+
+        def get(self, app_name):
+            self.load_calls += 1
+            if self.down:
+                raise OSError("store down")
+            return super().get(app_name)
+
+    def test_backwards_clock_step_does_not_extend_cooldown(self, pso_store):
+        registry = self._DownRegistry(pso_store)
+        clock = [100.0]
+        engine = ServeEngine(
+            registry,
+            breaker_threshold=1,
+            breaker_cooldown_seconds=30.0,
+            clock=lambda: clock[0],
+        )
+        assert engine.submit("pso", PSO_PARAMS, 10.0).degraded  # opens at t=100
+        assert engine.breaker_info()["pso"]["state"] == "open"
+
+        # The clock steps back to t=0 (a misinjected wall clock hit by
+        # NTP).  Naive arithmetic would keep the breaker open until
+        # t=130 — 130 seconds of outage for a 30-second cooldown.
+        clock[0] = 0.0
+        loads = registry.load_calls
+        engine.submit("pso", PSO_PARAMS, 10.0)
+        assert registry.load_calls == loads  # still cooling, no probe
+        registry.down = False
+        clock[0] = 29.9
+        engine.submit("pso", PSO_PARAMS, 10.0)
+        assert registry.load_calls == loads  # cooldown re-armed from 0
+        clock[0] = 30.0
+        response = engine.submit("pso", PSO_PARAMS, 10.0)
+        assert registry.load_calls == loads + 1  # probe admitted at 0+30
+        assert not response.degraded
+        assert engine.breaker_info()["pso"]["state"] == "closed"
+
+
+class TestStatsMerge:
+    """Satellite 3: per-shard stats, merge-on-read, zero-safe reports."""
+
+    def test_merge_folds_counters_and_histograms(self):
+        a, b = ServeStats(), ServeStats()
+        a.record("hit", 0.001, degraded=False, app_name="pso")
+        a.record("rejected", 0.0, degraded=True, app_name="pso")
+        b.record("miss", 0.1, degraded=True, app_name="comd")
+        b.record_breaker("open")
+        a.merge(b)
+        assert a.requests == 3
+        assert a.hits == 1 and a.misses == 1
+        assert a.degraded == 2
+        assert a.admission_rejections == 1
+        assert a.breaker_opens == 1
+        assert a.hit_latency.count == 1 and a.miss_latency.count == 1
+        assert a.per_app["pso"]["requests"] == 2
+        assert a.per_app["pso"]["rejected"] == 1
+        assert a.per_app["comd"]["degraded"] == 1
+
+    def test_merge_self_is_noop(self):
+        stats = ServeStats()
+        stats.record("hit", 0.001, degraded=False)
+        stats.merge(stats)
+        assert stats.requests == 1
+
+    def test_format_report_renders_at_zero_requests(self):
+        text = ServeStats().format_report()
+        assert "requests: 0" in text
+        assert "hit rate 0.0%" in text
+
+    def test_engine_stats_merge_across_shards(self, pso_store):
+        engine = ServeEngine(ModelRegistry(pso_store), cache_size=16, shards=4)
+        for _ in range(3):
+            engine.submit("pso", PSO_PARAMS, 10.0)
+        stats = engine.stats
+        assert stats.requests == 3
+        assert stats.misses == 1 and stats.hits == 2
+        assert stats.hit_rate == pytest.approx(2 / 3)
+        assert "requests: 3" in stats.format_report()
+
+    def test_unknown_outcome_still_raises(self):
+        with pytest.raises(ValueError):
+            ServeStats().record("warp", 0.0, degraded=False)
+
+
+class _TaggedRegistry(ModelRegistry):
+    """Stub registry whose models tag schedules with their generation.
+
+    ``generation`` is served lock-free (a plain int read) and ``bump``
+    hot-reloads: after a bump, optimize() stamps the *new* generation
+    into ``predicted_speedup`` so a served response reveals exactly
+    which model produced it.  (Subclasses ModelRegistry only to satisfy
+    the engine's isinstance check — no store is involved.)
+    """
+
+    def __init__(self, schedule, control_flow="cf"):  # noqa: super-init
+        self._gen = 1
+        self._schedule = schedule
+        self._control_flow = control_flow
+
+    def generation(self, app_name):
+        return (self._gen, 0)
+
+    def bump(self):
+        self._gen += 1
+
+    def get(self, app_name):
+        gen = self._gen
+
+        def optimize(params, error_budget, **kwargs):
+            return OptimizationResult(
+                schedule=self._schedule,
+                entries=[],
+                predicted_speedup=float(gen),
+                predicted_degradation=0.0,
+                budget_degradation=float(error_budget),
+                control_flow=self._control_flow,
+                optimization_seconds=0.0,
+            )
+
+        return SimpleNamespace(
+            opprox=SimpleNamespace(optimize=optimize), generation=(gen, 0)
+        )
+
+
+class TestEvictionGenerationRace:
+    """Satellite 4: hammer hits + hot-reloads + LRU eviction at once."""
+
+    def test_no_stale_generation_and_no_keyerror(self):
+        app = app_instance("pso")
+        schedule = ApproxSchedule.exact(
+            app.blocks, app.make_plan(dict(PSO_PARAMS), 1)
+        )
+        registry = _TaggedRegistry(schedule)
+        # Tiny cache + more keys than capacity: every insert evicts.
+        engine = ServeEngine(registry, cache_size=2, shards=1)
+
+        errors = []
+        violations = []
+        stop = threading.Event()
+
+        def hammer(worker):
+            # Disjoint keys per worker: no coalescing, so every served
+            # generation was read *inside this submit call* — a tag
+            # outside [gen_before, gen_after] can only mean a stale
+            # cache entry survived validation.
+            keys = [
+                dict(PSO_PARAMS, swarm_size=float(8 + 2 * worker + j))
+                for j in range(2)
+            ]
+            i = 0
+            while not stop.is_set():
+                params = keys[i % len(keys)]
+                i += 1
+                gen_before = registry.generation("pso")[0]
+                try:
+                    response = engine.submit("pso", params, 10.0)
+                except Exception as exc:  # pragma: no cover - the bug itself
+                    errors.append(repr(exc))
+                    return
+                gen_after = registry.generation("pso")[0]
+                served = int(response.predicted_speedup)
+                if not gen_before <= served <= gen_after:
+                    violations.append((served, gen_before, gen_after))
+
+        threads = [threading.Thread(target=hammer, args=(w,)) for w in range(4)]
+        for thread in threads:
+            thread.start()
+        for _ in range(200):  # 200 hot reloads under fire
+            registry.bump()
+            time.sleep(0.001)
+        stop.set()
+        for thread in threads:
+            thread.join(10.0)
+
+        assert not errors, errors[:3]
+        assert not violations, violations[:3]
+        stats = engine.stats
+        assert stats.requests > 0
+        assert stats.requests == stats.hits + stats.misses + stats.coalesced
+
+
+class _FakeGuard:
+    """Minimal guard double: only the epoch machinery, no sampling."""
+
+    def __init__(self):
+        self._epochs = {}
+        self.sampled = 0
+
+    def bind(self, registry, stats):
+        pass
+
+    def epoch(self, app_name):
+        return self._epochs.get(app_name, 0)
+
+    def bump(self, app_name):
+        self._epochs[app_name] = self._epochs.get(app_name, 0) + 1
+
+    def directive(self, app_name):
+        from repro.serve.guard import GuardDirective
+
+        return GuardDirective(
+            "healthy", 1.0, None, frozenset(), self.epoch(app_name)
+        )
+
+    def after_serve(self, app_name, params, error_budget, result):
+        self.sampled += 1
+
+
+class TestGuardEpochPerShard:
+    def test_epoch_bump_invalidates_entries_on_every_shard(self):
+        app = app_instance("pso")
+        schedule = ApproxSchedule.exact(
+            app.blocks, app.make_plan(dict(PSO_PARAMS), 1)
+        )
+        registry = _TaggedRegistry(schedule)
+        guard = _FakeGuard()
+        engine = ServeEngine(registry, cache_size=64, shards=4, guard=guard)
+        requests = [dict(PSO_PARAMS, swarm_size=float(8 + i)) for i in range(12)]
+        for params in requests:
+            engine.submit("pso", params, 10.0)
+        assert all(
+            engine.submit("pso", params, 10.0).cache_hit for params in requests
+        )
+        guard.bump("pso")
+        # Every shard's entries for the app die, regardless of placement.
+        assert not any(
+            engine.submit("pso", params, 10.0).cache_hit for params in requests
+        )
+        assert all(
+            engine.submit("pso", params, 10.0).cache_hit for params in requests
+        )
+
+
+class TestReplayEquivalence:
+    """Sharding must not change what is served, only how fast."""
+
+    def test_sharded_replay_bit_identical_to_unsharded(self, pso_store):
+        from repro.serve.loadgen import build_request_mix, run_load
+
+        mix = build_request_mix(["pso"], [8.0, 10.0], 60, seed=7)
+        traces = []
+        for shards in (1, 4):
+            engine = ServeEngine(
+                ModelRegistry(pso_store), cache_size=64, shards=shards
+            )
+            report = run_load(engine, mix, clients=1, collect_responses=True)
+            traces.append(
+                [
+                    (
+                        response.app_name,
+                        response.schedule.key(),
+                        tuple(sorted(response.env.items())),
+                        response.predicted_speedup,
+                        response.predicted_degradation,
+                        response.control_flow,
+                        response.degraded,
+                        response.cache_hit,
+                    )
+                    for response in report["responses"]
+                ]
+            )
+        assert traces[0] == traces[1]

@@ -1,6 +1,6 @@
 # Convenience targets for the OPPROX reproduction.
 
-.PHONY: install test verify serve-smoke train-resume-smoke chaos-smoke guard-smoke library-smoke fleet-smoke bench bench-measure bench-library bench-serve-fleet bench-diff figures examples clean
+.PHONY: install test verify serve-smoke train-resume-smoke chaos-smoke guard-smoke library-smoke fleet-smoke frontend-smoke bench bench-measure bench-library bench-serve-fleet bench-serve-frontend bench-diff figures examples clean
 
 install:
 	pip install -e .
@@ -17,8 +17,10 @@ test:
 # of the variant library (build -> bit-identical >=5x-cheaper retrain
 # -> corruption recovery), of the sharded fleet-serving path (replay
 # equivalence, degraded-poisoning regression, admission shedding,
-# concurrent multi-tenant load), and the bench-diff perf-regression
-# gate (quick benchmarks vs the committed BENCH_*.json baselines).
+# concurrent multi-tenant load), of the multi-process front end
+# (replay equivalence, kill-a-worker chaos, flap quarantine, zero
+# orphans), and the bench-diff perf-regression gate (quick benchmarks
+# vs the committed BENCH_*.json baselines).
 verify:
 	PYTHONPATH=src python -m pytest -x -q
 	PYTHONPATH=src python -m repro oracle --app pso --budget 10 \
@@ -31,6 +33,7 @@ verify:
 	$(MAKE) guard-smoke
 	$(MAKE) library-smoke
 	$(MAKE) fleet-smoke
+	$(MAKE) frontend-smoke
 	$(MAKE) bench-diff
 
 # Serving-path smoke: train a small model, start the engine in-process,
@@ -95,6 +98,17 @@ fleet-smoke:
 	python scripts/fleet_smoke.py .fleet-smoke
 	rm -rf .fleet-smoke
 
+# Multi-process front-end smoke: train a small model, then gate the
+# supervised worker pool — sequential replay through an in-process
+# engine vs 4 workers bit-identical, a seeded crash + hang mid-load
+# answered without a single lost request (restarts within backoff), a
+# crash-looping worker quarantined instead of restart-stormed, and no
+# temp-file litter or orphan worker processes at the end.
+frontend-smoke:
+	rm -rf .frontend-smoke
+	python scripts/frontend_smoke.py .frontend-smoke
+	rm -rf .frontend-smoke
+
 bench:
 	pytest benchmarks/ --benchmark-only -q
 
@@ -115,6 +129,14 @@ bench-library:
 bench-serve-fleet:
 	PYTHONPATH=src python -m repro bench-serve-fleet \
 		--output BENCH_serve_fleet.json
+
+# Refresh the committed front-end benchmark baseline (full mode:
+# replay equivalence at 4 workers, a batched warm throughput leg that
+# must beat the committed single-engine baseline, and two seeded chaos
+# runs whose decision digests must be identical).
+bench-serve-frontend:
+	PYTHONPATH=src python -m repro bench-serve-frontend \
+		--output BENCH_serve_frontend.json
 
 # Perf-regression gate: re-run the benchmarks in quick mode and compare
 # against the committed baselines.  The quick runs use fewer
@@ -143,7 +165,16 @@ bench-diff:
 	PYTHONPATH=src python -m repro bench-diff BENCH_serve_fleet.json \
 		.bench-fleet-head.json \
 		--metric '*p99*' --rel-threshold 4.0
+	PYTHONPATH=src python -m repro bench-serve-frontend --quick \
+		--output .bench-frontend-head.json
+	PYTHONPATH=src python -m repro bench-diff BENCH_serve_frontend.json \
+		.bench-frontend-head.json \
+		--metric '*rps*' --rel-threshold 0.6
+	PYTHONPATH=src python -m repro bench-diff BENCH_serve_frontend.json \
+		.bench-frontend-head.json \
+		--metric '*p99*' --rel-threshold 4.0
 	rm -f .bench-head.json .bench-library-head.json .bench-fleet-head.json
+	rm -f .bench-frontend-head.json
 
 figures:
 	python examples/generate_figures.py figures
@@ -158,6 +189,7 @@ clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks
 	rm -rf .verify-cache .serve-smoke-models .train-resume-smoke
 	rm -rf .chaos-smoke .chaos .guard-smoke .guard .library-smoke .library
-	rm -rf .fleet-smoke
+	rm -rf .fleet-smoke .frontend-smoke
 	rm -f .bench-head.json .bench-library-head.json .bench-fleet-head.json
+	rm -f .bench-frontend-head.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

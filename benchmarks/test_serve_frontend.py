@@ -1,0 +1,68 @@
+"""Multi-process front-end benchmark — emits BENCH_serve_frontend.json.
+
+Runs :func:`repro.bench.serve_frontend.run_frontend_bench` in full mode:
+replay equivalence between one in-process engine and a 4-worker
+:class:`~repro.serve.frontend.ServeFrontend` (any divergence is a hard
+error inside the harness), a batched warm throughput/p99 leg, and two
+identically-seeded kill-a-worker chaos runs whose decision digests must
+match bit-for-bit.
+
+The acceptance contract asserted here: every chaos request is answered
+through a worker crash and a worker hang (supervisor restarts within
+backoff), the repeat chaos run is decision-digest-identical, and the
+front end's warm throughput exceeds the committed single-engine
+baseline recorded in ``BENCH_serve_fleet.json`` — rps + p99 land in the
+report for the bench-diff gate.
+"""
+
+import json
+from pathlib import Path
+
+from repro.bench.serve_frontend import (
+    format_frontend_bench,
+    run_frontend_bench,
+)
+
+from benchmarks.conftest import run_once
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve_frontend.json"
+
+
+def frontend_experiment(root: Path) -> dict:
+    report = run_frontend_bench(store_root=root, n_workers=4, clients=4)
+    BENCH_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
+def test_serve_frontend(benchmark, tmp_path):
+    report = run_once(benchmark, frontend_experiment, tmp_path / "models")
+
+    print(format_frontend_bench(report))
+    print(f"report: {BENCH_PATH}")
+
+    # Replay equivalence: process fan-out changed nothing about what
+    # is served.
+    assert report["replay_equivalence"]["identical"]
+
+    # The warm leg recorded the gated numbers.
+    warm = report["warm"]
+    assert warm["frontend_rps"] > 0.0
+    assert warm["frontend_p99_seconds"] > 0.0
+
+    # Chaos: both seeded runs answered everything through a crash and
+    # a hang, restarted the victims, and decided identically.
+    assert report["chaos"]["digest_identical"]
+    for run in report["chaos"]["runs"]:
+        assert run["answered"] == run["requests"]
+        assert run["worker_crashes"] >= 1
+        assert run["worker_hangs"] >= 1
+        assert run["worker_restarts"] >= 2
+
+    # The acceptance bar: faster than the committed in-process
+    # single-engine baseline (the harness itself raises on a miss in
+    # full mode; re-assert here so the gate is visible).
+    baseline_rps = report["baseline"]["fleet_baseline_rps"]
+    assert baseline_rps and warm["frontend_rps"] > baseline_rps, (
+        f"frontend {warm['frontend_rps']:.0f} rps <= committed baseline "
+        f"{baseline_rps:.0f} rps"
+    )

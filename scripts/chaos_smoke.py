@@ -30,6 +30,8 @@ Usage::
 from __future__ import annotations
 
 import random
+import os
+import shutil
 import sys
 from pathlib import Path
 
@@ -47,6 +49,17 @@ def fail(message: str) -> None:
     sys.exit(1)
 
 
+def _cleanup_workdir(workdir):
+    """Remove the smoke workdir on every exit path, success and failure.
+
+    Set ``OPPROX_SMOKE_KEEP=1`` to keep it for a post-mortem.
+    """
+    if os.environ.get("OPPROX_SMOKE_KEEP"):
+        print(f"keeping workdir {workdir} (OPPROX_SMOKE_KEEP is set)")
+        return
+    shutil.rmtree(workdir, ignore_errors=True)
+
+
 def main() -> None:
     workdir = Path(sys.argv[1] if len(sys.argv) > 1 else ".chaos-smoke")
     workdir = workdir.resolve()
@@ -54,15 +67,17 @@ def main() -> None:
     if seed < 0:
         seed = random.SystemRandom().randrange(2**32)
         print(f"randomized seed: {seed}")
-
-    report = run_chaos_cycle(workdir, seed=seed, workers=2, job_timeout=3.0)
-    print(report.format())
-    if not report.ok:
-        fail(
-            f"{len(report.problems)} check(s) failed — reproduce with: "
-            f"python -m repro chaos --seed {seed} --workdir {workdir}"
-        )
-    print(f"chaos smoke ok (seed {seed})")
+    try:
+        report = run_chaos_cycle(workdir, seed=seed, workers=2, job_timeout=3.0)
+        print(report.format())
+        if not report.ok:
+            fail(
+                f"{len(report.problems)} check(s) failed — reproduce with: "
+                f"python -m repro chaos --seed {seed} --workdir {workdir}"
+            )
+        print(f"chaos smoke ok (seed {seed})")
+    finally:
+        _cleanup_workdir(workdir)
 
 
 if __name__ == "__main__":

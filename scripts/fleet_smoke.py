@@ -31,6 +31,8 @@ Usage::
 
 from __future__ import annotations
 
+import os
+import shutil
 import sys
 import time
 from pathlib import Path
@@ -224,24 +226,37 @@ def leg_concurrent_fleet(store_root: Path) -> None:
           f"distinct users, {warm['throughput_rps']:.0f} req/s warm")
 
 
+def _cleanup_workdir(workdir):
+    """Remove the smoke workdir on every exit path, success and failure.
+
+    Set ``OPPROX_SMOKE_KEEP=1`` to keep it for a post-mortem.
+    """
+    if os.environ.get("OPPROX_SMOKE_KEEP"):
+        print(f"keeping workdir {workdir} (OPPROX_SMOKE_KEEP is set)")
+        return
+    shutil.rmtree(workdir, ignore_errors=True)
+
+
 def main() -> None:
     workdir = Path(
         sys.argv[1] if len(sys.argv) > 1 else ".fleet-smoke"
     ).resolve()
     store_root = workdir / "store"
     print(f"fleet smoke: workdir {workdir}")
+    try:
+        train_store(store_root)
+        leg_replay_equivalence(store_root)
+        leg_degraded_not_cached(store_root)
+        leg_admission_shedding(store_root)
+        leg_concurrent_fleet(store_root)
 
-    train_store(store_root)
-    leg_replay_equivalence(store_root)
-    leg_degraded_not_cached(store_root)
-    leg_admission_shedding(store_root)
-    leg_concurrent_fleet(store_root)
+        litter = [p for p in workdir.rglob("*.tmp*") if p.is_file()]
+        if litter:
+            fail(f"temp-file litter left behind: {[str(p) for p in litter]}")
 
-    litter = [p for p in workdir.rglob("*.tmp*") if p.is_file()]
-    if litter:
-        fail(f"temp-file litter left behind: {[str(p) for p in litter]}")
-
-    print("fleet smoke PASSED")
+        print("fleet smoke PASSED")
+    finally:
+        _cleanup_workdir(workdir)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,270 @@
+#!/usr/bin/env python
+"""Multi-process front-end smoke gate for the supervised worker pool.
+
+Four legs over a small freshly-trained PSO store:
+
+1. **replay equivalence** — a deterministic mixed request stream
+   replayed sequentially through one in-process engine and through a
+   4-worker :class:`~repro.serve.frontend.ServeFrontend` must serve
+   bit-identical responses.  Process fan-out may only change how fast,
+   never what.
+2. **kill-a-worker chaos** — a seeded fault plan crashes one worker and
+   hangs another mid-load; every request must still be answered (the
+   hedge/fallback ladder), the supervisor must restart the dead slots,
+   and the fault must fire exactly once per site.
+3. **flap quarantine** — a fault plan that kills ``w0`` on every
+   incarnation's first request must cost a bounded number of respawns:
+   the flap detector quarantines the slot, its key range reroutes to
+   the survivors, and service continues with zero lost requests.
+4. **no litter, no orphans** — the workdir ends with zero temp-file
+   litter and ``multiprocessing.active_children()`` is empty after the
+   pools drain (no worker outlives its front end).
+
+Exit status 0 on success; nonzero with a diagnostic otherwise.
+
+Usage::
+
+    python scripts/frontend_smoke.py [workdir]
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import shutil
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.apps import make_app  # noqa: E402
+from repro.core.opprox import Opprox  # noqa: E402
+from repro.core.runtime import ModelStore  # noqa: E402
+from repro.core.spec import AccuracySpec  # noqa: E402
+from repro.faults import FaultPlan, FaultSpec, injected_faults  # noqa: E402
+from repro.serve import (  # noqa: E402
+    ModelRegistry,
+    ServeEngine,
+    ServeFrontend,
+    build_request_mix,
+)
+
+
+def fail(message: str) -> None:
+    print(f"frontend smoke FAILED: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def train_store(root: Path) -> ModelStore:
+    store = ModelStore(root)
+    if "pso" not in store.available():
+        app = make_app("pso")
+        opprox = Opprox(
+            app,
+            AccuracySpec.for_app(app, max_inputs=2),
+            n_phases=2,
+            joint_samples_per_phase=4,
+            confidence_p=0.9,
+        )
+        opprox.train()
+        store.save(opprox, train_timestamp=time.time())
+    return store
+
+
+def signature(response):
+    # Decision content only — no cache_hit: a hedged or restarted worker
+    # answers from a cold cache, which changes the flag but never the
+    # decision, and that is exactly the equivalence the gate pins.
+    return (
+        response.app_name,
+        response.schedule.key() if response.schedule is not None else None,
+        tuple(sorted(response.env.items())),
+        response.predicted_speedup,
+        response.predicted_degradation,
+        response.control_flow,
+        response.degraded,
+    )
+
+
+def request_mix(n: int, seed: int):
+    return [
+        (r.app_name, r.params, r.error_budget)
+        for r in build_request_mix(
+            ["pso"], budgets=[5.0, 10.0, 20.0], n_requests=n, seed=seed
+        )
+    ]
+
+
+def frontend_for(store_root: Path, **overrides) -> ServeFrontend:
+    settings = dict(
+        n_workers=4,
+        cache_size=64,
+        heartbeat_interval=0.05,
+        heartbeat_timeout=0.4,
+        dispatch_timeout=1.0,
+        restart_backoff_base=0.05,
+        restart_backoff_max=0.2,
+    )
+    settings.update(overrides)
+    return ServeFrontend(store_root, **settings)
+
+
+def leg_replay_equivalence(store_root: Path) -> None:
+    mix = request_mix(80, seed=7)
+    engine = ServeEngine(ModelRegistry(ModelStore(store_root)), cache_size=64)
+    expected = [signature(engine.submit(a, p, b)) for a, p, b in mix]
+    engine.close()
+    frontend = frontend_for(store_root)
+    try:
+        got = [signature(frontend.submit(a, p, b)) for a, p, b in mix]
+    finally:
+        frontend.close()
+    if got != expected:
+        first = next(
+            i for i, (a, b) in enumerate(zip(expected, got)) if a != b
+        )
+        fail(f"frontend replay diverged at request {first}: "
+             f"{expected[first]} != {got[first]}")
+    print(f"replay equivalence: {len(mix)} requests bit-identical "
+          f"(in-process vs 4 workers)")
+
+
+def leg_kill_a_worker(store_root: Path, scratch: Path) -> None:
+    mix = request_mix(120, seed=23)
+    # `after` counts per-worker sightings: land the faults inside each
+    # victim's share of the traffic, and claim them once across all
+    # incarnations so restarted workers don't re-fire them forever.
+    plan = FaultPlan(
+        [
+            FaultSpec(
+                "serve.worker.crash", "crash",
+                after=max(10, len(mix) // 8), once_globally=True,
+            ),
+            FaultSpec(
+                "serve.worker.hang", "hang",
+                delay_seconds=30.0, after=max(16, len(mix) // 6),
+                once_globally=True,
+            ),
+        ],
+        scratch_dir=scratch,
+    )
+    with injected_faults(plan):
+        frontend = frontend_for(store_root)
+        try:
+            responses = [frontend.submit(a, p, b) for a, p, b in mix]
+            if any(r is None for r in responses):
+                fail("a request was dropped during the chaos leg")
+            stats = frontend.stats
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline and stats.worker_restarts < 2:
+                time.sleep(0.05)
+            if stats.worker_crashes < 1 or stats.worker_hangs < 1:
+                fail(f"chaos fired {stats.worker_crashes} crash(es) and "
+                     f"{stats.worker_hangs} hang(s); wanted >= 1 of each")
+            if stats.worker_restarts < 2:
+                fail(f"supervisor restarted {stats.worker_restarts} "
+                     f"worker(s) within backoff; wanted both victims back")
+        finally:
+            frontend.close()
+    fired = plan.fired_counts()
+    if fired != {
+        ("serve.worker.crash", "crash"): 1,
+        ("serve.worker.hang", "hang"): 1,
+    }:
+        fail(f"unexpected fault firings: {fired}")
+    print(f"kill-a-worker chaos: {len(mix)}/{len(mix)} answered through "
+          f"1 crash + 1 hang, {stats.worker_restarts} restart(s), "
+          f"{stats.hedges} hedge(s)")
+
+
+def leg_flap_quarantine(store_root: Path, scratch: Path) -> None:
+    plan = FaultPlan(
+        [FaultSpec("serve.worker.crash", "crash", times=100, match="w0")],
+        scratch_dir=scratch,
+    )
+    params = {p.name: p.values[0] for p in make_app("pso").parameters}
+    with injected_faults(plan):
+        frontend = frontend_for(
+            store_root, n_workers=2, flap_threshold=2, flap_window=30.0
+        )
+        try:
+            stats = frontend.stats
+            answered = 0
+            deadline = time.monotonic() + 20.0
+            while time.monotonic() < deadline and not stats.worker_quarantines:
+                for _ in range(8):
+                    budget = 4.0 + 0.25 * answered  # distinct keys, both slots
+                    if frontend.submit("pso", params, budget) is None:
+                        fail("a request was dropped while w0 flapped")
+                    answered += 1
+                time.sleep(0.1)
+            if not stats.worker_quarantines:
+                fail(f"w0 died {stats.worker_crashes} time(s) without being "
+                     f"quarantined — restart storm not bounded")
+            states = {w["slot"]: w["state"] for w in frontend.worker_info()}
+            if states.get("w0") != "quarantined":
+                fail(f"expected w0 quarantined, got {states}")
+            if states.get("w1") != "running":
+                fail(f"expected w1 running, got {states}")
+            crashes = stats.worker_crashes
+            for i in range(20):
+                if frontend.submit("pso", params, 50.0 + 0.5 * i) is None:
+                    fail("a request was dropped after the quarantine")
+            if stats.worker_crashes != crashes:
+                fail("the quarantined slot kept crashing — routing still "
+                     "sends it traffic")
+        finally:
+            frontend.close()
+    print(f"flap quarantine: w0 quarantined after "
+          f"{stats.worker_crashes} crash(es), {answered + 20} requests "
+          f"answered with zero losses")
+
+
+def leg_no_litter_no_orphans(workdir: Path) -> None:
+    litter = [p for p in workdir.rglob("*.tmp*") if p.is_file()]
+    if litter:
+        fail(f"temp-file litter left behind: {[str(p) for p in litter]}")
+    deadline = time.monotonic() + 5.0
+    children = multiprocessing.active_children()
+    while children and time.monotonic() < deadline:
+        time.sleep(0.1)
+        children = multiprocessing.active_children()
+    if children:
+        fail(f"worker processes outlived their front ends: "
+             f"{[c.name for c in children]}")
+    print("no litter, no orphans: workdir clean, zero surviving children")
+
+
+def _cleanup_workdir(workdir):
+    """Remove the smoke workdir on every exit path, success and failure.
+
+    Set ``OPPROX_SMOKE_KEEP=1`` to keep it for a post-mortem.
+    """
+    if os.environ.get("OPPROX_SMOKE_KEEP"):
+        print(f"keeping workdir {workdir} (OPPROX_SMOKE_KEEP is set)")
+        return
+    shutil.rmtree(workdir, ignore_errors=True)
+
+
+def main() -> None:
+    workdir = Path(
+        sys.argv[1] if len(sys.argv) > 1 else ".frontend-smoke"
+    ).resolve()
+    store_root = workdir / "store"
+    print(f"frontend smoke: workdir {workdir}")
+    try:
+        train_store(store_root)
+        leg_replay_equivalence(store_root)
+        leg_kill_a_worker(store_root, workdir / "chaos-scratch")
+        leg_flap_quarantine(store_root, workdir / "flap-scratch")
+        leg_no_litter_no_orphans(workdir)
+        print("frontend smoke PASSED")
+    finally:
+        _cleanup_workdir(workdir)
+
+
+if __name__ == "__main__":
+    main()

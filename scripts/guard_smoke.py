@@ -28,6 +28,8 @@ Usage::
 
 from __future__ import annotations
 
+import os
+import shutil
 import sys
 from pathlib import Path
 
@@ -61,73 +63,86 @@ def check_recovered(report: dict, leg: str) -> None:
         fail(f"{leg}: the model was never marked stale")
 
 
+def _cleanup_workdir(workdir):
+    """Remove the smoke workdir on every exit path, success and failure.
+
+    Set ``OPPROX_SMOKE_KEEP=1`` to keep it for a post-mortem.
+    """
+    if os.environ.get("OPPROX_SMOKE_KEEP"):
+        print(f"keeping workdir {workdir} (OPPROX_SMOKE_KEEP is set)")
+        return
+    shutil.rmtree(workdir, ignore_errors=True)
+
+
 def main() -> None:
     workdir = Path(sys.argv[1] if len(sys.argv) > 1 else ".guard-smoke").resolve()
     seed = int(sys.argv[2]) if len(sys.argv) > 2 else DEFAULT_SEED
     store = workdir / "store"
     print(f"guard smoke: workdir {workdir}, seed {seed}")
+    try:
+        # Leg 1: without the guard the drifted traffic must violate.
+        ungated = run_drift_scenario(store, seed=seed, guard=False)
+        post = ungated["violations"]["post"]
+        print(f"ungated: {post} post-drift violation(s), "
+              f"digest {ungated['digest'][:16]}")
+        if not post or not ungated["violations"]["last_quarter"]:
+            fail("the ungated scenario no longer violates the budget — "
+                 "the drift scenario lost its teeth")
 
-    # Leg 1: without the guard the drifted traffic must violate.
-    ungated = run_drift_scenario(store, seed=seed, guard=False)
-    post = ungated["violations"]["post"]
-    print(f"ungated: {post} post-drift violation(s), "
-          f"digest {ungated['digest'][:16]}")
-    if not post or not ungated["violations"]["last_quarter"]:
-        fail("the ungated scenario no longer violates the budget — "
-             "the drift scenario lost its teeth")
+        # Leg 2: the guard must detect, fall back, recover, and mark stale.
+        guarded = run_drift_scenario(store, seed=seed, guard=True)
+        print(f"guarded: {guarded['violations']['post']} violation(s) during "
+              f"detection, {guarded['stats']['guard_samples']} sample(s), "
+              f"digest {guarded['digest'][:16]}")
+        check_recovered(guarded, "guarded")
+        if not guarded["pending_retrains"]:
+            fail("guarded: no retrain event was written")
+        if guarded["violations"]["post"] >= post:
+            fail("guarded: the guard prevented no violations at all")
 
-    # Leg 2: the guard must detect, fall back, recover, and mark stale.
-    guarded = run_drift_scenario(store, seed=seed, guard=True)
-    print(f"guarded: {guarded['violations']['post']} violation(s) during "
-          f"detection, {guarded['stats']['guard_samples']} sample(s), "
-          f"digest {guarded['digest'][:16]}")
-    check_recovered(guarded, "guarded")
-    if not guarded["pending_retrains"]:
-        fail("guarded: no retrain event was written")
-    if guarded["violations"]["post"] >= post:
-        fail("guarded: the guard prevented no violations at all")
+        # Leg 3: the guard's own failure paths, injected.  The os_error and
+        # hang kinds exercise absorption; crash is excluded by design (it
+        # would _exit this process — chaos_smoke covers crash kinds in the
+        # measurement/serving paths).
+        plan = FaultPlan(
+            [
+                FaultSpec(site="serve.guard.sample", kind="os_error", times=2),
+                FaultSpec(site="serve.guard.sample", kind="hang", times=1,
+                          after=3, delay_seconds=0.05),
+                FaultSpec(site="serve.guard.escalate", kind="os_error", times=1),
+                FaultSpec(site="serve.guard.event", kind="os_error", times=1),
+            ],
+            scratch_dir=workdir / "fault-scratch",
+            seed=seed,
+        )
+        with injected_faults(plan):
+            import warnings
 
-    # Leg 3: the guard's own failure paths, injected.  The os_error and
-    # hang kinds exercise absorption; crash is excluded by design (it
-    # would _exit this process — chaos_smoke covers crash kinds in the
-    # measurement/serving paths).
-    plan = FaultPlan(
-        [
-            FaultSpec(site="serve.guard.sample", kind="os_error", times=2),
-            FaultSpec(site="serve.guard.sample", kind="hang", times=1,
-                      after=3, delay_seconds=0.05),
-            FaultSpec(site="serve.guard.escalate", kind="os_error", times=1),
-            FaultSpec(site="serve.guard.event", kind="os_error", times=1),
-        ],
-        scratch_dir=workdir / "fault-scratch",
-        seed=seed,
-    )
-    with injected_faults(plan):
-        import warnings
+            with warnings.catch_warnings():
+                # the injected event-write failure warns by contract
+                warnings.simplefilter("ignore", RuntimeWarning)
+                chaos = run_drift_scenario(store, seed=seed, guard=True)
+        counts = {site: n for (site, _), n in plan.fired_counts().items()}
+        print(f"chaos:   {chaos['stats']['guard_sample_errors']} absorbed "
+              f"error(s), fired {counts}")
+        for site in ("serve.guard.sample", "serve.guard.escalate",
+                     "serve.guard.event"):
+            if not counts.get(site):
+                fail(f"chaos: fault at {site} never fired")
+        if not chaos["stats"]["guard_sample_errors"]:
+            fail("chaos: injected guard failures were not accounted")
+        if chaos["load"]["errors"]:
+            fail(f"chaos: {len(chaos['load']['errors'])} request(s) errored — "
+                 f"an injected guard failure escaped to a client")
+        check_recovered(chaos, "chaos")
 
-        with warnings.catch_warnings():
-            # the injected event-write failure warns by contract
-            warnings.simplefilter("ignore", RuntimeWarning)
-            chaos = run_drift_scenario(store, seed=seed, guard=True)
-    counts = {site: n for (site, _), n in plan.fired_counts().items()}
-    print(f"chaos:   {chaos['stats']['guard_sample_errors']} absorbed "
-          f"error(s), fired {counts}")
-    for site in ("serve.guard.sample", "serve.guard.escalate",
-                 "serve.guard.event"):
-        if not counts.get(site):
-            fail(f"chaos: fault at {site} never fired")
-    if not chaos["stats"]["guard_sample_errors"]:
-        fail("chaos: injected guard failures were not accounted")
-    if chaos["load"]["errors"]:
-        fail(f"chaos: {len(chaos['load']['errors'])} request(s) errored — "
-             f"an injected guard failure escaped to a client")
-    check_recovered(chaos, "chaos")
+        litter = [p for p in workdir.rglob("*.tmp*") if p.is_file()]
+        if litter:
+            fail(f"temp-file litter left behind: {[str(p) for p in litter]}")
 
-    litter = [p for p in workdir.rglob("*.tmp*") if p.is_file()]
-    if litter:
-        fail(f"temp-file litter left behind: {[str(p) for p in litter]}")
-
-    print(f"guard smoke ok (seed {seed})")
+        print(f"guard smoke ok (seed {seed})")
+    finally:
+        _cleanup_workdir(workdir)
 
 
 if __name__ == "__main__":

@@ -27,6 +27,8 @@ Usage::
 
 from __future__ import annotations
 
+import os
+import shutil
 import sys
 import warnings
 from pathlib import Path
@@ -74,81 +76,94 @@ def fresh_opprox(budget: float, library=None) -> Opprox:
     )
 
 
+def _cleanup_workdir(workdir):
+    """Remove the smoke workdir on every exit path, success and failure.
+
+    Set ``OPPROX_SMOKE_KEEP=1`` to keep it for a post-mortem.
+    """
+    if os.environ.get("OPPROX_SMOKE_KEEP"):
+        print(f"keeping workdir {workdir} (OPPROX_SMOKE_KEEP is set)")
+        return
+    shutil.rmtree(workdir, ignore_errors=True)
+
+
 def main() -> None:
     workdir = Path(sys.argv[1] if len(sys.argv) > 1 else ".library-smoke")
     workdir = workdir.resolve()
     workdir.mkdir(parents=True, exist_ok=True)
     library_root = workdir / "library"
+    try:
+        # 1. Full-sweep reference.
+        sweep = fresh_opprox(BUDGET_FIRST)
+        sweep.train()
+        reference = model_fingerprint(sweep)
+        sweep_execs = sweep.measurement_stats.executions
+        print(f"sweep reference: {sweep_execs} execution(s), "
+              f"fingerprint {reference[:16]}…")
+        if sweep_execs <= 0:
+            fail("sweep training performed no measurements — nothing to compare")
 
-    # 1. Full-sweep reference.
-    sweep = fresh_opprox(BUDGET_FIRST)
-    sweep.train()
-    reference = model_fingerprint(sweep)
-    sweep_execs = sweep.measurement_stats.executions
-    print(f"sweep reference: {sweep_execs} execution(s), "
-          f"fingerprint {reference[:16]}…")
-    if sweep_execs <= 0:
-        fail("sweep training performed no measurements — nothing to compare")
+        # 2. Build the library (same training, through an empty library).
+        builder = fresh_opprox(BUDGET_FIRST, VariantLibrary(library_root, make_app(APP)))
+        builder.train()
+        if model_fingerprint(builder) != reference:
+            fail("library-building run diverged from the sweep reference "
+                 f"({model_fingerprint(builder)[:16]}… != {reference[:16]}…)")
+        if builder.variant_library.save() is None:
+            fail("library save was dropped")
+        library_file = builder.variant_library.path
+        print(f"library built: {builder.variant_library.n_variants} variant(s), "
+              f"{library_file.stat().st_size} bytes")
 
-    # 2. Build the library (same training, through an empty library).
-    builder = fresh_opprox(BUDGET_FIRST, VariantLibrary(library_root, make_app(APP)))
-    builder.train()
-    if model_fingerprint(builder) != reference:
-        fail("library-building run diverged from the sweep reference "
-             f"({model_fingerprint(builder)[:16]}… != {reference[:16]}…)")
-    if builder.variant_library.save() is None:
-        fail("library save was dropped")
-    library_file = builder.variant_library.path
-    print(f"library built: {builder.variant_library.n_variants} variant(s), "
-          f"{library_file.stat().st_size} bytes")
+        # 3. Retrain from the reloaded library at a new budget.
+        reuse = fresh_opprox(BUDGET_REPEAT, VariantLibrary(library_root, make_app(APP)))
+        reuse.train()
+        reuse_execs = reuse.measurement_stats.executions
+        if model_fingerprint(reuse) != reference:
+            fail("library-trained model is not bit-identical to the sweep "
+                 f"reference ({model_fingerprint(reuse)[:16]}… != {reference[:16]}…)")
+        reduction = sweep_execs / max(reuse_execs, 1)
+        print(f"retrain from library: {reuse_execs} execution(s) "
+              f"({reduction:.0f}x fewer), bit-identical")
+        if sweep_execs < MIN_REDUCTION * max(reuse_execs, 1):
+            fail(f"library reuse saved only {reduction:.1f}x measurements "
+                 f"({sweep_execs} sweep vs {reuse_execs} reuse) — below the "
+                 f"{MIN_REDUCTION:.0f}x acceptance bar")
 
-    # 3. Retrain from the reloaded library at a new budget.
-    reuse = fresh_opprox(BUDGET_REPEAT, VariantLibrary(library_root, make_app(APP)))
-    reuse.train()
-    reuse_execs = reuse.measurement_stats.executions
-    if model_fingerprint(reuse) != reference:
-        fail("library-trained model is not bit-identical to the sweep "
-             f"reference ({model_fingerprint(reuse)[:16]}… != {reference[:16]}…)")
-    reduction = sweep_execs / max(reuse_execs, 1)
-    print(f"retrain from library: {reuse_execs} execution(s) "
-          f"({reduction:.0f}x fewer), bit-identical")
-    if sweep_execs < MIN_REDUCTION * max(reuse_execs, 1):
-        fail(f"library reuse saved only {reduction:.1f}x measurements "
-             f"({sweep_execs} sweep vs {reuse_execs} reuse) — below the "
-             f"{MIN_REDUCTION:.0f}x acceptance bar")
+        # 4. Corrupt the library file; the next run must rebuild cleanly.
+        raw = library_file.read_bytes()
+        library_file.write_bytes(raw[: len(raw) // 3] + b"\x00garbage\x00")
+        corrupted_library = VariantLibrary(library_root, make_app(APP))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            corrupted_library.load()
+        if corrupted_library.n_variants != 0:
+            fail("corrupt library was partially ingested instead of discarded")
+        if not any("corrupt" in str(w.message) for w in caught):
+            fail("corrupt library load did not warn")
+        rebuilt = fresh_opprox(BUDGET_FIRST, corrupted_library)
+        rebuilt.train()
+        if model_fingerprint(rebuilt) != reference:
+            fail("post-corruption rebuild diverged from the sweep reference")
+        if corrupted_library.save() is None:
+            fail("post-corruption library save was dropped")
+        reloaded = VariantLibrary(library_root, make_app(APP))
+        reloaded.load()
+        if reloaded.n_variants != builder.variant_library.n_variants:
+            fail(f"rebuilt library holds {reloaded.n_variants} variant(s), "
+                 f"expected {builder.variant_library.n_variants}")
+        print(f"corruption recovered: clean rebuild with "
+              f"{reloaded.n_variants} variant(s) "
+              f"({corrupted_library.stats.corrupt_discards} corrupt discard(s))")
 
-    # 4. Corrupt the library file; the next run must rebuild cleanly.
-    raw = library_file.read_bytes()
-    library_file.write_bytes(raw[: len(raw) // 3] + b"\x00garbage\x00")
-    corrupted_library = VariantLibrary(library_root, make_app(APP))
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        corrupted_library.load()
-    if corrupted_library.n_variants != 0:
-        fail("corrupt library was partially ingested instead of discarded")
-    if not any("corrupt" in str(w.message) for w in caught):
-        fail("corrupt library load did not warn")
-    rebuilt = fresh_opprox(BUDGET_FIRST, corrupted_library)
-    rebuilt.train()
-    if model_fingerprint(rebuilt) != reference:
-        fail("post-corruption rebuild diverged from the sweep reference")
-    if corrupted_library.save() is None:
-        fail("post-corruption library save was dropped")
-    reloaded = VariantLibrary(library_root, make_app(APP))
-    reloaded.load()
-    if reloaded.n_variants != builder.variant_library.n_variants:
-        fail(f"rebuilt library holds {reloaded.n_variants} variant(s), "
-             f"expected {builder.variant_library.n_variants}")
-    print(f"corruption recovered: clean rebuild with "
-          f"{reloaded.n_variants} variant(s) "
-          f"({corrupted_library.stats.corrupt_discards} corrupt discard(s))")
+        # 5. Zero temp-file litter anywhere in the workdir.
+        litter = tmp_litter(workdir)
+        if litter:
+            fail(f"temp-file litter left behind: {[str(p) for p in litter]}")
 
-    # 5. Zero temp-file litter anywhere in the workdir.
-    litter = tmp_litter(workdir)
-    if litter:
-        fail(f"temp-file litter left behind: {[str(p) for p in litter]}")
-
-    print("library smoke ok")
+        print("library smoke ok")
+    finally:
+        _cleanup_workdir(workdir)
 
 
 if __name__ == "__main__":

@@ -32,6 +32,7 @@ from __future__ import annotations
 import os
 import signal
 import subprocess
+import shutil
 import sys
 import time
 from pathlib import Path
@@ -105,6 +106,17 @@ def start_and_kill(workdir: Path, store: Path, pipeline_dir: Path) -> bool:
     return not finished
 
 
+def _cleanup_workdir(workdir):
+    """Remove the smoke workdir on every exit path, success and failure.
+
+    Set ``OPPROX_SMOKE_KEEP=1`` to keep it for a post-mortem.
+    """
+    if os.environ.get("OPPROX_SMOKE_KEEP"):
+        print(f"keeping workdir {workdir} (OPPROX_SMOKE_KEEP is set)")
+        return
+    shutil.rmtree(workdir, ignore_errors=True)
+
+
 def main() -> None:
     workdir = Path(sys.argv[1] if len(sys.argv) > 1 else ".train-resume-smoke")
     workdir = workdir.resolve()
@@ -112,61 +124,63 @@ def main() -> None:
     ref_store = workdir / "models-ref"
     store = workdir / "models-resumed"
     pipeline_dir = workdir / "pipeline"
+    try:
+        # 1. Uninterrupted reference run (plain in-memory training).
+        run_cli(workdir, ["--store", str(ref_store), "--no-pipeline"])
+        reference = fingerprint_store(ref_store)
+        print(f"reference model fingerprint: {reference[:16]}…")
 
-    # 1. Uninterrupted reference run (plain in-memory training).
-    run_cli(workdir, ["--store", str(ref_store), "--no-pipeline"])
-    reference = fingerprint_store(ref_store)
-    print(f"reference model fingerprint: {reference[:16]}…")
+        # 2. Pipeline run killed mid-sampling (retry if it wins the race).
+        for attempt in range(1, KILL_ATTEMPTS + 1):
+            for stale in (store, pipeline_dir):
+                if stale.exists():
+                    subprocess.run(["rm", "-rf", str(stale)], check=True)
+            if start_and_kill(workdir, store, pipeline_dir):
+                print(f"killed training mid-sampling (attempt {attempt})")
+                break
+            print(f"attempt {attempt}: training finished before the kill; retrying")
+        else:
+            fail(f"could not interrupt training in {KILL_ATTEMPTS} attempts")
 
-    # 2. Pipeline run killed mid-sampling (retry if it wins the race).
-    for attempt in range(1, KILL_ATTEMPTS + 1):
-        for stale in (store, pipeline_dir):
-            if stale.exists():
-                subprocess.run(["rm", "-rf", str(stale)], check=True)
-        if start_and_kill(workdir, store, pipeline_dir):
-            print(f"killed training mid-sampling (attempt {attempt})")
-            break
-        print(f"attempt {attempt}: training finished before the kill; retrying")
-    else:
-        fail(f"could not interrupt training in {KILL_ATTEMPTS} attempts")
+        events_before = read_trace(pipeline_dir / "trace.jsonl")
+        persisted_batches = sum(
+            1 for e in events_before
+            if e.get("event") == "sample_batch" and not e.get("resumed")
+        )
+        print(f"{persisted_batches} sample batch(es) persisted before the kill")
 
-    events_before = read_trace(pipeline_dir / "trace.jsonl")
-    persisted_batches = sum(
-        1 for e in events_before
-        if e.get("event") == "sample_batch" and not e.get("resumed")
-    )
-    print(f"{persisted_batches} sample batch(es) persisted before the kill")
+        # 3. Resume and verify.
+        run_cli(workdir, ["--store", str(store),
+                          "--pipeline-dir", str(pipeline_dir), "--resume"])
+        resumed = fingerprint_store(store)
+        print(f"resumed model fingerprint:   {resumed[:16]}…")
+        if resumed != reference:
+            fail("resumed model differs from the uninterrupted reference "
+                 f"({resumed[:16]}… != {reference[:16]}…)")
 
-    # 3. Resume and verify.
-    run_cli(workdir, ["--store", str(store),
-                      "--pipeline-dir", str(pipeline_dir), "--resume"])
-    resumed = fingerprint_store(store)
-    print(f"resumed model fingerprint:   {resumed[:16]}…")
-    if resumed != reference:
-        fail("resumed model differs from the uninterrupted reference "
-             f"({resumed[:16]}… != {reference[:16]}…)")
+        events = read_trace(pipeline_dir / "trace.jsonl")
+        segment = events[len(events_before):]  # the resumed run's events only
+        skipped = {e.get("stage") for e in segment if e.get("event") == "stage_skipped"}
+        for stage in ("phase-search", "control-flow"):
+            if stage not in skipped:
+                fail(f"resumed run re-executed {stage!r} instead of skipping it "
+                     f"(skipped: {sorted(skipped)})")
 
-    events = read_trace(pipeline_dir / "trace.jsonl")
-    segment = events[len(events_before):]  # the resumed run's events only
-    skipped = {e.get("stage") for e in segment if e.get("event") == "stage_skipped"}
-    for stage in ("phase-search", "control-flow"):
-        if stage not in skipped:
-            fail(f"resumed run re-executed {stage!r} instead of skipping it "
-                 f"(skipped: {sorted(skipped)})")
+        replayed = [e for e in segment
+                    if e.get("event") == "sample_batch" and e.get("resumed")]
+        if len(replayed) < persisted_batches:
+            fail(f"only {len(replayed)} of {persisted_batches} persisted "
+                 f"batches were replayed from checkpoints")
+        remeasured = [e for e in replayed if e.get("executions")]
+        if remeasured:
+            fail(f"{len(remeasured)} replayed batch(es) re-measured samples: "
+                 f"{remeasured}")
 
-    replayed = [e for e in segment
-                if e.get("event") == "sample_batch" and e.get("resumed")]
-    if len(replayed) < persisted_batches:
-        fail(f"only {len(replayed)} of {persisted_batches} persisted "
-             f"batches were replayed from checkpoints")
-    remeasured = [e for e in replayed if e.get("executions")]
-    if remeasured:
-        fail(f"{len(remeasured)} replayed batch(es) re-measured samples: "
-             f"{remeasured}")
-
-    print(f"resume skipped {sorted(skipped)}; replayed {len(replayed)} "
-          f"batch(es) with 0 re-measured samples")
-    print("train-resume smoke ok")
+        print(f"resume skipped {sorted(skipped)}; replayed {len(replayed)} "
+              f"batch(es) with 0 re-measured samples")
+        print("train-resume smoke ok")
+    finally:
+        _cleanup_workdir(workdir)
 
 
 if __name__ == "__main__":

@@ -14,6 +14,12 @@ equivalence against the unsharded engine (hard error on divergence), a
 warm throughput/p99 sweep over shard counts, and a bursty two-tenant
 admission-control leg — and emits ``BENCH_serve_fleet.json``.
 
+:mod:`repro.bench.serve_frontend` measures the multi-process front end —
+replay equivalence against one in-process engine (hard error on
+divergence), warm batched throughput vs the committed fleet baseline,
+and a seeded kill-a-worker chaos leg that must lose zero requests and
+reproduce its decision digest — and emits ``BENCH_serve_frontend.json``.
+
 :mod:`repro.bench.diff` is a Perun-style performance-regression gate: it
 fits simple models to the metric trajectories across successive
 ``BENCH_*.json`` files and fails (exit code 6) when the newest point
@@ -30,14 +36,20 @@ from repro.bench.diff import (
 from repro.bench.library import run_library_bench
 from repro.bench.measure import run_measure_bench
 from repro.bench.serve_fleet import format_fleet_bench, run_fleet_bench
+from repro.bench.serve_frontend import (
+    format_frontend_bench,
+    run_frontend_bench,
+)
 
 __all__ = [
     "MetricChange",
     "detect_changes",
     "format_changes",
     "format_fleet_bench",
+    "format_frontend_bench",
     "load_bench",
     "run_fleet_bench",
+    "run_frontend_bench",
     "run_library_bench",
     "run_measure_bench",
 ]

@@ -1,0 +1,451 @@
+"""Multi-process front-end benchmark (feeds ``BENCH_serve_frontend.json``).
+
+Measures the claims :class:`~repro.serve.frontend.ServeFrontend` exists
+for — and, because the front end is a *robustness* feature, half the
+benchmark is seeded chaos rather than throughput:
+
+1. **Replay equivalence** (hard error, not a metric): a deterministic
+   request mix replayed sequentially through a 4-worker front end and
+   through one in-process engine serves bit-identical responses —
+   schedules, envs, predictions, degraded flags, hit/miss
+   classification.  Stable consistent-hash routing plus deterministic
+   per-worker engines makes process distribution invisible to callers.
+2. **Warm throughput**: batched closed-loop clients against the
+   4-worker pool (``frontend_warm_rps``, gated), a sequential
+   single-dispatch latency leg (``frontend_p99_ms``, gated), and a
+   same-run in-process fleet engine for context.  The acceptance bar is
+   the *committed* ``BENCH_serve_fleet.json`` single-engine baseline
+   (its ``baseline.warm_throughput_rps``) — the same yardstick the
+   fleet bench itself gates against — because the same-run comparison
+   is machine-bound: on a single-core container the workers time-slice
+   one CPU and can at best tie the in-process engine; on multi-core
+   hosts they scale past it.  Both figures are recorded.
+3. **Kill-a-worker chaos leg**: a seeded fault plan crashes one worker
+   and hangs another mid-load.  Every request must still be answered
+   (the dispatcher hedges to a sibling or falls back in-process), the
+   supervisor must restart the dead workers within its backoff budget,
+   and a repeat run with the same seed must produce an identical
+   decision digest — fault recovery may cost latency, never answers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.bench.serve_fleet import (
+    FLEET_TENANT_SPECS,
+    _response_signature,
+    _tenants,
+    _train_fleet_store,
+)
+
+__all__ = ["format_frontend_bench", "run_frontend_bench"]
+
+SCHEMA = "repro-bench-v1"
+
+#: worker-pool heartbeat settings for the chaos leg: tight enough that
+#: hang detection and restart both land well inside the leg's runtime
+_CHAOS_HEARTBEAT_INTERVAL = 0.05
+_CHAOS_HEARTBEAT_TIMEOUT = 0.4
+
+
+def _decision_digest(responses) -> str:
+    """Order-sensitive digest of *what* was decided, not *how fast*.
+
+    Excludes ``cache_hit`` and latency: a hedged or restarted worker
+    serves the same decision from a colder cache, and that must not
+    count as divergence.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    for index, response in enumerate(responses):
+        digest.update(
+            repr(
+                (
+                    index,
+                    response.app_name,
+                    response.schedule.key()
+                    if response.schedule is not None
+                    else None,
+                    tuple(sorted(response.env.items())),
+                    response.control_flow,
+                )
+            ).encode()
+        )
+    return digest.hexdigest()
+
+
+def _replay_equivalence_leg(store_root: Path, mix) -> Dict[str, object]:
+    """Sequential replay: 4-worker front end vs one in-process engine."""
+    from repro.core.runtime import ModelStore
+    from repro.serve import (
+        ModelRegistry, ServeEngine, ServeFrontend, run_load,
+    )
+
+    engine = ServeEngine(
+        ModelRegistry(ModelStore(store_root)), cache_size=256, shards=1
+    )
+    reference = run_load(engine, mix, clients=1, collect_responses=True)
+    if reference["errors"]:
+        raise RuntimeError(f"replay leg (in-process) raised: {reference['errors']}")
+
+    frontend = ServeFrontend(store_root, n_workers=4, cache_size=256)
+    try:
+        distributed = run_load(frontend, mix, clients=1, collect_responses=True)
+    finally:
+        frontend.close()
+    if distributed["errors"]:
+        raise RuntimeError(f"replay leg (frontend) raised: {distributed['errors']}")
+
+    trace_a = [_response_signature(r) for r in reference["responses"]]
+    trace_b = [_response_signature(r) for r in distributed["responses"]]
+    if trace_a != trace_b:
+        first_diff = next(
+            index for index, (a, b) in enumerate(zip(trace_a, trace_b)) if a != b
+        )
+        raise RuntimeError(
+            f"front-end replay diverged from the in-process engine at "
+            f"request {first_diff}: {trace_a[first_diff]} != "
+            f"{trace_b[first_diff]}"
+        )
+    return {"requests": len(mix), "workers": 4, "identical": True}
+
+
+def _batched_throughput(frontend, requests, clients: int, batch: int) -> float:
+    """Drive ``requests`` through ``submit_many`` from closed-loop threads."""
+    chunks = [requests[i:i + batch] for i in range(0, len(requests), batch)]
+    chunk_lock = threading.Lock()
+
+    def client() -> None:
+        while True:
+            with chunk_lock:
+                if not chunks:
+                    return
+                chunk = chunks.pop()
+            frontend.submit_many(chunk)
+
+    threads = [
+        threading.Thread(target=client, name=f"fe-bench-{i}", daemon=True)
+        for i in range(clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return len(requests) / (time.perf_counter() - started)
+
+
+def _chaos_leg(
+    store_root: Path, mix, seed: int, scratch_dir: Path
+) -> Dict[str, object]:
+    """Crash one worker, hang another, mid-load; count the damage (none)."""
+    import multiprocessing
+
+    from repro.faults.injector import injected_faults
+    from repro.faults.plan import FaultPlan, FaultSpec
+    from repro.serve import ServeFrontend
+
+    # ``after`` counts *per-worker* sightings: each of the 4 workers sees
+    # roughly a quarter of the mix (consistent-hash shares are lumpy), so
+    # the ordinals are scaled to per-worker traffic or they never land.
+    plan = FaultPlan(
+        [
+            # ``once_globally``: the replacement worker inherits the plan
+            # (fork) and would otherwise crash again, forever.
+            FaultSpec(
+                "serve.worker.crash",
+                "crash",
+                times=1,
+                after=max(10, len(mix) // 8),
+                once_globally=True,
+                note="frontend bench: kill whichever worker gets there first",
+            ),
+            FaultSpec(
+                "serve.worker.hang",
+                "hang",
+                times=1,
+                after=max(16, len(mix) // 6),
+                delay_seconds=30.0,
+                once_globally=True,
+                note="frontend bench: wedge a worker past the heartbeat budget",
+            ),
+        ],
+        scratch_dir=scratch_dir,
+        seed=seed,
+    )
+    with injected_faults(plan):
+        frontend = ServeFrontend(
+            store_root,
+            n_workers=4,
+            cache_size=256,
+            heartbeat_interval=_CHAOS_HEARTBEAT_INTERVAL,
+            heartbeat_timeout=_CHAOS_HEARTBEAT_TIMEOUT,
+            dispatch_timeout=1.0,
+            window=8,
+        )
+        try:
+            responses = [
+                frontend.submit(r.app_name, r.params, r.error_budget)
+                for r in mix
+            ]
+            # Both faults kill a worker; give the supervisor its backoff
+            # budget to bring the replacements up before declaring victory.
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if frontend.stats.worker_restarts >= 2:
+                    break
+                time.sleep(0.05)
+        finally:
+            summary = frontend.close()
+    stats = summary["stats"]
+    answered = sum(1 for response in responses if response is not None)
+    problems: List[str] = []
+    if answered != len(mix):
+        problems.append(f"lost {len(mix) - answered} of {len(mix)} requests")
+    if stats["worker_crashes"] < 1:
+        problems.append("the seeded crash fault never fired")
+    if stats["worker_hangs"] < 1:
+        problems.append("the seeded hang was never detected by heartbeat")
+    if stats["worker_restarts"] < 2:
+        problems.append(
+            f"supervisor restarted {stats['worker_restarts']} worker(s), "
+            f"expected 2 within the backoff budget"
+        )
+    leftover = [p.name for p in multiprocessing.active_children()]
+    if leftover:
+        problems.append(f"orphan worker processes after close: {leftover}")
+    if problems:
+        raise RuntimeError("chaos leg failed: " + "; ".join(problems))
+    return {
+        "requests": len(mix),
+        "answered": answered,
+        "decision_digest": _decision_digest(responses),
+        "worker_crashes": stats["worker_crashes"],
+        "worker_hangs": stats["worker_hangs"],
+        "worker_restarts": stats["worker_restarts"],
+        "worker_quarantines": stats["worker_quarantines"],
+        "hedges": stats["hedges"],
+        "failovers": stats["failovers"],
+        "fallback_served": stats["fallback_served"],
+        "workers": summary["workers"],
+    }
+
+
+def run_frontend_bench(
+    store_root=None,
+    n_workers: int = 4,
+    clients: int = 4,
+    quick: bool = False,
+    seed: int = 2017,
+    progress=None,
+) -> Dict[str, object]:
+    """Run the front-end benchmark; return the report dict.
+
+    ``store_root`` is where the benchmark models are trained (a temp
+    directory when None; an existing store is reused).  ``quick``
+    shrinks request volumes for the CI gate.  In full (non-quick) mode
+    the committed fleet baseline is an acceptance bar: the 4-worker
+    front end must exceed ``BENCH_serve_fleet.json``'s recorded
+    single-engine ``baseline.warm_throughput_rps`` or the benchmark
+    errors out.
+    """
+    import tempfile
+
+    from repro.core.runtime import ModelStore
+    from repro.serve import (
+        ModelRegistry, ServeEngine, ServeFrontend, build_fleet_mix,
+        build_request_mix, run_fleet_load, run_load,
+    )
+
+    n_warm = 600 if quick else 4000
+    n_chaos = 120 if quick else 400
+    n_latency = 200 if quick else 800
+    batch = 256
+
+    cleanup = None
+    if store_root is None:
+        cleanup = tempfile.TemporaryDirectory(prefix="frontend-bench-")
+        store_root = cleanup.name
+    store_root = Path(store_root)
+    try:
+        _train_fleet_store(store_root, progress=progress)
+
+        # -- leg 1: replay equivalence (hard error on divergence) -----------
+        if progress:
+            progress("replay equivalence (4 workers vs in-process) ...")
+        replay_mix = build_request_mix(
+            [spec["app_name"] for spec in FLEET_TENANT_SPECS],
+            budgets=[5.0, 10.0, 20.0],
+            n_requests=120,
+            seed=seed,
+        )
+        replay = _replay_equivalence_leg(store_root, replay_mix)
+
+        # -- leg 2: warm throughput + latency -------------------------------
+        warm_mix = build_fleet_mix(_tenants(burst=False), n_warm, seed=seed)
+        warm_requests = [
+            (r.app_name, r.params, r.error_budget) for r in warm_mix
+        ]
+        if progress:
+            progress("warm throughput: in-process fleet engine ...")
+        engine = ServeEngine(
+            ModelRegistry(ModelStore(store_root)), cache_size=256, shards=4
+        )
+        run_fleet_load(engine, warm_mix, clients=clients)  # warm pass
+        inprocess = run_fleet_load(engine, warm_mix, clients=clients)
+        if inprocess["errors"]:
+            raise RuntimeError(f"in-process warm leg raised: {inprocess['errors']}")
+
+        if progress:
+            progress(f"warm throughput: {n_workers}-worker front end ...")
+        frontend = ServeFrontend(
+            store_root, n_workers=n_workers, cache_size=256, window=8
+        )
+        try:
+            frontend.submit_many(warm_requests)  # warm pass
+            frontend_rps = _batched_throughput(
+                frontend, warm_requests, clients=clients, batch=batch
+            )
+            latency_mix = warm_mix[:n_latency]
+            latency_leg = run_load(frontend, latency_mix, clients=1)
+            if latency_leg["errors"]:
+                raise RuntimeError(
+                    f"latency leg raised: {latency_leg['errors']}"
+                )
+            frontend_stats = frontend.stats.report()
+        finally:
+            frontend.close()
+        # the latency mix rides the warmed caches, so the hit histogram
+        # is the populated one (misses would mean the warm pass failed)
+        hit_leg = latency_leg["hit_latency"]
+        frontend_p99 = (
+            hit_leg["p99_seconds"]
+            if hit_leg["count"]
+            else latency_leg["miss_latency"]["p99_seconds"]
+        )
+
+        # -- leg 3: kill-a-worker chaos, twice, digest-compared -------------
+        chaos_mix = build_fleet_mix(
+            _tenants(burst=False), n_chaos, seed=seed + 1
+        )
+        chaos_runs = []
+        for attempt in (1, 2):
+            if progress:
+                progress(f"chaos leg (run {attempt}/2) ...")
+            with tempfile.TemporaryDirectory(
+                prefix=f"frontend-chaos-{attempt}-"
+            ) as scratch:
+                chaos_runs.append(
+                    _chaos_leg(store_root, chaos_mix, seed, Path(scratch))
+                )
+        digests = [run["decision_digest"] for run in chaos_runs]
+        if digests[0] != digests[1]:
+            raise RuntimeError(
+                f"chaos leg is not deterministic: decision digests differ "
+                f"across identically-seeded runs ({digests[0]} != {digests[1]})"
+            )
+
+        # -- the acceptance bar: the committed fleet baseline ----------------
+        baseline_path = (
+            Path(__file__).resolve().parents[3] / "BENCH_serve_fleet.json"
+        )
+        baseline_rps = None
+        if baseline_path.exists():
+            try:
+                committed = json.loads(baseline_path.read_text())
+                baseline_rps = committed["baseline"]["warm_throughput_rps"]
+            except (ValueError, KeyError, TypeError):
+                baseline_rps = None
+        if baseline_rps and not quick and frontend_rps <= baseline_rps:
+            raise RuntimeError(
+                f"front-end throughput {frontend_rps:.0f} req/s does not "
+                f"exceed the committed in-process fleet baseline "
+                f"{baseline_rps:.0f} req/s"
+            )
+
+        metrics: Dict[str, Dict[str, object]] = {
+            "frontend_warm_rps": {
+                "samples": [frontend_rps],
+                "direction": "higher",
+                "unit": "requests/s",
+            },
+            "frontend_p99_ms": {
+                "samples": [frontend_p99 * 1e3],
+                "direction": "lower",
+                "unit": "ms",
+            },
+        }
+        if baseline_rps:
+            metrics["frontend_vs_fleet_baseline_x"] = {
+                "samples": [frontend_rps / baseline_rps],
+                "direction": "higher",
+                "unit": "x",
+            }
+
+        return {
+            "schema": SCHEMA,
+            "config": {
+                "n_workers": n_workers,
+                "clients": clients,
+                "batch": batch,
+                "quick": quick,
+                "seed": seed,
+                "n_warm_requests": n_warm,
+                "n_chaos_requests": n_chaos,
+                "n_latency_requests": n_latency,
+                "tenants": [dict(spec) for spec in FLEET_TENANT_SPECS],
+            },
+            "replay_equivalence": replay,
+            "warm": {
+                "frontend_rps": frontend_rps,
+                "frontend_p99_seconds": frontend_p99,
+                "inprocess_fleet_rps": inprocess["throughput_rps"],
+                "frontend_stats": frontend_stats,
+            },
+            "chaos": {
+                "runs": chaos_runs,
+                "digest_identical": True,
+            },
+            "baseline": {
+                "path": str(baseline_path),
+                "fleet_baseline_rps": baseline_rps,
+            },
+            "metrics": metrics,
+        }
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
+
+
+def format_frontend_bench(report: Dict[str, object]) -> str:
+    """Readable summary of a :func:`run_frontend_bench` report (CLI)."""
+    warm = report["warm"]
+    chaos = report["chaos"]["runs"][0]
+    lines = [
+        "frontend bench",
+        f"  replay: {report['replay_equivalence']['requests']} requests, "
+        f"{report['replay_equivalence']['workers']} workers, identical",
+        f"  warm: {warm['frontend_rps']:.0f} req/s batched "
+        f"({report['config']['n_workers']} workers, "
+        f"{report['config']['clients']} clients), "
+        f"p99 {warm['frontend_p99_seconds'] * 1e3:.2f} ms single-dispatch; "
+        f"in-process fleet engine {warm['inprocess_fleet_rps']:.0f} req/s "
+        f"same-run",
+        f"  chaos: {chaos['answered']}/{chaos['requests']} answered with "
+        f"{chaos['worker_crashes']} crash, {chaos['worker_hangs']} hang, "
+        f"{chaos['worker_restarts']} restart(s), {chaos['hedges']} hedge(s); "
+        f"repeat-run digest identical",
+    ]
+    baseline = report["baseline"]["fleet_baseline_rps"]
+    if baseline:
+        multiple = report["metrics"]["frontend_vs_fleet_baseline_x"]["samples"][0]
+        lines.append(
+            f"  vs committed fleet baseline ({baseline:.0f} req/s): "
+            f"{multiple:.1f}x"
+        )
+    return "\n".join(lines)

@@ -91,6 +91,7 @@ from __future__ import annotations
 
 import argparse
 import os
+import signal
 import sys
 import time
 from pathlib import Path
@@ -318,12 +319,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser(
         "serve",
-        help="in-process serving engine: replay a request mix, print stats",
+        help="serving engine: replay a request mix, print stats "
+             "(in-process, or multi-process with --processes)",
     )
     add_serve_args(serve)
     serve.add_argument("--smoke", action="store_true",
                        help="exit nonzero unless zero errors, zero degraded "
                             "responses, and a nonzero cache hit-rate")
+    serve.add_argument("--processes", type=int, default=0, metavar="N",
+                       help="serve through N supervised worker processes "
+                            "behind the hedging dispatcher (0 = in-process "
+                            "engine); SIGINT/SIGTERM drain gracefully")
+    serve.add_argument("--heartbeat-interval", type=float, default=0.25,
+                       metavar="SECONDS",
+                       help="worker heartbeat period (frontend mode)")
+    serve.add_argument("--heartbeat-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="missed-heartbeat hang threshold (default: "
+                            "6x the interval)")
 
     serve_bench = sub.add_parser(
         "serve-bench",
@@ -428,6 +441,30 @@ def build_parser() -> argparse.ArgumentParser:
                              help="fleet-mix seed")
     bench_fleet.add_argument("--quick", action="store_true",
                              help="shrink request volumes for smoke use")
+
+    bench_frontend = sub.add_parser(
+        "bench-serve-frontend",
+        help="multi-process front-end benchmark: replay equivalence vs one "
+             "in-process engine, warm batched throughput, kill-a-worker "
+             "chaos leg; write a metrics file",
+    )
+    bench_frontend.add_argument("--output",
+                                default="BENCH_serve_frontend.json",
+                                metavar="FILE",
+                                help="write the JSON metrics report here")
+    bench_frontend.add_argument("--store", default=None, metavar="DIR",
+                                help="train/reuse benchmark models here "
+                                     "(default: a temp directory)")
+    bench_frontend.add_argument("--workers", type=int, default=4,
+                                help="worker processes (keep at 4 to stay "
+                                     "comparable with the committed baseline)")
+    bench_frontend.add_argument("--clients", type=int, default=4,
+                                help="closed-loop client threads driving "
+                                     "batched submits")
+    bench_frontend.add_argument("--seed", type=int, default=2017,
+                                help="request-mix seed")
+    bench_frontend.add_argument("--quick", action="store_true",
+                                help="shrink request volumes for smoke use")
 
     bench_diff = sub.add_parser(
         "bench-diff",
@@ -768,12 +805,137 @@ def _print_registry_listing(available) -> None:
               f"{metadata.get('n_phases')} phase(s), trained {trained}")
 
 
+class _GracefulSignals:
+    """Turn SIGINT/SIGTERM into KeyboardInterrupt so serve paths drain.
+
+    The serve commands run closed-loop daemon client threads; a raw
+    SIGTERM would kill the process with workers and caches mid-flight.
+    Installing this context converts both signals into an exception the
+    command catches to stop intake, drain, and exit ``128 + signum``.
+    """
+
+    def __init__(self):
+        self.signum = None
+        self._previous = {}
+
+    def __enter__(self):
+        def _handler(signum, frame):
+            self.signum = signum
+            raise KeyboardInterrupt
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                self._previous[signum] = signal.signal(signum, _handler)
+            except (ValueError, OSError):  # non-main thread
+                pass
+        return self
+
+    def __exit__(self, *exc_info):
+        for signum, previous in self._previous.items():
+            try:
+                signal.signal(signum, previous)
+            except (ValueError, OSError):
+                pass
+
+    @property
+    def name(self) -> str:
+        return {signal.SIGINT: "SIGINT", signal.SIGTERM: "SIGTERM"}.get(
+            self.signum, f"signal {self.signum}"
+        )
+
+
+def _serve_smoke_check(report) -> int:
+    healthy = (
+        not report["errors"]
+        and report["degraded"] == 0
+        and report["hit_rate"] > 0.0
+    )
+    if not healthy:
+        print("serve smoke FAILED: "
+              f"errors={report['errors']}, degraded={report['degraded']}, "
+              f"hit_rate={report['hit_rate']:.3f}")
+        return 4
+    print("serve smoke ok")
+    return 0
+
+
+def _cmd_serve_frontend(args) -> int:
+    """``serve --processes N``: drive the multi-process front end."""
+    from repro.serve import (
+        ModelRegistry, ServeFrontend, build_request_mix, format_load_report,
+        run_load,
+    )
+
+    if args.guard or args.admission_concurrency > 0:
+        raise SystemExit(
+            "--guard and --admission-concurrency are per-engine features; "
+            "drop --processes to use them (workers run plain engines)"
+        )
+    registry = ModelRegistry(ModelStore(Path(args.store)))
+    available = registry.available()
+    app_names = args.app or sorted(available)
+    if not app_names:
+        raise SystemExit(
+            f"model store {args.store!r} holds no trained models; "
+            f"run `repro train` first"
+        )
+    _print_registry_listing(available)
+    mix = build_request_mix(
+        app_names, _parse_budgets(args.budgets), args.requests, seed=args.seed
+    )
+    frontend = ServeFrontend(
+        Path(args.store),
+        n_workers=args.processes,
+        cache_size=args.cache_size,
+        worker_shards=args.shards,
+        heartbeat_interval=args.heartbeat_interval,
+        heartbeat_timeout=args.heartbeat_timeout,
+    )
+    report = None
+    with _GracefulSignals() as signals:
+        try:
+            report = run_load(frontend, mix, clients=args.clients)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            summary = frontend.close()
+    if report is not None:
+        print(format_load_report(
+            report, f"serve — load report ({args.processes} worker processes)"
+        ))
+    print(frontend.stats.format_report("serve — frontend stats"))
+    workers = summary.get("workers", {})
+    if workers:
+        print("workers: " + ", ".join(
+            f"{slot}={state}" for slot, state in sorted(workers.items())
+        ))
+    if report is None:
+        print(f"serve interrupted by {signals.name}; drained and stopped")
+        return 128 + (signals.signum or signal.SIGINT)
+    if args.smoke:
+        return _serve_smoke_check(report)
+    return 0
+
+
 def _cmd_serve(args) -> int:
     from repro.serve import format_load_report, run_load
 
+    if args.processes:
+        return _cmd_serve_frontend(args)
     registry, engine, mix, available = _serve_setup(args)
     _print_registry_listing(available)
-    report = run_load(engine, mix, clients=args.clients)
+    report = None
+    with _GracefulSignals() as signals:
+        try:
+            report = run_load(engine, mix, clients=args.clients)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            engine.close(drain_timeout=2.0)
+    if report is None:
+        print(engine.stats.format_report("serve — engine stats"))
+        print(f"serve interrupted by {signals.name}; drained and stopped")
+        return 128 + (signals.signum or signal.SIGINT)
     print(format_load_report(report, "serve — load report"))
     print(engine.stats.format_report("serve — engine stats"))
     if engine.admission is not None:
@@ -785,17 +947,7 @@ def _cmd_serve(args) -> int:
             for app_name, info in stale.items():
                 print(f"STALE {app_name}: {info['reason']}")
     if args.smoke:
-        healthy = (
-            not report["errors"]
-            and report["degraded"] == 0
-            and report["hit_rate"] > 0.0
-        )
-        if not healthy:
-            print("serve smoke FAILED: "
-                  f"errors={report['errors']}, degraded={report['degraded']}, "
-                  f"hit_rate={report['hit_rate']:.3f}")
-            return 4
-        print("serve smoke ok")
+        return _serve_smoke_check(report)
     return 0
 
 
@@ -960,6 +1112,26 @@ def _cmd_bench_serve_fleet(args) -> int:
     return 0
 
 
+def _cmd_bench_serve_frontend(args) -> int:
+    import json
+
+    from repro.bench import format_frontend_bench, run_frontend_bench
+
+    report = run_frontend_bench(
+        store_root=args.store,
+        n_workers=args.workers,
+        clients=args.clients,
+        quick=args.quick,
+        seed=args.seed,
+        progress=print,
+    )
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(format_frontend_bench(report))
+    print(f"report written to {output}")
+    return 0
+
+
 def _cmd_bench_diff(args) -> int:
     import json
 
@@ -1047,6 +1219,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench-measure": lambda: _cmd_bench_measure(args),
         "bench-library": lambda: _cmd_bench_library(args),
         "bench-serve-fleet": lambda: _cmd_bench_serve_fleet(args),
+        "bench-serve-frontend": lambda: _cmd_bench_serve_frontend(args),
         "bench-diff": lambda: _cmd_bench_diff(args),
     }
     return handlers[args.command]()

@@ -196,70 +196,78 @@ def _run_unique_jobs(
         pool = ProcessPoolExecutor(
             max_workers=min(workers, len(queue)), mp_context=_pool_context()
         )
-        futures = []
-        not_dispatched: List[Tuple] = []
-        for position, key in enumerate(queue):
-            params, schedule = jobs_by_key[key]
-            try:
-                future = pool.submit(_measure_one, (app_name, params, schedule))
-            except BrokenExecutor:
-                # the pool died while we were still feeding it; jobs never
-                # dispatched are not charged an attempt
-                not_dispatched = queue[position:]
-                break
-            attempts[key] += 1
-            futures.append((future, key))
+        try:
+            futures = []
+            not_dispatched: List[Tuple] = []
+            for position, key in enumerate(queue):
+                params, schedule = jobs_by_key[key]
+                try:
+                    future = pool.submit(_measure_one, (app_name, params, schedule))
+                except BrokenExecutor:
+                    # the pool died while we were still feeding it; jobs never
+                    # dispatched are not charged an attempt
+                    not_dispatched = queue[position:]
+                    break
+                attempts[key] += 1
+                futures.append((future, key))
 
-        suspects: Dict[Tuple, str] = {}  # charged their dispatch attempt
-        bystanders: List[Tuple] = []  # attempt refunded (hang collateral)
-        pool_dead = False
-        refund_bystanders = False
-        for future, key in futures:
-            if not pool_dead:
-                try:
-                    timed[key] = future.result(timeout=job_timeout)
-                    continue
-                except FuturesTimeoutError:
-                    suspects[key] = (
-                        f"no result within job_timeout={job_timeout:g}s "
-                        f"(hung worker, pool killed)"
-                    )
-                    pool_dead = True
-                    refund_bystanders = True
-                    _kill_pool_processes(pool)
-                    continue
-                except BrokenExecutor as exc:
-                    suspects[key] = (
-                        f"worker pool broke while the job was outstanding "
-                        f"({exc or 'a worker died abruptly'})"
-                    )
-                    pool_dead = True
-                    continue
-                except Exception as exc:
-                    suspects[key] = f"worker raised {exc!r}"
-                    continue
-            # the pool is gone: salvage finished work, sort the rest
-            if future.done() and not future.cancelled():
-                try:
-                    timed[key] = future.result(timeout=0)
-                    continue
-                except (BrokenExecutor, FuturesTimeoutError):
-                    pass  # resolved by the pool's death, not its own doing
-                except Exception as exc:
-                    suspects[key] = f"worker raised {exc!r}"
-                    continue
-            else:
-                future.cancel()
-            if refund_bystanders:
-                bystanders.append(key)
-            else:
-                # a broken pool cannot name the culprit: every job still
-                # outstanding is charged the attempt, so repeated crashes
-                # converge on quarantine instead of looping forever
-                suspects[key] = "worker pool broke while the job was outstanding"
-        pool.shutdown(wait=not pool_dead, cancel_futures=True)
-        if pool_dead:
+            suspects: Dict[Tuple, str] = {}  # charged their dispatch attempt
+            bystanders: List[Tuple] = []  # attempt refunded (hang collateral)
+            pool_dead = False
+            refund_bystanders = False
+            for future, key in futures:
+                if not pool_dead:
+                    try:
+                        timed[key] = future.result(timeout=job_timeout)
+                        continue
+                    except FuturesTimeoutError:
+                        suspects[key] = (
+                            f"no result within job_timeout={job_timeout:g}s "
+                            f"(hung worker, pool killed)"
+                        )
+                        pool_dead = True
+                        refund_bystanders = True
+                        _kill_pool_processes(pool)
+                        continue
+                    except BrokenExecutor as exc:
+                        suspects[key] = (
+                            f"worker pool broke while the job was outstanding "
+                            f"({exc or 'a worker died abruptly'})"
+                        )
+                        pool_dead = True
+                        continue
+                    except Exception as exc:
+                        suspects[key] = f"worker raised {exc!r}"
+                        continue
+                # the pool is gone: salvage finished work, sort the rest
+                if future.done() and not future.cancelled():
+                    try:
+                        timed[key] = future.result(timeout=0)
+                        continue
+                    except (BrokenExecutor, FuturesTimeoutError):
+                        pass  # resolved by the pool's death, not its own doing
+                    except Exception as exc:
+                        suspects[key] = f"worker raised {exc!r}"
+                        continue
+                else:
+                    future.cancel()
+                if refund_bystanders:
+                    bystanders.append(key)
+                else:
+                    # a broken pool cannot name the culprit: every job still
+                    # outstanding is charged the attempt, so repeated crashes
+                    # converge on quarantine instead of looping forever
+                    suspects[key] = "worker pool broke while the job was outstanding"
+            pool.shutdown(wait=not pool_dead, cancel_futures=True)
+            if pool_dead:
+                _kill_pool_processes(pool)
+        except BaseException:
+            # Ctrl-C (or any non-job failure) mid-pass: without this
+            # the pool's worker processes — healthy, mid-measurement —
+            # outlive the dying driver as orphans and keep burning CPU.
             _kill_pool_processes(pool)
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
 
         queue = []
         if not futures:

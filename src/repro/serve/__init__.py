@@ -18,6 +18,11 @@ into a long-lived concurrent service:
 - :class:`~repro.serve.guard.QosGuard` — closed-loop QoS guard: canary
   sampling of served decisions, per-app/per-phase drift estimators, and
   the ``healthy -> tightened -> fallback -> stale`` escalation machine.
+- :class:`~repro.serve.frontend.ServeFrontend` — multi-process front
+  end: N supervised worker processes (heartbeats, crash/hang recovery,
+  flap quarantine — :mod:`~repro.serve.supervisor` /
+  :mod:`~repro.serve.ipc`) behind a consistent-hash hedging dispatcher
+  with an in-process fallback engine and zero-loss draining.
 - :mod:`~repro.serve.loadgen` — deterministic skewed load generator,
   including seeded drift-injection scenarios, for the ``serve-bench`` /
   ``guard-report`` CLIs and the serve benchmarks.
@@ -35,6 +40,7 @@ from repro.serve.engine import (
     ServeResponse,
     ServeStats,
 )
+from repro.serve.frontend import FrontendStats, ServeFrontend
 from repro.serve.guard import (
     DriftEstimator,
     GuardConfig,
@@ -56,8 +62,10 @@ from repro.serve.loadgen import (
     run_fleet_load,
     run_load,
 )
+from repro.serve.ipc import WorkerConfig
 from repro.serve.registry import ModelRegistry, RegisteredModel
 from repro.serve.shard import CacheEntry, CacheShard, ShardedScheduleCache
+from repro.serve.supervisor import Supervisor
 
 __all__ = [
     "AdmissionController",
@@ -68,6 +76,7 @@ __all__ = [
     "DriftEstimator",
     "DriftScenario",
     "FleetTenant",
+    "FrontendStats",
     "GuardConfig",
     "GuardDirective",
     "LoadRequest",
@@ -77,9 +86,12 @@ __all__ = [
     "RegisteredModel",
     "ScheduleBuilder",
     "ServeEngine",
+    "ServeFrontend",
     "ServeResponse",
     "ServeStats",
     "ShardedScheduleCache",
+    "Supervisor",
+    "WorkerConfig",
     "build_drift_mix",
     "build_fleet_mix",
     "build_request_mix",

@@ -165,10 +165,20 @@ class AdmissionController:
             self._waiting[tenant] = self._waiting.get(tenant, 0) + 1
             counters["queued"] += 1
             self.queued += 1
-            deadline = self._clock() + self.queue_timeout_seconds
+            now = self._clock()
+            deadline = now + self.queue_timeout_seconds
+            last_sample = now
             try:
                 while True:
-                    remaining = deadline - self._clock()
+                    now = self._clock()
+                    if now < last_sample:
+                        # A clock stepping backwards (NTP slew, a broken
+                        # injected clock) must never *extend* the wait:
+                        # drag the deadline back with it so the elapsed
+                        # budget keeps shrinking monotonically.
+                        deadline -= last_sample - now
+                    last_sample = now
+                    remaining = deadline - now
                     if remaining <= 0.0:
                         counters["rejected_timeout"] += 1
                         self.rejected_timeout += 1

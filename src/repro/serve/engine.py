@@ -127,6 +127,8 @@ class ServeStats:
     degraded: int = 0
     #: requests shed by admission control (degraded without optimizing)
     admission_rejections: int = 0
+    #: requests arriving after close() — answered degraded, never raised
+    closed_rejections: int = 0
     #: circuit-breaker transitions closed -> open
     breaker_opens: int = 0
     #: circuit-breaker transitions open -> closed (successful probe)
@@ -185,6 +187,10 @@ class ServeStats:
                 # kept out of both latency histograms (a shed response's
                 # microseconds would fake out the miss percentiles).
                 self.admission_rejections += 1
+            elif outcome == "closed":
+                # Submitted after close(): answered degraded without
+                # touching cache, loader, or optimizer.
+                self.closed_rejections += 1
             else:
                 raise ValueError(f"unknown request outcome {outcome!r}")
             if degraded:
@@ -257,6 +263,7 @@ class ServeStats:
                 self.coalesced += other.coalesced
                 self.degraded += other.degraded
                 self.admission_rejections += other.admission_rejections
+                self.closed_rejections += other.closed_rejections
                 self.breaker_opens += other.breaker_opens
                 self.breaker_closes += other.breaker_closes
                 self.breaker_probes += other.breaker_probes
@@ -306,6 +313,7 @@ class ServeStats:
                 "coalesced": self.coalesced,
                 "degraded": self.degraded,
                 "admission_rejections": self.admission_rejections,
+                "closed_rejections": self.closed_rejections,
                 "hit_rate": self.hit_rate,
                 "breaker_opens": self.breaker_opens,
                 "breaker_closes": self.breaker_closes,
@@ -343,6 +351,11 @@ class ServeStats:
             if self.admission_rejections:
                 lines.append(
                     f"  admission: {self.admission_rejections} rejection(s)"
+                )
+            if self.closed_rejections:
+                lines.append(
+                    f"  closed:   {self.closed_rejections} post-close "
+                    f"request(s) answered degraded"
                 )
             if self.breaker_opens or self.breaker_short_circuits:
                 lines.append(
@@ -685,8 +698,47 @@ class ServeEngine:
         )
         self._builder = ScheduleBuilder(guard)
         self._cache = ShardedScheduleCache(cache_size, n_shards=shards)
+        #: close()/drain state: post-close submits answer degraded
+        self._closed = False
+        self._inflight = 0
+        self._inflight_cv = threading.Condition()
 
     # -- public API ----------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self, drain_timeout: float = 5.0) -> bool:
+        """Stop intake and drain in-flight requests (idempotent).
+
+        After ``close()`` returns, every request that had entered
+        :meth:`submit` has finished — leaders have published and woken
+        their coalescing followers, so no follower is left waiting on an
+        in-flight slot at interpreter exit (the abandonment this hook
+        exists to prevent).  Later submits are answered with a degraded
+        ``engine closed`` response; nothing ever raises.
+
+        Returns True when the drain flushed everything inside
+        ``drain_timeout``, False if in-flight requests remained (they
+        still hold the never-raise guarantee; the engine just stopped
+        waiting for them).
+        """
+        self._closed = True
+        deadline = time.monotonic() + max(0.0, drain_timeout)
+        with self._inflight_cv:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0.0:
+                    return False
+                self._inflight_cv.wait(min(remaining, 0.1))
+        return True
+
+    def __enter__(self) -> "ServeEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     @property
     def stats(self) -> ServeStats:
@@ -702,6 +754,45 @@ class ServeEngine:
     ) -> ServeResponse:
         """Serve one request; never raises (degrades instead)."""
         started = time.perf_counter()
+        if self._closed:
+            template = self._builder.degraded(
+                app_name, params, error_budget, "serving engine is closed"
+            )
+            latency = time.perf_counter() - started
+            self._base_stats.record(
+                "closed", latency, True, app_name=app_name
+            )
+            return replace(template, latency_seconds=latency)
+        with self._inflight_cv:
+            self._inflight += 1
+        try:
+            return self._submit_open(app_name, params, error_budget, started)
+        finally:
+            with self._inflight_cv:
+                self._inflight -= 1
+                self._inflight_cv.notify_all()
+
+    def submit_many(
+        self, requests
+    ) -> "list[ServeResponse]":
+        """Serve ``(app, params, budget)`` triples in order; never raises.
+
+        The in-process engine has no pipe to amortize, so this is a plain
+        loop — it exists so the multi-process front end and the engine
+        expose the same batched surface to the load generators.
+        """
+        return [
+            self.submit(app_name, params, budget)
+            for app_name, params, budget in requests
+        ]
+
+    def _submit_open(
+        self,
+        app_name: str,
+        params: ParamsDict,
+        error_budget: float,
+        started: float,
+    ) -> ServeResponse:
         key = self._canonical_key(app_name, params, error_budget)
         shard = self._cache.shard_for(key)
 

@@ -1,0 +1,583 @@
+"""Multi-process serving front end: dispatcher + supervised worker pool.
+
+:class:`ServeFrontend` is the process-level answer to the GIL ceiling
+the shard work (PR 9) ran into: N worker processes each run a full
+:class:`~repro.serve.engine.ServeEngine` over the **shared on-disk**
+:class:`~repro.core.runtime.ModelStore`, behind a dispatcher in the
+serving process.  It exposes the same ``submit(app, params, budget)``
+surface as the engine (plus :meth:`submit_many` for pipelined batches),
+so the load generator, the guard smoke, and the replay gates drive
+either interchangeably.
+
+Dispatch ladder — every request is **answered, degraded, or rejected;
+never dropped, never raised**:
+
+1. **Route** by consistent hash of the canonical request key to a
+   running worker slot (virtual-node blake2b ring, the cache shards'
+   scheme).  Stable routing keeps each worker's schedule cache hot on
+   its own key range, and makes the N-worker front end bit-identical
+   to one in-process engine under sequential replay (the gate in
+   ``benchmarks/test_serve_frontend.py``).
+2. **Window**: each worker has a bounded outstanding window; a worker
+   whose window is full within ``window_timeout`` is treated as busy
+   and the request moves down the ladder instead of queueing unboundedly.
+3. **Dispatch** with a per-request deadline.  A timeout (hung or
+   drowning worker) or a dispatch error (dead pipe) triggers **one
+   hedged retry** on the next distinct ring successor — a fresh request
+   id, so a late answer from the first worker is recognized and
+   discarded, never double-released.
+4. **Fallback**: when no worker is eligible or both attempts fail, an
+   in-process fallback engine answers.  The pool being unhealthy makes
+   requests slower, never lost.
+
+Draining (:meth:`close`): stop intake (post-close submits go to the
+fallback engine, which itself degrades once closed), flush in-flight
+dispatches, then drain each worker over its pipe — the worker closes
+its engine (flushing coalescing followers) and exits 0 — escalating to
+SIGTERM/SIGKILL only past the drain budget.
+
+Fault points: ``serve.frontend.dispatch`` fires before every pipe send
+(an ``os_error`` there exercises the hedge ladder without touching a
+worker); the worker-side ``serve.worker.*`` points live in
+:mod:`repro.serve.ipc`.
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.apps.base import ParamsDict
+from repro.core.runtime import ModelStore
+from repro.faults.injector import fault_point
+from repro.instrument.stats import LatencyHistogram
+from repro.serve.engine import ServeEngine, ServeResponse
+from repro.serve.ipc import WorkerConfig
+from repro.serve.registry import ModelRegistry
+from repro.serve.shard import _key_point
+from repro.serve.supervisor import PendingRequest, Supervisor, WorkerHandle
+
+__all__ = ["FrontendStats", "ServeFrontend"]
+
+#: one (app_name, params, error_budget) request triple
+Request = Tuple[str, ParamsDict, float]
+
+
+@dataclass
+class FrontendStats:
+    """Dispatcher-side accounting (worker engines keep their own)."""
+
+    requests: int = 0
+    batches: int = 0
+    #: answered by a worker over the pipe
+    worker_served: int = 0
+    #: answered by the in-process fallback engine (pool unhealthy or
+    #: both dispatch attempts failed)
+    fallback_served: int = 0
+    #: requests arriving after close() began (answered via fallback)
+    closed_intake: int = 0
+    #: second dispatch attempts on a sibling worker
+    hedges: int = 0
+    #: per-request deadlines missed (each charges the dispatch ladder)
+    dispatch_timeouts: int = 0
+    #: pipe send failures / injected dispatch faults
+    dispatch_errors: int = 0
+    #: dispatches abandoned because the worker window stayed full
+    window_busy: int = 0
+    #: in-flight requests failed over after a worker died under them
+    failovers: int = 0
+    worker_crashes: int = 0
+    worker_hangs: int = 0
+    worker_restarts: int = 0
+    worker_quarantines: int = 0
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    per_worker: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    _PER_WORKER_KEYS = ("served", "crashes", "hangs", "restarts")
+
+    def _worker(self, slot: str) -> Dict[str, int]:
+        return self.per_worker.setdefault(
+            slot, {key: 0 for key in self._PER_WORKER_KEYS}
+        )
+
+    def record_served(
+        self, slot: str, latency_seconds: float, n: int = 1
+    ) -> None:
+        with self._lock:
+            self.requests += n
+            self.worker_served += n
+            self.latency.record(latency_seconds)
+            self._worker(slot)["served"] += n
+
+    def record_fallback(
+        self, latency_seconds: float, n: int = 1, closed: bool = False
+    ) -> None:
+        with self._lock:
+            self.requests += n
+            self.fallback_served += n
+            if closed:
+                self.closed_intake += n
+            self.latency.record(latency_seconds)
+
+    def record_death(self, slot: str, cause: str) -> None:
+        with self._lock:
+            if cause == "hang":
+                self.worker_hangs += 1
+                self._worker(slot)["hangs"] += 1
+            else:
+                self.worker_crashes += 1
+                self._worker(slot)["crashes"] += 1
+
+    def record_restart(self, slot: str) -> None:
+        with self._lock:
+            self.worker_restarts += 1
+            self._worker(slot)["restarts"] += 1
+
+    def record_quarantine(self, slot: str) -> None:
+        with self._lock:
+            self.worker_quarantines += 1
+
+    def record_event(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            setattr(self, name, getattr(self, name) + n)
+
+    def report(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "batches": self.batches,
+                "worker_served": self.worker_served,
+                "fallback_served": self.fallback_served,
+                "closed_intake": self.closed_intake,
+                "hedges": self.hedges,
+                "dispatch_timeouts": self.dispatch_timeouts,
+                "dispatch_errors": self.dispatch_errors,
+                "window_busy": self.window_busy,
+                "failovers": self.failovers,
+                "worker_crashes": self.worker_crashes,
+                "worker_hangs": self.worker_hangs,
+                "worker_restarts": self.worker_restarts,
+                "worker_quarantines": self.worker_quarantines,
+                "latency": self.latency.report(),
+                "per_worker": {
+                    slot: dict(counters)
+                    for slot, counters in sorted(self.per_worker.items())
+                },
+            }
+
+    def format_report(self, title: str = "frontend stats") -> str:
+        with self._lock:
+            lines = [
+                title,
+                f"  requests: {self.requests} "
+                f"({self.worker_served} worker-served, "
+                f"{self.fallback_served} fallback, "
+                f"{self.closed_intake} after close)",
+                self.latency.format_line("latency     "),
+            ]
+            if (
+                self.hedges
+                or self.dispatch_timeouts
+                or self.dispatch_errors
+                or self.window_busy
+                or self.failovers
+            ):
+                lines.append(
+                    f"  dispatch: {self.hedges} hedge(s), "
+                    f"{self.dispatch_timeouts} timeout(s), "
+                    f"{self.dispatch_errors} error(s), "
+                    f"{self.window_busy} window-busy, "
+                    f"{self.failovers} failover(s)"
+                )
+            if self.worker_crashes or self.worker_hangs:
+                lines.append(
+                    f"  workers:  {self.worker_crashes} crash(es), "
+                    f"{self.worker_hangs} hang(s), "
+                    f"{self.worker_restarts} restart(s), "
+                    f"{self.worker_quarantines} quarantine(d)"
+                )
+            for slot, counters in sorted(self.per_worker.items()):
+                lines.append(
+                    f"  {slot}: {counters['served']} served, "
+                    f"{counters['crashes']} crash(es), "
+                    f"{counters['hangs']} hang(s), "
+                    f"{counters['restarts']} restart(s)"
+                )
+        return "\n".join(lines)
+
+
+class ServeFrontend:
+    """N supervised worker processes behind a hedging dispatcher."""
+
+    def __init__(
+        self,
+        store: Union[ModelStore, str, Path],
+        n_workers: int = 4,
+        cache_size: int = 256,
+        worker_shards: int = 1,
+        heartbeat_interval: float = 0.25,
+        heartbeat_timeout: Optional[float] = None,
+        dispatch_timeout: float = 2.0,
+        window: int = 32,
+        window_timeout: Optional[float] = None,
+        restart_backoff_base: float = 0.1,
+        restart_backoff_max: float = 2.0,
+        flap_window: float = 30.0,
+        flap_threshold: int = 5,
+        breaker_threshold: int = 5,
+        breaker_cooldown_seconds: float = 30.0,
+    ):
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if dispatch_timeout <= 0.0:
+            raise ValueError(
+                f"dispatch_timeout must be > 0, got {dispatch_timeout}"
+            )
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        root = store.root if isinstance(store, ModelStore) else Path(store)
+        self.store_root = Path(root)
+        self.n_workers = n_workers
+        self.dispatch_timeout = dispatch_timeout
+        self.window_timeout = (
+            window_timeout if window_timeout is not None else dispatch_timeout
+        )
+        self.stats = FrontendStats()
+        self._ids = itertools.count(1).__next__
+        # Hot keys repeat: memoize their ring position (same rationale
+        # and bound as ShardedScheduleCache.shard_index).
+        self._point_of = functools.lru_cache(maxsize=4096)(_key_point)
+        self._closing = False
+        self._closed_report: Optional[Dict[str, object]] = None
+        self._close_lock = threading.Lock()
+        self._inflight = 0
+        self._inflight_cv = threading.Condition()
+        #: the degradation floor: an in-process engine over the same
+        #: store that answers whenever the pool cannot
+        self._fallback = ServeEngine(
+            ModelRegistry(ModelStore(self.store_root)),
+            cache_size=cache_size,
+            breaker_threshold=breaker_threshold,
+            breaker_cooldown_seconds=breaker_cooldown_seconds,
+        )
+        configs = [
+            WorkerConfig(
+                slot=f"w{index}",
+                store_root=str(self.store_root),
+                cache_size=cache_size,
+                shards=worker_shards,
+                heartbeat_interval=heartbeat_interval,
+                breaker_threshold=breaker_threshold,
+                breaker_cooldown_seconds=breaker_cooldown_seconds,
+            )
+            for index in range(n_workers)
+        ]
+        self.supervisor = Supervisor(
+            configs,
+            heartbeat_timeout=(
+                heartbeat_timeout
+                if heartbeat_timeout is not None
+                else heartbeat_interval * 6.0
+            ),
+            window=window,
+            restart_backoff_base=restart_backoff_base,
+            restart_backoff_max=restart_backoff_max,
+            flap_window=flap_window,
+            flap_threshold=flap_threshold,
+            on_death=self._on_death,
+            on_restart=self.stats.record_restart,
+            on_quarantine=self.stats.record_quarantine,
+        )
+        self.supervisor.start()
+
+    # -- supervisor callbacks ------------------------------------------------
+
+    def _on_death(self, slot: str, cause: str) -> None:
+        self.stats.record_death(slot, cause)
+
+    def _route_request(
+        self, app_name: str, params: ParamsDict, budget: float
+    ) -> Optional[WorkerHandle]:
+        key = ServeEngine._canonical_key(app_name, params, budget)
+        return self.supervisor.route(self._point_of(key))
+
+    # -- public API ----------------------------------------------------------
+
+    @property
+    def closing(self) -> bool:
+        return self._closing
+
+    def submit(
+        self, app_name: str, params: ParamsDict, error_budget: float
+    ) -> ServeResponse:
+        """Serve one request through the dispatch ladder; never raises."""
+        started = time.perf_counter()
+        if self._closing:
+            response = self._fallback.submit(app_name, params, error_budget)
+            self.stats.record_fallback(
+                time.perf_counter() - started, closed=True
+            )
+            return response
+        with self._inflight_cv:
+            self._inflight += 1
+        try:
+            return self._submit_routed(app_name, params, error_budget, started)
+        except Exception:
+            # Absolute backstop: a dispatcher bug must degrade, not raise.
+            response = self._fallback.submit(app_name, params, error_budget)
+            self.stats.record_fallback(time.perf_counter() - started)
+            return response
+        finally:
+            with self._inflight_cv:
+                self._inflight -= 1
+                self._inflight_cv.notify_all()
+
+    def _submit_routed(
+        self,
+        app_name: str,
+        params: ParamsDict,
+        error_budget: float,
+        started: float,
+    ) -> ServeResponse:
+        key = ServeEngine._canonical_key(app_name, params, error_budget)
+        point = self._point_of(key)
+        tried: List[str] = []
+        for attempt in range(2):  # primary + one hedged sibling
+            handle = self.supervisor.route(point, exclude=tried)
+            if handle is None:
+                break
+            tried.append(handle.slot)
+            if attempt == 1:
+                self.stats.record_event("hedges")
+            response = self._dispatch_one(
+                handle, app_name, params, error_budget
+            )
+            if response is not None:
+                latency = time.perf_counter() - started
+                self.stats.record_served(handle.slot, latency)
+                return self._finish(response, latency)
+        response = self._fallback.submit(app_name, params, error_budget)
+        self.stats.record_fallback(time.perf_counter() - started)
+        return response
+
+    def submit_many(
+        self, requests: Sequence[Request]
+    ) -> List[ServeResponse]:
+        """Serve a batch: route-partitioned, one pipelined message per worker.
+
+        Responses come back in request order.  Batching amortizes the
+        pipe round-trip and lets pickle share repeated cached templates
+        within one message — the warm throughput path.  Any group whose
+        worker fails mid-batch falls back to per-request :meth:`submit`
+        (hedge ladder included), so batch dispatch keeps the same
+        never-drop guarantee as single dispatch.
+        """
+        started = time.perf_counter()
+        results: List[Optional[ServeResponse]] = [None] * len(requests)
+        if self._closing:
+            for index, (app_name, params, budget) in enumerate(requests):
+                results[index] = self._fallback.submit(app_name, params, budget)
+            self.stats.record_fallback(
+                time.perf_counter() - started, n=len(requests), closed=True
+            )
+            return results  # type: ignore[return-value]
+        with self._inflight_cv:
+            self._inflight += 1
+        try:
+            groups: Dict[str, Tuple[WorkerHandle, List[int]]] = {}
+            strays: List[int] = []
+            # Hot mixes repeat a handful of keys thousands of times; memo
+            # the routing decision per *verbatim* request so the canonical
+            # key (a sort) is built once per distinct key, not per request.
+            route_memo: Dict[tuple, Optional[WorkerHandle]] = {}
+            unset = object()
+            for index, (app_name, params, budget) in enumerate(requests):
+                try:
+                    memo_key = (app_name, budget, tuple(params.items()))
+                    handle = route_memo.get(memo_key, unset)
+                    if handle is unset:
+                        handle = route_memo[memo_key] = self._route_request(
+                            app_name, params, budget
+                        )
+                except TypeError:  # unhashable param value
+                    handle = self._route_request(app_name, params, budget)
+                if handle is None:
+                    strays.append(index)
+                    continue
+                groups.setdefault(handle.slot, (handle, []))[1].append(index)
+            self.stats.record_event("batches")
+            # Two phases — send every group, then collect — so the
+            # workers compute in parallel instead of one at a time.
+            sent: List[Tuple[WorkerHandle, List[int], PendingRequest]] = []
+            for handle, indices in groups.values():
+                pending = self._send_batch(
+                    handle, [requests[index] for index in indices]
+                )
+                if pending is None:
+                    strays.extend(indices)
+                    continue
+                sent.append((handle, indices, pending))
+            for handle, indices, pending in sent:
+                responses = self._collect_batch(handle, pending, len(indices))
+                if responses is None or len(responses) != len(indices):
+                    strays.extend(indices)
+                    continue
+                group_latency = time.perf_counter() - started
+                self.stats.record_served(
+                    handle.slot, group_latency / max(1, len(indices)),
+                    n=len(indices),
+                )
+                # Batch responses keep the worker engine's own latency —
+                # the amortized dispatch latency lives in ``self.stats``;
+                # a per-item dataclasses.replace here would cost more than
+                # the entire pipe round-trip.
+                for index, response in zip(indices, responses):
+                    results[index] = response
+            for index in strays:
+                app_name, params, budget = requests[index]
+                results[index] = self._submit_routed(
+                    app_name, params, budget, time.perf_counter()
+                )
+            return results  # type: ignore[return-value]
+        finally:
+            with self._inflight_cv:
+                self._inflight -= 1
+                self._inflight_cv.notify_all()
+
+    def close(self, drain_timeout: float = 5.0) -> Dict[str, object]:
+        """Drain and stop the pool: stop intake, flush in-flight, SIGTERM.
+
+        Idempotent; returns (and caches) a shutdown summary.  Requests
+        arriving during/after the drain are still answered — by the
+        fallback engine while it lives, then by its degraded
+        ``engine closed`` response.  Nothing is ever dropped.
+        """
+        with self._close_lock:
+            if self._closed_report is not None:
+                return self._closed_report
+            self._closing = True
+            deadline = time.monotonic() + max(0.0, drain_timeout)
+            with self._inflight_cv:
+                while self._inflight > 0:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0.0:
+                        break
+                    self._inflight_cv.wait(min(remaining, 0.1))
+                flushed = self._inflight == 0
+            summary = self.supervisor.shutdown(
+                drain_timeout=max(0.5, deadline - time.monotonic())
+            )
+            self._fallback.close(drain_timeout=1.0)
+            self._closed_report = {
+                "flushed_in_flight": flushed,
+                "workers": summary,
+                "stats": self.stats.report(),
+            }
+            return self._closed_report
+
+    def __enter__(self) -> "ServeFrontend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def worker_info(self) -> List[Dict[str, object]]:
+        return self.supervisor.info()
+
+    # -- dispatch internals --------------------------------------------------
+
+    def _finish(self, response: ServeResponse, latency: float) -> ServeResponse:
+        # Worker-side latency is the engine's own microseconds; the
+        # caller cares about end-to-end time including the pipe.
+        from dataclasses import replace
+
+        return replace(response, latency_seconds=latency)
+
+    def _send(self, handle: WorkerHandle, message) -> bool:
+        try:
+            fault_point("serve.frontend.dispatch", worker=handle.slot)
+            with handle.send_lock:
+                conn = handle.conn
+                if conn is None:
+                    return False
+                conn.send(message)
+            return True
+        except Exception:
+            self.stats.record_event("dispatch_errors")
+            return False
+
+    def _dispatch_one(
+        self, handle: WorkerHandle, app_name, params, budget
+    ) -> Optional[ServeResponse]:
+        """One attempt against one worker; None = move down the ladder."""
+        if not handle.window.acquire(timeout=self.window_timeout):
+            self.stats.record_event("window_busy")
+            return None
+        request_id = self._ids()
+        pending = PendingRequest()
+        if not handle.register(request_id, pending):
+            handle.window.release()
+            return None
+        if not self._send(
+            handle, ("req", request_id, app_name, dict(params), budget)
+        ):
+            if handle.take(request_id) is not None:
+                handle.window.release()
+            return None
+        if not pending.event.wait(self.dispatch_timeout):
+            # Deadline missed: reclaim the pending entry so a late answer
+            # is recognized as stale and dropped by the reader.
+            if handle.take(request_id) is not None:
+                handle.window.release()
+                self.stats.record_event("dispatch_timeouts")
+                return None
+            # The reader resolved it in the race window above.
+            pending.event.wait(0.05)
+        if pending.failure is not None:
+            self.stats.record_event("failovers")
+            return None
+        return pending.response
+
+    def _send_batch(
+        self, handle: WorkerHandle, items: Sequence[Request]
+    ) -> Optional[PendingRequest]:
+        """Dispatch one batch without waiting; None = route elsewhere."""
+        if not handle.window.acquire(timeout=self.window_timeout):
+            self.stats.record_event("window_busy")
+            return None
+        request_id = self._ids()
+        pending = PendingRequest()
+        pending.request_id = request_id
+        if not handle.register(request_id, pending):
+            handle.window.release()
+            return None
+        # ``conn.send`` pickles synchronously in this call, so the items
+        # are snapshotted here — no defensive copy needed on the wire.
+        if not self._send(handle, ("req_batch", request_id, list(items))):
+            if handle.take(request_id) is not None:
+                handle.window.release()
+            return None
+        return pending
+
+    def _collect_batch(
+        self, handle: WorkerHandle, pending: PendingRequest, n_items: int
+    ) -> Optional[List[ServeResponse]]:
+        # A batch's deadline scales with its size: per-item optimizer
+        # work on a cold key is milliseconds, not microseconds.
+        timeout = self.dispatch_timeout + 0.05 * n_items
+        if not pending.event.wait(timeout):
+            if handle.take(pending.request_id) is not None:
+                handle.window.release()
+                self.stats.record_event("dispatch_timeouts")
+                return None
+            pending.event.wait(0.05)
+        if pending.failure is not None:
+            self.stats.record_event("failovers")
+            return None
+        return pending.response

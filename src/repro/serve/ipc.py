@@ -1,0 +1,180 @@
+"""Worker-process side of the multi-process serving front end.
+
+One worker process = one full :class:`~repro.serve.engine.ServeEngine`
+over the shared on-disk :class:`~repro.core.runtime.ModelStore`, driven
+by a duplex pipe from the dispatcher.  The protocol is deliberately
+small — five request kinds, three response kinds, all plain picklable
+tuples whose first element is the message kind:
+
+=================  =====================================================
+parent -> worker   ``("req", id, app, params, budget)`` — serve one
+                   request; answered by ``("resp", id, response)``.
+                   ``("req_batch", id, [(app, params, budget), ...])`` —
+                   serve a batch in order; answered by
+                   ``("resp_batch", id, [response, ...])``.  Batching
+                   amortizes the pipe round-trip and lets pickle share
+                   repeated cached templates within one message — the
+                   difference between losing to and beating the
+                   in-process engine on the warm path.
+                   ``("ping", id)`` — liveness probe, answered by
+                   ``("pong", id)``.
+                   ``("drain",)`` — graceful shutdown: close the engine
+                   (flushing coalescing followers), answer
+                   ``("drained", stats_report)`` and exit 0.
+worker -> parent   ``("hb", monotonic_now)`` — heartbeat, sent from the
+                   **main serving loop** (never a side thread) so a hang
+                   inside ``engine.submit`` stops the heartbeat stream
+                   and trips the supervisor's missed-heartbeat detector.
+=================  =====================================================
+
+Pipe messages are FIFO, so every request sent before ``("drain",)`` is
+answered before the drained acknowledgement — the dispatcher's
+stop-intake + flush sequencing relies on that.
+
+Fault points (all absorb-and-continue except ``crash``, which is the
+point):
+
+- ``serve.worker.start`` — fires in the worker before the engine is
+  built; a ``crash`` here simulates a worker that dies on boot (the
+  flap detector's food).
+- ``serve.worker.crash`` / ``serve.worker.hang`` — fire per request,
+  *before* the engine, with the app name and the stable worker slot
+  (``w0``, ``w1``, ...) in the match target, so a seeded plan can kill
+  one specific worker (``match="w0"``) or any worker, N requests in.
+
+Workers inherit the parent's active :class:`~repro.faults.plan.FaultPlan`
+through ``fork``; :func:`~repro.faults.injector.install_from_env` is
+called as a backstop for ``spawn`` start methods.
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+from dataclasses import dataclass
+
+__all__ = ["WorkerConfig", "worker_main"]
+
+#: worker exit status for a clean drain (distinct from CRASH_EXIT_CODE)
+DRAIN_EXIT_CODE = 0
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Everything a worker needs to build its engine (must pickle)."""
+
+    #: stable slot name ("w0", "w1", ...): survives restarts, names the
+    #: worker in fault-point match targets and stats
+    slot: str
+    #: shared on-disk model-store root
+    store_root: str
+    cache_size: int = 256
+    #: within-worker cache shards (the process is the parallelism unit
+    #: here, so 1 keeps per-worker replay identical to a plain engine)
+    shards: int = 1
+    heartbeat_interval: float = 0.25
+    breaker_threshold: int = 5
+    breaker_cooldown_seconds: float = 30.0
+    #: drain budget for the worker-side engine close
+    drain_timeout: float = 5.0
+
+
+def _serve_one(engine, config: WorkerConfig, app_name, params, budget):
+    """One request through the fault points and the engine (never raises)."""
+    from repro.faults.injector import fault_point
+
+    fault_point("serve.worker.crash", app=app_name, worker=config.slot)
+    fault_point("serve.worker.hang", app=app_name, worker=config.slot)
+    return engine.submit(app_name, params, budget)
+
+
+def worker_main(config: WorkerConfig, conn) -> None:
+    """Worker process entry point: serve requests from ``conn`` forever.
+
+    Exits 0 on a clean drain or a closed pipe (the parent died — there
+    is nobody left to serve).  Heartbeats ride the main loop: an idle
+    worker wakes from ``conn.poll`` every ``heartbeat_interval`` to
+    beat; a busy worker beats between requests; a *hung* worker beats
+    not at all, which is exactly the signal the supervisor wants.
+    """
+    # The dispatcher drains workers by message, the supervisor kills
+    # them by SIGTERM; a Ctrl-C against the parent's process group must
+    # not take workers down before the parent's own handler drains them.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    except (ValueError, OSError):  # non-main thread / exotic platform
+        pass
+
+    from pathlib import Path
+
+    from repro.core.runtime import ModelStore
+    from repro.faults.injector import fault_point, install_from_env
+    from repro.serve.engine import ServeEngine
+    from repro.serve.registry import ModelRegistry
+
+    try:
+        # fork inherits the parent's active plan; spawn needs the env.
+        from repro.faults.injector import active_plan
+
+        if active_plan() is None:
+            install_from_env()
+    except Exception:
+        pass
+    fault_point("serve.worker.start", worker=config.slot)
+
+    engine = ServeEngine(
+        ModelRegistry(ModelStore(Path(config.store_root))),
+        cache_size=config.cache_size,
+        shards=config.shards,
+        breaker_threshold=config.breaker_threshold,
+        breaker_cooldown_seconds=config.breaker_cooldown_seconds,
+    )
+
+    last_beat = 0.0
+    exit_code = DRAIN_EXIT_CODE
+    try:
+        while True:
+            now = time.monotonic()
+            if now - last_beat >= config.heartbeat_interval:
+                conn.send(("hb", now))
+                last_beat = now
+            wait = config.heartbeat_interval - (time.monotonic() - last_beat)
+            if not conn.poll(max(0.005, min(wait, config.heartbeat_interval))):
+                continue
+            message = conn.recv()
+            kind = message[0]
+            if kind == "req":
+                _, request_id, app_name, params, budget = message
+                response = _serve_one(engine, config, app_name, params, budget)
+                conn.send(("resp", request_id, response))
+            elif kind == "req_batch":
+                _, request_id, items = message
+                responses = [
+                    _serve_one(engine, config, app_name, params, budget)
+                    for app_name, params, budget in items
+                ]
+                conn.send(("resp_batch", request_id, responses))
+            elif kind == "ping":
+                conn.send(("pong", message[1]))
+            elif kind == "drain":
+                # FIFO pipes guarantee every request sent before the
+                # drain was already answered above; close the engine so
+                # coalescing followers flush, then acknowledge.
+                engine.close(drain_timeout=config.drain_timeout)
+                conn.send(("drained", config.slot, engine.stats.report()))
+                break
+            elif kind == "exit":
+                break
+    except (EOFError, BrokenPipeError, ConnectionResetError):
+        pass  # the dispatcher vanished; nothing left to serve
+    except OSError:
+        pass
+    except KeyboardInterrupt:
+        pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+    raise SystemExit(exit_code)

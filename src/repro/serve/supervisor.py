@@ -1,0 +1,412 @@
+"""Worker lifecycle supervision for the multi-process serving front end.
+
+The :class:`Supervisor` owns N worker slots.  Each slot cycles through
+the supervision state machine (docs/FRONTEND.md draws the full matrix):
+
+::
+
+    RUNNING --(process died)-----------------------> crash detected
+    RUNNING --(no heartbeat for heartbeat_timeout)-> hang detected (kill)
+    crash/hang --(deaths in flap_window < flap_threshold)--> BACKOFF
+    crash/hang --(deaths in flap_window >= flap_threshold)-> QUARANTINED
+    BACKOFF --(backoff elapsed)--> RUNNING (fresh process, restarts += 1)
+    any --(shutdown)--> STOPPED
+
+Detection runs on a monitor thread:
+
+- **Crash**: ``Process.is_alive()`` goes false (the exit code — e.g.
+  the injector's ``CRASH_EXIT_CODE`` 23 — is recorded for autopsies).
+- **Hang**: the worker's heartbeats ride its *main serving loop*
+  (:func:`repro.serve.ipc.worker_main`), so a worker stuck inside a
+  request stops beating.  After ``heartbeat_timeout`` of silence the
+  supervisor SIGTERMs (then SIGKILLs) the process and treats it as a
+  death — a hung process is a dead process that still holds a slot.
+- **Flap**: deaths are timestamped per slot; ``flap_threshold`` deaths
+  inside ``flap_window`` seconds quarantine the slot — no further
+  restarts, and the consistent-hash router walks past it so the slot's
+  key range rebalances onto its ring successors.  A crash loop (e.g. a
+  fault plan that kills ``w0`` on every incarnation's first request)
+  must cost a bounded number of respawns, not an eternal restart storm.
+- **Backoff**: restart delays grow ``base * 2^(deaths-1)`` capped at
+  ``backoff_max`` so a struggling store isn't hammered.
+
+Every death **fails over the slot's in-flight requests immediately**:
+pending entries are completed with a failure marker, window slots are
+released, and the dispatcher's retry/hedge/fallback ladder answers the
+request — a worker death is latency, never an error or a drop.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from bisect import bisect_right
+from collections import deque
+from hashlib import blake2b
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.serve.ipc import WorkerConfig, worker_main
+
+__all__ = ["PendingRequest", "Supervisor", "WorkerHandle"]
+
+#: slot states (plain strings: they travel into reports and tests)
+RUNNING = "running"
+BACKOFF = "backoff"
+QUARANTINED = "quarantined"
+STOPPED = "stopped"
+
+
+class PendingRequest:
+    """One dispatched request awaiting its worker's answer.
+
+    Exactly one party resolves it: whoever pops it from the handle's
+    pending table (the reader thread on response, the dispatcher on
+    timeout, the supervisor on worker death) releases the window slot.
+    """
+
+    __slots__ = ("event", "response", "failure", "request_id")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.response = None
+        #: short reason string when the worker died under the request
+        self.failure: Optional[str] = None
+        #: wire id, stashed so batch collection can reclaim on timeout
+        self.request_id = 0
+
+
+class WorkerHandle:
+    """One supervised worker slot across all its process incarnations."""
+
+    def __init__(self, config: WorkerConfig, window: int):
+        self.config = config
+        self.slot = config.slot
+        self.state = STOPPED
+        self.process: Optional[multiprocessing.process.BaseProcess] = None
+        self.conn = None
+        #: serializes writes to the pipe (reads belong to the reader thread)
+        self.send_lock = threading.Lock()
+        #: guards pending-table membership and state transitions
+        self.lock = threading.Lock()
+        self.pending: Dict[int, PendingRequest] = {}
+        #: bounded outstanding window (a batch holds one slot)
+        self.window = threading.Semaphore(window)
+        self.last_heartbeat = 0.0
+        #: per-slot death log for the flap detector
+        self.deaths: Deque[float] = deque()
+        self.restart_at = 0.0
+        self.incarnation = 0
+        self.last_exit_code: Optional[int] = None
+        self.drained_report: Optional[dict] = None
+        self._drained = threading.Event()
+
+    # -- dispatcher-side request bookkeeping ---------------------------------
+
+    def register(self, request_id: int, pending: PendingRequest) -> bool:
+        """Attach a pending request iff the slot is live; True on success."""
+        with self.lock:
+            if self.state != RUNNING or self.conn is None:
+                return False
+            self.pending[request_id] = pending
+            return True
+
+    def take(self, request_id: int) -> Optional[PendingRequest]:
+        """Atomically claim a pending entry (claimer releases the window)."""
+        with self.lock:
+            return self.pending.pop(request_id, None)
+
+    def resolve(self, request_id: int, response) -> None:
+        """Reader thread: complete a request (late answers are dropped)."""
+        pending = self.take(request_id)
+        if pending is None:
+            return  # the dispatcher already timed it out and hedged
+        pending.response = response
+        pending.event.set()
+        self.window.release()
+
+    def fail_all(self, reason: str) -> int:
+        """Supervisor: fail every in-flight request after a death."""
+        with self.lock:
+            orphans = list(self.pending.items())
+            self.pending.clear()
+        for _, pending in orphans:
+            pending.failure = reason
+            pending.event.set()
+            self.window.release()
+        return len(orphans)
+
+    def info(self) -> Dict[str, object]:
+        with self.lock:
+            return {
+                "slot": self.slot,
+                "state": self.state,
+                "incarnation": self.incarnation,
+                "pid": self.process.pid if self.process is not None else None,
+                "deaths": len(self.deaths),
+                "in_flight": len(self.pending),
+                "last_exit_code": self.last_exit_code,
+            }
+
+
+class Supervisor:
+    """Spawns, watches, restarts, quarantines, and drains worker slots."""
+
+    def __init__(
+        self,
+        configs: List[WorkerConfig],
+        heartbeat_timeout: float,
+        window: int = 32,
+        restart_backoff_base: float = 0.1,
+        restart_backoff_max: float = 2.0,
+        flap_window: float = 30.0,
+        flap_threshold: int = 5,
+        on_death: Optional[Callable[[str, str], None]] = None,
+        on_restart: Optional[Callable[[str], None]] = None,
+        on_quarantine: Optional[Callable[[str], None]] = None,
+        vnodes: int = 64,
+    ):
+        if not configs:
+            raise ValueError("Supervisor needs at least one worker config")
+        if heartbeat_timeout <= 0.0:
+            raise ValueError(
+                f"heartbeat_timeout must be > 0, got {heartbeat_timeout}"
+            )
+        if flap_threshold < 2:
+            raise ValueError(
+                f"flap_threshold must be >= 2, got {flap_threshold}"
+            )
+        self.heartbeat_timeout = heartbeat_timeout
+        self.restart_backoff_base = restart_backoff_base
+        self.restart_backoff_max = restart_backoff_max
+        self.flap_window = flap_window
+        self.flap_threshold = flap_threshold
+        self._on_death = on_death
+        self._on_restart = on_restart
+        self._on_quarantine = on_quarantine
+        # fork is preferred: cheap, and workers inherit the active fault
+        # plan + already-imported modules.  spawn works too (ipc.worker_main
+        # is importable) but loses plan inheritance outside the env var.
+        if "fork" in multiprocessing.get_all_start_methods():
+            self._mp = multiprocessing.get_context("fork")
+        else:  # pragma: no cover - non-POSIX fallback
+            self._mp = multiprocessing.get_context()
+        self.handles = [WorkerHandle(config, window) for config in configs]
+        self._by_slot = {handle.slot: handle for handle in self.handles}
+        # Consistent-hash ring over *slots* (stable across restarts):
+        # the same blake2b virtual-node scheme as the cache shards, so a
+        # key's worker — and therefore which per-worker cache warms up —
+        # is a pure function of the key while the slot is healthy.
+        ring: List[Tuple[int, int]] = []
+        for index, handle in enumerate(self.handles):
+            for vnode in range(vnodes):
+                digest = blake2b(
+                    f"worker:{handle.slot}:vnode:{vnode}".encode(),
+                    digest_size=8,
+                ).digest()
+                ring.append((int.from_bytes(digest, "big"), index))
+        ring.sort()
+        self._ring = ring
+        self._points = [point for point, _ in ring]
+        self._monitor: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        for handle in self.handles:
+            self._spawn(handle)
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="serve-supervisor", daemon=True
+        )
+        self._monitor.start()
+
+    def _spawn(self, handle: WorkerHandle) -> None:
+        parent_conn, child_conn = self._mp.Pipe(duplex=True)
+        process = self._mp.Process(
+            target=worker_main,
+            args=(handle.config, child_conn),
+            name=f"serve-{handle.slot}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        with handle.lock:
+            handle.process = process
+            handle.conn = parent_conn
+            handle.incarnation += 1
+            handle.last_heartbeat = time.monotonic()
+            handle.state = RUNNING
+        reader = threading.Thread(
+            target=self._reader_loop,
+            args=(handle, parent_conn),
+            name=f"serve-reader-{handle.slot}-{handle.incarnation}",
+            daemon=True,
+        )
+        reader.start()
+
+    def _reader_loop(self, handle: WorkerHandle, conn) -> None:
+        """Per-incarnation pipe reader: heartbeats + response demux."""
+        try:
+            while True:
+                if handle.conn is not conn:
+                    return  # a newer incarnation owns the slot
+                if not conn.poll(0.05):
+                    continue
+                message = conn.recv()
+                kind = message[0]
+                if kind == "hb":
+                    handle.last_heartbeat = time.monotonic()
+                elif kind == "resp":
+                    handle.resolve(message[1], message[2])
+                elif kind == "resp_batch":
+                    handle.resolve(message[1], message[2])
+                elif kind == "drained":
+                    handle.drained_report = message[2]
+                    handle._drained.set()
+                    return
+                elif kind == "pong":
+                    handle.last_heartbeat = time.monotonic()
+        except (EOFError, BrokenPipeError, ConnectionResetError, OSError):
+            return  # the monitor thread notices the death via is_alive()
+
+    # -- routing -------------------------------------------------------------
+
+    def route(self, point: int, exclude=()) -> Optional[WorkerHandle]:
+        """First *running* slot clockwise of ``point`` on the ring.
+
+        Quarantined, backed-off, and excluded slots are walked past, so
+        a dead worker's key range spills onto its ring successors (and
+        snaps back when it returns — placement is stateless).  Returns
+        None when no slot is eligible (the pool-unhealthy signal the
+        fallback engine exists for).
+        """
+        position = bisect_right(self._points, point)
+        seen = set()
+        for offset in range(len(self._ring)):
+            index = self._ring[(position + offset) % len(self._ring)][1]
+            if index in seen:
+                continue
+            seen.add(index)
+            handle = self.handles[index]
+            if handle.state == RUNNING and handle.slot not in exclude:
+                return handle
+            if len(seen) == len(self.handles):
+                break
+        return None
+
+    def running(self) -> List[WorkerHandle]:
+        return [h for h in self.handles if h.state == RUNNING]
+
+    # -- monitoring ----------------------------------------------------------
+
+    def _monitor_loop(self) -> None:
+        poll = max(0.01, min(0.05, self.heartbeat_timeout / 4.0))
+        while not self._stop.wait(poll):
+            now = time.monotonic()
+            for handle in self.handles:
+                state = handle.state
+                if state == RUNNING:
+                    process = handle.process
+                    if process is not None and not process.is_alive():
+                        self._handle_death(handle, "crash", now)
+                    elif now - handle.last_heartbeat > self.heartbeat_timeout:
+                        self._kill(handle)
+                        self._handle_death(handle, "hang", now)
+                elif state == BACKOFF and now >= handle.restart_at:
+                    self._spawn(handle)
+                    if self._on_restart is not None:
+                        self._on_restart(handle.slot)
+
+    def _kill(self, handle: WorkerHandle) -> None:
+        """Terminate a hung worker (SIGTERM, then SIGKILL)."""
+        process = handle.process
+        if process is None:
+            return
+        try:
+            process.terminate()
+            process.join(timeout=0.5)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=0.5)
+        except Exception:
+            pass
+
+    def _handle_death(self, handle: WorkerHandle, cause: str, now: float) -> None:
+        process = handle.process
+        exit_code = None
+        if process is not None:
+            try:
+                process.join(timeout=0.2)
+                exit_code = process.exitcode
+            except Exception:
+                pass
+        with handle.lock:
+            handle.last_exit_code = exit_code
+            handle.conn = None  # the reader thread sees this and exits
+            handle.deaths.append(now)
+            while handle.deaths and now - handle.deaths[0] > self.flap_window:
+                handle.deaths.popleft()
+            flapping = len(handle.deaths) >= self.flap_threshold
+            if flapping:
+                handle.state = QUARANTINED
+            else:
+                delay = min(
+                    self.restart_backoff_base * (2 ** (len(handle.deaths) - 1)),
+                    self.restart_backoff_max,
+                )
+                handle.state = BACKOFF
+                handle.restart_at = now + delay
+        handle.fail_all(f"worker {handle.slot} {cause}")
+        if self._on_death is not None:
+            self._on_death(handle.slot, cause)
+        if flapping and self._on_quarantine is not None:
+            self._on_quarantine(handle.slot)
+
+    # -- draining ------------------------------------------------------------
+
+    def shutdown(self, drain_timeout: float = 5.0) -> Dict[str, object]:
+        """Gracefully drain every worker, escalating to SIGTERM/SIGKILL.
+
+        The dispatcher has already stopped intake and flushed in-flight
+        requests, so the drain message is the only thing left in each
+        pipe.  Returns a per-slot summary of how each worker went down.
+        """
+        self._stop.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=2.0)
+        summary: Dict[str, object] = {}
+        deadline = time.monotonic() + max(0.0, drain_timeout)
+        draining: List[WorkerHandle] = []
+        for handle in self.handles:
+            if handle.state != RUNNING or handle.conn is None:
+                summary[handle.slot] = handle.state
+                handle.state = STOPPED
+                continue
+            try:
+                with handle.send_lock:
+                    handle.conn.send(("drain",))
+                draining.append(handle)
+            except (OSError, ValueError, BrokenPipeError):
+                summary[handle.slot] = "drain-send-failed"
+                self._kill(handle)
+                handle.state = STOPPED
+        for handle in draining:
+            remaining = max(0.0, deadline - time.monotonic())
+            drained = handle._drained.wait(remaining)
+            process = handle.process
+            if process is not None:
+                process.join(timeout=max(0.2, deadline - time.monotonic()))
+                if process.is_alive():
+                    self._kill(handle)
+                    summary[handle.slot] = "killed"
+                else:
+                    summary[handle.slot] = (
+                        "drained" if drained else "exited"
+                    )
+            handle.fail_all(f"worker {handle.slot} stopped")
+            handle.state = STOPPED
+        return summary
+
+    def info(self) -> List[Dict[str, object]]:
+        return [handle.info() for handle in self.handles]

@@ -7,6 +7,9 @@ via :class:`PoisonedJobError` with the healthy part of the batch intact,
 and a short result list never silently zipped against the job list.
 """
 
+import os
+from pathlib import Path
+
 import pytest
 
 from repro.approx.schedule import ApproxSchedule
@@ -161,3 +164,77 @@ class TestShortResultsBackstop:
         profiler = Profiler(make_app("pso"))
         with pytest.raises(ValueError, match="max_dispatch_attempts"):
             measure_batch(profiler, [], max_dispatch_attempts=0)
+
+
+_INTERRUPT_DRIVER = """
+import os
+import signal
+import sys
+import threading
+import time
+
+from repro.approx.schedule import ApproxSchedule
+from repro.apps import make_app
+from repro.faults import FaultPlan, FaultSpec, injected_faults
+from repro.instrument.harness import Profiler
+from repro.instrument.parallel import measure_batch
+
+app = make_app("pso")
+profiler = Profiler(app)
+params = {p.name: min(p.values) for p in app.parameters}
+plan_vector = profiler.app.make_plan(params, 1)
+jobs = [
+    (params, ApproxSchedule.uniform(app.blocks, plan_vector, {"fitness_eval": l}))
+    for l in (1, 2)
+]
+plan = FaultPlan(
+    [FaultSpec("parallel.worker", "hang", times=4, delay_seconds=60.0)],
+    scratch_dir=sys.argv[1],
+    seed=0,
+)
+threading.Timer(1.5, lambda: os.kill(os.getpid(), signal.SIGINT)).start()
+try:
+    with injected_faults(plan):
+        measure_batch(profiler, jobs, workers=2, job_timeout=30.0)
+except KeyboardInterrupt:
+    import multiprocessing
+
+    deadline = time.time() + 5.0
+    children = multiprocessing.active_children()
+    while children and time.time() < deadline:
+        time.sleep(0.1)
+        children = multiprocessing.active_children()
+    sys.exit(0 if not children else 3)
+sys.exit(4)
+"""
+
+
+@pytest.mark.chaos
+class TestInterruptTeardown:
+    def test_ctrl_c_mid_batch_leaves_no_orphan_workers(self, tmp_path):
+        """SIGINT against a driver with hung workers must reap the pool.
+
+        Runs in a subprocess so the interrupt cannot touch the test
+        runner.  Exit codes: 0 = interrupted and no surviving children,
+        3 = orphans outlived the teardown, 4 = the batch finished (the
+        hang fault never held it open).
+        """
+        import subprocess
+        import sys as _sys
+
+        driver = tmp_path / "driver.py"
+        driver.write_text(_INTERRUPT_DRIVER)
+        env = dict(os.environ)
+        repo_src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = repo_src + os.pathsep + env.get("PYTHONPATH", "")
+        result = subprocess.run(
+            [_sys.executable, str(driver), str(tmp_path / "scratch")],
+            env=env,
+            timeout=120,
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, (
+            f"driver exited {result.returncode}\n"
+            f"stdout: {result.stdout}\nstderr: {result.stderr}"
+        )

@@ -138,6 +138,75 @@ class TestQueueing:
         assert ctrl.report()["rejected_timeout"] == 1
         held.release()
 
+    def test_backwards_stepping_clock_cannot_extend_the_wait(self):
+        # NTP slew / broken injected clock: time runs 0 -> 8 -> 2 -> 4.1.
+        # The 6s regression must drag the deadline back with it (10 -> 4),
+        # so the 4.1 sample expires the wait; an unclamped loop would
+        # compute remaining = 5.9s and park again.
+        clock = [0.0]
+        ctrl = AdmissionController(
+            max_concurrency=1,
+            max_queue_depth=4,
+            queue_timeout_seconds=10.0,
+            clock=lambda: clock[0],
+        )
+        held = ctrl.acquire("a")
+        outcome = {}
+
+        def waiter():
+            try:
+                ctrl.acquire("b")
+                outcome["ticket"] = True
+            except AdmissionRejected as exc:
+                outcome["rejected"] = exc.kind
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        thread.join(0.2)
+        assert thread.is_alive()
+        clock[0] = 8.0  # 2s of budget left
+        thread.join(0.3)
+        assert thread.is_alive()
+        clock[0] = 2.0  # backwards 6s: deadline must follow, not stretch
+        thread.join(0.3)
+        assert thread.is_alive()
+        clock[0] = 4.1  # past the dragged-back deadline
+        thread.join(5.0)
+        assert not thread.is_alive()
+        assert outcome == {"rejected": "timeout"}
+        held.release()
+
+    def test_zero_queue_depth_rejects_immediately(self):
+        ctrl = AdmissionController(
+            max_concurrency=1, max_queue_depth=0, queue_timeout_seconds=5.0
+        )
+        held = ctrl.acquire("a")
+        with pytest.raises(AdmissionRejected) as excinfo:
+            ctrl.acquire("b")
+        assert excinfo.value.kind == "queue_full"
+        report = ctrl.report()
+        assert report["rejected_queue_full"] == 1
+        assert report["queued"] == 0  # never even parked
+        held.release()
+
+    def test_zero_timeout_expires_without_blocking(self):
+        clock = [5.0]
+        ctrl = AdmissionController(
+            max_concurrency=1,
+            max_queue_depth=4,
+            queue_timeout_seconds=0.0,
+            clock=lambda: clock[0],
+        )
+        held = ctrl.acquire("a")
+        # deadline == now: the first loop pass rejects, no cv.wait ever runs
+        with pytest.raises(AdmissionRejected) as excinfo:
+            ctrl.acquire("b")
+        assert excinfo.value.kind == "timeout"
+        report = ctrl.report()
+        assert report["queued"] == 1
+        assert report["rejected_timeout"] == 1
+        held.release()
+
 
 class TestFairness:
     def test_share_splits_by_weight_among_active_tenants(self):

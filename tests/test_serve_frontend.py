@@ -1,0 +1,363 @@
+"""Tests for the multi-process serving front end and engine draining.
+
+The front end's acceptance contract: N workers behind the dispatcher
+serve bit-identical responses to one in-process engine under sequential
+replay; every request is answered, degraded, or rejected — never
+dropped, never raised — through worker crashes, hangs, dispatch faults,
+and quarantine; and ``close()`` drains instead of abandoning.  The
+chaos-marked tests drive real forked worker processes through seeded
+fault plans.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.opprox import Opprox
+from repro.core.runtime import ModelStore
+from repro.core.spec import AccuracySpec
+from repro.faults import FaultPlan, FaultSpec, deactivate, injected_faults
+from repro.serve import (
+    ModelRegistry,
+    ServeEngine,
+    ServeFrontend,
+    build_request_mix,
+)
+
+from tests.conftest import app_instance, profiler_for, smallest_params
+
+PSO_PARAMS = smallest_params(app_instance("pso"))
+
+
+@pytest.fixture(autouse=True)
+def _no_plan_leaks():
+    yield
+    deactivate()
+
+
+@pytest.fixture(scope="module")
+def pso_store(tmp_path_factory):
+    app = app_instance("pso")
+    opprox = Opprox(
+        app,
+        AccuracySpec.for_app(app, max_inputs=2),
+        profiler=profiler_for("pso"),
+        n_phases=2,
+        joint_samples_per_phase=4,
+        confidence_p=0.9,
+    )
+    opprox.train()
+    store = ModelStore(tmp_path_factory.mktemp("frontend-store"))
+    store.save(opprox, train_timestamp=1.0)
+    return store
+
+
+def _frontend(store, **overrides):
+    """A small fast-reacting pool; callers close() it themselves."""
+    settings = dict(
+        n_workers=2,
+        cache_size=32,
+        heartbeat_interval=0.05,
+        heartbeat_timeout=0.4,
+        dispatch_timeout=1.0,
+        restart_backoff_base=0.05,
+        restart_backoff_max=0.2,
+    )
+    settings.update(overrides)
+    return ServeFrontend(store.root, **settings)
+
+
+def _signature(response):
+    # Decision content only — no cache_hit: a hedged or restarted worker
+    # answers from a cold cache, which changes the flag but never the
+    # decision, and that is exactly the equivalence the gate pins.
+    return (
+        response.app_name,
+        response.schedule.key() if response.schedule is not None else None,
+        tuple(sorted(response.env.items())),
+        response.predicted_speedup,
+        response.predicted_degradation,
+        response.control_flow,
+        response.degraded,
+    )
+
+
+def _wait_for(predicate, timeout=10.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class _BlockingRegistry(ModelRegistry):
+    """Registry whose loads park on an event — holds a submit in flight."""
+
+    def __init__(self, store):
+        super().__init__(store)
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def get(self, app_name):
+        self.entered.set()
+        assert self.release.wait(10.0)
+        return super().get(app_name)
+
+
+class TestValidation:
+    def test_rejects_bad_settings(self, pso_store):
+        with pytest.raises(ValueError):
+            ServeFrontend(pso_store.root, n_workers=0)
+        with pytest.raises(ValueError):
+            ServeFrontend(pso_store.root, dispatch_timeout=0.0)
+        with pytest.raises(ValueError):
+            ServeFrontend(pso_store.root, window=0)
+
+
+class TestEngineClose:
+    def test_close_drains_in_flight_then_stops_intake(self, pso_store):
+        registry = _BlockingRegistry(ModelStore(pso_store.root))
+        engine = ServeEngine(registry, cache_size=8)
+        outcome = {}
+
+        def client():
+            outcome["response"] = engine.submit("pso", PSO_PARAMS, 10.0)
+
+        thread = threading.Thread(target=client)
+        thread.start()
+        assert registry.entered.wait(5.0)  # the miss is inside the engine
+        threading.Timer(0.3, registry.release.set).start()
+        assert engine.close(drain_timeout=10.0)  # waits for the drain
+        thread.join(5.0)
+        assert not outcome["response"].degraded  # flushed, not abandoned
+        assert engine.closed
+
+    def test_post_close_submits_degrade_and_are_counted(self, pso_store):
+        engine = ServeEngine(ModelRegistry(pso_store), cache_size=8)
+        assert not engine.submit("pso", PSO_PARAMS, 10.0).degraded
+        assert engine.close()
+        late = engine.submit("pso", PSO_PARAMS, 10.0)
+        assert late.degraded and not late.cache_hit
+        assert "closed" in (late.degraded_reason or "")
+        assert late.schedule is not None  # accurate fallback, still usable
+        assert engine.stats.closed_rejections == 1
+
+    def test_close_is_idempotent_and_context_managed(self, pso_store):
+        with ServeEngine(ModelRegistry(pso_store), cache_size=8) as engine:
+            assert not engine.submit("pso", PSO_PARAMS, 10.0).degraded
+        assert engine.closed
+        assert engine.close()  # second close: still True, no raise
+
+    def test_close_gives_up_past_the_drain_timeout(self, pso_store):
+        registry = _BlockingRegistry(ModelStore(pso_store.root))
+        engine = ServeEngine(registry, cache_size=8)
+        thread = threading.Thread(
+            target=lambda: engine.submit("pso", PSO_PARAMS, 10.0)
+        )
+        thread.start()
+        assert registry.entered.wait(5.0)
+        assert not engine.close(drain_timeout=0.2)  # still in flight
+        registry.release.set()
+        thread.join(5.0)
+
+
+class TestFrontendServing:
+    def test_submit_serves_through_a_worker(self, pso_store):
+        frontend = _frontend(pso_store)
+        try:
+            response = frontend.submit("pso", PSO_PARAMS, 10.0)
+            assert not response.degraded
+            report = frontend.stats.report()
+            assert report["worker_served"] == 1
+            assert report["fallback_served"] == 0
+        finally:
+            frontend.close()
+
+    def test_sequential_replay_matches_in_process_engine(self, pso_store):
+        mix = [
+            (r.app_name, r.params, r.error_budget)
+            for r in build_request_mix(
+                ["pso"], budgets=[5.0, 10.0, 20.0], n_requests=30, seed=7
+            )
+        ]
+        engine = ServeEngine(ModelRegistry(pso_store), cache_size=32)
+        expected = [
+            _signature(engine.submit(a, p, b)) for a, p, b in mix
+        ]
+        engine.close()
+        frontend = _frontend(pso_store, n_workers=3)
+        try:
+            got = [_signature(frontend.submit(a, p, b)) for a, p, b in mix]
+        finally:
+            frontend.close()
+        assert got == expected
+
+    def test_submit_many_preserves_order_and_batches(self, pso_store):
+        mix = [
+            (r.app_name, r.params, r.error_budget)
+            for r in build_request_mix(
+                ["pso"], budgets=[5.0, 10.0, 20.0], n_requests=24, seed=11
+            )
+        ]
+        engine = ServeEngine(ModelRegistry(pso_store), cache_size=32)
+        expected = [_signature(r) for r in engine.submit_many(mix)]
+        engine.close()
+        frontend = _frontend(pso_store)
+        try:
+            responses = frontend.submit_many(mix)
+            assert [_signature(r) for r in responses] == expected
+            report = frontend.stats.report()
+            assert report["batches"] == 1
+            assert report["requests"] == len(mix)
+        finally:
+            frontend.close()
+
+    def test_worker_info_lists_running_slots(self, pso_store):
+        frontend = _frontend(pso_store, n_workers=2)
+        try:
+            info = frontend.worker_info()
+            assert [w["slot"] for w in info] == ["w0", "w1"]
+            assert all(w["state"] == "running" for w in info)
+        finally:
+            frontend.close()
+
+
+@pytest.mark.chaos
+class TestFrontendFaults:
+    def test_worker_crash_is_failed_over_and_restarted(
+        self, pso_store, tmp_path
+    ):
+        plan = FaultPlan(
+            [FaultSpec("serve.worker.crash", "crash", once_globally=True)],
+            scratch_dir=tmp_path,
+        )
+        with injected_faults(plan):
+            frontend = _frontend(pso_store)
+            try:
+                responses = [
+                    frontend.submit("pso", PSO_PARAMS, 5.0 + 0.5 * i)
+                    for i in range(12)
+                ]
+                assert all(r is not None for r in responses)
+                stats = frontend.stats
+                assert stats.worker_crashes == 1
+                assert _wait_for(lambda: stats.worker_restarts >= 1)
+                # the pool is whole again: a fresh key serves healthily
+                after = frontend.submit("pso", PSO_PARAMS, 17.5)
+                assert not after.degraded
+            finally:
+                frontend.close()
+        assert plan.fired_counts() == {("serve.worker.crash", "crash"): 1}
+
+    def test_hung_worker_is_detected_and_replaced(self, pso_store, tmp_path):
+        plan = FaultPlan(
+            [FaultSpec(
+                "serve.worker.hang", "hang",
+                delay_seconds=30.0, once_globally=True,
+            )],
+            scratch_dir=tmp_path,
+        )
+        with injected_faults(plan):
+            frontend = _frontend(pso_store)
+            try:
+                responses = [
+                    frontend.submit("pso", PSO_PARAMS, 5.0 + 0.5 * i)
+                    for i in range(12)
+                ]
+                assert all(r is not None for r in responses)
+                stats = frontend.stats
+                assert _wait_for(lambda: stats.worker_hangs >= 1)
+                assert _wait_for(lambda: stats.worker_restarts >= 1)
+            finally:
+                frontend.close()
+        assert plan.fired_counts() == {("serve.worker.hang", "hang"): 1}
+
+    def test_dispatch_fault_hedges_and_still_answers(
+        self, pso_store, tmp_path
+    ):
+        plan = FaultPlan(
+            [FaultSpec("serve.frontend.dispatch", "os_error", times=1)],
+            scratch_dir=tmp_path,
+        )
+        with injected_faults(plan):
+            frontend = _frontend(pso_store)
+            try:
+                response = frontend.submit("pso", PSO_PARAMS, 10.0)
+                assert response is not None and not response.degraded
+                report = frontend.stats.report()
+                assert report["dispatch_errors"] == 1
+                # answered by the hedged sibling or the fallback engine
+                assert report["requests"] == 1
+            finally:
+                frontend.close()
+
+    def test_flapping_worker_is_quarantined_not_restart_stormed(
+        self, pso_store, tmp_path
+    ):
+        # w0 crashes on the first request of *every* incarnation (no
+        # once_globally token): two deaths inside the flap window must
+        # quarantine the slot, after which its key range reroutes to w1
+        # and service continues without further deaths.
+        plan = FaultPlan(
+            [FaultSpec("serve.worker.crash", "crash", times=100, match="w0")],
+            scratch_dir=tmp_path,
+        )
+        with injected_faults(plan):
+            frontend = _frontend(pso_store, flap_threshold=2, flap_window=30.0)
+            try:
+                stats = frontend.stats
+
+                def poke():
+                    for i in range(8):
+                        frontend.submit("pso", PSO_PARAMS, 4.0 + 0.25 * i)
+                    return stats.worker_quarantines >= 1
+
+                assert _wait_for(poke, timeout=20.0, interval=0.1)
+                states = {
+                    w["slot"]: w["state"] for w in frontend.worker_info()
+                }
+                assert states["w0"] == "quarantined"
+                assert states["w1"] == "running"
+                # the survivor answers the quarantined slot's key range
+                crashes = stats.worker_crashes
+                for i in range(10):
+                    response = frontend.submit(
+                        "pso", PSO_PARAMS, 50.0 + 0.5 * i
+                    )
+                    assert response is not None
+                assert stats.worker_crashes == crashes  # storm is over
+            finally:
+                frontend.close()
+
+
+class TestFrontendClose:
+    def test_close_drains_workers_and_reports(self, pso_store):
+        frontend = _frontend(pso_store)
+        assert not frontend.submit("pso", PSO_PARAMS, 10.0).degraded
+        report = frontend.close()
+        assert report["flushed_in_flight"]
+        assert report["workers"] == {"w0": "drained", "w1": "drained"}
+        assert report["stats"]["requests"] == 1
+
+    def test_post_close_intake_degrades_via_fallback(self, pso_store):
+        frontend = _frontend(pso_store)
+        frontend.close()
+        late = frontend.submit("pso", PSO_PARAMS, 10.0)
+        assert late.degraded  # the closed fallback engine answered
+        assert late.schedule is not None
+        assert frontend.stats.closed_intake == 1
+        batch = frontend.submit_many([("pso", PSO_PARAMS, 12.0)] * 3)
+        assert len(batch) == 3 and all(r.degraded for r in batch)
+        assert frontend.stats.closed_intake == 4
+
+    def test_close_is_idempotent(self, pso_store):
+        frontend = _frontend(pso_store)
+        first = frontend.close()
+        assert frontend.close() is first  # cached summary, no re-drain
+
+    def test_context_manager_closes(self, pso_store):
+        with _frontend(pso_store) as frontend:
+            assert not frontend.submit("pso", PSO_PARAMS, 10.0).degraded
+        assert frontend.closing
